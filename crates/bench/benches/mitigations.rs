@@ -1,0 +1,44 @@
+//! Mitigation benches: O4/O5 re-runs, IBPB, and the §6.3 overhead suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phantom::mitigations::{
+    ibpb_blocks_p1, o4_suppress_bp_on_non_br, o5_auto_ibrs_fetch, suppress_overhead,
+};
+use phantom::UarchProfile;
+
+fn bench_o4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigations");
+    group.sample_size(10);
+    group.bench_function("o4_suppress_rerun_zen2", |b| {
+        b.iter(|| {
+            let o = o4_suppress_bp_on_non_br(UarchProfile::zen2()).expect("runs");
+            assert!(o.suppressed.fetched && o.suppressed.decoded && !o.suppressed.executed);
+        })
+    });
+    group.bench_function("o5_auto_ibrs_zen4", |b| {
+        b.iter(|| {
+            assert!(o5_auto_ibrs_fetch(42).expect("runs"));
+        })
+    });
+    group.bench_function("ibpb_zen3", |b| {
+        b.iter(|| {
+            assert!(!ibpb_blocks_p1(42).expect("runs"));
+        })
+    });
+    group.finish();
+}
+
+fn bench_overhead_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigations/overhead");
+    group.sample_size(10);
+    group.bench_function("suite_zen2", |b| {
+        b.iter(|| {
+            let r = suppress_overhead(UarchProfile::zen2());
+            assert!(r.geomean_overhead_pct >= 0.0);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_o4, bench_overhead_suite);
+criterion_main!(benches);

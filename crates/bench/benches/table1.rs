@@ -1,0 +1,40 @@
+//! Table 1 bench: the training × victim sweep, per microarchitecture
+//! and for the full 8-uarch grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phantom::experiment::{run_combo, TrainKind, VictimKind};
+use phantom::UarchProfile;
+
+fn bench_single_combo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/combo");
+    group.sample_size(10);
+    for profile in [UarchProfile::zen2(), UarchProfile::zen4(), UarchProfile::intel13()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    run_combo(p.clone(), TrainKind::JmpInd, VictimKind::NonBranch, 0)
+                        .expect("combo runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_grid_one_uarch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/grid");
+    group.sample_size(10);
+    group.bench_function("zen2_all_22_combos", |b| {
+        b.iter(|| {
+            for (t, v) in phantom::experiment::asymmetric_combos() {
+                run_combo(UarchProfile::zen2(), t, v, 0).expect("combo runs");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_combo, bench_full_grid_one_uarch);
+criterion_main!(benches);

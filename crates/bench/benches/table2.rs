@@ -1,0 +1,48 @@
+//! Table 2 bench: covert channel throughput per microarchitecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phantom::covert::{execute_channel, fetch_channel, CovertConfig};
+use phantom::UarchProfile;
+
+const BITS: usize = 64;
+
+fn bench_fetch_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/fetch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BITS as u64));
+    for profile in UarchProfile::amd() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    fetch_channel(p.clone(), CovertConfig { bits: BITS, seed: 42 })
+                        .expect("channel")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_execute_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/execute");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BITS as u64));
+    for profile in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    execute_channel(p.clone(), CovertConfig { bits: BITS, seed: 42 })
+                        .expect("channel")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_channel, bench_execute_channel);
+criterion_main!(benches);

@@ -1,0 +1,255 @@
+//! `repro` — regenerate every table and figure of the Phantom paper.
+//!
+//! ```text
+//! repro table1            Table 1  (training x victim x uarch stages)
+//! repro figure6           Figure 6 (uop-cache page-offset sweep)
+//! repro figure7           Figure 7 (recovered BTB functions)
+//! repro table2 [bits]     Table 2  (covert channel accuracy / rate)
+//! repro table3 [runs]     Table 3  (kernel image KASLR)
+//! repro table4 [runs]     Table 4  (physmap KASLR)
+//! repro table5 [runs]     Table 5  (physical address)
+//! repro mds [bytes]       §7.4     (MDS-gadget kernel leak)
+//! repro o4                O4       (SuppressBPOnNonBr)
+//! repro o5                O5       (AutoIBRS)
+//! repro software          §8.2     (lfence / RSB stuffing / SLS padding)
+//! repro spectre           baseline (conventional Spectre-V2 comparison)
+//! repro ablation          design-parameter sweeps (latency / ways / noise)
+//! repro overhead          §6.3     (mitigation overhead suite)
+//! repro gadgets           §9.1     (gadget census)
+//! repro all               everything above, quick settings
+//! ```
+//!
+//! Environment: `PHANTOM_FULL=1` uses the paper's full protocol sizes
+//! (all 488/25 600 slots, 4096 bits/bytes, 10–100 runs) — slow.
+
+use phantom::gadgets::{census, generate_corpus, CorpusConfig};
+use phantom::mitigations::{
+    lfence_gadget_protection, o4_suppress_bp_on_non_br, o5_auto_ibrs_fetch,
+    rsb_stuffing_protection, sls_padding_protection, suppress_overhead,
+};
+use phantom::report;
+use phantom::spectre::{spectre_v2_leak, window_comparison};
+use phantom::UarchProfile;
+use phantom_bench::{
+    run_figure6, run_figure7, run_mds, run_table1, run_table2, run_table3, run_table4,
+    run_table5,
+};
+
+fn full() -> bool {
+    std::env::var("PHANTOM_FULL").is_ok_and(|v| v == "1")
+}
+
+fn table1() -> Result<(), phantom_bench::RunnerError> {
+    let cells = run_table1(0)?;
+    print!("{}", report::render_table1(&cells));
+    Ok(())
+}
+
+fn figure6() -> Result<(), phantom_bench::RunnerError> {
+    for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
+        println!("[{}]", profile.name);
+        let step = if full() { 0x40 } else { 0x100 };
+        let points = run_figure6(profile, step)?;
+        print!("{}", report::render_figure6(&points));
+    }
+    Ok(())
+}
+
+fn figure7() {
+    let samples = if full() { 48 } else { 24 };
+    let fig = run_figure7(samples, 0);
+    print!("{}", report::render_figure7(&fig));
+}
+
+fn table2(bits: usize) -> Result<(), phantom_bench::RunnerError> {
+    let rows = run_table2(bits, 0)?;
+    print!("{}", report::render_table2(&rows));
+    Ok(())
+}
+
+fn table3(runs: usize) -> Result<(), phantom_bench::RunnerError> {
+    let slots = if full() { 0 } else { 64 };
+    for p in [UarchProfile::zen2(), UarchProfile::zen3(), UarchProfile::zen4()] {
+        let name = p.name;
+        let results = run_table3(p, runs, slots, 100)?;
+        print!("{}", report::render_table3(name, &results));
+    }
+    Ok(())
+}
+
+fn table4(runs: usize) -> Result<(), phantom_bench::RunnerError> {
+    let slots = if full() { 0 } else { 64 };
+    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        let name = p.name;
+        let results = run_table4(p, runs, slots, 200)?;
+        print!("{}", report::render_table4(name, &results));
+    }
+    Ok(())
+}
+
+fn table5(runs: usize) -> Result<(), phantom_bench::RunnerError> {
+    // The paper pairs Zen 1 with 8 GiB and Zen 2 with 64 GiB.
+    let configs: [(UarchProfile, u64); 2] = if full() {
+        [(UarchProfile::zen1(), 8 << 30), (UarchProfile::zen2(), 64 << 30)]
+    } else {
+        [(UarchProfile::zen1(), 1 << 30), (UarchProfile::zen2(), 4 << 30)]
+    };
+    for (p, bytes) in configs {
+        let name = p.name;
+        let results = run_table5(p, bytes, runs, 300)?;
+        print!("{}", report::render_table5(name, bytes >> 30, &results));
+    }
+    Ok(())
+}
+
+fn mds(bytes: usize) -> Result<(), phantom_bench::RunnerError> {
+    let runs = if full() { 10 } else { 3 };
+    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        let name = p.name;
+        println!("[{name}] over {runs} reboots:");
+        for r in run_mds(p.clone(), bytes, runs, 400)? {
+            print!("  {}", report::render_mds(&r));
+        }
+    }
+    Ok(())
+}
+
+fn o4() -> Result<(), phantom_bench::RunnerError> {
+    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        let name = p.name;
+        let o = o4_suppress_bp_on_non_br(p)?;
+        println!(
+            "O4 [{name}]: baseline {} -> suppressed {} (IF={}, ID={}, EX={})",
+            o.baseline.stage(),
+            o.suppressed.stage(),
+            o.suppressed.fetched,
+            o.suppressed.decoded,
+            o.suppressed.executed,
+        );
+    }
+    println!("=> SuppressBPOnNonBr stops transient execution but not IF/ID (and is absent on Zen 1).");
+    Ok(())
+}
+
+fn o5() -> Result<(), phantom_bench::RunnerError> {
+    let fetched = o5_auto_ibrs_fetch(0)?;
+    println!("O5 [Zen 4, AutoIBRS on]: cross-privilege transient fetch observed = {fetched}");
+    println!("=> AutoIBRS does not prevent IF of cross-privilege branch targets (P1 unaffected).");
+    Ok(())
+}
+
+fn software() -> Result<(), phantom_bench::RunnerError> {
+    let (u, p) = lfence_gadget_protection(UarchProfile::zen2())?;
+    println!("lfence at gadget entry [Zen 2]: transient load unprotected={u} protected={p}");
+    let (u, p) = rsb_stuffing_protection(UarchProfile::zen2())?;
+    println!("RSB stuffing [Zen 2]:           phantom fetch unprotected={u} protected={p}");
+    let (u, p) = sls_padding_protection(UarchProfile::zen1())?;
+    println!("SLS padding [Zen]:              straight-line load unpadded={u} padded={p}");
+    println!("=> software mitigations work where they are PLACED; §8.2's point is that");
+    println!("   pre-decode speculation makes the set of placement sites intractable.");
+    Ok(())
+}
+
+fn ablation() -> Result<(), phantom_bench::RunnerError> {
+    println!("resteer-latency sweep (Zen 2 shape):");
+    for p in phantom::ablation::resteer_latency_sweep(&[4, 5, 6, 8, 10, 12, 16])? {
+        println!("  latency {:>2} cycles -> spare {:>2} uops -> {}", p.latency, p.spare_uops, p.stage);
+    }
+    println!("BTB associativity sweep (8 same-bucket entries):");
+    for p in phantom::ablation::btb_associativity_sweep(&[1, 2, 4, 8], 8) {
+        println!("  {} way(s) -> {:.0}% survive", p.ways, p.survival * 100.0);
+    }
+    println!("noise-accuracy curve (fetch channel, 128 bits):");
+    for p in phantom::ablation::noise_accuracy_curve(&[0.0, 0.01, 0.03, 0.1, 0.3], 128, 1)? {
+        println!("  spurious {:>4.0}% -> accuracy {:.1}%", p.spurious_rate * 100.0, p.accuracy * 100.0);
+    }
+    Ok(())
+}
+
+fn spectre() -> Result<(), phantom_bench::RunnerError> {
+    println!("baseline: conventional Spectre-V2 vs PHANTOM windows");
+    for p in UarchProfile::all() {
+        let w = window_comparison(&p);
+        let leak = if p.indirect_victim_blind {
+            "n/a (blind)".to_string()
+        } else {
+            let r = spectre_v2_leak(p.clone(), 0x5c)?;
+            if r.correct() { "leaks".into() } else { "fails".into() }
+        };
+        println!(
+            "  {:<26} spectre {:>2} uops ({leak}), phantom {} uops",
+            p.name, w.spectre_uops, w.phantom_uops
+        );
+    }
+    Ok(())
+}
+
+fn overhead() {
+    let r = suppress_overhead(UarchProfile::zen2());
+    print!("{}", report::render_overhead(&r));
+}
+
+fn gadgets() {
+    let corpus = generate_corpus(&CorpusConfig::default());
+    let c = census(&corpus);
+    print!("{}", report::render_gadgets(&c));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cmd = args.get(1).map(String::as_str).unwrap_or("all");
+    let num = |i: usize, default: usize| -> usize {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+
+    let result: Result<(), phantom_bench::RunnerError> = match cmd {
+        "table1" => table1(),
+        "figure6" => figure6(),
+        "figure7" => {
+            figure7();
+            Ok(())
+        }
+        "table2" => table2(num(2, if full() { 4096 } else { 256 })),
+        "table3" => table3(num(2, if full() { 100 } else { 5 })),
+        "table4" => table4(num(2, if full() { 10 } else { 3 })),
+        "table5" => table5(num(2, if full() { 100 } else { 3 })),
+        "mds" => mds(num(2, if full() { 4096 } else { 64 })),
+        "o4" => o4(),
+        "o5" => o5(),
+        "software" => software(),
+        "spectre" => spectre(),
+        "ablation" => ablation(),
+        "overhead" => {
+            overhead();
+            Ok(())
+        }
+        "gadgets" => {
+            gadgets();
+            Ok(())
+        }
+        "all" => table1()
+            .and_then(|()| figure6())
+            .map(|()| figure7())
+            .and_then(|()| table2(256))
+            .and_then(|()| table3(3))
+            .and_then(|()| table4(2))
+            .and_then(|()| table5(2))
+            .and_then(|()| mds(48))
+            .and_then(|()| o4())
+            .and_then(|()| o5())
+            .and_then(|()| software())
+            .and_then(|()| spectre())
+            .and_then(|()| ablation())
+            .map(|()| overhead())
+            .map(|()| gadgets()),
+        other => {
+            eprintln!("unknown command {other:?}; see `repro --help` (module docs)");
+            std::process::exit(2);
+        }
+    };
+
+    if let Err(e) = result {
+        eprintln!("repro {cmd} failed: {e}");
+        std::process::exit(1);
+    }
+}

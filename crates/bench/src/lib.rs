@@ -1,0 +1,202 @@
+//! Shared runners for the benchmark harness and the `repro` binary.
+//!
+//! Each function regenerates one of the paper's tables or figures,
+//! returning structured results that `repro` renders with
+//! [`phantom::report`]. Run counts and search-space sizes are
+//! parameterized: the paper's full protocol (100 reboots, all 488 / 25 600
+//! KASLR slots) is reachable by cranking the knobs, while the defaults
+//! keep a laptop run in minutes. Scaling choices are recorded in
+//! `EXPERIMENTS.md`.
+
+use phantom::attacks::{
+    break_kaslr_image, break_physmap, find_physical_address, leak_kernel_memory,
+    KaslrImageConfig, KaslrImageResult, MdsLeakConfig, MdsLeakResult, PhysAddrConfig,
+    PhysAddrResult, PhysmapConfig, PhysmapResult,
+};
+use phantom::collide::{recover_figure7, BtbOracle, Figure7};
+use phantom::covert::{execute_channel, fetch_channel, CovertConfig, CovertResult};
+use phantom::experiment::{figure6, table1, Figure6Point, Table1Cell};
+use phantom::UarchProfile;
+use phantom_bpu::BtbScheme;
+use phantom_kernel::layout::{KERNEL_IMAGE_SLOTS, PHYSMAP_SLOTS};
+use phantom_kernel::System;
+use phantom_mem::VirtAddr;
+
+/// A boxed error for runner signatures.
+pub type RunnerError = Box<dyn std::error::Error>;
+
+/// Regenerate Table 1 over all eight microarchitectures.
+///
+/// # Errors
+///
+/// Propagates experiment setup failures.
+pub fn run_table1(seed: u64) -> Result<Vec<Table1Cell>, RunnerError> {
+    Ok(table1(&UarchProfile::all(), seed)?)
+}
+
+/// Regenerate Figure 6 (µop-cache page-offset sweep) on a profile.
+///
+/// # Errors
+///
+/// Propagates experiment setup failures.
+pub fn run_figure6(profile: UarchProfile, step: u64) -> Result<Vec<Figure6Point>, RunnerError> {
+    Ok(figure6(profile, 0xac0, step)?)
+}
+
+/// Regenerate Figure 7: recover the Zen 3/4 BTB functions from
+/// behavioural collisions.
+pub fn run_figure7(samples: usize, seed: u64) -> Figure7 {
+    let mut oracle = BtbOracle::new(BtbScheme::zen34());
+    let ks = [
+        VirtAddr::new(0xffff_ffff_8124_6ac0),
+        VirtAddr::new(0xffff_ffff_9230_0ac0),
+    ];
+    recover_figure7(&mut oracle, &ks, samples, seed)
+}
+
+/// Regenerate Table 2 (covert channels) with `bits` per row.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn run_table2(bits: usize, seed: u64) -> Result<Vec<CovertResult>, RunnerError> {
+    let config = CovertConfig { bits, seed };
+    let mut rows = Vec::new();
+    for p in UarchProfile::amd() {
+        rows.push(fetch_channel(p, config)?);
+    }
+    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        rows.push(execute_channel(p, config)?);
+    }
+    Ok(rows)
+}
+
+/// Regenerate Table 3 rows: `runs` kernel-image KASLR breaks with a
+/// reboot (fresh KASLR) before each. `slots` limits the scanned window
+/// per run (0 = full 488).
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_table3(
+    profile: UarchProfile,
+    runs: usize,
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<KaslrImageResult>, RunnerError> {
+    let mut out = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let mut sys = System::new(profile.clone(), 1 << 30, seed + r as u64)?;
+        let range = scan_window(sys.layout().image_slot, slots, KERNEL_IMAGE_SLOTS);
+        let config = KaslrImageConfig { slots: range, seed: seed + r as u64, ..Default::default() };
+        out.push(break_kaslr_image(&mut sys, &config)?);
+    }
+    Ok(out)
+}
+
+/// Regenerate Table 4 rows: `runs` physmap breaks (reboot per run).
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_table4(
+    profile: UarchProfile,
+    runs: usize,
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<PhysmapResult>, RunnerError> {
+    let mut out = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let mut sys = System::new(profile.clone(), 1 << 30, seed + r as u64)?;
+        let range = scan_window(sys.layout().physmap_slot, slots, PHYSMAP_SLOTS);
+        let image_base = sys.image().base; // the §7.1 stage's output
+        let config = PhysmapConfig { slots: range, seed: seed + r as u64, ..Default::default() };
+        out.push(break_physmap(&mut sys, image_base, &config)?);
+    }
+    Ok(out)
+}
+
+/// Regenerate Table 5 rows: `runs` physical-address searches over a
+/// machine with `phys_bytes` of memory (8 GiB and 64 GiB in the paper).
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_table5(
+    profile: UarchProfile,
+    phys_bytes: u64,
+    runs: usize,
+    seed: u64,
+) -> Result<Vec<PhysAddrResult>, RunnerError> {
+    let mut out = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let mut sys = System::new(profile.clone(), phys_bytes, seed + r as u64)?;
+        let (image_base, physmap_base) = (sys.image().base, sys.layout().physmap_base());
+        let config = PhysAddrConfig { max_decoys: 100, seed: seed + r as u64 };
+        out.push(find_physical_address(&mut sys, image_base, physmap_base, &config)?);
+    }
+    Ok(out)
+}
+
+/// Regenerate the §7.4 MDS leak: `runs` reboots, `bytes` leaked each.
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_mds(
+    profile: UarchProfile,
+    bytes: usize,
+    runs: usize,
+    seed: u64,
+) -> Result<Vec<MdsLeakResult>, RunnerError> {
+    let mut out = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let mut sys = System::new(profile.clone(), 1 << 28, seed + r as u64)?;
+        let physmap = sys.layout().physmap_base();
+        let config = MdsLeakConfig { bytes, seed: seed + r as u64, ..Default::default() };
+        out.push(leak_kernel_memory(&mut sys, physmap, &config)?);
+    }
+    Ok(out)
+}
+
+/// A scan window of `width` slots guaranteed to contain `actual`
+/// (`width == 0` scans everything). Using a window scales the runtime
+/// linearly while preserving the per-candidate discrimination problem;
+/// the full scan is the same loop over more candidates.
+pub fn scan_window(actual: u64, width: u64, total: u64) -> std::ops::Range<u64> {
+    if width == 0 || width >= total {
+        return 0..total;
+    }
+    let lo = actual.saturating_sub(width / 2).min(total - width);
+    lo..lo + width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_window_always_contains_actual() {
+        for (actual, width, total) in [(0u64, 16u64, 488u64), (487, 16, 488), (200, 0, 488)] {
+            let w = scan_window(actual, width, total);
+            assert!(w.contains(&actual), "{actual} {width} {total}");
+            assert!(w.end <= total);
+        }
+    }
+
+    #[test]
+    fn table3_runner_reboots_between_runs() {
+        let runs = run_table3(UarchProfile::zen3(), 2, 8, 77).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.correct));
+        // Different reboots landed on different slots (seeded).
+        assert_ne!(runs[0].actual_slot, runs[1].actual_slot);
+    }
+
+    #[test]
+    fn figure7_runner_recovers_twelve_functions() {
+        let f = run_figure7(24, 3);
+        assert_eq!(f.functions.len(), 12);
+        assert!(f.paper_patterns_hold);
+    }
+}

@@ -1,0 +1,81 @@
+//! Mitigation MSR state.
+//!
+//! Models the speculation-control knobs the paper evaluates in §6.3/§8:
+//! `SuppressBPOnNonBr` (MSR `0xC00110E3` on Zen 2), AutoIBRS (Zen 4),
+//! eIBRS (Intel 9th gen+), STIBP, and the IBPB flush command. The point
+//! of observations O4/O5 is that these knobs gate *late* pipeline stages:
+//! they stop transient execution but not transient fetch or decode.
+
+/// Speculation-control MSR state, as configured by the (simulated) OS.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_bpu::MsrState;
+/// let mut msr = MsrState::default();
+/// assert!(!msr.suppress_bp_on_non_br);
+/// msr.suppress_bp_on_non_br = true; // wrmsr 0xC00110E3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MsrState {
+    /// `SuppressBPOnNonBr`: when set, a prediction whose victim decodes
+    /// as a non-branch may not *execute* its target µops. Per O4, it does
+    /// not gate IF/ID. Not supported on Zen 1 (the profile layer refuses
+    /// to set it there).
+    pub suppress_bp_on_non_br: bool,
+    /// AutoIBRS (Zen 4): predictions trained at a lower privilege level
+    /// are restricted when predicted in supervisor mode — but only after
+    /// ID (O5): the fetch of the predicted target still happens.
+    pub auto_ibrs: bool,
+    /// eIBRS-style privilege tagging (Intel): the BTB never serves an
+    /// entry across privilege modes at all.
+    pub eibrs_tagging: bool,
+    /// STIBP: sibling-thread predictions are isolated (entries tagged by
+    /// SMT thread id).
+    pub stibp: bool,
+}
+
+impl MsrState {
+    /// All mitigations off (the Zen 1 baseline).
+    pub fn none() -> MsrState {
+        MsrState::default()
+    }
+
+    /// The default-Ubuntu threat-model configuration for a given level of
+    /// hardware support: every supported mitigation on.
+    pub fn hardened(supports_suppress: bool, supports_auto_ibrs: bool, intel: bool) -> MsrState {
+        MsrState {
+            suppress_bp_on_non_br: supports_suppress,
+            auto_ibrs: supports_auto_ibrs,
+            eibrs_tagging: intel,
+            stibp: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_off() {
+        let msr = MsrState::default();
+        assert!(!msr.suppress_bp_on_non_br);
+        assert!(!msr.auto_ibrs);
+        assert!(!msr.eibrs_tagging);
+        assert!(!msr.stibp);
+    }
+
+    #[test]
+    fn hardened_reflects_support_matrix() {
+        // Zen 1: nothing supported.
+        let zen1 = MsrState::hardened(false, false, false);
+        assert_eq!(zen1, MsrState { stibp: true, ..MsrState::none() });
+        // Zen 4: SuppressBPOnNonBr + AutoIBRS.
+        let zen4 = MsrState::hardened(true, true, false);
+        assert!(zen4.suppress_bp_on_non_br && zen4.auto_ibrs && !zen4.eibrs_tagging);
+        // Intel: eIBRS tagging.
+        let intel = MsrState::hardened(false, false, true);
+        assert!(intel.eibrs_tagging);
+    }
+}

@@ -1,0 +1,131 @@
+//! Pattern History Table: conditional branch direction prediction.
+//!
+//! A classic array of 2-bit saturating counters indexed by a hash of the
+//! branch PC and a global history register. The MDS-gadget exploit of
+//! §7.4 trains the kernel's bounds check (`jcc`) to predict *taken*
+//! before supplying an out-of-bounds index.
+
+use phantom_mem::VirtAddr;
+
+/// Direction prediction state: 2-bit saturating counters + global
+/// history.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_bpu::Pht;
+/// use phantom_mem::VirtAddr;
+/// let mut pht = Pht::new(1024);
+/// let pc = VirtAddr::new(0x400123);
+/// // Weakly not-taken by default; training "taken" repeatedly saturates
+/// // the counters along the history path.
+/// for _ in 0..12 {
+///     pht.update(pc, true);
+/// }
+/// assert!(pht.predict(pc));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pht {
+    counters: Vec<u8>,
+    ghr: u64,
+    history_bits: u32,
+}
+
+impl Pht {
+    /// Create a PHT with `entries` counters (rounded up to a power of
+    /// two). History is 8 bits by default.
+    pub fn new(entries: usize) -> Pht {
+        let n = entries.next_power_of_two().max(2);
+        Pht { counters: vec![1; n], ghr: 0, history_bits: 8 }
+    }
+
+    fn index(&self, pc: VirtAddr) -> usize {
+        let mask = self.counters.len() as u64 - 1;
+        let h = self.ghr & ((1 << self.history_bits) - 1);
+        (((pc.raw() >> 1) ^ h) & mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc` (true = taken).
+    pub fn predict(&self, pc: VirtAddr) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Update with the resolved direction, shifting global history.
+    pub fn update(&mut self, pc: VirtAddr, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+    }
+
+    /// Reset all counters to weakly not-taken and clear history.
+    pub fn flush(&mut self) {
+        self.counters.fill(1);
+        self.ghr = 0;
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table has zero counters (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_not_taken() {
+        let pht = Pht::new(64);
+        assert!(!pht.predict(VirtAddr::new(0x1000)));
+    }
+
+    #[test]
+    fn saturating_training() {
+        let mut pht = Pht::new(64);
+        let pc = VirtAddr::new(0x2044);
+        // Pin history by always updating the same way from a fresh table.
+        pht.update(pc, true);
+        // After one taken update at this history the counter moved to 2,
+        // but history shifted; re-resolve via a fresh table for a stable
+        // single-index check.
+        let mut pht2 = Pht::new(2); // single effective index space
+        let pc2 = VirtAddr::new(0);
+        pht2.update(pc2, true);
+        pht2.update(pc2, true);
+        pht2.update(pc2, true);
+        pht2.update(pc2, true); // saturate at 3
+        assert!(pht2.predict(pc2));
+        for _ in 0..2 {
+            pht2.update(pc2, false);
+        }
+        // From 3, two not-taken -> 1 -> predict not taken.
+        assert!(!pht2.predict(pc2));
+    }
+
+    #[test]
+    fn flush_restores_default() {
+        let mut pht = Pht::new(16);
+        let pc = VirtAddr::new(0x88);
+        for _ in 0..4 {
+            pht.update(pc, true);
+        }
+        pht.flush();
+        assert!(!pht.predict(pc));
+    }
+
+    #[test]
+    fn rounds_to_power_of_two() {
+        assert_eq!(Pht::new(100).len(), 128);
+        assert_eq!(Pht::new(1).len(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the branch prediction structures.
+
+use proptest::prelude::*;
+
+use phantom_isa::BranchKind;
+use phantom_mem::{PrivilegeLevel, VirtAddr};
+
+use crate::btb::{Btb, BtbScheme};
+use crate::hashfn::{FoldFamily, FoldFn};
+use crate::rsb::Rsb;
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Direct),
+        Just(BranchKind::Indirect),
+        Just(BranchKind::Cond),
+        Just(BranchKind::Call),
+        Just(BranchKind::CallInd),
+        Just(BranchKind::Ret),
+    ]
+}
+
+proptest! {
+    /// Aliasing is an equivalence: reflexive and symmetric, and XORing a
+    /// signature-preserving pattern is involutive.
+    #[test]
+    fn aliasing_is_symmetric(addr in any::<u64>(), other in any::<u64>()) {
+        let fam = FoldFamily::zen34();
+        let a = VirtAddr::new(addr);
+        let b = VirtAddr::new(other);
+        prop_assert!(fam.aliases(a, a));
+        prop_assert_eq!(fam.aliases(a, b), fam.aliases(b, a));
+    }
+
+    /// The paper's two public XOR collision patterns preserve aliasing
+    /// for ANY base address.
+    #[test]
+    fn figure7_patterns_alias_everywhere(addr in any::<u64>()) {
+        let fam = FoldFamily::zen34();
+        let a = VirtAddr::new(addr);
+        for pattern in [0xffff_bff8_0000_0000u64, 0xffff_8003_ff80_0000] {
+            prop_assert!(fam.aliases(a, VirtAddr::new(addr ^ pattern)));
+        }
+    }
+
+    /// After training a source, looking it up always returns the trained
+    /// kind, and for indirect branches the trained target.
+    #[test]
+    fn btb_lookup_returns_last_training(
+        src in any::<u64>(),
+        tgt in any::<u64>(),
+        kind in arb_kind(),
+    ) {
+        let mut btb = Btb::new(BtbScheme::zen34());
+        btb.train(VirtAddr::new(src), kind, VirtAddr::new(tgt), PrivilegeLevel::User, 0);
+        let hit = btb.lookup(VirtAddr::new(src)).expect("just trained");
+        prop_assert_eq!(hit.kind, kind);
+        match kind {
+            BranchKind::Ret => prop_assert_eq!(hit.target, None),
+            BranchKind::Direct | BranchKind::Call =>
+                prop_assert_eq!(hit.target, Some(VirtAddr::new(tgt))),
+            _ => prop_assert_eq!(hit.target, Some(VirtAddr::new(tgt))),
+        }
+    }
+
+    /// Direct targets are PC-relative: for any aliasing pair (a, b),
+    /// target(b) - b == target(a) - a.
+    #[test]
+    fn direct_targets_are_pc_relative(src in any::<u64>(), disp in any::<i32>()) {
+        let mut btb = Btb::new(BtbScheme::zen34());
+        let a = VirtAddr::new(src);
+        let b = VirtAddr::new(src ^ 0xffff_bff8_0000_0000); // aliases a
+        let tgt = VirtAddr::new(src.wrapping_add(disp as i64 as u64));
+        btb.train(a, BranchKind::Direct, tgt, PrivilegeLevel::User, 0);
+        let hit = btb.lookup(b).expect("aliasing entry");
+        let predicted = hit.target.unwrap();
+        prop_assert_eq!(
+            predicted.raw().wrapping_sub(b.raw()),
+            tgt.raw().wrapping_sub(a.raw())
+        );
+    }
+
+    /// The RSB is a bounded LIFO: popping returns pushes in reverse
+    /// order, truncated to the most recent `depth`.
+    #[test]
+    fn rsb_is_a_bounded_lifo(
+        depth in 1usize..32,
+        pushes in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut rsb = Rsb::new(depth);
+        for &p in &pushes {
+            rsb.push(VirtAddr::new(p));
+        }
+        let expected: Vec<u64> = pushes.iter().rev().take(depth).copied().collect();
+        let mut got = Vec::new();
+        while let Some(v) = rsb.pop() {
+            got.push(v.raw());
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// BTB lookups never fabricate entries: an untrained alias class
+    /// misses.
+    #[test]
+    fn untouched_btb_never_hits(addrs in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let btb = Btb::new(BtbScheme::zen34());
+        for a in addrs {
+            prop_assert!(btb.lookup(VirtAddr::new(a)).is_none());
+        }
+    }
+
+    /// Fold signatures are linear: sig(a ^ p) == sig(a) ^ sig_of_pattern(p)
+    /// where sig_of_pattern is the signature of the pattern alone.
+    #[test]
+    fn signatures_are_gf2_linear(a in any::<u64>(), p in any::<u64>()) {
+        let fam = FoldFamily::zen34();
+        let sig_a = fam.signature(VirtAddr::new(a));
+        let sig_p = fam.signature(VirtAddr::new(p));
+        let sig_ap = fam.signature(VirtAddr::new(a ^ p));
+        prop_assert_eq!(sig_ap, sig_a ^ sig_p);
+    }
+
+    /// A single selected-bit flip always changes the signature of a
+    /// function that selects it (sanity of FoldFn::eval).
+    #[test]
+    fn selected_bit_flip_flips_parity(addr in any::<u64>(), bit in 0u32..48) {
+        let f = FoldFn::of_bits(&[bit]);
+        let a = VirtAddr::new(addr);
+        prop_assert_ne!(f.eval(a), f.eval(a.flip_bit(bit)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the cache models.
+
+use proptest::prelude::*;
+
+use crate::geometry::CacheGeometry;
+use crate::hierarchy::{CacheHierarchy, HierarchyConfig};
+use crate::setassoc::{Replacement, SetAssocCache};
+
+fn arb_geometry() -> impl Strategy<Value = CacheGeometry> {
+    (0u32..6, 1usize..9, 5u32..8).prop_map(|(sets_log, ways, line_log)| {
+        CacheGeometry::new(1 << sets_log, ways, 1 << line_log)
+    })
+}
+
+fn arb_replacement() -> impl Strategy<Value = Replacement> {
+    prop_oneof![
+        Just(Replacement::Lru),
+        Just(Replacement::TreePlru),
+        Just(Replacement::Fifo)
+    ]
+}
+
+proptest! {
+    /// An access sequence never leaves more than `ways` valid lines in a
+    /// set, and every probe of a just-accessed address hits.
+    #[test]
+    fn occupancy_bounded_and_recent_access_present(
+        geometry in arb_geometry(),
+        replacement in arb_replacement(),
+        addrs in proptest::collection::vec(0u64..1 << 20, 1..200),
+    ) {
+        let mut c = SetAssocCache::new(geometry, replacement);
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "just-inserted line must be present");
+        }
+        for s in 0..geometry.sets {
+            prop_assert!(c.set_occupancy(s) <= geometry.ways);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    /// Eviction reports are exact: the evicted line really disappears,
+    /// and nothing else in the set does.
+    #[test]
+    fn evictions_are_reported_exactly(
+        replacement in arb_replacement(),
+        addrs in proptest::collection::vec(0u64..1 << 16, 1..200),
+    ) {
+        let geometry = CacheGeometry::new(4, 2, 64);
+        let mut c = SetAssocCache::new(geometry, replacement);
+        use std::collections::HashSet;
+        let mut model: HashSet<u64> = HashSet::new();
+        for &a in &addrs {
+            let line = geometry.line_base(a);
+            let out = c.access(a);
+            prop_assert_eq!(out.hit, model.contains(&line));
+            model.insert(line);
+            if let Some(victim) = out.evicted {
+                prop_assert!(model.remove(&victim), "evicted line {victim:#x} was not resident");
+                prop_assert!(!c.probe(victim));
+            }
+        }
+        // The model and the cache agree on final contents.
+        for &line in &model {
+            prop_assert!(c.probe(line), "line {line:#x} lost without eviction report");
+        }
+    }
+
+    /// LRU property: in an over-full set, the most recently touched
+    /// `ways` distinct lines are always resident.
+    #[test]
+    fn lru_keeps_most_recent_ways(
+        touches in proptest::collection::vec(0u64..16, 1..100),
+    ) {
+        let geometry = CacheGeometry::new(1, 4, 64);
+        let mut c = SetAssocCache::new(geometry, Replacement::Lru);
+        let mut recency: Vec<u64> = Vec::new();
+        for &t in &touches {
+            let addr = t * 64;
+            c.access(addr);
+            recency.retain(|&x| x != addr);
+            recency.push(addr);
+        }
+        for &addr in recency.iter().rev().take(4) {
+            prop_assert!(c.probe(addr), "recently used {addr:#x} evicted");
+        }
+    }
+
+    /// compose() is a right inverse of (set_index, tag).
+    #[test]
+    fn compose_inverts_indexing(geometry in arb_geometry(), addr in any::<u64>()) {
+        let set = geometry.set_index(addr);
+        let tag = geometry.tag(addr);
+        let rebuilt = geometry.compose(tag, set);
+        prop_assert_eq!(rebuilt, geometry.line_base(addr));
+        prop_assert_eq!(geometry.set_index(rebuilt), set);
+        prop_assert_eq!(geometry.tag(rebuilt), tag);
+    }
+
+    /// Flushing a line is exact: only that line disappears.
+    #[test]
+    fn flush_is_precise(addrs in proptest::collection::hash_set(0u64..1 << 14, 2..20)) {
+        let geometry = CacheGeometry::new(64, 8, 64);
+        let mut c = SetAssocCache::new(geometry, Replacement::Lru);
+        let lines: Vec<u64> = addrs.iter().map(|&a| geometry.line_base(a)).collect();
+        for &a in &addrs {
+            c.access(a);
+        }
+        let victim = *lines.first().unwrap();
+        c.flush_line(victim);
+        prop_assert!(!c.probe(victim));
+        for &l in &lines[1..] {
+            if l != victim {
+                prop_assert!(c.probe(l), "flush of {victim:#x} clobbered {l:#x}");
+            }
+        }
+    }
+
+    /// Inclusivity invariant: after any access sequence, every line
+    /// resident in L1I or L1D is also resident in L2.
+    #[test]
+    fn l2_is_inclusive_of_both_l1s(
+        accesses in proptest::collection::vec((any::<bool>(), 0u64..1 << 18), 1..300),
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        let line = |a: u64| a & !63;
+        let mut touched = std::collections::HashSet::new();
+        for &(inst, addr) in &accesses {
+            if inst {
+                h.access_inst(addr);
+            } else {
+                h.access_data(addr);
+            }
+            touched.insert(line(addr));
+        }
+        for &l in &touched {
+            if h.probe_l1i(l) || h.probe_l1d(l) {
+                prop_assert!(h.probe_l2(l), "line {l:#x} in L1 but not L2");
+            }
+        }
+    }
+
+    /// Latency ordering is stable under any interleaving: an L1-resident
+    /// line is always at least as fast as an L2-resident one, which beats
+    /// memory.
+    #[test]
+    fn latency_ordering_invariant(addr in 0u64..1 << 16) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        let (_, mem) = h.access_data(addr);
+        let (_, l1) = h.access_data(addr);
+        prop_assert!(l1 < mem);
+        // Evict from L1 only (not L2): next access is an L2 hit.
+        let g = h.config().l1d;
+        let set = g.set_index(addr);
+        for i in 1..=g.ways as u64 {
+            h.access_data(g.compose(g.tag(addr) + i * 1024, set));
+        }
+        if !h.probe_l1d(addr) && h.probe_l2(addr) {
+            let (_, l2) = h.access_data(addr);
+            prop_assert!(l1 < l2 && l2 < mem);
+        }
+    }
+}

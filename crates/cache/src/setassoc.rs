@@ -1,0 +1,333 @@
+//! A generic set-associative cache with pluggable replacement.
+
+use crate::geometry::CacheGeometry;
+
+/// Replacement policy for a [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (as real L1s approximate); deterministic.
+    TreePlru,
+    /// First-in first-out.
+    Fifo,
+}
+
+/// Result of a caching access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was already present.
+    pub hit: bool,
+    /// The line address (not the full address) evicted to make room, if
+    /// any.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU timestamp (Lru), insertion order (Fifo).
+    stamp: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Set {
+    lines: Vec<Line>,
+    /// Tree-PLRU state bits (ways-1 internal nodes).
+    plru: u64,
+}
+
+/// A set-associative cache of line addresses.
+///
+/// The cache stores *presence* only — data contents live in
+/// [`phantom_mem::PhysMemory`](https://docs.rs/phantom-mem). That is all
+/// the side channels need: hit/miss is the signal.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_cache::{CacheGeometry, Replacement, SetAssocCache};
+/// let mut c = SetAssocCache::new(CacheGeometry::new(2, 2, 64), Replacement::Lru);
+/// // Fill set 0 beyond associativity: the oldest line is evicted.
+/// c.access(0x000);
+/// c.access(0x080);
+/// let out = c.access(0x100);
+/// assert_eq!(out.evicted, Some(0x000));
+/// assert!(!c.probe(0x000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    replacement: Replacement,
+    sets: Vec<Set>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Create an empty cache.
+    pub fn new(geometry: CacheGeometry, replacement: Replacement) -> SetAssocCache {
+        let sets = (0..geometry.sets)
+            .map(|_| Set {
+                lines: (0..geometry.ways)
+                    .map(|_| Line { tag: 0, valid: false, stamp: 0 })
+                    .collect(),
+                plru: 0,
+            })
+            .collect();
+        SetAssocCache { geometry, replacement, sets, clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn plru_choose(plru: u64, ways: usize) -> usize {
+        // Walk the implicit binary tree: bit clear -> go left, set -> right;
+        // victim is where the pointers lead.
+        let mut node = 0usize;
+        let mut idx = 0usize;
+        let mut span = ways;
+        while span > 1 {
+            let right = (plru >> node) & 1 == 1;
+            span /= 2;
+            if right {
+                idx += span;
+            }
+            node = 2 * node + if right { 2 } else { 1 };
+        }
+        idx
+    }
+
+    fn plru_touch(plru: &mut u64, ways: usize, way: usize) {
+        // Point every node on the path *away* from `way`.
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut span = ways;
+        while span > 1 {
+            span /= 2;
+            let goes_right = way >= lo + span;
+            if goes_right {
+                *plru &= !(1 << node); // next victim: left
+                lo += span;
+                node = 2 * node + 2;
+            } else {
+                *plru |= 1 << node; // next victim: right
+                node = 2 * node + 1;
+            }
+        }
+    }
+
+    /// Touch `addr`: hit updates replacement state, miss inserts the line
+    /// (possibly evicting). Returns the outcome.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.clock += 1;
+        let set_idx = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let ways = self.geometry.ways;
+        let line_shift = self.geometry.line_shift();
+        let sets_shift = self.geometry.sets.trailing_zeros();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.lines.iter().position(|l| l.valid && l.tag == tag) {
+            self.hits += 1;
+            match self.replacement {
+                Replacement::Lru => set.lines[way].stamp = self.clock,
+                Replacement::TreePlru => Self::plru_touch(&mut set.plru, ways, way),
+                Replacement::Fifo => {}
+            }
+            return AccessOutcome { hit: true, evicted: None };
+        }
+
+        self.misses += 1;
+        // Pick a victim: an invalid way first, else per policy.
+        let way = set.lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            match self.replacement {
+                Replacement::Lru | Replacement::Fifo => set
+                    .lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+                Replacement::TreePlru => Self::plru_choose(set.plru, ways),
+            }
+        });
+        let evicted = if set.lines[way].valid {
+            Some((set.lines[way].tag << sets_shift | set_idx as u64) << line_shift)
+        } else {
+            None
+        };
+        set.lines[way] = Line { tag, valid: true, stamp: self.clock };
+        if self.replacement == Replacement::TreePlru {
+            Self::plru_touch(&mut set.plru, ways, way);
+        }
+        AccessOutcome { hit: false, evicted }
+    }
+
+    /// Non-destructive presence check (does not update replacement state).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = &self.sets[self.geometry.set_index(addr)];
+        let tag = self.geometry.tag(addr);
+        set.lines.iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate the line containing `addr`. Returns whether it was
+    /// present.
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        let set_idx = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.lines.iter().position(|l| l.valid && l.tag == tag) {
+            set.lines[way].valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidate every line.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            for line in &mut set.lines {
+                line.valid = false;
+            }
+        }
+    }
+
+    /// Number of valid lines in `set`.
+    pub fn set_occupancy(&self, set: usize) -> usize {
+        self.sets[set].lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Line base addresses currently valid in `set` (unordered).
+    pub fn set_contents(&self, set: usize) -> Vec<u64> {
+        let sets_shift = self.geometry.sets.trailing_zeros();
+        let line_shift = self.geometry.line_shift();
+        self.sets[set]
+            .lines
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| (l.tag << sets_shift | set as u64) << line_shift)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(replacement: Replacement) -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry::new(4, 2, 64), replacement)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(Replacement::Lru);
+        assert!(!c.access(0x40).hit);
+        assert!(c.access(0x40).hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn same_line_offsets_share_a_line() {
+        let mut c = tiny(Replacement::Lru);
+        c.access(0x40);
+        assert!(c.access(0x7f).hit, "same 64 B line");
+        assert!(!c.access(0x80).hit, "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(Replacement::Lru);
+        // Set 1 lines: 0x40, 0x140, 0x240... (stride sets*line = 256).
+        c.access(0x040);
+        c.access(0x140);
+        c.access(0x040); // refresh
+        let out = c.access(0x240);
+        assert_eq!(out.evicted, Some(0x140));
+        assert!(c.probe(0x040));
+        assert!(!c.probe(0x140));
+    }
+
+    #[test]
+    fn fifo_ignores_refresh() {
+        let mut c = tiny(Replacement::Fifo);
+        c.access(0x040);
+        c.access(0x140);
+        c.access(0x040); // refresh must not matter for FIFO
+        let out = c.access(0x240);
+        assert_eq!(out.evicted, Some(0x040));
+    }
+
+    #[test]
+    fn tree_plru_never_evicts_most_recent() {
+        let mut c = SetAssocCache::new(CacheGeometry::new(1, 8, 64), Replacement::TreePlru);
+        for i in 0..8u64 {
+            c.access(i * 64);
+        }
+        // Touch line 3, then force an eviction: victim must not be line 3.
+        c.access(3 * 64);
+        let out = c.access(8 * 64);
+        assert!(out.evicted.is_some());
+        assert_ne!(out.evicted, Some(3 * 64));
+        assert!(c.probe(3 * 64));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_ways() {
+        let mut c = tiny(Replacement::Lru);
+        for i in 0..32u64 {
+            c.access(i * 64);
+        }
+        for s in 0..4 {
+            assert!(c.set_occupancy(s) <= 2);
+        }
+    }
+
+    #[test]
+    fn flush_line_and_all() {
+        let mut c = tiny(Replacement::Lru);
+        c.access(0x40);
+        c.access(0x80);
+        assert!(c.flush_line(0x40));
+        assert!(!c.flush_line(0x40));
+        assert!(c.probe(0x80));
+        c.flush_all();
+        assert!(!c.probe(0x80));
+    }
+
+    #[test]
+    fn set_contents_round_trip() {
+        let mut c = tiny(Replacement::Lru);
+        c.access(0x1040);
+        c.access(0x2040);
+        let mut contents = c.set_contents(1);
+        contents.sort_unstable();
+        assert_eq!(contents, vec![0x1040, 0x2040]);
+    }
+
+    #[test]
+    fn evicted_address_reconstruction() {
+        let g = CacheGeometry::new(4, 1, 64);
+        let mut c = SetAssocCache::new(g, Replacement::Lru);
+        c.access(0xabc0);
+        let out = c.access(0xabc0 + 256); // same set, different tag
+        assert_eq!(out.evicted, Some(g.line_base(0xabc0)));
+    }
+}

@@ -1,0 +1,174 @@
+//! The decoded-µop cache (op cache / DSB).
+//!
+//! §5.1 of the paper reverse engineers the µop cache with performance
+//! counters and finds that on every tested part it has **64 sets, 8 ways,
+//! selected by the lower 12 bits of the instruction's virtual address**.
+//! The ID observation channel works by priming one µop-cache set with a
+//! jmp-series (7 direct branches 4096 bytes apart, which all map to the
+//! same set), triggering the suspected phantom decode, and counting how
+//! many primed ways were evicted.
+
+use crate::geometry::CacheGeometry;
+use crate::setassoc::{AccessOutcome, Replacement, SetAssocCache};
+
+/// The µop cache: presence of *decoded* instruction lines, indexed by
+/// virtual address bits \[11:6\].
+///
+/// # Examples
+///
+/// ```
+/// use phantom_cache::UopCache;
+/// let mut uc = UopCache::new();
+/// // Two addresses 4096 bytes apart land in the same set…
+/// assert_eq!(UopCache::set_of(0x10ac0), UopCache::set_of(0x11ac0));
+/// // …and filling decoded lines makes later lookups hit.
+/// uc.fill(0x10ac0);
+/// assert!(uc.lookup(0x10ac0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UopCache {
+    cache: SetAssocCache,
+    hits: u64,
+    misses: u64,
+}
+
+impl UopCache {
+    /// An empty µop cache with the paper's geometry (64 sets × 8 ways).
+    pub fn new() -> UopCache {
+        UopCache {
+            cache: SetAssocCache::new(CacheGeometry::uop_cache(), Replacement::Lru),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The µop-cache set an instruction address maps to: bits \[11:6\].
+    pub fn set_of(va: u64) -> usize {
+        CacheGeometry::uop_cache().set_index(va)
+    }
+
+    /// Look up whether the line holding `va` has decoded µops cached.
+    /// Counts a hit or miss (the dispatch-path decision the counters see).
+    pub fn dispatch_lookup(&mut self, va: u64) -> bool {
+        let hit = self.cache.probe(va);
+        if hit {
+            self.hits += 1;
+            // A hit refreshes replacement state.
+            self.cache.access(va);
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Non-counting presence check.
+    pub fn lookup(&self, va: u64) -> bool {
+        self.cache.probe(va)
+    }
+
+    /// Insert decoded µops for the line holding `va` (called by the
+    /// decode stage — including for *transiently* decoded phantom
+    /// targets, which is exactly observation O2). Returns the eviction
+    /// outcome.
+    pub fn fill(&mut self, va: u64) -> AccessOutcome {
+        self.cache.access(va)
+    }
+
+    /// Invalidate the whole structure (context switch / IBPB-like flush).
+    pub fn flush_all(&mut self) {
+        self.cache.flush_all();
+    }
+
+    /// Number of valid ways in `set`.
+    pub fn set_occupancy(&self, set: usize) -> usize {
+        self.cache.set_occupancy(set)
+    }
+
+    /// Line addresses currently cached in `set`.
+    pub fn set_contents(&self, set: usize) -> Vec<u64> {
+        self.cache.set_contents(set)
+    }
+
+    /// Lifetime dispatch hits (`op_cache_hit_miss.op_cache_hit`).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime dispatch misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The geometry (64 sets × 8 ways × 64 B).
+    pub fn geometry(&self) -> CacheGeometry {
+        self.cache.geometry()
+    }
+}
+
+impl Default for UopCache {
+    fn default() -> UopCache {
+        UopCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_selection_uses_low_12_bits() {
+        // Same low 12 bits -> same set, regardless of high bits.
+        assert_eq!(UopCache::set_of(0x0000_0ac0), UopCache::set_of(0xffff_1ac0));
+        // Bits [5:0] don't matter (within a line).
+        assert_eq!(UopCache::set_of(0xac0), UopCache::set_of(0xaff));
+        // 64 distinct sets across a page.
+        let sets: std::collections::HashSet<_> =
+            (0..4096u64).step_by(64).map(UopCache::set_of).collect();
+        assert_eq!(sets.len(), 64);
+    }
+
+    #[test]
+    fn jmp_series_addresses_alias() {
+        // The paper's priming jmp-series: 7 branches separated by 4096 B.
+        let base = 0x40_0ac0u64;
+        let sets: Vec<_> = (0..7).map(|i| UopCache::set_of(base + i * 4096)).collect();
+        assert!(sets.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn priming_then_conflicting_fill_evicts() {
+        let mut uc = UopCache::new();
+        let base = 0x10_0ac0u64;
+        // Prime all 8 ways of the set.
+        for i in 0..8 {
+            uc.fill(base + i * 4096);
+        }
+        assert_eq!(uc.set_occupancy(UopCache::set_of(base)), 8);
+        // A phantom decode at a colliding address evicts a primed way.
+        let out = uc.fill(0xdead_0ac0);
+        assert!(out.evicted.is_some());
+        // One of the primed lines is now a dispatch miss.
+        let miss_count = (0..8)
+            .filter(|i| !uc.lookup(base + i * 4096))
+            .count();
+        assert_eq!(miss_count, 1);
+    }
+
+    #[test]
+    fn dispatch_lookup_counts() {
+        let mut uc = UopCache::new();
+        uc.dispatch_lookup(0x40); // miss
+        uc.fill(0x40);
+        uc.dispatch_lookup(0x40); // hit
+        assert_eq!(uc.hits(), 1);
+        assert_eq!(uc.misses(), 1);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut uc = UopCache::new();
+        uc.fill(0x40);
+        uc.flush_all();
+        assert!(!uc.lookup(0x40));
+    }
+}

@@ -1,0 +1,45 @@
+//! §7 — the end-to-end exploits.
+//!
+//! * [`kaslr_image`] — derandomize the kernel image with P1 (**Table 3**);
+//! * [`physmap`] — derandomize physmap with P2 on Zen 1/2 (**Table 4**);
+//! * [`physaddr`] — find the physical address of an attacker page via
+//!   physmap + Flush+Reload (**Table 5**);
+//! * [`mds_leak`] — leak arbitrary kernel memory by nesting a PHANTOM
+//!   steer inside a Spectre window over a single-load MDS gadget (§7.4).
+//!
+//! Every attack consults the system's ground truth **only** to score its
+//! own guess; the guess itself is derived from side-channel measurements.
+
+pub mod kaslr_image;
+pub mod mds_leak;
+pub mod physaddr;
+pub mod physmap;
+
+pub use kaslr_image::{break_kaslr_image, KaslrImageConfig, KaslrImageResult};
+pub use mds_leak::{leak_kernel_memory, MdsLeakConfig, MdsLeakResult};
+pub use physaddr::{find_physical_address, PhysAddrConfig, PhysAddrResult};
+pub use physmap::{break_physmap, PhysmapConfig, PhysmapResult};
+
+/// Common error type for attack execution.
+#[derive(Debug)]
+pub struct AttackError(pub String);
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "attack failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<crate::primitives::PrimitiveError> for AttackError {
+    fn from(e: crate::primitives::PrimitiveError) -> Self {
+        AttackError(e.to_string())
+    }
+}
+
+impl From<phantom_kernel::SystemError> for AttackError {
+    fn from(e: phantom_kernel::SystemError) -> Self {
+        AttackError(e.to_string())
+    }
+}

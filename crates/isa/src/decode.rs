@@ -1,0 +1,262 @@
+//! Byte-level instruction decoding.
+//!
+//! Decoding is *total* over non-empty inputs with enough bytes: any byte
+//! decodes to something, falling back to [`Inst::Invalid`]. This mirrors
+//! hardware, where the decoder always produces an outcome for fetched
+//! bytes — crucial for Phantom, where the frontend fetches and decodes at
+//! addresses that may hold data, not code.
+
+use crate::inst::{AluOp, Cond, Inst};
+use crate::reg::Reg;
+
+fn reg(byte: u8) -> Option<Reg> {
+    Reg::from_index(byte)
+}
+
+fn split_modrm(byte: u8) -> Option<(Reg, Reg)> {
+    Some((Reg::from_index(byte >> 4)?, Reg::from_index(byte & 0xF)?))
+}
+
+fn i32_at(bytes: &[u8], off: usize) -> Option<i32> {
+    let b: [u8; 4] = bytes.get(off..off + 4)?.try_into().ok()?;
+    Some(i32::from_le_bytes(b))
+}
+
+fn u32_at(bytes: &[u8], off: usize) -> Option<u32> {
+    let b: [u8; 4] = bytes.get(off..off + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(b))
+}
+
+fn u64_at(bytes: &[u8], off: usize) -> Option<u64> {
+    let b: [u8; 8] = bytes.get(off..off + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(b))
+}
+
+/// Decode one instruction from the front of `bytes`.
+///
+/// Returns the instruction and its encoded length, or `None` if `bytes`
+/// is empty or holds a *truncated* multi-byte instruction (the caller —
+/// the fetch unit — must supply more bytes).
+///
+/// Malformed but complete encodings (bad register index, bad condition
+/// code, bad nop length) decode to [`Inst::Invalid`] consuming one byte,
+/// so decoding always makes progress on any sufficiently long input.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_isa::{decode::decode, Inst};
+/// assert_eq!(decode(&[0x90]), Some((Inst::Nop, 1)));
+/// assert_eq!(decode(&[0xC3, 0x90]), Some((Inst::Ret, 1)));
+/// // 0xE9 needs 4 displacement bytes: truncated input decodes to None.
+/// assert_eq!(decode(&[0xE9, 0x01]), None);
+/// // Unknown opcodes decode to Invalid.
+/// assert_eq!(decode(&[0x42]), Some((Inst::Invalid { byte: 0x42 }, 1)));
+/// ```
+pub fn decode(bytes: &[u8]) -> Option<(Inst, usize)> {
+    let op = *bytes.first()?;
+    let invalid = Some((Inst::Invalid { byte: op }, 1));
+    match op {
+        0x90 => Some((Inst::Nop, 1)),
+        0x0F => {
+            let len = *bytes.get(1)?;
+            if !(3..=15).contains(&len) {
+                return invalid;
+            }
+            if bytes.len() < usize::from(len) {
+                return None;
+            }
+            Some((Inst::NopN { len }, usize::from(len)))
+        }
+        0xE9 => Some((Inst::Jmp { disp: i32_at(bytes, 1)? }, 5)),
+        0xFF => match reg(*bytes.get(1)?) {
+            Some(src) => Some((Inst::JmpInd { src }, 2)),
+            None => invalid,
+        },
+        0x71 => {
+            let cond = match Cond::from_code(*bytes.get(1)?) {
+                Some(c) => c,
+                None => return invalid,
+            };
+            Some((Inst::Jcc { cond, disp: i32_at(bytes, 2)? }, 6))
+        }
+        0xE8 => Some((Inst::Call { disp: i32_at(bytes, 1)? }, 5)),
+        0xF1 => match reg(*bytes.get(1)?) {
+            Some(src) => Some((Inst::CallInd { src }, 2)),
+            None => invalid,
+        },
+        0xC3 => Some((Inst::Ret, 1)),
+        0x8B => {
+            let (dst, base) = match split_modrm(*bytes.get(1)?) {
+                Some(p) => p,
+                None => return invalid,
+            };
+            Some((Inst::Load { dst, base, disp: i32_at(bytes, 2)? }, 6))
+        }
+        0x89 => {
+            let (base, src) = match split_modrm(*bytes.get(1)?) {
+                Some(p) => p,
+                None => return invalid,
+            };
+            Some((Inst::Store { base, disp: i32_at(bytes, 2)?, src }, 6))
+        }
+        0xB8 => {
+            let dst = match reg(*bytes.get(1)?) {
+                Some(r) => r,
+                None => return invalid,
+            };
+            Some((Inst::MovImm { dst, imm: u64_at(bytes, 2)? }, 10))
+        }
+        0x8A => match split_modrm(*bytes.get(1)?) {
+            Some((dst, src)) => Some((Inst::MovReg { dst, src }, 2)),
+            None => invalid,
+        },
+        0x01 => {
+            let aop = match AluOp::from_code(*bytes.get(1)?) {
+                Some(o) => o,
+                None => return invalid,
+            };
+            match split_modrm(*bytes.get(2)?) {
+                Some((dst, src)) => Some((Inst::Alu { op: aop, dst, src }, 3)),
+                None => invalid,
+            }
+        }
+        0xC1 | 0xD1 => {
+            let dst = match reg(*bytes.get(1)?) {
+                Some(r) => r,
+                None => return invalid,
+            };
+            let amount = *bytes.get(2)?;
+            if amount > 63 {
+                return invalid;
+            }
+            if op == 0xC1 {
+                Some((Inst::Shr { dst, amount }, 3))
+            } else {
+                Some((Inst::Shl { dst, amount }, 3))
+            }
+        }
+        0x81 => {
+            let dst = match reg(*bytes.get(1)?) {
+                Some(r) => r,
+                None => return invalid,
+            };
+            Some((Inst::AndImm { dst, imm: u32_at(bytes, 2)? }, 6))
+        }
+        0x39 => match split_modrm(*bytes.get(1)?) {
+            Some((a, b)) => Some((Inst::Cmp { a, b }, 2)),
+            None => invalid,
+        },
+        0xFA => Some((Inst::Lfence, 1)),
+        0xFB => Some((Inst::Mfence, 1)),
+        0xAE => match reg(*bytes.get(1)?) {
+            Some(addr) => Some((Inst::Clflush { addr }, 2)),
+            None => invalid,
+        },
+        0x05 => Some((Inst::Syscall, 1)),
+        0x07 => Some((Inst::Sysret, 1)),
+        0xF4 => Some((Inst::Halt, 1)),
+        other => Some((Inst::Invalid { byte: other }, 1)),
+    }
+}
+
+/// Decode as many whole instructions as fit in `bytes`, stopping at a
+/// truncated tail.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_isa::{decode::decode_all, Inst};
+/// let insts = decode_all(&[0x90, 0xC3, 0xE9, 0x00]); // trailing truncated jmp
+/// assert_eq!(insts, vec![(0, Inst::Nop), (1, Inst::Ret)]);
+/// ```
+pub fn decode_all(bytes: &[u8]) -> Vec<(usize, Inst)> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off < bytes.len() {
+        match decode(&bytes[off..]) {
+            Some((inst, len)) => {
+                out.push((off, inst));
+                off += len;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(decode(&[]), None);
+    }
+
+    #[test]
+    fn truncated_multibyte_is_none() {
+        assert_eq!(decode(&[0xE9]), None);
+        assert_eq!(decode(&[0xE9, 1, 2, 3]), None);
+        assert_eq!(decode(&[0xB8, 0]), None);
+        assert_eq!(decode(&[0x0F, 8, 0, 0]), None); // nop8 needs 8 bytes
+    }
+
+    #[test]
+    fn bad_fields_decode_to_invalid_one_byte() {
+        // NopN with out-of-range length byte.
+        assert_eq!(decode(&[0x0F, 2, 0]), Some((Inst::Invalid { byte: 0x0F }, 1)));
+        assert_eq!(decode(&[0x0F, 16]), Some((Inst::Invalid { byte: 0x0F }, 1)));
+        // JmpInd with register index >= 16.
+        assert_eq!(decode(&[0xFF, 0x20]), Some((Inst::Invalid { byte: 0xFF }, 1)));
+        // Jcc with bad condition code.
+        assert_eq!(
+            decode(&[0x71, 9, 0, 0, 0, 0]),
+            Some((Inst::Invalid { byte: 0x71 }, 1))
+        );
+        // Shift with amount > 63.
+        assert_eq!(decode(&[0xC1, 0, 64]), Some((Inst::Invalid { byte: 0xC1 }, 1)));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_invalid() {
+        for op in [0x00u8, 0x42, 0x66, 0xCC, 0xDE] {
+            assert_eq!(decode(&[op]), Some((Inst::Invalid { byte: op }, 1)));
+        }
+    }
+
+    #[test]
+    fn decode_all_walks_a_blob() {
+        // nop; ret; jmp -5; hlt
+        let bytes = [0x90, 0xC3, 0xE9, 0xFB, 0xFF, 0xFF, 0xFF, 0xF4];
+        let insts = decode_all(&bytes);
+        assert_eq!(
+            insts,
+            vec![
+                (0, Inst::Nop),
+                (1, Inst::Ret),
+                (2, Inst::Jmp { disp: -5 }),
+                (7, Inst::Halt),
+            ]
+        );
+    }
+
+    #[test]
+    fn data_bytes_decode_to_something() {
+        // A phantom target pointing at "data" still decodes: totality.
+        let data: Vec<u8> = (0u8..=255).collect();
+        let mut off = 0;
+        let mut count = 0;
+        while off < data.len() {
+            match decode(&data[off..]) {
+                Some((_, len)) => {
+                    assert!(len >= 1);
+                    off += len;
+                    count += 1;
+                }
+                None => break, // truncated tail only
+            }
+        }
+        assert!(count > 100, "most of the byte space decodes, got {count}");
+    }
+}

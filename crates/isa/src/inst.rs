@@ -1,0 +1,418 @@
+//! The instruction enumeration.
+
+use std::fmt;
+
+use crate::kind::BranchKind;
+use crate::reg::Reg;
+
+/// Condition code for [`Inst::Jcc`].
+///
+/// Conditions are evaluated against the flags produced by [`Inst::Cmp`]
+/// (zero, sign, carry — carry models the unsigned below relation).
+///
+/// # Examples
+///
+/// ```
+/// use phantom_isa::Cond;
+/// assert!(Cond::Below.eval(false, false, true));
+/// assert!(!Cond::Below.eval(false, false, false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// ZF set (`je`).
+    Eq = 0,
+    /// ZF clear (`jne`).
+    Ne = 1,
+    /// CF set (`jb`, unsigned less-than).
+    Below = 2,
+    /// CF clear (`jae`).
+    AboveEq = 3,
+    /// SF set (`js`).
+    Sign = 4,
+    /// SF clear (`jns`).
+    NotSign = 5,
+}
+
+impl Cond {
+    /// All condition codes.
+    pub const ALL: [Cond; 6] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Below,
+        Cond::AboveEq,
+        Cond::Sign,
+        Cond::NotSign,
+    ];
+
+    /// Decode a condition from its encoding byte.
+    pub fn from_code(code: u8) -> Option<Cond> {
+        Cond::ALL.get(usize::from(code)).copied()
+    }
+
+    /// The encoding byte for this condition.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Evaluate the condition against flag values `(zf, sf, cf)`.
+    pub fn eval(self, zf: bool, sf: bool, cf: bool) -> bool {
+        match self {
+            Cond::Eq => zf,
+            Cond::Ne => !zf,
+            Cond::Below => cf,
+            Cond::AboveEq => !cf,
+            Cond::Sign => sf,
+            Cond::NotSign => !sf,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "e",
+            Cond::Ne => "ne",
+            Cond::Below => "b",
+            Cond::AboveEq => "ae",
+            Cond::Sign => "s",
+            Cond::NotSign => "ns",
+        };
+        f.write_str(s)
+    }
+}
+
+/// ALU operation for [`Inst::Alu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// `dst += src`.
+    Add = 0,
+    /// `dst -= src`.
+    Sub = 1,
+    /// `dst &= src`.
+    And = 2,
+    /// `dst |= src`.
+    Or = 3,
+    /// `dst ^= src`.
+    Xor = 4,
+}
+
+impl AluOp {
+    /// All ALU operations.
+    pub const ALL: [AluOp; 5] = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor];
+
+    /// Decode from the encoding byte.
+    pub fn from_code(code: u8) -> Option<AluOp> {
+        AluOp::ALL.get(usize::from(code)).copied()
+    }
+
+    /// The encoding byte.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Apply the operation.
+    pub fn apply(self, dst: u64, src: u64) -> u64 {
+        match self {
+            AluOp::Add => dst.wrapping_add(src),
+            AluOp::Sub => dst.wrapping_sub(src),
+            AluOp::And => dst & src,
+            AluOp::Or => dst | src,
+            AluOp::Xor => dst ^ src,
+        }
+    }
+}
+
+/// One decoded instruction.
+///
+/// The encoding is variable length (1–15 bytes, like x86). Displacements
+/// for direct control flow are relative to the **end** of the instruction,
+/// matching x86 `rel32` semantics.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_isa::{BranchKind, Inst, Reg};
+/// let i = Inst::Jmp { disp: -5 };
+/// assert_eq!(i.kind(), BranchKind::Direct);
+/// assert_eq!(i.len(), 5);
+/// // A jmp at 0x100 with disp -5 targets itself.
+/// assert_eq!(i.direct_target(0x100), Some(0x100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Single-byte no-op.
+    Nop,
+    /// Multi-byte no-op occupying `len` bytes (3–15), like
+    /// `nop DWORD PTR [rax+rax*1+0x0]` in the paper's Listing 1.
+    NopN {
+        /// Total encoded length in bytes.
+        len: u8,
+    },
+    /// Direct unconditional jump, `rel32` from instruction end.
+    Jmp {
+        /// Displacement from the end of this instruction.
+        disp: i32,
+    },
+    /// Indirect jump through a register.
+    JmpInd {
+        /// Register holding the absolute target.
+        src: Reg,
+    },
+    /// Conditional direct branch.
+    Jcc {
+        /// Branch condition.
+        cond: Cond,
+        /// Displacement from the end of this instruction.
+        disp: i32,
+    },
+    /// Direct call (pushes return address).
+    Call {
+        /// Displacement from the end of this instruction.
+        disp: i32,
+    },
+    /// Indirect call through a register.
+    CallInd {
+        /// Register holding the absolute target.
+        src: Reg,
+    },
+    /// Return (pops return address).
+    Ret,
+    /// Load `dst = [base + disp]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// Store `[base + disp] = src`.
+    Store {
+        /// Base address register.
+        base: Reg,
+        /// Byte displacement.
+        disp: i32,
+        /// Source register.
+        src: Reg,
+    },
+    /// Load a 64-bit immediate.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// Register-register move.
+    MovReg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Register-register ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand.
+        src: Reg,
+    },
+    /// `dst >>= amount` (logical).
+    Shr {
+        /// Destination register.
+        dst: Reg,
+        /// Shift amount (0–63).
+        amount: u8,
+    },
+    /// `dst <<= amount`.
+    Shl {
+        /// Destination register.
+        dst: Reg,
+        /// Shift amount (0–63).
+        amount: u8,
+    },
+    /// `dst &= imm` (32-bit immediate, zero-extended).
+    AndImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate mask.
+        imm: u32,
+    },
+    /// Compare two registers and set flags (like `cmp a, b`).
+    Cmp {
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Load fence: stalls until earlier loads retire; the recommended
+    /// Spectre speculation barrier (§2.4).
+    Lfence,
+    /// Full memory fence.
+    Mfence,
+    /// Flush the cache line containing `[addr]` from the data caches
+    /// (`clflush`).
+    Clflush {
+        /// Register holding the address to flush.
+        addr: Reg,
+    },
+    /// Enter the kernel (syscall number in `R0`, args in `R1`, `R2`, …).
+    Syscall,
+    /// Return from kernel to user mode.
+    Sysret,
+    /// Stop the machine (used to terminate simulated programs).
+    Halt,
+    /// An undecodable byte; consumes exactly one byte, like a `#UD`-ing
+    /// x86 sequence. Phantom targets pointing into data decode to these.
+    Invalid {
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl Inst {
+    /// The control-flow classification the *decoder* derives for this
+    /// instruction — what gets compared against the BTB's predicted kind.
+    pub fn kind(&self) -> BranchKind {
+        match self {
+            Inst::Jmp { .. } => BranchKind::Direct,
+            Inst::JmpInd { .. } => BranchKind::Indirect,
+            Inst::Jcc { .. } => BranchKind::Cond,
+            Inst::Call { .. } => BranchKind::Call,
+            Inst::CallInd { .. } => BranchKind::CallInd,
+            Inst::Ret => BranchKind::Ret,
+            _ => BranchKind::NotBranch,
+        }
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        crate::encode::encoded_len(self)
+    }
+
+    /// `true` if the encoding is a single byte. Provided for
+    /// `clippy::len_without_is_empty` symmetry; instructions are never
+    /// zero-length.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// For direct control flow (`jmp`, `jcc`, `call`), the absolute target
+    /// given the instruction's start address. `None` for other kinds.
+    pub fn direct_target(&self, pc: u64) -> Option<u64> {
+        let (disp, len) = match self {
+            Inst::Jmp { disp } => (*disp, self.len()),
+            Inst::Jcc { disp, .. } => (*disp, self.len()),
+            Inst::Call { disp } => (*disp, self.len()),
+            _ => return None,
+        };
+        Some(pc.wrapping_add(len as u64).wrapping_add(disp as i64 as u64))
+    }
+
+    /// Whether this instruction performs a data-memory access.
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Ret | Inst::Call { .. } | Inst::CallInd { .. }
+        )
+    }
+
+    /// Whether this is a speculation barrier.
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Inst::Lfence | Inst::Mfence)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::NopN { len } => write!(f, "nop{len}"),
+            Inst::Jmp { disp } => write!(f, "jmp {disp:+}"),
+            Inst::JmpInd { src } => write!(f, "jmp *{src}"),
+            Inst::Jcc { cond, disp } => write!(f, "j{cond} {disp:+}"),
+            Inst::Call { disp } => write!(f, "call {disp:+}"),
+            Inst::CallInd { src } => write!(f, "call *{src}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Load { dst, base, disp } => write!(f, "mov {dst}, [{base}{disp:+}]"),
+            Inst::Store { base, disp, src } => write!(f, "mov [{base}{disp:+}], {src}"),
+            Inst::MovImm { dst, imm } => write!(f, "mov {dst}, {imm:#x}"),
+            Inst::MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Alu { op, dst, src } => write!(f, "{op:?} {dst}, {src}"),
+            Inst::Shr { dst, amount } => write!(f, "shr {dst}, {amount}"),
+            Inst::Shl { dst, amount } => write!(f, "shl {dst}, {amount}"),
+            Inst::AndImm { dst, imm } => write!(f, "and {dst}, {imm:#x}"),
+            Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::Lfence => write!(f, "lfence"),
+            Inst::Mfence => write!(f, "mfence"),
+            Inst::Clflush { addr } => write!(f, "clflush [{addr}]"),
+            Inst::Syscall => write!(f, "syscall"),
+            Inst::Sysret => write!(f, "sysret"),
+            Inst::Halt => write!(f, "hlt"),
+            Inst::Invalid { byte } => write!(f, "(bad {byte:#04x})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_branch_taxonomy() {
+        assert_eq!(Inst::Nop.kind(), BranchKind::NotBranch);
+        assert_eq!(Inst::NopN { len: 4 }.kind(), BranchKind::NotBranch);
+        assert_eq!(Inst::Jmp { disp: 0 }.kind(), BranchKind::Direct);
+        assert_eq!(Inst::JmpInd { src: Reg::R1 }.kind(), BranchKind::Indirect);
+        assert_eq!(
+            Inst::Jcc { cond: Cond::Eq, disp: 8 }.kind(),
+            BranchKind::Cond
+        );
+        assert_eq!(Inst::Call { disp: 0 }.kind(), BranchKind::Call);
+        assert_eq!(Inst::Ret.kind(), BranchKind::Ret);
+        assert_eq!(Inst::Load { dst: Reg::R0, base: Reg::R1, disp: 0 }.kind(), BranchKind::NotBranch);
+    }
+
+    #[test]
+    fn direct_target_is_relative_to_instruction_end() {
+        // jmp at 0x1000, 5 bytes, disp +0x10 -> 0x1015.
+        let j = Inst::Jmp { disp: 0x10 };
+        assert_eq!(j.direct_target(0x1000), Some(0x1015));
+        // Backward displacement.
+        let b = Inst::Jmp { disp: -0x20 };
+        assert_eq!(b.direct_target(0x1000), Some(0x1000 + 5 - 0x20));
+        // Indirect has no static target.
+        assert_eq!(Inst::JmpInd { src: Reg::R0 }.direct_target(0x1000), None);
+    }
+
+    #[test]
+    fn cond_eval_truth_table() {
+        assert!(Cond::Eq.eval(true, false, false));
+        assert!(!Cond::Eq.eval(false, false, false));
+        assert!(Cond::Ne.eval(false, false, false));
+        assert!(Cond::Below.eval(false, false, true));
+        assert!(Cond::AboveEq.eval(false, false, false));
+        assert!(Cond::Sign.eval(false, true, false));
+        assert!(Cond::NotSign.eval(false, false, false));
+    }
+
+    #[test]
+    fn alu_ops_apply() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn memory_touching_classification() {
+        assert!(Inst::Load { dst: Reg::R0, base: Reg::R1, disp: 0 }.touches_memory());
+        assert!(Inst::Ret.touches_memory());
+        assert!(!Inst::Nop.touches_memory());
+        assert!(!Inst::MovImm { dst: Reg::R0, imm: 1 }.touches_memory());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the encoder/decoder pair.
+
+use proptest::prelude::*;
+
+use crate::decode::{decode, decode_all};
+use crate::encode::{encode_all, encode_into};
+use crate::inst::{AluOp, Cond, Inst};
+use crate::reg::Reg;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..6).prop_map(|c| Cond::from_code(c).unwrap())
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    (0u8..5).prop_map(|c| AluOp::from_code(c).unwrap())
+}
+
+/// Any encodable (non-`Invalid`) instruction.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        (3u8..=15).prop_map(|len| Inst::NopN { len }),
+        any::<i32>().prop_map(|disp| Inst::Jmp { disp }),
+        arb_reg().prop_map(|src| Inst::JmpInd { src }),
+        (arb_cond(), any::<i32>()).prop_map(|(cond, disp)| Inst::Jcc { cond, disp }),
+        any::<i32>().prop_map(|disp| Inst::Call { disp }),
+        arb_reg().prop_map(|src| Inst::CallInd { src }),
+        Just(Inst::Ret),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(dst, base, disp)| Inst::Load { dst, base, disp }),
+        (arb_reg(), any::<i32>(), arb_reg())
+            .prop_map(|(base, disp, src)| Inst::Store { base, disp, src }),
+        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
+        (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
+        (arb_reg(), 0u8..64).prop_map(|(dst, amount)| Inst::Shr { dst, amount }),
+        (arb_reg(), 0u8..64).prop_map(|(dst, amount)| Inst::Shl { dst, amount }),
+        (arb_reg(), any::<u32>()).prop_map(|(dst, imm)| Inst::AndImm { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::Cmp { a, b }),
+        Just(Inst::Lfence),
+        Just(Inst::Mfence),
+        arb_reg().prop_map(|addr| Inst::Clflush { addr }),
+        Just(Inst::Syscall),
+        Just(Inst::Sysret),
+        Just(Inst::Halt),
+    ]
+}
+
+proptest! {
+    /// encode → decode round-trips any instruction with its exact length.
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        let mut buf = Vec::new();
+        encode_into(&inst, &mut buf).unwrap();
+        prop_assert_eq!(buf.len(), inst.len());
+        let (decoded, len) = decode(&buf).expect("decodes");
+        prop_assert_eq!(decoded, inst);
+        prop_assert_eq!(len, buf.len());
+    }
+
+    /// A whole instruction sequence decodes back instruction by
+    /// instruction at the right offsets.
+    #[test]
+    fn sequence_round_trip(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        let bytes = encode_all(&insts).unwrap();
+        let decoded = decode_all(&bytes);
+        prop_assert_eq!(decoded.len(), insts.len());
+        let mut off = 0;
+        for ((doff, dinst), inst) in decoded.iter().zip(&insts) {
+            prop_assert_eq!(*doff, off);
+            prop_assert_eq!(dinst, inst);
+            off += inst.len();
+        }
+        prop_assert_eq!(off, bytes.len());
+    }
+
+    /// Decoding arbitrary bytes never panics and always makes progress
+    /// (totality over complete inputs).
+    #[test]
+    fn decode_is_total_and_progresses(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut off = 0;
+        while off < bytes.len() {
+            match decode(&bytes[off..]) {
+                Some((_, len)) => {
+                    prop_assert!(len >= 1, "zero-length decode");
+                    off += len;
+                }
+                None => break, // truncated tail — allowed
+            }
+        }
+        // When decode returns None the remaining input must be a strict
+        // prefix of some multi-byte instruction, i.e. shorter than 15.
+        prop_assert!(bytes.len() - off < 15);
+    }
+
+    /// `direct_target` is consistent with reassembling at a new address:
+    /// displacement semantics are position-relative only.
+    #[test]
+    fn direct_target_translation_invariance(disp in any::<i32>(), pc in 0u64..u64::MAX / 2) {
+        let j = Inst::Jmp { disp };
+        let t0 = j.direct_target(pc).unwrap();
+        let t1 = j.direct_target(pc + 0x1000).unwrap();
+        prop_assert_eq!(t1.wrapping_sub(t0), 0x1000);
+    }
+
+    /// Assembler label programs round-trip: every emitted direct branch
+    /// reaches exactly the address of its label.
+    #[test]
+    fn assembler_fixups_hit_their_labels(
+        base in 0u64..1 << 30,
+        pads in proptest::collection::vec(0u64..64, 1..12),
+    ) {
+        use crate::asm::Assembler;
+        let mut a = Assembler::new(base & !0xfff);
+        // A chain: jmp l0; pad; l0: jmp l1; pad; ... ln: hlt
+        for (i, &pad) in pads.iter().enumerate() {
+            a.jmp(format!("l{i}"));
+            for _ in 0..pad {
+                a.push(Inst::Nop);
+            }
+            a.label(format!("l{i}"));
+        }
+        a.push(Inst::Halt);
+        let blob = a.finish().unwrap();
+        let insts = decode_all(&blob.bytes);
+        let mut jumps = 0;
+        for (off, inst) in &insts {
+            if let Inst::Jmp { .. } = inst {
+                let target = inst.direct_target(blob.base + *off as u64).unwrap();
+                prop_assert_eq!(target, blob.addr(&format!("l{jumps}")));
+                jumps += 1;
+            }
+        }
+        prop_assert_eq!(jumps, pads.len());
+    }
+}

@@ -1,0 +1,108 @@
+//! General-purpose register file identifiers.
+
+use std::fmt;
+
+/// One of the sixteen general-purpose registers.
+///
+/// [`Reg::R15`] doubles as the stack pointer: `call` pushes the return
+/// address through it and `ret` pops from it, mirroring `rsp` on x86-64.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_isa::Reg;
+/// assert_eq!(Reg::from_index(3), Some(Reg::R3));
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(Reg::SP, Reg::R15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// The register that `call`/`ret` use as the stack pointer.
+    pub const SP: Reg = Reg::R15;
+
+    /// All sixteen registers, in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Returns the register with the given index, or `None` if `idx >= 16`.
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        Reg::ALL.get(usize::from(idx)).copied()
+    }
+
+    /// The numeric index of this register (0–15).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_indices() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index()), Some(r));
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn stack_pointer_is_r15() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::SP.index(), 15);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R12.to_string(), "r12");
+    }
+}

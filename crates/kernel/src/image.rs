@@ -1,0 +1,221 @@
+//! The kernel image: syscall dispatcher plus the paper's gadgets at
+//! their published image offsets.
+//!
+//! Listing 1 (`__task_pid_nr_ns`, offset `0xf6520`): a multi-byte nop
+//! followed by frame setup — the `getpid()` injection point. Listing 2
+//! (`__fdget_pos`, offset `0x41db60`): frame setup ending in a direct
+//! `call` — the `readv()` injection point, reached with the attacker
+//! controlling `R12` from the second syscall argument. Listing 3
+//! (offset `0x41da52`): the one-load disclosure gadget
+//! `mov r12, [r12+0xbe0]`.
+
+use phantom_isa::asm::{AsmError, Assembler, Blob};
+use phantom_isa::{Inst, Reg};
+use phantom_mem::VirtAddr;
+
+use crate::sysno;
+
+/// Image offset of the Listing 1 nop (`__task_pid_nr_ns`).
+pub const LISTING1_OFFSET: u64 = 0xf6520;
+/// Image offset of `__fdget_pos` (Listing 2).
+pub const LISTING2_OFFSET: u64 = 0x41db60;
+/// Image offset of the direct `call` inside Listing 2 that the physmap
+/// attack confuses with an injected `jmp*` prediction.
+pub const LISTING2_CALL_OFFSET: u64 = LISTING2_OFFSET + 18;
+/// Image offset of the Listing 3 disclosure gadget
+/// (`mov r12, [r12+0xbe0]`).
+pub const LISTING3_OFFSET: u64 = 0x41da52;
+/// Displacement used by the Listing 3 load.
+pub const LISTING3_DISP: i32 = 0xbe0;
+/// Total image size in bytes (text, rounded to a page).
+pub const IMAGE_SIZE: u64 = 0x42_0000;
+
+/// The PID `getpid()` returns (in `R1`).
+pub const FAKE_PID: u64 = 4242;
+
+/// Virtual addresses of interesting points in a loaded kernel image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelImage {
+    /// Image base (KASLR-randomized).
+    pub base: VirtAddr,
+    /// The syscall entry point (dispatcher).
+    pub entry: VirtAddr,
+    /// The Listing 1 nop inside the `getpid()` path.
+    pub listing1_nop: VirtAddr,
+    /// The Listing 2 `call` inside the `readv()` path.
+    pub listing2_call: VirtAddr,
+    /// The Listing 3 disclosure gadget.
+    pub listing3_gadget: VirtAddr,
+    /// Kernel module dispatch target (patched in by the system when a
+    /// module is loaded; the dispatcher jumps here for module syscalls).
+    pub module_trampoline: VirtAddr,
+}
+
+impl KernelImage {
+    /// Assemble the image for a given base. Returns the blob and the
+    /// address map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if the fixed offsets collide (a bug, not a
+    /// runtime condition).
+    pub fn build(base: VirtAddr, module_entry: VirtAddr) -> Result<(Blob, KernelImage), AsmError> {
+        let mut a = Assembler::new(base.raw());
+
+        // --- Syscall dispatcher at the image base. -------------------
+        a.label("entry");
+        // getpid?
+        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::GETPID });
+        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.jcc_cond(phantom_isa::Cond::Eq, "sys_getpid");
+        // readv?
+        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::READV });
+        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.jcc_cond(phantom_isa::Cond::Eq, "sys_readv");
+        // module read_data?
+        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::MODULE_READ_DATA });
+        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.jcc_cond(phantom_isa::Cond::Eq, "module_trampoline");
+        // module probe?
+        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::MODULE_PROBE });
+        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.jcc_cond(phantom_isa::Cond::Eq, "module_trampoline");
+        a.push(Inst::Sysret); // -ENOSYS
+
+        // Module trampoline: an indirect jump to the loaded module (the
+        // module base is not part of the image, so it is register-fed).
+        a.label("module_trampoline");
+        a.push(Inst::MovImm { dst: Reg::R7, imm: module_entry.raw() });
+        a.push(Inst::JmpInd { src: Reg::R7 });
+
+        // --- Listing 1: __task_pid_nr_ns at 0xf6520. ------------------
+        // 1: nop DWORD PTR [rax+rax*1+0x0]   <- injection point
+        // 2: push rbp
+        // 3: mov rbp, rsp
+        a.org(base.raw() + LISTING1_OFFSET);
+        a.label("sys_getpid");
+        a.push(Inst::NopN { len: 5 }); // the 5-byte nop of Listing 1
+        a.push(Inst::NopN { len: 3 }); // frame setup stand-ins
+        a.push(Inst::NopN { len: 3 });
+        a.push(Inst::MovImm { dst: Reg::R1, imm: FAKE_PID });
+        a.push(Inst::Sysret);
+
+        // --- Listing 3: disclosure gadget at 0x41da52. ----------------
+        // mov r12, QWORD PTR [r12+0xbe0]
+        a.org(base.raw() + LISTING3_OFFSET);
+        a.label("listing3_gadget");
+        a.push(Inst::Load { dst: Reg::R12, base: Reg::R12, disp: LISTING3_DISP });
+        a.push(Inst::Ret);
+
+        // --- readv() path: R12 <- second argument, then __fdget_pos. --
+        a.org(base.raw() + LISTING2_OFFSET - 0x20);
+        a.label("sys_readv");
+        a.push(Inst::MovReg { dst: Reg::R12, src: Reg::R2 }); // RSI -> R12
+
+        // --- Listing 2: __fdget_pos at 0x41db60. ----------------------
+        // 1: nop DWORD PTR [rax+rax*1+0x0]
+        // 2: push rbp
+        // 3: mov esi, 0x4000
+        // 4: mov rbp, rsp
+        // 5: sub rsp, 0x8
+        // 6: call …                           <- injection point (+18)
+        a.org(base.raw() + LISTING2_OFFSET);
+        a.push(Inst::NopN { len: 5 });
+        a.push(Inst::MovImm { dst: Reg::R6, imm: 0x4000 });
+        a.push(Inst::NopN { len: 3 });
+        debug_assert_eq!(5 + 10 + 3, LISTING2_CALL_OFFSET - LISTING2_OFFSET);
+        a.call("fdget_inner");
+        a.push(Inst::Sysret);
+        a.label("fdget_inner");
+        a.push(Inst::NopN { len: 3 });
+        a.push(Inst::Ret);
+
+        // Spare executable kernel text beyond the gadgets: fetch-probe
+        // targets for the covert channel pick addresses in here.
+        a.org(base.raw() + IMAGE_SIZE - 0x40);
+        a.label("image_end");
+        a.push(Inst::Alu { op: phantom_isa::inst::AluOp::Xor, dst: Reg::R7, src: Reg::R7 });
+        a.push(Inst::Sysret);
+
+        let blob = a.finish()?;
+        let image = KernelImage {
+            base,
+            entry: VirtAddr::new(blob.addr("entry")),
+            listing1_nop: VirtAddr::new(base.raw() + LISTING1_OFFSET),
+            listing2_call: VirtAddr::new(base.raw() + LISTING2_CALL_OFFSET),
+            listing3_gadget: VirtAddr::new(blob.addr("listing3_gadget")),
+            module_trampoline: VirtAddr::new(blob.addr("module_trampoline")),
+        };
+        Ok((blob, image))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_isa::decode::decode;
+
+    fn build() -> (Blob, KernelImage) {
+        KernelImage::build(
+            VirtAddr::new(0xffff_ffff_8000_0000),
+            VirtAddr::new(0xffff_ffff_c000_0000),
+        )
+        .expect("image assembles")
+    }
+
+    #[test]
+    fn gadgets_sit_at_paper_offsets() {
+        let (blob, img) = build();
+        assert_eq!(img.listing1_nop - img.base, LISTING1_OFFSET);
+        assert_eq!(img.listing2_call - img.base, LISTING2_CALL_OFFSET);
+        assert_eq!(img.listing3_gadget - img.base, LISTING3_OFFSET);
+        assert_eq!(blob.base, img.base.raw());
+    }
+
+    #[test]
+    fn listing1_bytes_decode_to_a_multibyte_nop() {
+        let (blob, img) = build();
+        let off = (img.listing1_nop - img.base) as usize;
+        let (inst, len) = decode(&blob.bytes[off..]).unwrap();
+        assert_eq!(inst, Inst::NopN { len: 5 });
+        assert_eq!(len, 5);
+    }
+
+    #[test]
+    fn listing2_call_is_a_direct_call() {
+        let (blob, img) = build();
+        let off = (img.listing2_call - img.base) as usize;
+        let (inst, _) = decode(&blob.bytes[off..]).unwrap();
+        assert!(matches!(inst, Inst::Call { .. }), "got {inst}");
+        // It targets fdget_inner.
+        let target = inst.direct_target(img.listing2_call.raw()).unwrap();
+        assert_eq!(target, blob.addr("fdget_inner"));
+    }
+
+    #[test]
+    fn listing3_is_the_one_load_gadget() {
+        let (blob, img) = build();
+        let off = (img.listing3_gadget - img.base) as usize;
+        let (inst, _) = decode(&blob.bytes[off..]).unwrap();
+        assert_eq!(
+            inst,
+            Inst::Load { dst: Reg::R12, base: Reg::R12, disp: LISTING3_DISP }
+        );
+    }
+
+    #[test]
+    fn image_fits_its_declared_size() {
+        let (blob, _) = build();
+        assert!(blob.bytes.len() as u64 <= IMAGE_SIZE);
+        assert!(blob.bytes.len() as u64 > LISTING2_OFFSET, "gadgets included");
+    }
+
+    #[test]
+    fn rebased_images_keep_relative_offsets() {
+        let base2 = VirtAddr::new(0xffff_ffff_8000_0000 + 37 * 0x20_0000);
+        let (_, img2) =
+            KernelImage::build(base2, VirtAddr::new(0xffff_ffff_c000_0000)).unwrap();
+        assert_eq!(img2.listing1_nop - img2.base, LISTING1_OFFSET);
+        assert_eq!(img2.base, base2);
+    }
+}

@@ -1,0 +1,120 @@
+//! KASLR layout: randomized kernel image and physmap placement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use phantom_mem::VirtAddr;
+
+/// Number of possible kernel image locations (§7.1, citing TagBleed).
+pub const KERNEL_IMAGE_SLOTS: u64 = 488;
+/// Lowest kernel image base.
+pub const KERNEL_IMAGE_MIN: u64 = 0xffff_ffff_8000_0000;
+/// Kernel image slot alignment (2 MiB).
+pub const KERNEL_IMAGE_ALIGN: u64 = 0x20_0000;
+
+/// Number of possible physmap locations (§7.2).
+pub const PHYSMAP_SLOTS: u64 = 25_600;
+/// Lowest physmap base.
+pub const PHYSMAP_MIN: u64 = 0xffff_8880_0000_0000;
+/// Physmap slot alignment (1 GiB).
+pub const PHYSMAP_ALIGN: u64 = 0x4000_0000;
+
+/// A randomized address-space layout — what KASLR chose at "boot".
+///
+/// # Examples
+///
+/// ```
+/// use phantom_kernel::KaslrLayout;
+/// let l = KaslrLayout::randomize(7);
+/// assert!(l.image_slot < 488);
+/// assert!(l.physmap_slot < 25_600);
+/// assert_eq!(l, KaslrLayout::randomize(7), "seeded: reproducible boots");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KaslrLayout {
+    /// Which of the 488 image slots was chosen.
+    pub image_slot: u64,
+    /// Which of the 25 600 physmap slots was chosen.
+    pub physmap_slot: u64,
+}
+
+impl KaslrLayout {
+    /// Randomize a layout from a boot seed.
+    pub fn randomize(seed: u64) -> KaslrLayout {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KaslrLayout {
+            image_slot: rng.gen_range(0..KERNEL_IMAGE_SLOTS),
+            physmap_slot: rng.gen_range(0..PHYSMAP_SLOTS),
+        }
+    }
+
+    /// A fixed layout (tests that need known addresses).
+    pub fn fixed(image_slot: u64, physmap_slot: u64) -> KaslrLayout {
+        assert!(image_slot < KERNEL_IMAGE_SLOTS);
+        assert!(physmap_slot < PHYSMAP_SLOTS);
+        KaslrLayout { image_slot, physmap_slot }
+    }
+
+    /// The kernel image base address.
+    pub fn image_base(&self) -> VirtAddr {
+        VirtAddr::new(KERNEL_IMAGE_MIN + self.image_slot * KERNEL_IMAGE_ALIGN)
+    }
+
+    /// The physmap base address: `physmap_base + PA` maps physical
+    /// address `PA`.
+    pub fn physmap_base(&self) -> VirtAddr {
+        VirtAddr::new(PHYSMAP_MIN + self.physmap_slot * PHYSMAP_ALIGN)
+    }
+
+    /// The image base for an arbitrary candidate slot (attack search
+    /// space enumeration).
+    pub fn candidate_image_base(slot: u64) -> VirtAddr {
+        VirtAddr::new(KERNEL_IMAGE_MIN + slot * KERNEL_IMAGE_ALIGN)
+    }
+
+    /// The physmap base for an arbitrary candidate slot.
+    pub fn candidate_physmap_base(slot: u64) -> VirtAddr {
+        VirtAddr::new(PHYSMAP_MIN + slot * PHYSMAP_ALIGN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_stay_in_range_and_vary() {
+        let mut image_seen = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let l = KaslrLayout::randomize(seed);
+            assert!(l.image_slot < KERNEL_IMAGE_SLOTS);
+            assert!(l.physmap_slot < PHYSMAP_SLOTS);
+            image_seen.insert(l.image_slot);
+        }
+        assert!(image_seen.len() > 100, "entropy actually used");
+    }
+
+    #[test]
+    fn bases_are_aligned_kernel_half_addresses() {
+        let l = KaslrLayout::randomize(3);
+        assert!(l.image_base().is_kernel_half());
+        assert!(l.image_base().is_aligned(KERNEL_IMAGE_ALIGN));
+        assert!(l.physmap_base().is_kernel_half());
+        assert!(l.physmap_base().is_aligned(PHYSMAP_ALIGN));
+    }
+
+    #[test]
+    fn candidate_enumeration_covers_the_real_base() {
+        let l = KaslrLayout::randomize(99);
+        let found = (0..KERNEL_IMAGE_SLOTS)
+            .map(KaslrLayout::candidate_image_base)
+            .any(|c| c == l.image_base());
+        assert!(found);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_rejects_out_of_range() {
+        KaslrLayout::fixed(KERNEL_IMAGE_SLOTS, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the simulated kernel.
+
+use proptest::prelude::*;
+
+use phantom_isa::decode::decode;
+use phantom_isa::Inst;
+use phantom_mem::VirtAddr;
+
+use crate::image::{KernelImage, LISTING1_OFFSET, LISTING2_CALL_OFFSET, LISTING3_OFFSET};
+use crate::layout::{KaslrLayout, KERNEL_IMAGE_SLOTS, PHYSMAP_SLOTS};
+use crate::module::{KernelModule, MODULE_BASE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every KASLR slot yields a well-formed image: the paper's gadgets
+    /// decode at their published offsets regardless of the base.
+    #[test]
+    fn gadget_offsets_survive_any_rebase(slot in 0u64..KERNEL_IMAGE_SLOTS) {
+        let base = KaslrLayout::candidate_image_base(slot);
+        let (blob, img) = KernelImage::build(base, VirtAddr::new(MODULE_BASE)).unwrap();
+        prop_assert_eq!(img.base, base);
+        // Listing 1: a 5-byte nop.
+        let (i1, _) = decode(&blob.bytes[LISTING1_OFFSET as usize..]).unwrap();
+        prop_assert_eq!(i1, Inst::NopN { len: 5 });
+        // Listing 2 call site: a direct call.
+        let (i2, _) = decode(&blob.bytes[LISTING2_CALL_OFFSET as usize..]).unwrap();
+        let is_call = matches!(i2, Inst::Call { .. });
+        prop_assert!(is_call);
+        // Listing 3: the one-load gadget.
+        let (i3, _) = decode(&blob.bytes[LISTING3_OFFSET as usize..]).unwrap();
+        let is_load = matches!(i3, Inst::Load { .. });
+        prop_assert!(is_load);
+    }
+
+    /// Layout randomization stays in range and bases never collide
+    /// across the two randomized regions.
+    #[test]
+    fn layouts_are_in_range_and_disjoint(seed in any::<u64>()) {
+        let l = KaslrLayout::randomize(seed);
+        prop_assert!(l.image_slot < KERNEL_IMAGE_SLOTS);
+        prop_assert!(l.physmap_slot < PHYSMAP_SLOTS);
+        let image = l.image_base().raw();
+        let physmap = l.physmap_base().raw();
+        // Physmap lives far below the image range in the kernel half.
+        prop_assert!(physmap < image);
+        prop_assert!(physmap + (1 << 30) < image, "regions disjoint");
+    }
+
+    /// The module blob is position-consistent: labels land inside the
+    /// blob and the patched immediates point at the data cells.
+    #[test]
+    fn module_immediates_point_at_data(_x in 0u8..1) {
+        let (blob, m) = KernelModule::build(VirtAddr::new(MODULE_BASE)).unwrap();
+        prop_assert!(m.array_length.raw() >= blob.base);
+        prop_assert!((m.secret.raw() - blob.base) < blob.bytes.len() as u64);
+        // The length cell holds ARRAY_LEN.
+        let off = (m.array_length.raw() - blob.base) as usize;
+        let len = u64::from_le_bytes(blob.bytes[off..off + 8].try_into().unwrap());
+        prop_assert_eq!(len, crate::module::ARRAY_LEN);
+    }
+}

@@ -1,0 +1,417 @@
+//! Page tables: mapping, permission checks, translation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use crate::addr::{PhysAddr, VirtAddr, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE, PAGE_SHIFT};
+use crate::fault::{AccessKind, FaultReason, PageFault};
+
+/// Page permission / attribute flags.
+///
+/// Modeled on the x86-64 PTE bits that matter to Phantom: present,
+/// writable, user-accessible, executable (inverted NX) and huge.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_mem::PageFlags;
+/// let f = PageFlags::PRESENT | PageFlags::EXEC;
+/// assert!(f.contains(PageFlags::EXEC));
+/// assert!(!f.contains(PageFlags::WRITE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PageFlags(u8);
+
+impl PageFlags {
+    /// No flags: a non-present mapping.
+    pub const NONE: PageFlags = PageFlags(0);
+    /// Present bit.
+    pub const PRESENT: PageFlags = PageFlags(1);
+    /// Writable.
+    pub const WRITE: PageFlags = PageFlags(2);
+    /// Executable (the inverse of NX).
+    pub const EXEC: PageFlags = PageFlags(4);
+    /// User-mode accessible.
+    pub const USER: PageFlags = PageFlags(8);
+    /// 2 MiB huge page.
+    pub const HUGE: PageFlags = PageFlags(16);
+
+    /// Kernel text: present + executable, supervisor only.
+    pub const KERNEL_TEXT: PageFlags = PageFlags(1 | 4);
+    /// Kernel data: present + writable, supervisor only (NX — like
+    /// physmap, which P2 exists to detect).
+    pub const KERNEL_DATA: PageFlags = PageFlags(1 | 2);
+    /// User text: present + executable + user.
+    pub const USER_TEXT: PageFlags = PageFlags(1 | 4 | 8);
+    /// User data: present + writable + user.
+    pub const USER_DATA: PageFlags = PageFlags(1 | 2 | 8);
+
+    /// Whether all bits of `other` are set in `self`.
+    pub const fn contains(self, other: PageFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The raw bit pattern.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for PageFlags {
+    type Output = PageFlags;
+    fn bitor(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PageFlags {
+    fn bitor_assign(&mut self, rhs: PageFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for PageFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}{}",
+            if self.contains(PageFlags::PRESENT) { 'p' } else { '-' },
+            if self.contains(PageFlags::WRITE) { 'w' } else { '-' },
+            if self.contains(PageFlags::EXEC) { 'x' } else { '-' },
+            if self.contains(PageFlags::USER) { 'u' } else { '-' },
+            if self.contains(PageFlags::HUGE) { 'H' } else { '-' },
+        )
+    }
+}
+
+/// CPU privilege mode for permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrivilegeLevel {
+    /// Ring 3.
+    User,
+    /// Ring 0.
+    Supervisor,
+}
+
+impl fmt::Display for PrivilegeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivilegeLevel::User => f.write_str("user"),
+            PrivilegeLevel::Supervisor => f.write_str("supervisor"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Mapping {
+    frame: PhysAddr,
+    flags: PageFlags,
+}
+
+/// A flat page table: virtual page → (physical frame, flags).
+///
+/// Supports 4 KiB pages and 2 MiB huge pages. Translation checks the
+/// present, write, exec and user bits against the access kind and
+/// privilege level, mirroring the x86-64 rules Phantom's primitives rely
+/// on.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_mem::{AccessKind, FaultReason, PageFlags, PageTable, PhysAddr, PrivilegeLevel, VirtAddr};
+/// let mut pt = PageTable::new();
+/// pt.map_4k(VirtAddr::new(0x1000), PhysAddr::new(0x8000), PageFlags::KERNEL_TEXT);
+/// // User execute of supervisor page faults with a privilege violation.
+/// let err = pt
+///     .translate(VirtAddr::new(0x1000), AccessKind::Execute, PrivilegeLevel::User)
+///     .unwrap_err();
+/// assert_eq!(err.reason, FaultReason::Privilege);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    small: BTreeMap<u64, Mapping>,
+    huge: BTreeMap<u64, Mapping>,
+}
+
+impl PageTable {
+    /// An empty page table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Map one 4 KiB page. Replaces any existing 4 KiB mapping and
+    /// returns it.
+    pub fn map_4k(
+        &mut self,
+        va: VirtAddr,
+        frame: PhysAddr,
+        flags: PageFlags,
+    ) -> Option<(PhysAddr, PageFlags)> {
+        debug_assert!(va.is_aligned(1 << PAGE_SHIFT), "unaligned 4k mapping {va}");
+        self.small
+            .insert(va.page_number(), Mapping { frame: frame.page_base(), flags })
+            .map(|m| (m.frame, m.flags))
+    }
+
+    /// Map one 2 MiB huge page. Replaces any existing huge mapping and
+    /// returns it.
+    pub fn map_2m(
+        &mut self,
+        va: VirtAddr,
+        frame: PhysAddr,
+        flags: PageFlags,
+    ) -> Option<(PhysAddr, PageFlags)> {
+        debug_assert!(va.is_aligned(HUGE_PAGE_SIZE), "unaligned 2M mapping {va}");
+        self.huge
+            .insert(
+                va.raw() >> HUGE_PAGE_SHIFT,
+                Mapping { frame: frame.huge_page_base(), flags: flags | PageFlags::HUGE },
+            )
+            .map(|m| (m.frame, m.flags))
+    }
+
+    /// Remove the 4 KiB mapping covering `va`, if any.
+    pub fn unmap_4k(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageFlags)> {
+        self.small.remove(&va.page_number()).map(|m| (m.frame, m.flags))
+    }
+
+    /// Change the flags of the mapping covering `va` (4 KiB first, then
+    /// huge), returning the old flags. The paper's reverse-engineering
+    /// setup does exactly this: "changing the PTE attributes of address K,
+    /// we make it accessible to user space".
+    pub fn set_flags(&mut self, va: VirtAddr, flags: PageFlags) -> Option<PageFlags> {
+        if let Some(m) = self.small.get_mut(&va.page_number()) {
+            let old = m.flags;
+            m.flags = flags;
+            return Some(old);
+        }
+        if let Some(m) = self.huge.get_mut(&(va.raw() >> HUGE_PAGE_SHIFT)) {
+            let old = m.flags;
+            m.flags = flags | PageFlags::HUGE;
+            return Some(old);
+        }
+        None
+    }
+
+    /// The flags of the mapping covering `va`, if present in the table.
+    pub fn flags_of(&self, va: VirtAddr) -> Option<PageFlags> {
+        self.lookup(va).map(|m| m.flags)
+    }
+
+    fn lookup(&self, va: VirtAddr) -> Option<Mapping> {
+        if let Some(m) = self.small.get(&va.page_number()) {
+            return Some(*m);
+        }
+        self.huge.get(&(va.raw() >> HUGE_PAGE_SHIFT)).copied()
+    }
+
+    /// Translate `va` for `access` at privilege `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PageFault`] when the page is absent, the permission
+    /// bits deny the access, or a user access touches a supervisor page.
+    pub fn translate(
+        &self,
+        va: VirtAddr,
+        access: AccessKind,
+        level: PrivilegeLevel,
+    ) -> Result<PhysAddr, PageFault> {
+        let fault = |reason| PageFault { addr: va, access, reason };
+        let m = self.lookup(va).ok_or_else(|| fault(FaultReason::NotPresent))?;
+        if !m.flags.contains(PageFlags::PRESENT) {
+            return Err(fault(FaultReason::NotPresent));
+        }
+        if level == PrivilegeLevel::User && !m.flags.contains(PageFlags::USER) {
+            return Err(fault(FaultReason::Privilege));
+        }
+        match access {
+            AccessKind::Read => {}
+            AccessKind::Write => {
+                if !m.flags.contains(PageFlags::WRITE) {
+                    return Err(fault(FaultReason::NotWritable));
+                }
+            }
+            AccessKind::Execute => {
+                if !m.flags.contains(PageFlags::EXEC) {
+                    return Err(fault(FaultReason::NotExecutable));
+                }
+            }
+        }
+        let offset = if m.flags.contains(PageFlags::HUGE) {
+            va.raw() & (HUGE_PAGE_SIZE - 1)
+        } else {
+            va.page_offset()
+        };
+        Ok(m.frame + offset)
+    }
+
+    /// Number of mappings (4 KiB + huge).
+    pub fn len(&self) -> usize {
+        self.small.len() + self.huge.len()
+    }
+
+    /// Whether the table has no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.small.is_empty() && self.huge.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageTable {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr::new(0x1000), PhysAddr::new(0x10_000), PageFlags::USER_DATA);
+        pt.map_4k(VirtAddr::new(0x2000), PhysAddr::new(0x20_000), PageFlags::USER_TEXT);
+        pt.map_4k(VirtAddr::new(0x3000), PhysAddr::new(0x30_000), PageFlags::KERNEL_TEXT);
+        pt.map_4k(VirtAddr::new(0x4000), PhysAddr::new(0x40_000), PageFlags::KERNEL_DATA);
+        pt
+    }
+
+    #[test]
+    fn translation_applies_page_offset() {
+        let pt = table();
+        let pa = pt
+            .translate(VirtAddr::new(0x1abc), AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        assert_eq!(pa, PhysAddr::new(0x10_abc));
+    }
+
+    #[test]
+    fn nx_blocks_execute_but_not_read() {
+        let pt = table();
+        // User data page: readable, not executable.
+        assert!(pt
+            .translate(VirtAddr::new(0x1000), AccessKind::Read, PrivilegeLevel::User)
+            .is_ok());
+        let err = pt
+            .translate(VirtAddr::new(0x1000), AccessKind::Execute, PrivilegeLevel::User)
+            .unwrap_err();
+        assert_eq!(err.reason, FaultReason::NotExecutable);
+    }
+
+    #[test]
+    fn user_cannot_touch_supervisor_pages() {
+        let pt = table();
+        for access in [AccessKind::Read, AccessKind::Write, AccessKind::Execute] {
+            let err = pt
+                .translate(VirtAddr::new(0x3000), access, PrivilegeLevel::User)
+                .unwrap_err();
+            assert_eq!(err.reason, FaultReason::Privilege, "{access}");
+        }
+        // Supervisor can execute kernel text but not write it.
+        assert!(pt
+            .translate(VirtAddr::new(0x3000), AccessKind::Execute, PrivilegeLevel::Supervisor)
+            .is_ok());
+        assert_eq!(
+            pt.translate(VirtAddr::new(0x3000), AccessKind::Write, PrivilegeLevel::Supervisor)
+                .unwrap_err()
+                .reason,
+            FaultReason::NotWritable
+        );
+    }
+
+    #[test]
+    fn kernel_data_is_nx_even_for_supervisor() {
+        let pt = table();
+        // This is the physmap situation: present, supervisor, NX.
+        assert_eq!(
+            pt.translate(VirtAddr::new(0x4000), AccessKind::Execute, PrivilegeLevel::Supervisor)
+                .unwrap_err()
+                .reason,
+            FaultReason::NotExecutable
+        );
+        assert!(pt
+            .translate(VirtAddr::new(0x4000), AccessKind::Read, PrivilegeLevel::Supervisor)
+            .is_ok());
+    }
+
+    #[test]
+    fn unmapped_is_not_present() {
+        let pt = table();
+        assert_eq!(
+            pt.translate(VirtAddr::new(0x9000), AccessKind::Read, PrivilegeLevel::Supervisor)
+                .unwrap_err()
+                .reason,
+            FaultReason::NotPresent
+        );
+    }
+
+    #[test]
+    fn huge_pages_translate_with_21_bit_offset() {
+        let mut pt = PageTable::new();
+        pt.map_2m(
+            VirtAddr::new(0x4000_0000),
+            PhysAddr::new(0x800_0000),
+            PageFlags::USER_DATA,
+        );
+        let pa = pt
+            .translate(
+                VirtAddr::new(0x4000_0000 + 0x12_3456),
+                AccessKind::Read,
+                PrivilegeLevel::User,
+            )
+            .unwrap();
+        assert_eq!(pa, PhysAddr::new(0x800_0000 + 0x12_3456));
+    }
+
+    #[test]
+    fn small_mapping_shadows_huge() {
+        let mut pt = PageTable::new();
+        pt.map_2m(VirtAddr::new(0), PhysAddr::new(0x20_0000), PageFlags::USER_DATA);
+        pt.map_4k(VirtAddr::new(0x1000), PhysAddr::new(0x99_9000), PageFlags::USER_TEXT);
+        let pa = pt
+            .translate(VirtAddr::new(0x1010), AccessKind::Execute, PrivilegeLevel::User)
+            .unwrap();
+        assert_eq!(pa, PhysAddr::new(0x99_9010));
+        // Other offsets still hit the huge page.
+        let pa2 = pt
+            .translate(VirtAddr::new(0x2010), AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        assert_eq!(pa2, PhysAddr::new(0x20_2010));
+    }
+
+    #[test]
+    fn set_flags_changes_permissions() {
+        let mut pt = table();
+        // The §6.2 trick: make a kernel page user-accessible.
+        let old = pt
+            .set_flags(VirtAddr::new(0x3000), PageFlags::USER_TEXT)
+            .unwrap();
+        assert_eq!(old, PageFlags::KERNEL_TEXT);
+        assert!(pt
+            .translate(VirtAddr::new(0x3000), AccessKind::Execute, PrivilegeLevel::User)
+            .is_ok());
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let mut pt = table();
+        assert!(pt.unmap_4k(VirtAddr::new(0x1000)).is_some());
+        assert!(pt
+            .translate(VirtAddr::new(0x1000), AccessKind::Read, PrivilegeLevel::User)
+            .is_err());
+        assert!(pt.unmap_4k(VirtAddr::new(0x1000)).is_none());
+    }
+
+    #[test]
+    fn non_present_flags_fault_even_if_mapped() {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr::new(0x5000), PhysAddr::new(0x50_000), PageFlags::NONE);
+        assert_eq!(
+            pt.translate(VirtAddr::new(0x5000), AccessKind::Read, PrivilegeLevel::Supervisor)
+                .unwrap_err()
+                .reason,
+            FaultReason::NotPresent
+        );
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(PageFlags::USER_TEXT.to_string(), "p-xu-");
+        assert_eq!(PageFlags::KERNEL_DATA.to_string(), "pw---");
+    }
+}

@@ -1,0 +1,233 @@
+//! Sparse physical memory with frame allocation.
+
+use std::collections::HashMap;
+
+use crate::addr::{PhysAddr, PAGE_SIZE};
+
+/// Error returned when physical memory is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfFrames {
+    /// Configured capacity in bytes.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfFrames {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "physical memory exhausted ({} bytes)", self.capacity)
+    }
+}
+
+impl std::error::Error for OutOfFrames {}
+
+/// Sparse, frame-granular physical memory.
+///
+/// Frames are 4 KiB and materialized lazily so "64 GiB" machines (Table 5
+/// runs with 8 GiB and 64 GiB parts) cost only what is touched.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_mem::{PhysAddr, PhysMemory};
+/// let mut m = PhysMemory::new(1 << 20);
+/// let f = m.alloc_frame().unwrap();
+/// m.write_u64(f + 8, 0xdead_beef);
+/// assert_eq!(m.read_u64(f + 8), 0xdead_beef);
+/// assert_eq!(m.read_u8(f), 0); // untouched bytes read as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhysMemory {
+    capacity: u64,
+    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    next_free: u64,
+}
+
+impl PhysMemory {
+    /// Create a physical memory of `capacity` bytes (rounded down to a
+    /// whole number of frames).
+    pub fn new(capacity: u64) -> PhysMemory {
+        PhysMemory {
+            capacity: capacity & !(PAGE_SIZE - 1),
+            frames: HashMap::new(),
+            next_free: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of frames that have been materialized.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Allocate the next free frame (bump allocator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when the configured capacity is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<PhysAddr, OutOfFrames> {
+        if self.next_free + PAGE_SIZE > self.capacity {
+            return Err(OutOfFrames { capacity: self.capacity });
+        }
+        let pa = PhysAddr::new(self.next_free);
+        self.next_free += PAGE_SIZE;
+        Ok(pa)
+    }
+
+    /// Allocate `n` physically contiguous frames, returning the base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when the configured capacity is exhausted.
+    pub fn alloc_contiguous(&mut self, n: u64) -> Result<PhysAddr, OutOfFrames> {
+        if self.next_free + n * PAGE_SIZE > self.capacity {
+            return Err(OutOfFrames { capacity: self.capacity });
+        }
+        let pa = PhysAddr::new(self.next_free);
+        self.next_free += n * PAGE_SIZE;
+        Ok(pa)
+    }
+
+    /// Allocate a 2 MiB-aligned run of 512 frames (a transparent huge
+    /// page, as the physmap and Table 5 attacks use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when the configured capacity is exhausted.
+    pub fn alloc_huge(&mut self) -> Result<PhysAddr, OutOfFrames> {
+        const HUGE: u64 = 2 * 1024 * 1024;
+        let aligned = (self.next_free + HUGE - 1) & !(HUGE - 1);
+        if aligned + HUGE > self.capacity {
+            return Err(OutOfFrames { capacity: self.capacity });
+        }
+        self.next_free = aligned + HUGE;
+        Ok(PhysAddr::new(aligned))
+    }
+
+    fn frame_mut(&mut self, pa: PhysAddr) -> &mut [u8; PAGE_SIZE as usize] {
+        self.frames
+            .entry(pa.page_number())
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Read one byte. Unmaterialized memory reads as zero.
+    pub fn read_u8(&self, pa: PhysAddr) -> u8 {
+        self.frames
+            .get(&pa.page_number())
+            .map_or(0, |f| f[pa.page_offset() as usize])
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, pa: PhysAddr, value: u8) {
+        self.frame_mut(pa)[pa.page_offset() as usize] = value;
+    }
+
+    /// Read a little-endian u64 (may straddle frames).
+    pub fn read_u64(&self, pa: PhysAddr) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(pa + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Write a little-endian u64 (may straddle frames).
+    pub fn write_u64(&mut self, pa: PhysAddr, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(pa + i as u64, *b);
+        }
+    }
+
+    /// Copy `data` into memory starting at `pa`.
+    pub fn write_bytes(&mut self, pa: PhysAddr, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let addr = pa + off as u64;
+            let in_frame = (PAGE_SIZE - addr.page_offset()) as usize;
+            let chunk = in_frame.min(data.len() - off);
+            let frame = self.frame_mut(addr);
+            let start = addr.page_offset() as usize;
+            frame[start..start + chunk].copy_from_slice(&data[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Read `len` bytes starting at `pa`.
+    pub fn read_bytes(&self, pa: PhysAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let addr = pa + out.len() as u64;
+            let in_frame = (PAGE_SIZE - addr.page_offset()) as usize;
+            let chunk = in_frame.min(len - out.len());
+            match self.frames.get(&addr.page_number()) {
+                Some(frame) => {
+                    let start = addr.page_offset() as usize;
+                    out.extend_from_slice(&frame[start..start + chunk]);
+                }
+                None => out.extend(std::iter::repeat_n(0, chunk)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_disjoint() {
+        let mut m = PhysMemory::new(4 * PAGE_SIZE);
+        let a = m.alloc_frame().unwrap();
+        let b = m.alloc_frame().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(b - a, PAGE_SIZE);
+        m.write_u8(a, 1);
+        m.write_u8(b, 2);
+        assert_eq!(m.read_u8(a), 1);
+        assert_eq!(m.read_u8(b), 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m = PhysMemory::new(2 * PAGE_SIZE);
+        m.alloc_frame().unwrap();
+        m.alloc_frame().unwrap();
+        assert!(m.alloc_frame().is_err());
+    }
+
+    #[test]
+    fn huge_pages_are_aligned() {
+        let mut m = PhysMemory::new(16 * 1024 * 1024);
+        m.alloc_frame().unwrap(); // misalign the bump pointer
+        let h = m.alloc_huge().unwrap();
+        assert!(h.is_aligned(2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn u64_roundtrip_straddles_frames() {
+        let mut m = PhysMemory::new(8 * PAGE_SIZE);
+        let pa = PhysAddr::new(PAGE_SIZE - 4); // straddles frames 0 and 1
+        m.write_u64(pa, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u64(pa), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = PhysMemory::new(8 * PAGE_SIZE);
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(PhysAddr::new(100), &data);
+        assert_eq!(m.read_bytes(PhysAddr::new(100), 256), data);
+    }
+
+    #[test]
+    fn sparse_memory_stays_sparse() {
+        let mut m = PhysMemory::new(64 << 30); // "64 GiB" machine
+        let f = m.alloc_contiguous(1 << 20).unwrap(); // 4 GiB reserved
+        m.write_u8(f + (1 << 30), 7);
+        assert_eq!(m.resident_frames(), 1);
+        assert_eq!(m.read_u8(f + (1 << 30)), 7);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the memory substrate.
+
+use proptest::prelude::*;
+
+use crate::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use crate::fault::AccessKind;
+use crate::paging::{PageFlags, PageTable, PrivilegeLevel};
+use crate::phys::PhysMemory;
+
+fn arb_flags() -> impl Strategy<Value = PageFlags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(p, w, x, u)| {
+        let mut f = PageFlags::NONE;
+        if p {
+            f |= PageFlags::PRESENT;
+        }
+        if w {
+            f |= PageFlags::WRITE;
+        }
+        if x {
+            f |= PageFlags::EXEC;
+        }
+        if u {
+            f |= PageFlags::USER;
+        }
+        f
+    })
+}
+
+proptest! {
+    /// Translation preserves the page offset and lands in the mapped frame.
+    #[test]
+    fn translate_preserves_offset(vpn in 0u64..1 << 30, fpn in 0u64..1 << 20, off in 0u64..PAGE_SIZE) {
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(vpn << 12);
+        let pa = PhysAddr::new(fpn << 12);
+        pt.map_4k(va, pa, PageFlags::USER_DATA);
+        let got = pt.translate(va + off, AccessKind::Read, PrivilegeLevel::User).unwrap();
+        prop_assert_eq!(got, pa + off);
+    }
+
+    /// Permission soundness: a translation only succeeds when every
+    /// relevant permission bit allows it.
+    #[test]
+    fn permission_soundness(flags in arb_flags(), access_idx in 0usize..3, user in any::<bool>()) {
+        let access = [AccessKind::Read, AccessKind::Write, AccessKind::Execute][access_idx];
+        let level = if user { PrivilegeLevel::User } else { PrivilegeLevel::Supervisor };
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr::new(0x7000), PhysAddr::new(0x9000), flags);
+        let res = pt.translate(VirtAddr::new(0x7000), access, level);
+        let allowed = flags.contains(PageFlags::PRESENT)
+            && (!user || flags.contains(PageFlags::USER))
+            && match access {
+                AccessKind::Read => true,
+                AccessKind::Write => flags.contains(PageFlags::WRITE),
+                AccessKind::Execute => flags.contains(PageFlags::EXEC),
+            };
+        prop_assert_eq!(res.is_ok(), allowed, "flags={} access={:?} level={}", flags, access, level);
+    }
+
+    /// Physical memory behaves like a big byte array: last write wins.
+    #[test]
+    fn phys_memory_is_a_byte_array(writes in proptest::collection::vec((0u64..0x10000, any::<u8>()), 1..100)) {
+        let mut m = PhysMemory::new(1 << 20);
+        let mut model = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            m.write_u8(PhysAddr::new(*addr), *val);
+            model.insert(*addr, *val);
+        }
+        for (addr, val) in model {
+            prop_assert_eq!(m.read_u8(PhysAddr::new(addr)), val);
+        }
+    }
+
+    /// u64 round-trip at any (possibly frame-straddling) address.
+    #[test]
+    fn phys_u64_round_trip(addr in 0u64..0x10000, val in any::<u64>()) {
+        let mut m = PhysMemory::new(1 << 20);
+        m.write_u64(PhysAddr::new(addr), val);
+        prop_assert_eq!(m.read_u64(PhysAddr::new(addr)), val);
+    }
+
+    /// Contiguous allocation never overlaps previous allocations.
+    #[test]
+    fn allocations_are_disjoint(sizes in proptest::collection::vec(1u64..8, 1..20)) {
+        let mut m = PhysMemory::new(1 << 24);
+        let mut prev_end = 0u64;
+        for n in sizes {
+            let base = m.alloc_contiguous(n).unwrap();
+            prop_assert!(base.raw() >= prev_end);
+            prev_end = base.raw() + n * PAGE_SIZE;
+        }
+    }
+}

@@ -1,0 +1,1047 @@
+//! The simulated CPU: architectural execution with pre-decode
+//! speculation modeling.
+
+use phantom_bpu::{Bpu, MsrState, Prediction};
+use phantom_cache::{CacheHierarchy, Event, HierarchyConfig, Level, PerfCounters, UopCache};
+use phantom_isa::asm::Blob;
+use phantom_isa::decode::decode;
+use phantom_isa::{BranchKind, Inst, Reg};
+use phantom_mem::phys::OutOfFrames;
+use phantom_mem::{AccessKind, PageFault, PageFlags, PageTable, PhysMemory, PrivilegeLevel, Tlb, VirtAddr, PAGE_SIZE};
+
+use crate::profile::UarchProfile;
+use crate::resteer::{classify_predicted, classify_unpredicted, ResteerKind, SpeculationVerdict};
+use crate::transient::{TransientReport, TransientWindow};
+
+/// Fatal machine conditions (as opposed to architectural page faults,
+/// which a registered handler can catch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// An unhandled page fault (no fault handler registered, or the
+    /// fault occurred in supervisor mode).
+    Fault(PageFault),
+    /// Decoded an [`Inst::Invalid`] byte.
+    InvalidInstruction {
+        /// Where.
+        pc: VirtAddr,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// `syscall` executed but no kernel entry point is configured.
+    NoSyscallEntry,
+    /// `sysret` without a pending `syscall`.
+    SysretWithoutSyscall,
+    /// Physical memory exhausted while mapping.
+    OutOfMemory(OutOfFrames),
+    /// The code bytes at PC were truncated (ran off a mapping).
+    TruncatedCode(VirtAddr),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Fault(pf) => write!(f, "unhandled {pf}"),
+            MachineError::InvalidInstruction { pc, byte } => {
+                write!(f, "invalid instruction byte {byte:#04x} at {pc}")
+            }
+            MachineError::NoSyscallEntry => f.write_str("syscall with no kernel entry configured"),
+            MachineError::SysretWithoutSyscall => f.write_str("sysret without pending syscall"),
+            MachineError::OutOfMemory(e) => write!(f, "{e}"),
+            MachineError::TruncatedCode(pc) => write!(f, "truncated code bytes at {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<OutOfFrames> for MachineError {
+    fn from(e: OutOfFrames) -> Self {
+        MachineError::OutOfMemory(e)
+    }
+}
+
+/// The result of one architectural step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// PC of the stepped instruction.
+    pub pc: VirtAddr,
+    /// The instruction.
+    pub inst: Inst,
+    /// The transient (wrong-path) activity this step triggered, if any.
+    pub transient: Option<TransientReport>,
+    /// Whether the machine halted.
+    pub halted: bool,
+    /// An architectural fault that was *caught* by the registered
+    /// handler this step (the handler is now the PC).
+    pub caught_fault: Option<PageFault>,
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// A `hlt` retired.
+    Halted,
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+/// The simulated CPU.
+///
+/// See the [crate-level docs](crate) for the speculation model and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    profile: UarchProfile,
+    bpu: Bpu,
+    caches: CacheHierarchy,
+    uop_cache: UopCache,
+    pmu: PerfCounters,
+    phys: PhysMemory,
+    page_table: PageTable,
+    /// Timing-only TLB: translation correctness always comes from the
+    /// page table; a TLB miss just charges page-walk latency. (This is
+    /// deliberately conservative — stale-entry semantics cannot arise.)
+    tlb: Tlb,
+    regs: [u64; 16],
+    zf: bool,
+    sf: bool,
+    cf: bool,
+    pc: VirtAddr,
+    level: PrivilegeLevel,
+    thread: u8,
+    cycles: u64,
+    syscall_entry: Option<VirtAddr>,
+    syscall_return: Option<(VirtAddr, PrivilegeLevel)>,
+    fault_handler: Option<VirtAddr>,
+    last_fault: Option<PageFault>,
+    halted: bool,
+}
+
+impl Machine {
+    /// Create a machine with `phys_bytes` of physical memory, all
+    /// mitigation MSRs off.
+    pub fn new(profile: UarchProfile, phys_bytes: u64) -> Machine {
+        let bpu = Bpu::new(profile.btb_scheme.clone(), MsrState::none());
+        Machine {
+            profile,
+            bpu,
+            caches: CacheHierarchy::new(HierarchyConfig::default()),
+            uop_cache: UopCache::new(),
+            pmu: PerfCounters::new(),
+            phys: PhysMemory::new(phys_bytes),
+            page_table: PageTable::new(),
+            tlb: Tlb::new(64, 8),
+            regs: [0; 16],
+            zf: false,
+            sf: false,
+            cf: false,
+            pc: VirtAddr::new(0),
+            level: PrivilegeLevel::User,
+            thread: 0,
+            cycles: 0,
+            syscall_entry: None,
+            syscall_return: None,
+            fault_handler: None,
+            last_fault: None,
+            halted: false,
+        }
+    }
+
+    // ----- accessors -------------------------------------------------
+
+    /// The active microarchitecture profile.
+    pub fn profile(&self) -> &UarchProfile {
+        &self.profile
+    }
+
+    /// The branch prediction unit.
+    pub fn bpu(&self) -> &Bpu {
+        &self.bpu
+    }
+
+    /// The branch prediction unit, mutably (training, IBPB, MSRs).
+    pub fn bpu_mut(&mut self) -> &mut Bpu {
+        &mut self.bpu
+    }
+
+    /// The cache hierarchy.
+    pub fn caches(&self) -> &CacheHierarchy {
+        &self.caches
+    }
+
+    /// The cache hierarchy, mutably (priming, flushing, probing).
+    pub fn caches_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.caches
+    }
+
+    /// The µop cache.
+    pub fn uop_cache(&self) -> &UopCache {
+        &self.uop_cache
+    }
+
+    /// The µop cache, mutably.
+    pub fn uop_cache_mut(&mut self) -> &mut UopCache {
+        &mut self.uop_cache
+    }
+
+    /// Performance counters.
+    pub fn pmu(&self) -> &PerfCounters {
+        &self.pmu
+    }
+
+    /// Performance counters, mutably (reset between samples).
+    pub fn pmu_mut(&mut self) -> &mut PerfCounters {
+        &mut self.pmu
+    }
+
+    /// Physical memory.
+    pub fn phys(&self) -> &PhysMemory {
+        &self.phys
+    }
+
+    /// Physical memory, mutably.
+    pub fn phys_mut(&mut self) -> &mut PhysMemory {
+        &mut self.phys
+    }
+
+    /// The page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The page table, mutably (the §6.2 PTE-flag tricks).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// The (timing-only) TLB.
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// The TLB, mutably (flushes on context switches in experiments).
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// Page-walk cost charged on a TLB miss, in cycles.
+    pub const PAGE_WALK_CYCLES: u64 = 20;
+
+    /// Charge TLB lookup/fill timing for an architectural access to
+    /// `va` that resolved to `pa` (ASID 0 = user, 1 = supervisor).
+    fn charge_tlb(&mut self, va: VirtAddr, pa: phantom_mem::PhysAddr) {
+        let asid = match self.level {
+            PrivilegeLevel::User => 0,
+            PrivilegeLevel::Supervisor => 1,
+        };
+        if self.tlb.lookup(va, asid).is_none() {
+            self.cycles += Self::PAGE_WALK_CYCLES;
+            let flags = self.page_table.flags_of(va).unwrap_or(PageFlags::NONE);
+            self.tlb.insert(va, pa, flags, asid);
+        }
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Charge extra cycles (harness-level costs like reboots).
+    pub fn add_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> VirtAddr {
+        self.pc
+    }
+
+    /// Set the program counter.
+    pub fn set_pc(&mut self, pc: VirtAddr) {
+        self.pc = pc;
+        self.halted = false;
+    }
+
+    /// Current privilege level.
+    pub fn level(&self) -> PrivilegeLevel {
+        self.level
+    }
+
+    /// Force the privilege level (test setup).
+    pub fn set_level(&mut self, level: PrivilegeLevel) {
+        self.level = level;
+    }
+
+    /// Current SMT thread id.
+    pub fn thread(&self) -> u8 {
+        self.thread
+    }
+
+    /// Switch the SMT thread id.
+    pub fn set_thread(&mut self, thread: u8) {
+        self.thread = thread;
+    }
+
+    /// Read a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[usize::from(r.index())]
+    }
+
+    /// Write a register.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[usize::from(r.index())] = value;
+    }
+
+    /// The most recent architectural fault (caught or not).
+    pub fn last_fault(&self) -> Option<PageFault> {
+        self.last_fault
+    }
+
+    /// The current flags `(zf, sf, cf)`.
+    pub fn flags(&self) -> (bool, bool, bool) {
+        (self.zf, self.sf, self.cf)
+    }
+
+    /// Force the flags (test/experiment setup; architecturally flags are
+    /// produced by `cmp`).
+    pub fn set_flags(&mut self, zf: bool, sf: bool, cf: bool) {
+        self.zf = zf;
+        self.sf = sf;
+        self.cf = cf;
+    }
+
+    /// Register a user-mode fault handler (the attacker's SIGSEGV
+    /// handler, used to survive training branches into the kernel).
+    pub fn set_fault_handler(&mut self, handler: Option<VirtAddr>) {
+        self.fault_handler = handler;
+    }
+
+    /// Configure the kernel entry point `syscall` jumps to.
+    pub fn set_syscall_entry(&mut self, entry: Option<VirtAddr>) {
+        self.syscall_entry = entry;
+    }
+
+    /// Write the mitigation MSRs. Unsupported bits are clamped off, as on
+    /// real parts (`SuppressBPOnNonBr` does not exist on Zen 1, AutoIBRS
+    /// only on Zen 4). Returns the effective state.
+    pub fn write_msr(&mut self, requested: MsrState) -> MsrState {
+        let effective = MsrState {
+            suppress_bp_on_non_br: requested.suppress_bp_on_non_br
+                && self.profile.supports_suppress_bp_on_non_br,
+            auto_ibrs: requested.auto_ibrs && self.profile.supports_auto_ibrs,
+            eibrs_tagging: requested.eibrs_tagging
+                && self.profile.vendor == crate::profile::Vendor::Intel,
+            stibp: requested.stibp,
+        };
+        self.bpu.set_msr(effective);
+        effective
+    }
+
+    // ----- memory setup helpers --------------------------------------
+
+    /// Map `[va, va+len)` with fresh frames and the given flags. Pages
+    /// already mapped are left as they are.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfMemory`] if physical memory runs out.
+    pub fn map_range(&mut self, va: VirtAddr, len: u64, flags: PageFlags) -> Result<(), MachineError> {
+        let start = va.page_base();
+        let end = (va + len + PAGE_SIZE - 1).page_base();
+        let mut page = start;
+        while page < end {
+            if self.page_table.flags_of(page).is_none() {
+                let frame = self.phys.alloc_frame()?;
+                self.page_table.map_4k(page, frame, flags);
+            }
+            page = page + PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    /// Load an assembled blob: map its pages with `flags` and copy the
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfMemory`] if physical memory runs out.
+    pub fn load_blob(&mut self, blob: &Blob, flags: PageFlags) -> Result<(), MachineError> {
+        self.map_range(VirtAddr::new(blob.base), blob.bytes.len().max(1) as u64, flags)?;
+        self.poke(VirtAddr::new(blob.base), &blob.bytes);
+        Ok(())
+    }
+
+    /// Write bytes through the page table, ignoring permission bits
+    /// (setup/debug only — not an architectural store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page in the range is unmapped.
+    pub fn poke(&mut self, va: VirtAddr, bytes: &[u8]) {
+        // Translate once per page and write page-sized chunks.
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let addr = va + off as u64;
+            let pa = self
+                .page_table
+                .translate(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
+                .unwrap_or_else(|e| panic!("poke at unmapped {addr}: {e}"));
+            let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
+            let chunk = in_page.min(bytes.len() - off);
+            self.phys.write_bytes(pa, &bytes[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Read bytes through the page table, ignoring permission bits
+    /// (setup/debug only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page in the range is unmapped.
+    pub fn peek(&self, va: VirtAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let addr = va + out.len() as u64;
+            let pa = self
+                .page_table
+                .translate(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
+                .unwrap_or_else(|e| panic!("peek at unmapped {addr}: {e}"));
+            let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
+            let chunk = in_page.min(len - out.len());
+            out.extend(self.phys.read_bytes(pa, chunk));
+        }
+        out
+    }
+
+    /// Write a u64 via [`Machine::poke`].
+    pub fn poke_u64(&mut self, va: VirtAddr, value: u64) {
+        self.poke(va, &value.to_le_bytes());
+    }
+
+    /// Read a u64 via [`Machine::peek`].
+    pub fn peek_u64(&self, va: VirtAddr) -> u64 {
+        u64::from_le_bytes(self.peek(va, 8).try_into().expect("8 bytes"))
+    }
+
+    // ----- fetch helpers ----------------------------------------------
+
+    /// Read up to `n` code bytes at `va` with execute permission at the
+    /// current privilege level, stopping at the first fault.
+    fn read_code_bytes(&self, va: VirtAddr, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match self
+                .page_table
+                .translate(va + i as u64, AccessKind::Execute, self.level)
+            {
+                Ok(pa) => out.push(self.phys.read_u8(pa)),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    fn handle_fault(&mut self, fault: PageFault) -> Result<(), MachineError> {
+        self.last_fault = Some(fault);
+        if self.level == PrivilegeLevel::User {
+            if let Some(handler) = self.fault_handler {
+                self.pc = handler;
+                // Signal delivery is expensive.
+                self.cycles += 2000;
+                return Ok(());
+            }
+        }
+        Err(MachineError::Fault(fault))
+    }
+
+    // ----- the step ----------------------------------------------------
+
+    /// Execute one architectural instruction, resolving the speculation
+    /// the frontend performed around it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] on unhandled faults, invalid
+    /// instructions, or missing syscall wiring.
+    pub fn step(&mut self) -> Result<StepOutcome, MachineError> {
+        let pc = self.pc;
+
+        // --- Instruction fetch (architectural). ---
+        match self.page_table.translate(pc, AccessKind::Execute, self.level) {
+            Ok(pa) => {
+                self.charge_tlb(pc, pa);
+                let (lvl, lat) = self.caches.access_inst(pa.raw());
+                if lvl == Level::Memory {
+                    self.pmu.bump(Event::IcacheMiss);
+                }
+                self.cycles += lat;
+            }
+            Err(fault) => {
+                self.handle_fault(fault)?;
+                return Ok(StepOutcome {
+                    pc,
+                    inst: Inst::Nop,
+                    transient: None,
+                    halted: false,
+                    caught_fault: Some(self.last_fault.expect("just set")),
+                });
+            }
+        }
+
+        let bytes = self.read_code_bytes(pc, 15);
+        let (inst, len) = match decode(&bytes) {
+            Some(pair) => pair,
+            None => return Err(MachineError::TruncatedCode(pc)),
+        };
+        if let Inst::Invalid { byte } = inst {
+            return Err(MachineError::InvalidInstruction { pc, byte });
+        }
+        let len = len as u64;
+
+        // --- µop cache dispatch. ---
+        if self.uop_cache.dispatch_lookup(pc.raw()) {
+            self.pmu.bump(Event::OpCacheHit);
+            self.pmu.bump(Event::UopsFromOpCache);
+        } else {
+            self.pmu.bump(Event::OpCacheMiss);
+            self.pmu.bump(Event::UopsFromDecoder);
+            self.uop_cache.fill(pc.raw());
+            self.cycles += self.profile.decode_latency;
+            // SuppressBPOnNonBr makes the frontend wait for decode
+            // confirmation before acting on a prediction at a block not
+            // yet known to contain a branch — a small bubble on every
+            // decoder-path (µop-cache-miss) fetch. This is the §6.3
+            // performance cost (0.69% single-core on UnixBench).
+            if self.bpu.msr().suppress_bp_on_non_br {
+                self.cycles += 1;
+            }
+        }
+
+        // --- Pre-decode prediction for this instruction's span. ---
+        let pred = self.bpu.predict_window(pc, len, self.level, self.thread);
+
+        // --- Resolve architectural branch semantics. ---
+        let (taken, actual_target) = self.resolve_branch(&inst, pc)?;
+
+        // --- Classify and run the wrong path. ---
+        let verdict = match &pred {
+            Some(p) => classify_predicted(p, &inst, actual_target, taken),
+            None => classify_unpredicted(&inst, pc, taken),
+        };
+        let transient = match verdict {
+            SpeculationVerdict::Mispredicted { resteer, transient_target } => {
+                self.pmu.bump(Event::BranchMispredict);
+                match resteer {
+                    ResteerKind::Frontend => {
+                        self.pmu.bump(Event::ResteerFrontend);
+                        self.cycles += self.profile.frontend_resteer_latency;
+                    }
+                    ResteerKind::Backend => {
+                        self.pmu.bump(Event::ResteerBackend);
+                        self.cycles += self.profile.backend_resteer_latency;
+                    }
+                }
+                let window = self.window_for(&inst, pred.as_ref(), resteer);
+                Some(match transient_target {
+                    Some(target) => self.run_transient(target, window),
+                    None => TransientReport { window: Some(window), ..TransientReport::none() },
+                })
+            }
+            _ => None,
+        };
+
+        // --- Architectural execute. ---
+        let outcome = self.execute(inst, pc, len, taken, actual_target, pred.as_ref())?;
+        self.cycles += 1;
+        self.pmu.bump(Event::InstRetired);
+
+        Ok(StepOutcome { pc, inst, transient, halted: outcome, caught_fault: None })
+    }
+
+    /// Resolve (taken, target) for the instruction before executing it.
+    fn resolve_branch(
+        &mut self,
+        inst: &Inst,
+        pc: VirtAddr,
+    ) -> Result<(bool, Option<VirtAddr>), MachineError> {
+        Ok(match inst {
+            Inst::Jmp { .. } | Inst::Call { .. } => {
+                (true, inst.direct_target(pc.raw()).map(VirtAddr::new))
+            }
+            Inst::Jcc { cond, .. } => {
+                let taken = cond.eval(self.zf, self.sf, self.cf);
+                let target = if taken {
+                    inst.direct_target(pc.raw()).map(VirtAddr::new)
+                } else {
+                    None
+                };
+                (taken, target)
+            }
+            Inst::JmpInd { src } | Inst::CallInd { src } => {
+                (true, Some(VirtAddr::new(self.reg(*src))))
+            }
+            Inst::Ret => {
+                // Architectural return address from the stack.
+                let sp = VirtAddr::new(self.reg(Reg::SP));
+                match self.page_table.translate(sp, AccessKind::Read, self.level) {
+                    Ok(pa) => (true, Some(VirtAddr::new(self.phys.read_u64(pa)))),
+                    Err(_) => (true, None), // stack fault resolves at execute
+                }
+            }
+            _ => (false, None),
+        })
+    }
+
+    /// Derive the transient window for a misprediction at `inst`, gated
+    /// by the active mitigations.
+    fn window_for(
+        &self,
+        inst: &Inst,
+        pred: Option<&Prediction>,
+        resteer: ResteerKind,
+    ) -> TransientWindow {
+        // Intel jmp*-victim blind spot (§6): no IF/ID signal.
+        if self.profile.indirect_victim_blind
+            && inst.kind() == BranchKind::Indirect
+            && pred.is_some()
+        {
+            return TransientWindow::suppressed(resteer);
+        }
+        let mut window = TransientWindow::for_resteer(&self.profile, resteer);
+        // AutoIBRS: a restricted prediction may fetch and decode, never
+        // execute (O5).
+        if pred.is_some_and(|p| p.restricted) {
+            window = window.without_execute();
+        }
+        // SuppressBPOnNonBr: gates execute only, and only when the victim
+        // decodes as a non-branch (O4).
+        if self.bpu.msr().suppress_bp_on_non_br
+            && self.profile.supports_suppress_bp_on_non_br
+            && inst.kind() == BranchKind::NotBranch
+        {
+            window = window.without_execute();
+        }
+        window
+    }
+
+    /// Simulate the squashed wrong path: transient fetch, decode and a
+    /// bounded number of µops, with nested phantom steering.
+    pub fn run_transient(&mut self, start: VirtAddr, window: TransientWindow) -> TransientReport {
+        let mut report = TransientReport {
+            target: Some(start),
+            window: Some(window),
+            ..TransientReport::none()
+        };
+        if !window.fetch {
+            return report;
+        }
+
+        // Transient fetch of the target line. An inaccessible target
+        // (unmapped / NX / supervisor-only from user) fills nothing —
+        // primitive P1's signal.
+        let mut visited_lines = std::collections::HashSet::new();
+        let visit =
+            |m: &mut Machine, va: VirtAddr, decode_stage: bool, lines: &mut std::collections::HashSet<u64>| -> bool {
+                let line = va.raw() & !63;
+                if !lines.insert(line) {
+                    return true;
+                }
+                match m.page_table.translate(va, AccessKind::Execute, m.level) {
+                    Ok(pa) => {
+                        let (lvl, _) = m.caches.access_inst(pa.raw());
+                        if lvl == Level::Memory {
+                            m.pmu.bump(Event::IcacheMiss);
+                        }
+                        if decode_stage {
+                            m.uop_cache.fill(va.raw());
+                            m.pmu.bump(Event::UopsFromDecoder);
+                        }
+                        true
+                    }
+                    Err(_) => false,
+                }
+            };
+
+        if !visit(self, start, window.decode, &mut visited_lines) {
+            return report;
+        }
+        report.fetched = true;
+        if !window.decode {
+            return report;
+        }
+        report.decoded = true;
+
+        // Decode the first fetch block's worth of lines at the target.
+        let block = self.profile.fetch_block;
+        let mut off = 64 - (start.raw() & 63);
+        while off < block {
+            visit(self, start + off, true, &mut visited_lines);
+            off += 64;
+        }
+
+        if window.exec_uops == 0 {
+            return report;
+        }
+
+        // Transient execution over a copy of the register file — the
+        // wrong path sees the victim's live registers (that is P3).
+        let mut tregs = self.regs;
+        let (mut tzf, mut tsf, mut tcf) = (self.zf, self.sf, self.cf);
+        let mut tpc = start;
+        let mut budget = window.exec_uops;
+
+        while budget > 0 {
+            if !visit(self, tpc, true, &mut visited_lines) {
+                break;
+            }
+            let bytes = self.read_code_bytes(tpc, 15);
+            let (inst, len) = match decode(&bytes) {
+                Some(pair) => pair,
+                None => break,
+            };
+            budget -= 1;
+
+            // Nested phantom steer: the BTB may claim this transient
+            // instruction is a branch of a different kind (§7.4 nests
+            // PHANTOM inside a Spectre window this way).
+            if let Some(hit) = self.bpu.btb().lookup(tpc) {
+                if hit.kind != inst.kind() {
+                    if let Some(nested_target) = hit.target {
+                        report.nested_phantom = true;
+                        // The inner window is a frontend resteer: fetch +
+                        // decode always; execute only with a phantom
+                        // budget (Zen 1/2).
+                        visit(self, nested_target, true, &mut visited_lines);
+                        if self.profile.phantom_exec_uops == 0 {
+                            break;
+                        }
+                        budget = budget.min(self.profile.phantom_exec_uops);
+                        tpc = nested_target;
+                        continue;
+                    }
+                }
+            }
+
+            report.executed_uops += 1;
+            self.pmu.bump(Event::WrongPathUops);
+            match inst {
+                Inst::Nop | Inst::NopN { .. } => tpc = tpc + len as u64,
+                Inst::MovImm { dst, imm } => {
+                    tregs[usize::from(dst.index())] = imm;
+                    tpc = tpc + len as u64;
+                }
+                Inst::MovReg { dst, src } => {
+                    tregs[usize::from(dst.index())] = tregs[usize::from(src.index())];
+                    tpc = tpc + len as u64;
+                }
+                Inst::Alu { op, dst, src } => {
+                    let d = usize::from(dst.index());
+                    tregs[d] = op.apply(tregs[d], tregs[usize::from(src.index())]);
+                    tpc = tpc + len as u64;
+                }
+                Inst::Shr { dst, amount } => {
+                    let d = usize::from(dst.index());
+                    tregs[d] >>= amount;
+                    tpc = tpc + len as u64;
+                }
+                Inst::Shl { dst, amount } => {
+                    let d = usize::from(dst.index());
+                    tregs[d] <<= amount;
+                    tpc = tpc + len as u64;
+                }
+                Inst::AndImm { dst, imm } => {
+                    let d = usize::from(dst.index());
+                    tregs[d] &= u64::from(imm);
+                    tpc = tpc + len as u64;
+                }
+                Inst::Cmp { a, b } => {
+                    let (av, bv) = (tregs[usize::from(a.index())], tregs[usize::from(b.index())]);
+                    tzf = av == bv;
+                    tcf = av < bv;
+                    tsf = (av.wrapping_sub(bv) as i64) < 0;
+                    tpc = tpc + len as u64;
+                }
+                Inst::Load { dst, base, disp } => {
+                    let addr = VirtAddr::new(
+                        tregs[usize::from(base.index())].wrapping_add(disp as i64 as u64),
+                    );
+                    // A dispatched load cannot be aborted: it fills the
+                    // D-cache even though the path is squashed.
+                    match self.page_table.translate(addr, AccessKind::Read, self.level) {
+                        Ok(pa) => {
+                            let (lvl, _) = self.caches.access_data(pa.raw());
+                            if lvl == Level::Memory {
+                                self.pmu.bump(Event::DcacheMiss);
+                            }
+                            self.pmu.bump(Event::LoadsDispatched);
+                            report.loads_dispatched.push(addr);
+                            tregs[usize::from(dst.index())] = self.phys.read_u64(pa);
+                        }
+                        Err(_) => {
+                            // Faulting transient loads return no data and
+                            // fill nothing.
+                            tregs[usize::from(dst.index())] = 0;
+                        }
+                    }
+                    tpc = tpc + len as u64;
+                }
+                Inst::Store { .. } => {
+                    // Stores never commit transiently; they occupy the
+                    // store buffer and are dropped at squash.
+                    tpc = tpc + len as u64;
+                }
+                Inst::Jmp { .. } => {
+                    tpc = VirtAddr::new(inst.direct_target(tpc.raw()).expect("direct"));
+                }
+                Inst::Call { .. } => {
+                    tpc = VirtAddr::new(inst.direct_target(tpc.raw()).expect("direct"));
+                }
+                Inst::Jcc { cond, .. } => {
+                    if cond.eval(tzf, tsf, tcf) {
+                        tpc = VirtAddr::new(inst.direct_target(tpc.raw()).expect("direct"));
+                    } else {
+                        tpc = tpc + len as u64;
+                    }
+                }
+                Inst::JmpInd { src } | Inst::CallInd { src } => {
+                    tpc = VirtAddr::new(tregs[usize::from(src.index())]);
+                }
+                // Barriers, privilege transitions and everything else end
+                // the transient path.
+                Inst::Ret
+                | Inst::Lfence
+                | Inst::Mfence
+                | Inst::Clflush { .. }
+                | Inst::Syscall
+                | Inst::Sysret
+                | Inst::Halt
+                | Inst::Invalid { .. } => break,
+            }
+        }
+        report
+    }
+
+    /// Architecturally execute `inst`. Returns whether the machine
+    /// halted.
+    fn execute(
+        &mut self,
+        inst: Inst,
+        pc: VirtAddr,
+        len: u64,
+        taken: bool,
+        actual_target: Option<VirtAddr>,
+        pred: Option<&Prediction>,
+    ) -> Result<bool, MachineError> {
+        let mut next = pc + len;
+        match inst {
+            Inst::Nop | Inst::NopN { .. } => {}
+            Inst::MovImm { dst, imm } => self.set_reg(dst, imm),
+            Inst::MovReg { dst, src } => self.set_reg(dst, self.reg(src)),
+            Inst::Alu { op, dst, src } => {
+                let v = op.apply(self.reg(dst), self.reg(src));
+                self.set_reg(dst, v);
+            }
+            Inst::Shr { dst, amount } => self.set_reg(dst, self.reg(dst) >> amount),
+            Inst::Shl { dst, amount } => self.set_reg(dst, self.reg(dst) << amount),
+            Inst::AndImm { dst, imm } => self.set_reg(dst, self.reg(dst) & u64::from(imm)),
+            Inst::Cmp { a, b } => {
+                let (av, bv) = (self.reg(a), self.reg(b));
+                self.zf = av == bv;
+                self.cf = av < bv;
+                self.sf = (av.wrapping_sub(bv) as i64) < 0;
+            }
+            Inst::Load { dst, base, disp } => {
+                let addr = VirtAddr::new(self.reg(base).wrapping_add(disp as i64 as u64));
+                match self.page_table.translate(addr, AccessKind::Read, self.level) {
+                    Ok(pa) => {
+                        self.charge_tlb(addr, pa);
+                        let (lvl, lat) = self.caches.access_data(pa.raw());
+                        if lvl == Level::Memory {
+                            self.pmu.bump(Event::DcacheMiss);
+                        }
+                        self.cycles += lat;
+                        let v = self.phys.read_u64(pa);
+                        self.set_reg(dst, v);
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Store { base, disp, src } => {
+                let addr = VirtAddr::new(self.reg(base).wrapping_add(disp as i64 as u64));
+                match self.page_table.translate(addr, AccessKind::Write, self.level) {
+                    Ok(pa) => {
+                        self.charge_tlb(addr, pa);
+                        let (lvl, lat) = self.caches.access_data(pa.raw());
+                        if lvl == Level::Memory {
+                            self.pmu.bump(Event::DcacheMiss);
+                        }
+                        self.cycles += lat;
+                        let v = self.reg(src);
+                        self.phys.write_u64(pa, v);
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Clflush { addr } => {
+                let va = VirtAddr::new(self.reg(addr));
+                match self.page_table.translate(va, AccessKind::Read, self.level) {
+                    Ok(pa) => {
+                        self.caches.flush_line(pa.raw());
+                        self.cycles += 40;
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Lfence | Inst::Mfence => self.cycles += 8,
+            Inst::Jmp { .. } => {
+                let target = actual_target.expect("direct target");
+                self.bpu
+                    .train_smt(pc, BranchKind::Direct, target, self.level, self.thread);
+                self.bpu.record_edge(pc, target);
+                next = target;
+            }
+            Inst::Jcc { .. } => {
+                self.bpu.train_direction(pc, taken);
+                if taken {
+                    let target = actual_target.expect("taken target");
+                    self.bpu
+                        .train_smt(pc, BranchKind::Cond, target, self.level, self.thread);
+                    self.bpu.record_edge(pc, target);
+                    next = target;
+                }
+            }
+            Inst::JmpInd { .. } => {
+                let target = actual_target.expect("indirect target");
+                self.bpu
+                    .train_smt(pc, BranchKind::Indirect, target, self.level, self.thread);
+                self.bpu.record_edge(pc, target);
+                next = target;
+            }
+            Inst::Call { .. } => {
+                let target = actual_target.expect("call target");
+                self.bpu
+                    .train_smt(pc, BranchKind::Call, target, self.level, self.thread);
+                self.push_return(pc + len)?;
+                self.bpu.rsb_mut().push(pc + len);
+                next = target;
+            }
+            Inst::CallInd { .. } => {
+                let target = actual_target.expect("call* target");
+                self.bpu
+                    .train_smt(pc, BranchKind::CallInd, target, self.level, self.thread);
+                self.push_return(pc + len)?;
+                self.bpu.rsb_mut().push(pc + len);
+                next = target;
+            }
+            Inst::Ret => {
+                let sp = VirtAddr::new(self.reg(Reg::SP));
+                match self.page_table.translate(sp, AccessKind::Read, self.level) {
+                    Ok(pa) => {
+                        let target = VirtAddr::new(self.phys.read_u64(pa));
+                        self.set_reg(Reg::SP, sp.raw() + 8);
+                        self.bpu
+                            .train_smt(pc, BranchKind::Ret, target, self.level, self.thread);
+                        // Keep the RSB in sync if the predictor did not
+                        // already pop for this return.
+                        if !matches!(pred, Some(p) if p.kind == BranchKind::Ret) {
+                            self.bpu.rsb_mut().pop();
+                        }
+                        next = target;
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Syscall => {
+                let entry = self.syscall_entry.ok_or(MachineError::NoSyscallEntry)?;
+                self.syscall_return = Some((pc + len, self.level));
+                self.level = PrivilegeLevel::Supervisor;
+                self.cycles += 100; // mode switch cost
+                next = entry;
+            }
+            Inst::Sysret => {
+                let (ret, lvl) = self
+                    .syscall_return
+                    .take()
+                    .ok_or(MachineError::SysretWithoutSyscall)?;
+                self.level = lvl;
+                self.cycles += 100;
+                next = ret;
+            }
+            Inst::Halt => {
+                self.halted = true;
+                return Ok(true);
+            }
+            Inst::Invalid { .. } => unreachable!("rejected before execute"),
+        }
+        self.pc = next;
+        Ok(false)
+    }
+
+    fn push_return(&mut self, ret: VirtAddr) -> Result<(), MachineError> {
+        let sp = VirtAddr::new(self.reg(Reg::SP).wrapping_sub(8));
+        match self.page_table.translate(sp, AccessKind::Write, self.level) {
+            Ok(pa) => {
+                self.phys.write_u64(pa, ret.raw());
+                self.set_reg(Reg::SP, sp.raw());
+                Ok(())
+            }
+            Err(fault) => {
+                self.handle_fault(fault)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Run until halt or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MachineError`] from [`Machine::step`].
+    pub fn run(&mut self, max_steps: u64) -> Result<RunExit, MachineError> {
+        for _ in 0..max_steps {
+            let out = self.step()?;
+            if out.halted {
+                return Ok(RunExit::Halted);
+            }
+        }
+        Ok(RunExit::StepLimit)
+    }
+
+    /// Run, collecting every transient report produced on the way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MachineError`] from [`Machine::step`].
+    pub fn run_collecting(
+        &mut self,
+        max_steps: u64,
+    ) -> Result<(RunExit, Vec<TransientReport>), MachineError> {
+        let mut reports = Vec::new();
+        for _ in 0..max_steps {
+            let out = self.step()?;
+            if let Some(t) = out.transient {
+                reports.push(t);
+            }
+            if out.halted {
+                return Ok((RunExit::Halted, reports));
+            }
+        }
+        Ok((RunExit::StepLimit, reports))
+    }
+}
+
+#[cfg(test)]
+mod tests;

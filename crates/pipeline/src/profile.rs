@@ -1,0 +1,300 @@
+//! Per-microarchitecture profiles.
+//!
+//! Each profile bundles a BTB indexing scheme, stage latencies, mitigation
+//! support and a clock frequency. Table 1 of the paper emerges from these
+//! parameters: every tested part fetches and decodes phantom targets
+//! (fetch/decode latencies beat the earliest resteer), while only Zen 1/2
+//! have a decoder-resteer latency slow enough for target µops to dispatch
+//! a load (`phantom_exec_uops > 0`).
+
+use phantom_bpu::BtbScheme;
+
+/// CPU vendor, for reporting and for behavior that splits by vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Advanced Micro Devices.
+    Amd,
+    /// Intel.
+    Intel,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Vendor::Amd => f.write_str("AMD"),
+            Vendor::Intel => f.write_str("Intel"),
+        }
+    }
+}
+
+/// A microarchitecture configuration for the [`Machine`](crate::Machine).
+///
+/// # Examples
+///
+/// ```
+/// use phantom_pipeline::UarchProfile;
+/// let zen2 = UarchProfile::zen2();
+/// assert!(zen2.phantom_exec_uops > 0, "Zen 2 executes phantom targets");
+/// let zen4 = UarchProfile::zen4();
+/// assert_eq!(zen4.phantom_exec_uops, 0, "Zen 4 squashes before execute");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UarchProfile {
+    /// Human-readable name ("Zen 2", "Intel 12th gen (P core)").
+    pub name: &'static str,
+    /// The representative retail part the paper tested.
+    pub model: &'static str,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// BTB alias scheme.
+    pub btb_scheme: BtbScheme,
+    /// Fetch window in bytes (typically 32).
+    pub fetch_block: u64,
+    /// Cycles for the fetch unit to request the predicted target
+    /// (pipeline distance from prediction to I-cache access).
+    pub fetch_latency: u64,
+    /// Cycles from fetched bytes to decoded µops.
+    pub decode_latency: u64,
+    /// Cycles between the decoder spotting a mismatch and the squash
+    /// taking effect at the frontend (the PHANTOM window ends here).
+    pub frontend_resteer_latency: u64,
+    /// Cycles for an execute-dependent branch to resolve in the backend
+    /// (the conventional Spectre window ends here).
+    pub backend_resteer_latency: u64,
+    /// µop budget a *frontend-resteered* (phantom) target can dispatch
+    /// before the squash: nonzero only where decode-resteer is slower
+    /// than dispatch (Zen 1/2 — observation O3).
+    pub phantom_exec_uops: u32,
+    /// µop budget for a *backend-resteered* (Spectre) path.
+    pub spectre_exec_uops: u32,
+    /// Whether the `SuppressBPOnNonBr` MSR bit exists (Zen 2+; §8.1 notes
+    /// it is absent on Zen 1).
+    pub supports_suppress_bp_on_non_br: bool,
+    /// Whether AutoIBRS exists (Zen 4).
+    pub supports_auto_ibrs: bool,
+    /// Intel blind spot from §6: with a `jmp*` *victim*, some Intel parts
+    /// showed no ID (and sometimes no IF) signal. Modeled as the BPU
+    /// declining to steer on these parts when the victim alias class was
+    /// most recently a kernel-observed indirect site is beyond reach of
+    /// the model, so we gate purely by victim decode kind at resteer
+    /// bookkeeping time.
+    pub indirect_victim_blind: bool,
+    /// Nominal frequency (GHz) used to convert cycles to wall-clock
+    /// seconds for leak-rate reporting.
+    pub freq_ghz: f64,
+}
+
+impl UarchProfile {
+    /// AMD Zen 1 (Ryzen 5 1600X in the paper).
+    pub fn zen1() -> UarchProfile {
+        UarchProfile {
+            name: "Zen",
+            model: "AMD Ryzen 5 1600X",
+            vendor: Vendor::Amd,
+            btb_scheme: BtbScheme::zen12(),
+            fetch_block: 32,
+            fetch_latency: 1,
+            decode_latency: 4,
+            frontend_resteer_latency: 12,
+            backend_resteer_latency: 60,
+            phantom_exec_uops: 6,
+            spectre_exec_uops: 40,
+            supports_suppress_bp_on_non_br: false,
+            supports_auto_ibrs: false,
+            indirect_victim_blind: false,
+            freq_ghz: 3.6,
+        }
+    }
+
+    /// AMD Zen 2 (EPYC 7252 in the paper).
+    pub fn zen2() -> UarchProfile {
+        UarchProfile {
+            name: "Zen 2",
+            model: "AMD EPYC 7252",
+            vendor: Vendor::Amd,
+            btb_scheme: BtbScheme::zen12(),
+            fetch_block: 32,
+            fetch_latency: 1,
+            decode_latency: 4,
+            frontend_resteer_latency: 11,
+            backend_resteer_latency: 60,
+            phantom_exec_uops: 6,
+            spectre_exec_uops: 44,
+            supports_suppress_bp_on_non_br: true,
+            supports_auto_ibrs: false,
+            indirect_victim_blind: false,
+            freq_ghz: 3.1,
+        }
+    }
+
+    /// AMD Zen 3 (Ryzen 5 5600G in the paper). First part with the
+    /// `b47`-folded cross-privilege BTB functions of Figure 7.
+    pub fn zen3() -> UarchProfile {
+        UarchProfile {
+            name: "Zen 3",
+            model: "Ryzen 5 5600G",
+            vendor: Vendor::Amd,
+            btb_scheme: BtbScheme::zen34(),
+            fetch_block: 32,
+            fetch_latency: 1,
+            decode_latency: 3,
+            frontend_resteer_latency: 6,
+            backend_resteer_latency: 55,
+            phantom_exec_uops: 0,
+            spectre_exec_uops: 44,
+            supports_suppress_bp_on_non_br: true,
+            supports_auto_ibrs: false,
+            indirect_victim_blind: false,
+            freq_ghz: 3.9,
+        }
+    }
+
+    /// AMD Zen 4 (Ryzen 7 7700X in the paper). Adds AutoIBRS.
+    pub fn zen4() -> UarchProfile {
+        UarchProfile {
+            name: "Zen 4",
+            model: "Ryzen 7 7700X",
+            vendor: Vendor::Amd,
+            btb_scheme: BtbScheme::zen34(),
+            fetch_block: 32,
+            fetch_latency: 1,
+            decode_latency: 3,
+            frontend_resteer_latency: 5,
+            backend_resteer_latency: 50,
+            phantom_exec_uops: 0,
+            spectre_exec_uops: 48,
+            supports_suppress_bp_on_non_br: true,
+            supports_auto_ibrs: true,
+            indirect_victim_blind: false,
+            freq_ghz: 4.5,
+        }
+    }
+
+    fn intel(name: &'static str, model: &'static str, freq_ghz: f64, blind: bool) -> UarchProfile {
+        UarchProfile {
+            name,
+            model,
+            vendor: Vendor::Intel,
+            btb_scheme: BtbScheme::intel(),
+            fetch_block: 32,
+            fetch_latency: 1,
+            decode_latency: 3,
+            frontend_resteer_latency: 6,
+            backend_resteer_latency: 55,
+            phantom_exec_uops: 0,
+            spectre_exec_uops: 44,
+            supports_suppress_bp_on_non_br: false,
+            supports_auto_ibrs: false,
+            indirect_victim_blind: blind,
+            freq_ghz,
+        }
+    }
+
+    /// Intel 9th generation (Coffee Lake Refresh).
+    pub fn intel9() -> UarchProfile {
+        UarchProfile::intel("Intel 9th gen", "Core i9-9900K", 3.6, true)
+    }
+
+    /// Intel 11th generation (Rocket Lake).
+    pub fn intel11() -> UarchProfile {
+        UarchProfile::intel("Intel 11th gen", "Core i7-11700K", 3.6, true)
+    }
+
+    /// Intel 12th generation P core (Golden Cove).
+    pub fn intel12() -> UarchProfile {
+        UarchProfile::intel("Intel 12th gen (P core)", "Core i9-12900K", 3.2, false)
+    }
+
+    /// Intel 13th generation P core (Raptor Cove).
+    pub fn intel13() -> UarchProfile {
+        UarchProfile::intel("Intel 13th gen (P core)", "Core i9-13900K", 3.0, false)
+    }
+
+    /// All eight profiles evaluated in Table 1, in the paper's order.
+    pub fn all() -> Vec<UarchProfile> {
+        vec![
+            UarchProfile::zen1(),
+            UarchProfile::zen2(),
+            UarchProfile::zen3(),
+            UarchProfile::zen4(),
+            UarchProfile::intel9(),
+            UarchProfile::intel11(),
+            UarchProfile::intel12(),
+            UarchProfile::intel13(),
+        ]
+    }
+
+    /// The four AMD profiles (the exploitation targets).
+    pub fn amd() -> Vec<UarchProfile> {
+        vec![
+            UarchProfile::zen1(),
+            UarchProfile::zen2(),
+            UarchProfile::zen3(),
+            UarchProfile::zen4(),
+        ]
+    }
+
+    /// Convert a cycle count to seconds at this profile's frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+impl std::fmt::Display for UarchProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name, self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_profiles_in_paper_order() {
+        let all = UarchProfile::all();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0].name, "Zen");
+        assert_eq!(all[3].name, "Zen 4");
+        assert_eq!(all[4].vendor, Vendor::Intel);
+    }
+
+    #[test]
+    fn only_zen12_execute_phantom_targets() {
+        for p in UarchProfile::all() {
+            let should_exec = matches!(p.name, "Zen" | "Zen 2");
+            assert_eq!(p.phantom_exec_uops > 0, should_exec, "{p}");
+        }
+    }
+
+    #[test]
+    fn stage_latencies_order_correctly() {
+        for p in UarchProfile::all() {
+            // Fetch always completes before the frontend resteer lands:
+            // transient fetch on every part (O1).
+            assert!(p.fetch_latency < p.frontend_resteer_latency, "{p}");
+            // Decode of the target also beats the resteer (O2).
+            assert!(p.fetch_latency + p.decode_latency <= p.frontend_resteer_latency, "{p}");
+            // Backend windows dwarf frontend windows.
+            assert!(p.backend_resteer_latency > 4 * p.frontend_resteer_latency, "{p}");
+        }
+    }
+
+    #[test]
+    fn mitigation_support_matrix() {
+        assert!(!UarchProfile::zen1().supports_suppress_bp_on_non_br, "§8.1: not on Zen 1");
+        assert!(UarchProfile::zen2().supports_suppress_bp_on_non_br);
+        assert!(UarchProfile::zen4().supports_auto_ibrs);
+        assert!(!UarchProfile::zen3().supports_auto_ibrs);
+        for p in [UarchProfile::intel9(), UarchProfile::intel13()] {
+            assert!(p.btb_scheme.privilege_tagged, "{p}");
+        }
+    }
+
+    #[test]
+    fn cycles_to_seconds_scales_by_frequency() {
+        let p = UarchProfile::zen3(); // 3.9 GHz
+        let s = p.cycles_to_seconds(3_900_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

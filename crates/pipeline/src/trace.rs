@@ -1,0 +1,251 @@
+//! Pipeline event tracing: a bounded record of what the frontend
+//! believed, what the decoder found, and what got squashed.
+//!
+//! The machine itself stays trace-free; [`Tracer`] wraps
+//! [`Machine::step`](crate::Machine::step) and distills each step into a
+//! [`TraceEvent`]. Useful for debugging experiments and for teaching —
+//! the `pipeline_trace` example renders a phantom misprediction
+//! instruction by instruction.
+
+use std::collections::VecDeque;
+
+use phantom_isa::Inst;
+use phantom_mem::VirtAddr;
+
+use crate::machine::{Machine, MachineError, StepOutcome};
+use crate::resteer::ResteerKind;
+
+/// One distilled pipeline step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sequence number.
+    pub seq: u64,
+    /// Architectural PC.
+    pub pc: VirtAddr,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Cycle count after the step.
+    pub cycles: u64,
+    /// Misprediction squashed this step, if any.
+    pub resteer: Option<ResteerKind>,
+    /// Where the wrong path went.
+    pub transient_target: Option<VirtAddr>,
+    /// Deepest stage the wrong path reached ("-", "IF", "ID", "EX").
+    pub transient_stage: &'static str,
+    /// Wrong-path loads dispatched.
+    pub transient_loads: usize,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:>4}] {} {:<24}", self.seq, self.pc, self.inst.to_string())?;
+        match (self.resteer, self.transient_target) {
+            (Some(kind), Some(target)) => write!(
+                f,
+                " !! {} resteer; wrong path -> {} reached {} ({} loads)",
+                match kind {
+                    ResteerKind::Frontend => "frontend",
+                    ResteerKind::Backend => "backend",
+                },
+                target,
+                self.transient_stage,
+                self.transient_loads
+            ),
+            (Some(kind), None) => write!(
+                f,
+                " !! {} resteer; no target served",
+                match kind {
+                    ResteerKind::Frontend => "frontend",
+                    ResteerKind::Backend => "backend",
+                }
+            ),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A bounded step recorder over a [`Machine`].
+///
+/// # Examples
+///
+/// ```
+/// use phantom_isa::{asm::Assembler, Inst, Reg};
+/// use phantom_mem::PageFlags;
+/// use phantom_pipeline::{Machine, Tracer, UarchProfile};
+///
+/// let mut m = Machine::new(UarchProfile::zen2(), 1 << 20);
+/// let mut a = Assembler::new(0x40_0000);
+/// a.push(Inst::Nop);
+/// a.push(Inst::Halt);
+/// m.load_blob(&a.finish()?, PageFlags::USER_TEXT)?;
+/// m.set_pc(0x40_0000u64.into());
+///
+/// let mut tracer = Tracer::new(64);
+/// tracer.run(&mut m, 10)?;
+/// assert_eq!(tracer.events().count(), 2); // nop + hlt
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl Tracer {
+    /// A tracer keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "capacity must be nonzero");
+        Tracer { events: VecDeque::with_capacity(capacity), capacity, seq: 0 }
+    }
+
+    /// Step the machine once, recording the event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError`] from the machine.
+    pub fn step(&mut self, machine: &mut Machine) -> Result<StepOutcome, MachineError> {
+        let outcome = machine.step()?;
+        let (resteer, transient_target, transient_stage, transient_loads) =
+            match &outcome.transient {
+                Some(t) => (
+                    t.window.map(|w| w.resteer),
+                    t.target,
+                    t.deepest_stage(),
+                    t.loads_dispatched.len(),
+                ),
+                None => (None, None, "-", 0),
+            };
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent {
+            seq: self.seq,
+            pc: outcome.pc,
+            inst: outcome.inst,
+            cycles: machine.cycles(),
+            resteer,
+            transient_target,
+            transient_stage,
+            transient_loads,
+        });
+        self.seq += 1;
+        Ok(outcome)
+    }
+
+    /// Run until halt or `max_steps`, recording every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError`] from the machine.
+    pub fn run(&mut self, machine: &mut Machine, max_steps: u64) -> Result<(), MachineError> {
+        for _ in 0..max_steps {
+            if self.step(machine)?.halted {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Only the events where a misprediction was squashed.
+    pub fn mispredictions(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(|e| e.resteer.is_some())
+    }
+
+    /// Render the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clear recorded events (sequence numbers keep counting).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_isa::asm::Assembler;
+    use phantom_isa::Reg;
+    use phantom_mem::PageFlags;
+
+    use crate::profile::UarchProfile;
+
+    fn traced_phantom() -> (Tracer, Machine) {
+        let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+        let text = PageFlags::USER_TEXT | PageFlags::WRITE;
+        let x = VirtAddr::new(0x40_0ac0);
+        let c = VirtAddr::new(0x48_0b40);
+        m.map_range(x.page_base(), 0x1000, text).unwrap();
+        m.map_range(c.page_base(), 0x1000, text).unwrap();
+        m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA).unwrap();
+        m.set_reg(Reg::R8, 0x60_0000);
+        let mut g = Assembler::new(c.raw());
+        g.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+        g.push(Inst::Halt);
+        m.load_blob(&g.finish().unwrap(), text).unwrap();
+        let mut bytes = Vec::new();
+        phantom_isa::encode::encode_into(&Inst::JmpInd { src: Reg::R11 }, &mut bytes).unwrap();
+        bytes.push(0xF4);
+        m.poke(x, &bytes);
+        m.set_reg(Reg::R11, c.raw());
+        m.set_pc(x);
+        m.run(8).unwrap();
+        m.poke(x, &[0x90, 0x90, 0xF4]);
+        m.set_pc(x);
+        (Tracer::new(32), m)
+    }
+
+    #[test]
+    fn trace_captures_the_phantom_resteer() {
+        let (mut tracer, mut m) = traced_phantom();
+        tracer.run(&mut m, 8).unwrap();
+        let mispredicts: Vec<_> = tracer.mispredictions().collect();
+        assert_eq!(mispredicts.len(), 1);
+        let e = mispredicts[0];
+        assert_eq!(e.resteer, Some(ResteerKind::Frontend));
+        assert_eq!(e.transient_target, Some(VirtAddr::new(0x48_0b40)));
+        assert_eq!(e.transient_stage, "EX");
+        assert_eq!(e.transient_loads, 1);
+        assert_eq!(e.inst, Inst::Nop, "the victim was a nop");
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let (mut tracer, mut m) = traced_phantom();
+        tracer.run(&mut m, 8).unwrap();
+        let rendered = tracer.render();
+        assert_eq!(rendered.lines().count(), tracer.events().count());
+        assert!(rendered.contains("frontend resteer"));
+    }
+
+    #[test]
+    fn capacity_bounds_the_ring() {
+        let mut m = Machine::new(UarchProfile::zen3(), 1 << 20);
+        let mut a = Assembler::new(0x40_0000);
+        a.nops(20);
+        a.push(Inst::Halt);
+        m.load_blob(&a.finish().unwrap(), PageFlags::USER_TEXT).unwrap();
+        m.set_pc(VirtAddr::new(0x40_0000));
+        let mut tracer = Tracer::new(4);
+        tracer.run(&mut m, 40).unwrap();
+        assert_eq!(tracer.events().count(), 4);
+        // The kept events are the most recent ones.
+        assert_eq!(tracer.events().last().unwrap().inst, Inst::Halt);
+    }
+}

@@ -1,0 +1,362 @@
+//! Prime+Probe on the L1I, L1D and L2 caches.
+
+use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr};
+use phantom_pipeline::Machine;
+
+use crate::noise::NoiseModel;
+
+/// Which cache a [`PrimeProbe`] instance targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeLevel {
+    /// L1 instruction cache (the §7.1 channel).
+    L1I,
+    /// L1 data cache.
+    L1D,
+    /// Unified L2 (the §7.2 channel; needs 2 MiB physically contiguous
+    /// backing).
+    L2,
+}
+
+/// Result of one probe pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// Total measured cycles over all ways.
+    pub cycles: u64,
+    /// How many primed ways were found evicted.
+    pub evictions: usize,
+}
+
+/// A Prime+Probe eviction set for one cache set.
+///
+/// Construction maps attacker memory; `prime` fills the target set with
+/// attacker lines; `probe` re-touches them, counting evictions by
+/// latency. The probe re-primes as a side effect (touching reloads the
+/// lines), matching how the loop is used in practice.
+#[derive(Debug, Clone)]
+pub struct PrimeProbe {
+    level: ProbeLevel,
+    set: usize,
+    lines: Vec<VirtAddr>,
+}
+
+/// Error from eviction-set construction.
+#[derive(Debug)]
+pub struct BuildError(pub String);
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "prime+probe construction failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl PrimeProbe {
+    /// Build an L1I eviction set for `set` using pages at
+    /// `attacker_base` (mapped user-executable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if mapping fails or the set index is out
+    /// of range.
+    pub fn new_l1i(
+        machine: &mut Machine,
+        attacker_base: VirtAddr,
+        set: usize,
+    ) -> Result<PrimeProbe, BuildError> {
+        Self::new_l1(machine, attacker_base, set, ProbeLevel::L1I)
+    }
+
+    /// Build an L1D eviction set for `set` using pages at
+    /// `attacker_base` (mapped user-writable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if mapping fails or the set index is out
+    /// of range.
+    pub fn new_l1d(
+        machine: &mut Machine,
+        attacker_base: VirtAddr,
+        set: usize,
+    ) -> Result<PrimeProbe, BuildError> {
+        Self::new_l1(machine, attacker_base, set, ProbeLevel::L1D)
+    }
+
+    fn new_l1(
+        machine: &mut Machine,
+        attacker_base: VirtAddr,
+        set: usize,
+        level: ProbeLevel,
+    ) -> Result<PrimeProbe, BuildError> {
+        let geometry = match level {
+            ProbeLevel::L1I => machine.caches().config().l1i,
+            ProbeLevel::L1D => machine.caches().config().l1d,
+            ProbeLevel::L2 => unreachable!(),
+        };
+        if set >= geometry.sets {
+            return Err(BuildError(format!("set {set} out of range")));
+        }
+        if !attacker_base.is_aligned(4096) {
+            return Err(BuildError("attacker base must be page aligned".into()));
+        }
+        let flags = match level {
+            ProbeLevel::L1I => PageFlags::USER_TEXT,
+            _ => PageFlags::USER_DATA,
+        };
+        // One page per way; the in-page offset selects the set (VIPT:
+        // VA bits [11:6] == PA bits [11:6] for 4 KiB pages).
+        let mut lines = Vec::with_capacity(geometry.ways);
+        for way in 0..geometry.ways {
+            let page = attacker_base + (way as u64) * 4096;
+            machine
+                .map_range(page, 4096, flags)
+                .map_err(|e| BuildError(e.to_string()))?;
+            lines.push(page + (set as u64) * geometry.line_size as u64);
+        }
+        Ok(PrimeProbe { level, set, lines })
+    }
+
+    /// Build an L2 eviction set for `set` over a 2 MiB huge page at
+    /// `huge_base` (mapped user-writable with physically contiguous
+    /// backing, like a transparent huge page).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the huge page cannot be allocated.
+    pub fn new_l2(
+        machine: &mut Machine,
+        huge_base: VirtAddr,
+        set: usize,
+    ) -> Result<PrimeProbe, BuildError> {
+        let geometry = machine.caches().config().l2;
+        if set >= geometry.sets {
+            return Err(BuildError(format!("set {set} out of range")));
+        }
+        if !huge_base.is_aligned(2 * 1024 * 1024) {
+            return Err(BuildError("huge base must be 2 MiB aligned".into()));
+        }
+        if machine
+            .page_table()
+            .translate(huge_base, AccessKind::Read, PrivilegeLevel::User)
+            .is_err()
+        {
+            let frame = machine
+                .phys_mut()
+                .alloc_huge()
+                .map_err(|e| BuildError(e.to_string()))?;
+            machine
+                .page_table_mut()
+                .map_2m(huge_base, frame, PageFlags::USER_DATA);
+        }
+        // Lines with the same L2 set repeat every sets*line bytes of
+        // physical address; a 2 MiB huge page gives the attacker control
+        // of PA bits [20:0], enough for ways * stride.
+        let stride = (geometry.sets * geometry.line_size) as u64;
+        if stride * geometry.ways as u64 > 2 * 1024 * 1024 {
+            return Err(BuildError("L2 too large for one huge page".into()));
+        }
+        let lines = (0..geometry.ways)
+            .map(|w| huge_base + w as u64 * stride + (set as u64) * geometry.line_size as u64)
+            .collect();
+        Ok(PrimeProbe { level: ProbeLevel::L2, set, lines })
+    }
+
+    /// The targeted cache.
+    pub fn level(&self) -> ProbeLevel {
+        self.level
+    }
+
+    /// The targeted set index.
+    pub fn set(&self) -> usize {
+        self.set
+    }
+
+    /// The eviction-set line addresses.
+    pub fn lines(&self) -> &[VirtAddr] {
+        &self.lines
+    }
+
+    fn touch(&self, machine: &mut Machine, va: VirtAddr) -> u64 {
+        let pa = machine
+            .page_table()
+            .translate(va, AccessKind::Read, PrivilegeLevel::User)
+            .expect("eviction set stays mapped");
+        let (_, latency) = match self.level {
+            ProbeLevel::L1I => machine.caches_mut().access_inst(pa.raw()),
+            ProbeLevel::L1D | ProbeLevel::L2 => machine.caches_mut().access_data(pa.raw()),
+        };
+        machine.add_cycles(latency);
+        latency
+    }
+
+    /// Fill the set with attacker lines.
+    pub fn prime(&self, machine: &mut Machine) {
+        // Two passes settle LRU state.
+        for _ in 0..2 {
+            for &line in &self.lines {
+                self.touch(machine, line);
+            }
+        }
+    }
+
+    /// Measure: re-touch every line, classifying each as evicted when
+    /// its (jittered) latency exceeds the L1/L2 hit boundary.
+    pub fn probe(&self, machine: &mut Machine, noise: &mut NoiseModel) -> ProbeResult {
+        let cfg = *machine.caches().config();
+        let hit_threshold = match self.level {
+            ProbeLevel::L1I | ProbeLevel::L1D => cfg.l1_latency + noise.jitter_cycles,
+            // Probing L2: a resident line costs at most an L1 miss + L2
+            // hit; anything above that came from memory.
+            ProbeLevel::L2 => cfg.l1_latency + cfg.l2_latency + noise.jitter_cycles,
+        };
+        let mut cycles = 0;
+        let mut evictions = 0;
+        // Probe in reverse traversal order: under LRU, probing in prime
+        // order cascades (each refill evicts the next line to probe and a
+        // single victim access reads as a whole-set eviction). Reverse
+        // traversal refreshes surviving lines before reaching the victim
+        // slot, so exactly the displaced ways read as misses.
+        for &line in self.lines.iter().rev() {
+            // Noise: spurious pre-probe eviction of this way.
+            if noise.rolls_spurious_evict() {
+                let pa = machine
+                    .page_table()
+                    .translate(line, AccessKind::Read, PrivilegeLevel::User)
+                    .expect("mapped");
+                machine.caches_mut().flush_line(pa.raw());
+            }
+            let latency = noise.jitter(self.touch(machine, line));
+            cycles += latency;
+            if latency > hit_threshold {
+                evictions += 1;
+            }
+        }
+        ProbeResult { cycles, evictions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_pipeline::UarchProfile;
+
+    fn machine() -> Machine {
+        Machine::new(UarchProfile::zen2(), 1 << 26)
+    }
+
+    #[test]
+    fn unprobed_set_reports_no_evictions() {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 5).unwrap();
+        pp.prime(&mut m);
+        let r = pp.probe(&mut m, &mut noise);
+        assert_eq!(r.evictions, 0);
+    }
+
+    #[test]
+    fn victim_access_to_the_set_is_detected() {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let set = 9;
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
+        pp.prime(&mut m);
+        // "Victim": one access mapping to the same L1D set.
+        let victim = VirtAddr::new(0x6000_0000 + set as u64 * 64);
+        m.map_range(victim, 64, PageFlags::USER_DATA).unwrap();
+        let pa = m
+            .page_table()
+            .translate(victim, AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        m.caches_mut().access_data(pa.raw());
+        let r = pp.probe(&mut m, &mut noise);
+        assert_eq!(r.evictions, 1);
+    }
+
+    #[test]
+    fn other_sets_are_unaffected() {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 9).unwrap();
+        pp.prime(&mut m);
+        // Victim touches a different set.
+        let victim = VirtAddr::new(0x6000_0000 + 10 * 64);
+        m.map_range(victim, 64, PageFlags::USER_DATA).unwrap();
+        let pa = m
+            .page_table()
+            .translate(victim, AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        m.caches_mut().access_data(pa.raw());
+        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 0);
+    }
+
+    #[test]
+    fn l1i_channel_sees_instruction_fetches() {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let set = 43; // page offset 43*64 = 0xac0, the paper's favourite
+        let pp = PrimeProbe::new_l1i(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
+        pp.prime(&mut m);
+        let victim = VirtAddr::new(0x6000_0ac0);
+        m.map_range(victim, 64, PageFlags::USER_TEXT).unwrap();
+        let pa = m
+            .page_table()
+            .translate(victim, AccessKind::Execute, PrivilegeLevel::User)
+            .unwrap();
+        m.caches_mut().access_inst(pa.raw());
+        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 1);
+        // Data accesses to the same line do NOT evict L1I ways.
+        pp.prime(&mut m);
+        m.caches_mut().access_data(pa.raw());
+        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 0);
+    }
+
+    #[test]
+    fn l2_channel_detects_misses_through_hugepage_sets() {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let set = 700;
+        let pp = PrimeProbe::new_l2(&mut m, VirtAddr::new(0x4000_0000), set).unwrap();
+        pp.prime(&mut m);
+        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 0);
+        // Victim: 8 distinct-tag L2 accesses to the same set (enough to
+        // evict at least one attacker way from the 8-way set).
+        let g2 = m.caches().config().l2;
+        for i in 0..8u64 {
+            let pa = g2.compose(0x4_0000 + i, set);
+            m.caches_mut().access_data(pa);
+        }
+        pp.prime(&mut m); // reset
+        for i in 8..16u64 {
+            let pa = g2.compose(0x4_0000 + i, set);
+            m.caches_mut().access_data(pa);
+        }
+        let r = pp.probe(&mut m, &mut noise);
+        assert!(r.evictions > 0, "victim L2 pressure visible");
+    }
+
+    #[test]
+    fn noise_produces_false_positives_at_the_configured_rate() {
+        let mut m = machine();
+        let mut noise = NoiseModel::realistic(3);
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 2).unwrap();
+        let mut false_pos = 0;
+        let rounds = 300;
+        for _ in 0..rounds {
+            pp.prime(&mut m);
+            if pp.probe(&mut m, &mut noise).evictions > 0 {
+                false_pos += 1;
+            }
+        }
+        assert!(false_pos > 0, "some spurious evictions expected");
+        assert!(false_pos < rounds / 2, "but not a majority: {false_pos}");
+    }
+
+    #[test]
+    fn build_errors_on_bad_inputs() {
+        let mut m = machine();
+        assert!(PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 999).is_err());
+        assert!(PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0001), 0).is_err());
+        assert!(PrimeProbe::new_l2(&mut m, VirtAddr::new(0x1000), 0).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the side channels.
+
+use proptest::prelude::*;
+
+use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr};
+use phantom_pipeline::{Machine, UarchProfile};
+
+use crate::noise::NoiseModel;
+use crate::prime_probe::PrimeProbe;
+use crate::score::bounded_score;
+
+fn machine() -> Machine {
+    Machine::new(UarchProfile::zen2(), 1 << 26)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Prime+Probe soundness under arbitrary victim activity: the probe
+    /// detects an eviction if and only if the victim touched the
+    /// monitored L1D set with at least one access (noise off).
+    #[test]
+    fn prime_probe_detects_exactly_set_touches(
+        set in 0usize..64,
+        victim_sets in proptest::collection::vec(0usize..64, 0..6),
+    ) {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
+        pp.prime(&mut m);
+        // Victim: one access per listed set, distinct lines.
+        for (i, &vs) in victim_sets.iter().enumerate() {
+            let va = VirtAddr::new(0x6000_0000 + (i as u64) * 0x1000 + (vs as u64) * 64);
+            m.map_range(va, 64, PageFlags::USER_DATA).unwrap();
+            let pa = m
+                .page_table()
+                .translate(va, AccessKind::Read, PrivilegeLevel::User)
+                .unwrap();
+            m.caches_mut().access_data(pa.raw());
+        }
+        let touched = victim_sets.iter().filter(|&&vs| vs == set).count();
+        let r = pp.probe(&mut m, &mut noise);
+        prop_assert_eq!(r.evictions, touched.min(8), "set {} victims {:?}", set, victim_sets);
+    }
+
+    /// Probing is self-restoring: immediately probing again after a
+    /// probe reports a clean set (the probe re-primes by touching).
+    #[test]
+    fn probe_is_self_restoring(set in 0usize..64) {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
+        pp.prime(&mut m);
+        // Disturb.
+        let va = VirtAddr::new(0x6000_0000 + (set as u64) * 64);
+        m.map_range(va, 64, PageFlags::USER_DATA).unwrap();
+        let pa = m.page_table().translate(va, AccessKind::Read, PrivilegeLevel::User).unwrap();
+        m.caches_mut().access_data(pa.raw());
+        let first = pp.probe(&mut m, &mut noise);
+        prop_assert!(first.evictions > 0);
+        let second = pp.probe(&mut m, &mut noise);
+        prop_assert_eq!(second.evictions, 0, "probe restored the set");
+    }
+
+    /// The §7.3 score is monotone in the signal: adding cycles to any
+    /// probe measurement never lowers the score.
+    #[test]
+    fn bounded_score_is_monotone(
+        baseline in proptest::collection::vec(0u64..500, 1..64),
+        bumps in proptest::collection::vec(0u64..50, 1..64),
+    ) {
+        let n = baseline.len().min(bumps.len());
+        let base = &baseline[..n];
+        let mut bumped = base.to_vec();
+        for (b, d) in bumped.iter_mut().zip(&bumps[..n]) {
+            *b += d;
+        }
+        let s0 = bounded_score(base, base);
+        let s1 = bounded_score(&bumped, base);
+        prop_assert_eq!(s0, 0, "identical measurements score zero");
+        prop_assert!(s1 >= s0);
+        // And the clamp bounds it.
+        prop_assert!(s1 <= 10 * n as i64);
+    }
+
+    /// Noise determinism: two models with the same seed agree on every
+    /// decision, regardless of parameters order of use.
+    #[test]
+    fn noise_streams_are_reproducible(seed in any::<u64>(), queries in 1usize..50) {
+        let mut a = NoiseModel::realistic(seed);
+        let mut b = NoiseModel::realistic(seed);
+        for i in 0..queries {
+            prop_assert_eq!(a.jitter(100 + i as u64), b.jitter(100 + i as u64));
+            prop_assert_eq!(a.rolls_spurious_evict(), b.rolls_spurious_evict());
+            prop_assert_eq!(a.rolls_missed_signal(), b.rolls_missed_signal());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The §7.3 noise-overcoming score.
+//!
+//! Prime+Probe on the L1I is noisy; the paper repeats the exploit over
+//! multiple cache sets, measures each monitored set both with the
+//! injected target mapping to it (`T_S`) and with the target mapping to
+//! an unrelated set (`B_S`, the baseline), and scores a candidate by the
+//! bounded relative timing difference accumulated over all 64 sets:
+//!
+//! `score = Σ_S min(max(T_S − B_S, −10), 10)`
+
+/// Clamp bound of the per-set contribution (cycles).
+pub const SCORE_CLAMP: i64 = 10;
+
+/// The bounded relative-difference score over paired per-set
+/// measurements.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_sidechannel::bounded_score;
+/// // One strongly signalling set is clamped to +10; small noise
+/// // elsewhere stays small.
+/// let probe = [250, 101, 99];
+/// let baseline = [100, 100, 100];
+/// assert_eq!(bounded_score(&probe, &baseline), 10 + 1 - 1);
+/// ```
+pub fn bounded_score(probe: &[u64], baseline: &[u64]) -> i64 {
+    assert_eq!(probe.len(), baseline.len(), "paired measurements required");
+    probe
+        .iter()
+        .zip(baseline)
+        .map(|(&t, &b)| (t as i64 - b as i64).clamp(-SCORE_CLAMP, SCORE_CLAMP))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(bounded_score(&[], &[]), 0);
+    }
+
+    #[test]
+    fn clamping_limits_outliers_both_ways() {
+        // A single huge outlier cannot dominate 64 sets.
+        assert_eq!(bounded_score(&[10_000], &[0]), SCORE_CLAMP);
+        assert_eq!(bounded_score(&[0], &[10_000]), -SCORE_CLAMP);
+    }
+
+    #[test]
+    fn signal_across_many_sets_accumulates() {
+        let probe: Vec<u64> = (0..64).map(|_| 108).collect();
+        let baseline: Vec<u64> = (0..64).map(|_| 100).collect();
+        assert_eq!(bounded_score(&probe, &baseline), 64 * 8);
+    }
+
+    #[test]
+    fn symmetric_noise_cancels() {
+        let probe = [105, 95, 103, 97];
+        let baseline = [100, 100, 100, 100];
+        assert_eq!(bounded_score(&probe, &baseline), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn mismatched_lengths_panic() {
+        bounded_score(&[1], &[1, 2]);
+    }
+}

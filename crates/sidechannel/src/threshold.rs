@@ -1,0 +1,89 @@
+//! Timing calibration: where is the line between "cached" and "not"?
+
+use phantom_mem::{PageFlags, VirtAddr};
+use phantom_pipeline::Machine;
+
+use crate::flush_reload::{flush, reload};
+use crate::noise::NoiseModel;
+
+/// Calibrated hit/miss boundary for timed reloads.
+///
+/// # Examples
+///
+/// ```
+/// use phantom_pipeline::{Machine, UarchProfile};
+/// use phantom_sidechannel::{Calibration, NoiseModel};
+///
+/// let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+/// let mut noise = NoiseModel::realistic(1);
+/// let cal = Calibration::run(&mut m, &mut noise, 64);
+/// assert!((cal.threshold as f64) > cal.hit_mean);
+/// assert!((cal.threshold as f64) < cal.miss_mean);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Mean measured latency of cached reloads.
+    pub hit_mean: f64,
+    /// Mean measured latency of uncached reloads.
+    pub miss_mean: f64,
+    /// The classification threshold (midpoint, floor-biased toward
+    /// hits).
+    pub threshold: u64,
+}
+
+impl Calibration {
+    /// Measure `rounds` hit and miss reloads on a scratch page and place
+    /// the threshold between the distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch page cannot be mapped (machine out of
+    /// memory during calibration is a setup bug).
+    pub fn run(machine: &mut Machine, noise: &mut NoiseModel, rounds: usize) -> Calibration {
+        let scratch = VirtAddr::new(0x5fff_0000);
+        machine
+            .map_range(scratch, 4096, PageFlags::USER_DATA)
+            .expect("calibration scratch page");
+        let mut hit_total = 0u64;
+        let mut miss_total = 0u64;
+        for _ in 0..rounds.max(1) {
+            flush(machine, scratch);
+            miss_total += reload(machine, scratch, noise);
+            hit_total += reload(machine, scratch, noise);
+        }
+        let n = rounds.max(1) as f64;
+        let hit_mean = hit_total as f64 / n;
+        let miss_mean = miss_total as f64 / n;
+        let threshold = ((hit_mean + miss_mean) / 2.0).floor() as u64;
+        Calibration { hit_mean, miss_mean, threshold }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phantom_pipeline::UarchProfile;
+
+    #[test]
+    fn distributions_are_separable() {
+        let mut m = Machine::new(UarchProfile::zen3(), 1 << 24);
+        let mut noise = NoiseModel::realistic(7);
+        let cal = Calibration::run(&mut m, &mut noise, 32);
+        assert!(cal.miss_mean > cal.hit_mean + 50.0, "{cal:?}");
+        assert!((cal.hit_mean as u64) < cal.threshold);
+        assert!(cal.threshold < cal.miss_mean as u64);
+    }
+
+    #[test]
+    fn quiet_noise_matches_configured_latencies() {
+        let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+        let mut noise = NoiseModel::quiet(0);
+        let cal = Calibration::run(&mut m, &mut noise, 8);
+        let cfg = m.caches().config();
+        assert_eq!(cal.hit_mean as u64, cfg.l1_latency);
+        assert_eq!(
+            cal.miss_mean as u64,
+            cfg.l1_latency + cfg.l2_latency + cfg.memory_latency
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! §6.2 — reverse engineering the Zen 3/4 cross-privilege BTB functions.
+//!
+//! First the paper's failed approach: brute-forcing small bit-flip
+//! patterns (every Figure 7 function folds `b47`, so no few-bit pattern
+//! collides). Then the successful one: collect *random* colliding user
+//! addresses behaviourally and solve the resulting GF(2) system for
+//! bounded-weight XOR functions — the paper used Z3, we use Gaussian
+//! elimination, which is exact for linear functions.
+//!
+//! Run with: `cargo run --release --example btb_reverse`
+
+use phantom::collide::{brute_force, collision_pattern, recover_figure7, BtbOracle, CollisionOracle};
+use phantom_bpu::BtbScheme;
+use phantom_mem::VirtAddr;
+
+fn main() {
+    let k = VirtAddr::new(0xffff_ffff_8124_6ac0);
+    println!("target kernel address K = {k}\n");
+
+    // --- Brute force (fails on Zen 3, succeeds trivially on Zen 2). --
+    let mut zen3 = BtbOracle::new(BtbScheme::zen34());
+    let bf = brute_force(&mut zen3, k, 3);
+    println!(
+        "brute force on Zen 3 (<=3 extra flips): {} patterns in {} trials",
+        bf.patterns.len(),
+        bf.tested
+    );
+    let mut zen2 = BtbOracle::new(BtbScheme::zen12());
+    let bf2 = brute_force(&mut zen2, k, 0);
+    println!(
+        "brute force on Zen 2 (0 extra flips):   {} pattern(s) — Retbleed-style high-bit aliasing\n",
+        bf2.patterns.len()
+    );
+
+    // --- Random collisions + solver (the Figure 7 procedure). --------
+    let ks = [k, VirtAddr::new(0xffff_ffff_9230_0ac0)];
+    let fig7 = recover_figure7(&mut zen3, &ks, 24, 1);
+    println!(
+        "collected {} random collisions per address; recovered {} functions:",
+        fig7.samples_per_address,
+        fig7.functions.len()
+    );
+    for (i, f) in fig7.functions.iter().enumerate() {
+        println!("  f{i} = {f}");
+    }
+    println!(
+        "\npaper's published XOR patterns hold against the recovery: {}",
+        fig7.paper_patterns_hold
+    );
+
+    // --- Derive a working user<->kernel collision pattern. ------------
+    if let Some(pattern) = collision_pattern(&fig7.functions) {
+        let user = VirtAddr::new(k.raw() ^ pattern);
+        println!("derived collision pattern {pattern:#x}");
+        println!("  user alias of K: {user}");
+        println!("  behavioural check: {}", zen3.collides(user, k));
+    }
+}

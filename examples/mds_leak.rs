@@ -1,0 +1,57 @@
+//! §7.4 — leaking kernel memory with an MDS gadget: PHANTOM nested
+//! inside a conventional Spectre window.
+//!
+//! The kernel module's `read_data()` has only ONE attacker-indexed load
+//! after its bounds check — a classic "MDS gadget" that conventional
+//! Spectre cannot exploit (no dependent second load). We train the
+//! bounds check taken, inject a `jmp*` prediction at the gadget's direct
+//! `call parse_data()`, and let the transient control flow steer into a
+//! disclosure gadget that cache-encodes the secret byte into our reload
+//! buffer — addressed through physmap, located with the previous attack
+//! stages.
+//!
+//! Run with: `cargo run --release --example mds_leak`
+
+use phantom::attacks::{leak_kernel_memory, MdsLeakConfig};
+use phantom::UarchProfile;
+use phantom_kernel::System;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64usize);
+
+    for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
+        let name = profile.name;
+        let mut sys = System::new(profile, 1 << 28, 7)?;
+        let physmap = sys.layout().physmap_base(); // from the §7.2 stage
+        let result = leak_kernel_memory(
+            &mut sys,
+            physmap,
+            &MdsLeakConfig { bytes, ..Default::default() },
+        )?;
+
+        println!("[{name}] leaking {bytes} bytes of planted kernel secret:");
+        println!(
+            "  signal: {}   accuracy: {:.1}%   rate: {:.0} B/s (simulated)",
+            if result.signal { "yes" } else { "no" },
+            result.accuracy * 100.0,
+            result.bytes_per_sec
+        );
+        let shown = result.leaked.len().min(16);
+        print!("  leaked : ");
+        for b in &result.leaked[..shown] {
+            print!("{b:02x} ");
+        }
+        print!("\n  actual : ");
+        for b in &sys.secret()[..shown] {
+            print!("{b:02x} ");
+        }
+        println!("\n");
+    }
+    println!("Zen 2 leaks perfectly; Zen 4's frontend squashes the nested");
+    println!("phantom before the disclosure load dispatches, so the same");
+    println!("gadget leaks nothing there — exactly the paper's split.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Watch a PHANTOM misprediction happen, instruction by instruction.
+//!
+//! We run the paper's Figure 4 experiment under a pipeline tracer on
+//! Zen 2 and Zen 4, printing each architectural step with the frontend's
+//! (mis)beliefs annotated. The same nop produces an "EX, 1 load" wrong
+//! path on Zen 2 and an "ID, 0 loads" one on Zen 4.
+//!
+//! Run with: `cargo run --release --example pipeline_trace`
+
+use phantom_isa::asm::Assembler;
+use phantom_isa::{Inst, Reg};
+use phantom_mem::{PageFlags, VirtAddr};
+use phantom_pipeline::{Machine, Tracer, UarchProfile};
+
+fn trace_one(profile: UarchProfile) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {} ===", profile.name);
+    let mut m = Machine::new(profile, 1 << 24);
+    let text = PageFlags::USER_TEXT | PageFlags::WRITE;
+    let x = VirtAddr::new(0x40_0ac0); // the victim site A/B
+    let c = VirtAddr::new(0x48_0b40); // the phantom target C
+    m.map_range(x.page_base(), 0x1000, text)?;
+    m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)?;
+    m.set_reg(Reg::R8, 0x60_0000);
+
+    // C: the signal payload (one load, then halt).
+    let mut g = Assembler::new(c.raw());
+    g.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+    g.push(Inst::Halt);
+    m.load_blob(&g.finish()?, text)?;
+
+    // Training run: jmp* at X -> C.
+    let mut t = Assembler::new(x.raw());
+    t.push(Inst::JmpInd { src: Reg::R11 });
+    t.push(Inst::Halt);
+    m.load_blob(&t.finish()?, text)?;
+    m.set_reg(Reg::R11, c.raw());
+    m.set_pc(x);
+    println!("-- training run (jmp* {x} -> {c}):");
+    let mut tracer = Tracer::new(64);
+    tracer.run(&mut m, 8)?;
+    print!("{}", tracer.render());
+
+    // Victim run: the jmp* is now a nop sled, but the BTB remembers.
+    m.poke(x, &[0x90, 0x90, 0xF4]);
+    m.set_pc(x);
+    println!("-- victim run (same bytes are now nops):");
+    tracer.clear();
+    tracer.run(&mut m, 8)?;
+    print!("{}", tracer.render());
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    trace_one(UarchProfile::zen2())?;
+    trace_one(UarchProfile::zen4())?;
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Baseline comparison: conventional Spectre-V2 vs PHANTOM.
+//!
+//! Three measurements side by side, per microarchitecture:
+//! 1. the classic Spectre-V2 leak (two-load gadget, backend window) —
+//!    works everywhere;
+//! 2. the window-width gap between backend and frontend resteers;
+//! 3. whether a phantom (frontend-resteered) path can still execute a
+//!    load — the Zen 1/2 privilege the exploits build on.
+//!
+//! Run with: `cargo run --release --example spectre_vs_phantom`
+
+use phantom::experiment::{run_combo, TrainKind, VictimKind};
+use phantom::spectre::{spectre_v2_leak, window_comparison};
+use phantom::UarchProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>14} {:>16} {:>16} {:>14}",
+        "uarch", "spectre leak", "spectre window", "phantom window", "phantom EX"
+    );
+    for profile in UarchProfile::amd() {
+        let leak = spectre_v2_leak(profile.clone(), 0x5C)?;
+        let w = window_comparison(&profile);
+        let combo = run_combo(profile.clone(), TrainKind::JmpInd, VictimKind::NonBranch, 0)?;
+        println!(
+            "{:<10} {:>14} {:>13} uop {:>13} uop {:>14}",
+            profile.name,
+            if leak.correct() { "0x5c ok" } else { "failed" },
+            w.spectre_uops,
+            w.phantom_uops,
+            combo.executed,
+        );
+    }
+    println!();
+    println!("Conventional Spectre leaks on every part — its window closes at");
+    println!("execute. PHANTOM's window closes at decode: an order of magnitude");
+    println!("narrower, zero execution on Zen 3/4 — and yet §7 turns the crumbs");
+    println!("(one fetch, one decode, at most one load) into full KASLR breaks");
+    println!("and, nested inside a Spectre window, arbitrary kernel reads.");
+    Ok(())
+}

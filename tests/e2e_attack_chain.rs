@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full §7 exploit chain on one booted
+//! system — image KASLR → physmap KASLR → physical address → MDS leak —
+//! with every stage feeding the next from *measured* values, never
+//! ground truth.
+
+use phantom::attacks::{
+    break_kaslr_image, break_physmap, find_physical_address, leak_kernel_memory,
+    KaslrImageConfig, MdsLeakConfig, PhysAddrConfig, PhysmapConfig,
+};
+use phantom::UarchProfile;
+use phantom_kernel::layout::{KaslrLayout, KERNEL_IMAGE_SLOTS, PHYSMAP_SLOTS};
+use phantom_kernel::System;
+
+fn window(actual: u64, width: u64, total: u64) -> std::ops::Range<u64> {
+    let lo = actual.saturating_sub(width / 2).min(total - width);
+    lo..lo + width
+}
+
+#[test]
+fn full_chain_on_zen2() {
+    let mut sys = System::new(UarchProfile::zen2(), 1 << 28, 1234).expect("boot");
+    let (image_slot, physmap_slot) = (sys.layout().image_slot, sys.layout().physmap_slot);
+
+    // Stage 1 — the guessed slot, not the layout, feeds stage 2.
+    let s1 = break_kaslr_image(
+        &mut sys,
+        &KaslrImageConfig {
+            slots: window(image_slot, 32, KERNEL_IMAGE_SLOTS),
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .expect("stage 1");
+    assert!(s1.correct, "stage 1: {} vs {}", s1.guessed_slot, s1.actual_slot);
+    let image_base = KaslrLayout::candidate_image_base(s1.guessed_slot);
+
+    // Stage 2 — physmap, using stage 1's image base.
+    let s2 = break_physmap(
+        &mut sys,
+        image_base,
+        &PhysmapConfig {
+            slots: window(physmap_slot, 32, PHYSMAP_SLOTS),
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .expect("stage 2");
+    assert!(s2.correct, "stage 2: {} vs {}", s2.guessed_slot, s2.actual_slot);
+    let physmap_base = KaslrLayout::candidate_physmap_base(s2.guessed_slot);
+
+    // Stage 3 — physical address of an attacker page, via stages 1+2.
+    let s3 = find_physical_address(
+        &mut sys,
+        image_base,
+        physmap_base,
+        &PhysAddrConfig { max_decoys: 16, seed: 3 },
+    )
+    .expect("stage 3");
+    assert!(s3.correct, "stage 3: {:?} vs {:#x}", s3.guessed_pa, s3.actual_pa);
+
+    // Stage 4 — leak the planted secret through the MDS gadget.
+    let s4 = leak_kernel_memory(
+        &mut sys,
+        physmap_base,
+        &MdsLeakConfig { bytes: 32, seed: 4, ..Default::default() },
+    )
+    .expect("stage 4");
+    assert!(s4.signal);
+    assert_eq!(&s4.leaked[..32], &sys.secret()[..32], "leaked bytes match");
+}
+
+#[test]
+fn chain_collapses_at_stage2_on_zen3() {
+    // Zen 3: stage 1 (P1, fetch-based) works; stage 2 (P2, needs phantom
+    // execution) finds nothing but noise — the paper's Table 3 includes
+    // Zen 3/4 while Table 4 does not.
+    let mut sys = System::new(UarchProfile::zen3(), 1 << 28, 99).expect("boot");
+    let (image_slot, physmap_slot) = (sys.layout().image_slot, sys.layout().physmap_slot);
+    let s1 = break_kaslr_image(
+        &mut sys,
+        &KaslrImageConfig {
+            slots: window(image_slot, 24, KERNEL_IMAGE_SLOTS),
+            seed: 9,
+            ..Default::default()
+        },
+    )
+    .expect("stage 1");
+    assert!(s1.correct, "P1 still works on Zen 3");
+
+    let image_base = KaslrLayout::candidate_image_base(s1.guessed_slot);
+    let s2 = break_physmap(
+        &mut sys,
+        image_base,
+        &PhysmapConfig {
+            slots: window(physmap_slot, 24, PHYSMAP_SLOTS),
+            seed: 10,
+            ..Default::default()
+        },
+    )
+    .expect("stage 2 runs");
+    assert!(s2.best_score <= 9, "P2 signal is noise on Zen 3: {}", s2.best_score);
+}
+
+#[test]
+fn repeated_reboots_track_fresh_kaslr() {
+    // Three boots, three different layouts, three correct breaks.
+    let mut slots_seen = std::collections::HashSet::new();
+    for seed in [7u64, 8, 9] {
+        let mut sys = System::new(UarchProfile::zen4(), 1 << 28, seed).expect("boot");
+        let actual = sys.layout().image_slot;
+        slots_seen.insert(actual);
+        let r = break_kaslr_image(
+            &mut sys,
+            &KaslrImageConfig {
+                slots: window(actual, 16, KERNEL_IMAGE_SLOTS),
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("attack");
+        assert!(r.correct, "seed {seed}");
+    }
+    assert!(slots_seen.len() >= 2, "KASLR actually re-randomized");
+}

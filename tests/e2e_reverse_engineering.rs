@@ -1,0 +1,71 @@
+//! Cross-crate integration: the §6.2 reverse-engineering pipeline,
+//! validated end-to-end against the full-system observation channel.
+
+use phantom::collide::{
+    brute_force, collision_pattern, recover_figure7, BtbOracle, CollisionOracle,
+};
+use phantom::primitives::{p1_detect_executable, PrimitiveConfig};
+use phantom::UarchProfile;
+use phantom_bpu::BtbScheme;
+use phantom_kernel::System;
+use phantom_mem::VirtAddr;
+use phantom_sidechannel::NoiseModel;
+
+#[test]
+fn brute_force_vs_solver_split_matches_the_paper() {
+    let k = VirtAddr::new(0xffff_ffff_8124_6ac0);
+    // Zen 3: brute force over small flip counts finds nothing.
+    let mut zen3 = BtbOracle::new(BtbScheme::zen34());
+    assert!(brute_force(&mut zen3, k, 2).patterns.is_empty());
+    // The solver pipeline succeeds.
+    let fig7 = recover_figure7(&mut zen3, &[k], 30, 5);
+    assert_eq!(fig7.functions.len(), 12);
+    assert!(fig7.paper_patterns_hold);
+}
+
+#[test]
+fn recovered_pattern_drives_a_real_cross_privilege_attack() {
+    // Recover functions behaviourally, derive a pattern, and use it as
+    // the PrimitiveConfig of a live P1 probe on a booted Zen 3 system.
+    let mut oracle = BtbOracle::new(BtbScheme::zen34());
+    let fig7 = recover_figure7(&mut oracle, &[VirtAddr::new(0xffff_ffff_8124_6ac0)], 30, 6);
+    let pattern = collision_pattern(&fig7.functions).expect("derivable");
+
+    let mut sys = System::new(UarchProfile::zen3(), 1 << 28, 42).expect("boot");
+    let cfg = PrimitiveConfig { pattern, attacker_base: VirtAddr::new(0x5000_0000) };
+    let mut noise = NoiseModel::quiet(0);
+    let victim = sys.image().listing1_nop;
+    let mapped = sys.image().base + 0x1000;
+    assert!(
+        p1_detect_executable(&mut sys, &cfg, victim, mapped, &mut noise).expect("p1"),
+        "solver-derived pattern {pattern:#x} aliases user->kernel end to end"
+    );
+}
+
+#[test]
+fn paper_patterns_work_on_zen4_too() {
+    // §6.2: "We confirm both of these patterns to work on AMD Zen 4 as
+    // well."
+    let mut zen4_oracle = BtbOracle::new(BtbScheme::zen34());
+    let k = VirtAddr::new(0xffff_ffff_a042_1ac0);
+    for pattern in [0xffff_bff8_0000_0000u64, 0xffff_8003_ff80_0000] {
+        assert!(zen4_oracle.collides(VirtAddr::new(k.raw() ^ pattern), k));
+    }
+    // And end to end on a booted Zen 4 (AutoIBRS on — O5 keeps P1 alive).
+    let mut sys = System::new(UarchProfile::zen4(), 1 << 28, 43).expect("boot");
+    let cfg = PrimitiveConfig::zen34_paper(VirtAddr::new(0x5000_0000));
+    let mut noise = NoiseModel::quiet(0);
+    let victim = sys.image().listing1_nop;
+    let mapped = sys.image().base + 0x1000;
+    assert!(p1_detect_executable(&mut sys, &cfg, victim, mapped, &mut noise).expect("p1"));
+}
+
+#[test]
+fn zen12_needs_no_reverse_engineering() {
+    // Retbleed-era folding: the high bits are untagged, so the trivial
+    // high-bit pattern collides — no solver needed.
+    let mut zen2 = BtbOracle::new(BtbScheme::zen12());
+    let out = brute_force(&mut zen2, VirtAddr::new(0xffff_ffff_8124_6ac0), 0);
+    assert_eq!(out.patterns.len(), 1);
+    assert_eq!(out.tested, 1);
+}
