@@ -28,8 +28,8 @@ fn bench_resteer_latency_sweep(c: &mut Criterion) {
                 // fetch+decode (1 µop per spare cycle).
                 let spare = lat.saturating_sub(profile.fetch_latency + profile.decode_latency);
                 profile.phantom_exec_uops = spare as u32;
-                let o = run_combo(profile, TrainKind::JmpInd, VictimKind::NonBranch, 0)
-                    .expect("combo");
+                let o =
+                    run_combo(profile, TrainKind::JmpInd, VictimKind::NonBranch, 0).expect("combo");
                 // The observation payload's load is the first wrong-path
                 // µop: it dispatches as soon as ANY execute budget
                 // survives the resteer.

@@ -9,7 +9,11 @@ use phantom_bench::{run_mds, run_table3, run_table4, run_table5};
 fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/kaslr_image");
     group.sample_size(10);
-    for profile in [UarchProfile::zen2(), UarchProfile::zen3(), UarchProfile::zen4()] {
+    for profile in [
+        UarchProfile::zen2(),
+        UarchProfile::zen3(),
+        UarchProfile::zen4(),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(profile.name),
             &profile,
@@ -82,5 +86,11 @@ fn bench_mds_leak(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table3, bench_table4, bench_table5, bench_mds_leak);
+criterion_group!(
+    benches,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_mds_leak
+);
 criterion_main!(benches);

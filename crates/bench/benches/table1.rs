@@ -8,7 +8,11 @@ use phantom::UarchProfile;
 fn bench_single_combo(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/combo");
     group.sample_size(10);
-    for profile in [UarchProfile::zen2(), UarchProfile::zen4(), UarchProfile::intel13()] {
+    for profile in [
+        UarchProfile::zen2(),
+        UarchProfile::zen4(),
+        UarchProfile::intel13(),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(profile.name),
             &profile,

@@ -16,8 +16,14 @@ fn bench_fetch_channel(c: &mut Criterion) {
             &profile,
             |b, p| {
                 b.iter(|| {
-                    fetch_channel(p.clone(), CovertConfig { bits: BITS, seed: 42 })
-                        .expect("channel")
+                    fetch_channel(
+                        p.clone(),
+                        CovertConfig {
+                            bits: BITS,
+                            seed: 42,
+                        },
+                    )
+                    .expect("channel")
                 })
             },
         );
@@ -35,8 +41,14 @@ fn bench_execute_channel(c: &mut Criterion) {
             &profile,
             |b, p| {
                 b.iter(|| {
-                    execute_channel(p.clone(), CovertConfig { bits: BITS, seed: 42 })
-                        .expect("channel")
+                    execute_channel(
+                        p.clone(),
+                        CovertConfig {
+                            bits: BITS,
+                            seed: 42,
+                        },
+                    )
+                    .expect("channel")
                 })
             },
         );

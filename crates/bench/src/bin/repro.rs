@@ -21,95 +21,157 @@
 //!
 //! Environment: `PHANTOM_FULL=1` uses the paper's full protocol sizes
 //! (all 488/25 600 slots, 4096 bits/bytes, 10–100 runs) — slow.
+//! `PHANTOM_THREADS=n` pins the trial runner's thread count (default:
+//! all cores); results are identical at any thread count.
+//!
+//! Tables render on stdout; per-sweep wall-clock notes go to stderr so
+//! piped output stays byte-for-byte reproducible.
 
 use phantom::gadgets::{census, generate_corpus, CorpusConfig};
 use phantom::mitigations::{
     lfence_gadget_protection, o4_suppress_bp_on_non_br, o5_auto_ibrs_fetch,
-    rsb_stuffing_protection, sls_padding_protection, suppress_overhead,
+    rsb_stuffing_protection, sls_padding_protection, suppress_overhead_on,
 };
 use phantom::report;
+use phantom::runner::TrialRunner;
 use phantom::spectre::{spectre_v2_leak, window_comparison};
 use phantom::UarchProfile;
 use phantom_bench::{
-    run_figure6, run_figure7, run_mds, run_table1, run_table2, run_table3, run_table4,
-    run_table5,
+    run_figure6_on, run_figure7, run_mds_on, run_table1_on, run_table2_on, run_table3_on,
+    run_table4_on, run_table5_on, timed,
 };
+
+const USAGE: &str = "\
+usage: repro [command] [n]
+
+  table1            Table 1  (training x victim x uarch stages)
+  figure6           Figure 6 (uop-cache page-offset sweep)
+  figure7           Figure 7 (recovered BTB functions)
+  table2 [bits]     Table 2  (covert channel accuracy / rate)
+  table3 [runs]     Table 3  (kernel image KASLR)
+  table4 [runs]     Table 4  (physmap KASLR)
+  table5 [runs]     Table 5  (physical address)
+  mds [bytes]       \u{a7}7.4     (MDS-gadget kernel leak)
+  o4                O4       (SuppressBPOnNonBr)
+  o5                O5       (AutoIBRS)
+  software          \u{a7}8.2     (lfence / RSB stuffing / SLS padding)
+  spectre           baseline (conventional Spectre-V2 comparison)
+  ablation          design-parameter sweeps (latency / ways / noise)
+  overhead          \u{a7}6.3     (mitigation overhead suite)
+  gadgets           \u{a7}9.1     (gadget census)
+  all               everything above, quick settings (default)
+
+environment:
+  PHANTOM_FULL=1     paper's full protocol sizes (slow)
+  PHANTOM_THREADS=n  pin the trial runner's thread count;
+                     results are identical at any thread count";
 
 fn full() -> bool {
     std::env::var("PHANTOM_FULL").is_ok_and(|v| v == "1")
 }
 
-fn table1() -> Result<(), phantom_bench::RunnerError> {
-    let cells = run_table1(0)?;
-    print!("{}", report::render_table1(&cells));
+fn runner() -> TrialRunner {
+    match std::env::var("PHANTOM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) => TrialRunner::with_threads(n),
+        None => TrialRunner::new(),
+    }
+}
+
+fn table1(r: &TrialRunner) -> Result<(), phantom_bench::RunnerError> {
+    let t = timed(r, |r| run_table1_on(r, 0))?;
+    print!("{}", report::render_table1(&t.result));
+    eprintln!("[table1: {}]", t.wall_note());
     Ok(())
 }
 
-fn figure6() -> Result<(), phantom_bench::RunnerError> {
+fn figure6(r: &TrialRunner) -> Result<(), phantom_bench::RunnerError> {
     for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
-        println!("[{}]", profile.name);
+        let name = profile.name;
+        println!("[{name}]");
         let step = if full() { 0x40 } else { 0x100 };
-        let points = run_figure6(profile, step)?;
-        print!("{}", report::render_figure6(&points));
+        let t = timed(r, |r| run_figure6_on(r, profile.clone(), step))?;
+        print!("{}", report::render_figure6(&t.result));
+        eprintln!("[figure6 {name}: {}]", t.wall_note());
     }
     Ok(())
 }
 
 fn figure7() {
     let samples = if full() { 48 } else { 24 };
+    let start = std::time::Instant::now();
     let fig = run_figure7(samples, 0);
     print!("{}", report::render_figure7(&fig));
+    eprintln!("[figure7: wall {:.2}s]", start.elapsed().as_secs_f64());
 }
 
-fn table2(bits: usize) -> Result<(), phantom_bench::RunnerError> {
-    let rows = run_table2(bits, 0)?;
-    print!("{}", report::render_table2(&rows));
+fn table2(r: &TrialRunner, bits: usize) -> Result<(), phantom_bench::RunnerError> {
+    let t = timed(r, |r| run_table2_on(r, bits, 0))?;
+    print!("{}", report::render_table2(&t.result));
+    eprintln!("[table2: {}]", t.wall_note());
     Ok(())
 }
 
-fn table3(runs: usize) -> Result<(), phantom_bench::RunnerError> {
+fn table3(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError> {
     let slots = if full() { 0 } else { 64 };
-    for p in [UarchProfile::zen2(), UarchProfile::zen3(), UarchProfile::zen4()] {
+    for p in [
+        UarchProfile::zen2(),
+        UarchProfile::zen3(),
+        UarchProfile::zen4(),
+    ] {
         let name = p.name;
-        let results = run_table3(p, runs, slots, 100)?;
-        print!("{}", report::render_table3(name, &results));
+        let t = timed(r, |r| run_table3_on(r, p.clone(), runs, slots, 100))?;
+        print!("{}", report::render_table3(name, &t.result));
+        eprintln!("[table3 {name}: {}]", t.wall_note());
     }
     Ok(())
 }
 
-fn table4(runs: usize) -> Result<(), phantom_bench::RunnerError> {
+fn table4(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError> {
     let slots = if full() { 0 } else { 64 };
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
         let name = p.name;
-        let results = run_table4(p, runs, slots, 200)?;
-        print!("{}", report::render_table4(name, &results));
+        let t = timed(r, |r| run_table4_on(r, p.clone(), runs, slots, 200))?;
+        print!("{}", report::render_table4(name, &t.result));
+        eprintln!("[table4 {name}: {}]", t.wall_note());
     }
     Ok(())
 }
 
-fn table5(runs: usize) -> Result<(), phantom_bench::RunnerError> {
+fn table5(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError> {
     // The paper pairs Zen 1 with 8 GiB and Zen 2 with 64 GiB.
     let configs: [(UarchProfile, u64); 2] = if full() {
-        [(UarchProfile::zen1(), 8 << 30), (UarchProfile::zen2(), 64 << 30)]
+        [
+            (UarchProfile::zen1(), 8 << 30),
+            (UarchProfile::zen2(), 64 << 30),
+        ]
     } else {
-        [(UarchProfile::zen1(), 1 << 30), (UarchProfile::zen2(), 4 << 30)]
+        [
+            (UarchProfile::zen1(), 1 << 30),
+            (UarchProfile::zen2(), 4 << 30),
+        ]
     };
     for (p, bytes) in configs {
         let name = p.name;
-        let results = run_table5(p, bytes, runs, 300)?;
-        print!("{}", report::render_table5(name, bytes >> 30, &results));
+        let t = timed(r, |r| run_table5_on(r, p.clone(), bytes, runs, 300))?;
+        print!("{}", report::render_table5(name, bytes >> 30, &t.result));
+        eprintln!("[table5 {name}: {}]", t.wall_note());
     }
     Ok(())
 }
 
-fn mds(bytes: usize) -> Result<(), phantom_bench::RunnerError> {
+fn mds(r: &TrialRunner, bytes: usize) -> Result<(), phantom_bench::RunnerError> {
     let runs = if full() { 10 } else { 3 };
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
         let name = p.name;
         println!("[{name}] over {runs} reboots:");
-        for r in run_mds(p.clone(), bytes, runs, 400)? {
-            print!("  {}", report::render_mds(&r));
+        let t = timed(r, |r| run_mds_on(r, p.clone(), bytes, runs, 400))?;
+        for row in &t.result {
+            print!("  {}", report::render_mds(row));
         }
+        eprintln!("[mds {name}: {}]", t.wall_note());
     }
     Ok(())
 }
@@ -127,7 +189,9 @@ fn o4() -> Result<(), phantom_bench::RunnerError> {
             o.suppressed.executed,
         );
     }
-    println!("=> SuppressBPOnNonBr stops transient execution but not IF/ID (and is absent on Zen 1).");
+    println!(
+        "=> SuppressBPOnNonBr stops transient execution but not IF/ID (and is absent on Zen 1)."
+    );
     Ok(())
 }
 
@@ -153,7 +217,10 @@ fn software() -> Result<(), phantom_bench::RunnerError> {
 fn ablation() -> Result<(), phantom_bench::RunnerError> {
     println!("resteer-latency sweep (Zen 2 shape):");
     for p in phantom::ablation::resteer_latency_sweep(&[4, 5, 6, 8, 10, 12, 16])? {
-        println!("  latency {:>2} cycles -> spare {:>2} uops -> {}", p.latency, p.spare_uops, p.stage);
+        println!(
+            "  latency {:>2} cycles -> spare {:>2} uops -> {}",
+            p.latency, p.spare_uops, p.stage
+        );
     }
     println!("BTB associativity sweep (8 same-bucket entries):");
     for p in phantom::ablation::btb_associativity_sweep(&[1, 2, 4, 8], 8) {
@@ -161,7 +228,11 @@ fn ablation() -> Result<(), phantom_bench::RunnerError> {
     }
     println!("noise-accuracy curve (fetch channel, 128 bits):");
     for p in phantom::ablation::noise_accuracy_curve(&[0.0, 0.01, 0.03, 0.1, 0.3], 128, 1)? {
-        println!("  spurious {:>4.0}% -> accuracy {:.1}%", p.spurious_rate * 100.0, p.accuracy * 100.0);
+        println!(
+            "  spurious {:>4.0}% -> accuracy {:.1}%",
+            p.spurious_rate * 100.0,
+            p.accuracy * 100.0
+        );
     }
     Ok(())
 }
@@ -174,7 +245,11 @@ fn spectre() -> Result<(), phantom_bench::RunnerError> {
             "n/a (blind)".to_string()
         } else {
             let r = spectre_v2_leak(p.clone(), 0x5c)?;
-            if r.correct() { "leaks".into() } else { "fails".into() }
+            if r.correct() {
+                "leaks".into()
+            } else {
+                "fails".into()
+            }
         };
         println!(
             "  {:<26} spectre {:>2} uops ({leak}), phantom {} uops",
@@ -184,9 +259,13 @@ fn spectre() -> Result<(), phantom_bench::RunnerError> {
     Ok(())
 }
 
-fn overhead() {
-    let r = suppress_overhead(UarchProfile::zen2());
-    print!("{}", report::render_overhead(&r));
+fn overhead(r: &TrialRunner) {
+    let t = timed(r, |r| {
+        Ok::<_, phantom_bench::RunnerError>(suppress_overhead_on(r, UarchProfile::zen2()))
+    })
+    .expect("workload suite is infallible");
+    print!("{}", report::render_overhead(&t.result));
+    eprintln!("[overhead: {}]", t.wall_note());
 }
 
 fn gadgets() {
@@ -201,49 +280,55 @@ fn main() {
     let num = |i: usize, default: usize| -> usize {
         args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
+    let r = runner();
 
     let result: Result<(), phantom_bench::RunnerError> = match cmd {
-        "table1" => table1(),
-        "figure6" => figure6(),
+        "table1" => table1(&r),
+        "figure6" => figure6(&r),
         "figure7" => {
             figure7();
             Ok(())
         }
-        "table2" => table2(num(2, if full() { 4096 } else { 256 })),
-        "table3" => table3(num(2, if full() { 100 } else { 5 })),
-        "table4" => table4(num(2, if full() { 10 } else { 3 })),
-        "table5" => table5(num(2, if full() { 100 } else { 3 })),
-        "mds" => mds(num(2, if full() { 4096 } else { 64 })),
+        "table2" => table2(&r, num(2, if full() { 4096 } else { 256 })),
+        "table3" => table3(&r, num(2, if full() { 100 } else { 5 })),
+        "table4" => table4(&r, num(2, if full() { 10 } else { 3 })),
+        "table5" => table5(&r, num(2, if full() { 100 } else { 3 })),
+        "mds" => mds(&r, num(2, if full() { 4096 } else { 64 })),
         "o4" => o4(),
         "o5" => o5(),
         "software" => software(),
         "spectre" => spectre(),
         "ablation" => ablation(),
         "overhead" => {
-            overhead();
+            overhead(&r);
             Ok(())
         }
         "gadgets" => {
             gadgets();
             Ok(())
         }
-        "all" => table1()
-            .and_then(|()| figure6())
+        "all" => table1(&r)
+            .and_then(|()| figure6(&r))
             .map(|()| figure7())
-            .and_then(|()| table2(256))
-            .and_then(|()| table3(3))
-            .and_then(|()| table4(2))
-            .and_then(|()| table5(2))
-            .and_then(|()| mds(48))
+            .and_then(|()| table2(&r, 256))
+            .and_then(|()| table3(&r, 3))
+            .and_then(|()| table4(&r, 2))
+            .and_then(|()| table5(&r, 2))
+            .and_then(|()| mds(&r, 48))
             .and_then(|()| o4())
             .and_then(|()| o5())
             .and_then(|()| software())
             .and_then(|()| spectre())
             .and_then(|()| ablation())
-            .map(|()| overhead())
+            .map(|()| overhead(&r))
             .map(|()| gadgets()),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
         other => {
-            eprintln!("unknown command {other:?}; see `repro --help` (module docs)");
+            eprintln!("unknown command {other:?}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };

@@ -2,28 +2,74 @@
 //!
 //! Each function regenerates one of the paper's tables or figures,
 //! returning structured results that `repro` renders with
-//! [`phantom::report`]. Run counts and search-space sizes are
-//! parameterized: the paper's full protocol (100 reboots, all 488 / 25 600
-//! KASLR slots) is reachable by cranking the knobs, while the defaults
-//! keep a laptop run in minutes. Scaling choices are recorded in
-//! `EXPERIMENTS.md`.
+//! [`phantom::report`]. Every sweep is a [`phantom::runner::Scenario`]
+//! driven by a [`TrialRunner`], so independent trials (reboots, bits,
+//! cells) shard across worker threads; the `*_on` variants take an
+//! explicit runner for thread-count control, and outputs are identical
+//! at any thread count. Run counts and search-space sizes are
+//! parameterized: the paper's full protocol (100 reboots, all 488 /
+//! 25 600 KASLR slots) is reachable by cranking the knobs, while the
+//! defaults keep a laptop run in minutes. Scaling choices are recorded
+//! in `EXPERIMENTS.md`.
 
 use phantom::attacks::{
-    break_kaslr_image, break_physmap, find_physical_address, leak_kernel_memory,
-    KaslrImageConfig, KaslrImageResult, MdsLeakConfig, MdsLeakResult, PhysAddrConfig,
-    PhysAddrResult, PhysmapConfig, PhysmapResult,
+    KaslrImageResult, KaslrImageSweep, MdsLeakResult, MdsLeakSweep, PhysAddrResult, PhysAddrSweep,
+    PhysmapResult, PhysmapSweep,
 };
 use phantom::collide::{recover_figure7, BtbOracle, Figure7};
-use phantom::covert::{execute_channel, fetch_channel, CovertConfig, CovertResult};
-use phantom::experiment::{figure6, table1, Figure6Point, Table1Cell};
+use phantom::covert::{table2_on, CovertConfig, CovertResult};
+use phantom::experiment::{figure6_on, table1_on, Figure6Point, Table1Cell};
+use phantom::runner::TrialRunner;
 use phantom::UarchProfile;
 use phantom_bpu::BtbScheme;
-use phantom_kernel::layout::{KERNEL_IMAGE_SLOTS, PHYSMAP_SLOTS};
-use phantom_kernel::System;
 use phantom_mem::VirtAddr;
 
+pub use phantom::attacks::scan_window;
+
 /// A boxed error for runner signatures.
-pub type RunnerError = Box<dyn std::error::Error>;
+pub type RunnerError = Box<dyn std::error::Error + Send + Sync>;
+
+/// A sweep result annotated with the host wall-clock time it took and
+/// the thread count that produced it.
+#[derive(Debug, Clone)]
+pub struct Timed<T> {
+    /// The sweep's output.
+    pub result: T,
+    /// Host wall-clock duration (not simulated time).
+    pub wall: std::time::Duration,
+    /// Worker threads the runner used.
+    pub threads: usize,
+}
+
+impl<T> Timed<T> {
+    /// A short `wall 1.23s on 8 threads` note for report footers.
+    pub fn wall_note(&self) -> String {
+        format!(
+            "wall {:.2}s on {} thread{}",
+            self.wall.as_secs_f64(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )
+    }
+}
+
+/// Time a sweep under `runner`, recording wall-clock and thread count.
+///
+/// # Errors
+///
+/// Propagates the sweep's error.
+pub fn timed<T, E>(
+    runner: &TrialRunner,
+    sweep: impl FnOnce(&TrialRunner) -> Result<T, E>,
+) -> Result<Timed<T>, E> {
+    let start = std::time::Instant::now();
+    let result = sweep(runner)?;
+    Ok(Timed {
+        result,
+        wall: start.elapsed(),
+        threads: runner.threads(),
+    })
+}
 
 /// Regenerate Table 1 over all eight microarchitectures.
 ///
@@ -31,7 +77,16 @@ pub type RunnerError = Box<dyn std::error::Error>;
 ///
 /// Propagates experiment setup failures.
 pub fn run_table1(seed: u64) -> Result<Vec<Table1Cell>, RunnerError> {
-    Ok(table1(&UarchProfile::all(), seed)?)
+    run_table1_on(&TrialRunner::new(), seed)
+}
+
+/// [`run_table1`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates experiment setup failures.
+pub fn run_table1_on(runner: &TrialRunner, seed: u64) -> Result<Vec<Table1Cell>, RunnerError> {
+    Ok(table1_on(runner, &UarchProfile::all(), seed)?)
 }
 
 /// Regenerate Figure 6 (µop-cache page-offset sweep) on a profile.
@@ -40,7 +95,20 @@ pub fn run_table1(seed: u64) -> Result<Vec<Table1Cell>, RunnerError> {
 ///
 /// Propagates experiment setup failures.
 pub fn run_figure6(profile: UarchProfile, step: u64) -> Result<Vec<Figure6Point>, RunnerError> {
-    Ok(figure6(profile, 0xac0, step)?)
+    run_figure6_on(&TrialRunner::new(), profile, step)
+}
+
+/// [`run_figure6`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates experiment setup failures.
+pub fn run_figure6_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    step: u64,
+) -> Result<Vec<Figure6Point>, RunnerError> {
+    Ok(figure6_on(runner, profile, 0xac0, step)?)
 }
 
 /// Regenerate Figure 7: recover the Zen 3/4 BTB functions from
@@ -60,15 +128,20 @@ pub fn run_figure7(samples: usize, seed: u64) -> Figure7 {
 ///
 /// Propagates channel failures.
 pub fn run_table2(bits: usize, seed: u64) -> Result<Vec<CovertResult>, RunnerError> {
-    let config = CovertConfig { bits, seed };
-    let mut rows = Vec::new();
-    for p in UarchProfile::amd() {
-        rows.push(fetch_channel(p, config)?);
-    }
-    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        rows.push(execute_channel(p, config)?);
-    }
-    Ok(rows)
+    run_table2_on(&TrialRunner::new(), bits, seed)
+}
+
+/// [`run_table2`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn run_table2_on(
+    runner: &TrialRunner,
+    bits: usize,
+    seed: u64,
+) -> Result<Vec<CovertResult>, RunnerError> {
+    Ok(table2_on(runner, CovertConfig { bits, seed })?)
 }
 
 /// Regenerate Table 3 rows: `runs` kernel-image KASLR breaks with a
@@ -84,14 +157,30 @@ pub fn run_table3(
     slots: u64,
     seed: u64,
 ) -> Result<Vec<KaslrImageResult>, RunnerError> {
-    let mut out = Vec::with_capacity(runs);
-    for r in 0..runs {
-        let mut sys = System::new(profile.clone(), 1 << 30, seed + r as u64)?;
-        let range = scan_window(sys.layout().image_slot, slots, KERNEL_IMAGE_SLOTS);
-        let config = KaslrImageConfig { slots: range, seed: seed + r as u64, ..Default::default() };
-        out.push(break_kaslr_image(&mut sys, &config)?);
-    }
-    Ok(out)
+    run_table3_on(&TrialRunner::new(), profile, runs, slots, seed)
+}
+
+/// [`run_table3`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_table3_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    runs: usize,
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<KaslrImageResult>, RunnerError> {
+    Ok(runner.run(
+        &KaslrImageSweep {
+            profile,
+            runs,
+            window: slots,
+            seed,
+        },
+        seed,
+    )?)
 }
 
 /// Regenerate Table 4 rows: `runs` physmap breaks (reboot per run).
@@ -105,15 +194,30 @@ pub fn run_table4(
     slots: u64,
     seed: u64,
 ) -> Result<Vec<PhysmapResult>, RunnerError> {
-    let mut out = Vec::with_capacity(runs);
-    for r in 0..runs {
-        let mut sys = System::new(profile.clone(), 1 << 30, seed + r as u64)?;
-        let range = scan_window(sys.layout().physmap_slot, slots, PHYSMAP_SLOTS);
-        let image_base = sys.image().base; // the §7.1 stage's output
-        let config = PhysmapConfig { slots: range, seed: seed + r as u64, ..Default::default() };
-        out.push(break_physmap(&mut sys, image_base, &config)?);
-    }
-    Ok(out)
+    run_table4_on(&TrialRunner::new(), profile, runs, slots, seed)
+}
+
+/// [`run_table4`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_table4_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    runs: usize,
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<PhysmapResult>, RunnerError> {
+    Ok(runner.run(
+        &PhysmapSweep {
+            profile,
+            runs,
+            window: slots,
+            seed,
+        },
+        seed,
+    )?)
 }
 
 /// Regenerate Table 5 rows: `runs` physical-address searches over a
@@ -128,14 +232,30 @@ pub fn run_table5(
     runs: usize,
     seed: u64,
 ) -> Result<Vec<PhysAddrResult>, RunnerError> {
-    let mut out = Vec::with_capacity(runs);
-    for r in 0..runs {
-        let mut sys = System::new(profile.clone(), phys_bytes, seed + r as u64)?;
-        let (image_base, physmap_base) = (sys.image().base, sys.layout().physmap_base());
-        let config = PhysAddrConfig { max_decoys: 100, seed: seed + r as u64 };
-        out.push(find_physical_address(&mut sys, image_base, physmap_base, &config)?);
-    }
-    Ok(out)
+    run_table5_on(&TrialRunner::new(), profile, phys_bytes, runs, seed)
+}
+
+/// [`run_table5`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_table5_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    phys_bytes: u64,
+    runs: usize,
+    seed: u64,
+) -> Result<Vec<PhysAddrResult>, RunnerError> {
+    Ok(runner.run(
+        &PhysAddrSweep {
+            profile,
+            phys_bytes,
+            runs,
+            seed,
+        },
+        seed,
+    )?)
 }
 
 /// Regenerate the §7.4 MDS leak: `runs` reboots, `bytes` leaked each.
@@ -149,26 +269,30 @@ pub fn run_mds(
     runs: usize,
     seed: u64,
 ) -> Result<Vec<MdsLeakResult>, RunnerError> {
-    let mut out = Vec::with_capacity(runs);
-    for r in 0..runs {
-        let mut sys = System::new(profile.clone(), 1 << 28, seed + r as u64)?;
-        let physmap = sys.layout().physmap_base();
-        let config = MdsLeakConfig { bytes, seed: seed + r as u64, ..Default::default() };
-        out.push(leak_kernel_memory(&mut sys, physmap, &config)?);
-    }
-    Ok(out)
+    run_mds_on(&TrialRunner::new(), profile, bytes, runs, seed)
 }
 
-/// A scan window of `width` slots guaranteed to contain `actual`
-/// (`width == 0` scans everything). Using a window scales the runtime
-/// linearly while preserving the per-candidate discrimination problem;
-/// the full scan is the same loop over more candidates.
-pub fn scan_window(actual: u64, width: u64, total: u64) -> std::ops::Range<u64> {
-    if width == 0 || width >= total {
-        return 0..total;
-    }
-    let lo = actual.saturating_sub(width / 2).min(total - width);
-    lo..lo + width
+/// [`run_mds`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn run_mds_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    bytes: usize,
+    runs: usize,
+    seed: u64,
+) -> Result<Vec<MdsLeakResult>, RunnerError> {
+    Ok(runner.run(
+        &MdsLeakSweep {
+            profile,
+            bytes,
+            runs,
+            seed,
+        },
+        seed,
+    )?)
 }
 
 #[cfg(test)]
@@ -198,5 +322,41 @@ mod tests {
         let f = run_figure7(24, 3);
         assert_eq!(f.functions.len(), 12);
         assert!(f.paper_patterns_hold);
+    }
+
+    #[test]
+    fn table3_is_identical_at_any_thread_count() {
+        let one = run_table3_on(
+            &TrialRunner::with_threads(1),
+            UarchProfile::zen3(),
+            3,
+            8,
+            77,
+        )
+        .unwrap();
+        let four = run_table3_on(
+            &TrialRunner::with_threads(4),
+            UarchProfile::zen3(),
+            3,
+            8,
+            77,
+        )
+        .unwrap();
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.guessed_slot, b.guessed_slot);
+            assert_eq!(a.actual_slot, b.actual_slot);
+            assert_eq!(a.best_score, b.best_score);
+            assert_eq!(a.cycles, b.cycles);
+        }
+    }
+
+    #[test]
+    fn timed_reports_runner_threads() {
+        let runner = TrialRunner::with_threads(2);
+        let t = timed(&runner, |r| run_figure6_on(r, UarchProfile::zen2(), 0x400)).unwrap();
+        assert_eq!(t.threads, 2);
+        assert!(!t.result.is_empty());
+        assert!(t.wall_note().contains("2 threads"));
     }
 }

@@ -76,7 +76,10 @@ mod tests {
     use super::*;
 
     fn edge(n: u64) -> (VirtAddr, VirtAddr) {
-        (VirtAddr::new(0x40_0000 + n * 64), VirtAddr::new(0x50_0000 + n * 128))
+        (
+            VirtAddr::new(0x40_0000 + n * 64),
+            VirtAddr::new(0x50_0000 + n * 128),
+        )
     }
 
     #[test]

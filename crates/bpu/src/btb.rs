@@ -32,18 +32,30 @@ pub struct BtbScheme {
 impl BtbScheme {
     /// Zen 3 / Zen 4 scheme: the Figure 7 fold family.
     pub fn zen34() -> BtbScheme {
-        BtbScheme { family: FoldFamily::zen34(), ways: 2, privilege_tagged: false }
+        BtbScheme {
+            family: FoldFamily::zen34(),
+            ways: 2,
+            privilege_tagged: false,
+        }
     }
 
     /// Zen 1 / Zen 2 scheme: Retbleed-style folding without `b47`.
     pub fn zen12() -> BtbScheme {
-        BtbScheme { family: FoldFamily::zen12(), ways: 2, privilege_tagged: false }
+        BtbScheme {
+            family: FoldFamily::zen12(),
+            ways: 2,
+            privilege_tagged: false,
+        }
     }
 
     /// Intel scheme: same structural folding as Zen 1/2 but with
     /// privilege-tagged entries.
     pub fn intel() -> BtbScheme {
-        BtbScheme { family: FoldFamily::zen12(), ways: 2, privilege_tagged: true }
+        BtbScheme {
+            family: FoldFamily::zen12(),
+            ways: 2,
+            privilege_tagged: true,
+        }
     }
 }
 
@@ -155,7 +167,11 @@ pub struct Btb {
 impl Btb {
     /// An empty BTB with the given scheme.
     pub fn new(scheme: BtbScheme) -> Btb {
-        Btb { scheme, buckets: std::collections::HashMap::new(), clock: 0 }
+        Btb {
+            scheme,
+            buckets: std::collections::HashMap::new(),
+            clock: 0,
+        }
     }
 
     /// The indexing scheme.
@@ -202,9 +218,10 @@ impl Btb {
         let clock = self.clock;
         let bucket = self.buckets.entry(page_offset).or_default();
         // Alias match: same signature (and privilege when tagged).
-        if let Some(existing) = bucket.iter_mut().find(|e| {
-            e.signature == signature && (!privilege_tagged || e.trained_at == level)
-        }) {
+        if let Some(existing) = bucket
+            .iter_mut()
+            .find(|e| e.signature == signature && (!privilege_tagged || e.trained_at == level))
+        {
             // Same kind, different history: demote the old target to the
             // secondary slot instead of forgetting it (§2.1 multi-target
             // entries). A kind change always replaces the whole entry.
@@ -329,7 +346,13 @@ mod tests {
         let k = VirtAddr::new(0xffff_ffff_8124_6ac0);
         let u = VirtAddr::new(k.raw() ^ 0xffff_bff8_0000_0000);
         // Train at the *user* aliasing address...
-        btb.train(u, BranchKind::Indirect, VirtAddr::new(0x5000), PrivilegeLevel::User, 0);
+        btb.train(
+            u,
+            BranchKind::Indirect,
+            VirtAddr::new(0x5000),
+            PrivilegeLevel::User,
+            0,
+        );
         // ...and the kernel victim address hits.
         let hit = btb.lookup(k).expect("cross-privilege alias");
         assert_eq!(hit.target, Some(VirtAddr::new(0x5000)));
@@ -391,7 +414,13 @@ mod tests {
         // >= 36, including b47).
         let u = VirtAddr::new(k.raw() & 0xf_ffff_ffff);
         assert!(btb.scheme().family.aliases(k, u));
-        btb.train(u, BranchKind::Indirect, VirtAddr::new(0x5000), PrivilegeLevel::User, 0);
+        btb.train(
+            u,
+            BranchKind::Indirect,
+            VirtAddr::new(0x5000),
+            PrivilegeLevel::User,
+            0,
+        );
         // Address-wise the entry aliases, but the scheme tags privilege:
         // lookup finds the entry, and the *caller* must compare modes.
         // The Bpu layer filters; at the raw BTB layer the entry carries
@@ -496,7 +525,9 @@ mod multi_target_tests {
         train_hist(&mut btb, src, 0x1000, 7);
         train_hist(&mut btb, src, 0x2000, 7);
         assert_eq!(
-            btb.lookup_with_history(VirtAddr::new(src), 7).unwrap().target,
+            btb.lookup_with_history(VirtAddr::new(src), 7)
+                .unwrap()
+                .target,
             Some(VirtAddr::new(0x2000))
         );
     }

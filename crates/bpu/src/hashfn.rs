@@ -46,7 +46,9 @@ impl FoldFn {
     /// assert_eq!(f.mask, (1u64 << 47) | (1 << 35) | (1 << 23));
     /// ```
     pub fn of_bits(bits: &[u32]) -> FoldFn {
-        FoldFn { mask: bits.iter().fold(0, |m, b| m | (1u64 << b)) }
+        FoldFn {
+            mask: bits.iter().fold(0, |m, b| m | (1u64 << b)),
+        }
     }
 
     /// Evaluate the function on an address (0 or 1).
@@ -183,7 +185,8 @@ impl FoldFamily {
                     // Flip the highest selected bit below 47 not yet set.
                     let candidate = f
                         .bits()
-                        .into_iter().rfind(|&b| b < 47 && pattern >> b & 1 == 0);
+                        .into_iter()
+                        .rfind(|&b| b < 47 && pattern >> b & 1 == 0);
                     match candidate {
                         Some(b) => {
                             pattern |= 1 << b;

@@ -70,7 +70,13 @@ mod tests {
     fn hardened_reflects_support_matrix() {
         // Zen 1: nothing supported.
         let zen1 = MsrState::hardened(false, false, false);
-        assert_eq!(zen1, MsrState { stibp: true, ..MsrState::none() });
+        assert_eq!(
+            zen1,
+            MsrState {
+                stibp: true,
+                ..MsrState::none()
+            }
+        );
         // Zen 4: SuppressBPOnNonBr + AutoIBRS.
         let zen4 = MsrState::hardened(true, true, false);
         assert!(zen4.suppress_bp_on_non_br && zen4.auto_ibrs && !zen4.eibrs_tagging);

@@ -36,7 +36,11 @@ impl Pht {
     /// two). History is 8 bits by default.
     pub fn new(entries: usize) -> Pht {
         let n = entries.next_power_of_two().max(2);
-        Pht { counters: vec![1; n], ghr: 0, history_bits: 8 }
+        Pht {
+            counters: vec![1; n],
+            ghr: 0,
+            history_bits: 8,
+        }
     }
 
     fn index(&self, pc: VirtAddr) -> usize {

@@ -237,7 +237,12 @@ mod tests {
     fn window_prediction_finds_trained_source() {
         let mut b = bpu(BtbScheme::zen34(), MsrState::none());
         let src = VirtAddr::new(0x40_1008);
-        b.train(src, BranchKind::Indirect, VirtAddr::new(0x7000), PrivilegeLevel::User);
+        b.train(
+            src,
+            BranchKind::Indirect,
+            VirtAddr::new(0x7000),
+            PrivilegeLevel::User,
+        );
         let p = b
             .predict_block(VirtAddr::new(0x40_1000), PrivilegeLevel::User, 0)
             .unwrap();
@@ -262,7 +267,11 @@ mod tests {
         b.rsb_mut().push(VirtAddr::new(0xcafe));
         let p = b.predict_block(src, PrivilegeLevel::User, 0).unwrap();
         assert_eq!(p.kind, BranchKind::Ret);
-        assert_eq!(p.target, Some(VirtAddr::new(0xcafe)), "most recent call site");
+        assert_eq!(
+            p.target,
+            Some(VirtAddr::new(0xcafe)),
+            "most recent call site"
+        );
         // RSB consumed: next prediction underflows.
         let p2 = b.predict_block(src, PrivilegeLevel::User, 0).unwrap();
         assert_eq!(p2.target, None);
@@ -272,7 +281,12 @@ mod tests {
     fn conditional_prediction_respects_direction() {
         let mut b = bpu(BtbScheme::zen12(), MsrState::none());
         let src = VirtAddr::new(0x3000);
-        b.train(src, BranchKind::Cond, VirtAddr::new(0x4000), PrivilegeLevel::User);
+        b.train(
+            src,
+            BranchKind::Cond,
+            VirtAddr::new(0x4000),
+            PrivilegeLevel::User,
+        );
         // Default PHT state: weakly not taken -> no steer.
         assert!(b.predict_block(src, PrivilegeLevel::User, 0).is_none());
         b.train_direction(src, true);
@@ -283,19 +297,33 @@ mod tests {
         for _ in 0..8 {
             b.train_direction(src, true);
         }
-        assert!(b.predict_direction(src) || b.predict_block(src, PrivilegeLevel::User, 0).is_some());
+        assert!(
+            b.predict_direction(src) || b.predict_block(src, PrivilegeLevel::User, 0).is_some()
+        );
     }
 
     #[test]
     fn auto_ibrs_restricts_but_serves_cross_privilege() {
-        let msr = MsrState { auto_ibrs: true, ..MsrState::none() };
+        let msr = MsrState {
+            auto_ibrs: true,
+            ..MsrState::none()
+        };
         let mut b = bpu(BtbScheme::zen34(), msr);
         let k = VirtAddr::new(0xffff_ffff_8124_6ac0);
         let u = VirtAddr::new(k.raw() ^ 0xffff_bff8_0000_0000);
-        b.train(u, BranchKind::Indirect, VirtAddr::new(0x9000), PrivilegeLevel::User);
+        b.train(
+            u,
+            BranchKind::Indirect,
+            VirtAddr::new(0x9000),
+            PrivilegeLevel::User,
+        );
         // Kernel-mode prediction: served, restricted (O5).
         let p = b
-            .predict_block(k.page_base() + (k.raw() & 0xfff) / 32 * 32, PrivilegeLevel::Supervisor, 0)
+            .predict_block(
+                k.page_base() + (k.raw() & 0xfff) / 32 * 32,
+                PrivilegeLevel::Supervisor,
+                0,
+            )
             .or_else(|| b.predict_block(k, PrivilegeLevel::Supervisor, 0))
             .unwrap();
         assert!(p.restricted);
@@ -304,11 +332,19 @@ mod tests {
 
     #[test]
     fn eibrs_tagging_hides_cross_privilege_entries() {
-        let msr = MsrState { eibrs_tagging: true, ..MsrState::none() };
+        let msr = MsrState {
+            eibrs_tagging: true,
+            ..MsrState::none()
+        };
         let mut b = bpu(BtbScheme::intel(), msr);
         let k = VirtAddr::new(0xffff_ffff_8124_6ac0);
         let u = VirtAddr::new(k.raw() & 0x0000_7fff_ffff_ffff & !(1 << 47));
-        b.train(u, BranchKind::Indirect, VirtAddr::new(0x9000), PrivilegeLevel::User);
+        b.train(
+            u,
+            BranchKind::Indirect,
+            VirtAddr::new(0x9000),
+            PrivilegeLevel::User,
+        );
         assert!(
             b.predict_block(k, PrivilegeLevel::Supervisor, 0).is_none(),
             "Intel does not reuse user predictions in kernel mode"
@@ -319,10 +355,19 @@ mod tests {
 
     #[test]
     fn stibp_isolates_smt_threads() {
-        let msr = MsrState { stibp: true, ..MsrState::none() };
+        let msr = MsrState {
+            stibp: true,
+            ..MsrState::none()
+        };
         let mut b = bpu(BtbScheme::zen12(), msr);
         let src = VirtAddr::new(0x5000);
-        b.train_smt(src, BranchKind::Indirect, VirtAddr::new(0x6000), PrivilegeLevel::User, 1);
+        b.train_smt(
+            src,
+            BranchKind::Indirect,
+            VirtAddr::new(0x6000),
+            PrivilegeLevel::User,
+            1,
+        );
         assert!(b.predict_block(src, PrivilegeLevel::User, 0).is_none());
         assert!(b.predict_block(src, PrivilegeLevel::User, 1).is_some());
     }
@@ -331,7 +376,12 @@ mod tests {
     fn ibpb_flushes_all_structures() {
         let mut b = bpu(BtbScheme::zen34(), MsrState::none());
         let src = VirtAddr::new(0x5000);
-        b.train(src, BranchKind::Indirect, VirtAddr::new(0x6000), PrivilegeLevel::User);
+        b.train(
+            src,
+            BranchKind::Indirect,
+            VirtAddr::new(0x6000),
+            PrivilegeLevel::User,
+        );
         b.rsb_mut().push(VirtAddr::new(0x1234));
         b.ibpb();
         assert!(b.predict_block(src, PrivilegeLevel::User, 0).is_none());

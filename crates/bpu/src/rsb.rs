@@ -40,7 +40,12 @@ impl Rsb {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> Rsb {
         assert!(depth > 0, "RSB depth must be nonzero");
-        Rsb { entries: vec![VirtAddr::new(0); depth], depth, top: 0, live: 0 }
+        Rsb {
+            entries: vec![VirtAddr::new(0); depth],
+            depth,
+            top: 0,
+            live: 0,
+        }
     }
 
     /// Record a call site's return address.

@@ -31,9 +31,16 @@ impl CacheGeometry {
     /// dimension is zero.
     pub fn new(sets: usize, ways: usize, line_size: usize) -> CacheGeometry {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "ways must be nonzero");
-        CacheGeometry { sets, ways, line_size }
+        CacheGeometry {
+            sets,
+            ways,
+            line_size,
+        }
     }
 
     /// A 32 KiB, 8-way, 64 B-line L1 (Zen L1I/L1D shape).

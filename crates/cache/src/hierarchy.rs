@@ -106,7 +106,11 @@ impl CacheHierarchy {
 
     fn access(&mut self, addr: u64, instruction: bool) -> (Level, u64) {
         let cfg = self.config;
-        let l1 = if instruction { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if instruction {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         if l1.access(addr).hit {
             return (Level::L1, cfg.l1_latency);
         }
@@ -119,7 +123,10 @@ impl CacheHierarchy {
         if out2.hit {
             (Level::L2, cfg.l1_latency + cfg.l2_latency)
         } else {
-            (Level::Memory, cfg.l1_latency + cfg.l2_latency + cfg.memory_latency)
+            (
+                Level::Memory,
+                cfg.l1_latency + cfg.l2_latency + cfg.memory_latency,
+            )
         }
     }
 

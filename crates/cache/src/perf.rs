@@ -146,7 +146,9 @@ impl PerfCounters {
 
     /// Snapshot all counters (for delta measurement around a step).
     pub fn snapshot(&self) -> PerfSnapshot {
-        PerfSnapshot { counts: self.counts }
+        PerfSnapshot {
+            counts: self.counts,
+        }
     }
 
     /// Reset all counters to zero.
@@ -220,6 +222,9 @@ mod tests {
             Event::UopsFromOpCache.to_string(),
             "de_dis_uops_from_decoder.opcache_dispatched"
         );
-        assert_eq!(Event::OpCacheHit.to_string(), "op_cache_hit_miss.op_cache_hit");
+        assert_eq!(
+            Event::OpCacheHit.to_string(),
+            "op_cache_hit_miss.op_cache_hit"
+        );
     }
 }

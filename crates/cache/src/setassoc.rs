@@ -73,12 +73,23 @@ impl SetAssocCache {
         let sets = (0..geometry.sets)
             .map(|_| Set {
                 lines: (0..geometry.ways)
-                    .map(|_| Line { tag: 0, valid: false, stamp: 0 })
+                    .map(|_| Line {
+                        tag: 0,
+                        valid: false,
+                        stamp: 0,
+                    })
                     .collect(),
                 plru: 0,
             })
             .collect();
-        SetAssocCache { geometry, replacement, sets, clock: 0, hits: 0, misses: 0 }
+        SetAssocCache {
+            geometry,
+            replacement,
+            sets,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The cache's geometry.
@@ -150,33 +161,45 @@ impl SetAssocCache {
                 Replacement::TreePlru => Self::plru_touch(&mut set.plru, ways, way),
                 Replacement::Fifo => {}
             }
-            return AccessOutcome { hit: true, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
         }
 
         self.misses += 1;
         // Pick a victim: an invalid way first, else per policy.
-        let way = set.lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
-            match self.replacement {
-                Replacement::Lru | Replacement::Fifo => set
-                    .lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.stamp)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0),
-                Replacement::TreePlru => Self::plru_choose(set.plru, ways),
-            }
-        });
+        let way =
+            set.lines
+                .iter()
+                .position(|l| !l.valid)
+                .unwrap_or_else(|| match self.replacement {
+                    Replacement::Lru | Replacement::Fifo => set
+                        .lines
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.stamp)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                    Replacement::TreePlru => Self::plru_choose(set.plru, ways),
+                });
         let evicted = if set.lines[way].valid {
             Some((set.lines[way].tag << sets_shift | set_idx as u64) << line_shift)
         } else {
             None
         };
-        set.lines[way] = Line { tag, valid: true, stamp: self.clock };
+        set.lines[way] = Line {
+            tag,
+            valid: true,
+            stamp: self.clock,
+        };
         if self.replacement == Replacement::TreePlru {
             Self::plru_touch(&mut set.plru, ways, way);
         }
-        AccessOutcome { hit: false, evicted }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Non-destructive presence check (does not update replacement state).

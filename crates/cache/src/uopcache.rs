@@ -148,9 +148,7 @@ mod tests {
         let out = uc.fill(0xdead_0ac0);
         assert!(out.evicted.is_some());
         // One of the primed lines is now a dispatch miss.
-        let miss_count = (0..8)
-            .filter(|i| !uc.lookup(base + i * 4096))
-            .count();
+        let miss_count = (0..8).filter(|i| !uc.lookup(base + i * 4096)).count();
         assert_eq!(miss_count, 1);
     }
 

@@ -10,9 +10,10 @@ use phantom_pipeline::UarchProfile;
 use phantom_sidechannel::NoiseModel;
 
 use crate::channel::ChannelError;
-use crate::covert::{fetch_channel_noisy, CovertConfig};
+use crate::covert::{fetch_channel_noisy_on, CovertConfig};
 use crate::experiment::{run_combo, Stage, TrainKind, VictimKind};
 use crate::primitives::PrimitiveError;
+use crate::runner::{Scenario, ScenarioError, Trial, TrialRunner};
 
 /// One point of the resteer-latency sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +27,46 @@ pub struct LatencyPoint {
     pub stage: Stage,
 }
 
+/// The resteer-latency sweep as a trial scenario: one synthetic profile
+/// per latency point, each probed with the standard
+/// nop-trained-as-`jmp*` experiment.
+#[derive(Debug, Clone)]
+struct LatencySweep {
+    latencies: Vec<u64>,
+}
+
+impl Scenario for LatencySweep {
+    type State = ();
+    type Sample = LatencyPoint;
+    type Output = Vec<LatencyPoint>;
+
+    fn trials(&self) -> usize {
+        self.latencies.len()
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<LatencyPoint, ScenarioError> {
+        let latency = self.latencies[trial.index];
+        let mut profile = UarchProfile::zen2();
+        profile.frontend_resteer_latency = latency;
+        let spare = latency.saturating_sub(profile.fetch_latency + profile.decode_latency) as u32;
+        profile.phantom_exec_uops = spare;
+        let combo = run_combo(profile, TrainKind::JmpInd, VictimKind::NonBranch, 0)?;
+        Ok(LatencyPoint {
+            latency,
+            spare_uops: spare,
+            stage: combo.stage_enum(),
+        })
+    }
+
+    fn score(&self, samples: Vec<LatencyPoint>) -> Vec<LatencyPoint> {
+        samples
+    }
+}
+
 /// Sweep the decoder-resteer latency on a Zen 2-shaped profile and
 /// observe where EX appears. The Zen 1/2 vs Zen 3/4 split in Table 1 is
 /// exactly this threshold: transient execution exists iff the resteer
@@ -35,17 +76,26 @@ pub struct LatencyPoint {
 ///
 /// Returns [`ChannelError`] if an experiment fails to set up.
 pub fn resteer_latency_sweep(latencies: &[u64]) -> Result<Vec<LatencyPoint>, ChannelError> {
-    let mut out = Vec::with_capacity(latencies.len());
-    for &latency in latencies {
-        let mut profile = UarchProfile::zen2();
-        profile.frontend_resteer_latency = latency;
-        let spare =
-            latency.saturating_sub(profile.fetch_latency + profile.decode_latency) as u32;
-        profile.phantom_exec_uops = spare;
-        let combo = run_combo(profile, TrainKind::JmpInd, VictimKind::NonBranch, 0)?;
-        out.push(LatencyPoint { latency, spare_uops: spare, stage: combo.stage_enum() });
-    }
-    Ok(out)
+    resteer_latency_sweep_on(&TrialRunner::new(), latencies)
+}
+
+/// [`resteer_latency_sweep`] on an explicit runner.
+///
+/// # Errors
+///
+/// Returns [`ChannelError`] if an experiment fails to set up.
+pub fn resteer_latency_sweep_on(
+    runner: &TrialRunner,
+    latencies: &[u64],
+) -> Result<Vec<LatencyPoint>, ChannelError> {
+    runner
+        .run(
+            &LatencySweep {
+                latencies: latencies.to_vec(),
+            },
+            0,
+        )
+        .map_err(|e| ChannelError(e.to_string()))
 }
 
 /// One point of the associativity sweep.
@@ -74,10 +124,19 @@ pub fn btb_associativity_sweep(ways_list: &[usize], trained: usize) -> Vec<Assoc
                 .map(|i| VirtAddr::new(0x40_0ac0 ^ ((i as u64) << 23)))
                 .collect();
             for &s in &sources {
-                btb.train(s, BranchKind::Indirect, VirtAddr::new(0x9000), PrivilegeLevel::User, 0);
+                btb.train(
+                    s,
+                    BranchKind::Indirect,
+                    VirtAddr::new(0x9000),
+                    PrivilegeLevel::User,
+                    0,
+                );
             }
             let alive = sources.iter().filter(|&&s| btb.lookup(s).is_some()).count();
-            AssociativityPoint { ways, survival: alive as f64 / trained as f64 }
+            AssociativityPoint {
+                ways,
+                survival: alive as f64 / trained as f64,
+            }
         })
         .collect()
 }
@@ -89,6 +148,55 @@ pub struct NoisePoint {
     pub spurious_rate: f64,
     /// Fetch covert-channel accuracy at that rate.
     pub accuracy: f64,
+}
+
+/// The noise curve as a trial scenario: each trial is a full fetch
+/// covert-channel transfer at one spurious-eviction rate. The inner
+/// channel runs single-threaded — the outer runner already shards the
+/// curve's points.
+#[derive(Debug, Clone)]
+struct NoiseCurve {
+    rates: Vec<f64>,
+    bits: usize,
+    seed: u64,
+}
+
+impl Scenario for NoiseCurve {
+    type State = ();
+    type Sample = NoisePoint;
+    type Output = Vec<NoisePoint>;
+
+    fn trials(&self) -> usize {
+        self.rates.len()
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<NoisePoint, ScenarioError> {
+        let rate = self.rates[trial.index];
+        let mut noise = NoiseModel::quiet(self.seed);
+        noise.spurious_evict = rate;
+        noise.missed_signal = rate / 2.0;
+        let r = fetch_channel_noisy_on(
+            &TrialRunner::with_threads(1),
+            UarchProfile::zen2(),
+            CovertConfig {
+                bits: self.bits,
+                seed: self.seed,
+            },
+            noise,
+        )?;
+        Ok(NoisePoint {
+            spurious_rate: rate,
+            accuracy: r.accuracy,
+        })
+    }
+
+    fn score(&self, samples: Vec<NoisePoint>) -> Vec<NoisePoint> {
+        samples
+    }
 }
 
 /// Measure fetch-channel accuracy against the spurious-eviction rate —
@@ -103,15 +211,30 @@ pub fn noise_accuracy_curve(
     bits: usize,
     seed: u64,
 ) -> Result<Vec<NoisePoint>, PrimitiveError> {
-    let mut out = Vec::with_capacity(rates.len());
-    for &rate in rates {
-        let mut noise = NoiseModel::quiet(seed);
-        noise.spurious_evict = rate;
-        noise.missed_signal = rate / 2.0;
-        let r = fetch_channel_noisy(UarchProfile::zen2(), CovertConfig { bits, seed }, noise)?;
-        out.push(NoisePoint { spurious_rate: rate, accuracy: r.accuracy });
-    }
-    Ok(out)
+    noise_accuracy_curve_on(&TrialRunner::new(), rates, bits, seed)
+}
+
+/// [`noise_accuracy_curve`] on an explicit runner.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on channel failure.
+pub fn noise_accuracy_curve_on(
+    runner: &TrialRunner,
+    rates: &[f64],
+    bits: usize,
+    seed: u64,
+) -> Result<Vec<NoisePoint>, PrimitiveError> {
+    runner
+        .run(
+            &NoiseCurve {
+                rates: rates.to_vec(),
+                bits,
+                seed,
+            },
+            seed,
+        )
+        .map_err(|e| PrimitiveError(e.to_string()))
 }
 
 #[cfg(test)]

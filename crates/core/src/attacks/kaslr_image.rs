@@ -13,10 +13,12 @@ use phantom_kernel::image::LISTING1_OFFSET;
 use phantom_kernel::layout::{KaslrLayout, KERNEL_IMAGE_SLOTS};
 use phantom_kernel::System;
 use phantom_mem::VirtAddr;
+use phantom_pipeline::UarchProfile;
 use phantom_sidechannel::{bounded_score, NoiseModel};
 
-use crate::attacks::AttackError;
+use crate::attacks::{scan_window, AttackError};
 use crate::primitives::{p1_probe_in_set, PrimitiveConfig};
+use crate::runner::{Scenario, ScenarioError, Trial};
 
 /// Configuration for the kernel-image KASLR break.
 #[derive(Debug, Clone)]
@@ -36,7 +38,12 @@ pub struct KaslrImageConfig {
 
 impl Default for KaslrImageConfig {
     fn default() -> KaslrImageConfig {
-        KaslrImageConfig { slots: 0..KERNEL_IMAGE_SLOTS, sets_per_candidate: 3, reps: 4, seed: 0 }
+        KaslrImageConfig {
+            slots: 0..KERNEL_IMAGE_SLOTS,
+            sets_per_candidate: 3,
+            reps: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -89,10 +96,8 @@ pub fn break_kaslr_image(
             let b_s = candidate_base + 0x2000 + (((set + 32) % 64) as u64) * 64;
             let (mut t_ev, mut b_ev) = (0u64, 0u64);
             for _ in 0..config.reps.max(1) {
-                t_ev +=
-                    p1_probe_in_set(sys, &cfg, victim, t_s, set, &mut noise)?.evictions as u64;
-                b_ev +=
-                    p1_probe_in_set(sys, &cfg, victim, b_s, set, &mut noise)?.evictions as u64;
+                t_ev += p1_probe_in_set(sys, &cfg, victim, t_s, set, &mut noise)?.evictions as u64;
+                b_ev += p1_probe_in_set(sys, &cfg, victim, b_s, set, &mut noise)?.evictions as u64;
             }
             signal.push(t_ev);
             baseline.push(b_ev);
@@ -116,10 +121,54 @@ pub fn break_kaslr_image(
     })
 }
 
+/// The Table 3 sweep as a trial scenario: one kernel-image KASLR break
+/// per trial, each on its own freshly booted (rebooted) [`System`].
+#[derive(Debug, Clone)]
+pub struct KaslrImageSweep {
+    /// Microarchitecture under attack.
+    pub profile: UarchProfile,
+    /// Number of reboots (trials).
+    pub runs: usize,
+    /// Scanned window per run, in slots (0 = full 488).
+    pub window: u64,
+    /// Base seed; run `r` boots with `seed + r`.
+    pub seed: u64,
+}
+
+impl Scenario for KaslrImageSweep {
+    type State = ();
+    type Sample = KaslrImageResult;
+    type Output = Vec<KaslrImageResult>;
+
+    fn trials(&self) -> usize {
+        self.runs
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<KaslrImageResult, ScenarioError> {
+        let seed = self.seed + trial.index as u64;
+        let mut sys =
+            System::new(self.profile.clone(), 1 << 30, seed).map_err(AttackError::from)?;
+        let slots = scan_window(sys.layout().image_slot, self.window, KERNEL_IMAGE_SLOTS);
+        let config = KaslrImageConfig {
+            slots,
+            seed,
+            ..Default::default()
+        };
+        Ok(break_kaslr_image(&mut sys, &config)?)
+    }
+
+    fn score(&self, samples: Vec<KaslrImageResult>) -> Vec<KaslrImageResult> {
+        samples
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phantom_pipeline::UarchProfile;
 
     /// Scan a window of slots guaranteed to contain the truth.
     fn window_around(actual: u64, width: u64) -> std::ops::Range<u64> {
@@ -131,9 +180,16 @@ mod tests {
     fn finds_the_kernel_image_on_zen3() {
         let mut sys = System::new(UarchProfile::zen3(), 1 << 30, 21).unwrap();
         let actual = sys.layout().image_slot;
-        let config = KaslrImageConfig { slots: window_around(actual, 24), ..Default::default() };
+        let config = KaslrImageConfig {
+            slots: window_around(actual, 24),
+            ..Default::default()
+        };
         let r = break_kaslr_image(&mut sys, &config).unwrap();
-        assert!(r.correct, "guessed {} actual {}", r.guessed_slot, r.actual_slot);
+        assert!(
+            r.correct,
+            "guessed {} actual {}",
+            r.guessed_slot, r.actual_slot
+        );
         assert!(r.best_score > 0);
         assert!(r.seconds > 0.0);
     }
@@ -143,7 +199,10 @@ mod tests {
         // O5: AutoIBRS does not stop transient fetch.
         let mut sys = System::new(UarchProfile::zen4(), 1 << 30, 22).unwrap();
         let actual = sys.layout().image_slot;
-        let config = KaslrImageConfig { slots: window_around(actual, 16), ..Default::default() };
+        let config = KaslrImageConfig {
+            slots: window_around(actual, 16),
+            ..Default::default()
+        };
         let r = break_kaslr_image(&mut sys, &config).unwrap();
         assert!(r.correct);
     }
@@ -152,7 +211,10 @@ mod tests {
     fn finds_the_kernel_image_on_zen2() {
         let mut sys = System::new(UarchProfile::zen2(), 1 << 30, 23).unwrap();
         let actual = sys.layout().image_slot;
-        let config = KaslrImageConfig { slots: window_around(actual, 16), ..Default::default() };
+        let config = KaslrImageConfig {
+            slots: window_around(actual, 16),
+            ..Default::default()
+        };
         let r = break_kaslr_image(&mut sys, &config).unwrap();
         assert!(r.correct);
     }
@@ -164,14 +226,25 @@ mod tests {
         let mut sys = System::new(UarchProfile::zen3(), 1 << 30, 24).unwrap();
         let actual = sys.layout().image_slot;
         let excluded = if actual > 40 { 0..16 } else { 100..116 };
-        let config = KaslrImageConfig { slots: excluded, ..Default::default() };
+        let config = KaslrImageConfig {
+            slots: excluded,
+            ..Default::default()
+        };
         let r = break_kaslr_image(&mut sys, &config).unwrap();
         assert!(!r.correct);
 
         let mut sys2 = System::new(UarchProfile::zen3(), 1 << 30, 24).unwrap();
         let actual2 = sys2.layout().image_slot;
-        let config2 = KaslrImageConfig { slots: window_around(actual2, 8), ..Default::default() };
+        let config2 = KaslrImageConfig {
+            slots: window_around(actual2, 8),
+            ..Default::default()
+        };
         let hit = break_kaslr_image(&mut sys2, &config2).unwrap();
-        assert!(hit.best_score > r.best_score, "{} vs {}", hit.best_score, r.best_score);
+        assert!(
+            hit.best_score > r.best_score,
+            "{} vs {}",
+            hit.best_score,
+            r.best_score
+        );
     }
 }

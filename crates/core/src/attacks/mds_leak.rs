@@ -14,10 +14,12 @@
 use phantom_isa::BranchKind;
 use phantom_kernel::{sysno, System};
 use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr};
+use phantom_pipeline::UarchProfile;
 use phantom_sidechannel::NoiseModel;
 
 use crate::attacks::AttackError;
 use crate::primitives::PrimitiveConfig;
+use crate::runner::{Scenario, ScenarioError, Trial};
 
 /// Configuration for the MDS leak.
 #[derive(Debug, Clone)]
@@ -33,7 +35,11 @@ pub struct MdsLeakConfig {
 
 impl Default for MdsLeakConfig {
     fn default() -> MdsLeakConfig {
-        MdsLeakConfig { bytes: 4096, trainings_per_byte: 4, seed: 0 }
+        MdsLeakConfig {
+            bytes: 4096,
+            trainings_per_byte: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -104,7 +110,10 @@ pub fn leak_kernel_memory(
         for t in 0..config.trainings_per_byte {
             // Indices strictly below *array_length (16), so every
             // training run takes the branch.
-            sys.syscall(sysno::MODULE_READ_DATA, &[(t as u64 * 4) % 16, reload_kva.raw()])?;
+            sys.syscall(
+                sysno::MODULE_READ_DATA,
+                &[(t as u64 * 4) % 16, reload_kva.raw()],
+            )?;
         }
         // ② Inject the phantom prediction at the call site, pointing at
         // the disclosure gadget.
@@ -151,16 +160,64 @@ pub fn leak_kernel_memory(
     })
 }
 
+/// The §7.4 sweep as a trial scenario: one `bytes`-long leak per trial,
+/// each on its own rebooted [`System`] (the paper reports 10 reboots,
+/// with total signal loss on 2 of them).
+#[derive(Debug, Clone)]
+pub struct MdsLeakSweep {
+    /// Microarchitecture under attack.
+    pub profile: UarchProfile,
+    /// Secret bytes leaked per reboot.
+    pub bytes: usize,
+    /// Number of reboots (trials).
+    pub runs: usize,
+    /// Base seed; run `r` boots with `seed + r`.
+    pub seed: u64,
+}
+
+impl Scenario for MdsLeakSweep {
+    type State = ();
+    type Sample = MdsLeakResult;
+    type Output = Vec<MdsLeakResult>;
+
+    fn trials(&self) -> usize {
+        self.runs
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<MdsLeakResult, ScenarioError> {
+        let seed = self.seed + trial.index as u64;
+        let mut sys =
+            System::new(self.profile.clone(), 1 << 28, seed).map_err(AttackError::from)?;
+        let physmap = sys.layout().physmap_base();
+        let config = MdsLeakConfig {
+            bytes: self.bytes,
+            seed,
+            ..Default::default()
+        };
+        Ok(leak_kernel_memory(&mut sys, physmap, &config)?)
+    }
+
+    fn score(&self, samples: Vec<MdsLeakResult>) -> Vec<MdsLeakResult> {
+        samples
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phantom_pipeline::UarchProfile;
 
     #[test]
     fn leaks_kernel_secret_on_zen2() {
         let mut sys = System::new(UarchProfile::zen2(), 1 << 28, 55).unwrap();
         let physmap = sys.layout().physmap_base();
-        let config = MdsLeakConfig { bytes: 48, ..Default::default() };
+        let config = MdsLeakConfig {
+            bytes: 48,
+            ..Default::default()
+        };
         let r = leak_kernel_memory(&mut sys, physmap, &config).unwrap();
         assert!(r.signal, "signal observed");
         assert!(r.accuracy >= 0.95, "accuracy {}", r.accuracy);
@@ -171,7 +228,10 @@ mod tests {
     fn leaks_kernel_secret_on_zen1() {
         let mut sys = System::new(UarchProfile::zen1(), 1 << 28, 56).unwrap();
         let physmap = sys.layout().physmap_base();
-        let config = MdsLeakConfig { bytes: 32, ..Default::default() };
+        let config = MdsLeakConfig {
+            bytes: 32,
+            ..Default::default()
+        };
         let r = leak_kernel_memory(&mut sys, physmap, &config).unwrap();
         assert!(r.accuracy >= 0.95, "accuracy {}", r.accuracy);
     }
@@ -182,7 +242,10 @@ mod tests {
         // Spectre alone cannot run the second load.
         let mut sys = System::new(UarchProfile::zen4(), 1 << 28, 57).unwrap();
         let physmap = sys.layout().physmap_base();
-        let config = MdsLeakConfig { bytes: 16, ..Default::default() };
+        let config = MdsLeakConfig {
+            bytes: 16,
+            ..Default::default()
+        };
         let r = leak_kernel_memory(&mut sys, physmap, &config).unwrap();
         assert!(!r.signal, "no nested-phantom signal on Zen 4");
         assert!(r.accuracy < 0.2);
@@ -194,11 +257,13 @@ mod tests {
         // result register never contains the secret.
         let mut sys = System::new(UarchProfile::zen2(), 1 << 28, 58).unwrap();
         let physmap = sys.layout().physmap_base();
-        let config = MdsLeakConfig { bytes: 8, ..Default::default() };
+        let config = MdsLeakConfig {
+            bytes: 8,
+            ..Default::default()
+        };
         leak_kernel_memory(&mut sys, physmap, &config).unwrap();
         let r3 = sys.machine().reg(phantom_isa::Reg::R3);
-        let secret_head =
-            u64::from_le_bytes(sys.secret()[..8].try_into().expect("8 bytes"));
+        let secret_head = u64::from_le_bytes(sys.secret()[..8].try_into().expect("8 bytes"));
         assert_ne!(r3, secret_head, "secret never architecturally loaded");
     }
 }

@@ -15,10 +15,22 @@ pub mod mds_leak;
 pub mod physaddr;
 pub mod physmap;
 
-pub use kaslr_image::{break_kaslr_image, KaslrImageConfig, KaslrImageResult};
-pub use mds_leak::{leak_kernel_memory, MdsLeakConfig, MdsLeakResult};
-pub use physaddr::{find_physical_address, PhysAddrConfig, PhysAddrResult};
-pub use physmap::{break_physmap, PhysmapConfig, PhysmapResult};
+pub use kaslr_image::{break_kaslr_image, KaslrImageConfig, KaslrImageResult, KaslrImageSweep};
+pub use mds_leak::{leak_kernel_memory, MdsLeakConfig, MdsLeakResult, MdsLeakSweep};
+pub use physaddr::{find_physical_address, PhysAddrConfig, PhysAddrResult, PhysAddrSweep};
+pub use physmap::{break_physmap, PhysmapConfig, PhysmapResult, PhysmapSweep};
+
+/// A scan window of `width` slots guaranteed to contain `actual`
+/// (`width == 0` scans everything). Using a window scales the runtime
+/// linearly while preserving the per-candidate discrimination problem;
+/// the full scan is the same loop over more candidates.
+pub fn scan_window(actual: u64, width: u64, total: u64) -> std::ops::Range<u64> {
+    if width == 0 || width >= total {
+        return 0..total;
+    }
+    let lo = actual.saturating_sub(width / 2).min(total - width);
+    lo..lo + width
+}
 
 /// Common error type for attack execution.
 #[derive(Debug)]
@@ -41,5 +53,19 @@ impl From<crate::primitives::PrimitiveError> for AttackError {
 impl From<phantom_kernel::SystemError> for AttackError {
     fn from(e: phantom_kernel::SystemError) -> Self {
         AttackError(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_window_always_contains_actual() {
+        for (actual, width, total) in [(0u64, 16u64, 488u64), (487, 16, 488), (200, 0, 488)] {
+            let w = scan_window(actual, width, total);
+            assert!(w.contains(&actual), "{actual} {width} {total}");
+            assert!(w.end <= total);
+        }
     }
 }

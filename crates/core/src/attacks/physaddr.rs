@@ -15,10 +15,12 @@ use phantom_isa::BranchKind;
 use phantom_kernel::image::{LISTING2_CALL_OFFSET, LISTING3_DISP, LISTING3_OFFSET};
 use phantom_kernel::System;
 use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr, HUGE_PAGE_SIZE};
+use phantom_pipeline::UarchProfile;
 use phantom_sidechannel::NoiseModel;
 
 use crate::attacks::AttackError;
 use crate::primitives::PrimitiveConfig;
+use crate::runner::{Scenario, ScenarioError, Trial};
 
 /// Configuration for the physical-address search.
 #[derive(Debug, Clone)]
@@ -32,7 +34,10 @@ pub struct PhysAddrConfig {
 
 impl Default for PhysAddrConfig {
     fn default() -> PhysAddrConfig {
-        PhysAddrConfig { max_decoys: 100, seed: 0 }
+        PhysAddrConfig {
+            max_decoys: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -94,8 +99,12 @@ pub fn find_physical_address(
     let start_cycles = sys.machine().cycles();
 
     // Inject once; the entry persists across guesses.
-    sys.train_user_branch(cfg.user_alias(listing2_call), BranchKind::Indirect, listing3)
-        .map_err(|e| AttackError(e.to_string()))?;
+    sys.train_user_branch(
+        cfg.user_alias(listing2_call),
+        BranchKind::Indirect,
+        listing3,
+    )
+    .map_err(|e| AttackError(e.to_string()))?;
 
     let threshold = {
         let c = sys.machine().caches().config();
@@ -110,8 +119,12 @@ pub fn find_physical_address(
         tested += 1;
         // Re-inject: the previous readv architecturally executed the
         // call and retrained the entry with its true kind.
-        sys.train_user_branch(cfg.user_alias(listing2_call), BranchKind::Indirect, listing3)
-            .map_err(|e| AttackError(e.to_string()))?;
+        sys.train_user_branch(
+            cfg.user_alias(listing2_call),
+            BranchKind::Indirect,
+            listing3,
+        )
+        .map_err(|e| AttackError(e.to_string()))?;
         phantom_sidechannel::flush(sys.machine_mut(), a_uva);
         // Kernel transiently loads physmap + Pg (the gadget adds 0xbe0,
         // so aim just below).
@@ -144,18 +157,74 @@ pub fn find_physical_address(
     })
 }
 
+/// The Table 5 sweep as a trial scenario: one physical-address search
+/// per trial, each on its own rebooted [`System`] with `phys_bytes` of
+/// memory (8 GiB and 64 GiB in the paper).
+#[derive(Debug, Clone)]
+pub struct PhysAddrSweep {
+    /// Microarchitecture under attack.
+    pub profile: UarchProfile,
+    /// Physical memory size of the attacked machine.
+    pub phys_bytes: u64,
+    /// Number of reboots (trials).
+    pub runs: usize,
+    /// Base seed; run `r` boots with `seed + r`.
+    pub seed: u64,
+}
+
+impl Scenario for PhysAddrSweep {
+    type State = ();
+    type Sample = PhysAddrResult;
+    type Output = Vec<PhysAddrResult>;
+
+    fn trials(&self) -> usize {
+        self.runs
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<PhysAddrResult, ScenarioError> {
+        let seed = self.seed + trial.index as u64;
+        let mut sys =
+            System::new(self.profile.clone(), self.phys_bytes, seed).map_err(AttackError::from)?;
+        let (image_base, physmap_base) = (sys.image().base, sys.layout().physmap_base());
+        let config = PhysAddrConfig {
+            max_decoys: 100,
+            seed,
+        };
+        Ok(find_physical_address(
+            &mut sys,
+            image_base,
+            physmap_base,
+            &config,
+        )?)
+    }
+
+    fn score(&self, samples: Vec<PhysAddrResult>) -> Vec<PhysAddrResult> {
+        samples
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phantom_pipeline::UarchProfile;
 
     #[test]
     fn finds_the_physical_address_on_zen2() {
         let mut sys = System::new(UarchProfile::zen2(), 1 << 28, 41).unwrap();
         let (image_base, physmap_base) = (sys.image().base, sys.layout().physmap_base());
-        let config = PhysAddrConfig { max_decoys: 8, seed: 41 };
+        let config = PhysAddrConfig {
+            max_decoys: 8,
+            seed: 41,
+        };
         let r = find_physical_address(&mut sys, image_base, physmap_base, &config).unwrap();
-        assert!(r.correct, "guessed {:?} actual {:#x}", r.guessed_pa, r.actual_pa);
+        assert!(
+            r.correct,
+            "guessed {:?} actual {:#x}",
+            r.guessed_pa, r.actual_pa
+        );
         assert!(r.guesses_tested >= 1);
     }
 
@@ -163,7 +232,10 @@ mod tests {
     fn finds_the_physical_address_on_zen1() {
         let mut sys = System::new(UarchProfile::zen1(), 1 << 28, 42).unwrap();
         let (image_base, physmap_base) = (sys.image().base, sys.layout().physmap_base());
-        let config = PhysAddrConfig { max_decoys: 4, seed: 42 };
+        let config = PhysAddrConfig {
+            max_decoys: 4,
+            seed: 42,
+        };
         let r = find_physical_address(&mut sys, image_base, physmap_base, &config).unwrap();
         assert!(r.correct);
     }
@@ -178,14 +250,20 @@ mod tests {
             &mut a,
             a_image,
             a_physmap,
-            &PhysAddrConfig { max_decoys: 16, seed: 10 },
+            &PhysAddrConfig {
+                max_decoys: 16,
+                seed: 10,
+            },
         )
         .unwrap();
         let rb = find_physical_address(
             &mut b,
             b_image,
             b_physmap,
-            &PhysAddrConfig { max_decoys: 16, seed: 11 },
+            &PhysAddrConfig {
+                max_decoys: 16,
+                seed: 11,
+            },
         )
         .unwrap();
         assert!(ra.correct && rb.correct);
@@ -197,7 +275,10 @@ mod tests {
         // No phantom execution: the scan exhausts all candidates.
         let mut sys = System::new(UarchProfile::zen4(), 1 << 26, 45).unwrap();
         let (image_base, physmap_base) = (sys.image().base, sys.layout().physmap_base());
-        let config = PhysAddrConfig { max_decoys: 2, seed: 45 };
+        let config = PhysAddrConfig {
+            max_decoys: 2,
+            seed: 45,
+        };
         let r = find_physical_address(&mut sys, image_base, physmap_base, &config).unwrap();
         assert!(!r.correct);
         assert_eq!(r.guessed_pa, None);

@@ -12,10 +12,12 @@ use phantom_kernel::image::{LISTING2_CALL_OFFSET, LISTING3_OFFSET};
 use phantom_kernel::layout::{KaslrLayout, PHYSMAP_SLOTS};
 use phantom_kernel::System;
 use phantom_mem::VirtAddr;
+use phantom_pipeline::UarchProfile;
 use phantom_sidechannel::{bounded_score, NoiseModel};
 
-use crate::attacks::AttackError;
+use crate::attacks::{scan_window, AttackError};
 use crate::primitives::{p2_probe_in_set, PrimitiveConfig};
+use crate::runner::{Scenario, ScenarioError, Trial};
 
 /// Configuration for the physmap derandomization.
 #[derive(Debug, Clone)]
@@ -32,7 +34,12 @@ pub struct PhysmapConfig {
 
 impl Default for PhysmapConfig {
     fn default() -> PhysmapConfig {
-        PhysmapConfig { slots: 0..PHYSMAP_SLOTS, sets_per_candidate: 4, reps: 6, seed: 0 }
+        PhysmapConfig {
+            slots: 0..PHYSMAP_SLOTS,
+            sets_per_candidate: 4,
+            reps: 6,
+            seed: 0,
+        }
     }
 }
 
@@ -111,10 +118,56 @@ pub fn break_physmap(
     })
 }
 
+/// The Table 4 sweep as a trial scenario: one physmap break per trial,
+/// each on its own rebooted [`System`]. The §7.1 image base is read
+/// from the fresh boot (that stage's output precedes this one).
+#[derive(Debug, Clone)]
+pub struct PhysmapSweep {
+    /// Microarchitecture under attack.
+    pub profile: UarchProfile,
+    /// Number of reboots (trials).
+    pub runs: usize,
+    /// Scanned window per run, in slots (0 = full 25 600).
+    pub window: u64,
+    /// Base seed; run `r` boots with `seed + r`.
+    pub seed: u64,
+}
+
+impl Scenario for PhysmapSweep {
+    type State = ();
+    type Sample = PhysmapResult;
+    type Output = Vec<PhysmapResult>;
+
+    fn trials(&self) -> usize {
+        self.runs
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<PhysmapResult, ScenarioError> {
+        let seed = self.seed + trial.index as u64;
+        let mut sys =
+            System::new(self.profile.clone(), 1 << 30, seed).map_err(AttackError::from)?;
+        let slots = scan_window(sys.layout().physmap_slot, self.window, PHYSMAP_SLOTS);
+        let image_base = sys.image().base; // the §7.1 stage's output
+        let config = PhysmapConfig {
+            slots,
+            seed,
+            ..Default::default()
+        };
+        Ok(break_physmap(&mut sys, image_base, &config)?)
+    }
+
+    fn score(&self, samples: Vec<PhysmapResult>) -> Vec<PhysmapResult> {
+        samples
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phantom_pipeline::UarchProfile;
 
     fn window_around(actual: u64, width: u64) -> std::ops::Range<u64> {
         let lo = actual.saturating_sub(width / 2);
@@ -126,9 +179,16 @@ mod tests {
         let mut sys = System::new(UarchProfile::zen2(), 1 << 30, 31).unwrap();
         let actual = sys.layout().physmap_slot;
         let image_base = sys.image().base; // §7.1 output
-        let config = PhysmapConfig { slots: window_around(actual, 24), ..Default::default() };
+        let config = PhysmapConfig {
+            slots: window_around(actual, 24),
+            ..Default::default()
+        };
         let r = break_physmap(&mut sys, image_base, &config).unwrap();
-        assert!(r.correct, "guessed {} actual {}", r.guessed_slot, r.actual_slot);
+        assert!(
+            r.correct,
+            "guessed {} actual {}",
+            r.guessed_slot, r.actual_slot
+        );
     }
 
     #[test]
@@ -136,7 +196,10 @@ mod tests {
         let mut sys = System::new(UarchProfile::zen1(), 1 << 30, 32).unwrap();
         let actual = sys.layout().physmap_slot;
         let image_base = sys.image().base;
-        let config = PhysmapConfig { slots: window_around(actual, 16), ..Default::default() };
+        let config = PhysmapConfig {
+            slots: window_around(actual, 16),
+            ..Default::default()
+        };
         let r = break_physmap(&mut sys, image_base, &config).unwrap();
         assert!(r.correct);
     }
@@ -149,8 +212,15 @@ mod tests {
         let mut sys = System::new(UarchProfile::zen3(), 1 << 30, 33).unwrap();
         let actual = sys.layout().physmap_slot;
         let image_base = sys.image().base;
-        let config = PhysmapConfig { slots: window_around(actual, 16), ..Default::default() };
+        let config = PhysmapConfig {
+            slots: window_around(actual, 16),
+            ..Default::default()
+        };
         let r = break_physmap(&mut sys, image_base, &config).unwrap();
-        assert!(r.best_score <= 9, "no real signal on Zen 3: {}", r.best_score);
+        assert!(
+            r.best_score <= 9,
+            "no real signal on Zen 3: {}",
+            r.best_score
+        );
     }
 }

@@ -71,11 +71,11 @@ impl IfChannel {
     /// `true` when the line was already cached (i.e. the victim's
     /// phantom path fetched it).
     pub fn observe(&self, machine: &mut Machine, noise: &mut NoiseModel) -> bool {
-        let Ok(pa) = machine.page_table().translate(
-            self.target,
-            AccessKind::Execute,
-            PrivilegeLevel::User,
-        ) else {
+        let Ok(pa) =
+            machine
+                .page_table()
+                .translate(self.target, AccessKind::Execute, PrivilegeLevel::User)
+        else {
             return false;
         };
         let (_, latency) = machine.caches_mut().access_inst(pa.raw());
@@ -110,7 +110,9 @@ impl IdChannel {
             return Err(ChannelError("series base must be page aligned".into()));
         }
         if page_offset >= 4096 - 64 {
-            return Err(ChannelError("page offset must leave room for a jump".into()));
+            return Err(ChannelError(
+                "page offset must leave room for a jump".into(),
+            ));
         }
         let mut a = Assembler::new(series_base.raw() + page_offset);
         for i in 0..JMP_SERIES_LEN {
@@ -125,7 +127,10 @@ impl IdChannel {
         machine
             .load_blob(&blob, PageFlags::USER_TEXT)
             .map_err(|e| ChannelError(e.to_string()))?;
-        Ok(IdChannel { series_start: VirtAddr::new(series_base.raw() + page_offset), page_offset })
+        Ok(IdChannel {
+            series_start: VirtAddr::new(series_base.raw() + page_offset),
+            page_offset,
+        })
     }
 
     /// The µop-cache set this channel monitors.
@@ -198,7 +203,9 @@ impl PortChannel {
     ///
     /// Panics if the channel was never armed (a harness bug).
     pub fn observe(&self, machine: &Machine) -> u64 {
-        let snap = self.armed.expect("PortChannel must be armed before observing");
+        let snap = self
+            .armed
+            .expect("PortChannel must be armed before observing");
         snap.delta(machine.pmu(), Event::WrongPathUops)
     }
 }
@@ -326,8 +333,7 @@ mod tests {
         // Build the standard phantom scenario on Zen 2 (executes) and
         // Zen 4 (squashes): the port channel separates them without any
         // cache probing.
-        for (profile, expect_uops) in
-            [(UarchProfile::zen2(), true), (UarchProfile::zen4(), false)]
+        for (profile, expect_uops) in [(UarchProfile::zen2(), true), (UarchProfile::zen4(), false)]
         {
             let name = profile.name;
             let mut m = Machine::new(profile, 1 << 24);
@@ -336,7 +342,8 @@ mod tests {
             let c = VirtAddr::new(0x48_0b40);
             m.map_range(x.page_base(), 0x1000, text).unwrap();
             m.map_range(c.page_base(), 0x1000, text).unwrap();
-            m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA).unwrap();
+            m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)
+                .unwrap();
             m.set_reg(phantom_isa::Reg::R8, 0x60_0000);
             m.poke(c, &[0x8b, 0x98, 0, 0, 0, 0, 0xf4]); // load r9,[r8]; hlt
             m.poke(x, &[0xff, 0x0b, 0xf4]); // jmp* r11; hlt

@@ -39,7 +39,9 @@ pub struct BtbOracle {
 impl BtbOracle {
     /// Oracle over the given BTB scheme.
     pub fn new(scheme: BtbScheme) -> BtbOracle {
-        BtbOracle { btb: Btb::new(scheme) }
+        BtbOracle {
+            btb: Btb::new(scheme),
+        }
     }
 }
 
@@ -162,7 +164,11 @@ pub fn recover_figure7(
         .iter()
         .all(|&p| functions.iter().all(|f| f.eval(p) == 0));
 
-    Figure7 { functions, samples_per_address, paper_patterns_hold }
+    Figure7 {
+        functions,
+        samples_per_address,
+        paper_patterns_hold,
+    }
 }
 
 /// Derive a usable user⇄kernel XOR pattern from recovered functions: a
@@ -201,7 +207,10 @@ mod tests {
         // structural point — every fold involves b47.
         let mut oracle = BtbOracle::new(BtbScheme::zen34());
         let out = brute_force(&mut oracle, VirtAddr::new(K), 3);
-        assert!(out.patterns.is_empty(), "no small collision pattern on Zen 3");
+        assert!(
+            out.patterns.is_empty(),
+            "no small collision pattern on Zen 3"
+        );
         assert!(out.tested > 7000);
     }
 
@@ -252,6 +261,9 @@ mod tests {
         let pattern = collision_pattern(&fig7.functions).expect("pattern exists");
         let user = VirtAddr::new(K ^ pattern);
         assert!(!user.is_kernel_half());
-        assert!(oracle.collides(user, VirtAddr::new(K)), "pattern {pattern:#x}");
+        assert!(
+            oracle.collides(user, VirtAddr::new(K)),
+            "pattern {pattern:#x}"
+        );
     }
 }

@@ -6,16 +6,31 @@
 //! the same cache set. The receiver primes the set, invokes the kernel
 //! victim, and probes: a slow probe means the phantom path touched the
 //! set, i.e. the bit was 1.
+//!
+//! Each bit is an independent [`Scenario`] trial: the receiver's machine
+//! is rewound to the post-boot snapshot, the bit value and the noise
+//! stream derive from the trial seed alone, and the probe votes
+//! [`VOTES_PER_BIT`] times. That makes a transfer embarrassingly
+//! parallel — and byte-identical at any thread count.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use phantom_kernel::System;
 use phantom_mem::VirtAddr;
-use phantom_pipeline::UarchProfile;
+use phantom_pipeline::{MachineSnapshot, UarchProfile};
 use phantom_sidechannel::NoiseModel;
 
 use crate::primitives::{p1_probe, p2_probe, PrimitiveConfig, PrimitiveError};
+use crate::runner::{majority, Scenario, ScenarioError, Trial, TrialRunner};
+
+/// Redundancy factor: each bit is probed this many times and decoded by
+/// majority vote. A single spurious eviction on a dead set would
+/// otherwise flip a 0-bit to 1; with ~8 primed ways and a few percent
+/// per-way false-eviction rate, one-shot decoding caps around 80–85%
+/// accuracy while three-way voting pushes it past 95% at a 3× cost in
+/// raw throughput (reflected honestly in `bits_per_sec`).
+const VOTES_PER_BIT: u32 = 3;
 
 /// Which primitive carries the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +61,10 @@ pub struct CovertConfig {
 
 impl Default for CovertConfig {
     fn default() -> CovertConfig {
-        CovertConfig { bits: 4096, seed: 0 }
+        CovertConfig {
+            bits: 4096,
+            seed: 0,
+        }
     }
 }
 
@@ -69,6 +87,160 @@ pub struct CovertResult {
     pub bits_per_sec: f64,
 }
 
+/// The covert-channel transfer as a trial scenario: one trial per bit.
+struct ChannelScenario {
+    profile: UarchProfile,
+    config: CovertConfig,
+    kind: CovertKind,
+    /// Noise calibration; each trial reseeds it from its trial seed.
+    noise_proto: NoiseModel,
+}
+
+/// Per-shard receiver state: a booted system plus the rewind point.
+struct ChannelState {
+    sys: System,
+    cfg: PrimitiveConfig,
+    snap: MachineSnapshot,
+    snap_cycles: u64,
+    /// Sender target encoding a 1 (mapped) and a 0 (unmapped hole).
+    t1: VirtAddr,
+    t0: VirtAddr,
+    /// Victim branch site (fetch: Listing 1 nop; execute: Listing 2
+    /// call).
+    victim: VirtAddr,
+    /// Listing 3 gadget (execute channel only).
+    gadget: VirtAddr,
+}
+
+/// One decoded bit and the simulated cycles its trial consumed.
+struct BitSample {
+    correct: bool,
+    cycles: u64,
+}
+
+impl ChannelScenario {
+    fn uarch_salt(&self) -> u64 {
+        self.profile.name.bytes().map(u64::from).sum::<u64>()
+    }
+}
+
+impl Scenario for ChannelScenario {
+    type State = ChannelState;
+    type Sample = BitSample;
+    type Output = CovertResult;
+
+    fn trials(&self) -> usize {
+        self.config.bits
+    }
+
+    fn setup(&self) -> Result<ChannelState, ScenarioError> {
+        let boot_salt = match self.kind {
+            CovertKind::Fetch => 0xc0de,
+            CovertKind::Execute => 0xe8ec,
+        };
+        let sys = System::new(self.profile.clone(), 1 << 30, self.config.seed ^ boot_salt)
+            .map_err(|e| PrimitiveError(e.to_string()))?;
+        let attacker = VirtAddr::new(0x5000_0000);
+        let cfg = PrimitiveConfig::for_system(&sys, attacker);
+        let (t1, t0, victim, gadget) = match self.kind {
+            CovertKind::Fetch => {
+                // T1: executable kernel text; T0: the same low bits in an
+                // unmapped region. Flipping bit 29 keeps T0 inside the
+                // (sparsely occupied) image randomization range for every
+                // slot — flipping bit 30 would land slot-0 boots inside
+                // the kernel module, which is mapped.
+                let t1 = sys.image().base + 0x2000 + 43 * 64;
+                let t0 = VirtAddr::new(t1.raw() ^ 0x2000_0000);
+                // The victim instruction (covert channels are
+                // cooperative: the receiver knows where the kernel
+                // speculates).
+                (t1, t0, sys.image().listing1_nop, VirtAddr::new(0))
+            }
+            CovertKind::Execute => {
+                // T1: a mapped physmap address; T0: same low bits,
+                // unmapped slot.
+                let t1 = sys.layout().physmap_base() + 0x10_0000 + 29 * 64;
+                let t0 = VirtAddr::new(t1.raw() ^ 0x2_0000_0000);
+                (
+                    t1,
+                    t0,
+                    sys.image().listing2_call,
+                    sys.image().listing3_gadget,
+                )
+            }
+        };
+        let snap = sys.machine().snapshot();
+        let snap_cycles = sys.machine().cycles();
+        Ok(ChannelState {
+            sys,
+            cfg,
+            snap,
+            snap_cycles,
+            t1,
+            t0,
+            victim,
+            gadget,
+        })
+    }
+
+    fn probe(&self, state: &mut ChannelState, trial: Trial) -> Result<BitSample, ScenarioError> {
+        // Rewind to the post-boot snapshot: every bit sees the same
+        // receiver, regardless of which shard measures it.
+        state.sys.machine_mut().restore(&state.snap);
+        let mut rng = StdRng::seed_from_u64(trial.seed);
+        let bit = rng.gen_bool(0.5);
+        let target = if bit { state.t1 } else { state.t0 };
+        let mut noise = self.noise_proto.reseeded(trial.seed ^ self.uarch_salt());
+        let mut votes = 0u32;
+        for _ in 0..VOTES_PER_BIT {
+            let evictions = match self.kind {
+                CovertKind::Fetch => {
+                    p1_probe(&mut state.sys, &state.cfg, state.victim, target, &mut noise)?
+                }
+                CovertKind::Execute => p2_probe(
+                    &mut state.sys,
+                    &state.cfg,
+                    state.victim,
+                    state.gadget,
+                    target,
+                    &mut noise,
+                )?,
+            };
+            votes += u32::from(evictions > 0);
+        }
+        let decoded = majority(votes, VOTES_PER_BIT);
+        Ok(BitSample {
+            correct: decoded == bit,
+            cycles: state.sys.machine().cycles() - state.snap_cycles,
+        })
+    }
+
+    fn score(&self, samples: Vec<BitSample>) -> CovertResult {
+        let bits = samples.len();
+        let correct = samples.iter().filter(|s| s.correct).count();
+        let cycles: u64 = samples.iter().map(|s| s.cycles).sum();
+        let seconds = self.profile.cycles_to_seconds(cycles);
+        CovertResult {
+            uarch: self.profile.name,
+            model: self.profile.model,
+            kind: self.kind,
+            bits,
+            accuracy: correct as f64 / bits.max(1) as f64,
+            seconds,
+            bits_per_sec: bits as f64 / seconds,
+        }
+    }
+}
+
+fn run_channel_on(
+    runner: &TrialRunner,
+    scenario: &ChannelScenario,
+) -> Result<CovertResult, PrimitiveError> {
+    runner
+        .run(scenario, scenario.config.seed)
+        .map_err(|e| PrimitiveError(e.to_string()))
+}
+
 /// Run the fetch (P1) covert channel on one microarchitecture.
 ///
 /// # Errors
@@ -78,13 +250,26 @@ pub fn fetch_channel(
     profile: UarchProfile,
     config: CovertConfig,
 ) -> Result<CovertResult, PrimitiveError> {
-    let uarch_salt = profile.name.bytes().map(u64::from).sum::<u64>();
-    // Stress the sibling thread to stabilize the signal (§6.4 footnote).
-    let noise = NoiseModel::with_smt_stress(config.seed ^ uarch_salt);
-    fetch_channel_noisy(profile, config, noise)
+    fetch_channel_on(&TrialRunner::new(), profile, config)
 }
 
-/// [`fetch_channel`] with an explicit noise model (ablation sweeps).
+/// [`fetch_channel`] on an explicit runner (thread-count control).
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn fetch_channel_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: CovertConfig,
+) -> Result<CovertResult, PrimitiveError> {
+    // Stress the sibling thread to stabilize the signal (§6.4 footnote).
+    let noise = NoiseModel::with_smt_stress(config.seed);
+    fetch_channel_noisy_on(runner, profile, config, noise)
+}
+
+/// [`fetch_channel`] with an explicit noise model (ablation sweeps). The
+/// model's calibration knobs are kept; its stream is reseeded per trial.
 ///
 /// # Errors
 ///
@@ -92,46 +277,31 @@ pub fn fetch_channel(
 pub fn fetch_channel_noisy(
     profile: UarchProfile,
     config: CovertConfig,
-    mut noise: NoiseModel,
+    noise: NoiseModel,
 ) -> Result<CovertResult, PrimitiveError> {
-    let mut sys = System::new(profile, 1 << 30, config.seed ^ 0xc0de)
-        .map_err(|e| PrimitiveError(e.to_string()))?;
-    let attacker = VirtAddr::new(0x5000_0000);
-    let cfg = PrimitiveConfig::for_system(&sys, attacker);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    fetch_channel_noisy_on(&TrialRunner::new(), profile, config, noise)
+}
 
-    // T1: executable kernel text; T0: the same low bits in an unmapped
-    // region. Flipping bit 29 keeps T0 inside the (sparsely occupied)
-    // image randomization range for every slot — flipping bit 30 would
-    // land slot-0 boots inside the kernel module, which is mapped.
-    let t1 = sys.image().base + 0x2000 + 43 * 64;
-    let t0 = VirtAddr::new(t1.raw() ^ 0x2000_0000);
-    // The victim instruction (covert channels are cooperative: the
-    // receiver knows where the kernel speculates).
-    let victim = sys.image().listing1_nop;
-
-    let start_cycles = sys.machine().cycles();
-    let mut correct = 0usize;
-    for _ in 0..config.bits {
-        let bit = rng.gen_bool(0.5);
-        let target = if bit { t1 } else { t0 };
-        let evictions = p1_probe(&mut sys, &cfg, victim, target, &mut noise)?;
-        let decoded = evictions > 0;
-        if decoded == bit {
-            correct += 1;
-        }
-    }
-    let cycles = sys.machine().cycles() - start_cycles;
-    let seconds = sys.machine().profile().cycles_to_seconds(cycles);
-    Ok(CovertResult {
-        uarch: sys.machine().profile().name,
-        model: sys.machine().profile().model,
-        kind: CovertKind::Fetch,
-        bits: config.bits,
-        accuracy: correct as f64 / config.bits as f64,
-        seconds,
-        bits_per_sec: config.bits as f64 / seconds,
-    })
+/// [`fetch_channel_noisy`] on an explicit runner (thread-count control).
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn fetch_channel_noisy_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: CovertConfig,
+    noise: NoiseModel,
+) -> Result<CovertResult, PrimitiveError> {
+    run_channel_on(
+        runner,
+        &ChannelScenario {
+            profile,
+            config,
+            kind: CovertKind::Fetch,
+            noise_proto: noise,
+        },
+    )
 }
 
 /// Run the execute (P2) covert channel (meaningful on Zen 1/2).
@@ -143,48 +313,31 @@ pub fn execute_channel(
     profile: UarchProfile,
     config: CovertConfig,
 ) -> Result<CovertResult, PrimitiveError> {
-    let uarch_salt = profile.name.bytes().map(u64::from).sum::<u64>();
-    let mut sys = System::new(profile, 1 << 30, config.seed ^ exec_seed())
-        .map_err(|e| PrimitiveError(e.to_string()))?;
-    let attacker = VirtAddr::new(0x5000_0000);
-    let cfg = PrimitiveConfig::for_system(&sys, attacker);
-    // "Additional sibling thread workloads were unnecessary for the
-    // tested parts" — plain realistic noise.
-    let mut noise = NoiseModel::realistic(config.seed ^ uarch_salt);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    // T1: a mapped physmap address; T0: same low bits, unmapped slot.
-    let physmap = sys.layout().physmap_base();
-    let t1 = physmap + 0x10_0000 + 29 * 64;
-    let t0 = VirtAddr::new(t1.raw() ^ 0x2_0000_0000);
-    let (l2c, l3g) = (sys.image().listing2_call, sys.image().listing3_gadget);
-
-    let start_cycles = sys.machine().cycles();
-    let mut correct = 0usize;
-    for _ in 0..config.bits {
-        let bit = rng.gen_bool(0.5);
-        let target = if bit { t1 } else { t0 };
-        let evictions = p2_probe(&mut sys, &cfg, l2c, l3g, target, &mut noise)?;
-        let decoded = evictions > 0;
-        if decoded == bit {
-            correct += 1;
-        }
-    }
-    let cycles = sys.machine().cycles() - start_cycles;
-    let seconds = sys.machine().profile().cycles_to_seconds(cycles);
-    Ok(CovertResult {
-        uarch: sys.machine().profile().name,
-        model: sys.machine().profile().model,
-        kind: CovertKind::Execute,
-        bits: config.bits,
-        accuracy: correct as f64 / config.bits as f64,
-        seconds,
-        bits_per_sec: config.bits as f64 / seconds,
-    })
+    execute_channel_on(&TrialRunner::new(), profile, config)
 }
 
-const fn exec_seed() -> u64 {
-    0xe8ec
+/// [`execute_channel`] on an explicit runner (thread-count control).
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn execute_channel_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: CovertConfig,
+) -> Result<CovertResult, PrimitiveError> {
+    // "Additional sibling thread workloads were unnecessary for the
+    // tested parts" — plain realistic noise.
+    let noise = NoiseModel::realistic(config.seed);
+    run_channel_on(
+        runner,
+        &ChannelScenario {
+            profile,
+            config,
+            kind: CovertKind::Execute,
+            noise_proto: noise,
+        },
+    )
 }
 
 /// The full Table 2: fetch rows for all four Zen parts, execute rows
@@ -194,12 +347,38 @@ const fn exec_seed() -> u64 {
 ///
 /// Returns [`PrimitiveError`] if any row fails.
 pub fn table2(config: CovertConfig) -> Result<Vec<CovertResult>, PrimitiveError> {
+    table2_on(&TrialRunner::new(), config)
+}
+
+/// [`table2`] on an explicit runner (thread-count control).
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] if any row fails.
+pub fn table2_on(
+    runner: &TrialRunner,
+    config: CovertConfig,
+) -> Result<Vec<CovertResult>, PrimitiveError> {
     let mut rows = Vec::new();
-    for p in UarchProfile::amd() {
-        rows.push(fetch_channel(p, config)?);
+    for profile in UarchProfile::amd() {
+        let noise = NoiseModel::with_smt_stress(config.seed);
+        let scenario = ChannelScenario {
+            profile,
+            config,
+            kind: CovertKind::Fetch,
+            noise_proto: noise,
+        };
+        rows.push(run_channel_on(runner, &scenario)?);
     }
-    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        rows.push(execute_channel(p, config)?);
+    for profile in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        let noise = NoiseModel::realistic(config.seed);
+        let scenario = ChannelScenario {
+            profile,
+            config,
+            kind: CovertKind::Execute,
+            noise_proto: noise,
+        };
+        rows.push(run_channel_on(runner, &scenario)?);
     }
     Ok(rows)
 }
@@ -230,7 +409,11 @@ mod tests {
         // On Zen 3 the phantom window never executes: the receiver sees
         // no signal and accuracy collapses to chance.
         let r = execute_channel(UarchProfile::zen3(), SMALL).unwrap();
-        assert!(r.accuracy < 0.75, "Zen 3 execute channel is dead: {}", r.accuracy);
+        assert!(
+            r.accuracy < 0.75,
+            "Zen 3 execute channel is dead: {}",
+            r.accuracy
+        );
     }
 
     #[test]
@@ -238,5 +421,21 @@ mod tests {
         let r = fetch_channel(UarchProfile::zen2(), CovertConfig { bits: 160, seed: 5 }).unwrap();
         assert!(r.accuracy > 0.8);
         assert_eq!(r.bits, 160);
+    }
+
+    #[test]
+    fn transfer_is_identical_at_any_thread_count() {
+        let noise = NoiseModel::with_smt_stress(SMALL.seed);
+        let scenario = ChannelScenario {
+            profile: UarchProfile::zen3(),
+            config: CovertConfig { bits: 48, seed: 3 },
+            kind: CovertKind::Fetch,
+            noise_proto: noise,
+        };
+        let one = run_channel_on(&TrialRunner::with_threads(1), &scenario).unwrap();
+        let four = run_channel_on(&TrialRunner::with_threads(4), &scenario).unwrap();
+        assert_eq!(one.accuracy, four.accuracy);
+        assert_eq!(one.seconds, four.seconds);
+        assert_eq!(one.bits_per_sec, four.bits_per_sec);
     }
 }

@@ -2,7 +2,6 @@
 //! combination, observed through the §5.1 channels — **Table 1** — plus
 //! the **Figure 6** µop-cache page-offset sweep.
 
-
 use phantom_isa::encode::encode_into;
 use phantom_isa::{Cond, Inst, Reg};
 use phantom_mem::{PageFlags, VirtAddr};
@@ -10,6 +9,7 @@ use phantom_pipeline::{Machine, TransientReport, UarchProfile};
 use phantom_sidechannel::NoiseModel;
 
 use crate::channel::{ChannelError, ExChannel, IdChannel, IfChannel};
+use crate::runner::{Scenario, ScenarioError, Trial, TrialRunner};
 
 /// The instruction used to *train* the predictor (§5.2's five rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +79,10 @@ impl VictimKind {
         match self {
             VictimKind::JmpInd => Inst::JmpInd { src: Reg::R11 },
             VictimKind::Jmp => Inst::Jmp { disp: disp_to(5) },
-            VictimKind::Jcc => Inst::Jcc { cond: Cond::Eq, disp: disp_to(6) },
+            VictimKind::Jcc => Inst::Jcc {
+                cond: Cond::Eq,
+                disp: disp_to(6),
+            },
             VictimKind::Ret => Inst::Ret,
             VictimKind::NonBranch => Inst::Nop,
         }
@@ -252,7 +255,11 @@ fn emit(inst: &Inst) -> Vec<u8> {
 /// being fetched and decoded at its address, provides the IF and ID
 /// signals. Ends in `hlt`.
 fn payload_bytes() -> Vec<u8> {
-    let mut bytes = emit(&Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+    let mut bytes = emit(&Inst::Load {
+        dst: Reg::R9,
+        base: Reg::R8,
+        disp: 0,
+    });
     bytes.extend(emit(&Inst::Halt));
     bytes
 }
@@ -298,9 +305,12 @@ pub fn run_combo_msr(
 
     // --- Map and fill the geography. --------------------------------
     let text = PageFlags::USER_TEXT | PageFlags::WRITE;
-    m.map_range(x.page_base(), 0x2000, text).map_err(|e| ChannelError(e.to_string()))?;
-    m.map_range(lay.c.page_base(), 0x1000, text).map_err(|e| ChannelError(e.to_string()))?;
-    m.map_range(lay.f.page_base(), 0x1000, text).map_err(|e| ChannelError(e.to_string()))?;
+    m.map_range(x.page_base(), 0x2000, text)
+        .map_err(|e| ChannelError(e.to_string()))?;
+    m.map_range(lay.c.page_base(), 0x1000, text)
+        .map_err(|e| ChannelError(e.to_string()))?;
+    m.map_range(lay.f.page_base(), 0x1000, text)
+        .map_err(|e| ChannelError(e.to_string()))?;
     m.map_range(lay.call_site.page_base(), 0x1000, text)
         .map_err(|e| ChannelError(e.to_string()))?;
     // Stack.
@@ -340,7 +350,10 @@ pub fn run_combo_msr(
         }
         TrainKind::Jcc => {
             let disp = (lay.c.raw() as i64 - (x.raw() as i64 + 6)) as i32;
-            let mut bytes = emit(&Inst::Jcc { cond: Cond::Eq, disp });
+            let mut bytes = emit(&Inst::Jcc {
+                cond: Cond::Eq,
+                disp,
+            });
             bytes.push(0xf4);
             m.poke(x, &bytes);
             // Train the direction predictor thoroughly toward taken.
@@ -412,7 +425,15 @@ pub fn run_combo_msr(
     let executed = ex_ch.observe(&mut m, &mut noise);
     let decoded = id_misses > 0;
 
-    Ok(ComboOutcome { train, victim, uarch, fetched, decoded, executed, reports })
+    Ok(ComboOutcome {
+        train,
+        victim,
+        uarch,
+        fetched,
+        decoded,
+        executed,
+        reports,
+    })
 }
 
 /// All 22 asymmetric variants of §5.2: the 20 off-diagonal pairs plus
@@ -448,22 +469,77 @@ pub struct Table1Cell {
     pub stages: Vec<(&'static str, Stage)>,
 }
 
-/// Run the full Table 1 sweep over the given microarchitectures.
+/// The Table 1 sweep as a trial scenario: one trial per (training ×
+/// victim × microarchitecture) cell, each on a fresh machine — so the
+/// whole sweep shards across cores with no shared state.
+struct Table1Scenario<'a> {
+    profiles: &'a [UarchProfile],
+    combos: Vec<(TrainKind, VictimKind)>,
+    seed: u64,
+}
+
+impl Scenario for Table1Scenario<'_> {
+    type State = ();
+    type Sample = (&'static str, Stage);
+    type Output = Vec<Table1Cell>;
+
+    fn trials(&self) -> usize {
+        self.combos.len() * self.profiles.len()
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<Self::Sample, ScenarioError> {
+        let (train, victim) = self.combos[trial.index / self.profiles.len()];
+        let profile = self.profiles[trial.index % self.profiles.len()].clone();
+        let name = profile.name;
+        let outcome = run_combo(profile, train, victim, self.seed)?;
+        Ok((name, outcome.stage_enum()))
+    }
+
+    fn score(&self, samples: Vec<Self::Sample>) -> Vec<Table1Cell> {
+        self.combos
+            .iter()
+            .zip(samples.chunks(self.profiles.len().max(1)))
+            .map(|(&(train, victim), stages)| Table1Cell {
+                train,
+                victim,
+                stages: stages.to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// Run the full Table 1 sweep over the given microarchitectures,
+/// sharded across all available cores.
 ///
 /// # Errors
 ///
 /// Returns [`ChannelError`] if any combination fails to set up.
 pub fn table1(profiles: &[UarchProfile], seed: u64) -> Result<Vec<Table1Cell>, ChannelError> {
-    let mut cells = Vec::new();
-    for (train, victim) in asymmetric_combos() {
-        let mut stages = Vec::new();
-        for p in profiles {
-            let outcome = run_combo(p.clone(), train, victim, seed)?;
-            stages.push((p.name, outcome.stage_enum()));
-        }
-        cells.push(Table1Cell { train, victim, stages });
-    }
-    Ok(cells)
+    table1_on(&TrialRunner::new(), profiles, seed)
+}
+
+/// [`table1`] on an explicit runner (thread-count control).
+///
+/// # Errors
+///
+/// Returns [`ChannelError`] if any combination fails to set up.
+pub fn table1_on(
+    runner: &TrialRunner,
+    profiles: &[UarchProfile],
+    seed: u64,
+) -> Result<Vec<Table1Cell>, ChannelError> {
+    let scenario = Table1Scenario {
+        profiles,
+        combos: asymmetric_combos(),
+        seed,
+    };
+    runner
+        .run(&scenario, seed)
+        .map_err(|e| ChannelError(e.to_string()))
 }
 
 /// One Figure 6 data point: µop-cache misses observed when C sits at a
@@ -491,6 +567,20 @@ pub fn figure6(
     series_offset: u64,
     step: u64,
 ) -> Result<Vec<Figure6Point>, ChannelError> {
+    figure6_on(&TrialRunner::new(), profile, series_offset, step)
+}
+
+/// [`figure6`] on an explicit runner (thread-count control).
+///
+/// # Errors
+///
+/// Returns [`ChannelError`] on setup failure.
+pub fn figure6_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    series_offset: u64,
+    step: u64,
+) -> Result<Vec<Figure6Point>, ChannelError> {
     let mut offsets: Vec<u64> = (0..4096 - 64).step_by(step.max(64) as usize).collect();
     // The series offset itself (0xac0 = 43 * 64; 43 is prime, so coarse
     // steps never land on it) must be part of the sweep — it is the
@@ -499,39 +589,91 @@ pub fn figure6(
         offsets.push(series_offset);
         offsets.sort_unstable();
     }
-    let mut points = Vec::new();
-    for offset in offsets {
-        let mut m = Machine::new(profile.clone(), 1 << 26);
-        let text = PageFlags::USER_TEXT | PageFlags::WRITE;
-        // The victim site must not itself alias the monitored µop set
-        // (its own architectural decode would read as signal).
-        let x = VirtAddr::new(0x40_0908);
-        let c = VirtAddr::new(0x48_0000 + offset);
-        m.map_range(x.page_base(), 0x1000, text).map_err(|e| ChannelError(e.to_string()))?;
-        m.map_range(c.page_base(), 0x1000, text).map_err(|e| ChannelError(e.to_string()))?;
-        m.poke(c, &payload_bytes());
-        m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)
-            .map_err(|e| ChannelError(e.to_string()))?;
-        m.set_reg(Reg::R8, 0x60_0000);
+    let scenario = Figure6Scenario {
+        profile,
+        series_offset,
+        offsets,
+    };
+    runner
+        .run(&scenario, 0)
+        .map_err(|e| ChannelError(e.to_string()))
+}
 
-        let id_ch = IdChannel::install(&mut m, VirtAddr::new(0x70_0000), series_offset)?;
+/// The Figure 6 sweep as a scenario: one trial per page offset, each on
+/// a fresh machine.
+struct Figure6Scenario {
+    profile: UarchProfile,
+    series_offset: u64,
+    offsets: Vec<u64>,
+}
 
-        // Train jmp* -> C, then replace with nops (the non-branch victim).
-        let mut bytes = emit(&Inst::JmpInd { src: Reg::R11 });
-        bytes.push(0xf4);
-        m.poke(x, &bytes);
-        m.set_reg(Reg::R11, c.raw());
-        m.set_pc(x);
-        m.run(8).map_err(|e| ChannelError(e.to_string()))?;
-        m.poke(x, &[0x90, 0x90, 0xf4]);
+impl Scenario for Figure6Scenario {
+    type State = ();
+    type Sample = Figure6Point;
+    type Output = Vec<Figure6Point>;
 
-        id_ch.prime(&mut m);
-        m.set_pc(x);
-        m.run(8).map_err(|e| ChannelError(e.to_string()))?;
-        let (hits, misses) = id_ch.sample(&mut m);
-        points.push(Figure6Point { offset, hits, misses });
+    fn trials(&self) -> usize {
+        self.offsets.len()
     }
-    Ok(points)
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<Figure6Point, ScenarioError> {
+        Ok(figure6_point(
+            &self.profile,
+            self.offsets[trial.index],
+            self.series_offset,
+        )?)
+    }
+
+    fn score(&self, samples: Vec<Figure6Point>) -> Vec<Figure6Point> {
+        samples
+    }
+}
+
+/// Measure one Figure 6 offset on a fresh machine.
+fn figure6_point(
+    profile: &UarchProfile,
+    offset: u64,
+    series_offset: u64,
+) -> Result<Figure6Point, ChannelError> {
+    let mut m = Machine::new(profile.clone(), 1 << 26);
+    let text = PageFlags::USER_TEXT | PageFlags::WRITE;
+    // The victim site must not itself alias the monitored µop set
+    // (its own architectural decode would read as signal).
+    let x = VirtAddr::new(0x40_0908);
+    let c = VirtAddr::new(0x48_0000 + offset);
+    m.map_range(x.page_base(), 0x1000, text)
+        .map_err(|e| ChannelError(e.to_string()))?;
+    m.map_range(c.page_base(), 0x1000, text)
+        .map_err(|e| ChannelError(e.to_string()))?;
+    m.poke(c, &payload_bytes());
+    m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)
+        .map_err(|e| ChannelError(e.to_string()))?;
+    m.set_reg(Reg::R8, 0x60_0000);
+
+    let id_ch = IdChannel::install(&mut m, VirtAddr::new(0x70_0000), series_offset)?;
+
+    // Train jmp* -> C, then replace with nops (the non-branch victim).
+    let mut bytes = emit(&Inst::JmpInd { src: Reg::R11 });
+    bytes.push(0xf4);
+    m.poke(x, &bytes);
+    m.set_reg(Reg::R11, c.raw());
+    m.set_pc(x);
+    m.run(8).map_err(|e| ChannelError(e.to_string()))?;
+    m.poke(x, &[0x90, 0x90, 0xf4]);
+
+    id_ch.prime(&mut m);
+    m.set_pc(x);
+    m.run(8).map_err(|e| ChannelError(e.to_string()))?;
+    let (hits, misses) = id_ch.sample(&mut m);
+    Ok(Figure6Point {
+        offset,
+        hits,
+        misses,
+    })
 }
 
 #[cfg(test)]
@@ -547,8 +689,13 @@ mod tests {
 
     #[test]
     fn nop_victim_trained_indirect_reaches_id_on_zen3() {
-        let o = run_combo(UarchProfile::zen3(), TrainKind::JmpInd, VictimKind::NonBranch, 0)
-            .unwrap();
+        let o = run_combo(
+            UarchProfile::zen3(),
+            TrainKind::JmpInd,
+            VictimKind::NonBranch,
+            0,
+        )
+        .unwrap();
         assert!(o.fetched, "O1");
         assert!(o.decoded, "O2");
         assert!(!o.executed, "no EX on Zen 3");
@@ -557,18 +704,20 @@ mod tests {
 
     #[test]
     fn nop_victim_trained_indirect_reaches_ex_on_zen2() {
-        let o = run_combo(UarchProfile::zen2(), TrainKind::JmpInd, VictimKind::NonBranch, 0)
-            .unwrap();
+        let o = run_combo(
+            UarchProfile::zen2(),
+            TrainKind::JmpInd,
+            VictimKind::NonBranch,
+            0,
+        )
+        .unwrap();
         assert_eq!(o.stage(), "EX", "O3: Zen 2 executes phantom targets");
     }
 
     #[test]
     fn ret_victim_trained_indirect_is_phantom() {
         // Retbleed-style confusion observed through the channels.
-        for (profile, expect) in [
-            (UarchProfile::zen1(), "EX"),
-            (UarchProfile::zen4(), "ID"),
-        ] {
+        for (profile, expect) in [(UarchProfile::zen1(), "EX"), (UarchProfile::zen4(), "ID")] {
             let o = run_combo(profile, TrainKind::JmpInd, VictimKind::Ret, 0).unwrap();
             assert_eq!(o.stage(), expect);
         }
@@ -578,8 +727,13 @@ mod tests {
     fn ret_training_signals_at_the_call_site() {
         // "The return target will not be to C, but to the most recent
         // call site."
-        let o = run_combo(UarchProfile::zen2(), TrainKind::Ret, VictimKind::NonBranch, 0)
-            .unwrap();
+        let o = run_combo(
+            UarchProfile::zen2(),
+            TrainKind::Ret,
+            VictimKind::NonBranch,
+            0,
+        )
+        .unwrap();
         assert!(o.fetched && o.decoded);
         // Ground truth: the transient target is the planted call site's
         // return address, not C.
@@ -589,12 +743,25 @@ mod tests {
 
     #[test]
     fn non_branch_training_gives_straight_line_speculation() {
-        let o = run_combo(UarchProfile::zen1(), TrainKind::NonBranch, VictimKind::Ret, 0)
-            .unwrap();
-        assert!(o.fetched && o.decoded, "SLS fetches/decodes the straight line");
+        let o = run_combo(
+            UarchProfile::zen1(),
+            TrainKind::NonBranch,
+            VictimKind::Ret,
+            0,
+        )
+        .unwrap();
+        assert!(
+            o.fetched && o.decoded,
+            "SLS fetches/decodes the straight line"
+        );
         assert!(o.executed, "Zen 1 executes it (Spectre-SLS)");
-        let o4 = run_combo(UarchProfile::zen4(), TrainKind::NonBranch, VictimKind::Ret, 0)
-            .unwrap();
+        let o4 = run_combo(
+            UarchProfile::zen4(),
+            TrainKind::NonBranch,
+            VictimKind::Ret,
+            0,
+        )
+        .unwrap();
         assert!(!o4.executed, "Zen 4 squashes before execute");
     }
 
@@ -610,8 +777,16 @@ mod tests {
             ] {
                 let o = run_combo(profile.clone(), train, victim, 0).unwrap();
                 let truth = o.reports.first().cloned().unwrap_or_default();
-                assert_eq!(o.fetched, truth.fetched, "{train}x{victim} on {}", profile.name);
-                assert_eq!(o.decoded, truth.decoded, "{train}x{victim} on {}", profile.name);
+                assert_eq!(
+                    o.fetched, truth.fetched,
+                    "{train}x{victim} on {}",
+                    profile.name
+                );
+                assert_eq!(
+                    o.decoded, truth.decoded,
+                    "{train}x{victim} on {}",
+                    profile.name
+                );
                 assert_eq!(
                     o.executed,
                     !truth.loads_dispatched.is_empty(),
@@ -625,7 +800,10 @@ mod tests {
     #[test]
     fn figure6_signal_only_at_matching_offset() {
         let points = figure6(UarchProfile::zen2(), 0xac0, 0x200).unwrap();
-        assert!(points.iter().any(|p| p.offset == 0xac0), "sweep includes 0xac0");
+        assert!(
+            points.iter().any(|p| p.offset == 0xac0),
+            "sweep includes 0xac0"
+        );
         for p in &points {
             if p.offset == 0xac0 {
                 assert!(p.misses > 0, "signal at the matching offset");
@@ -670,7 +848,10 @@ mod tests {
         ex_ch.arm(&mut m);
         m.set_pc(victim);
         let (_, reports) = m.run_collecting(8).unwrap();
-        assert!(reports.is_empty(), "no misprediction at a non-aliasing victim");
+        assert!(
+            reports.is_empty(),
+            "no misprediction at a non-aliasing victim"
+        );
         let (_, misses) = id_ch.sample(&mut m);
         assert_eq!(misses, 0);
         assert!(!if_ch.observe(&mut m, &mut noise));
@@ -679,7 +860,10 @@ mod tests {
 
     #[test]
     fn combos_are_deterministic_per_seed() {
-        for (t, v) in [(TrainKind::JmpInd, VictimKind::NonBranch), (TrainKind::Ret, VictimKind::Jmp)] {
+        for (t, v) in [
+            (TrainKind::JmpInd, VictimKind::NonBranch),
+            (TrainKind::Ret, VictimKind::Jmp),
+        ] {
             let a = run_combo(UarchProfile::zen3(), t, v, 5).unwrap();
             let b = run_combo(UarchProfile::zen3(), t, v, 5).unwrap();
             assert_eq!(a.fetched, b.fetched);
@@ -698,19 +882,15 @@ mod tests {
         // A and B alias under zen12 (two high-bit flips hit no fold fn).
         let a_site = VirtAddr::new(0x40_0ac0);
         let b_site = VirtAddr::new(a_site.raw() ^ (1 << 38)); // untagged bit
-        assert!(m
-            .bpu()
-            .btb()
-            .scheme()
-            .family
-            .aliases(a_site, b_site));
+        assert!(m.bpu().btb().scheme().family.aliases(a_site, b_site));
         let c = VirtAddr::new(0x48_0b40);
         let c_prime = VirtAddr::new(b_site.raw().wrapping_add(c - a_site));
         m.map_range(a_site.page_base(), 0x1000, text).unwrap();
         m.map_range(b_site.page_base(), 0x1000, text).unwrap();
         m.map_range(c.page_base(), 0x1000, text).unwrap();
         m.map_range(c_prime.page_base(), 0x1000, text).unwrap();
-        m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA).unwrap();
+        m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)
+            .unwrap();
         m.set_reg(Reg::R8, 0x60_0000);
         m.poke(c, &payload_bytes());
         m.poke(c_prime, &payload_bytes());
@@ -737,7 +917,11 @@ mod tests {
         // And only C'\u{2019}s line entered the I-cache.
         let pa = |va: VirtAddr, m: &Machine| {
             m.page_table()
-                .translate(va, phantom_mem::AccessKind::Execute, phantom_mem::PrivilegeLevel::User)
+                .translate(
+                    va,
+                    phantom_mem::AccessKind::Execute,
+                    phantom_mem::PrivilegeLevel::User,
+                )
                 .unwrap()
                 .raw()
         };

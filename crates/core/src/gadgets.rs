@@ -72,8 +72,7 @@ pub fn classify_function(body: &[Inst]) -> GadgetClass {
                 tainted[dst.index() as usize] = tainted[src.index() as usize];
             }
             Inst::Alu { dst, src, .. } => {
-                tainted[dst.index() as usize] |=
-                    tainted[src.index() as usize];
+                tainted[dst.index() as usize] |= tainted[src.index() as usize];
             }
             Inst::MovImm { dst, .. } => {
                 // An immediate (e.g. an array base) combined later with a
@@ -122,7 +121,12 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> CorpusConfig {
-        CorpusConfig { functions: 2000, spectre: 183, mds_only: 539, seed: 0 }
+        CorpusConfig {
+            functions: 2000,
+            spectre: 183,
+            mds_only: 539,
+            seed: 0,
+        }
     }
 }
 
@@ -131,10 +135,20 @@ fn filler(rng: &mut StdRng, out: &mut Vec<Inst>, n: usize) {
         let r = Reg::from_index(rng.gen_range(3..10)).expect("in range");
         let s = Reg::from_index(rng.gen_range(3..10)).expect("in range");
         match rng.gen_range(0..4) {
-            0 => out.push(Inst::Alu { op: AluOp::Add, dst: r, src: s }),
-            1 => out.push(Inst::MovImm { dst: r, imm: rng.gen() }),
+            0 => out.push(Inst::Alu {
+                op: AluOp::Add,
+                dst: r,
+                src: s,
+            }),
+            1 => out.push(Inst::MovImm {
+                dst: r,
+                imm: rng.gen(),
+            }),
             2 => out.push(Inst::Nop),
-            _ => out.push(Inst::Shr { dst: r, amount: rng.gen_range(0..8) }),
+            _ => out.push(Inst::Shr {
+                dst: r,
+                amount: rng.gen_range(0..8),
+            }),
         }
     }
 }
@@ -144,10 +158,16 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<Vec<Inst>> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut kinds = Vec::with_capacity(config.functions);
     kinds.extend(std::iter::repeat_n(GadgetClass::SpectreV1, config.spectre));
-    kinds.extend(std::iter::repeat_n(GadgetClass::MdsSingleLoad, config.mds_only));
-    kinds.extend(
-        std::iter::repeat_n(GadgetClass::Benign, config.functions.saturating_sub(config.spectre + config.mds_only)),
-    );
+    kinds.extend(std::iter::repeat_n(
+        GadgetClass::MdsSingleLoad,
+        config.mds_only,
+    ));
+    kinds.extend(std::iter::repeat_n(
+        GadgetClass::Benign,
+        config
+            .functions
+            .saturating_sub(config.spectre + config.mds_only),
+    ));
     // Deterministic shuffle.
     for i in (1..kinds.len()).rev() {
         kinds.swap(i, rng.gen_range(0..=i));
@@ -159,24 +179,49 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<Vec<Inst>> {
             let mut body = Vec::new();
             let pre = rng.gen_range(0..4);
             filler(&mut rng, &mut body, pre);
-            body.push(Inst::Cmp { a: Reg::R1, b: Reg::R5 });
-            body.push(Inst::Jcc { cond: Cond::AboveEq, disp: 32 });
+            body.push(Inst::Cmp {
+                a: Reg::R1,
+                b: Reg::R5,
+            });
+            body.push(Inst::Jcc {
+                cond: Cond::AboveEq,
+                disp: 32,
+            });
             match kind {
                 GadgetClass::SpectreV1 => {
-                    body.push(Inst::Load { dst: Reg::R3, base: Reg::R1, disp: 0 });
+                    body.push(Inst::Load {
+                        dst: Reg::R3,
+                        base: Reg::R1,
+                        disp: 0,
+                    });
                     let mid = rng.gen_range(0..3);
                     filler(&mut rng, &mut body, mid);
-                    body.push(Inst::Load { dst: Reg::R4, base: Reg::R3, disp: 0 });
+                    body.push(Inst::Load {
+                        dst: Reg::R4,
+                        base: Reg::R3,
+                        disp: 0,
+                    });
                 }
                 GadgetClass::MdsSingleLoad => {
-                    body.push(Inst::Load { dst: Reg::R3, base: Reg::R1, disp: 0 });
+                    body.push(Inst::Load {
+                        dst: Reg::R3,
+                        base: Reg::R1,
+                        disp: 0,
+                    });
                     let tail = rng.gen_range(0..3);
                     filler(&mut rng, &mut body, tail);
                 }
                 GadgetClass::Benign => {
                     // Loads from untainted bases only.
-                    body.push(Inst::MovImm { dst: Reg::R6, imm: 0x6000_0000 });
-                    body.push(Inst::Load { dst: Reg::R3, base: Reg::R6, disp: 0 });
+                    body.push(Inst::MovImm {
+                        dst: Reg::R6,
+                        imm: 0x6000_0000,
+                    });
+                    body.push(Inst::Load {
+                        dst: Reg::R3,
+                        base: Reg::R6,
+                        disp: 0,
+                    });
                     let tail = rng.gen_range(0..3);
                     filler(&mut rng, &mut body, tail);
                 }
@@ -217,7 +262,11 @@ pub fn census(corpus: &[Vec<Inst>]) -> GadgetCensus {
             GadgetClass::Benign => {}
         }
     }
-    GadgetCensus { spectre_gadgets: spectre, mds_gadgets: mds, total_with_phantom: spectre + mds }
+    GadgetCensus {
+        spectre_gadgets: spectre,
+        mds_gadgets: mds,
+        total_with_phantom: spectre + mds,
+    }
 }
 
 #[cfg(test)]
@@ -227,25 +276,56 @@ mod tests {
     #[test]
     fn classifier_identifies_the_three_shapes() {
         let spectre = [
-            Inst::Cmp { a: Reg::R1, b: Reg::R5 },
-            Inst::Jcc { cond: Cond::AboveEq, disp: 12 },
-            Inst::Load { dst: Reg::R3, base: Reg::R1, disp: 0 },
-            Inst::Load { dst: Reg::R4, base: Reg::R3, disp: 0 },
+            Inst::Cmp {
+                a: Reg::R1,
+                b: Reg::R5,
+            },
+            Inst::Jcc {
+                cond: Cond::AboveEq,
+                disp: 12,
+            },
+            Inst::Load {
+                dst: Reg::R3,
+                base: Reg::R1,
+                disp: 0,
+            },
+            Inst::Load {
+                dst: Reg::R4,
+                base: Reg::R3,
+                disp: 0,
+            },
             Inst::Ret,
         ];
         assert_eq!(classify_function(&spectre), GadgetClass::SpectreV1);
 
         let mds = [
-            Inst::Cmp { a: Reg::R1, b: Reg::R5 },
-            Inst::Jcc { cond: Cond::AboveEq, disp: 12 },
-            Inst::Load { dst: Reg::R3, base: Reg::R1, disp: 0 },
+            Inst::Cmp {
+                a: Reg::R1,
+                b: Reg::R5,
+            },
+            Inst::Jcc {
+                cond: Cond::AboveEq,
+                disp: 12,
+            },
+            Inst::Load {
+                dst: Reg::R3,
+                base: Reg::R1,
+                disp: 0,
+            },
             Inst::Ret,
         ];
         assert_eq!(classify_function(&mds), GadgetClass::MdsSingleLoad);
 
         let benign = [
-            Inst::MovImm { dst: Reg::R6, imm: 0x1000 },
-            Inst::Load { dst: Reg::R3, base: Reg::R6, disp: 0 },
+            Inst::MovImm {
+                dst: Reg::R6,
+                imm: 0x1000,
+            },
+            Inst::Load {
+                dst: Reg::R3,
+                base: Reg::R6,
+                disp: 0,
+            },
             Inst::Ret,
         ];
         assert_eq!(classify_function(&benign), GadgetClass::Benign);
@@ -254,8 +334,15 @@ mod tests {
     #[test]
     fn loads_before_the_bounds_check_do_not_count() {
         let body = [
-            Inst::Load { dst: Reg::R3, base: Reg::R1, disp: 0 },
-            Inst::Cmp { a: Reg::R1, b: Reg::R5 },
+            Inst::Load {
+                dst: Reg::R3,
+                base: Reg::R1,
+                disp: 0,
+            },
+            Inst::Cmp {
+                a: Reg::R1,
+                b: Reg::R5,
+            },
             Inst::Ret,
         ];
         assert_eq!(classify_function(&body), GadgetClass::Benign);
@@ -264,11 +351,28 @@ mod tests {
     #[test]
     fn taint_propagates_through_alu_and_moves() {
         let body = [
-            Inst::Cmp { a: Reg::R1, b: Reg::R5 },
-            Inst::Jcc { cond: Cond::AboveEq, disp: 12 },
-            Inst::MovImm { dst: Reg::R4, imm: 0x8000 },
-            Inst::Alu { op: AluOp::Add, dst: Reg::R4, src: Reg::R1 }, // base+index
-            Inst::Load { dst: Reg::R3, base: Reg::R4, disp: 0 },
+            Inst::Cmp {
+                a: Reg::R1,
+                b: Reg::R5,
+            },
+            Inst::Jcc {
+                cond: Cond::AboveEq,
+                disp: 12,
+            },
+            Inst::MovImm {
+                dst: Reg::R4,
+                imm: 0x8000,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::R4,
+                src: Reg::R1,
+            }, // base+index
+            Inst::Load {
+                dst: Reg::R3,
+                base: Reg::R4,
+                disp: 0,
+            },
             Inst::Ret,
         ];
         assert_eq!(classify_function(&body), GadgetClass::MdsSingleLoad);
@@ -289,7 +393,10 @@ mod tests {
         let a = generate_corpus(&CorpusConfig::default());
         let b = generate_corpus(&CorpusConfig::default());
         assert_eq!(a, b);
-        let c = generate_corpus(&CorpusConfig { seed: 1, ..Default::default() });
+        let c = generate_corpus(&CorpusConfig {
+            seed: 1,
+            ..Default::default()
+        });
         assert_ne!(a, c);
     }
 }

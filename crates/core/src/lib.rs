@@ -57,6 +57,7 @@ pub mod gadgets;
 pub mod mitigations;
 pub mod primitives;
 pub mod report;
+pub mod runner;
 pub mod spectre;
 
 pub use experiment::{run_combo, table1, Stage};

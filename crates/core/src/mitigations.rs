@@ -15,6 +15,7 @@ use phantom_sidechannel::NoiseModel;
 use crate::channel::ChannelError;
 use crate::experiment::{run_combo_msr, ComboOutcome, TrainKind, VictimKind};
 use crate::primitives::{p1_detect_executable, PrimitiveConfig, PrimitiveError};
+use crate::runner::{Scenario, ScenarioError, Trial, TrialRunner};
 
 /// The O4 experiment: the non-branch victim column with and without
 /// `SuppressBPOnNonBr`.
@@ -49,9 +50,15 @@ pub fn o4_suppress_bp_on_non_br(profile: UarchProfile) -> Result<O4Outcome, Chan
         TrainKind::JmpInd,
         VictimKind::NonBranch,
         0,
-        Some(MsrState { suppress_bp_on_non_br: true, ..MsrState::none() }),
+        Some(MsrState {
+            suppress_bp_on_non_br: true,
+            ..MsrState::none()
+        }),
     )?;
-    Ok(O4Outcome { baseline, suppressed })
+    Ok(O4Outcome {
+        baseline,
+        suppressed,
+    })
 }
 
 /// The O5 experiment: with AutoIBRS enabled on Zen 4, user-mode training
@@ -130,15 +137,14 @@ pub fn ibpb_blocks_p1(seed: u64) -> Result<bool, PrimitiveError> {
 /// # Errors
 ///
 /// Returns [`ChannelError`] on setup failure.
-pub fn lfence_gadget_protection(
-    profile: UarchProfile,
-) -> Result<(bool, bool), ChannelError> {
+pub fn lfence_gadget_protection(profile: UarchProfile) -> Result<(bool, bool), ChannelError> {
     let run = |protected: bool| -> Result<bool, ChannelError> {
         let mut m = Machine::new(profile.clone(), 1 << 24);
         let text = PageFlags::USER_TEXT | PageFlags::WRITE;
         let x = VirtAddr::new(0x40_0ac0);
         let gadget = VirtAddr::new(0x48_0b40);
-        m.map_range(x.page_base(), 0x1000, text).map_err(|e| ChannelError(e.to_string()))?;
+        m.map_range(x.page_base(), 0x1000, text)
+            .map_err(|e| ChannelError(e.to_string()))?;
         m.map_range(gadget.page_base(), 0x1000, text)
             .map_err(|e| ChannelError(e.to_string()))?;
         m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)
@@ -150,7 +156,11 @@ pub fn lfence_gadget_protection(
         if protected {
             g.push(Inst::Lfence);
         }
-        g.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+        g.push(Inst::Load {
+            dst: Reg::R9,
+            base: Reg::R8,
+            disp: 0,
+        });
         g.push(Inst::Halt);
         m.load_blob(&g.finish().map_err(|e| ChannelError(e.to_string()))?, text)
             .map_err(|e| ChannelError(e.to_string()))?;
@@ -168,7 +178,9 @@ pub fn lfence_gadget_protection(
         m.caches_mut().flush_all();
 
         m.set_pc(x);
-        let (_, reports) = m.run_collecting(8).map_err(|e| ChannelError(e.to_string()))?;
+        let (_, reports) = m
+            .run_collecting(8)
+            .map_err(|e| ChannelError(e.to_string()))?;
         Ok(reports
             .first()
             .is_some_and(|r| !r.loads_dispatched.is_empty()))
@@ -189,7 +201,8 @@ pub fn rsb_stuffing_protection(profile: UarchProfile) -> Result<(bool, bool), Ch
         let mut m = Machine::new(profile.clone(), 1 << 24);
         let text = PageFlags::USER_TEXT | PageFlags::WRITE;
         let x = VirtAddr::new(0x40_0ac0);
-        m.map_range(x.page_base(), 0x1000, text).map_err(|e| ChannelError(e.to_string()))?;
+        m.map_range(x.page_base(), 0x1000, text)
+            .map_err(|e| ChannelError(e.to_string()))?;
         m.map_range(VirtAddr::new(0x7000_0000), 0x4000, PageFlags::USER_DATA)
             .map_err(|e| ChannelError(e.to_string()))?;
 
@@ -220,7 +233,9 @@ pub fn rsb_stuffing_protection(profile: UarchProfile) -> Result<(bool, bool), Ch
         m.poke(x, &[0x90, 0x90, 0xF4]);
         m.caches_mut().flush_all();
         m.set_pc(x);
-        let (_, reports) = m.run_collecting(8).map_err(|e| ChannelError(e.to_string()))?;
+        let (_, reports) = m
+            .run_collecting(8)
+            .map_err(|e| ChannelError(e.to_string()))?;
         Ok(reports.first().is_some_and(|r| r.fetched))
     };
     Ok((run(false)?, run(true)?))
@@ -239,7 +254,8 @@ pub fn sls_padding_protection(profile: UarchProfile) -> Result<(bool, bool), Cha
         let mut m = Machine::new(profile.clone(), 1 << 24);
         let text = PageFlags::USER_TEXT | PageFlags::WRITE;
         let x = VirtAddr::new(0x40_0b00);
-        m.map_range(x.page_base(), 0x1000, text).map_err(|e| ChannelError(e.to_string()))?;
+        m.map_range(x.page_base(), 0x1000, text)
+            .map_err(|e| ChannelError(e.to_string()))?;
         m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)
             .map_err(|e| ChannelError(e.to_string()))?;
         m.map_range(VirtAddr::new(0x7000_0000), 0x4000, PageFlags::USER_DATA)
@@ -248,7 +264,8 @@ pub fn sls_padding_protection(profile: UarchProfile) -> Result<(bool, bool), Cha
         let stack_top = 0x7000_3f00u64;
         m.set_reg(Reg::SP, stack_top);
         m.poke_u64(VirtAddr::new(stack_top), 0x40_0f00);
-        m.map_range(VirtAddr::new(0x40_0f00), 16, text).map_err(|e| ChannelError(e.to_string()))?;
+        m.map_range(VirtAddr::new(0x40_0f00), 16, text)
+            .map_err(|e| ChannelError(e.to_string()))?;
         m.poke(VirtAddr::new(0x40_0f00), &[0xF4]);
 
         // ret; [lfence pad;] load [R8]; hlt — the load is dead code that
@@ -258,13 +275,19 @@ pub fn sls_padding_protection(profile: UarchProfile) -> Result<(bool, bool), Cha
         if padded {
             a.push(Inst::Lfence);
         }
-        a.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+        a.push(Inst::Load {
+            dst: Reg::R9,
+            base: Reg::R8,
+            disp: 0,
+        });
         a.push(Inst::Halt);
         m.load_blob(&a.finish().map_err(|e| ChannelError(e.to_string()))?, text)
             .map_err(|e| ChannelError(e.to_string()))?;
 
         m.set_pc(x);
-        let (_, reports) = m.run_collecting(8).map_err(|e| ChannelError(e.to_string()))?;
+        let (_, reports) = m
+            .run_collecting(8)
+            .map_err(|e| ChannelError(e.to_string()))?;
         Ok(reports
             .first()
             .is_some_and(|r| !r.loads_dispatched.is_empty()))
@@ -286,42 +309,94 @@ pub struct Workload {
 }
 
 fn arith_loop(a: &mut Assembler) {
-    a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R2 });
-    a.push(Inst::Alu { op: AluOp::Xor, dst: Reg::R2, src: Reg::R1 });
-    a.push(Inst::Shl { dst: Reg::R1, amount: 1 });
-    a.push(Inst::Shr { dst: Reg::R1, amount: 1 });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R1,
+        src: Reg::R2,
+    });
+    a.push(Inst::Alu {
+        op: AluOp::Xor,
+        dst: Reg::R2,
+        src: Reg::R1,
+    });
+    a.push(Inst::Shl {
+        dst: Reg::R1,
+        amount: 1,
+    });
+    a.push(Inst::Shr {
+        dst: Reg::R1,
+        amount: 1,
+    });
 }
 
 fn branchy(a: &mut Assembler) {
     // A data-dependent branch diamond.
-    a.push(Inst::Cmp { a: Reg::R1, b: Reg::R2 });
+    a.push(Inst::Cmp {
+        a: Reg::R1,
+        b: Reg::R2,
+    });
     a.jcc_cond(phantom_isa::Cond::Below, "wl_then");
-    a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R3 });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R1,
+        src: Reg::R3,
+    });
     a.jmp("wl_join");
     a.label("wl_then");
-    a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R2, src: Reg::R3 });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R2,
+        src: Reg::R3,
+    });
     a.label("wl_join");
 }
 
 fn memory_stride(a: &mut Assembler) {
-    a.push(Inst::Load { dst: Reg::R4, base: Reg::R8, disp: 0 });
-    a.push(Inst::Load { dst: Reg::R5, base: Reg::R8, disp: 512 });
-    a.push(Inst::Store { base: Reg::R8, disp: 1024, src: Reg::R4 });
+    a.push(Inst::Load {
+        dst: Reg::R4,
+        base: Reg::R8,
+        disp: 0,
+    });
+    a.push(Inst::Load {
+        dst: Reg::R5,
+        base: Reg::R8,
+        disp: 512,
+    });
+    a.push(Inst::Store {
+        base: Reg::R8,
+        disp: 1024,
+        src: Reg::R4,
+    });
 }
 
 fn call_heavy(a: &mut Assembler) {
     a.call("wl_fn");
     a.jmp("wl_after");
     a.label("wl_fn");
-    a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R6, src: Reg::R3 });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R6,
+        src: Reg::R3,
+    });
     a.push(Inst::Ret);
     a.label("wl_after");
 }
 
 fn mixed(a: &mut Assembler) {
-    a.push(Inst::Load { dst: Reg::R4, base: Reg::R8, disp: 64 });
-    a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R1, src: Reg::R4 });
-    a.push(Inst::Cmp { a: Reg::R1, b: Reg::R2 });
+    a.push(Inst::Load {
+        dst: Reg::R4,
+        base: Reg::R8,
+        disp: 64,
+    });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R1,
+        src: Reg::R4,
+    });
+    a.push(Inst::Cmp {
+        a: Reg::R1,
+        b: Reg::R2,
+    });
     a.jcc_cond(phantom_isa::Cond::Ne, "wl_skip");
     a.push(Inst::Nop);
     a.label("wl_skip");
@@ -336,7 +411,11 @@ fn big_code(a: &mut Assembler) {
         if i % 5 == 0 {
             a.push(Inst::NopN { len: 8 });
         } else {
-            a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R4, src: Reg::R3 });
+            a.push(Inst::Alu {
+                op: AluOp::Add,
+                dst: Reg::R4,
+                src: Reg::R3,
+            });
         }
     }
 }
@@ -344,29 +423,75 @@ fn big_code(a: &mut Assembler) {
 /// The synthetic suite standing in for UnixBench.
 pub fn workload_suite() -> Vec<Workload> {
     vec![
-        Workload { name: "arith", program: arith_loop, iterations: 400 },
-        Workload { name: "branchy", program: branchy, iterations: 300 },
-        Workload { name: "memory", program: memory_stride, iterations: 300 },
-        Workload { name: "calls", program: call_heavy, iterations: 250 },
-        Workload { name: "mixed", program: mixed, iterations: 300 },
-        Workload { name: "bigcode", program: big_code, iterations: 4 },
+        Workload {
+            name: "arith",
+            program: arith_loop,
+            iterations: 400,
+        },
+        Workload {
+            name: "branchy",
+            program: branchy,
+            iterations: 300,
+        },
+        Workload {
+            name: "memory",
+            program: memory_stride,
+            iterations: 300,
+        },
+        Workload {
+            name: "calls",
+            program: call_heavy,
+            iterations: 250,
+        },
+        Workload {
+            name: "mixed",
+            program: mixed,
+            iterations: 300,
+        },
+        Workload {
+            name: "bigcode",
+            program: big_code,
+            iterations: 4,
+        },
     ]
 }
 
 fn run_workload(profile: &UarchProfile, wl: &Workload, suppress: bool) -> u64 {
     let mut m = Machine::new(profile.clone(), 1 << 24);
     if suppress {
-        m.write_msr(MsrState { suppress_bp_on_non_br: true, ..MsrState::none() });
+        m.write_msr(MsrState {
+            suppress_bp_on_non_br: true,
+            ..MsrState::none()
+        });
     }
     let mut a = Assembler::new(0x40_0000);
-    a.push(Inst::MovImm { dst: Reg::R0, imm: wl.iterations });
-    a.push(Inst::MovImm { dst: Reg::R3, imm: 1 });
-    a.push(Inst::MovImm { dst: Reg::R8, imm: 0x60_0000 });
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: wl.iterations,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R3,
+        imm: 1,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R8,
+        imm: 0x60_0000,
+    });
     a.label("wl_top");
     (wl.program)(&mut a);
-    a.push(Inst::Alu { op: AluOp::Sub, dst: Reg::R0, src: Reg::R3 });
-    a.push(Inst::MovImm { dst: Reg::R7, imm: 0 });
-    a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+    a.push(Inst::Alu {
+        op: AluOp::Sub,
+        dst: Reg::R0,
+        src: Reg::R3,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R7,
+        imm: 0,
+    });
+    a.push(Inst::Cmp {
+        a: Reg::R0,
+        b: Reg::R7,
+    });
     a.jcc_cond(phantom_isa::Cond::Ne, "wl_top");
     a.push(Inst::Halt);
     let blob = a.finish().expect("workload assembles");
@@ -393,20 +518,62 @@ pub struct OverheadResult {
     pub geomean_overhead_pct: f64,
 }
 
-/// Measure the cycle overhead of `SuppressBPOnNonBr` over the workload
-/// suite, geomean over workloads (like the paper's UnixBench runs).
-pub fn suppress_overhead(profile: UarchProfile) -> OverheadResult {
-    let mut per_workload = Vec::new();
-    let mut log_sum = 0.0;
-    for wl in workload_suite() {
-        let base = run_workload(&profile, &wl, false);
-        let supp = run_workload(&profile, &wl, true);
-        log_sum += (supp as f64 / base as f64).ln();
-        per_workload.push((wl.name, base, supp));
+/// The overhead suite as a trial scenario: one trial per workload, each
+/// measuring the baseline/suppressed cycle pair on fresh machines.
+struct OverheadScenario {
+    profile: UarchProfile,
+    suite: Vec<Workload>,
+}
+
+impl Scenario for OverheadScenario {
+    type State = ();
+    type Sample = (&'static str, u64, u64);
+    type Output = OverheadResult;
+
+    fn trials(&self) -> usize {
+        self.suite.len()
     }
-    let n = per_workload.len() as f64;
-    let geomean = (log_sum / n).exp();
-    OverheadResult { per_workload, geomean_overhead_pct: (geomean - 1.0) * 100.0 }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<Self::Sample, ScenarioError> {
+        let wl = &self.suite[trial.index];
+        let base = run_workload(&self.profile, wl, false);
+        let supp = run_workload(&self.profile, wl, true);
+        Ok((wl.name, base, supp))
+    }
+
+    fn score(&self, per_workload: Vec<Self::Sample>) -> OverheadResult {
+        let log_sum: f64 = per_workload
+            .iter()
+            .map(|&(_, base, supp)| (supp as f64 / base as f64).ln())
+            .sum();
+        let geomean = (log_sum / per_workload.len().max(1) as f64).exp();
+        OverheadResult {
+            per_workload,
+            geomean_overhead_pct: (geomean - 1.0) * 100.0,
+        }
+    }
+}
+
+/// Measure the cycle overhead of `SuppressBPOnNonBr` over the workload
+/// suite, geomean over workloads (like the paper's UnixBench runs),
+/// with one runner trial per workload.
+pub fn suppress_overhead(profile: UarchProfile) -> OverheadResult {
+    suppress_overhead_on(&TrialRunner::new(), profile)
+}
+
+/// [`suppress_overhead`] on an explicit runner (thread-count control).
+pub fn suppress_overhead_on(runner: &TrialRunner, profile: UarchProfile) -> OverheadResult {
+    let scenario = OverheadScenario {
+        profile,
+        suite: workload_suite(),
+    };
+    runner
+        .run(&scenario, 0)
+        .expect("workload trials are infallible")
 }
 
 #[cfg(test)]
@@ -416,7 +583,10 @@ mod tests {
     #[test]
     fn o4_blocks_execute_but_not_fetch_or_decode() {
         let o = o4_suppress_bp_on_non_br(UarchProfile::zen2()).unwrap();
-        assert!(o.baseline.executed, "unmitigated Zen 2 executes phantom targets");
+        assert!(
+            o.baseline.executed,
+            "unmitigated Zen 2 executes phantom targets"
+        );
         assert!(o.suppressed.fetched, "O4: IF not prevented");
         assert!(o.suppressed.decoded, "O4: ID not prevented");
         assert!(!o.suppressed.executed, "O4: EX prevented");
@@ -437,7 +607,10 @@ mod tests {
 
     #[test]
     fn ibpb_stops_the_signal() {
-        assert!(!ibpb_blocks_p1(2).unwrap(), "IBPB flushes the injected entry");
+        assert!(
+            !ibpb_blocks_p1(2).unwrap(),
+            "IBPB flushes the injected entry"
+        );
     }
 
     #[test]
@@ -458,7 +631,10 @@ mod tests {
     #[test]
     fn lfence_in_the_gadget_stops_phantom_execution() {
         let (unprotected, protected) = lfence_gadget_protection(UarchProfile::zen2()).unwrap();
-        assert!(unprotected, "baseline: the phantom window executes the load");
+        assert!(
+            unprotected,
+            "baseline: the phantom window executes the load"
+        );
         assert!(!protected, "lfence at the gadget entry stops it");
     }
 

@@ -38,13 +38,19 @@ pub struct PrimitiveConfig {
 impl PrimitiveConfig {
     /// A config using the paper's published Zen 3/4 pattern.
     pub fn zen34_paper(attacker_base: VirtAddr) -> PrimitiveConfig {
-        PrimitiveConfig { pattern: 0xffff_bff8_0000_0000, attacker_base }
+        PrimitiveConfig {
+            pattern: 0xffff_bff8_0000_0000,
+            attacker_base,
+        }
     }
 
     /// A config for Zen 1/2, where clearing the untagged high bits
     /// aliases directly.
     pub fn zen12(attacker_base: VirtAddr) -> PrimitiveConfig {
-        PrimitiveConfig { pattern: 0xffff_fff0_0000_0000, attacker_base }
+        PrimitiveConfig {
+            pattern: 0xffff_fff0_0000_0000,
+            attacker_base,
+        }
     }
 
     /// The right pattern for a system's microarchitecture.
@@ -215,8 +221,15 @@ pub fn p2_detect_mapped(
     let set = ((target.raw() >> 6) & 63) as usize;
     let signal = p2_probe_in_set(sys, cfg, listing2_call, listing3_gadget, target, set, noise)?;
     let baseline_target = VirtAddr::new(target.raw() ^ 0x800);
-    let baseline =
-        p2_probe_in_set(sys, cfg, listing2_call, listing3_gadget, baseline_target, set, noise)?;
+    let baseline = p2_probe_in_set(
+        sys,
+        cfg,
+        listing2_call,
+        listing3_gadget,
+        baseline_target,
+        set,
+        noise,
+    )?;
     Ok(signal.evictions > baseline.evictions)
 }
 
@@ -243,8 +256,12 @@ pub fn p3_leak_byte(
     reload_kva: VirtAddr,
     noise: &mut NoiseModel,
 ) -> Result<Option<u8>, PrimitiveError> {
-    sys.train_user_branch(cfg.user_alias(listing2_call), BranchKind::Indirect, p3_gadget)
-        .map_err(err)?;
+    sys.train_user_branch(
+        cfg.user_alias(listing2_call),
+        BranchKind::Indirect,
+        p3_gadget,
+    )
+    .map_err(err)?;
     // Flush all 256 candidate lines.
     for b in 0..256u64 {
         phantom_sidechannel::flush(sys.machine_mut(), reload_uva + (b << 6));
@@ -258,8 +275,7 @@ pub fn p3_leak_byte(
     let threshold = cfg_cache.l1_latency + cfg_cache.l2_latency + noise.jitter_cycles;
     let mut hit = None;
     for b in 0..256u64 {
-        let latency =
-            phantom_sidechannel::reload(sys.machine_mut(), reload_uva + (b << 6), noise);
+        let latency = phantom_sidechannel::reload(sys.machine_mut(), reload_uva + (b << 6), noise);
         if latency <= threshold && hit.is_none() {
             hit = Some(b as u8);
         }
@@ -291,7 +307,10 @@ mod tests {
             let mapped = sys.image().base + 0x1000;
             let detected =
                 p1_detect_executable(&mut sys, &cfg, victim, mapped, &mut noise).unwrap();
-            assert!(detected, "P1 detects kernel text on {name} (despite AutoIBRS, O5)");
+            assert!(
+                detected,
+                "P1 detects kernel text on {name} (despite AutoIBRS, O5)"
+            );
         }
     }
 
@@ -346,16 +365,27 @@ mod tests {
         // Attacker reload buffer: 256 lines user + its kernel (physmap)
         // alias.
         let reload_uva = VirtAddr::new(0x5200_0000);
-        sys.map_user(reload_uva, 256 * 64, PageFlags::USER_DATA).unwrap();
+        sys.map_user(reload_uva, 256 * 64, PageFlags::USER_DATA)
+            .unwrap();
         let pa = sys
             .machine()
             .page_table()
-            .translate(reload_uva, phantom_mem::AccessKind::Read, phantom_mem::PrivilegeLevel::User)
+            .translate(
+                reload_uva,
+                phantom_mem::AccessKind::Read,
+                phantom_mem::PrivilegeLevel::User,
+            )
             .unwrap();
         let reload_kva = sys.layout().physmap_base() + pa.raw();
         let (l2c, gadget) = (sys.image().listing2_call, sys.module().p3_gadget);
         let leaked = p3_leak_byte(
-            &mut sys, &cfg, l2c, gadget, 0x1357_9bdf_0246_8ace, reload_uva, reload_kva,
+            &mut sys,
+            &cfg,
+            l2c,
+            gadget,
+            0x1357_9bdf_0246_8ace,
+            reload_uva,
+            reload_kva,
             &mut noise,
         )
         .unwrap();
@@ -368,11 +398,16 @@ mod tests {
         let mut noise = NoiseModel::quiet(0);
         let cfg = PrimitiveConfig::for_system(&sys, ATTACKER);
         let reload_uva = VirtAddr::new(0x5200_0000);
-        sys.map_user(reload_uva, 256 * 64, PageFlags::USER_DATA).unwrap();
+        sys.map_user(reload_uva, 256 * 64, PageFlags::USER_DATA)
+            .unwrap();
         let pa = sys
             .machine()
             .page_table()
-            .translate(reload_uva, phantom_mem::AccessKind::Read, phantom_mem::PrivilegeLevel::User)
+            .translate(
+                reload_uva,
+                phantom_mem::AccessKind::Read,
+                phantom_mem::PrivilegeLevel::User,
+            )
             .unwrap();
         let reload_kva = sys.layout().physmap_base() + pa.raw();
         let (l2c, gadget) = (sys.image().listing2_call, sys.module().p3_gadget);
@@ -404,12 +439,19 @@ mod tests {
         // Inject at the ret's alias; readv() executes it.
         let set = ((mapped.raw() >> 6) & 63) as usize;
         let pp = PrimeProbe::new_l1i(sys.machine_mut(), ATTACKER, set).unwrap();
-        sys.train_user_branch(cfg.user_alias(inner_ret), phantom_isa::BranchKind::Indirect, mapped)
-            .unwrap();
+        sys.train_user_branch(
+            cfg.user_alias(inner_ret),
+            phantom_isa::BranchKind::Indirect,
+            mapped,
+        )
+        .unwrap();
         pp.prime(sys.machine_mut());
         sys.readv(0, 0).unwrap();
         let signal = pp.probe(sys.machine_mut(), &mut noise).evictions;
-        assert!(signal > 0, "phantom fires at a branch victim inside the kernel");
+        assert!(
+            signal > 0,
+            "phantom fires at a branch victim inside the kernel"
+        );
     }
 
     #[test]
@@ -448,6 +490,9 @@ mod tests {
         );
         // Control: same-thread training does fire.
         let same = measure(&mut fresh, mapped, 0);
-        assert!(same > baseline, "same-thread injection works: {same} vs {baseline}");
+        assert!(
+            same > baseline,
+            "same-thread injection works: {same} vs {baseline}"
+        );
     }
 }

@@ -36,7 +36,10 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&rule(&widths));
     out.push('\n');
-    out.push_str(&row(&widths, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&row(
+        &widths,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&rule(&widths));
     out.push('\n');
@@ -143,9 +146,7 @@ pub fn render_table5(uarch: &str, memory_gib: u64, runs: &[PhysAddrResult]) -> S
 
 /// Render the Figure 6 sweep as an ASCII series.
 pub fn render_figure6(points: &[Figure6Point]) -> String {
-    let mut out = String::from(
-        "Figure 6: op-cache misses after the victim, by page offset of C\n",
-    );
+    let mut out = String::from("Figure 6: op-cache misses after the victim, by page offset of C\n");
     let max = points.iter().map(|p| p.misses).max().unwrap_or(1).max(1);
     for p in points {
         let bar = "#".repeat((p.misses * 40 / max) as usize);
@@ -206,7 +207,15 @@ pub fn render_overhead(r: &OverheadResult) -> String {
     format!(
         "SuppressBPOnNonBr overhead (geomean {:.2}%)\n{}",
         r.geomean_overhead_pct,
-        render_table(&["workload", "baseline cycles", "suppressed cycles", "overhead"], &rows)
+        render_table(
+            &[
+                "workload",
+                "baseline cycles",
+                "suppressed cycles",
+                "overhead"
+            ],
+            &rows
+        )
     )
 }
 
@@ -223,7 +232,10 @@ mod tests {
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 6);
-        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "aligned:\n{s}");
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "aligned:\n{s}"
+        );
     }
 
     #[test]
@@ -242,8 +254,16 @@ mod tests {
     #[test]
     fn figure6_bars_scale() {
         let points = vec![
-            Figure6Point { offset: 0x0, hits: 8, misses: 0 },
-            Figure6Point { offset: 0xac0, hits: 0, misses: 8 },
+            Figure6Point {
+                offset: 0x0,
+                hits: 8,
+                misses: 0,
+            },
+            Figure6Point {
+                offset: 0xac0,
+                hits: 0,
+                misses: 8,
+            },
         ];
         let s = render_figure6(&points);
         assert!(s.contains("0x0ac0"));
@@ -274,14 +294,19 @@ mod tests {
         let s = render_table3("Zen 3", &runs);
         assert!(s.contains("1/2"));
         assert!(s.contains("50%"));
-        assert!(s.contains("1.5000s"), "median of [0.5, 1.5] at index 1: {s}");
+        assert!(
+            s.contains("1.5000s"),
+            "median of [0.5, 1.5] at index 1: {s}"
+        );
     }
 
     #[test]
     fn figure7_rendering_uses_paper_notation() {
         use phantom_gf2::RecoveredFunction;
         let fig = Figure7 {
-            functions: vec![RecoveredFunction { mask: (1 << 47) | (1 << 35) | (1 << 23) }],
+            functions: vec![RecoveredFunction {
+                mask: (1 << 47) | (1 << 35) | (1 << 23),
+            }],
             samples_per_address: 10,
             paper_patterns_hold: true,
         };
@@ -323,7 +348,11 @@ mod tests {
     #[test]
     fn gadget_rendering_shows_expansion() {
         use crate::gadgets::GadgetCensus;
-        let c = GadgetCensus { spectre_gadgets: 183, mds_gadgets: 539, total_with_phantom: 722 };
+        let c = GadgetCensus {
+            spectre_gadgets: 183,
+            mds_gadgets: 539,
+            total_with_phantom: 722,
+        };
         let s = render_gadgets(&c);
         assert!(s.contains("183"));
         assert!(s.contains("722"));

@@ -1,0 +1,346 @@
+//! The trial runner: every repeated measurement in this crate — the
+//! Table 1 sweep, the Table 2 covert channels, the Table 3–5 reboot
+//! sweeps, the §7.4 leak, the mitigation-overhead suite — is expressed
+//! as a [`Scenario`] and driven by a [`TrialRunner`].
+//!
+//! # The scenario contract
+//!
+//! A scenario splits an experiment into four phases:
+//!
+//! 1. [`setup`](Scenario::setup) — build the world (a machine or a
+//!    booted [`System`](phantom_kernel::System), channels, geography);
+//! 2. [`train`](Scenario::train) — put the world into the measured
+//!    configuration (warm predictors, prime caches). Optional;
+//! 3. [`probe`](Scenario::probe) — one independent trial, producing a
+//!    [`Scenario::Sample`];
+//! 4. [`score`](Scenario::score) — fold all samples, **in trial
+//!    order**, into the experiment's output.
+//!
+//! # Determinism across thread counts
+//!
+//! The runner shards trials over threads, so results must not depend on
+//! the sharding. Two rules make that hold:
+//!
+//! * `setup` + `train` must be deterministic: every shard builds its
+//!   own state by calling them, and all shards must end up with
+//!   identical worlds;
+//! * `probe` must be a pure function of the post-train state and the
+//!   [`Trial`] (its per-trial seed is derived from the base seed and
+//!   the trial index only). Scenarios whose probes mutate the world
+//!   rewind it first with
+//!   [`Machine::restore`](phantom_pipeline::Machine::restore) or
+//!   rebuild it from `trial.seed`.
+//!
+//! Under those rules a 1-thread run and an N-thread run produce
+//! byte-identical outputs (`tests/determinism.rs` enforces this for the
+//! shipped scenarios).
+
+use std::num::NonZeroUsize;
+
+/// A boxed, thread-portable error from scenario execution.
+pub type ScenarioError = Box<dyn std::error::Error + Send + Sync>;
+
+/// One independent repetition of a scenario's measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Trial number, `0..Scenario::trials()`.
+    pub index: usize,
+    /// Per-trial seed, a pure function of the runner's base seed and
+    /// `index` (never of the thread count or shard layout).
+    pub seed: u64,
+}
+
+/// An experiment expressed as independent, repeatable trials.
+pub trait Scenario: Sync {
+    /// Per-shard world state built by [`setup`](Scenario::setup).
+    type State: Send;
+    /// The result of one trial.
+    type Sample: Send;
+    /// The scored output of the whole run.
+    type Output;
+
+    /// Number of trials to run.
+    fn trials(&self) -> usize;
+
+    /// Build the world. Called once per shard; must be deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the world cannot be built.
+    fn setup(&self) -> Result<Self::State, ScenarioError>;
+
+    /// Put the world into the measured configuration. Called once per
+    /// shard, after [`setup`](Scenario::setup). Defaults to a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on training failure.
+    fn train(&self, _state: &mut Self::State) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    /// Run one trial. Must depend only on the post-train state and
+    /// `trial` (see the module docs on determinism).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on measurement failure.
+    fn probe(&self, state: &mut Self::State, trial: Trial) -> Result<Self::Sample, ScenarioError>;
+
+    /// Fold the samples (in trial order) into the final output.
+    fn score(&self, samples: Vec<Self::Sample>) -> Self::Output;
+}
+
+/// Runs a [`Scenario`]'s trials, sharded across OS threads.
+///
+/// Trials are split into contiguous chunks, one per thread; each thread
+/// runs `setup` → `train` once and probes its chunk. Sample order is
+/// preserved, so outputs are identical at any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRunner {
+    threads: usize,
+}
+
+impl Default for TrialRunner {
+    fn default() -> TrialRunner {
+        TrialRunner::new()
+    }
+}
+
+impl TrialRunner {
+    /// A runner using all available cores.
+    pub fn new() -> TrialRunner {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        TrialRunner { threads }
+    }
+
+    /// A runner with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> TrialRunner {
+        TrialRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run all trials of `scenario` and score them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] from setup, training or any
+    /// probe.
+    pub fn run<S: Scenario>(
+        &self,
+        scenario: &S,
+        base_seed: u64,
+    ) -> Result<S::Output, ScenarioError> {
+        let n = scenario.trials();
+        let samples = if self.threads == 1 || n <= 1 {
+            run_shard(scenario, base_seed, 0, n)?
+        } else {
+            let shards = shard_sizes(n, self.threads);
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|&(start, len)| {
+                        scope.spawn(move || run_shard(scenario, base_seed, start, len))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("trial shard panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let mut samples = Vec::with_capacity(n);
+            for shard in results {
+                samples.extend(shard?);
+            }
+            samples
+        };
+        Ok(scenario.score(samples))
+    }
+}
+
+/// Derive the seed for trial `index` from the run's base seed. A pure
+/// function of its arguments (SplitMix64 over both), so per-trial
+/// randomness never depends on thread count or execution order.
+pub fn trial_seed(base_seed: u64, index: usize) -> u64 {
+    splitmix64(base_seed ^ splitmix64(0x5851_f42d_4c95_7f2d ^ index as u64))
+}
+
+/// Majority vote over `total` redundant probes of one bit.
+pub fn majority(votes: u32, total: u32) -> bool {
+    votes * 2 > total
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn run_shard<S: Scenario>(
+    scenario: &S,
+    base_seed: u64,
+    start: usize,
+    len: usize,
+) -> Result<Vec<S::Sample>, ScenarioError> {
+    let mut state = scenario.setup()?;
+    scenario.train(&mut state)?;
+    let mut out = Vec::with_capacity(len);
+    for index in start..start + len {
+        let trial = Trial {
+            index,
+            seed: trial_seed(base_seed, index),
+        };
+        out.push(scenario.probe(&mut state, trial)?);
+    }
+    Ok(out)
+}
+
+/// Split `n` trials into at most `threads` contiguous non-empty
+/// `(start, len)` chunks.
+fn shard_sizes(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let shards = threads.min(n).max(1);
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy scenario: each trial hashes its seed; score concatenates.
+    struct Hashing {
+        n: usize,
+    }
+
+    impl Scenario for Hashing {
+        type State = u64;
+        type Sample = (usize, u64);
+        type Output = Vec<(usize, u64)>;
+
+        fn trials(&self) -> usize {
+            self.n
+        }
+
+        fn setup(&self) -> Result<u64, ScenarioError> {
+            Ok(17)
+        }
+
+        fn probe(&self, state: &mut u64, trial: Trial) -> Result<(usize, u64), ScenarioError> {
+            // Shard-local mutation is fine as long as the sample does
+            // not depend on it; this checks the runner, not the rules.
+            *state = state.wrapping_add(1);
+            Ok((trial.index, trial.seed))
+        }
+
+        fn score(&self, samples: Vec<(usize, u64)>) -> Vec<(usize, u64)> {
+            samples
+        }
+    }
+
+    #[test]
+    fn order_is_preserved_at_any_thread_count() {
+        let base = TrialRunner::with_threads(1)
+            .run(&Hashing { n: 23 }, 9)
+            .unwrap();
+        assert_eq!(base.len(), 23);
+        for (i, &(index, seed)) in base.iter().enumerate() {
+            assert_eq!(index, i);
+            assert_eq!(seed, trial_seed(9, i));
+        }
+        for threads in [2, 3, 7, 64] {
+            let sharded = TrialRunner::with_threads(threads)
+                .run(&Hashing { n: 23 }, 9)
+                .unwrap();
+            assert_eq!(sharded, base, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..100).map(|i| trial_seed(42, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "no per-trial seed collisions");
+        assert_eq!(trial_seed(42, 7), trial_seed(42, 7));
+        assert_ne!(trial_seed(42, 7), trial_seed(43, 7));
+    }
+
+    #[test]
+    fn shard_sizes_cover_exactly_once() {
+        for (n, threads) in [(10, 3), (1, 8), (23, 7), (8, 8), (100, 1)] {
+            let shards = shard_sizes(n, threads);
+            assert!(shards.len() <= threads);
+            let mut covered = 0;
+            for &(start, len) in &shards {
+                assert_eq!(start, covered, "contiguous");
+                assert!(len > 0, "no empty shards");
+                covered += len;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    struct Failing;
+
+    impl Scenario for Failing {
+        type State = ();
+        type Sample = ();
+        type Output = ();
+
+        fn trials(&self) -> usize {
+            4
+        }
+
+        fn setup(&self) -> Result<(), ScenarioError> {
+            Ok(())
+        }
+
+        fn probe(&self, _state: &mut (), trial: Trial) -> Result<(), ScenarioError> {
+            if trial.index == 2 {
+                return Err("trial 2 exploded".into());
+            }
+            Ok(())
+        }
+
+        fn score(&self, _samples: Vec<()>) {}
+    }
+
+    #[test]
+    fn probe_errors_propagate() {
+        for threads in [1, 4] {
+            let err = TrialRunner::with_threads(threads)
+                .run(&Failing, 0)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("trial 2"),
+                "{threads} threads: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_votes() {
+        assert!(majority(2, 3));
+        assert!(!majority(1, 3));
+        assert!(!majority(0, 1));
+        assert!(majority(1, 1));
+    }
+}

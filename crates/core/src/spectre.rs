@@ -79,19 +79,40 @@ pub fn spectre_v2_leak(profile: UarchProfile, secret: u8) -> Result<SpectreLeak,
     let secret_addr = VirtAddr::new(0x60_0000);
     let reload = VirtAddr::new(0x62_0000);
 
-    m.map_range(victim_branch.page_base(), 0x1000, text).map_err(err)?;
+    m.map_range(victim_branch.page_base(), 0x1000, text)
+        .map_err(err)?;
     m.map_range(benign, 0x1000, text).map_err(err)?;
-    m.map_range(secret_addr, 64, PageFlags::USER_DATA).map_err(err)?;
-    m.map_range(reload, 256 * 64, PageFlags::USER_DATA).map_err(err)?;
+    m.map_range(secret_addr, 64, PageFlags::USER_DATA)
+        .map_err(err)?;
+    m.map_range(reload, 256 * 64, PageFlags::USER_DATA)
+        .map_err(err)?;
     m.poke_u64(secret_addr, u64::from(secret));
 
     // The two-load disclosure gadget.
     let mut g = Assembler::new(gadget.raw());
-    g.push(Inst::Load { dst: Reg::R3, base: Reg::R6, disp: 0 }); // secret
-    g.push(Inst::AndImm { dst: Reg::R3, imm: 0xff });
-    g.push(Inst::Shl { dst: Reg::R3, amount: 6 });
-    g.push(Inst::Alu { op: AluOp::Add, dst: Reg::R3, src: Reg::R7 });
-    g.push(Inst::Load { dst: Reg::R9, base: Reg::R3, disp: 0 }); // encode
+    g.push(Inst::Load {
+        dst: Reg::R3,
+        base: Reg::R6,
+        disp: 0,
+    }); // secret
+    g.push(Inst::AndImm {
+        dst: Reg::R3,
+        imm: 0xff,
+    });
+    g.push(Inst::Shl {
+        dst: Reg::R3,
+        amount: 6,
+    });
+    g.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R3,
+        src: Reg::R7,
+    });
+    g.push(Inst::Load {
+        dst: Reg::R9,
+        base: Reg::R3,
+        disp: 0,
+    }); // encode
     g.push(Inst::Halt);
     m.load_blob(&g.finish().map_err(err)?, text).map_err(err)?;
     m.poke(benign, &[0xF4]); // hlt
@@ -159,7 +180,10 @@ impl WindowComparison {
 pub fn window_comparison(profile: &UarchProfile) -> WindowComparison {
     let spectre = TransientWindow::for_resteer(profile, ResteerKind::Backend);
     let phantom = TransientWindow::for_resteer(profile, ResteerKind::Frontend);
-    WindowComparison { spectre_uops: spectre.exec_uops, phantom_uops: phantom.exec_uops }
+    WindowComparison {
+        spectre_uops: spectre.exec_uops,
+        phantom_uops: phantom.exec_uops,
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +234,8 @@ mod tests {
         // secret. Zen 2 throughout.
         let physmap_and_buffer = |sys: &mut System| {
             let reload_uva = VirtAddr::new(0x5a00_0000);
-            sys.map_user(reload_uva, 256 * 64, PageFlags::USER_DATA).unwrap();
+            sys.map_user(reload_uva, 256 * 64, PageFlags::USER_DATA)
+                .unwrap();
             let pa = sys
                 .machine()
                 .page_table()
@@ -245,12 +270,14 @@ mod tests {
         let (reload_uva, reload_kva) = physmap_and_buffer(&mut sys);
         let index = sys.module().secret - sys.module().array;
         for t in 0..4u64 {
-            sys.syscall(sysno::MODULE_READ_DATA, &[t * 4 % 16, reload_kva.raw()]).unwrap();
+            sys.syscall(sysno::MODULE_READ_DATA, &[t * 4 % 16, reload_kva.raw()])
+                .unwrap();
         }
         for b in 0..256u64 {
             phantom_sidechannel::flush(sys.machine_mut(), reload_uva + (b << 6));
         }
-        sys.syscall(sysno::MODULE_READ_DATA, &[index, reload_kva.raw()]).unwrap();
+        sys.syscall(sysno::MODULE_READ_DATA, &[index, reload_kva.raw()])
+            .unwrap();
         assert_eq!(
             scan(&mut sys, reload_uva),
             None,
@@ -262,7 +289,10 @@ mod tests {
         let r = crate::attacks::leak_kernel_memory(
             &mut sys,
             physmap,
-            &crate::attacks::MdsLeakConfig { bytes: 4, ..Default::default() },
+            &crate::attacks::MdsLeakConfig {
+                bytes: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(r.signal);

@@ -28,7 +28,10 @@ impl BitMatrix {
     /// Panics if `cols > 64`.
     pub fn new(cols: u32) -> BitMatrix {
         assert!(cols <= 64, "at most 64 columns supported");
-        BitMatrix { cols, rows: Vec::new() }
+        BitMatrix {
+            cols,
+            rows: Vec::new(),
+        }
     }
 
     /// Build from explicit row bit-patterns.
@@ -42,7 +45,11 @@ impl BitMatrix {
 
     /// Append a row.
     pub fn push_row(&mut self, row: u64) {
-        let mask = if self.cols == 64 { u64::MAX } else { (1u64 << self.cols) - 1 };
+        let mask = if self.cols == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cols) - 1
+        };
         self.rows.push(row & mask);
     }
 

@@ -18,7 +18,11 @@ pub struct RecoveryConfig {
 
 impl Default for RecoveryConfig {
     fn default() -> RecoveryConfig {
-        RecoveryConfig { min_bit: 12, max_bit: 47, max_weight: 4 }
+        RecoveryConfig {
+            min_bit: 12,
+            max_bit: 47,
+            max_weight: 4,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ pub fn recover_functions(
     for (k, list) in collisions {
         for a in list {
             let d = (k ^ a) >> cfg.min_bit;
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             diffs.push_row(d & mask);
         }
     }
@@ -123,7 +131,11 @@ pub fn recover_functions(
         if weight > width {
             break;
         }
-        let limit: u64 = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let limit: u64 = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let mut m: u64 = (1u64 << weight) - 1;
         loop {
             if annihilates(m) && !found_matrix.in_row_space(m) {
@@ -148,7 +160,9 @@ pub fn recover_functions(
 
     let mut out: Vec<RecoveredFunction> = found
         .into_iter()
-        .map(|m| RecoveredFunction { mask: m << cfg.min_bit })
+        .map(|m| RecoveredFunction {
+            mask: m << cfg.min_bit,
+        })
         .collect();
     out.sort_by_key(|f| (f.weight(), f.mask));
     out
@@ -194,7 +208,7 @@ mod tests {
         let masks = figure7_masks();
         let fam = BitMatrix::from_rows(48, &masks);
         let ortho = fam.orthogonal_basis(); // vectors invisible to all fns
-        // Only perturb bits 12..=47 (low bits stay equal per the paper).
+                                            // Only perturb bits 12..=47 (low bits stay equal per the paper).
         let usable: Vec<u64> = ortho
             .into_iter()
             .map(|v| v & 0x0000_ffff_ffff_f000)
@@ -203,7 +217,9 @@ mod tests {
         let mut out = Vec::new();
         let mut state = 0x9e3779b97f4a7c15u64;
         while out.len() < count {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut d = 0u64;
             for (i, &v) in usable.iter().enumerate() {
                 if (state >> i) & 1 == 1 {
@@ -249,7 +265,10 @@ mod tests {
         // With only 2 difference vectors the solution space has dimension
         // >= 34; whatever is found must still verify.
         assert!(verify_functions(&fns, &[(k, colliders)]));
-        assert!(fns.len() > 12, "underconstrained: too many spurious functions");
+        assert!(
+            fns.len() > 12,
+            "underconstrained: too many spurious functions"
+        );
     }
 
     #[test]
@@ -257,7 +276,10 @@ mod tests {
         let k = 0x8000_0000_0000u64; // bit 47 set
         let colliders = synthetic_collisions(k, 64);
         for w in 1..=4u32 {
-            let cfg = RecoveryConfig { max_weight: w, ..RecoveryConfig::default() };
+            let cfg = RecoveryConfig {
+                max_weight: w,
+                ..RecoveryConfig::default()
+            };
             for f in recover_functions(&[(k, colliders.clone())], cfg) {
                 assert!(f.weight() <= w);
             }
@@ -266,7 +288,9 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        let f = RecoveredFunction { mask: (1 << 47) | (1 << 35) | (1 << 23) };
+        let f = RecoveredFunction {
+            mask: (1 << 47) | (1 << 35) | (1 << 23),
+        };
         assert_eq!(f.to_string(), "b47 ^ b35 ^ b23");
     }
 

@@ -66,7 +66,10 @@ impl std::fmt::Display for AsmError {
             }
             AsmError::Encode(e) => write!(f, "encode error: {e}"),
             AsmError::OrgBackwards { at, requested } => {
-                write!(f, "org to {requested:#x} is before current position {at:#x}")
+                write!(
+                    f,
+                    "org to {requested:#x} is before current position {at:#x}"
+                )
             }
         }
     }
@@ -85,7 +88,11 @@ enum Item {
     Inst(Inst),
     /// A direct branch whose displacement is patched to reach a label.
     /// `make` receives the resolved displacement.
-    Fixup { label: String, make: fn(i32) -> Inst, len: usize },
+    Fixup {
+        label: String,
+        make: fn(i32) -> Inst,
+        len: usize,
+    },
     Label(String),
     /// Pad with single-byte nops up to the given absolute address.
     Org(u64),
@@ -103,7 +110,10 @@ pub struct Assembler {
 impl Assembler {
     /// Start assembling at virtual address `base`.
     pub fn new(base: u64) -> Assembler {
-        Assembler { base, items: Vec::new() }
+        Assembler {
+            base,
+            items: Vec::new(),
+        }
     }
 
     /// Append an instruction.
@@ -151,7 +161,10 @@ impl Assembler {
     pub fn jb(&mut self, label: impl Into<String>) -> &mut Self {
         self.items.push(Item::Fixup {
             label: label.into(),
-            make: |disp| Inst::Jcc { cond: crate::inst::Cond::Below, disp },
+            make: |disp| Inst::Jcc {
+                cond: crate::inst::Cond::Below,
+                disp,
+            },
             len: 6,
         });
         self
@@ -161,12 +174,42 @@ impl Assembler {
     pub fn jcc_cond(&mut self, cond: crate::inst::Cond, label: impl Into<String>) -> &mut Self {
         // Monomorphic fixup functions keep `Item` a plain enum; dispatch on
         // the condition at patch time via a table.
-        fn make_eq(d: i32) -> Inst { Inst::Jcc { cond: crate::inst::Cond::Eq, disp: d } }
-        fn make_ne(d: i32) -> Inst { Inst::Jcc { cond: crate::inst::Cond::Ne, disp: d } }
-        fn make_b(d: i32) -> Inst { Inst::Jcc { cond: crate::inst::Cond::Below, disp: d } }
-        fn make_ae(d: i32) -> Inst { Inst::Jcc { cond: crate::inst::Cond::AboveEq, disp: d } }
-        fn make_s(d: i32) -> Inst { Inst::Jcc { cond: crate::inst::Cond::Sign, disp: d } }
-        fn make_ns(d: i32) -> Inst { Inst::Jcc { cond: crate::inst::Cond::NotSign, disp: d } }
+        fn make_eq(d: i32) -> Inst {
+            Inst::Jcc {
+                cond: crate::inst::Cond::Eq,
+                disp: d,
+            }
+        }
+        fn make_ne(d: i32) -> Inst {
+            Inst::Jcc {
+                cond: crate::inst::Cond::Ne,
+                disp: d,
+            }
+        }
+        fn make_b(d: i32) -> Inst {
+            Inst::Jcc {
+                cond: crate::inst::Cond::Below,
+                disp: d,
+            }
+        }
+        fn make_ae(d: i32) -> Inst {
+            Inst::Jcc {
+                cond: crate::inst::Cond::AboveEq,
+                disp: d,
+            }
+        }
+        fn make_s(d: i32) -> Inst {
+            Inst::Jcc {
+                cond: crate::inst::Cond::Sign,
+                disp: d,
+            }
+        }
+        fn make_ns(d: i32) -> Inst {
+            Inst::Jcc {
+                cond: crate::inst::Cond::NotSign,
+                disp: d,
+            }
+        }
         let make = match cond {
             crate::inst::Cond::Eq => make_eq as fn(i32) -> Inst,
             crate::inst::Cond::Ne => make_ne,
@@ -175,7 +218,11 @@ impl Assembler {
             crate::inst::Cond::Sign => make_s,
             crate::inst::Cond::NotSign => make_ns,
         };
-        self.items.push(Item::Fixup { label: label.into(), make, len: 6 });
+        self.items.push(Item::Fixup {
+            label: label.into(),
+            make,
+            len: 6,
+        });
         self
     }
 
@@ -220,7 +267,10 @@ impl Assembler {
                 }
                 Item::Org(addr) => {
                     if *addr < pc {
-                        return Err(AsmError::OrgBackwards { at: pc, requested: *addr });
+                        return Err(AsmError::OrgBackwards {
+                            at: pc,
+                            requested: *addr,
+                        });
                     }
                     pc = *addr;
                 }
@@ -243,8 +293,10 @@ impl Assembler {
                         .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
                     let next = pc + *len as u64;
                     let disp = target.wrapping_sub(next) as i64;
-                    let disp = i32::try_from(disp)
-                        .map_err(|_| AsmError::DispOverflow { from: pc, to: target })?;
+                    let disp = i32::try_from(disp).map_err(|_| AsmError::DispOverflow {
+                        from: pc,
+                        to: target,
+                    })?;
                     let inst = make(disp);
                     debug_assert_eq!(inst.len(), *len);
                     encode_into(&inst, &mut bytes)?;
@@ -263,7 +315,11 @@ impl Assembler {
             }
         }
 
-        Ok(Blob { base: self.base, bytes, labels })
+        Ok(Blob {
+            base: self.base,
+            bytes,
+            labels,
+        })
     }
 }
 
@@ -329,7 +385,10 @@ mod tests {
     #[test]
     fn call_and_jcc_fixups() {
         let mut a = Assembler::new(0x2000);
-        a.push(Inst::Cmp { a: Reg::R1, b: Reg::R2 });
+        a.push(Inst::Cmp {
+            a: Reg::R1,
+            b: Reg::R2,
+        });
         a.jb("taken");
         a.push(Inst::Ret);
         a.label("taken");

@@ -68,7 +68,12 @@ pub fn decode(bytes: &[u8]) -> Option<(Inst, usize)> {
             }
             Some((Inst::NopN { len }, usize::from(len)))
         }
-        0xE9 => Some((Inst::Jmp { disp: i32_at(bytes, 1)? }, 5)),
+        0xE9 => Some((
+            Inst::Jmp {
+                disp: i32_at(bytes, 1)?,
+            },
+            5,
+        )),
         0xFF => match reg(*bytes.get(1)?) {
             Some(src) => Some((Inst::JmpInd { src }, 2)),
             None => invalid,
@@ -78,9 +83,20 @@ pub fn decode(bytes: &[u8]) -> Option<(Inst, usize)> {
                 Some(c) => c,
                 None => return invalid,
             };
-            Some((Inst::Jcc { cond, disp: i32_at(bytes, 2)? }, 6))
+            Some((
+                Inst::Jcc {
+                    cond,
+                    disp: i32_at(bytes, 2)?,
+                },
+                6,
+            ))
         }
-        0xE8 => Some((Inst::Call { disp: i32_at(bytes, 1)? }, 5)),
+        0xE8 => Some((
+            Inst::Call {
+                disp: i32_at(bytes, 1)?,
+            },
+            5,
+        )),
         0xF1 => match reg(*bytes.get(1)?) {
             Some(src) => Some((Inst::CallInd { src }, 2)),
             None => invalid,
@@ -91,21 +107,41 @@ pub fn decode(bytes: &[u8]) -> Option<(Inst, usize)> {
                 Some(p) => p,
                 None => return invalid,
             };
-            Some((Inst::Load { dst, base, disp: i32_at(bytes, 2)? }, 6))
+            Some((
+                Inst::Load {
+                    dst,
+                    base,
+                    disp: i32_at(bytes, 2)?,
+                },
+                6,
+            ))
         }
         0x89 => {
             let (base, src) = match split_modrm(*bytes.get(1)?) {
                 Some(p) => p,
                 None => return invalid,
             };
-            Some((Inst::Store { base, disp: i32_at(bytes, 2)?, src }, 6))
+            Some((
+                Inst::Store {
+                    base,
+                    disp: i32_at(bytes, 2)?,
+                    src,
+                },
+                6,
+            ))
         }
         0xB8 => {
             let dst = match reg(*bytes.get(1)?) {
                 Some(r) => r,
                 None => return invalid,
             };
-            Some((Inst::MovImm { dst, imm: u64_at(bytes, 2)? }, 10))
+            Some((
+                Inst::MovImm {
+                    dst,
+                    imm: u64_at(bytes, 2)?,
+                },
+                10,
+            ))
         }
         0x8A => match split_modrm(*bytes.get(1)?) {
             Some((dst, src)) => Some((Inst::MovReg { dst, src }, 2)),
@@ -141,7 +177,13 @@ pub fn decode(bytes: &[u8]) -> Option<(Inst, usize)> {
                 Some(r) => r,
                 None => return invalid,
             };
-            Some((Inst::AndImm { dst, imm: u32_at(bytes, 2)? }, 6))
+            Some((
+                Inst::AndImm {
+                    dst,
+                    imm: u32_at(bytes, 2)?,
+                },
+                6,
+            ))
         }
         0x39 => match split_modrm(*bytes.get(1)?) {
             Some((a, b)) => Some((Inst::Cmp { a, b }, 2)),
@@ -205,17 +247,26 @@ mod tests {
     #[test]
     fn bad_fields_decode_to_invalid_one_byte() {
         // NopN with out-of-range length byte.
-        assert_eq!(decode(&[0x0F, 2, 0]), Some((Inst::Invalid { byte: 0x0F }, 1)));
+        assert_eq!(
+            decode(&[0x0F, 2, 0]),
+            Some((Inst::Invalid { byte: 0x0F }, 1))
+        );
         assert_eq!(decode(&[0x0F, 16]), Some((Inst::Invalid { byte: 0x0F }, 1)));
         // JmpInd with register index >= 16.
-        assert_eq!(decode(&[0xFF, 0x20]), Some((Inst::Invalid { byte: 0xFF }, 1)));
+        assert_eq!(
+            decode(&[0xFF, 0x20]),
+            Some((Inst::Invalid { byte: 0xFF }, 1))
+        );
         // Jcc with bad condition code.
         assert_eq!(
             decode(&[0x71, 9, 0, 0, 0, 0]),
             Some((Inst::Invalid { byte: 0x71 }, 1))
         );
         // Shift with amount > 63.
-        assert_eq!(decode(&[0xC1, 0, 64]), Some((Inst::Invalid { byte: 0xC1 }, 1)));
+        assert_eq!(
+            decode(&[0xC1, 0, 64]),
+            Some((Inst::Invalid { byte: 0xC1 }, 1))
+        );
     }
 
     #[test]

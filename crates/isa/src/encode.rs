@@ -240,19 +240,52 @@ mod tests {
             Inst::NopN { len: 4 },
             Inst::Jmp { disp: 1234 },
             Inst::JmpInd { src: Reg::R3 },
-            Inst::Jcc { cond: Cond::Ne, disp: -4 },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                disp: -4,
+            },
             Inst::Call { disp: 0 },
             Inst::CallInd { src: Reg::R9 },
             Inst::Ret,
-            Inst::Load { dst: Reg::R1, base: Reg::R2, disp: 16 },
-            Inst::Store { base: Reg::R2, disp: -8, src: Reg::R1 },
-            Inst::MovImm { dst: Reg::R0, imm: u64::MAX },
-            Inst::MovReg { dst: Reg::R4, src: Reg::R5 },
-            Inst::Alu { op: AluOp::Xor, dst: Reg::R6, src: Reg::R7 },
-            Inst::Shr { dst: Reg::R0, amount: 6 },
-            Inst::Shl { dst: Reg::R0, amount: 12 },
-            Inst::AndImm { dst: Reg::R0, imm: 0xFF },
-            Inst::Cmp { a: Reg::R1, b: Reg::R2 },
+            Inst::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                disp: 16,
+            },
+            Inst::Store {
+                base: Reg::R2,
+                disp: -8,
+                src: Reg::R1,
+            },
+            Inst::MovImm {
+                dst: Reg::R0,
+                imm: u64::MAX,
+            },
+            Inst::MovReg {
+                dst: Reg::R4,
+                src: Reg::R5,
+            },
+            Inst::Alu {
+                op: AluOp::Xor,
+                dst: Reg::R6,
+                src: Reg::R7,
+            },
+            Inst::Shr {
+                dst: Reg::R0,
+                amount: 6,
+            },
+            Inst::Shl {
+                dst: Reg::R0,
+                amount: 12,
+            },
+            Inst::AndImm {
+                dst: Reg::R0,
+                imm: 0xFF,
+            },
+            Inst::Cmp {
+                a: Reg::R1,
+                b: Reg::R2,
+            },
             Inst::Lfence,
             Inst::Mfence,
             Inst::Clflush { addr: Reg::R8 },
@@ -287,10 +320,23 @@ mod tests {
     fn shift_amount_bounds_are_enforced() {
         let mut buf = Vec::new();
         assert_eq!(
-            encode_into(&Inst::Shr { dst: Reg::R0, amount: 64 }, &mut buf),
+            encode_into(
+                &Inst::Shr {
+                    dst: Reg::R0,
+                    amount: 64
+                },
+                &mut buf
+            ),
             Err(EncodeError::BadShiftAmount(64))
         );
-        assert!(encode_into(&Inst::Shl { dst: Reg::R0, amount: 63 }, &mut buf).is_ok());
+        assert!(encode_into(
+            &Inst::Shl {
+                dst: Reg::R0,
+                amount: 63
+            },
+            &mut buf
+        )
+        .is_ok());
     }
 
     #[test]

@@ -316,7 +316,11 @@ impl Inst {
     pub fn touches_memory(&self) -> bool {
         matches!(
             self,
-            Inst::Load { .. } | Inst::Store { .. } | Inst::Ret | Inst::Call { .. } | Inst::CallInd { .. }
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::Ret
+                | Inst::Call { .. }
+                | Inst::CallInd { .. }
         )
     }
 
@@ -368,12 +372,24 @@ mod tests {
         assert_eq!(Inst::Jmp { disp: 0 }.kind(), BranchKind::Direct);
         assert_eq!(Inst::JmpInd { src: Reg::R1 }.kind(), BranchKind::Indirect);
         assert_eq!(
-            Inst::Jcc { cond: Cond::Eq, disp: 8 }.kind(),
+            Inst::Jcc {
+                cond: Cond::Eq,
+                disp: 8
+            }
+            .kind(),
             BranchKind::Cond
         );
         assert_eq!(Inst::Call { disp: 0 }.kind(), BranchKind::Call);
         assert_eq!(Inst::Ret.kind(), BranchKind::Ret);
-        assert_eq!(Inst::Load { dst: Reg::R0, base: Reg::R1, disp: 0 }.kind(), BranchKind::NotBranch);
+        assert_eq!(
+            Inst::Load {
+                dst: Reg::R0,
+                base: Reg::R1,
+                disp: 0
+            }
+            .kind(),
+            BranchKind::NotBranch
+        );
     }
 
     #[test]
@@ -410,9 +426,18 @@ mod tests {
 
     #[test]
     fn memory_touching_classification() {
-        assert!(Inst::Load { dst: Reg::R0, base: Reg::R1, disp: 0 }.touches_memory());
+        assert!(Inst::Load {
+            dst: Reg::R0,
+            base: Reg::R1,
+            disp: 0
+        }
+        .touches_memory());
         assert!(Inst::Ret.touches_memory());
         assert!(!Inst::Nop.touches_memory());
-        assert!(!Inst::MovImm { dst: Reg::R0, imm: 1 }.touches_memory());
+        assert!(!Inst::MovImm {
+            dst: Reg::R0,
+            imm: 1
+        }
+        .touches_memory());
     }
 }

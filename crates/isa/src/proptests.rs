@@ -30,10 +30,16 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         any::<i32>().prop_map(|disp| Inst::Call { disp }),
         arb_reg().prop_map(|src| Inst::CallInd { src }),
         Just(Inst::Ret),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(dst, base, disp)| Inst::Load { dst, base, disp }),
-        (arb_reg(), any::<i32>(), arb_reg())
-            .prop_map(|(base, disp, src)| Inst::Store { base, disp, src }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, disp)| Inst::Load {
+            dst,
+            base,
+            disp
+        }),
+        (arb_reg(), any::<i32>(), arb_reg()).prop_map(|(base, disp, src)| Inst::Store {
+            base,
+            disp,
+            src
+        }),
         (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
         (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),

@@ -65,27 +65,54 @@ impl KernelImage {
         // --- Syscall dispatcher at the image base. -------------------
         a.label("entry");
         // getpid?
-        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::GETPID });
-        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: sysno::GETPID,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R0,
+            b: Reg::R7,
+        });
         a.jcc_cond(phantom_isa::Cond::Eq, "sys_getpid");
         // readv?
-        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::READV });
-        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: sysno::READV,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R0,
+            b: Reg::R7,
+        });
         a.jcc_cond(phantom_isa::Cond::Eq, "sys_readv");
         // module read_data?
-        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::MODULE_READ_DATA });
-        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: sysno::MODULE_READ_DATA,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R0,
+            b: Reg::R7,
+        });
         a.jcc_cond(phantom_isa::Cond::Eq, "module_trampoline");
         // module probe?
-        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::MODULE_PROBE });
-        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: sysno::MODULE_PROBE,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R0,
+            b: Reg::R7,
+        });
         a.jcc_cond(phantom_isa::Cond::Eq, "module_trampoline");
         a.push(Inst::Sysret); // -ENOSYS
 
         // Module trampoline: an indirect jump to the loaded module (the
         // module base is not part of the image, so it is register-fed).
         a.label("module_trampoline");
-        a.push(Inst::MovImm { dst: Reg::R7, imm: module_entry.raw() });
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: module_entry.raw(),
+        });
         a.push(Inst::JmpInd { src: Reg::R7 });
 
         // --- Listing 1: __task_pid_nr_ns at 0xf6520. ------------------
@@ -97,20 +124,30 @@ impl KernelImage {
         a.push(Inst::NopN { len: 5 }); // the 5-byte nop of Listing 1
         a.push(Inst::NopN { len: 3 }); // frame setup stand-ins
         a.push(Inst::NopN { len: 3 });
-        a.push(Inst::MovImm { dst: Reg::R1, imm: FAKE_PID });
+        a.push(Inst::MovImm {
+            dst: Reg::R1,
+            imm: FAKE_PID,
+        });
         a.push(Inst::Sysret);
 
         // --- Listing 3: disclosure gadget at 0x41da52. ----------------
         // mov r12, QWORD PTR [r12+0xbe0]
         a.org(base.raw() + LISTING3_OFFSET);
         a.label("listing3_gadget");
-        a.push(Inst::Load { dst: Reg::R12, base: Reg::R12, disp: LISTING3_DISP });
+        a.push(Inst::Load {
+            dst: Reg::R12,
+            base: Reg::R12,
+            disp: LISTING3_DISP,
+        });
         a.push(Inst::Ret);
 
         // --- readv() path: R12 <- second argument, then __fdget_pos. --
         a.org(base.raw() + LISTING2_OFFSET - 0x20);
         a.label("sys_readv");
-        a.push(Inst::MovReg { dst: Reg::R12, src: Reg::R2 }); // RSI -> R12
+        a.push(Inst::MovReg {
+            dst: Reg::R12,
+            src: Reg::R2,
+        }); // RSI -> R12
 
         // --- Listing 2: __fdget_pos at 0x41db60. ----------------------
         // 1: nop DWORD PTR [rax+rax*1+0x0]
@@ -121,7 +158,10 @@ impl KernelImage {
         // 6: call …                           <- injection point (+18)
         a.org(base.raw() + LISTING2_OFFSET);
         a.push(Inst::NopN { len: 5 });
-        a.push(Inst::MovImm { dst: Reg::R6, imm: 0x4000 });
+        a.push(Inst::MovImm {
+            dst: Reg::R6,
+            imm: 0x4000,
+        });
         a.push(Inst::NopN { len: 3 });
         debug_assert_eq!(5 + 10 + 3, LISTING2_CALL_OFFSET - LISTING2_OFFSET);
         a.call("fdget_inner");
@@ -134,7 +174,11 @@ impl KernelImage {
         // targets for the covert channel pick addresses in here.
         a.org(base.raw() + IMAGE_SIZE - 0x40);
         a.label("image_end");
-        a.push(Inst::Alu { op: phantom_isa::inst::AluOp::Xor, dst: Reg::R7, src: Reg::R7 });
+        a.push(Inst::Alu {
+            op: phantom_isa::inst::AluOp::Xor,
+            dst: Reg::R7,
+            src: Reg::R7,
+        });
         a.push(Inst::Sysret);
 
         let blob = a.finish()?;
@@ -199,7 +243,11 @@ mod tests {
         let (inst, _) = decode(&blob.bytes[off..]).unwrap();
         assert_eq!(
             inst,
-            Inst::Load { dst: Reg::R12, base: Reg::R12, disp: LISTING3_DISP }
+            Inst::Load {
+                dst: Reg::R12,
+                base: Reg::R12,
+                disp: LISTING3_DISP
+            }
         );
     }
 
@@ -207,14 +255,16 @@ mod tests {
     fn image_fits_its_declared_size() {
         let (blob, _) = build();
         assert!(blob.bytes.len() as u64 <= IMAGE_SIZE);
-        assert!(blob.bytes.len() as u64 > LISTING2_OFFSET, "gadgets included");
+        assert!(
+            blob.bytes.len() as u64 > LISTING2_OFFSET,
+            "gadgets included"
+        );
     }
 
     #[test]
     fn rebased_images_keep_relative_offsets() {
         let base2 = VirtAddr::new(0xffff_ffff_8000_0000 + 37 * 0x20_0000);
-        let (_, img2) =
-            KernelImage::build(base2, VirtAddr::new(0xffff_ffff_c000_0000)).unwrap();
+        let (_, img2) = KernelImage::build(base2, VirtAddr::new(0xffff_ffff_c000_0000)).unwrap();
         assert_eq!(img2.listing1_nop - img2.base, LISTING1_OFFSET);
         assert_eq!(img2.base, base2);
     }

@@ -52,7 +52,10 @@ impl KaslrLayout {
     pub fn fixed(image_slot: u64, physmap_slot: u64) -> KaslrLayout {
         assert!(image_slot < KERNEL_IMAGE_SLOTS);
         assert!(physmap_slot < PHYSMAP_SLOTS);
-        KaslrLayout { image_slot, physmap_slot }
+        KaslrLayout {
+            image_slot,
+            physmap_slot,
+        }
     }
 
     /// The kernel image base address.

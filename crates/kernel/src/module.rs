@@ -60,11 +60,23 @@ impl KernelModule {
 
         // --- Dispatcher: R0 selects the module function. --------------
         a.label("entry");
-        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::MODULE_READ_DATA });
-        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: sysno::MODULE_READ_DATA,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R0,
+            b: Reg::R7,
+        });
         a.jcc_cond(Cond::Eq, "read_data");
-        a.push(Inst::MovImm { dst: Reg::R7, imm: sysno::MODULE_PROBE });
-        a.push(Inst::Cmp { a: Reg::R0, b: Reg::R7 });
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: sysno::MODULE_PROBE,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R0,
+            b: Reg::R7,
+        });
         a.jcc_cond(Cond::Eq, "probe_fn");
         a.push(Inst::Sysret);
 
@@ -76,17 +88,38 @@ impl KernelModule {
         //     }
         //   }
         a.label("read_data");
-        a.push(Inst::MovImm { dst: Reg::R7, imm: 0 }); // patched: &array_length
+        a.push(Inst::MovImm {
+            dst: Reg::R7,
+            imm: 0,
+        }); // patched: &array_length
         a.label("read_data_len_imm");
-        a.push(Inst::Load { dst: Reg::R5, base: Reg::R7, disp: 0 }); // *array_length
-        a.push(Inst::Cmp { a: Reg::R1, b: Reg::R5 });
+        a.push(Inst::Load {
+            dst: Reg::R5,
+            base: Reg::R7,
+            disp: 0,
+        }); // *array_length
+        a.push(Inst::Cmp {
+            a: Reg::R1,
+            b: Reg::R5,
+        });
         a.jcc_cond(Cond::Below, "in_bounds");
         a.push(Inst::Sysret);
         a.label("in_bounds");
-        a.push(Inst::MovImm { dst: Reg::R4, imm: 0 }); // patched: &array
+        a.push(Inst::MovImm {
+            dst: Reg::R4,
+            imm: 0,
+        }); // patched: &array
         a.label("read_data_array_imm");
-        a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R4, src: Reg::R1 });
-        a.push(Inst::Load { dst: Reg::R3, base: Reg::R4, disp: 0 }); // the ONE load
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R4,
+            src: Reg::R1,
+        });
+        a.push(Inst::Load {
+            dst: Reg::R3,
+            base: Reg::R4,
+            disp: 0,
+        }); // the ONE load
         a.label("parse_call");
         a.call("parse_data"); // <- nested-phantom injection point
         a.push(Inst::Sysret);
@@ -96,10 +129,24 @@ impl KernelModule {
 
         // --- Disclosure gadget (cache-encodes R3 into [R2 + byte<<6]). -
         a.label("disclosure_gadget");
-        a.push(Inst::AndImm { dst: Reg::R3, imm: 0xff });
-        a.push(Inst::Shl { dst: Reg::R3, amount: 6 });
-        a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R3, src: Reg::R2 });
-        a.push(Inst::Load { dst: Reg::R9, base: Reg::R3, disp: 0 });
+        a.push(Inst::AndImm {
+            dst: Reg::R3,
+            imm: 0xff,
+        });
+        a.push(Inst::Shl {
+            dst: Reg::R3,
+            amount: 6,
+        });
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R3,
+            src: Reg::R2,
+        });
+        a.push(Inst::Load {
+            dst: Reg::R9,
+            base: Reg::R3,
+            disp: 0,
+        });
         a.push(Inst::Ret);
 
         // --- P3 gadget: cache-encode the low byte of the victim's live
@@ -108,11 +155,28 @@ impl KernelModule {
         // holds the first syscall argument (the attacker's reload-buffer
         // pointer) throughout the readv path.
         a.label("p3_gadget");
-        a.push(Inst::MovReg { dst: Reg::R3, src: Reg::R12 });
-        a.push(Inst::AndImm { dst: Reg::R3, imm: 0xff });
-        a.push(Inst::Shl { dst: Reg::R3, amount: 6 });
-        a.push(Inst::Alu { op: AluOp::Add, dst: Reg::R3, src: Reg::R1 });
-        a.push(Inst::Load { dst: Reg::R9, base: Reg::R3, disp: 0 });
+        a.push(Inst::MovReg {
+            dst: Reg::R3,
+            src: Reg::R12,
+        });
+        a.push(Inst::AndImm {
+            dst: Reg::R3,
+            imm: 0xff,
+        });
+        a.push(Inst::Shl {
+            dst: Reg::R3,
+            amount: 6,
+        });
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R3,
+            src: Reg::R1,
+        });
+        a.push(Inst::Load {
+            dst: Reg::R9,
+            base: Reg::R3,
+            disp: 0,
+        });
         a.push(Inst::Ret);
 
         // --- §6.2 probe target: nops followed by a return. -------------
@@ -202,10 +266,22 @@ mod tests {
         // Find the MovImm before read_data_len_imm and decode it.
         let end = (blob.addr("read_data_len_imm") - blob.base) as usize;
         let (inst, _) = decode(&blob.bytes[end - 10..]).unwrap();
-        assert_eq!(inst, Inst::MovImm { dst: Reg::R7, imm: m.array_length.raw() });
+        assert_eq!(
+            inst,
+            Inst::MovImm {
+                dst: Reg::R7,
+                imm: m.array_length.raw()
+            }
+        );
         let end = (blob.addr("read_data_array_imm") - blob.base) as usize;
         let (inst, _) = decode(&blob.bytes[end - 10..]).unwrap();
-        assert_eq!(inst, Inst::MovImm { dst: Reg::R4, imm: m.array.raw() });
+        assert_eq!(
+            inst,
+            Inst::MovImm {
+                dst: Reg::R4,
+                imm: m.array.raw()
+            }
+        );
     }
 
     #[test]
@@ -223,7 +299,19 @@ mod tests {
         let (blob, m) = build();
         let off = (m.disclosure_gadget - m.base) as usize;
         let insts = phantom_isa::decode::decode_all(&blob.bytes[off..off + 20]);
-        assert_eq!(insts[0].1, Inst::AndImm { dst: Reg::R3, imm: 0xff });
-        assert_eq!(insts[1].1, Inst::Shl { dst: Reg::R3, amount: 6 });
+        assert_eq!(
+            insts[0].1,
+            Inst::AndImm {
+                dst: Reg::R3,
+                imm: 0xff
+            }
+        );
+        assert_eq!(
+            insts[1].1,
+            Inst::Shl {
+                dst: Reg::R3,
+                amount: 6
+            }
+        );
     }
 }

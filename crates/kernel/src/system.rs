@@ -160,11 +160,23 @@ impl System {
             .load_blob(&handler.finish()?, PageFlags::USER_TEXT)
             .map_err(SystemError::Machine)?;
         machine
-            .map_range(VirtAddr::new(USER_STACK_BASE), USER_STACK_SIZE, PageFlags::USER_DATA)
+            .map_range(
+                VirtAddr::new(USER_STACK_BASE),
+                USER_STACK_SIZE,
+                PageFlags::USER_DATA,
+            )
             .map_err(SystemError::Machine)?;
         machine.set_fault_handler(Some(VirtAddr::new(USER_FAULT_HANDLER)));
 
-        Ok(System { machine, layout, image, module, secret, boot_seed: seed, kpti: true })
+        Ok(System {
+            machine,
+            layout,
+            image,
+            module,
+            secret,
+            boot_seed: seed,
+            kpti: true,
+        })
     }
 
     /// Whether KPTI-style TLB separation is active (default: on, like
@@ -286,7 +298,12 @@ impl System {
     /// # Errors
     ///
     /// Returns [`SystemError::Machine`] if physical memory runs out.
-    pub fn map_user(&mut self, va: VirtAddr, len: u64, flags: PageFlags) -> Result<(), SystemError> {
+    pub fn map_user(
+        &mut self,
+        va: VirtAddr,
+        len: u64,
+        flags: PageFlags,
+    ) -> Result<(), SystemError> {
         self.machine.map_range(va, len, flags)?;
         Ok(())
     }
@@ -305,7 +322,11 @@ impl System {
         kind: BranchKind,
         target: VirtAddr,
     ) -> Result<(), SystemError> {
-        self.map_user(source.page_base(), 4096 + 32, PageFlags::USER_TEXT | PageFlags::WRITE)?;
+        self.map_user(
+            source.page_base(),
+            4096 + 32,
+            PageFlags::USER_TEXT | PageFlags::WRITE,
+        )?;
         let inst = match kind {
             BranchKind::Indirect => Inst::JmpInd { src: Reg::R11 },
             BranchKind::CallInd => Inst::CallInd { src: Reg::R11 },
@@ -317,7 +338,10 @@ impl System {
                 match kind {
                     BranchKind::Direct => Inst::Jmp { disp },
                     BranchKind::Call => Inst::Call { disp },
-                    _ => Inst::Jcc { cond: phantom_isa::Cond::Eq, disp: disp - 1 },
+                    _ => Inst::Jcc {
+                        cond: phantom_isa::Cond::Eq,
+                        disp: disp - 1,
+                    },
                 }
             }
             BranchKind::Ret => Inst::Ret,
@@ -337,7 +361,10 @@ impl System {
             self.machine.set_reg(Reg::R10, 1);
             let mut cmp = Vec::new();
             phantom_isa::encode::encode_into(
-                &Inst::Cmp { a: Reg::R9, b: Reg::R10 },
+                &Inst::Cmp {
+                    a: Reg::R9,
+                    b: Reg::R10,
+                },
                 &mut cmp,
             )
             .expect("encodable");
@@ -396,8 +423,14 @@ mod tests {
 
     #[test]
     fn kaslr_varies_across_boots() {
-        let slots: std::collections::HashSet<u64> =
-            (0..20).map(|s| System::new(UarchProfile::zen3(), 1 << 30, s).unwrap().layout().image_slot).collect();
+        let slots: std::collections::HashSet<u64> = (0..20)
+            .map(|s| {
+                System::new(UarchProfile::zen3(), 1 << 30, s)
+                    .unwrap()
+                    .layout()
+                    .image_slot
+            })
+            .collect();
         assert!(slots.len() > 10);
     }
 
@@ -408,7 +441,12 @@ mod tests {
         // Write through physmap (supervisor data access) and read the
         // physical byte directly.
         sys.machine_mut().poke_u64(physmap + 0x1234, 0x7777);
-        assert_eq!(sys.machine().phys().read_u64(phantom_mem::PhysAddr::new(0x1234)), 0x7777);
+        assert_eq!(
+            sys.machine()
+                .phys()
+                .read_u64(phantom_mem::PhysAddr::new(0x1234)),
+            0x7777
+        );
     }
 
     #[test]
@@ -418,7 +456,11 @@ mod tests {
         let err = sys
             .machine()
             .page_table()
-            .translate(physmap, phantom_mem::AccessKind::Execute, PrivilegeLevel::Supervisor)
+            .translate(
+                physmap,
+                phantom_mem::AccessKind::Execute,
+                PrivilegeLevel::Supervisor,
+            )
             .unwrap_err();
         assert_eq!(err.reason, phantom_mem::FaultReason::NotExecutable);
     }
@@ -429,7 +471,11 @@ mod tests {
         let err = sys
             .machine()
             .page_table()
-            .translate(sys.image().listing1_nop, phantom_mem::AccessKind::Read, PrivilegeLevel::User)
+            .translate(
+                sys.image().listing1_nop,
+                phantom_mem::AccessKind::Read,
+                PrivilegeLevel::User,
+            )
             .unwrap_err();
         assert_eq!(err.reason, phantom_mem::FaultReason::Privilege);
     }
@@ -526,6 +572,10 @@ mod kpti_tests {
     fn unknown_syscall_returns_cleanly() {
         let mut sys = System::new(UarchProfile::zen2(), 1 << 28, 62).unwrap();
         sys.syscall(9999, &[1, 2, 3]).unwrap();
-        assert_eq!(sys.machine().level(), PrivilegeLevel::User, "-ENOSYS path sysrets");
+        assert_eq!(
+            sys.machine().level(),
+            PrivilegeLevel::User,
+            "-ENOSYS path sysrets"
+        );
     }
 }

@@ -80,7 +80,11 @@ pub struct PageFault {
 
 impl fmt::Display for PageFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "page fault on {} at {}: {}", self.access, self.addr, self.reason)
+        write!(
+            f,
+            "page fault on {} at {}: {}",
+            self.access, self.addr, self.reason
+        )
     }
 }
 

@@ -76,11 +76,31 @@ impl fmt::Display for PageFlags {
         write!(
             f,
             "{}{}{}{}{}",
-            if self.contains(PageFlags::PRESENT) { 'p' } else { '-' },
-            if self.contains(PageFlags::WRITE) { 'w' } else { '-' },
-            if self.contains(PageFlags::EXEC) { 'x' } else { '-' },
-            if self.contains(PageFlags::USER) { 'u' } else { '-' },
-            if self.contains(PageFlags::HUGE) { 'H' } else { '-' },
+            if self.contains(PageFlags::PRESENT) {
+                'p'
+            } else {
+                '-'
+            },
+            if self.contains(PageFlags::WRITE) {
+                'w'
+            } else {
+                '-'
+            },
+            if self.contains(PageFlags::EXEC) {
+                'x'
+            } else {
+                '-'
+            },
+            if self.contains(PageFlags::USER) {
+                'u'
+            } else {
+                '-'
+            },
+            if self.contains(PageFlags::HUGE) {
+                'H'
+            } else {
+                '-'
+            },
         )
     }
 }
@@ -150,7 +170,13 @@ impl PageTable {
     ) -> Option<(PhysAddr, PageFlags)> {
         debug_assert!(va.is_aligned(1 << PAGE_SHIFT), "unaligned 4k mapping {va}");
         self.small
-            .insert(va.page_number(), Mapping { frame: frame.page_base(), flags })
+            .insert(
+                va.page_number(),
+                Mapping {
+                    frame: frame.page_base(),
+                    flags,
+                },
+            )
             .map(|m| (m.frame, m.flags))
     }
 
@@ -166,14 +192,19 @@ impl PageTable {
         self.huge
             .insert(
                 va.raw() >> HUGE_PAGE_SHIFT,
-                Mapping { frame: frame.huge_page_base(), flags: flags | PageFlags::HUGE },
+                Mapping {
+                    frame: frame.huge_page_base(),
+                    flags: flags | PageFlags::HUGE,
+                },
             )
             .map(|m| (m.frame, m.flags))
     }
 
     /// Remove the 4 KiB mapping covering `va`, if any.
     pub fn unmap_4k(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageFlags)> {
-        self.small.remove(&va.page_number()).map(|m| (m.frame, m.flags))
+        self.small
+            .remove(&va.page_number())
+            .map(|m| (m.frame, m.flags))
     }
 
     /// Change the flags of the mapping covering `va` (4 KiB first, then
@@ -218,8 +249,14 @@ impl PageTable {
         access: AccessKind,
         level: PrivilegeLevel,
     ) -> Result<PhysAddr, PageFault> {
-        let fault = |reason| PageFault { addr: va, access, reason };
-        let m = self.lookup(va).ok_or_else(|| fault(FaultReason::NotPresent))?;
+        let fault = |reason| PageFault {
+            addr: va,
+            access,
+            reason,
+        };
+        let m = self
+            .lookup(va)
+            .ok_or_else(|| fault(FaultReason::NotPresent))?;
         if !m.flags.contains(PageFlags::PRESENT) {
             return Err(fault(FaultReason::NotPresent));
         }
@@ -264,10 +301,26 @@ mod tests {
 
     fn table() -> PageTable {
         let mut pt = PageTable::new();
-        pt.map_4k(VirtAddr::new(0x1000), PhysAddr::new(0x10_000), PageFlags::USER_DATA);
-        pt.map_4k(VirtAddr::new(0x2000), PhysAddr::new(0x20_000), PageFlags::USER_TEXT);
-        pt.map_4k(VirtAddr::new(0x3000), PhysAddr::new(0x30_000), PageFlags::KERNEL_TEXT);
-        pt.map_4k(VirtAddr::new(0x4000), PhysAddr::new(0x40_000), PageFlags::KERNEL_DATA);
+        pt.map_4k(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x10_000),
+            PageFlags::USER_DATA,
+        );
+        pt.map_4k(
+            VirtAddr::new(0x2000),
+            PhysAddr::new(0x20_000),
+            PageFlags::USER_TEXT,
+        );
+        pt.map_4k(
+            VirtAddr::new(0x3000),
+            PhysAddr::new(0x30_000),
+            PageFlags::KERNEL_TEXT,
+        );
+        pt.map_4k(
+            VirtAddr::new(0x4000),
+            PhysAddr::new(0x40_000),
+            PageFlags::KERNEL_DATA,
+        );
         pt
     }
 
@@ -275,7 +328,11 @@ mod tests {
     fn translation_applies_page_offset() {
         let pt = table();
         let pa = pt
-            .translate(VirtAddr::new(0x1abc), AccessKind::Read, PrivilegeLevel::User)
+            .translate(
+                VirtAddr::new(0x1abc),
+                AccessKind::Read,
+                PrivilegeLevel::User,
+            )
             .unwrap();
         assert_eq!(pa, PhysAddr::new(0x10_abc));
     }
@@ -285,10 +342,18 @@ mod tests {
         let pt = table();
         // User data page: readable, not executable.
         assert!(pt
-            .translate(VirtAddr::new(0x1000), AccessKind::Read, PrivilegeLevel::User)
+            .translate(
+                VirtAddr::new(0x1000),
+                AccessKind::Read,
+                PrivilegeLevel::User
+            )
             .is_ok());
         let err = pt
-            .translate(VirtAddr::new(0x1000), AccessKind::Execute, PrivilegeLevel::User)
+            .translate(
+                VirtAddr::new(0x1000),
+                AccessKind::Execute,
+                PrivilegeLevel::User,
+            )
             .unwrap_err();
         assert_eq!(err.reason, FaultReason::NotExecutable);
     }
@@ -304,12 +369,20 @@ mod tests {
         }
         // Supervisor can execute kernel text but not write it.
         assert!(pt
-            .translate(VirtAddr::new(0x3000), AccessKind::Execute, PrivilegeLevel::Supervisor)
+            .translate(
+                VirtAddr::new(0x3000),
+                AccessKind::Execute,
+                PrivilegeLevel::Supervisor
+            )
             .is_ok());
         assert_eq!(
-            pt.translate(VirtAddr::new(0x3000), AccessKind::Write, PrivilegeLevel::Supervisor)
-                .unwrap_err()
-                .reason,
+            pt.translate(
+                VirtAddr::new(0x3000),
+                AccessKind::Write,
+                PrivilegeLevel::Supervisor
+            )
+            .unwrap_err()
+            .reason,
             FaultReason::NotWritable
         );
     }
@@ -319,13 +392,21 @@ mod tests {
         let pt = table();
         // This is the physmap situation: present, supervisor, NX.
         assert_eq!(
-            pt.translate(VirtAddr::new(0x4000), AccessKind::Execute, PrivilegeLevel::Supervisor)
-                .unwrap_err()
-                .reason,
+            pt.translate(
+                VirtAddr::new(0x4000),
+                AccessKind::Execute,
+                PrivilegeLevel::Supervisor
+            )
+            .unwrap_err()
+            .reason,
             FaultReason::NotExecutable
         );
         assert!(pt
-            .translate(VirtAddr::new(0x4000), AccessKind::Read, PrivilegeLevel::Supervisor)
+            .translate(
+                VirtAddr::new(0x4000),
+                AccessKind::Read,
+                PrivilegeLevel::Supervisor
+            )
             .is_ok());
     }
 
@@ -333,9 +414,13 @@ mod tests {
     fn unmapped_is_not_present() {
         let pt = table();
         assert_eq!(
-            pt.translate(VirtAddr::new(0x9000), AccessKind::Read, PrivilegeLevel::Supervisor)
-                .unwrap_err()
-                .reason,
+            pt.translate(
+                VirtAddr::new(0x9000),
+                AccessKind::Read,
+                PrivilegeLevel::Supervisor
+            )
+            .unwrap_err()
+            .reason,
             FaultReason::NotPresent
         );
     }
@@ -361,15 +446,31 @@ mod tests {
     #[test]
     fn small_mapping_shadows_huge() {
         let mut pt = PageTable::new();
-        pt.map_2m(VirtAddr::new(0), PhysAddr::new(0x20_0000), PageFlags::USER_DATA);
-        pt.map_4k(VirtAddr::new(0x1000), PhysAddr::new(0x99_9000), PageFlags::USER_TEXT);
+        pt.map_2m(
+            VirtAddr::new(0),
+            PhysAddr::new(0x20_0000),
+            PageFlags::USER_DATA,
+        );
+        pt.map_4k(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x99_9000),
+            PageFlags::USER_TEXT,
+        );
         let pa = pt
-            .translate(VirtAddr::new(0x1010), AccessKind::Execute, PrivilegeLevel::User)
+            .translate(
+                VirtAddr::new(0x1010),
+                AccessKind::Execute,
+                PrivilegeLevel::User,
+            )
             .unwrap();
         assert_eq!(pa, PhysAddr::new(0x99_9010));
         // Other offsets still hit the huge page.
         let pa2 = pt
-            .translate(VirtAddr::new(0x2010), AccessKind::Read, PrivilegeLevel::User)
+            .translate(
+                VirtAddr::new(0x2010),
+                AccessKind::Read,
+                PrivilegeLevel::User,
+            )
             .unwrap();
         assert_eq!(pa2, PhysAddr::new(0x20_2010));
     }
@@ -383,7 +484,11 @@ mod tests {
             .unwrap();
         assert_eq!(old, PageFlags::KERNEL_TEXT);
         assert!(pt
-            .translate(VirtAddr::new(0x3000), AccessKind::Execute, PrivilegeLevel::User)
+            .translate(
+                VirtAddr::new(0x3000),
+                AccessKind::Execute,
+                PrivilegeLevel::User
+            )
             .is_ok());
     }
 
@@ -392,7 +497,11 @@ mod tests {
         let mut pt = table();
         assert!(pt.unmap_4k(VirtAddr::new(0x1000)).is_some());
         assert!(pt
-            .translate(VirtAddr::new(0x1000), AccessKind::Read, PrivilegeLevel::User)
+            .translate(
+                VirtAddr::new(0x1000),
+                AccessKind::Read,
+                PrivilegeLevel::User
+            )
             .is_err());
         assert!(pt.unmap_4k(VirtAddr::new(0x1000)).is_none());
     }
@@ -400,11 +509,19 @@ mod tests {
     #[test]
     fn non_present_flags_fault_even_if_mapped() {
         let mut pt = PageTable::new();
-        pt.map_4k(VirtAddr::new(0x5000), PhysAddr::new(0x50_000), PageFlags::NONE);
+        pt.map_4k(
+            VirtAddr::new(0x5000),
+            PhysAddr::new(0x50_000),
+            PageFlags::NONE,
+        );
         assert_eq!(
-            pt.translate(VirtAddr::new(0x5000), AccessKind::Read, PrivilegeLevel::Supervisor)
-                .unwrap_err()
-                .reason,
+            pt.translate(
+                VirtAddr::new(0x5000),
+                AccessKind::Read,
+                PrivilegeLevel::Supervisor
+            )
+            .unwrap_err()
+            .reason,
             FaultReason::NotPresent
         );
     }

@@ -69,7 +69,9 @@ impl PhysMemory {
     /// Returns [`OutOfFrames`] when the configured capacity is exhausted.
     pub fn alloc_frame(&mut self) -> Result<PhysAddr, OutOfFrames> {
         if self.next_free + PAGE_SIZE > self.capacity {
-            return Err(OutOfFrames { capacity: self.capacity });
+            return Err(OutOfFrames {
+                capacity: self.capacity,
+            });
         }
         let pa = PhysAddr::new(self.next_free);
         self.next_free += PAGE_SIZE;
@@ -83,7 +85,9 @@ impl PhysMemory {
     /// Returns [`OutOfFrames`] when the configured capacity is exhausted.
     pub fn alloc_contiguous(&mut self, n: u64) -> Result<PhysAddr, OutOfFrames> {
         if self.next_free + n * PAGE_SIZE > self.capacity {
-            return Err(OutOfFrames { capacity: self.capacity });
+            return Err(OutOfFrames {
+                capacity: self.capacity,
+            });
         }
         let pa = PhysAddr::new(self.next_free);
         self.next_free += n * PAGE_SIZE;
@@ -100,7 +104,9 @@ impl PhysMemory {
         const HUGE: u64 = 2 * 1024 * 1024;
         let aligned = (self.next_free + HUGE - 1) & !(HUGE - 1);
         if aligned + HUGE > self.capacity {
-            return Err(OutOfFrames { capacity: self.capacity });
+            return Err(OutOfFrames {
+                capacity: self.capacity,
+            });
         }
         self.next_free = aligned + HUGE;
         Ok(PhysAddr::new(aligned))

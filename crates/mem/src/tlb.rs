@@ -53,7 +53,13 @@ impl Tlb {
     pub fn new(sets: usize, ways: usize) -> Tlb {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         assert!(ways > 0, "ways must be nonzero");
-        Tlb { sets: vec![Vec::new(); sets], ways, clock: 0, hits: 0, misses: 0 }
+        Tlb {
+            sets: vec![Vec::new(); sets],
+            ways,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn set_of(&self, vpn: u64) -> usize {
@@ -87,8 +93,16 @@ impl Tlb {
         let ways = self.ways;
         let clock = self.clock;
         let entries = &mut self.sets[set];
-        if let Some((e, stamp)) = entries.iter_mut().find(|(e, _)| e.vpn == vpn && e.asid == asid) {
-            *e = TlbEntry { vpn, frame: frame.page_base(), flags, asid };
+        if let Some((e, stamp)) = entries
+            .iter_mut()
+            .find(|(e, _)| e.vpn == vpn && e.asid == asid)
+        {
+            *e = TlbEntry {
+                vpn,
+                frame: frame.page_base(),
+                flags,
+                asid,
+            };
             *stamp = clock;
             return;
         }
@@ -102,7 +116,15 @@ impl Tlb {
                 entries.remove(pos);
             }
         }
-        entries.push((TlbEntry { vpn, frame: frame.page_base(), flags, asid }, clock));
+        entries.push((
+            TlbEntry {
+                vpn,
+                frame: frame.page_base(),
+                flags,
+                asid,
+            },
+            clock,
+        ));
     }
 
     /// Invalidate one page for one ASID (`invlpg`).
@@ -169,7 +191,12 @@ mod tests {
     #[test]
     fn asid_isolation() {
         let mut tlb = Tlb::new(8, 2);
-        tlb.insert(entry_va(5), PhysAddr::new(0x9000), PageFlags::KERNEL_DATA, 7);
+        tlb.insert(
+            entry_va(5),
+            PhysAddr::new(0x9000),
+            PageFlags::KERNEL_DATA,
+            7,
+        );
         assert!(tlb.lookup(entry_va(5), 0).is_none());
         assert!(tlb.lookup(entry_va(5), 7).is_some());
         // KPTI-style: flushing the user ASID leaves kernel entries alone.

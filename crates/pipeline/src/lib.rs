@@ -45,6 +45,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod events;
 pub mod machine;
 pub mod profile;
 pub mod resteer;
@@ -54,8 +55,9 @@ pub mod transient;
 #[cfg(test)]
 mod proptests;
 
-pub use machine::{Machine, RunExit, StepOutcome};
+pub use events::{EventSink, PipelineEvent, SinkId};
+pub use machine::{Machine, MachineError, MachineSnapshot, RunExit, StepOutcome};
 pub use profile::{UarchProfile, Vendor};
 pub use resteer::{ResteerKind, SpeculationVerdict};
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{TraceEvent, TraceSink, Tracer};
 pub use transient::{TransientReport, TransientWindow};

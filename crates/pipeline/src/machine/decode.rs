@@ -1,0 +1,86 @@
+//! The decode stage: instruction decode, µop-cache dispatch, and the
+//! transient-window policy (everything the decoder can gate).
+
+use phantom_bpu::Prediction;
+use phantom_isa::decode::decode;
+use phantom_isa::{BranchKind, Inst};
+use phantom_mem::VirtAddr;
+
+use crate::events::PipelineEvent;
+use crate::resteer::ResteerKind;
+use crate::transient::TransientWindow;
+
+use super::{Machine, MachineError};
+
+impl Machine {
+    /// Decode the instruction at `pc`, rejecting truncated and invalid
+    /// encodings. Returns the instruction and its length in bytes.
+    pub(super) fn decode_at(&self, pc: VirtAddr) -> Result<(Inst, u64), MachineError> {
+        let bytes = self.read_code_bytes(pc, 15);
+        let (inst, len) = match decode(&bytes) {
+            Some(pair) => pair,
+            None => return Err(MachineError::TruncatedCode(pc)),
+        };
+        if let Inst::Invalid { byte } = inst {
+            return Err(MachineError::InvalidInstruction { pc, byte });
+        }
+        Ok((inst, len as u64))
+    }
+
+    /// Dispatch µops for `pc`: from the µop cache on a hit, or through
+    /// the decoder (filling the µop cache and paying decode latency) on
+    /// a miss.
+    pub(super) fn uop_dispatch(&mut self, pc: VirtAddr) {
+        if self.uop_cache.dispatch_lookup(pc.raw()) {
+            self.emit(PipelineEvent::UopDispatch { pc, hit: true });
+        } else {
+            self.emit(PipelineEvent::UopDispatch { pc, hit: false });
+            self.uop_cache.fill(pc.raw());
+            self.emit(PipelineEvent::UopCacheFill {
+                va: pc,
+                transient: false,
+            });
+            self.cycles += self.profile.decode_latency;
+            // SuppressBPOnNonBr makes the frontend wait for decode
+            // confirmation before acting on a prediction at a block not
+            // yet known to contain a branch — a small bubble on every
+            // decoder-path (µop-cache-miss) fetch. This is the §6.3
+            // performance cost (0.69% single-core on UnixBench).
+            if self.bpu.msr().suppress_bp_on_non_br {
+                self.cycles += 1;
+            }
+        }
+    }
+
+    /// Derive the transient window for a misprediction at `inst`, gated
+    /// by the active mitigations.
+    pub(super) fn window_for(
+        &self,
+        inst: &Inst,
+        pred: Option<&Prediction>,
+        resteer: ResteerKind,
+    ) -> TransientWindow {
+        // Intel jmp*-victim blind spot (§6): no IF/ID signal.
+        if self.profile.indirect_victim_blind
+            && inst.kind() == BranchKind::Indirect
+            && pred.is_some()
+        {
+            return TransientWindow::suppressed(resteer);
+        }
+        let mut window = TransientWindow::for_resteer(&self.profile, resteer);
+        // AutoIBRS: a restricted prediction may fetch and decode, never
+        // execute (O5).
+        if pred.is_some_and(|p| p.restricted) {
+            window = window.without_execute();
+        }
+        // SuppressBPOnNonBr: gates execute only, and only when the victim
+        // decodes as a non-branch (O4).
+        if self.bpu.msr().suppress_bp_on_non_br
+            && self.profile.supports_suppress_bp_on_non_br
+            && inst.kind() == BranchKind::NotBranch
+        {
+            window = window.without_execute();
+        }
+        window
+    }
+}

@@ -1,0 +1,252 @@
+//! The execute stage: architectural instruction semantics, branch
+//! resolution and predictor training.
+
+use phantom_bpu::Prediction;
+use phantom_isa::{BranchKind, Inst, Reg};
+use phantom_mem::{AccessKind, PageFault, PrivilegeLevel, VirtAddr};
+
+use crate::events::PipelineEvent;
+
+use super::{Machine, MachineError};
+
+impl Machine {
+    /// Redirect to the registered user-mode fault handler, or surface
+    /// the fault as a [`MachineError`].
+    pub(super) fn handle_fault(&mut self, fault: PageFault) -> Result<(), MachineError> {
+        self.last_fault = Some(fault);
+        if self.level == PrivilegeLevel::User {
+            if let Some(handler) = self.fault_handler {
+                self.pc = handler;
+                // Signal delivery is expensive.
+                self.cycles += 2000;
+                return Ok(());
+            }
+        }
+        Err(MachineError::Fault(fault))
+    }
+
+    /// Resolve (taken, target) for the instruction before executing it.
+    pub(super) fn resolve_branch(
+        &mut self,
+        inst: &Inst,
+        pc: VirtAddr,
+    ) -> Result<(bool, Option<VirtAddr>), MachineError> {
+        Ok(match inst {
+            Inst::Jmp { .. } | Inst::Call { .. } => {
+                (true, inst.direct_target(pc.raw()).map(VirtAddr::new))
+            }
+            Inst::Jcc { cond, .. } => {
+                let taken = cond.eval(self.zf, self.sf, self.cf);
+                let target = if taken {
+                    inst.direct_target(pc.raw()).map(VirtAddr::new)
+                } else {
+                    None
+                };
+                (taken, target)
+            }
+            Inst::JmpInd { src } | Inst::CallInd { src } => {
+                (true, Some(VirtAddr::new(self.reg(*src))))
+            }
+            Inst::Ret => {
+                // Architectural return address from the stack.
+                let sp = VirtAddr::new(self.reg(Reg::SP));
+                match self.page_table.translate(sp, AccessKind::Read, self.level) {
+                    Ok(pa) => (true, Some(VirtAddr::new(self.phys.read_u64(pa)))),
+                    Err(_) => (true, None), // stack fault resolves at execute
+                }
+            }
+            _ => (false, None),
+        })
+    }
+
+    /// Architecturally execute `inst`. Returns whether the machine
+    /// halted.
+    pub(super) fn execute(
+        &mut self,
+        inst: Inst,
+        pc: VirtAddr,
+        len: u64,
+        taken: bool,
+        actual_target: Option<VirtAddr>,
+        pred: Option<&Prediction>,
+    ) -> Result<bool, MachineError> {
+        let mut next = pc + len;
+        match inst {
+            Inst::Nop | Inst::NopN { .. } => {}
+            Inst::MovImm { dst, imm } => self.set_reg(dst, imm),
+            Inst::MovReg { dst, src } => self.set_reg(dst, self.reg(src)),
+            Inst::Alu { op, dst, src } => {
+                let v = op.apply(self.reg(dst), self.reg(src));
+                self.set_reg(dst, v);
+            }
+            Inst::Shr { dst, amount } => self.set_reg(dst, self.reg(dst) >> amount),
+            Inst::Shl { dst, amount } => self.set_reg(dst, self.reg(dst) << amount),
+            Inst::AndImm { dst, imm } => self.set_reg(dst, self.reg(dst) & u64::from(imm)),
+            Inst::Cmp { a, b } => {
+                let (av, bv) = (self.reg(a), self.reg(b));
+                self.zf = av == bv;
+                self.cf = av < bv;
+                self.sf = (av.wrapping_sub(bv) as i64) < 0;
+            }
+            Inst::Load { dst, base, disp } => {
+                let addr = VirtAddr::new(self.reg(base).wrapping_add(disp as i64 as u64));
+                match self
+                    .page_table
+                    .translate(addr, AccessKind::Read, self.level)
+                {
+                    Ok(pa) => {
+                        self.charge_tlb(addr, pa);
+                        let (lvl, lat) = self.caches.access_data(pa.raw());
+                        self.emit(PipelineEvent::DataAccess {
+                            va: addr,
+                            level: lvl,
+                        });
+                        self.cycles += lat;
+                        let v = self.phys.read_u64(pa);
+                        self.set_reg(dst, v);
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Store { base, disp, src } => {
+                let addr = VirtAddr::new(self.reg(base).wrapping_add(disp as i64 as u64));
+                match self
+                    .page_table
+                    .translate(addr, AccessKind::Write, self.level)
+                {
+                    Ok(pa) => {
+                        self.charge_tlb(addr, pa);
+                        let (lvl, lat) = self.caches.access_data(pa.raw());
+                        self.emit(PipelineEvent::DataAccess {
+                            va: addr,
+                            level: lvl,
+                        });
+                        self.cycles += lat;
+                        let v = self.reg(src);
+                        self.phys.write_u64(pa, v);
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Clflush { addr } => {
+                let va = VirtAddr::new(self.reg(addr));
+                match self.page_table.translate(va, AccessKind::Read, self.level) {
+                    Ok(pa) => {
+                        self.caches.flush_line(pa.raw());
+                        self.cycles += 40;
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Lfence | Inst::Mfence => self.cycles += 8,
+            Inst::Jmp { .. } => {
+                let target = actual_target.expect("direct target");
+                self.bpu
+                    .train_smt(pc, BranchKind::Direct, target, self.level, self.thread);
+                self.bpu.record_edge(pc, target);
+                next = target;
+            }
+            Inst::Jcc { .. } => {
+                self.bpu.train_direction(pc, taken);
+                if taken {
+                    let target = actual_target.expect("taken target");
+                    self.bpu
+                        .train_smt(pc, BranchKind::Cond, target, self.level, self.thread);
+                    self.bpu.record_edge(pc, target);
+                    next = target;
+                }
+            }
+            Inst::JmpInd { .. } => {
+                let target = actual_target.expect("indirect target");
+                self.bpu
+                    .train_smt(pc, BranchKind::Indirect, target, self.level, self.thread);
+                self.bpu.record_edge(pc, target);
+                next = target;
+            }
+            Inst::Call { .. } => {
+                let target = actual_target.expect("call target");
+                self.bpu
+                    .train_smt(pc, BranchKind::Call, target, self.level, self.thread);
+                self.push_return(pc + len)?;
+                self.bpu.rsb_mut().push(pc + len);
+                next = target;
+            }
+            Inst::CallInd { .. } => {
+                let target = actual_target.expect("call* target");
+                self.bpu
+                    .train_smt(pc, BranchKind::CallInd, target, self.level, self.thread);
+                self.push_return(pc + len)?;
+                self.bpu.rsb_mut().push(pc + len);
+                next = target;
+            }
+            Inst::Ret => {
+                let sp = VirtAddr::new(self.reg(Reg::SP));
+                match self.page_table.translate(sp, AccessKind::Read, self.level) {
+                    Ok(pa) => {
+                        let target = VirtAddr::new(self.phys.read_u64(pa));
+                        self.set_reg(Reg::SP, sp.raw() + 8);
+                        self.bpu
+                            .train_smt(pc, BranchKind::Ret, target, self.level, self.thread);
+                        // Keep the RSB in sync if the predictor did not
+                        // already pop for this return.
+                        if !matches!(pred, Some(p) if p.kind == BranchKind::Ret) {
+                            self.bpu.rsb_mut().pop();
+                        }
+                        next = target;
+                    }
+                    Err(fault) => {
+                        self.handle_fault(fault)?;
+                        return Ok(false);
+                    }
+                }
+            }
+            Inst::Syscall => {
+                let entry = self.syscall_entry.ok_or(MachineError::NoSyscallEntry)?;
+                self.syscall_return = Some((pc + len, self.level));
+                self.level = PrivilegeLevel::Supervisor;
+                self.cycles += 100; // mode switch cost
+                next = entry;
+            }
+            Inst::Sysret => {
+                let (ret, lvl) = self
+                    .syscall_return
+                    .take()
+                    .ok_or(MachineError::SysretWithoutSyscall)?;
+                self.level = lvl;
+                self.cycles += 100;
+                next = ret;
+            }
+            Inst::Halt => {
+                self.halted = true;
+                return Ok(true);
+            }
+            Inst::Invalid { .. } => unreachable!("rejected before execute"),
+        }
+        self.pc = next;
+        Ok(false)
+    }
+
+    fn push_return(&mut self, ret: VirtAddr) -> Result<(), MachineError> {
+        let sp = VirtAddr::new(self.reg(Reg::SP).wrapping_sub(8));
+        match self.page_table.translate(sp, AccessKind::Write, self.level) {
+            Ok(pa) => {
+                self.phys.write_u64(pa, ret.raw());
+                self.set_reg(Reg::SP, sp.raw());
+                Ok(())
+            }
+            Err(fault) => {
+                self.handle_fault(fault)?;
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The fetch stage: architectural and wrong-path instruction fetch.
+
+use std::collections::HashSet;
+
+use phantom_mem::{AccessKind, PageFault, VirtAddr};
+
+use crate::events::PipelineEvent;
+
+use super::Machine;
+
+impl Machine {
+    /// Architecturally fetch the line at `pc`: translate with execute
+    /// permission, charge TLB and I-cache timing, and emit
+    /// [`PipelineEvent::FetchLine`]. A translation fault is returned to
+    /// the caller (the commit stage decides whether it is caught).
+    pub(super) fn arch_fetch(&mut self, pc: VirtAddr) -> Result<(), PageFault> {
+        let pa = self
+            .page_table
+            .translate(pc, AccessKind::Execute, self.level)?;
+        self.charge_tlb(pc, pa);
+        let (level, lat) = self.caches.access_inst(pa.raw());
+        self.cycles += lat;
+        self.emit(PipelineEvent::FetchLine {
+            va: pc,
+            level,
+            transient: false,
+        });
+        Ok(())
+    }
+
+    /// Read up to `n` code bytes at `va` with execute permission at the
+    /// current privilege level, stopping at the first fault.
+    pub(super) fn read_code_bytes(&self, va: VirtAddr, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match self
+                .page_table
+                .translate(va + i as u64, AccessKind::Execute, self.level)
+            {
+                Ok(pa) => out.push(self.phys.read_u8(pa)),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Transiently touch the cache line holding `va`: fetch it into the
+    /// I-cache and, when `decode_stage` is set, fill the µop cache for
+    /// it. `lines` de-duplicates per-window touches. Returns whether
+    /// the address was accessible — an inaccessible target (unmapped /
+    /// NX / supervisor-only from user) fills nothing, which is
+    /// primitive P1's signal.
+    pub(super) fn transient_touch(
+        &mut self,
+        va: VirtAddr,
+        decode_stage: bool,
+        lines: &mut HashSet<u64>,
+    ) -> bool {
+        let line = va.raw() & !63;
+        if !lines.insert(line) {
+            return true;
+        }
+        match self
+            .page_table
+            .translate(va, AccessKind::Execute, self.level)
+        {
+            Ok(pa) => {
+                let (level, _) = self.caches.access_inst(pa.raw());
+                self.emit(PipelineEvent::FetchLine {
+                    va,
+                    level,
+                    transient: true,
+                });
+                if decode_stage {
+                    self.uop_cache.fill(va.raw());
+                    self.emit(PipelineEvent::UopCacheFill {
+                        va,
+                        transient: true,
+                    });
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}

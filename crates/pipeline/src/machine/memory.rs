@@ -1,0 +1,119 @@
+//! Memory setup helpers and architectural translation timing.
+
+use phantom_isa::asm::Blob;
+use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr, PAGE_SIZE};
+
+use super::{Machine, MachineError};
+
+impl Machine {
+    /// Page-walk cost charged on a TLB miss, in cycles.
+    pub const PAGE_WALK_CYCLES: u64 = 20;
+
+    /// Charge TLB lookup/fill timing for an architectural access to
+    /// `va` that resolved to `pa` (ASID 0 = user, 1 = supervisor).
+    pub(super) fn charge_tlb(&mut self, va: VirtAddr, pa: phantom_mem::PhysAddr) {
+        let asid = match self.level {
+            PrivilegeLevel::User => 0,
+            PrivilegeLevel::Supervisor => 1,
+        };
+        if self.tlb.lookup(va, asid).is_none() {
+            self.cycles += Self::PAGE_WALK_CYCLES;
+            let flags = self.page_table.flags_of(va).unwrap_or(PageFlags::NONE);
+            self.tlb.insert(va, pa, flags, asid);
+        }
+    }
+
+    /// Map `[va, va+len)` with fresh frames and the given flags. Pages
+    /// already mapped are left as they are.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfMemory`] if physical memory runs out.
+    pub fn map_range(
+        &mut self,
+        va: VirtAddr,
+        len: u64,
+        flags: PageFlags,
+    ) -> Result<(), MachineError> {
+        let start = va.page_base();
+        let end = (va + len + PAGE_SIZE - 1).page_base();
+        let mut page = start;
+        while page < end {
+            if self.page_table.flags_of(page).is_none() {
+                let frame = self.phys.alloc_frame()?;
+                self.page_table.map_4k(page, frame, flags);
+            }
+            page = page + PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    /// Load an assembled blob: map its pages with `flags` and copy the
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfMemory`] if physical memory runs out.
+    pub fn load_blob(&mut self, blob: &Blob, flags: PageFlags) -> Result<(), MachineError> {
+        self.map_range(
+            VirtAddr::new(blob.base),
+            blob.bytes.len().max(1) as u64,
+            flags,
+        )?;
+        self.poke(VirtAddr::new(blob.base), &blob.bytes);
+        Ok(())
+    }
+
+    /// Write bytes through the page table, ignoring permission bits
+    /// (setup/debug only — not an architectural store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page in the range is unmapped.
+    pub fn poke(&mut self, va: VirtAddr, bytes: &[u8]) {
+        // Translate once per page and write page-sized chunks.
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let addr = va + off as u64;
+            let pa = self
+                .page_table
+                .translate(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
+                .unwrap_or_else(|e| panic!("poke at unmapped {addr}: {e}"));
+            let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
+            let chunk = in_page.min(bytes.len() - off);
+            self.phys.write_bytes(pa, &bytes[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Read bytes through the page table, ignoring permission bits
+    /// (setup/debug only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page in the range is unmapped.
+    pub fn peek(&self, va: VirtAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let addr = va + out.len() as u64;
+            let pa = self
+                .page_table
+                .translate(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
+                .unwrap_or_else(|e| panic!("peek at unmapped {addr}: {e}"));
+            let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
+            let chunk = in_page.min(len - out.len());
+            out.extend(self.phys.read_bytes(pa, chunk));
+        }
+        out
+    }
+
+    /// Write a u64 via [`Machine::poke`].
+    pub fn poke_u64(&mut self, va: VirtAddr, value: u64) {
+        self.poke(va, &value.to_le_bytes());
+    }
+
+    /// Read a u64 via [`Machine::peek`].
+    pub fn peek_u64(&self, va: VirtAddr) -> u64 {
+        u64::from_le_bytes(self.peek(va, 8).try_into().expect("8 bytes"))
+    }
+}

@@ -1,0 +1,39 @@
+//! Whole-machine checkpoints.
+//!
+//! A snapshot captures every architectural *and* microarchitectural
+//! state element — registers, flags, PC, privilege, memory, page
+//! tables, BTB/RSB/direction predictor, all cache levels, the µop
+//! cache, TLB, PMU and the cycle counter — but never the attached
+//! event sinks, which are observation state. Trial runners use
+//! snapshots to rewind a trained machine instead of rebuilding and
+//! retraining it from scratch.
+
+use super::Machine;
+
+/// An immutable checkpoint of a [`Machine`].
+///
+/// Boxed so the (large) state lives on the heap and moving a snapshot
+/// between threads is a pointer copy.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    inner: Box<Machine>,
+}
+
+impl Machine {
+    /// Checkpoint the full machine state. Attached sinks are not part
+    /// of the snapshot (cloning the machine detaches them; see
+    /// [`crate::events::EventBus`]).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            inner: Box::new(self.clone()),
+        }
+    }
+
+    /// Rewind to `snapshot`. Sinks currently attached to `self` stay
+    /// attached and keep observing after the restore.
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        let mut state = (*snapshot.inner).clone();
+        std::mem::swap(&mut state.bus, &mut self.bus);
+        *self = state;
+    }
+}

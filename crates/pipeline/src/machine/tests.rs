@@ -15,14 +15,16 @@ fn machine(profile: UarchProfile) -> Machine {
 
 fn load_user(m: &mut Machine, asm: &Assembler) -> phantom_isa::asm::Blob {
     let blob = asm.finish().expect("assemble");
-    m.load_blob(&blob, PageFlags::USER_TEXT | PageFlags::WRITE).expect("load");
+    m.load_blob(&blob, PageFlags::USER_TEXT | PageFlags::WRITE)
+        .expect("load");
     blob
 }
 
 /// Set up a user stack and return its top.
 fn with_stack(m: &mut Machine) -> u64 {
     let stack_base = VirtAddr::new(0x7000_0000);
-    m.map_range(stack_base, 0x4000, PageFlags::USER_DATA).unwrap();
+    m.map_range(stack_base, 0x4000, PageFlags::USER_DATA)
+        .unwrap();
     let top = 0x7000_4000 - 64;
     m.set_reg(Reg::SP, top);
     top
@@ -32,10 +34,23 @@ fn with_stack(m: &mut Machine) -> u64 {
 fn arithmetic_and_moves_execute() {
     let mut m = machine(UarchProfile::zen2());
     let mut a = Assembler::new(0x40_0000);
-    a.push(Inst::MovImm { dst: Reg::R0, imm: 10 });
-    a.push(Inst::MovImm { dst: Reg::R1, imm: 32 });
-    a.push(Inst::Alu { op: phantom_isa::inst::AluOp::Add, dst: Reg::R0, src: Reg::R1 });
-    a.push(Inst::Shl { dst: Reg::R0, amount: 1 });
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 10,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: 32,
+    });
+    a.push(Inst::Alu {
+        op: phantom_isa::inst::AluOp::Add,
+        dst: Reg::R0,
+        src: Reg::R1,
+    });
+    a.push(Inst::Shl {
+        dst: Reg::R0,
+        amount: 1,
+    });
     a.push(Inst::Halt);
     let blob = load_user(&mut m, &a);
     m.set_pc(VirtAddr::new(blob.base));
@@ -49,10 +64,24 @@ fn loads_and_stores_roundtrip_through_memory() {
     let data = VirtAddr::new(0x50_0000);
     m.map_range(data, 0x1000, PageFlags::USER_DATA).unwrap();
     let mut a = Assembler::new(0x40_0000);
-    a.push(Inst::MovImm { dst: Reg::R1, imm: data.raw() });
-    a.push(Inst::MovImm { dst: Reg::R2, imm: 0xdead_beef });
-    a.push(Inst::Store { base: Reg::R1, disp: 0x10, src: Reg::R2 });
-    a.push(Inst::Load { dst: Reg::R3, base: Reg::R1, disp: 0x10 });
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: data.raw(),
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R2,
+        imm: 0xdead_beef,
+    });
+    a.push(Inst::Store {
+        base: Reg::R1,
+        disp: 0x10,
+        src: Reg::R2,
+    });
+    a.push(Inst::Load {
+        dst: Reg::R3,
+        base: Reg::R1,
+        disp: 0x10,
+    });
     a.push(Inst::Halt);
     let blob = load_user(&mut m, &a);
     m.set_pc(VirtAddr::new(blob.base));
@@ -66,10 +95,16 @@ fn call_and_ret_use_the_stack() {
     let mut m = machine(UarchProfile::zen2());
     let mut a = Assembler::new(0x40_0000);
     a.call("fun");
-    a.push(Inst::MovImm { dst: Reg::R0, imm: 7 });
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 7,
+    });
     a.push(Inst::Halt);
     a.label("fun");
-    a.push(Inst::MovImm { dst: Reg::R1, imm: 9 });
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: 9,
+    });
     a.push(Inst::Ret);
     let blob = load_user(&mut m, &a);
     with_stack(&mut m);
@@ -83,14 +118,29 @@ fn call_and_ret_use_the_stack() {
 fn conditional_branches_follow_flags() {
     let mut m = machine(UarchProfile::zen4());
     let mut a = Assembler::new(0x40_0000);
-    a.push(Inst::MovImm { dst: Reg::R0, imm: 1 });
-    a.push(Inst::MovImm { dst: Reg::R1, imm: 2 });
-    a.push(Inst::Cmp { a: Reg::R0, b: Reg::R1 });
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 1,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: 2,
+    });
+    a.push(Inst::Cmp {
+        a: Reg::R0,
+        b: Reg::R1,
+    });
     a.jb("less");
-    a.push(Inst::MovImm { dst: Reg::R2, imm: 111 });
+    a.push(Inst::MovImm {
+        dst: Reg::R2,
+        imm: 111,
+    });
     a.push(Inst::Halt);
     a.label("less");
-    a.push(Inst::MovImm { dst: Reg::R2, imm: 222 });
+    a.push(Inst::MovImm {
+        dst: Reg::R2,
+        imm: 222,
+    });
     a.push(Inst::Halt);
     let blob = load_user(&mut m, &a);
     m.set_pc(VirtAddr::new(blob.base));
@@ -103,7 +153,10 @@ fn syscall_round_trip() {
     let mut m = machine(UarchProfile::zen3());
     // Kernel: set R5 and sysret.
     let mut k = Assembler::new(0xffff_ffff_8100_0000);
-    k.push(Inst::MovImm { dst: Reg::R5, imm: 0x1234 });
+    k.push(Inst::MovImm {
+        dst: Reg::R5,
+        imm: 0x1234,
+    });
     k.push(Inst::Sysret);
     let kblob = k.finish().unwrap();
     m.load_blob(&kblob, PageFlags::KERNEL_TEXT).unwrap();
@@ -111,7 +164,10 @@ fn syscall_round_trip() {
 
     let mut a = Assembler::new(0x40_0000);
     a.push(Inst::Syscall);
-    a.push(Inst::MovImm { dst: Reg::R6, imm: 1 });
+    a.push(Inst::MovImm {
+        dst: Reg::R6,
+        imm: 1,
+    });
     a.push(Inst::Halt);
     let blob = load_user(&mut m, &a);
     m.set_pc(VirtAddr::new(blob.base));
@@ -142,11 +198,17 @@ fn fault_handler_catches_user_faults() {
     let mut m = machine(UarchProfile::zen2());
     let mut a = Assembler::new(0x40_0000);
     // Jump into unmapped space; the handler should catch it.
-    a.push(Inst::MovImm { dst: Reg::R0, imm: 0xdead_0000 });
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 0xdead_0000,
+    });
     a.push(Inst::JmpInd { src: Reg::R0 });
     a.org(0x40_0100);
     a.label("handler");
-    a.push(Inst::MovImm { dst: Reg::R1, imm: 0x5151 });
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: 0x5151,
+    });
     a.push(Inst::Halt);
     let blob = load_user(&mut m, &a);
     m.set_fault_handler(Some(VirtAddr::new(blob.addr("handler"))));
@@ -163,7 +225,10 @@ fn faulting_branch_still_trains_the_btb() {
     let mut m = machine(UarchProfile::zen3());
     let kernel_target = VirtAddr::new(0xffff_ffff_8100_0ac0);
     let mut a = Assembler::new(0x40_0000);
-    a.push(Inst::MovImm { dst: Reg::R0, imm: kernel_target.raw() });
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: kernel_target.raw(),
+    });
     a.label("branch");
     a.push(Inst::JmpInd { src: Reg::R0 });
     a.org(0x40_0100);
@@ -201,7 +266,11 @@ fn phantom_on_nop(profile: UarchProfile) -> (Machine, crate::transient::Transien
 
     // Target C: a load (the EX signal) then halt.
     let mut c = Assembler::new(c_target);
-    c.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+    c.push(Inst::Load {
+        dst: Reg::R9,
+        base: Reg::R8,
+        disp: 0,
+    });
     c.push(Inst::Halt);
     let cblob = c.finish().unwrap();
     m.load_blob(&cblob, PageFlags::USER_TEXT).unwrap();
@@ -242,10 +311,17 @@ fn phantom_fetch_and_decode_on_all_uarchs() {
         // The I-cache now holds C's line; the µop cache holds its set.
         let c_pa = m
             .page_table()
-            .translate(VirtAddr::new(0x44_0b00), phantom_mem::AccessKind::Execute, PrivilegeLevel::Supervisor)
+            .translate(
+                VirtAddr::new(0x44_0b00),
+                phantom_mem::AccessKind::Execute,
+                PrivilegeLevel::Supervisor,
+            )
             .unwrap();
         assert!(m.caches().probe_l1i(c_pa.raw()), "I-cache filled on {name}");
-        assert!(m.uop_cache().lookup(0x44_0b00), "uop cache filled on {name}");
+        assert!(
+            m.uop_cache().lookup(0x44_0b00),
+            "uop cache filled on {name}"
+        );
     }
 }
 
@@ -264,7 +340,11 @@ fn phantom_execute_only_on_zen1_and_zen2() {
             assert_eq!(report.loads_dispatched[0], VirtAddr::new(0x60_0000));
             let pa = m
                 .page_table()
-                .translate(VirtAddr::new(0x60_0000), phantom_mem::AccessKind::Read, PrivilegeLevel::Supervisor)
+                .translate(
+                    VirtAddr::new(0x60_0000),
+                    phantom_mem::AccessKind::Read,
+                    PrivilegeLevel::Supervisor,
+                )
                 .unwrap();
             assert!(m.caches().probe_l1d(pa.raw()), "D-cache filled on {name}");
         }
@@ -282,19 +362,29 @@ fn suppress_bp_on_non_br_gates_execute_only() {
 
     // Re-run with the bit set. Build the same experiment inline.
     let mut m = machine(UarchProfile::zen2());
-    m.write_msr(phantom_bpu::MsrState { suppress_bp_on_non_br: true, ..Default::default() });
+    m.write_msr(phantom_bpu::MsrState {
+        suppress_bp_on_non_br: true,
+        ..Default::default()
+    });
     let a_branch = 0x40_0ac0u64;
     let c_target = 0x44_0b00u64;
     let mut a = Assembler::new(0x40_0a00);
     a.org(a_branch);
     a.push(Inst::JmpInd { src: Reg::R0 });
     a.push(Inst::Halt);
-    m.load_blob(&a.finish().unwrap(), PageFlags::USER_TEXT).unwrap();
+    m.load_blob(&a.finish().unwrap(), PageFlags::USER_TEXT)
+        .unwrap();
     let mut c = Assembler::new(c_target);
-    c.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+    c.push(Inst::Load {
+        dst: Reg::R9,
+        base: Reg::R8,
+        disp: 0,
+    });
     c.push(Inst::Halt);
-    m.load_blob(&c.finish().unwrap(), PageFlags::USER_TEXT).unwrap();
-    m.map_range(VirtAddr::new(0x60_0000), 0x1000, PageFlags::USER_DATA).unwrap();
+    m.load_blob(&c.finish().unwrap(), PageFlags::USER_TEXT)
+        .unwrap();
+    m.map_range(VirtAddr::new(0x60_0000), 0x1000, PageFlags::USER_DATA)
+        .unwrap();
     m.set_reg(Reg::R8, 0x60_0000);
     m.set_reg(Reg::R0, c_target);
     m.set_pc(VirtAddr::new(a_branch));
@@ -311,9 +401,14 @@ fn suppress_bp_on_non_br_gates_execute_only() {
 #[test]
 fn suppress_bit_does_not_exist_on_zen1() {
     let mut m = machine(UarchProfile::zen1());
-    let effective =
-        m.write_msr(phantom_bpu::MsrState { suppress_bp_on_non_br: true, ..Default::default() });
-    assert!(!effective.suppress_bp_on_non_br, "§8.1: not supported on Zen 1");
+    let effective = m.write_msr(phantom_bpu::MsrState {
+        suppress_bp_on_non_br: true,
+        ..Default::default()
+    });
+    assert!(
+        !effective.suppress_bp_on_non_br,
+        "§8.1: not supported on Zen 1"
+    );
 }
 
 #[test]
@@ -352,10 +447,15 @@ fn wrong_indirect_target_is_a_spectre_window() {
         a.push(Inst::Halt);
         a.org(0x40_0800);
         a.label("t1");
-        a.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+        a.push(Inst::Load {
+            dst: Reg::R9,
+            base: Reg::R8,
+            disp: 0,
+        });
         a.push(Inst::Halt);
         let blob = load_user(&mut m, &a);
-        m.map_range(VirtAddr::new(0x60_0000), 0x1000, PageFlags::USER_DATA).unwrap();
+        m.map_range(VirtAddr::new(0x60_0000), 0x1000, PageFlags::USER_DATA)
+            .unwrap();
         m.set_reg(Reg::R8, 0x60_0000);
         // Train to t1.
         m.set_reg(Reg::R0, blob.addr("t1"));
@@ -371,8 +471,15 @@ fn wrong_indirect_target_is_a_spectre_window() {
             continue;
         }
         let report = reports.first().expect("misprediction");
-        assert_eq!(report.window.unwrap().resteer, ResteerKind::Backend, "{name}");
-        assert!(!report.loads_dispatched.is_empty(), "Spectre executes on {name}");
+        assert_eq!(
+            report.window.unwrap().resteer,
+            ResteerKind::Backend,
+            "{name}"
+        );
+        assert!(
+            !report.loads_dispatched.is_empty(),
+            "Spectre executes on {name}"
+        );
     }
 }
 
@@ -389,11 +496,16 @@ fn straight_line_speculation_past_a_return() {
     a.push(Inst::Ret);
     // Sequential bytes after ret: a load that should NOT architecturally
     // run.
-    a.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+    a.push(Inst::Load {
+        dst: Reg::R9,
+        base: Reg::R8,
+        disp: 0,
+    });
     a.push(Inst::Halt);
     let blob = load_user(&mut m, &a);
     with_stack(&mut m);
-    m.map_range(VirtAddr::new(0x61_0000), 0x1000, PageFlags::USER_DATA).unwrap();
+    m.map_range(VirtAddr::new(0x61_0000), 0x1000, PageFlags::USER_DATA)
+        .unwrap();
     m.set_reg(Reg::R8, 0x61_0000);
     m.set_pc(VirtAddr::new(blob.base));
     let (_, reports) = m.run_collecting(20).unwrap();
@@ -419,8 +531,10 @@ fn transient_fetch_fails_on_nx_target() {
     let mut a = Assembler::new(a_branch);
     a.push(Inst::JmpInd { src: Reg::R0 });
     a.push(Inst::Halt);
-    m.load_blob(&a.finish().unwrap(), PageFlags::USER_TEXT).unwrap();
-    m.map_range(VirtAddr::new(nx_target), 0x1000, PageFlags::USER_DATA).unwrap(); // NX
+    m.load_blob(&a.finish().unwrap(), PageFlags::USER_TEXT)
+        .unwrap();
+    m.map_range(VirtAddr::new(nx_target), 0x1000, PageFlags::USER_DATA)
+        .unwrap(); // NX
 
     // Train by jumping to an executable trampoline first? No — train the
     // BTB directly: branch to the NX target faults at fetch, but trains.
@@ -442,7 +556,11 @@ fn transient_fetch_fails_on_nx_target() {
     assert!(!report.fetched, "NX target cannot be transiently fetched");
     let pa = m
         .page_table()
-        .translate(VirtAddr::new(nx_target), phantom_mem::AccessKind::Read, PrivilegeLevel::Supervisor)
+        .translate(
+            VirtAddr::new(nx_target),
+            phantom_mem::AccessKind::Read,
+            PrivilegeLevel::Supervisor,
+        )
         .unwrap();
     assert!(!m.caches().probe_l1i(pa.raw()), "I-cache unaffected");
 }
@@ -461,7 +579,8 @@ fn run_exits_on_step_limit() {
 #[test]
 fn invalid_bytes_error() {
     let mut m = machine(UarchProfile::zen2());
-    m.map_range(VirtAddr::new(0x40_0000), 0x1000, PageFlags::USER_TEXT).unwrap();
+    m.map_range(VirtAddr::new(0x40_0000), 0x1000, PageFlags::USER_TEXT)
+        .unwrap();
     m.poke(VirtAddr::new(0x40_0000), &[0xCC]);
     m.set_pc(VirtAddr::new(0x40_0000));
     assert!(matches!(
@@ -487,8 +606,12 @@ fn cycles_advance_monotonically() {
 fn truncated_code_at_mapping_edge_errors() {
     // A multi-byte instruction whose tail runs off the last mapped page.
     let mut m = machine(UarchProfile::zen2());
-    m.map_range(VirtAddr::new(0x40_0000), 0x1000, PageFlags::USER_TEXT | PageFlags::WRITE)
-        .unwrap();
+    m.map_range(
+        VirtAddr::new(0x40_0000),
+        0x1000,
+        PageFlags::USER_TEXT | PageFlags::WRITE,
+    )
+    .unwrap();
     // MovImm is 10 bytes; place its opcode 2 bytes before the page end.
     m.poke(VirtAddr::new(0x40_0ffe), &[0xB8, 0x00]);
     m.set_pc(VirtAddr::new(0x40_0ffe));
@@ -498,8 +621,12 @@ fn truncated_code_at_mapping_edge_errors() {
 #[test]
 fn sysret_without_syscall_errors() {
     let mut m = machine(UarchProfile::zen2());
-    m.map_range(VirtAddr::new(0x40_0000), 0x1000, PageFlags::USER_TEXT | PageFlags::WRITE)
-        .unwrap();
+    m.map_range(
+        VirtAddr::new(0x40_0000),
+        0x1000,
+        PageFlags::USER_TEXT | PageFlags::WRITE,
+    )
+    .unwrap();
     m.poke(VirtAddr::new(0x40_0000), &[0x07]); // sysret
     m.set_pc(VirtAddr::new(0x40_0000));
     assert!(matches!(m.run(4), Err(MachineError::SysretWithoutSyscall)));
@@ -508,8 +635,12 @@ fn sysret_without_syscall_errors() {
 #[test]
 fn syscall_without_entry_errors() {
     let mut m = machine(UarchProfile::zen2());
-    m.map_range(VirtAddr::new(0x40_0000), 0x1000, PageFlags::USER_TEXT | PageFlags::WRITE)
-        .unwrap();
+    m.map_range(
+        VirtAddr::new(0x40_0000),
+        0x1000,
+        PageFlags::USER_TEXT | PageFlags::WRITE,
+    )
+    .unwrap();
     m.poke(VirtAddr::new(0x40_0000), &[0x05]); // syscall
     m.set_pc(VirtAddr::new(0x40_0000));
     assert!(matches!(m.run(4), Err(MachineError::NoSyscallEntry)));

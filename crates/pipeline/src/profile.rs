@@ -274,15 +274,24 @@ mod tests {
             // transient fetch on every part (O1).
             assert!(p.fetch_latency < p.frontend_resteer_latency, "{p}");
             // Decode of the target also beats the resteer (O2).
-            assert!(p.fetch_latency + p.decode_latency <= p.frontend_resteer_latency, "{p}");
+            assert!(
+                p.fetch_latency + p.decode_latency <= p.frontend_resteer_latency,
+                "{p}"
+            );
             // Backend windows dwarf frontend windows.
-            assert!(p.backend_resteer_latency > 4 * p.frontend_resteer_latency, "{p}");
+            assert!(
+                p.backend_resteer_latency > 4 * p.frontend_resteer_latency,
+                "{p}"
+            );
         }
     }
 
     #[test]
     fn mitigation_support_matrix() {
-        assert!(!UarchProfile::zen1().supports_suppress_bp_on_non_br, "§8.1: not on Zen 1");
+        assert!(
+            !UarchProfile::zen1().supports_suppress_bp_on_non_br,
+            "§8.1: not on Zen 1"
+        );
         assert!(UarchProfile::zen2().supports_suppress_bp_on_non_br);
         assert!(UarchProfile::zen4().supports_auto_ibrs);
         assert!(!UarchProfile::zen3().supports_auto_ibrs);

@@ -62,7 +62,10 @@ fn arb_program() -> impl Strategy<Value = Vec<Inst>> {
         // its 10-byte landing pad, so the taken edge never lands
         // mid-instruction.
         Just(vec![
-            Inst::Jcc { cond: Cond::Eq, disp: 10 },
+            Inst::Jcc {
+                cond: Cond::Eq,
+                disp: 10
+            },
             Inst::NopN { len: 10 },
         ])
         .boxed(),
@@ -87,9 +90,14 @@ struct Poison {
 
 fn arb_poison() -> impl Strategy<Value = Vec<Poison>> {
     proptest::collection::vec(
-        (any::<u16>(), 0u8..4, 0u8..3, any::<u16>()).prop_map(|(source_off, kind, target_sel, target_off)| {
-            Poison { source_off, kind, target_sel, target_off }
-        }),
+        (any::<u16>(), 0u8..4, 0u8..3, any::<u16>()).prop_map(
+            |(source_off, kind, target_sel, target_off)| Poison {
+                source_off,
+                kind,
+                target_sel,
+                target_off,
+            },
+        ),
         0..12,
     )
 }
@@ -98,8 +106,12 @@ fn build_machine(profile: &UarchProfile, program: &[Inst]) -> Machine {
     let mut m = Machine::new(profile.clone(), 1 << 24);
     let mut bytes = encode_all(program).expect("encodable");
     bytes.push(0xF4); // hlt
-    m.map_range(VirtAddr::new(TEXT_BASE), 0x4000, PageFlags::USER_TEXT | PageFlags::WRITE)
-        .expect("text maps");
+    m.map_range(
+        VirtAddr::new(TEXT_BASE),
+        0x4000,
+        PageFlags::USER_TEXT | PageFlags::WRITE,
+    )
+    .expect("text maps");
     m.poke(VirtAddr::new(TEXT_BASE), &bytes);
     m.map_range(VirtAddr::new(DATA_BASE), 0x1000, PageFlags::USER_DATA)
         .expect("data maps");
@@ -125,7 +137,8 @@ fn poison_btb(m: &mut Machine, program_len: u64, poisons: &[Poison]) {
             1 => VirtAddr::new(DATA_BASE + u64::from(p.target_off) % 0xf00),
             _ => VirtAddr::new(0xdead_0000 + u64::from(p.target_off)),
         };
-        m.bpu_mut().train(source, kind, target, PrivilegeLevel::User);
+        m.bpu_mut()
+            .train(source, kind, target, PrivilegeLevel::User);
         if kind == BranchKind::Cond {
             // Make the fake conditional predict taken too.
             for _ in 0..8 {
@@ -190,6 +203,70 @@ proptest! {
         let mut b = build_machine(&UarchProfile::intel13(), &program);
         b.run(400).expect("terminates");
         prop_assert_eq!(final_state(&a), final_state(&b));
+    }
+
+    /// Snapshot/restore round-trips the full machine: architectural
+    /// state (registers, flags, memory), cycle counter, PMU, BTB and
+    /// µop cache. Verified structurally (direct lookups before and
+    /// after the rewind) and behaviourally (the restored machine's
+    /// continuation commits exactly what the original's did).
+    #[test]
+    fn snapshot_restore_round_trips(
+        program in arb_program(),
+        poisons in arb_poison(),
+        prefix in 0usize..40,
+    ) {
+        use phantom_cache::Event;
+
+        let profile = UarchProfile::zen2();
+        let mut m = build_machine(&profile, &program);
+        let program_len = encode_all(&program).expect("encodable").len() as u64 + 1;
+        poison_btb(&mut m, program_len, &poisons);
+
+        // Run a prefix so the caches, µop cache and PMU hold state.
+        for _ in 0..prefix {
+            if m.step().expect("steps").halted {
+                break;
+            }
+        }
+        let snap = m.snapshot();
+
+        // Capture direct views of the state at the snapshot point.
+        let at_snap = (final_state(&m), m.cycles(), m.pc());
+        let probe_vas: Vec<VirtAddr> =
+            (0..32).map(|i| VirtAddr::new(TEXT_BASE + i * 0x40)).collect();
+        let btb_view: Vec<_> =
+            probe_vas.iter().map(|&va| m.bpu().btb().lookup(va)).collect();
+        let uop_view: Vec<bool> =
+            probe_vas.iter().map(|&va| m.uop_cache().lookup(va.raw())).collect();
+        let pmu_events = [
+            Event::OpCacheHit,
+            Event::OpCacheMiss,
+            Event::IcacheMiss,
+            Event::BranchMispredict,
+            Event::InstRetired,
+        ];
+        let pmu_view: Vec<u64> = pmu_events.iter().map(|&e| m.pmu().read(e)).collect();
+
+        // Continuation A on the original machine.
+        m.run(400).expect("terminates");
+        let end_a = (final_state(&m), m.cycles());
+
+        // Rewind; every captured view must match the snapshot point.
+        m.restore(&snap);
+        prop_assert_eq!(&(final_state(&m), m.cycles(), m.pc()), &at_snap);
+        let btb_after: Vec<_> =
+            probe_vas.iter().map(|&va| m.bpu().btb().lookup(va)).collect();
+        prop_assert_eq!(btb_view, btb_after, "BTB state survives the rewind");
+        let uop_after: Vec<bool> =
+            probe_vas.iter().map(|&va| m.uop_cache().lookup(va.raw())).collect();
+        prop_assert_eq!(uop_view, uop_after, "uop-cache state survives the rewind");
+        let pmu_after: Vec<u64> = pmu_events.iter().map(|&e| m.pmu().read(e)).collect();
+        prop_assert_eq!(pmu_view, pmu_after, "PMU state survives the rewind");
+
+        // Continuation B must replay A exactly.
+        m.run(400).expect("terminates");
+        prop_assert_eq!(end_a, (final_state(&m), m.cycles()));
     }
 
     /// Transient side effects are bounded: every wrong-path load in the

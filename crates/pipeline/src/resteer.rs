@@ -239,7 +239,13 @@ mod tests {
             (Inst::Nop, BranchKind::NotBranch),
             (Inst::Jmp { disp: 4 }, BranchKind::Direct),
             (Inst::JmpInd { src: Reg::R0 }, BranchKind::Indirect),
-            (Inst::Jcc { cond: Cond::Eq, disp: 4 }, BranchKind::Cond),
+            (
+                Inst::Jcc {
+                    cond: Cond::Eq,
+                    disp: 4,
+                },
+                BranchKind::Cond,
+            ),
             (Inst::Ret, BranchKind::Ret),
         ];
         for (inst, actual_kind) in &victims {
@@ -256,7 +262,10 @@ mod tests {
                 assert!(
                     matches!(
                         v,
-                        SpeculationVerdict::Mispredicted { resteer: ResteerKind::Frontend, .. }
+                        SpeculationVerdict::Mispredicted {
+                            resteer: ResteerKind::Frontend,
+                            ..
+                        }
                     ),
                     "training {trained} on victim {inst} must be decoder-detectable"
                 );
@@ -291,7 +300,10 @@ mod tests {
         );
         assert!(matches!(
             v,
-            SpeculationVerdict::Mispredicted { resteer: ResteerKind::Frontend, .. }
+            SpeculationVerdict::Mispredicted {
+                resteer: ResteerKind::Frontend,
+                ..
+            }
         ));
     }
 
@@ -323,11 +335,17 @@ mod tests {
 
     #[test]
     fn not_taken_conditional_predicted_taken_is_backend() {
-        let inst = Inst::Jcc { cond: Cond::Eq, disp: 0x20 };
+        let inst = Inst::Jcc {
+            cond: Cond::Eq,
+            disp: 0x20,
+        };
         let v = classify_predicted(&pred(BranchKind::Cond, 0x1026), &inst, None, false);
         assert!(matches!(
             v,
-            SpeculationVerdict::Mispredicted { resteer: ResteerKind::Backend, .. }
+            SpeculationVerdict::Mispredicted {
+                resteer: ResteerKind::Backend,
+                ..
+            }
         ));
     }
 
@@ -341,7 +359,10 @@ mod tests {
         );
         assert!(matches!(
             v,
-            SpeculationVerdict::Mispredicted { resteer: ResteerKind::Backend, .. }
+            SpeculationVerdict::Mispredicted {
+                resteer: ResteerKind::Backend,
+                ..
+            }
         ));
     }
 
@@ -362,11 +383,17 @@ mod tests {
             }
         );
         // Taken jcc predicted (by absence) not-taken: backend.
-        let jcc = Inst::Jcc { cond: Cond::Eq, disp: 0x20 };
+        let jcc = Inst::Jcc {
+            cond: Cond::Eq,
+            disp: 0x20,
+        };
         let v2 = classify_unpredicted(&jcc, VirtAddr::new(0x1000), true);
         assert!(matches!(
             v2,
-            SpeculationVerdict::Mispredicted { resteer: ResteerKind::Backend, .. }
+            SpeculationVerdict::Mispredicted {
+                resteer: ResteerKind::Backend,
+                ..
+            }
         ));
         // Not-taken jcc: correct by default.
         assert_eq!(

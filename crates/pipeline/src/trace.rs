@@ -1,17 +1,20 @@
 //! Pipeline event tracing: a bounded record of what the frontend
 //! believed, what the decoder found, and what got squashed.
 //!
-//! The machine itself stays trace-free; [`Tracer`] wraps
-//! [`Machine::step`](crate::Machine::step) and distills each step into a
-//! [`TraceEvent`]. Useful for debugging experiments and for teaching —
-//! the `pipeline_trace` example renders a phantom misprediction
-//! instruction by instruction.
+//! [`TraceSink`] is an [`EventSink`]: it listens to the machine's event
+//! bus and distills the raw [`PipelineEvent`] stream into one
+//! [`TraceEvent`] per retirement. [`Tracer`] is the convenience wrapper
+//! that attaches the sink around [`Machine::step`](crate::Machine::step)
+//! calls. Useful for debugging experiments and for teaching — the
+//! `pipeline_trace` example renders a phantom misprediction instruction
+//! by instruction.
 
 use std::collections::VecDeque;
 
 use phantom_isa::Inst;
 use phantom_mem::VirtAddr;
 
+use crate::events::{EventSink, PipelineEvent};
 use crate::machine::{Machine, MachineError, StepOutcome};
 use crate::resteer::ResteerKind;
 
@@ -38,7 +41,13 @@ pub struct TraceEvent {
 
 impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{:>4}] {} {:<24}", self.seq, self.pc, self.inst.to_string())?;
+        write!(
+            f,
+            "[{:>4}] {} {:<24}",
+            self.seq,
+            self.pc,
+            self.inst.to_string()
+        )?;
         match (self.resteer, self.transient_target) {
             (Some(kind), Some(target)) => write!(
                 f,
@@ -64,7 +73,113 @@ impl std::fmt::Display for TraceEvent {
     }
 }
 
+/// Per-step speculation facts accumulated between retirements.
+#[derive(Debug, Clone, Default)]
+struct Pending {
+    resteer: Option<ResteerKind>,
+    target: Option<VirtAddr>,
+    fetched: bool,
+    decoded: bool,
+    executed: bool,
+    loads: usize,
+}
+
+impl Pending {
+    fn stage(&self) -> &'static str {
+        if self.executed || self.loads > 0 {
+            "EX"
+        } else if self.decoded {
+            "ID"
+        } else if self.fetched {
+            "IF"
+        } else {
+            "-"
+        }
+    }
+}
+
+/// An [`EventSink`] that folds the pipeline event stream into
+/// [`TraceEvent`]s, one per retirement (or caught fetch fault).
+///
+/// A `capacity` of zero means unbounded; otherwise the sink keeps the
+/// most recent `capacity` events as a ring.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    seq: u64,
+    pending: Pending,
+}
+
+impl TraceSink {
+    /// An unbounded trace sink.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// A sink keeping only the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        TraceSink {
+            capacity,
+            ..TraceSink::default()
+        }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Drop recorded events (sequence numbers keep counting).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    fn flush(&mut self, pc: VirtAddr, inst: Inst, cycles: u64) {
+        let pending = std::mem::take(&mut self.pending);
+        if self.capacity > 0 && self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent {
+            seq: self.seq,
+            pc,
+            inst,
+            cycles,
+            resteer: pending.resteer,
+            transient_target: pending.target,
+            transient_stage: pending.stage(),
+            transient_loads: pending.loads,
+        });
+        self.seq += 1;
+    }
+}
+
+impl EventSink for TraceSink {
+    fn on_event(&mut self, event: &PipelineEvent) {
+        match *event {
+            PipelineEvent::Resteer { kind, target, .. } => {
+                self.pending.resteer = Some(kind);
+                self.pending.target = target;
+            }
+            PipelineEvent::FetchLine {
+                transient: true, ..
+            } => self.pending.fetched = true,
+            PipelineEvent::UopCacheFill {
+                transient: true, ..
+            } => self.pending.decoded = true,
+            PipelineEvent::TransientLoad { .. } => self.pending.loads += 1,
+            PipelineEvent::WrongPathUop { .. } => self.pending.executed = true,
+            PipelineEvent::Retired { pc, inst, cycles } => self.flush(pc, inst, cycles),
+            PipelineEvent::FaultCaught { pc, cycles, .. } => self.flush(pc, Inst::Nop, cycles),
+            _ => {}
+        }
+    }
+}
+
 /// A bounded step recorder over a [`Machine`].
+///
+/// Owns a [`TraceSink`] and attaches it to the machine's event bus for
+/// the duration of each [`Tracer::step`]/[`Tracer::run`] call.
 ///
 /// # Examples
 ///
@@ -87,9 +202,7 @@ impl std::fmt::Display for TraceEvent {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tracer {
-    events: VecDeque<TraceEvent>,
-    capacity: usize,
-    seq: u64,
+    sink: TraceSink,
 }
 
 impl Tracer {
@@ -100,7 +213,23 @@ impl Tracer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Tracer {
         assert!(capacity > 0, "capacity must be nonzero");
-        Tracer { events: VecDeque::with_capacity(capacity), capacity, seq: 0 }
+        Tracer {
+            sink: TraceSink::with_capacity(capacity),
+        }
+    }
+
+    /// Attach the sink to `machine`, run `f`, and take the sink back.
+    fn observed<T>(
+        &mut self,
+        machine: &mut Machine,
+        f: impl FnOnce(&mut Machine) -> Result<T, MachineError>,
+    ) -> Result<T, MachineError> {
+        let id = machine.attach_sink(std::mem::take(&mut self.sink));
+        let result = f(machine);
+        self.sink = *machine
+            .detach_sink_as::<TraceSink>(id)
+            .expect("tracer sink attached");
+        result
     }
 
     /// Step the machine once, recording the event.
@@ -109,32 +238,7 @@ impl Tracer {
     ///
     /// Propagates [`MachineError`] from the machine.
     pub fn step(&mut self, machine: &mut Machine) -> Result<StepOutcome, MachineError> {
-        let outcome = machine.step()?;
-        let (resteer, transient_target, transient_stage, transient_loads) =
-            match &outcome.transient {
-                Some(t) => (
-                    t.window.map(|w| w.resteer),
-                    t.target,
-                    t.deepest_stage(),
-                    t.loads_dispatched.len(),
-                ),
-                None => (None, None, "-", 0),
-            };
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-        }
-        self.events.push_back(TraceEvent {
-            seq: self.seq,
-            pc: outcome.pc,
-            inst: outcome.inst,
-            cycles: machine.cycles(),
-            resteer,
-            transient_target,
-            transient_stage,
-            transient_loads,
-        });
-        self.seq += 1;
-        Ok(outcome)
+        self.observed(machine, Machine::step)
     }
 
     /// Run until halt or `max_steps`, recording every step.
@@ -143,28 +247,30 @@ impl Tracer {
     ///
     /// Propagates [`MachineError`] from the machine.
     pub fn run(&mut self, machine: &mut Machine, max_steps: u64) -> Result<(), MachineError> {
-        for _ in 0..max_steps {
-            if self.step(machine)?.halted {
-                break;
+        self.observed(machine, |m| {
+            for _ in 0..max_steps {
+                if m.step()?.halted {
+                    break;
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// The recorded events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
-        self.events.iter()
+        self.sink.events()
     }
 
     /// Only the events where a misprediction was squashed.
     pub fn mispredictions(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
-        self.events.iter().filter(|e| e.resteer.is_some())
+        self.sink.events().filter(|e| e.resteer.is_some())
     }
 
     /// Render the whole trace, one event per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.events {
+        for e in self.sink.events() {
             out.push_str(&e.to_string());
             out.push('\n');
         }
@@ -173,7 +279,7 @@ impl Tracer {
 
     /// Clear recorded events (sequence numbers keep counting).
     pub fn clear(&mut self) {
-        self.events.clear();
+        self.sink.clear();
     }
 }
 
@@ -193,10 +299,15 @@ mod tests {
         let c = VirtAddr::new(0x48_0b40);
         m.map_range(x.page_base(), 0x1000, text).unwrap();
         m.map_range(c.page_base(), 0x1000, text).unwrap();
-        m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA).unwrap();
+        m.map_range(VirtAddr::new(0x60_0000), 64, PageFlags::USER_DATA)
+            .unwrap();
         m.set_reg(Reg::R8, 0x60_0000);
         let mut g = Assembler::new(c.raw());
-        g.push(Inst::Load { dst: Reg::R9, base: Reg::R8, disp: 0 });
+        g.push(Inst::Load {
+            dst: Reg::R9,
+            base: Reg::R8,
+            disp: 0,
+        });
         g.push(Inst::Halt);
         m.load_blob(&g.finish().unwrap(), text).unwrap();
         let mut bytes = Vec::new();
@@ -240,12 +351,38 @@ mod tests {
         let mut a = Assembler::new(0x40_0000);
         a.nops(20);
         a.push(Inst::Halt);
-        m.load_blob(&a.finish().unwrap(), PageFlags::USER_TEXT).unwrap();
+        m.load_blob(&a.finish().unwrap(), PageFlags::USER_TEXT)
+            .unwrap();
         m.set_pc(VirtAddr::new(0x40_0000));
         let mut tracer = Tracer::new(4);
         tracer.run(&mut m, 40).unwrap();
         assert_eq!(tracer.events().count(), 4);
         // The kept events are the most recent ones.
         assert_eq!(tracer.events().last().unwrap().inst, Inst::Halt);
+    }
+
+    #[test]
+    fn sink_detaches_between_calls() {
+        let (mut tracer, mut m) = traced_phantom();
+        assert_eq!(m.sink_count(), 0);
+        tracer.step(&mut m).unwrap();
+        assert_eq!(m.sink_count(), 0, "tracer takes its sink back");
+        assert_eq!(tracer.events().count(), 1);
+    }
+
+    #[test]
+    fn trace_agrees_with_step_outcomes() {
+        // The event-stream distillation must match what StepOutcome
+        // reports directly.
+        let (mut tracer, mut m) = traced_phantom();
+        let outcome = tracer.step(&mut m).unwrap();
+        let e = tracer.events().next().unwrap().clone();
+        assert_eq!(e.pc, outcome.pc);
+        assert_eq!(e.inst, outcome.inst);
+        let report = outcome.transient.expect("phantom fired");
+        assert_eq!(e.transient_stage, report.deepest_stage());
+        assert_eq!(e.transient_loads, report.loads_dispatched.len());
+        assert_eq!(e.transient_target, report.target);
+        assert_eq!(e.cycles, m.cycles());
     }
 }

@@ -61,12 +61,20 @@ impl TransientWindow {
     /// `SuppressBPOnNonBr` on a non-branch victim): fetch and decode stay
     /// allowed, execute is blocked. This asymmetry is observations O4/O5.
     pub fn without_execute(self) -> TransientWindow {
-        TransientWindow { exec_uops: 0, ..self }
+        TransientWindow {
+            exec_uops: 0,
+            ..self
+        }
     }
 
     /// A fully-suppressed window (e.g. the Intel jmp*-victim blind spot).
     pub fn suppressed(resteer: ResteerKind) -> TransientWindow {
-        TransientWindow { fetch: false, decode: false, exec_uops: 0, resteer }
+        TransientWindow {
+            fetch: false,
+            decode: false,
+            exec_uops: 0,
+            resteer,
+        }
     }
 }
 

@@ -48,7 +48,9 @@ impl EvictTime {
         attacker_base: VirtAddr,
         set: usize,
     ) -> Result<EvictTime, BuildError> {
-        Ok(EvictTime { eviction_set: PrimeProbe::new_l1d(machine, attacker_base, set)? })
+        Ok(EvictTime {
+            eviction_set: PrimeProbe::new_l1d(machine, attacker_base, set)?,
+        })
     }
 
     /// Run `victim` twice — once with the set warm, once after eviction —

@@ -119,7 +119,8 @@ mod tests {
         let user = VirtAddr::new(0x5000_0000);
         let kernel_alias = VirtAddr::new(0xffff_8880_0000_0000);
         m.page_table_mut().map_4k(user, frame, PageFlags::USER_DATA);
-        m.page_table_mut().map_4k(kernel_alias, frame, PageFlags::KERNEL_DATA);
+        m.page_table_mut()
+            .map_4k(kernel_alias, frame, PageFlags::KERNEL_DATA);
         let mut noise = NoiseModel::quiet(0);
         flush(&mut m, user);
         // Kernel touches its alias.

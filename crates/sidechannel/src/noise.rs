@@ -69,6 +69,16 @@ impl NoiseModel {
         }
     }
 
+    /// The same noise parameters with a fresh RNG stream. Sharded trial
+    /// runners use this to give every trial an independent, per-trial
+    /// noise stream while keeping the model's calibration knobs.
+    pub fn reseeded(&self, seed: u64) -> NoiseModel {
+        NoiseModel {
+            rng: StdRng::seed_from_u64(seed),
+            ..self.clone()
+        }
+    }
+
     /// Apply jitter to a latency measurement.
     pub fn jitter(&mut self, latency: u64) -> u64 {
         if self.jitter_cycles == 0 {
@@ -135,9 +145,27 @@ mod tests {
     }
 
     #[test]
+    fn reseeding_keeps_knobs_and_replaces_the_stream() {
+        let mut a = NoiseModel::realistic(1);
+        let mut b = a.reseeded(1);
+        assert_eq!(a.spurious_evict, b.spurious_evict);
+        assert_eq!(a.jitter_cycles, b.jitter_cycles);
+        for _ in 0..50 {
+            assert_eq!(a.jitter(50), b.jitter(50), "same seed, same stream");
+        }
+        let mut c = NoiseModel::realistic(1);
+        let mut d = c.reseeded(2);
+        let diverges = (0..50).any(|_| c.jitter(50) != d.jitter(50));
+        assert!(diverges, "a different seed yields a different stream");
+    }
+
+    #[test]
     fn spurious_rate_is_roughly_calibrated() {
         let mut n = NoiseModel::realistic(2);
         let hits = (0..10_000).filter(|_| n.rolls_spurious_evict()).count();
-        assert!((150..=450).contains(&hits), "~3% expected, got {hits}/10000");
+        assert!(
+            (150..=450).contains(&hits),
+            "~3% expected, got {hits}/10000"
+        );
     }
 }

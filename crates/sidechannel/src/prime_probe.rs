@@ -158,7 +158,11 @@ impl PrimeProbe {
         let lines = (0..geometry.ways)
             .map(|w| huge_base + w as u64 * stride + (set as u64) * geometry.line_size as u64)
             .collect();
-        Ok(PrimeProbe { level: ProbeLevel::L2, set, lines })
+        Ok(PrimeProbe {
+            level: ProbeLevel::L2,
+            set,
+            lines,
+        })
     }
 
     /// The targeted cache.

@@ -55,7 +55,11 @@ impl Calibration {
         let hit_mean = hit_total as f64 / n;
         let miss_mean = miss_total as f64 / n;
         let threshold = ((hit_mean + miss_mean) / 2.0).floor() as u64;
-        Calibration { hit_mean, miss_mean, threshold }
+        Calibration {
+            hit_mean,
+            miss_mean,
+            threshold,
+        }
     }
 }
 

@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release --example btb_reverse`
 
-use phantom::collide::{brute_force, collision_pattern, recover_figure7, BtbOracle, CollisionOracle};
+use phantom::collide::{
+    brute_force, collision_pattern, recover_figure7, BtbOracle, CollisionOracle,
+};
 use phantom_bpu::BtbScheme;
 use phantom_mem::VirtAddr;
 

@@ -5,21 +5,32 @@
 //! bits (`T0`). The receiver primes an I-cache set, invokes `getpid()`,
 //! and probes: the kernel's transient fetch of `T1` evicts a primed way.
 //!
-//! Run with: `cargo run --release --example covert_channel [bits]`
+//! Bit trials are independent (each rewinds to a post-boot machine
+//! snapshot), so a [`TrialRunner`] shards them across threads; the
+//! decoded stream — and every printed number — is identical at any
+//! thread count.
+//!
+//! Run with: `cargo run --release --example covert_channel [bits] [threads]`
 
-use phantom::covert::{execute_channel, fetch_channel, CovertConfig};
+use phantom::covert::{execute_channel_on, fetch_channel_on, CovertConfig};
+use phantom::runner::TrialRunner;
 use phantom::UarchProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bits = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512usize);
+    let mut args = std::env::args().skip(1);
+    let bits = args.next().and_then(|s| s.parse().ok()).unwrap_or(512usize);
+    let runner = match args.next().and_then(|s| s.parse().ok()) {
+        Some(threads) => TrialRunner::with_threads(threads),
+        None => TrialRunner::new(),
+    };
     let config = CovertConfig { bits, seed: 11 };
 
-    println!("fetch (P1) channel — {bits} random bits per part:");
+    println!(
+        "fetch (P1) channel — {bits} random bits per part, {} thread(s):",
+        runner.threads()
+    );
     for profile in UarchProfile::amd() {
-        let r = fetch_channel(profile, config)?;
+        let r = fetch_channel_on(&runner, profile, config)?;
         println!(
             "  {:<7} {:<20} accuracy {:>6.2}%   {:>10.0} bits/s (simulated)",
             r.uarch,
@@ -30,8 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nexecute (P2) channel — needs phantom execution (Zen 1/2):");
-    for profile in [UarchProfile::zen1(), UarchProfile::zen2(), UarchProfile::zen3()] {
-        let r = execute_channel(profile, config)?;
+    for profile in [
+        UarchProfile::zen1(),
+        UarchProfile::zen2(),
+        UarchProfile::zen3(),
+    ] {
+        let r = execute_channel_on(&runner, profile, config)?;
         println!(
             "  {:<7} {:<20} accuracy {:>6.2}%   {:>10.0} bits/s (simulated)",
             r.uarch,

@@ -32,7 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // search space here to keep the example fast.
     let actual_image = sys.layout().image_slot; // used only to size the demo window
     let window = actual_image.saturating_sub(32)..(actual_image + 32).min(488);
-    let image = break_kaslr_image(&mut sys, &KaslrImageConfig { slots: window, seed, ..Default::default() })?;
+    let image = break_kaslr_image(
+        &mut sys,
+        &KaslrImageConfig {
+            slots: window,
+            seed,
+            ..Default::default()
+        },
+    )?;
     println!(
         "stage 1: kernel image slot {} (score {}, {:.2} ms simulated) — {}",
         image.guessed_slot,
@@ -45,8 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Stage 2: physmap ------------------------------------------
     let actual_physmap = sys.layout().physmap_slot;
     let window = actual_physmap.saturating_sub(32)..(actual_physmap + 32).min(25_600);
-    let physmap =
-        break_physmap(&mut sys, image_base, &PhysmapConfig { slots: window, seed, ..Default::default() })?;
+    let physmap = break_physmap(
+        &mut sys,
+        image_base,
+        &PhysmapConfig {
+            slots: window,
+            seed,
+            ..Default::default()
+        },
+    )?;
     println!(
         "stage 2: physmap slot {} (score {}, {:.2} ms simulated) — {}",
         physmap.guessed_slot,
@@ -61,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut sys,
         image_base,
         physmap_base,
-        &PhysAddrConfig { max_decoys: 32, seed },
+        &PhysAddrConfig {
+            max_decoys: 32,
+            seed,
+        },
     )?;
     println!(
         "stage 3: our huge page is at physical {:#x} after {} guesses ({:.2} ms simulated) — {}",
@@ -73,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nfull derandomization {}",
-        if image.correct && physmap.correct && pa.correct { "succeeded" } else { "FAILED" }
+        if image.correct && physmap.correct && pa.correct {
+            "succeeded"
+        } else {
+            "FAILED"
+        }
     );
     Ok(())
 }

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = leak_kernel_memory(
             &mut sys,
             physmap,
-            &MdsLeakConfig { bytes, ..Default::default() },
+            &MdsLeakConfig {
+                bytes,
+                ..Default::default()
+            },
         )?;
 
         println!("[{name}] leaking {bytes} bytes of planted kernel secret:");

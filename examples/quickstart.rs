@@ -13,12 +13,19 @@ use phantom::UarchProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("PHANTOM quickstart: a nop trained as jmp*\n");
-    println!("{:<28} {:>6} {:>6} {:>6} {:>7}", "microarchitecture", "IF", "ID", "EX", "stage");
+    println!(
+        "{:<28} {:>6} {:>6} {:>6} {:>7}",
+        "microarchitecture", "IF", "ID", "EX", "stage"
+    );
     for profile in UarchProfile::all() {
         let outcome = run_combo(profile.clone(), TrainKind::JmpInd, VictimKind::NonBranch, 0)?;
         println!(
             "{:<28} {:>6} {:>6} {:>6} {:>7}",
-            profile.name, outcome.fetched, outcome.decoded, outcome.executed, outcome.stage()
+            profile.name,
+            outcome.fetched,
+            outcome.decoded,
+            outcome.executed,
+            outcome.stage()
         );
     }
     println!("\nEvery part fetches and decodes the phantom target before the");

@@ -7,28 +7,83 @@
 //! 3. whether a phantom (frontend-resteered) path can still execute a
 //!    load — the Zen 1/2 privilege the exploits build on.
 //!
+//! The per-microarchitecture rows are written as a custom
+//! [`Scenario`] — the same four-hook contract every experiment in the
+//! workspace uses — and sharded across threads by a [`TrialRunner`].
+//! Row order and contents are identical at any thread count.
+//!
 //! Run with: `cargo run --release --example spectre_vs_phantom`
 
 use phantom::experiment::{run_combo, TrainKind, VictimKind};
+use phantom::runner::{Scenario, ScenarioError, Trial, TrialRunner};
 use phantom::spectre::{spectre_v2_leak, window_comparison};
 use phantom::UarchProfile;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+struct Row {
+    uarch: &'static str,
+    leak_ok: bool,
+    spectre_uops: u32,
+    phantom_uops: u32,
+    phantom_executed: bool,
+}
+
+/// One trial per microarchitecture; each boots its own machines.
+struct Comparison {
+    profiles: Vec<UarchProfile>,
+}
+
+impl Scenario for Comparison {
+    type State = ();
+    type Sample = Row;
+    type Output = Vec<Row>;
+
+    fn trials(&self) -> usize {
+        self.profiles.len()
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<Row, ScenarioError> {
+        let profile = self.profiles[trial.index].clone();
+        let leak = spectre_v2_leak(profile.clone(), 0x5C)?;
+        let w = window_comparison(&profile);
+        let combo = run_combo(profile.clone(), TrainKind::JmpInd, VictimKind::NonBranch, 0)?;
+        Ok(Row {
+            uarch: profile.name,
+            leak_ok: leak.correct(),
+            spectre_uops: w.spectre_uops,
+            phantom_uops: w.phantom_uops,
+            phantom_executed: combo.executed,
+        })
+    }
+
+    fn score(&self, samples: Vec<Row>) -> Vec<Row> {
+        samples
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let rows = TrialRunner::new().run(
+        &Comparison {
+            profiles: UarchProfile::amd(),
+        },
+        0,
+    )?;
+
     println!(
         "{:<10} {:>14} {:>16} {:>16} {:>14}",
         "uarch", "spectre leak", "spectre window", "phantom window", "phantom EX"
     );
-    for profile in UarchProfile::amd() {
-        let leak = spectre_v2_leak(profile.clone(), 0x5C)?;
-        let w = window_comparison(&profile);
-        let combo = run_combo(profile.clone(), TrainKind::JmpInd, VictimKind::NonBranch, 0)?;
+    for r in rows {
         println!(
             "{:<10} {:>14} {:>13} uop {:>13} uop {:>14}",
-            profile.name,
-            if leak.correct() { "0x5c ok" } else { "failed" },
-            w.spectre_uops,
-            w.phantom_uops,
-            combo.executed,
+            r.uarch,
+            if r.leak_ok { "0x5c ok" } else { "failed" },
+            r.spectre_uops,
+            r.phantom_uops,
+            r.phantom_executed,
         );
     }
     println!();

@@ -1,0 +1,53 @@
+//! The trial runner's determinism contract, end to end: with the same
+//! seeds (experiment seed and the NoiseModel stream it derives), the
+//! rendered report output is byte-identical whether the trials run on
+//! one worker thread or many. Trial sharding is contiguous and
+//! order-preserving, and every probe is a pure function of the
+//! post-train state and its own `Trial`, so thread count can never
+//! change a published number.
+
+use phantom::covert::{execute_channel_on, fetch_channel_on, table2_on, CovertConfig};
+use phantom::experiment::table1_on;
+use phantom::report;
+use phantom::runner::TrialRunner;
+use phantom::UarchProfile;
+
+#[test]
+fn table1_report_is_byte_identical_across_thread_counts() {
+    let profiles = [UarchProfile::zen2(), UarchProfile::zen3()];
+    let one = table1_on(&TrialRunner::with_threads(1), &profiles, 5).unwrap();
+    let many = table1_on(&TrialRunner::with_threads(8), &profiles, 5).unwrap();
+    assert_eq!(report::render_table1(&one), report::render_table1(&many));
+}
+
+#[test]
+fn table2_report_is_byte_identical_across_thread_counts() {
+    let config = CovertConfig { bits: 48, seed: 13 };
+    let one = table2_on(&TrialRunner::with_threads(1), config).unwrap();
+    let many = table2_on(&TrialRunner::with_threads(6), config).unwrap();
+    assert_eq!(report::render_table2(&one), report::render_table2(&many));
+}
+
+#[test]
+fn channel_results_match_field_by_field_across_thread_counts() {
+    let config = CovertConfig { bits: 40, seed: 21 };
+    for threads in [2, 3, 7] {
+        let base =
+            fetch_channel_on(&TrialRunner::with_threads(1), UarchProfile::zen4(), config).unwrap();
+        let sharded = fetch_channel_on(
+            &TrialRunner::with_threads(threads),
+            UarchProfile::zen4(),
+            config,
+        )
+        .unwrap();
+        assert_eq!(base.accuracy, sharded.accuracy, "{threads} threads");
+        assert_eq!(base.seconds, sharded.seconds, "{threads} threads");
+        assert_eq!(base.bits_per_sec, sharded.bits_per_sec, "{threads} threads");
+    }
+    let base =
+        execute_channel_on(&TrialRunner::with_threads(1), UarchProfile::zen1(), config).unwrap();
+    let sharded =
+        execute_channel_on(&TrialRunner::with_threads(5), UarchProfile::zen1(), config).unwrap();
+    assert_eq!(base.accuracy, sharded.accuracy);
+    assert_eq!(base.seconds, sharded.seconds);
+}

@@ -4,8 +4,8 @@
 //! ground truth.
 
 use phantom::attacks::{
-    break_kaslr_image, break_physmap, find_physical_address, leak_kernel_memory,
-    KaslrImageConfig, MdsLeakConfig, PhysAddrConfig, PhysmapConfig,
+    break_kaslr_image, break_physmap, find_physical_address, leak_kernel_memory, KaslrImageConfig,
+    MdsLeakConfig, PhysAddrConfig, PhysmapConfig,
 };
 use phantom::UarchProfile;
 use phantom_kernel::layout::{KaslrLayout, KERNEL_IMAGE_SLOTS, PHYSMAP_SLOTS};
@@ -31,7 +31,11 @@ fn full_chain_on_zen2() {
         },
     )
     .expect("stage 1");
-    assert!(s1.correct, "stage 1: {} vs {}", s1.guessed_slot, s1.actual_slot);
+    assert!(
+        s1.correct,
+        "stage 1: {} vs {}",
+        s1.guessed_slot, s1.actual_slot
+    );
     let image_base = KaslrLayout::candidate_image_base(s1.guessed_slot);
 
     // Stage 2 — physmap, using stage 1's image base.
@@ -45,7 +49,11 @@ fn full_chain_on_zen2() {
         },
     )
     .expect("stage 2");
-    assert!(s2.correct, "stage 2: {} vs {}", s2.guessed_slot, s2.actual_slot);
+    assert!(
+        s2.correct,
+        "stage 2: {} vs {}",
+        s2.guessed_slot, s2.actual_slot
+    );
     let physmap_base = KaslrLayout::candidate_physmap_base(s2.guessed_slot);
 
     // Stage 3 — physical address of an attacker page, via stages 1+2.
@@ -53,16 +61,27 @@ fn full_chain_on_zen2() {
         &mut sys,
         image_base,
         physmap_base,
-        &PhysAddrConfig { max_decoys: 16, seed: 3 },
+        &PhysAddrConfig {
+            max_decoys: 16,
+            seed: 3,
+        },
     )
     .expect("stage 3");
-    assert!(s3.correct, "stage 3: {:?} vs {:#x}", s3.guessed_pa, s3.actual_pa);
+    assert!(
+        s3.correct,
+        "stage 3: {:?} vs {:#x}",
+        s3.guessed_pa, s3.actual_pa
+    );
 
     // Stage 4 — leak the planted secret through the MDS gadget.
     let s4 = leak_kernel_memory(
         &mut sys,
         physmap_base,
-        &MdsLeakConfig { bytes: 32, seed: 4, ..Default::default() },
+        &MdsLeakConfig {
+            bytes: 32,
+            seed: 4,
+            ..Default::default()
+        },
     )
     .expect("stage 4");
     assert!(s4.signal);
@@ -98,7 +117,11 @@ fn chain_collapses_at_stage2_on_zen3() {
         },
     )
     .expect("stage 2 runs");
-    assert!(s2.best_score <= 9, "P2 signal is noise on Zen 3: {}", s2.best_score);
+    assert!(
+        s2.best_score <= 9,
+        "P2 signal is noise on Zen 3: {}",
+        s2.best_score
+    );
 }
 
 #[test]

@@ -4,7 +4,10 @@
 use phantom::covert::{execute_channel, fetch_channel, table2, CovertConfig};
 use phantom::UarchProfile;
 
-const CFG: CovertConfig = CovertConfig { bits: 192, seed: 4096 };
+const CFG: CovertConfig = CovertConfig {
+    bits: 192,
+    seed: 4096,
+};
 
 #[test]
 fn fetch_channel_band_on_all_zen() {
@@ -30,7 +33,11 @@ fn execute_channel_band_and_uarch_split() {
     }
     // …and chance-level on Zen 4 (no phantom execution).
     let dead = execute_channel(UarchProfile::zen4(), CFG).expect("channel");
-    assert!(dead.accuracy < 0.7, "Zen 4 execute channel: {}", dead.accuracy);
+    assert!(
+        dead.accuracy < 0.7,
+        "Zen 4 execute channel: {}",
+        dead.accuracy
+    );
 }
 
 #[test]
@@ -39,8 +46,14 @@ fn table2_emits_six_rows_in_paper_order() {
     assert_eq!(rows.len(), 6);
     let uarchs: Vec<&str> = rows.iter().map(|r| r.uarch).collect();
     assert_eq!(uarchs, ["Zen", "Zen 2", "Zen 3", "Zen 4", "Zen", "Zen 2"]);
-    assert!(rows[..4].iter().all(|r| format!("{}", r.kind).contains("fetch")));
-    assert!(rows[4..].iter().all(|r| format!("{}", r.kind).contains("execute")));
+    assert!(rows[..4]
+        .iter()
+        .all(|r| format!("{}", r.kind).contains("fetch")));
+    assert!(rows[4..]
+        .iter()
+        .all(|r| format!("{}", r.kind).contains("execute")));
     // Rates are simulated but finite and positive.
-    assert!(rows.iter().all(|r| r.bits_per_sec.is_finite() && r.bits_per_sec > 0.0));
+    assert!(rows
+        .iter()
+        .all(|r| r.bits_per_sec.is_finite() && r.bits_per_sec > 0.0));
 }

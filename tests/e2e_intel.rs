@@ -24,10 +24,11 @@ fn user_injected_predictions_are_not_served_in_kernel_mode() {
         sys.train_user_branch(victim, BranchKind::Indirect, target)
             .expect("training runs");
         // ...yet the kernel-mode prediction query refuses to serve it.
-        let pred = sys
-            .machine_mut()
-            .bpu_mut()
-            .predict_block(victim, phantom_mem::PrivilegeLevel::Supervisor, 0);
+        let pred = sys.machine_mut().bpu_mut().predict_block(
+            victim,
+            phantom_mem::PrivilegeLevel::Supervisor,
+            0,
+        );
         assert!(pred.is_none(), "{name}: cross-privilege reuse must fail");
     }
 }
@@ -44,8 +45,8 @@ fn p1_kaslr_probe_is_blind_on_intel() {
     let mut noise = NoiseModel::quiet(0);
     let victim = sys.image().listing1_nop;
     let mapped = sys.image().base + 0x1000;
-    let detected = p1_detect_executable(&mut sys, &cfg, victim, mapped, &mut noise)
-        .expect("probe runs");
+    let detected =
+        p1_detect_executable(&mut sys, &cfg, victim, mapped, &mut noise).expect("probe runs");
     assert!(!detected, "no cross-privilege P1 signal on Intel");
 }
 
@@ -54,8 +55,16 @@ fn same_mode_phantom_still_works_on_intel() {
     // Table 1 shows IF/ID on Intel for user->user confusion: the
     // privilege tag only blocks *cross-mode* reuse.
     use phantom::experiment::{run_combo, TrainKind, VictimKind};
-    let o = run_combo(UarchProfile::intel12(), TrainKind::JmpInd, VictimKind::NonBranch, 0)
-        .expect("combo");
-    assert!(o.fetched && o.decoded, "same-mode phantom fetch/decode on Intel");
+    let o = run_combo(
+        UarchProfile::intel12(),
+        TrainKind::JmpInd,
+        VictimKind::NonBranch,
+        0,
+    )
+    .expect("combo");
+    assert!(
+        o.fetched && o.decoded,
+        "same-mode phantom fetch/decode on Intel"
+    );
     assert!(!o.executed, "but never execution");
 }

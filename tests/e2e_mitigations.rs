@@ -18,7 +18,10 @@ fn o4_matrix_across_zen_parts() {
 
     let zen2 = o4_suppress_bp_on_non_br(UarchProfile::zen2()).expect("runs");
     assert!(zen2.baseline.executed);
-    assert!(zen2.suppressed.fetched && zen2.suppressed.decoded, "problem ②: IF/ID survive");
+    assert!(
+        zen2.suppressed.fetched && zen2.suppressed.decoded,
+        "problem ②: IF/ID survive"
+    );
     assert!(!zen2.suppressed.executed, "…but EX is stopped");
 }
 
@@ -29,14 +32,20 @@ fn suppress_does_not_protect_branch_victims() {
     // branch victim, so SuppressBPOnNonBr (enabled by the hardened boot)
     // does not stop it on Zen 2.
     let mut sys = System::new(UarchProfile::zen2(), 1 << 28, 5).expect("boot");
-    assert!(sys.machine().bpu().msr().suppress_bp_on_non_br, "hardened boot sets the bit");
+    assert!(
+        sys.machine().bpu().msr().suppress_bp_on_non_br,
+        "hardened boot sets the bit"
+    );
     let cfg = PrimitiveConfig::for_system(&sys, VirtAddr::new(0x5000_0000));
     let mut noise = NoiseModel::quiet(0);
     let (l2c, l3g) = (sys.image().listing2_call, sys.image().listing3_gadget);
     let physmap_addr = sys.layout().physmap_base() + 0x10_4000;
     let detected =
         p2_detect_mapped(&mut sys, &cfg, l2c, l3g, physmap_addr, &mut noise).expect("p2");
-    assert!(detected, "P2 through a call victim despite SuppressBPOnNonBr");
+    assert!(
+        detected,
+        "P2 through a call victim despite SuppressBPOnNonBr"
+    );
 }
 
 #[test]

@@ -32,7 +32,10 @@ fn recovered_pattern_drives_a_real_cross_privilege_attack() {
     let pattern = collision_pattern(&fig7.functions).expect("derivable");
 
     let mut sys = System::new(UarchProfile::zen3(), 1 << 28, 42).expect("boot");
-    let cfg = PrimitiveConfig { pattern, attacker_base: VirtAddr::new(0x5000_0000) };
+    let cfg = PrimitiveConfig {
+        pattern,
+        attacker_base: VirtAddr::new(0x5000_0000),
+    };
     let mut noise = NoiseModel::quiet(0);
     let victim = sys.image().listing1_nop;
     let mapped = sys.image().base + 0x1000;

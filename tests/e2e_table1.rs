@@ -58,13 +58,14 @@ fn twenty_two_variants_including_displacement_diagonals() {
 /// truth allows (no false EX from an ID-only path, etc.).
 #[test]
 fn channels_never_overreport_against_ground_truth() {
-    for profile in [UarchProfile::zen1(), UarchProfile::zen3(), UarchProfile::intel12()] {
+    for profile in [
+        UarchProfile::zen1(),
+        UarchProfile::zen3(),
+        UarchProfile::intel12(),
+    ] {
         for (train, victim) in asymmetric_combos() {
             let o = run_combo(profile.clone(), train, victim, 0).expect("combo runs");
-            let truth_exec = o
-                .reports
-                .iter()
-                .any(|r| !r.loads_dispatched.is_empty());
+            let truth_exec = o.reports.iter().any(|r| !r.loads_dispatched.is_empty());
             let truth_decoded = o.reports.iter().any(|r| r.decoded);
             assert!(
                 !o.executed || truth_exec,

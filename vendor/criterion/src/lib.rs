@@ -1,0 +1,218 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's
+//! `harness = false` benches use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, [`BenchmarkId`] and
+//! [`black_box`]. Instead of criterion's statistical analysis it runs a
+//! short warm-up, then reports mean wall-clock per iteration (plus
+//! derived throughput when configured) on stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier, rendered as `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion semantics:
+    /// statistical sample count; here: iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a parameterless benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.criterion.report(&label, &bencher, self.throughput);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.criterion.report(&label, &bencher, self.throughput);
+        self
+    }
+
+    /// End the group (criterion requires this before the group drops).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversions accepted where criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+/// Top-level benchmark harness state.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    fn report(&mut self, label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+        let iters = bencher.iters.max(1);
+        let per_iter = bencher.total.as_secs_f64() / iters as f64;
+        let mut line = format!("{label:<48} {:>12.3} µs/iter", per_iter * 1e6);
+        match throughput {
+            Some(Throughput::Bytes(bytes)) if per_iter > 0.0 => {
+                let mbps = bytes as f64 / per_iter / 1e6;
+                line.push_str(&format!("  ({mbps:.1} MB/s)"));
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let eps = n as f64 / per_iter;
+                line.push_str(&format!("  ({eps:.0} elem/s)"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
