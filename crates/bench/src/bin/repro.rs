@@ -33,16 +33,17 @@ use phantom::mitigations::{
     rsb_stuffing_protection, sls_padding_protection, suppress_overhead_on,
 };
 use phantom::report;
+use phantom::report::json::{diff, BenchSnapshot, Tolerance};
 use phantom::runner::TrialRunner;
 use phantom::spectre::{spectre_v2_leak, window_comparison};
 use phantom::UarchProfile;
 use phantom_bench::{
-    run_figure6_on, run_figure7, run_mds_on, run_table1_on, run_table2_on, run_table3_on,
-    run_table4_on, run_table5_on, timed,
+    collect_snapshot, run_figure6_on, run_figure7, run_mds_on, run_table1_on, run_table2_on,
+    run_table3_on, run_table4_on, run_table5_on, timed, BenchConfig,
 };
 
 const USAGE: &str = "\
-usage: repro [command] [n]
+usage: repro [command] [n] [flags]
 
   table1            Table 1  (training x victim x uarch stages)
   figure6           Figure 6 (uop-cache page-offset sweep)
@@ -59,7 +60,19 @@ usage: repro [command] [n]
   ablation          design-parameter sweeps (latency / ways / noise)
   overhead          \u{a7}6.3     (mitigation overhead suite)
   gadgets           \u{a7}9.1     (gadget census)
+  bench             run everything, write a machine-readable snapshot
   all               everything above, quick settings (default)
+
+flags (bench; --json also implies bench when given alone):
+  --json <path>       snapshot output path (default BENCH_phantom.json)
+  --baseline <path>   diff against a committed snapshot; exit 1 on any
+                      regression beyond tolerance
+  --tolerance <pct>   uniform tolerance: accuracy may drop <pct>
+                      percentage points, simulated cycles may grow
+                      <pct> percent (default: 1pp accuracy, 5% cycles)
+  --host-meta         include host-volatile metadata (threads, wall
+                      clocks) in a `host` section; breaks byte
+                      reproducibility across hosts, ignored by diffs
 
 environment:
   PHANTOM_FULL=1     paper's full protocol sizes (slow)
@@ -71,12 +84,21 @@ fn full() -> bool {
 }
 
 fn runner() -> TrialRunner {
-    match std::env::var("PHANTOM_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-    {
-        Some(n) => TrialRunner::with_threads(n),
-        None => TrialRunner::new(),
+    match std::env::var("PHANTOM_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => TrialRunner::with_threads(n),
+            _ => {
+                eprintln!(
+                    "invalid PHANTOM_THREADS {v:?}: expected a positive integer thread count"
+                );
+                std::process::exit(2);
+            }
+        },
+        Err(std::env::VarError::NotPresent) => TrialRunner::new(),
+        Err(e) => {
+            eprintln!("invalid PHANTOM_THREADS: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -274,11 +296,112 @@ fn gadgets() {
     print!("{}", report::render_gadgets(&c));
 }
 
+/// CLI flags shared by `bench` / `--json`.
+struct BenchFlags {
+    json: std::path::PathBuf,
+    baseline: Option<std::path::PathBuf>,
+    tolerance: Option<f64>,
+    host_meta: bool,
+}
+
+fn bench(r: &TrialRunner, flags: &BenchFlags) -> Result<(), phantom_bench::RunnerError> {
+    let cfg = BenchConfig {
+        full: full(),
+        seed: 0,
+        host_meta: flags.host_meta,
+    };
+    let start = std::time::Instant::now();
+    let snap = collect_snapshot(r, &cfg)?;
+    std::fs::write(&flags.json, snap.to_json_string())
+        .map_err(|e| format!("write {}: {e}", flags.json.display()))?;
+    eprintln!(
+        "[bench: wrote {} in {:.2}s on {} threads]",
+        flags.json.display(),
+        start.elapsed().as_secs_f64(),
+        r.threads()
+    );
+
+    if let Some(baseline_path) = &flags.baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        let baseline = BenchSnapshot::from_json_str(&text)?;
+        let tol = match flags.tolerance {
+            Some(pct) => Tolerance::uniform(pct),
+            None => Tolerance::default(),
+        };
+        let regressions = diff(&baseline, &snap, &tol);
+        if regressions.is_empty() {
+            println!(
+                "no regressions against {} (tolerance: {}pp accuracy, {}% cycles)",
+                baseline_path.display(),
+                tol.accuracy_pp,
+                tol.cycles_pct
+            );
+        } else {
+            eprintln!(
+                "{} regression(s) against {}:",
+                regressions.len(),
+                baseline_path.display()
+            );
+            for reg in &regressions {
+                eprintln!("  {reg}");
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cmd = args.get(1).map(String::as_str).unwrap_or("all");
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags = BenchFlags {
+        json: std::path::PathBuf::from("BENCH_phantom.json"),
+        baseline: None,
+        tolerance: None,
+        host_meta: false,
+    };
+    let mut json_given = false;
+    let mut args = std::env::args().skip(1);
+    let missing = |flag: &str| -> ! {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let v = args.next().unwrap_or_else(|| missing("--json"));
+                flags.json = v.into();
+                json_given = true;
+            }
+            "--baseline" => {
+                let v = args.next().unwrap_or_else(|| missing("--baseline"));
+                flags.baseline = Some(v.into());
+            }
+            "--tolerance" => {
+                let v = args.next().unwrap_or_else(|| missing("--tolerance"));
+                match v.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 && pct.is_finite() => flags.tolerance = Some(pct),
+                    _ => {
+                        eprintln!("invalid --tolerance {v:?}: expected a non-negative percent");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--host-meta" => flags.host_meta = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let mut cmd = positional.first().map(String::as_str).unwrap_or("all");
+    // `repro --json out.json` alone means: run the bench snapshot.
+    if cmd == "all" && (json_given || flags.baseline.is_some()) {
+        cmd = "bench";
+    }
     let num = |i: usize, default: usize| -> usize {
-        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+        positional
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     };
     let r = runner();
 
@@ -289,11 +412,12 @@ fn main() {
             figure7();
             Ok(())
         }
-        "table2" => table2(&r, num(2, if full() { 4096 } else { 256 })),
-        "table3" => table3(&r, num(2, if full() { 100 } else { 5 })),
-        "table4" => table4(&r, num(2, if full() { 10 } else { 3 })),
-        "table5" => table5(&r, num(2, if full() { 100 } else { 3 })),
-        "mds" => mds(&r, num(2, if full() { 4096 } else { 64 })),
+        "table2" => table2(&r, num(1, if full() { 4096 } else { 256 })),
+        "table3" => table3(&r, num(1, if full() { 100 } else { 5 })),
+        "table4" => table4(&r, num(1, if full() { 10 } else { 3 })),
+        "table5" => table5(&r, num(1, if full() { 100 } else { 3 })),
+        "mds" => mds(&r, num(1, if full() { 4096 } else { 64 })),
+        "bench" => bench(&r, &flags),
         "o4" => o4(),
         "o5" => o5(),
         "software" => software(),

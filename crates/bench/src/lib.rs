@@ -24,7 +24,10 @@ use phantom::UarchProfile;
 use phantom_bpu::BtbScheme;
 use phantom_mem::VirtAddr;
 
+pub mod snapshot;
+
 pub use phantom::attacks::scan_window;
+pub use snapshot::{collect_snapshot, decode_cache_reference, decode_cache_wall_ab, BenchConfig};
 
 /// A boxed error for runner signatures.
 pub type RunnerError = Box<dyn std::error::Error + Send + Sync>;
@@ -172,7 +175,7 @@ pub fn run_table3_on(
     slots: u64,
     seed: u64,
 ) -> Result<Vec<KaslrImageResult>, RunnerError> {
-    Ok(runner.run(
+    runner.run(
         &KaslrImageSweep {
             profile,
             runs,
@@ -180,7 +183,7 @@ pub fn run_table3_on(
             seed,
         },
         seed,
-    )?)
+    )
 }
 
 /// Regenerate Table 4 rows: `runs` physmap breaks (reboot per run).
@@ -209,7 +212,7 @@ pub fn run_table4_on(
     slots: u64,
     seed: u64,
 ) -> Result<Vec<PhysmapResult>, RunnerError> {
-    Ok(runner.run(
+    runner.run(
         &PhysmapSweep {
             profile,
             runs,
@@ -217,7 +220,7 @@ pub fn run_table4_on(
             seed,
         },
         seed,
-    )?)
+    )
 }
 
 /// Regenerate Table 5 rows: `runs` physical-address searches over a
@@ -247,7 +250,7 @@ pub fn run_table5_on(
     runs: usize,
     seed: u64,
 ) -> Result<Vec<PhysAddrResult>, RunnerError> {
-    Ok(runner.run(
+    runner.run(
         &PhysAddrSweep {
             profile,
             phys_bytes,
@@ -255,7 +258,7 @@ pub fn run_table5_on(
             seed,
         },
         seed,
-    )?)
+    )
 }
 
 /// Regenerate the §7.4 MDS leak: `runs` reboots, `bytes` leaked each.
@@ -284,7 +287,7 @@ pub fn run_mds_on(
     runs: usize,
     seed: u64,
 ) -> Result<Vec<MdsLeakResult>, RunnerError> {
-    Ok(runner.run(
+    runner.run(
         &MdsLeakSweep {
             profile,
             bytes,
@@ -292,7 +295,7 @@ pub fn run_mds_on(
             seed,
         },
         seed,
-    )?)
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,345 @@
+//! Snapshot collection: run every shipped experiment and assemble the
+//! machine-readable [`BenchSnapshot`] that `repro bench` writes and
+//! the regression gate diffs.
+//!
+//! The canonical snapshot is deterministic: same seeds, same thread
+//! count or not — byte-identical output (the determinism suite pins
+//! this). Host-volatile facts (wall-clock, thread count, the
+//! decode-cache wall-clock A/B) only appear when
+//! [`BenchConfig::host_meta`] is set, in the `host` section that the
+//! diff ignores.
+
+use std::time::Instant;
+
+use phantom::mitigations::{
+    lfence_gadget_protection, o4_suppress_bp_on_non_br, o5_auto_ibrs_fetch,
+    rsb_stuffing_protection, sls_padding_protection, suppress_overhead_on,
+};
+use phantom::report::json::{
+    BenchSnapshot, CovertRecord, Figure6Record, Figure7Record, GadgetRecord, HostMeta,
+    MdsRunRecord, MdsTableRecord, O4Record, O5Record, OverheadRecord, PerfRecord,
+    PhysAddrRunRecord, PhysAddrTableRecord, RunMeta, SlotRunRecord, SlotTableRecord,
+    SoftwareRecord, StageFlags, Table1Record,
+};
+use phantom::runner::TrialRunner;
+use phantom::UarchProfile;
+use phantom_isa::asm::Assembler;
+use phantom_isa::inst::AluOp;
+use phantom_isa::{Inst, Reg};
+use phantom_mem::{PageFlags, VirtAddr};
+use phantom_pipeline::Machine;
+
+use crate::{
+    run_figure6_on, run_figure7, run_mds_on, run_table1_on, run_table2_on, run_table3_on,
+    run_table4_on, run_table5_on, timed, RunnerError,
+};
+
+/// Snapshot collection knobs. The default is the quick profile, seed
+/// 0, no host section — the canonical, byte-reproducible run.
+#[derive(Debug, Clone, Default)]
+pub struct BenchConfig {
+    /// Use the paper's full protocol sizes (slow). Mirrors
+    /// `PHANTOM_FULL=1`.
+    pub full: bool,
+    /// Base seed; per-experiment seeds are fixed offsets from it so
+    /// snapshots line up with the rendered tables.
+    pub seed: u64,
+    /// Emit the host-volatile `host` section (thread count, wall
+    /// clocks). Off for canonical, byte-reproducible output.
+    pub host_meta: bool,
+}
+
+/// Steps of the fixed hot loop behind [`decode_cache_reference`].
+const REFERENCE_STEPS: u64 = 20_000;
+
+fn reference_machine() -> Machine {
+    let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+    let mut a = Assembler::new(0x40_0000);
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 0,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: 3,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R2,
+        imm: 0x1234_5678,
+    });
+    a.label("hot");
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R0,
+        src: Reg::R1,
+    });
+    a.push(Inst::Alu {
+        op: AluOp::Xor,
+        dst: Reg::R2,
+        src: Reg::R0,
+    });
+    a.push(Inst::Shl {
+        dst: Reg::R2,
+        amount: 1,
+    });
+    a.push(Inst::Shr {
+        dst: Reg::R2,
+        amount: 1,
+    });
+    a.jmp("hot");
+    let blob = a.finish().expect("reference workload assembles");
+    m.load_blob(&blob, PageFlags::USER_TEXT)
+        .expect("reference workload fits");
+    m.set_pc(VirtAddr::new(blob.base));
+    m
+}
+
+/// Run the fixed decode-cache reference workload and return its
+/// `(hits, misses)` counters. Pure function of the workload — safe to
+/// diff against a committed baseline.
+pub fn decode_cache_reference() -> (u64, u64) {
+    let mut m = reference_machine();
+    m.run(REFERENCE_STEPS).expect("reference workload runs");
+    m.decode_cache_stats()
+}
+
+/// Host wall-clock A/B of the same workload with the decode cache
+/// enabled vs disabled, in seconds. Host-volatile — `host` section
+/// only.
+pub fn decode_cache_wall_ab() -> (f64, f64) {
+    let measure = |enabled: bool| -> f64 {
+        let mut m = reference_machine();
+        m.set_decode_cache_enabled(enabled);
+        let start = Instant::now();
+        for _ in 0..8 {
+            let mut fresh = reference_machine();
+            fresh.set_decode_cache_enabled(enabled);
+            fresh.run(REFERENCE_STEPS).expect("reference workload runs");
+        }
+        start.elapsed().as_secs_f64()
+    };
+    (measure(true), measure(false))
+}
+
+/// Run every experiment on `runner` and assemble the snapshot.
+///
+/// # Errors
+///
+/// Propagates the first experiment failure.
+pub fn collect_snapshot(
+    runner: &TrialRunner,
+    cfg: &BenchConfig,
+) -> Result<BenchSnapshot, RunnerError> {
+    let mut wall: Vec<(String, f64)> = Vec::new();
+
+    let t = timed(runner, |r| run_table1_on(r, cfg.seed))?;
+    let table1: Vec<Table1Record> = t.result.iter().map(Table1Record::from).collect();
+    wall.push(("table1".into(), t.wall.as_secs_f64()));
+
+    let step = if cfg.full { 0x40 } else { 0x200 };
+    let mut figure6 = Vec::new();
+    for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
+        let name = profile.name;
+        let t = timed(runner, |r| run_figure6_on(r, profile.clone(), step))?;
+        figure6.push(Figure6Record {
+            uarch: name.to_string(),
+            step,
+            points: t.result,
+        });
+        wall.push((format!("figure6 {name}"), t.wall.as_secs_f64()));
+    }
+
+    let samples = if cfg.full { 48 } else { 24 };
+    let start = Instant::now();
+    let figure7 = Figure7Record::from(&run_figure7(samples, cfg.seed));
+    wall.push(("figure7".into(), start.elapsed().as_secs_f64()));
+
+    let bits = if cfg.full { 4096 } else { 128 };
+    let t = timed(runner, |r| run_table2_on(r, bits, cfg.seed))?;
+    let table2: Vec<CovertRecord> = t.result.iter().map(CovertRecord::from).collect();
+    wall.push(("table2".into(), t.wall.as_secs_f64()));
+
+    let runs = if cfg.full { 10 } else { 2 };
+    let slots = if cfg.full { 0 } else { 16 };
+    let mut table3 = Vec::new();
+    for p in [
+        UarchProfile::zen2(),
+        UarchProfile::zen3(),
+        UarchProfile::zen4(),
+    ] {
+        let name = p.name;
+        let t = timed(runner, |r| {
+            run_table3_on(r, p.clone(), runs, slots, cfg.seed + 100)
+        })?;
+        table3.push(SlotTableRecord {
+            uarch: name.to_string(),
+            runs: t.result.iter().map(SlotRunRecord::from).collect(),
+        });
+        wall.push((format!("table3 {name}"), t.wall.as_secs_f64()));
+    }
+
+    let mut table4 = Vec::new();
+    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        let name = p.name;
+        let t = timed(runner, |r| {
+            run_table4_on(r, p.clone(), runs, slots, cfg.seed + 200)
+        })?;
+        table4.push(SlotTableRecord {
+            uarch: name.to_string(),
+            runs: t.result.iter().map(SlotRunRecord::from).collect(),
+        });
+        wall.push((format!("table4 {name}"), t.wall.as_secs_f64()));
+    }
+
+    let table5_configs: [(UarchProfile, u64); 2] = if cfg.full {
+        [
+            (UarchProfile::zen1(), 8 << 30),
+            (UarchProfile::zen2(), 64 << 30),
+        ]
+    } else {
+        [
+            (UarchProfile::zen1(), 1 << 30),
+            (UarchProfile::zen2(), 2 << 30),
+        ]
+    };
+    let mut table5 = Vec::new();
+    for (p, bytes) in table5_configs {
+        let name = p.name;
+        let t = timed(runner, |r| {
+            run_table5_on(r, p.clone(), bytes, runs, cfg.seed + 300)
+        })?;
+        table5.push(PhysAddrTableRecord {
+            uarch: name.to_string(),
+            memory_gib: bytes >> 30,
+            runs: t.result.iter().map(PhysAddrRunRecord::from).collect(),
+        });
+        wall.push((format!("table5 {name}"), t.wall.as_secs_f64()));
+    }
+
+    let bytes = if cfg.full { 4096 } else { 32 };
+    let mut mds = Vec::new();
+    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        let name = p.name;
+        let t = timed(runner, |r| {
+            run_mds_on(r, p.clone(), bytes, runs, cfg.seed + 400)
+        })?;
+        mds.push(MdsTableRecord {
+            uarch: name.to_string(),
+            runs: t.result.iter().map(MdsRunRecord::from).collect(),
+        });
+        wall.push((format!("mds {name}"), t.wall.as_secs_f64()));
+    }
+
+    let mut o4 = Vec::new();
+    for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
+        let name = p.name;
+        let outcome = o4_suppress_bp_on_non_br(p)?;
+        o4.push(O4Record {
+            uarch: name.to_string(),
+            baseline: StageFlags::from(&outcome.baseline),
+            suppressed: StageFlags::from(&outcome.suppressed),
+        });
+    }
+
+    let o5 = O5Record {
+        transient_fetch_observed: o5_auto_ibrs_fetch(cfg.seed)?,
+    };
+
+    let mut software = Vec::new();
+    for (name, profile, check) in [
+        (
+            "lfence",
+            UarchProfile::zen2(),
+            lfence_gadget_protection as fn(UarchProfile) -> _,
+        ),
+        (
+            "rsb_stuffing",
+            UarchProfile::zen2(),
+            rsb_stuffing_protection,
+        ),
+        ("sls_padding", UarchProfile::zen1(), sls_padding_protection),
+    ] {
+        let uarch = profile.name;
+        let (unprotected, protected) = check(profile)?;
+        software.push(SoftwareRecord {
+            name: name.to_string(),
+            uarch: uarch.to_string(),
+            unprotected,
+            protected,
+        });
+    }
+
+    let t = timed(runner, |r| {
+        Ok::<_, RunnerError>(suppress_overhead_on(r, UarchProfile::zen2()))
+    })?;
+    let overhead = OverheadRecord::from(&t.result);
+    wall.push(("overhead".into(), t.wall.as_secs_f64()));
+
+    let corpus = phantom::gadgets::generate_corpus(&phantom::gadgets::CorpusConfig::default());
+    let gadgets = GadgetRecord::from(&phantom::gadgets::census(&corpus));
+
+    let (hits, misses) = decode_cache_reference();
+    let perf = PerfRecord {
+        decode_cache_hits: hits,
+        decode_cache_misses: misses,
+        decodes_avoided: hits,
+    };
+
+    let host = if cfg.host_meta {
+        Some(HostMeta {
+            threads: runner.threads() as u64,
+            wall_seconds: wall,
+            decode_cache_wall: Some(decode_cache_wall_ab()),
+        })
+    } else {
+        None
+    };
+
+    Ok(BenchSnapshot {
+        meta: RunMeta {
+            profile: if cfg.full { "full" } else { "quick" }.to_string(),
+            seed: cfg.seed,
+        },
+        table1,
+        figure6,
+        figure7,
+        table2,
+        table3,
+        table4,
+        table5,
+        mds,
+        o4,
+        o5,
+        software,
+        overhead,
+        gadgets,
+        perf,
+        host,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_workload_is_deterministic_and_cache_friendly() {
+        let (h1, m1) = decode_cache_reference();
+        let (h2, m2) = decode_cache_reference();
+        assert_eq!((h1, m1), (h2, m2));
+        assert!(h1 > m1 * 100, "hot loop: {h1} hits vs {m1} misses");
+    }
+
+    #[test]
+    fn reference_workload_results_do_not_depend_on_the_cache() {
+        let mut cached = reference_machine();
+        cached.run(REFERENCE_STEPS).unwrap();
+        let mut uncached = reference_machine();
+        uncached.set_decode_cache_enabled(false);
+        uncached.run(REFERENCE_STEPS).unwrap();
+        assert_eq!(cached.cycles(), uncached.cycles());
+        assert_eq!(cached.reg(Reg::R0), uncached.reg(Reg::R0));
+        assert_eq!(cached.reg(Reg::R2), uncached.reg(Reg::R2));
+        assert_eq!(uncached.decode_cache_stats(), (0, 0));
+    }
+}

@@ -1,4 +1,9 @@
-//! Plain-text rendering of the paper's tables and figures.
+//! Rendering of the paper's tables and figures: plain text here,
+//! machine-readable JSON in [`json`] (built on the deterministic
+//! value type in [`value`]).
+
+pub mod json;
+pub mod value;
 
 use crate::attacks::{KaslrImageResult, MdsLeakResult, PhysAddrResult, PhysmapResult};
 use crate::collide::Figure7;

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use phantom_bpu::MsrState;
 use phantom_isa::asm::Assembler;
 use phantom_isa::{BranchKind, Inst, Reg};
-use phantom_mem::{PageFlags, PrivilegeLevel, VirtAddr, HUGE_PAGE_SIZE};
+use phantom_mem::{PageFlags, PrivilegeLevel, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
 use phantom_pipeline::{Machine, TransientReport, UarchProfile};
 
 use crate::image::KernelImage;
@@ -295,6 +295,13 @@ impl System {
 
     /// Map a user page at `va` if not already mapped (attacker memory).
     ///
+    /// Pages that already have *any* mapping — including supervisor
+    /// mappings, which the fault-and-catch training in
+    /// [`System::train_user_branch`] deliberately targets — are left
+    /// untouched, unlike the strict
+    /// [`Machine::map_range`](phantom_pipeline::Machine::map_range),
+    /// which rejects flag mismatches.
+    ///
     /// # Errors
     ///
     /// Returns [`SystemError::Machine`] if physical memory runs out.
@@ -304,7 +311,15 @@ impl System {
         len: u64,
         flags: PageFlags,
     ) -> Result<(), SystemError> {
-        self.machine.map_range(va, len, flags)?;
+        let start = va.page_base();
+        let end = (va + len + PAGE_SIZE - 1).page_base();
+        let mut page = start;
+        while page < end {
+            if self.machine.page_table().flags_of(page).is_none() {
+                self.machine.map_range(page, PAGE_SIZE, flags)?;
+            }
+            page = page + PAGE_SIZE;
+        }
         Ok(())
     }
 

@@ -163,18 +163,27 @@ impl EventBus {
     }
 
     /// Deliver one event to every attached sink, in attachment order.
+    /// The zero-sink case returns before touching the sink list — the
+    /// machine emits on every fetch, dispatch and retire, and most runs
+    /// never attach a sink, so this is the hot path.
+    #[inline]
     pub fn dispatch(&mut self, event: &PipelineEvent) {
+        if self.sinks.is_empty() {
+            return;
+        }
         for (_, sink) in &mut self.sinks {
             sink.on_event(event);
         }
     }
 
     /// Number of attached sinks.
+    #[inline]
     pub fn len(&self) -> usize {
         self.sinks.len()
     }
 
     /// Whether no sinks are attached.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.sinks.is_empty()
     }
@@ -201,6 +210,7 @@ impl Clone for EventBus {
 /// This is the single place event → counter mapping lives; the machine
 /// applies it to its built-in PMU on every emit, and an external
 /// [`PerfCounters`] attached as a sink sees identical updates.
+#[inline]
 pub fn count(pmu: &mut PerfCounters, event: &PipelineEvent) {
     match *event {
         PipelineEvent::FetchLine { level, .. } => {

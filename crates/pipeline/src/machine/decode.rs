@@ -1,10 +1,12 @@
 //! The decode stage: instruction decode, µop-cache dispatch, and the
 //! transient-window policy (everything the decoder can gate).
 
+use std::collections::{HashMap, HashSet};
+
 use phantom_bpu::Prediction;
 use phantom_isa::decode::decode;
 use phantom_isa::{BranchKind, Inst};
-use phantom_mem::VirtAddr;
+use phantom_mem::{AccessKind, PhysAddr, PrivilegeLevel, VirtAddr};
 
 use crate::events::PipelineEvent;
 use crate::resteer::ResteerKind;
@@ -12,19 +14,119 @@ use crate::transient::TransientWindow;
 
 use super::{Machine, MachineError};
 
+/// Per-line decoded-instruction cache.
+///
+/// `decode_at` used to translate and read up to 15 code bytes per step
+/// (and per transient µop); hot loops re-decode the same handful of
+/// addresses millions of times. The cache memoizes `(pc, privilege) →
+/// (inst, len)` — a pure function of the page table, physical memory
+/// and privilege level — so a warm step skips translation and byte
+/// reads entirely. It is invisible state: no timing, events or
+/// architectural results depend on it.
+///
+/// Coherence: any path that can change code bytes or translations
+/// invalidates. Architectural stores check `code_frames` (the physical
+/// frames backing cached decodes) so data stores stay free; `poke`,
+/// `map_range`/`unmap_range` and the raw `phys_mut`/`page_table_mut`
+/// accessors clear conservatively.
+#[derive(Debug, Clone)]
+pub(super) struct DecodeCache {
+    entries: HashMap<(u64, u8), (Inst, u64)>,
+    /// Physical frames backing at least one cached decode.
+    code_frames: HashSet<u64>,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecodeCache {
+    pub(super) fn new() -> DecodeCache {
+        DecodeCache {
+            entries: HashMap::new(),
+            code_frames: HashSet::new(),
+            enabled: true,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drop every cached decode (counters survive).
+    pub(super) fn invalidate(&mut self) {
+        self.entries.clear();
+        self.code_frames.clear();
+    }
+
+    pub(super) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.invalidate();
+    }
+
+    pub(super) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+fn level_tag(level: PrivilegeLevel) -> u8 {
+    match level {
+        PrivilegeLevel::User => 0,
+        PrivilegeLevel::Supervisor => 1,
+    }
+}
+
 impl Machine {
+    /// Decode the instruction at `pc` through the per-line cache.
+    /// Returns `None` on truncated/unreadable code bytes. Timing- and
+    /// event-neutral: hit or miss, the step's observable behaviour is
+    /// identical.
+    pub(super) fn cached_decode(&mut self, pc: VirtAddr) -> Option<(Inst, u64)> {
+        let key = (pc.raw(), level_tag(self.level));
+        if self.decode_cache.enabled {
+            if let Some(&pair) = self.decode_cache.entries.get(&key) {
+                self.decode_cache.hits += 1;
+                return Some(pair);
+            }
+        }
+        let bytes = self.read_code_bytes(pc, 15);
+        let (inst, len) = decode(&bytes)?;
+        let pair = (inst, len as u64);
+        if self.decode_cache.enabled {
+            self.decode_cache.misses += 1;
+            // Remember the frames the decoded bytes live in, so
+            // architectural stores into them invalidate. Both
+            // translations succeeded inside read_code_bytes.
+            for off in [0, bytes.len() as u64 - 1] {
+                if let Ok(pa) = self
+                    .page_table
+                    .translate(pc + off, AccessKind::Execute, self.level)
+                {
+                    self.decode_cache.code_frames.insert(pa.page_number());
+                }
+            }
+            self.decode_cache.entries.insert(key, pair);
+        }
+        Some(pair)
+    }
+
+    /// Invalidate cached decodes if the store to `pa` hits a frame that
+    /// backs one (self-modifying code); data stores don't pay.
+    #[inline]
+    pub(super) fn note_code_write(&mut self, pa: PhysAddr) {
+        if self.decode_cache.code_frames.contains(&pa.page_number()) {
+            self.decode_cache.invalidate();
+        }
+    }
+
     /// Decode the instruction at `pc`, rejecting truncated and invalid
     /// encodings. Returns the instruction and its length in bytes.
-    pub(super) fn decode_at(&self, pc: VirtAddr) -> Result<(Inst, u64), MachineError> {
-        let bytes = self.read_code_bytes(pc, 15);
-        let (inst, len) = match decode(&bytes) {
+    pub(super) fn decode_at(&mut self, pc: VirtAddr) -> Result<(Inst, u64), MachineError> {
+        let (inst, len) = match self.cached_decode(pc) {
             Some(pair) => pair,
             None => return Err(MachineError::TruncatedCode(pc)),
         };
         if let Inst::Invalid { byte } = inst {
             return Err(MachineError::InvalidInstruction { pc, byte });
         }
-        Ok((inst, len as u64))
+        Ok((inst, len))
     }
 
     /// Dispatch µops for `pc`: from the µop cache on a hit, or through

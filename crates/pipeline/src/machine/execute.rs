@@ -126,6 +126,7 @@ impl Machine {
                         });
                         self.cycles += lat;
                         let v = self.reg(src);
+                        self.note_code_write(pa);
                         self.phys.write_u64(pa, v);
                     }
                     Err(fault) => {
@@ -239,6 +240,7 @@ impl Machine {
         let sp = VirtAddr::new(self.reg(Reg::SP).wrapping_sub(8));
         match self.page_table.translate(sp, AccessKind::Write, self.level) {
             Ok(pa) => {
+                self.note_code_write(pa);
                 self.phys.write_u64(pa, ret.raw());
                 self.set_reg(Reg::SP, sp.raw());
                 Ok(())

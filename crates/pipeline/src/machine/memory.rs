@@ -23,12 +23,21 @@ impl Machine {
         }
     }
 
-    /// Map `[va, va+len)` with fresh frames and the given flags. Pages
-    /// already mapped are left as they are.
+    /// Map `[va, va+len)` with fresh frames and the given flags.
+    ///
+    /// Idempotent over pages already mapped with the *same* flags; a
+    /// page mapped with *different* flags is an error — silently keeping
+    /// the old flags would blur the X-vs-NX distinction primitives
+    /// P1/P2 depend on. The range is validated before any page is
+    /// mapped, so a flag mismatch leaves the machine unchanged. Use
+    /// [`phantom_mem::PageTable::set_flags`] (via
+    /// [`Machine::page_table_mut`]) to change flags deliberately.
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::OutOfMemory`] if physical memory runs out.
+    /// Returns [`MachineError::OutOfMemory`] if physical memory runs
+    /// out, or [`MachineError::FlagMismatch`] if any page in the range
+    /// is already mapped with different flags.
     pub fn map_range(
         &mut self,
         va: VirtAddr,
@@ -39,13 +48,56 @@ impl Machine {
         let end = (va + len + PAGE_SIZE - 1).page_base();
         let mut page = start;
         while page < end {
-            if self.page_table.flags_of(page).is_none() {
-                let frame = self.phys.alloc_frame()?;
-                self.page_table.map_4k(page, frame, flags);
+            if let Some(existing) = self.page_table.flags_of(page) {
+                if existing != flags {
+                    return Err(MachineError::FlagMismatch {
+                        va: page,
+                        existing,
+                        requested: flags,
+                    });
+                }
             }
             page = page + PAGE_SIZE;
         }
+        let mut page = start;
+        let mut mapped_any = false;
+        while page < end {
+            if self.page_table.flags_of(page).is_none() {
+                let frame = self.phys.alloc_frame()?;
+                self.page_table.map_4k(page, frame, flags);
+                mapped_any = true;
+            }
+            page = page + PAGE_SIZE;
+        }
+        if mapped_any {
+            self.decode_cache.invalidate();
+        }
         Ok(())
+    }
+
+    /// Unmap every 4 KiB page of `[va, va+len)` that is mapped,
+    /// dropping the mappings and their TLB entries. Frames are not
+    /// reused (the allocator is a bump allocator), but the virtual
+    /// range becomes free for remapping. Returns the number of pages
+    /// unmapped.
+    pub fn unmap_range(&mut self, va: VirtAddr, len: u64) -> usize {
+        let start = va.page_base();
+        let end = (va + len + PAGE_SIZE - 1).page_base();
+        let mut page = start;
+        let mut unmapped = 0;
+        while page < end {
+            if self.page_table.unmap_4k(page).is_some() {
+                unmapped += 1;
+                for asid in [0, 1] {
+                    self.tlb.invalidate_page(page, asid);
+                }
+            }
+            page = page + PAGE_SIZE;
+        }
+        if unmapped > 0 {
+            self.decode_cache.invalidate();
+        }
+        unmapped
     }
 
     /// Load an assembled blob: map its pages with `flags` and copy the
@@ -71,6 +123,8 @@ impl Machine {
     ///
     /// Panics if any page in the range is unmapped.
     pub fn poke(&mut self, va: VirtAddr, bytes: &[u8]) {
+        // Setup-path writes may rewrite code anywhere.
+        self.decode_cache.invalidate();
         // Translate once per page and write page-sized chunks.
         let mut off = 0usize;
         while off < bytes.len() {

@@ -59,6 +59,18 @@ pub enum MachineError {
     OutOfMemory(OutOfFrames),
     /// The code bytes at PC were truncated (ran off a mapping).
     TruncatedCode(VirtAddr),
+    /// [`Machine::map_range`] hit a page already mapped with different
+    /// flags. Remapping NX memory as executable (or vice versa) is
+    /// exactly the X-vs-NX distinction primitives P1/P2 probe, so it
+    /// must never happen silently.
+    FlagMismatch {
+        /// First mismatching page.
+        va: VirtAddr,
+        /// Flags the page is currently mapped with.
+        existing: phantom_mem::PageFlags,
+        /// Flags the caller asked for.
+        requested: phantom_mem::PageFlags,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -72,6 +84,14 @@ impl std::fmt::Display for MachineError {
             MachineError::SysretWithoutSyscall => f.write_str("sysret without pending syscall"),
             MachineError::OutOfMemory(e) => write!(f, "{e}"),
             MachineError::TruncatedCode(pc) => write!(f, "truncated code bytes at {pc}"),
+            MachineError::FlagMismatch {
+                va,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "page {va} already mapped with flags {existing} (requested {requested})"
+            ),
         }
     }
 }
@@ -142,6 +162,9 @@ pub struct Machine {
     last_fault: Option<PageFault>,
     halted: bool,
     bus: EventBus,
+    /// Memoized `(pc, privilege) → (inst, len)` decodes; timing- and
+    /// event-invisible (see [`decode`]).
+    decode_cache: decode::DecodeCache,
 }
 
 impl Machine {
@@ -172,6 +195,7 @@ impl Machine {
             last_fault: None,
             halted: false,
             bus: EventBus::new(),
+            decode_cache: decode::DecodeCache::new(),
         }
     }
 
@@ -208,10 +232,14 @@ impl Machine {
     }
 
     /// Emit one event: applies the PMU counter policy, then fans out to
-    /// every attached sink.
+    /// every attached sink. The common case — no sinks attached — skips
+    /// the dynamic dispatch loop entirely.
+    #[inline]
     pub(crate) fn emit(&mut self, event: PipelineEvent) {
         crate::events::count(&mut self.pmu, &event);
-        self.bus.dispatch(&event);
+        if !self.bus.is_empty() {
+            self.bus.dispatch(&event);
+        }
     }
 
     // ----- accessors -------------------------------------------------
@@ -266,8 +294,10 @@ impl Machine {
         &self.phys
     }
 
-    /// Physical memory, mutably.
+    /// Physical memory, mutably. Conservatively invalidates the decode
+    /// cache: raw writes could rewrite code bytes.
     pub fn phys_mut(&mut self) -> &mut PhysMemory {
+        self.decode_cache.invalidate();
         &mut self.phys
     }
 
@@ -277,7 +307,10 @@ impl Machine {
     }
 
     /// The page table, mutably (the §6.2 PTE-flag tricks).
+    /// Conservatively invalidates the decode cache: mapping or flag
+    /// changes can alter what decodes.
     pub fn page_table_mut(&mut self) -> &mut PageTable {
+        self.decode_cache.invalidate();
         &mut self.page_table
     }
 
@@ -385,6 +418,22 @@ impl Machine {
         };
         self.bpu.set_msr(effective);
         effective
+    }
+
+    // ----- decode cache ----------------------------------------------
+
+    /// Decode-cache `(hits, misses)` since construction. Hits are steps
+    /// (architectural or transient) that skipped code-byte translation
+    /// and decode entirely.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        self.decode_cache.stats()
+    }
+
+    /// Enable or disable the decoded-instruction cache (enabled by
+    /// default). Disabling exists for A/B benchmarking — results are
+    /// identical either way, only host wall-clock changes.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        self.decode_cache.set_enabled(enabled);
     }
 }
 

@@ -645,3 +645,192 @@ fn syscall_without_entry_errors() {
     m.set_pc(VirtAddr::new(0x40_0000));
     assert!(matches!(m.run(4), Err(MachineError::NoSyscallEntry)));
 }
+
+#[test]
+fn map_range_same_flags_is_idempotent() {
+    let mut m = machine(UarchProfile::zen2());
+    let va = VirtAddr::new(0x40_0000);
+    m.map_range(va, 0x2000, PageFlags::USER_DATA).unwrap();
+    m.poke_u64(va, 0xfeed);
+    let frames = m.phys().resident_frames();
+    // Overlapping remap with identical flags: a no-op, data survives.
+    m.map_range(va, 0x2000, PageFlags::USER_DATA).unwrap();
+    assert_eq!(m.peek_u64(va), 0xfeed);
+    assert_eq!(m.phys().resident_frames(), frames);
+}
+
+#[test]
+fn map_range_flag_mismatch_errors_and_keeps_old_flags() {
+    let mut m = machine(UarchProfile::zen2());
+    let va = VirtAddr::new(0x40_0000);
+    // An NX data page must not silently become executable: that is the
+    // exact X-vs-NX distinction primitives P1/P2 measure.
+    m.map_range(va, 0x1000, PageFlags::USER_DATA).unwrap();
+    let err = m.map_range(va, 0x1000, PageFlags::USER_TEXT).unwrap_err();
+    match err {
+        MachineError::FlagMismatch {
+            va: at,
+            existing,
+            requested,
+        } => {
+            assert_eq!(at, va);
+            assert_eq!(existing, PageFlags::USER_DATA);
+            assert_eq!(requested, PageFlags::USER_TEXT);
+        }
+        other => panic!("expected FlagMismatch, got {other:?}"),
+    }
+    assert_eq!(m.page_table().flags_of(va), Some(PageFlags::USER_DATA));
+}
+
+#[test]
+fn map_range_flag_mismatch_is_atomic() {
+    let mut m = machine(UarchProfile::zen2());
+    // Pre-map only the *second* page of a two-page range with other
+    // flags: the whole map_range must fail without mapping page one.
+    let first = VirtAddr::new(0x40_0000);
+    let second = VirtAddr::new(0x40_1000);
+    m.map_range(second, 0x1000, PageFlags::USER_TEXT).unwrap();
+    assert!(matches!(
+        m.map_range(first, 0x2000, PageFlags::USER_DATA),
+        Err(MachineError::FlagMismatch { .. })
+    ));
+    assert_eq!(m.page_table().flags_of(first), None, "nothing half-mapped");
+}
+
+#[test]
+fn unmap_range_frees_the_virtual_range_for_remapping() {
+    let mut m = machine(UarchProfile::zen2());
+    let va = VirtAddr::new(0x40_0000);
+    m.map_range(va, 0x2000, PageFlags::USER_DATA).unwrap();
+    assert_eq!(m.unmap_range(va, 0x2000), 2);
+    assert_eq!(m.page_table().flags_of(va), None);
+    // The range can now be remapped with different flags.
+    m.map_range(va, 0x2000, PageFlags::USER_TEXT).unwrap();
+    assert_eq!(m.page_table().flags_of(va), Some(PageFlags::USER_TEXT));
+    assert_eq!(m.unmap_range(VirtAddr::new(0x9000_0000), 0x1000), 0);
+}
+
+#[test]
+fn decode_cache_hits_do_not_change_results_or_timing() {
+    // Run the same loop twice, cache on and off: identical registers,
+    // cycles and PMU state, but the cached run decodes each pc once.
+    let run = |cached: bool| -> (u64, u64, (u64, u64)) {
+        let mut m = machine(UarchProfile::zen2());
+        m.set_decode_cache_enabled(cached);
+        let mut a = Assembler::new(0x40_0000);
+        a.push(Inst::MovImm {
+            dst: Reg::R0,
+            imm: 0,
+        });
+        a.push(Inst::MovImm {
+            dst: Reg::R1,
+            imm: 1,
+        });
+        a.label("loop_top");
+        a.push(Inst::Alu {
+            op: phantom_isa::inst::AluOp::Add,
+            dst: Reg::R0,
+            src: Reg::R1,
+        });
+        a.jmp("loop_top");
+        let blob = load_user(&mut m, &a);
+        m.set_pc(VirtAddr::new(blob.base));
+        m.run(1000).unwrap();
+        (m.reg(Reg::R0), m.cycles(), m.decode_cache_stats())
+    };
+    let (r_off, cycles_off, stats_off) = run(false);
+    let (r_on, cycles_on, stats_on) = run(true);
+    assert_eq!(r_off, r_on);
+    assert_eq!(cycles_off, cycles_on);
+    assert_eq!(stats_off, (0, 0), "disabled cache never counts");
+    let (hits, misses) = stats_on;
+    assert!(
+        hits > 900,
+        "hot loop mostly hits: {hits} hits, {misses} misses"
+    );
+    // One miss per distinct pc, plus at most a few wrong-path decodes.
+    assert!(misses <= 8, "misses bounded by distinct pcs: {misses}");
+}
+
+#[test]
+fn decode_cache_invalidates_on_self_modifying_store() {
+    // Store over the instruction stream: the next decode must see the
+    // new bytes, not a stale cached instruction.
+    let mut m = machine(UarchProfile::zen2());
+    let code = VirtAddr::new(0x40_0000);
+    m.map_range(code, 0x1000, PageFlags::USER_TEXT | PageFlags::WRITE)
+        .unwrap();
+    // Target instruction at code+0x100: mov r0, 1 — warm the cache.
+    let mut warm = Vec::new();
+    phantom_isa::encode::encode_into(
+        &Inst::MovImm {
+            dst: Reg::R0,
+            imm: 1,
+        },
+        &mut warm,
+    )
+    .unwrap();
+    warm.push(0xF4); // hlt
+    m.poke(code + 0x100, &warm);
+    m.set_pc(code + 0x100);
+    m.run(4).unwrap();
+    assert_eq!(m.reg(Reg::R0), 1);
+
+    // Overwrite the target with `mov r0, 2` via an architectural store
+    // of the first 8 encoded bytes.
+    let mut new_bytes = Vec::new();
+    phantom_isa::encode::encode_into(
+        &Inst::MovImm {
+            dst: Reg::R0,
+            imm: 2,
+        },
+        &mut new_bytes,
+    )
+    .unwrap();
+    new_bytes.push(0xF4);
+    new_bytes.resize(8, 0x90);
+    let patch = u64::from_le_bytes(new_bytes[..8].try_into().unwrap());
+    let mut a = Assembler::new(code.raw());
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: patch,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R2,
+        imm: code.raw() + 0x100,
+    });
+    a.push(Inst::Store {
+        base: Reg::R2,
+        disp: 0,
+        src: Reg::R1,
+    });
+    a.push(Inst::Halt);
+    let blob = a.finish().unwrap();
+    m.poke(VirtAddr::new(blob.base), &blob.bytes);
+    m.set_pc(VirtAddr::new(blob.base));
+    m.run(10).unwrap();
+
+    // Re-run the patched instruction: must observe the new immediate.
+    m.set_pc(code + 0x100);
+    m.run(4).unwrap();
+    assert_eq!(m.reg(Reg::R0), 2, "stale decode survived a code store");
+}
+
+#[test]
+fn decode_cache_is_privilege_aware() {
+    // The same pc decodes differently per privilege level only through
+    // translation; caching keys on (pc, level) so a supervisor decode
+    // is never served to user mode.
+    let mut m = machine(UarchProfile::zen2());
+    let code = VirtAddr::new(0x40_0000);
+    m.map_range(code, 0x1000, PageFlags::KERNEL_TEXT).unwrap();
+    m.poke(code, &[0xF4]); // hlt
+    m.set_level(PrivilegeLevel::Supervisor);
+    m.set_pc(code);
+    m.run(2).unwrap(); // caches (code, supervisor)
+    m.set_level(PrivilegeLevel::User);
+    m.set_pc(code);
+    // User fetch of supervisor-only page faults (no handler => error),
+    // it must NOT be served from the supervisor's cached decode.
+    assert!(matches!(m.run(2), Err(MachineError::Fault(_))));
+}

@@ -3,7 +3,6 @@
 
 use std::collections::HashSet;
 
-use phantom_isa::decode::decode;
 use phantom_isa::Inst;
 use phantom_mem::{AccessKind, VirtAddr};
 
@@ -61,8 +60,7 @@ impl Machine {
             if !self.transient_touch(tpc, true, &mut lines) {
                 break;
             }
-            let bytes = self.read_code_bytes(tpc, 15);
-            let (inst, len) = match decode(&bytes) {
+            let (inst, len) = match self.cached_decode(tpc) {
                 Some(pair) => pair,
                 None => break,
             };
@@ -96,41 +94,41 @@ impl Machine {
             report.executed_uops += 1;
             self.emit(PipelineEvent::WrongPathUop { pc: tpc });
             match inst {
-                Inst::Nop | Inst::NopN { .. } => tpc = tpc + len as u64,
+                Inst::Nop | Inst::NopN { .. } => tpc = tpc + len,
                 Inst::MovImm { dst, imm } => {
                     tregs[usize::from(dst.index())] = imm;
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::MovReg { dst, src } => {
                     tregs[usize::from(dst.index())] = tregs[usize::from(src.index())];
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::Alu { op, dst, src } => {
                     let d = usize::from(dst.index());
                     tregs[d] = op.apply(tregs[d], tregs[usize::from(src.index())]);
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::Shr { dst, amount } => {
                     let d = usize::from(dst.index());
                     tregs[d] >>= amount;
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::Shl { dst, amount } => {
                     let d = usize::from(dst.index());
                     tregs[d] <<= amount;
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::AndImm { dst, imm } => {
                     let d = usize::from(dst.index());
                     tregs[d] &= u64::from(imm);
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::Cmp { a, b } => {
                     let (av, bv) = (tregs[usize::from(a.index())], tregs[usize::from(b.index())]);
                     tzf = av == bv;
                     tcf = av < bv;
                     tsf = (av.wrapping_sub(bv) as i64) < 0;
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::Load { dst, base, disp } => {
                     let addr = VirtAddr::new(
@@ -157,12 +155,12 @@ impl Machine {
                             tregs[usize::from(dst.index())] = 0;
                         }
                     }
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::Store { .. } => {
                     // Stores never commit transiently; they occupy the
                     // store buffer and are dropped at squash.
-                    tpc = tpc + len as u64;
+                    tpc = tpc + len;
                 }
                 Inst::Jmp { .. } => {
                     tpc = VirtAddr::new(inst.direct_target(tpc.raw()).expect("direct"));
@@ -174,7 +172,7 @@ impl Machine {
                     if cond.eval(tzf, tsf, tcf) {
                         tpc = VirtAddr::new(inst.direct_target(tpc.raw()).expect("direct"));
                     } else {
-                        tpc = tpc + len as u64;
+                        tpc = tpc + len;
                     }
                 }
                 Inst::JmpInd { src } | Inst::CallInd { src } => {

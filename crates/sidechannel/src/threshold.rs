@@ -35,15 +35,29 @@ impl Calibration {
     /// Measure `rounds` hit and miss reloads on a scratch page and place
     /// the threshold between the distributions.
     ///
+    /// The scratch page is borrowed, not leaked: a page already mapped
+    /// at the scratch address is reused as-is (whatever its flags), and
+    /// a page this call had to map is unmapped again before returning —
+    /// so repeated calibrations on one machine are idempotent and never
+    /// collide with a caller's own use of the address.
+    ///
+    /// The threshold is the floor-biased midpoint of the two means,
+    /// clamped so it always classifies the observed hit mean as a hit
+    /// (`threshold > hit_mean`), even when the distributions sit within
+    /// a cycle of each other.
+    ///
     /// # Panics
     ///
     /// Panics if the scratch page cannot be mapped (machine out of
     /// memory during calibration is a setup bug).
     pub fn run(machine: &mut Machine, noise: &mut NoiseModel, rounds: usize) -> Calibration {
         let scratch = VirtAddr::new(0x5fff_0000);
-        machine
-            .map_range(scratch, 4096, PageFlags::USER_DATA)
-            .expect("calibration scratch page");
+        let premapped = machine.page_table().flags_of(scratch).is_some();
+        if !premapped {
+            machine
+                .map_range(scratch, 4096, PageFlags::USER_DATA)
+                .expect("calibration scratch page");
+        }
         let mut hit_total = 0u64;
         let mut miss_total = 0u64;
         for _ in 0..rounds.max(1) {
@@ -51,10 +65,14 @@ impl Calibration {
             miss_total += reload(machine, scratch, noise);
             hit_total += reload(machine, scratch, noise);
         }
+        if !premapped {
+            machine.unmap_range(scratch, 4096);
+        }
         let n = rounds.max(1) as f64;
         let hit_mean = hit_total as f64 / n;
         let miss_mean = miss_total as f64 / n;
-        let threshold = ((hit_mean + miss_mean) / 2.0).floor() as u64;
+        let mid = ((hit_mean + miss_mean) / 2.0).floor() as u64;
+        let threshold = mid.max(hit_mean.floor() as u64 + 1);
         Calibration {
             hit_mean,
             miss_mean,
@@ -88,6 +106,64 @@ mod tests {
         assert_eq!(
             cal.miss_mean as u64,
             cfg.l1_latency + cfg.l2_latency + cfg.memory_latency
+        );
+    }
+
+    #[test]
+    fn scratch_page_is_unmapped_after_calibration() {
+        let scratch = VirtAddr::new(0x5fff_0000);
+        let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+        let mut noise = NoiseModel::quiet(0);
+        let cal1 = Calibration::run(&mut m, &mut noise, 8);
+        assert_eq!(
+            m.page_table().flags_of(scratch),
+            None,
+            "calibration must not leak its scratch mapping"
+        );
+        // A second calibration on the same machine works and agrees.
+        let mut noise = NoiseModel::quiet(0);
+        let cal2 = Calibration::run(&mut m, &mut noise, 8);
+        assert_eq!(cal1, cal2);
+        // The address stays free for the caller to map however it likes.
+        m.map_range(scratch, 4096, PageFlags::USER_TEXT).unwrap();
+    }
+
+    #[test]
+    fn premapped_scratch_page_is_reused_and_kept() {
+        let scratch = VirtAddr::new(0x5fff_0000);
+        let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+        m.map_range(scratch, 4096, PageFlags::USER_DATA).unwrap();
+        let mut noise = NoiseModel::quiet(0);
+        Calibration::run(&mut m, &mut noise, 8);
+        assert_eq!(
+            m.page_table().flags_of(scratch),
+            Some(PageFlags::USER_DATA),
+            "a caller-owned scratch mapping must survive calibration"
+        );
+    }
+
+    #[test]
+    fn threshold_stays_above_hit_mean_for_near_equal_means() {
+        // Pathological hierarchy: a miss costs one cycle more than a
+        // hit. The floor-biased midpoint would equal the hit mean and
+        // classify every hit as a miss; the clamp keeps the documented
+        // `threshold > hit_mean` contract.
+        let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+        let cfg = phantom_cache::HierarchyConfig {
+            l2_latency: 0,
+            memory_latency: 1,
+            ..*m.caches().config()
+        };
+        *m.caches_mut() = phantom_cache::CacheHierarchy::new(cfg);
+        let mut noise = NoiseModel::quiet(0);
+        let cal = Calibration::run(&mut m, &mut noise, 8);
+        assert_eq!(cal.hit_mean, 4.0);
+        assert_eq!(cal.miss_mean, 5.0);
+        assert!(
+            (cal.threshold as f64) > cal.hit_mean,
+            "threshold {} must exceed hit mean {}",
+            cal.threshold,
+            cal.hit_mean
         );
     }
 }

@@ -9,8 +9,10 @@
 use phantom::covert::{execute_channel_on, fetch_channel_on, table2_on, CovertConfig};
 use phantom::experiment::table1_on;
 use phantom::report;
+use phantom::report::json::BenchSnapshot;
 use phantom::runner::TrialRunner;
 use phantom::UarchProfile;
+use phantom_bench::{collect_snapshot, BenchConfig};
 
 #[test]
 fn table1_report_is_byte_identical_across_thread_counts() {
@@ -50,4 +52,36 @@ fn channel_results_match_field_by_field_across_thread_counts() {
         execute_channel_on(&TrialRunner::with_threads(5), UarchProfile::zen1(), config).unwrap();
     assert_eq!(base.accuracy, sharded.accuracy);
     assert_eq!(base.seconds, sharded.seconds);
+}
+
+/// The canonical `repro bench` snapshot — every experiment, serialized
+/// — is byte-identical at 1 and 8 worker threads. This is the
+/// machine-readable analogue of the rendered-report tests above, and
+/// what makes a committed `BENCH_phantom.json` diffable across hosts.
+#[test]
+fn bench_snapshot_json_is_byte_identical_across_thread_counts() {
+    let cfg = BenchConfig::default();
+    let one = collect_snapshot(&TrialRunner::with_threads(1), &cfg)
+        .unwrap()
+        .to_json_string();
+    let eight = collect_snapshot(&TrialRunner::with_threads(8), &cfg)
+        .unwrap()
+        .to_json_string();
+    assert_eq!(one, eight, "snapshot bytes depend on thread count");
+}
+
+/// A full snapshot — which embeds every record type in `report::json`,
+/// including the host section — survives serialize → parse → compare.
+#[test]
+fn bench_snapshot_round_trips_through_json() {
+    let cfg = BenchConfig {
+        host_meta: true,
+        ..BenchConfig::default()
+    };
+    let snapshot = collect_snapshot(&TrialRunner::with_threads(2), &cfg).unwrap();
+    assert!(snapshot.host.is_some(), "host section requested");
+    let text = snapshot.to_json_string();
+    let reparsed = BenchSnapshot::from_json_str(&text).unwrap();
+    assert_eq!(snapshot, reparsed);
+    assert_eq!(text, reparsed.to_json_string());
 }
