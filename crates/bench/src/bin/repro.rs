@@ -346,6 +346,38 @@ fn bench(r: &TrialRunner, flags: &BenchFlags) -> Result<(), phantom_bench::Runne
             for reg in &regressions {
                 eprintln!("  {reg}");
             }
+            // The raw hot-path counters make a hit-rate regression
+            // diagnosable from CI logs alone.
+            eprintln!("perf counters (baseline -> current):");
+            let (b, c) = (&baseline.perf, &snap.perf);
+            for (name, bv, cv) in [
+                (
+                    "decode_cache_hits",
+                    b.decode_cache_hits,
+                    c.decode_cache_hits,
+                ),
+                (
+                    "decode_cache_misses",
+                    b.decode_cache_misses,
+                    c.decode_cache_misses,
+                ),
+                ("tlb_hits", b.tlb_hits, c.tlb_hits),
+                ("tlb_misses", b.tlb_misses, c.tlb_misses),
+                ("cow_faults", b.cow_faults, c.cow_faults),
+                (
+                    "cow_frames_shared",
+                    b.cow_frames_shared,
+                    c.cow_frames_shared,
+                ),
+                (
+                    "restore_frames_copied",
+                    b.restore_frames_copied,
+                    c.restore_frames_copied,
+                ),
+            ] {
+                let marker = if bv == cv { "" } else { "  <-- changed" };
+                eprintln!("  {name}: {bv} -> {cv}{marker}");
+            }
             std::process::exit(1);
         }
     }

@@ -27,7 +27,10 @@ use phantom_mem::VirtAddr;
 pub mod snapshot;
 
 pub use phantom::attacks::scan_window;
-pub use snapshot::{collect_snapshot, decode_cache_reference, decode_cache_wall_ab, BenchConfig};
+pub use snapshot::{
+    collect_snapshot, cow_reference, decode_cache_reference, decode_cache_wall_ab,
+    snapshot_wall_ab, tlb_reference, BenchConfig,
+};
 
 /// A boxed error for runner signatures.
 pub type RunnerError = Box<dyn std::error::Error + Send + Sync>;

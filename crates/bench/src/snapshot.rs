@@ -26,6 +26,7 @@ use phantom::UarchProfile;
 use phantom_isa::asm::Assembler;
 use phantom_isa::inst::AluOp;
 use phantom_isa::{Inst, Reg};
+use phantom_kernel::System;
 use phantom_mem::{PageFlags, VirtAddr};
 use phantom_pipeline::Machine;
 
@@ -101,6 +102,134 @@ pub fn decode_cache_reference() -> (u64, u64) {
     let mut m = reference_machine();
     m.run(REFERENCE_STEPS).expect("reference workload runs");
     m.decode_cache_stats()
+}
+
+/// Run the fixed reference workload and return the machine's TLB
+/// `(hits, misses)` — the page walks the translation fast path
+/// skipped vs took. Pure function of the workload.
+pub fn tlb_reference() -> (u64, u64) {
+    let mut m = reference_machine();
+    m.run(REFERENCE_STEPS).expect("reference workload runs");
+    (m.tlb().hits(), m.tlb().misses())
+}
+
+/// Base of the data pages the CoW reference workload dirties.
+const COW_DATA_BASE: u64 = 0x50_0000;
+/// Data pages the CoW reference workload stores to per round.
+const COW_DIRTY_PAGES: u64 = 8;
+/// Checkpoint/rewind round trips the CoW reference workload runs.
+const COW_ROUNDS: usize = 4;
+
+/// A machine whose hot loop stores into [`COW_DIRTY_PAGES`] distinct
+/// data pages — the dirty footprint a snapshot/restore round trip
+/// pays for.
+fn cow_reference_machine() -> Machine {
+    let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+    m.map_range(
+        VirtAddr::new(COW_DATA_BASE),
+        COW_DIRTY_PAGES * phantom_mem::PAGE_SIZE,
+        PageFlags::USER_DATA,
+    )
+    .expect("data pages fit");
+    // Materialize the data frames so every round's stores hit shared
+    // (checkpointed) frames and the fault counts are exact multiples.
+    m.poke(
+        VirtAddr::new(COW_DATA_BASE),
+        &vec![0u8; (COW_DIRTY_PAGES * phantom_mem::PAGE_SIZE) as usize],
+    );
+    let mut a = Assembler::new(0x40_0000);
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: COW_DATA_BASE,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: 1,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R2,
+        imm: 0x1234_5678,
+    });
+    a.label("hot");
+    for page in 0..COW_DIRTY_PAGES {
+        a.push(Inst::Store {
+            base: Reg::R0,
+            disp: (page * phantom_mem::PAGE_SIZE) as i32,
+            src: Reg::R2,
+        });
+    }
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: Reg::R2,
+        src: Reg::R1,
+    });
+    a.jmp("hot");
+    let blob = a.finish().expect("cow reference workload assembles");
+    m.load_blob(&blob, PageFlags::USER_TEXT)
+        .expect("cow reference workload fits");
+    m.set_pc(VirtAddr::new(blob.base));
+    m
+}
+
+/// Run the fixed checkpoint/rewind reference workload — [`COW_ROUNDS`]
+/// round trips of run-then-restore over a snapshot — and return the
+/// physical memory's `(cow_faults, cow_frames_shared,
+/// restore_frames_copied)`. Pure function of the workload: every
+/// counter is driven by the modeled machine, never by host state.
+pub fn cow_reference() -> (u64, u64, u64) {
+    let mut m = cow_reference_machine();
+    let snap = m.snapshot();
+    for _ in 0..COW_ROUNDS {
+        m.run(64).expect("cow reference workload runs");
+        m.restore(&snap);
+    }
+    let phys = m.phys();
+    (
+        phys.cow_faults(),
+        phys.cow_frames_shared(),
+        phys.restore_frames_copied(),
+    )
+}
+
+/// Host wall-clock A/B of checkpoint/rewind on the Table 2 receiver
+/// machine (a booted [`System`] at the covert channel's 1 GiB scale),
+/// in seconds: `(copy-on-write, deep-copy)` for the same
+/// dirty-then-restore loop. The deep side emulates the pre-CoW
+/// restore by materializing every resident frame per round trip —
+/// exactly what the old whole-machine clone paid. Host-volatile —
+/// `host` section only.
+pub fn snapshot_wall_ab() -> (f64, f64) {
+    const ROUNDS: usize = 32;
+    let measure = |deep_copy: bool| -> f64 {
+        let mut sys = System::new(UarchProfile::zen2(), 1 << 30, 0).expect("system boots");
+        // Warm memory a trained receiver would carry: 1 MiB of
+        // attacker state, materialized pre-snapshot.
+        let scratch = VirtAddr::new(0x5000_0000);
+        let scratch_len: u64 = 1 << 20;
+        sys.machine_mut()
+            .map_range(scratch, scratch_len, PageFlags::USER_DATA)
+            .expect("scratch fits");
+        let warm = vec![0xa5u8; scratch_len as usize];
+        sys.machine_mut().poke(scratch, &warm);
+        let snap = sys.machine_mut().snapshot();
+        let deep = deep_copy.then(|| sys.machine().phys().deep_clone());
+        let start = Instant::now();
+        for round in 0..ROUNDS {
+            // Dirty a handful of pages, as one trial does.
+            for page in 0..8u64 {
+                sys.machine_mut()
+                    .poke_u64(scratch + page * phantom_mem::PAGE_SIZE, round as u64);
+            }
+            sys.machine_mut().restore(&snap);
+            if let Some(deep) = &deep {
+                // The old restore rebuilt physical memory frame by
+                // frame from the snapshot's full copy.
+                *sys.machine_mut().phys_mut() = deep.deep_clone();
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    (measure(false), measure(true))
 }
 
 /// Host wall-clock A/B of the same workload with the decode cache
@@ -279,10 +408,17 @@ pub fn collect_snapshot(
     let gadgets = GadgetRecord::from(&phantom::gadgets::census(&corpus));
 
     let (hits, misses) = decode_cache_reference();
+    let (tlb_hits, tlb_misses) = tlb_reference();
+    let (cow_faults, cow_frames_shared, restore_frames_copied) = cow_reference();
     let perf = PerfRecord {
         decode_cache_hits: hits,
         decode_cache_misses: misses,
         decodes_avoided: hits,
+        tlb_hits,
+        tlb_misses,
+        cow_faults,
+        cow_frames_shared,
+        restore_frames_copied,
     };
 
     let host = if cfg.host_meta {
@@ -290,6 +426,7 @@ pub fn collect_snapshot(
             threads: runner.threads() as u64,
             wall_seconds: wall,
             decode_cache_wall: Some(decode_cache_wall_ab()),
+            snapshot_wall: Some(snapshot_wall_ab()),
         })
     } else {
         None
@@ -328,6 +465,29 @@ mod tests {
         let (h2, m2) = decode_cache_reference();
         assert_eq!((h1, m1), (h2, m2));
         assert!(h1 > m1 * 100, "hot loop: {h1} hits vs {m1} misses");
+    }
+
+    #[test]
+    fn tlb_reference_is_deterministic_and_hit_dominated() {
+        let (h1, m1) = tlb_reference();
+        let (h2, m2) = tlb_reference();
+        assert_eq!((h1, m1), (h2, m2));
+        assert!(h1 > m1 * 100, "hot loop: {h1} hits vs {m1} misses");
+    }
+
+    #[test]
+    fn cow_reference_is_deterministic_and_counts_only_dirty_frames() {
+        let a = cow_reference();
+        let b = cow_reference();
+        assert_eq!(a, b);
+        let (cow_faults, shared, copied) = a;
+        // Each round unshares exactly the stored-to data pages, and
+        // each restore copies exactly those back.
+        assert_eq!(cow_faults, COW_DIRTY_PAGES * COW_ROUNDS as u64);
+        assert_eq!(copied, COW_DIRTY_PAGES * COW_ROUNDS as u64);
+        // After the final restore every resident frame is shared with
+        // the snapshot again.
+        assert!(shared >= COW_DIRTY_PAGES, "{shared} frames shared");
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl Scenario for ChannelScenario {
             CovertKind::Fetch => 0xc0de,
             CovertKind::Execute => 0xe8ec,
         };
-        let sys = System::new(self.profile.clone(), 1 << 30, self.config.seed ^ boot_salt)
+        let mut sys = System::new(self.profile.clone(), 1 << 30, self.config.seed ^ boot_salt)
             .map_err(|e| PrimitiveError(e.to_string()))?;
         let attacker = VirtAddr::new(0x5000_0000);
         let cfg = PrimitiveConfig::for_system(&sys, attacker);
@@ -169,7 +169,7 @@ impl Scenario for ChannelScenario {
                 )
             }
         };
-        let snap = sys.machine().snapshot();
+        let snap = sys.machine_mut().snapshot();
         let snap_cycles = sys.machine().cycles();
         Ok(ChannelState {
             sys,

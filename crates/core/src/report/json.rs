@@ -1017,9 +1017,10 @@ impl GadgetRecord {
     }
 }
 
-/// Deterministic hot-path counters: the measured decode-cache win.
+/// Deterministic hot-path counters: the measured decode-cache, TLB
+/// and copy-on-write snapshot wins.
 ///
-/// `hits`/`misses` come from a fixed reference workload, so they are
+/// Every counter comes from a fixed reference workload, so they are
 /// part of the canonical snapshot and diffable against a baseline —
 /// a hit-rate drop is a perf regression the gate can catch without
 /// trusting wall clocks.
@@ -1031,16 +1032,39 @@ pub struct PerfRecord {
     pub decode_cache_misses: u64,
     /// Full decodes the cache eliminated (equals `hits`).
     pub decodes_avoided: u64,
+    /// TLB hits on the reference workload (page walks skipped by the
+    /// translation fast path).
+    pub tlb_hits: u64,
+    /// TLB misses on the reference workload (page walks taken).
+    pub tlb_misses: u64,
+    /// Frames unshared by a write after a checkpoint on the
+    /// snapshot/restore reference workload.
+    pub cow_faults: u64,
+    /// Frames still shared between the live memory and its snapshot at
+    /// the end of the snapshot/restore reference workload.
+    pub cow_frames_shared: u64,
+    /// Frames rewound by `restore` on the snapshot/restore reference
+    /// workload (the O(dirty) restore cost).
+    pub restore_frames_copied: u64,
 }
 
 impl PerfRecord {
-    /// Hit fraction of the reference workload, in `[0, 1]`.
+    /// Decode-cache hit fraction of the reference workload, in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
         let total = self.decode_cache_hits + self.decode_cache_misses;
         if total == 0 {
             return 0.0;
         }
         self.decode_cache_hits as f64 / total as f64
+    }
+
+    /// TLB hit fraction of the reference workload, in `[0, 1]`.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.tlb_hits as f64 / total as f64
     }
 
     /// Encode as a JSON object.
@@ -1051,20 +1075,36 @@ impl PerfRecord {
                 "decode_cache_misses",
                 JsonValue::Uint(self.decode_cache_misses),
             )
-            .set("decodes_avoided", JsonValue::Uint(self.decodes_avoided));
+            .set("decodes_avoided", JsonValue::Uint(self.decodes_avoided))
+            .set("tlb_hits", JsonValue::Uint(self.tlb_hits))
+            .set("tlb_misses", JsonValue::Uint(self.tlb_misses))
+            .set("cow_faults", JsonValue::Uint(self.cow_faults))
+            .set("cow_frames_shared", JsonValue::Uint(self.cow_frames_shared))
+            .set(
+                "restore_frames_copied",
+                JsonValue::Uint(self.restore_frames_copied),
+            );
         o
     }
 
-    /// Decode from a JSON object.
+    /// Decode from a JSON object. Counters introduced after a baseline
+    /// was recorded parse leniently (absent ⇒ 0) so old baselines keep
+    /// loading.
     ///
     /// # Errors
     ///
     /// Returns a [`SchemaError`] on a shape mismatch.
     pub fn from_json(v: &JsonValue) -> Result<PerfRecord, SchemaError> {
+        let lenient = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
         Ok(PerfRecord {
             decode_cache_hits: u64_field(v, "decode_cache_hits")?,
             decode_cache_misses: u64_field(v, "decode_cache_misses")?,
             decodes_avoided: u64_field(v, "decodes_avoided")?,
+            tlb_hits: lenient("tlb_hits"),
+            tlb_misses: lenient("tlb_misses"),
+            cow_faults: lenient("cow_faults"),
+            cow_frames_shared: lenient("cow_frames_shared"),
+            restore_frames_copied: lenient("restore_frames_copied"),
         })
     }
 }
@@ -1081,6 +1121,10 @@ pub struct HostMeta {
     /// Wall-clock A/B of the decode cache on the reference workload:
     /// `(enabled seconds, disabled seconds)`.
     pub decode_cache_wall: Option<(f64, f64)>,
+    /// Wall-clock A/B of checkpoint/rewind on the reference workload:
+    /// `(copy-on-write seconds, deep-copy seconds)` for the same
+    /// snapshot + dirty + restore loop.
+    pub snapshot_wall: Option<(f64, f64)>,
 }
 
 impl HostMeta {
@@ -1107,6 +1151,12 @@ impl HostMeta {
                 .set("disabled_seconds", JsonValue::Float(off));
             o.set("decode_cache_wall", w);
         }
+        if let Some((cow, deep)) = self.snapshot_wall {
+            let mut w = JsonValue::object();
+            w.set("cow_seconds", JsonValue::Float(cow))
+                .set("deep_seconds", JsonValue::Float(deep));
+            o.set("snapshot_wall", w);
+        }
         o
     }
 
@@ -1126,6 +1176,12 @@ impl HostMeta {
                     f64_field(w, "enabled_seconds")?,
                     f64_field(w, "disabled_seconds")?,
                 )),
+                _ => None,
+            },
+            snapshot_wall: match v.get("snapshot_wall") {
+                Some(w) if !w.is_null() => {
+                    Some((f64_field(w, "cow_seconds")?, f64_field(w, "deep_seconds")?))
+                }
                 _ => None,
             },
         })
@@ -1493,6 +1549,18 @@ pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, tol: &Tolerance) 
         current.perf.hit_rate(),
     );
 
+    // Only gate the TLB hit rate when the baseline has one — older
+    // baselines predate the counter and parse it as 0/0.
+    if baseline.perf.tlb_hits + baseline.perf.tlb_misses > 0 {
+        check_accuracy(
+            &mut out,
+            tol,
+            "perf.tlb.hit_rate".to_string(),
+            baseline.perf.tlb_hit_rate(),
+            current.perf.tlb_hit_rate(),
+        );
+    }
+
     out
 }
 
@@ -1607,6 +1675,11 @@ mod tests {
                 decode_cache_hits: 997,
                 decode_cache_misses: 3,
                 decodes_avoided: 997,
+                tlb_hits: 4000,
+                tlb_misses: 12,
+                cow_faults: 9,
+                cow_frames_shared: 700,
+                restore_frames_copied: 27,
             },
             host: None,
         }
@@ -1657,6 +1730,7 @@ mod tests {
             threads: 8,
             wall_seconds: vec![("table1".into(), 1.25)],
             decode_cache_wall: Some((0.8, 1.3)),
+            snapshot_wall: Some((0.02, 0.41)),
         });
         let back = BenchSnapshot::from_json_str(&snap.to_json_string()).expect("parses");
         assert_eq!(back, snap);
@@ -1741,6 +1815,42 @@ mod tests {
         assert!(
             regs.iter().any(|r| r.metric.contains("decode_cache")),
             "{regs:?}"
+        );
+    }
+
+    #[test]
+    fn tlb_hit_rate_regression_flags() {
+        let base = sample_snapshot();
+        let mut cur = base.clone();
+        cur.perf.tlb_hits = 2000;
+        cur.perf.tlb_misses = 2012;
+        let regs = diff(&base, &cur, &Tolerance::default());
+        assert!(regs.iter().any(|r| r.metric.contains("tlb")), "{regs:?}");
+    }
+
+    #[test]
+    fn perf_counters_added_after_a_baseline_parse_as_zero() {
+        // A baseline recorded before the TLB/CoW counters existed must
+        // still load, with the absent counters defaulting to zero…
+        let mut old = JsonValue::object();
+        old.set("decode_cache_hits", JsonValue::Uint(997))
+            .set("decode_cache_misses", JsonValue::Uint(3))
+            .set("decodes_avoided", JsonValue::Uint(997));
+        let perf = PerfRecord::from_json(&old).expect("old-shape perf parses");
+        assert_eq!(perf.tlb_hits, 0);
+        assert_eq!(perf.tlb_misses, 0);
+        assert_eq!(perf.restore_frames_copied, 0);
+        // …and such a baseline must not gate the TLB hit rate at all.
+        let mut base = sample_snapshot();
+        base.perf = perf;
+        let mut cur = sample_snapshot();
+        cur.perf.tlb_hits = 0;
+        cur.perf.tlb_misses = 4012;
+        assert!(
+            diff(&base, &cur, &Tolerance::default())
+                .iter()
+                .all(|r| !r.metric.contains("tlb")),
+            "old baseline must not flag tlb"
         );
     }
 }

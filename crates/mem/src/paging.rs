@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
+use std::sync::Arc;
 
 use crate::addr::{PhysAddr, VirtAddr, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE, PAGE_SHIFT};
 use crate::fault::{AccessKind, FaultReason, PageFault};
@@ -150,8 +151,13 @@ struct Mapping {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    small: BTreeMap<u64, Mapping>,
-    huge: BTreeMap<u64, Mapping>,
+    small: Arc<BTreeMap<u64, Mapping>>,
+    huge: Arc<BTreeMap<u64, Mapping>>,
+    /// Bumped by every mutation; lets cached translations (TLB fast
+    /// paths) prove their entry still reflects the table. The maps are
+    /// `Arc`-backed so cloning a table (snapshots, per-shard setup) is
+    /// two pointer bumps; the first mutation after a clone unshares.
+    version: u64,
 }
 
 impl PageTable {
@@ -169,7 +175,8 @@ impl PageTable {
         flags: PageFlags,
     ) -> Option<(PhysAddr, PageFlags)> {
         debug_assert!(va.is_aligned(1 << PAGE_SHIFT), "unaligned 4k mapping {va}");
-        self.small
+        self.version += 1;
+        Arc::make_mut(&mut self.small)
             .insert(
                 va.page_number(),
                 Mapping {
@@ -189,7 +196,8 @@ impl PageTable {
         flags: PageFlags,
     ) -> Option<(PhysAddr, PageFlags)> {
         debug_assert!(va.is_aligned(HUGE_PAGE_SIZE), "unaligned 2M mapping {va}");
-        self.huge
+        self.version += 1;
+        Arc::make_mut(&mut self.huge)
             .insert(
                 va.raw() >> HUGE_PAGE_SHIFT,
                 Mapping {
@@ -202,7 +210,11 @@ impl PageTable {
 
     /// Remove the 4 KiB mapping covering `va`, if any.
     pub fn unmap_4k(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageFlags)> {
-        self.small
+        if !self.small.contains_key(&va.page_number()) {
+            return None;
+        }
+        self.version += 1;
+        Arc::make_mut(&mut self.small)
             .remove(&va.page_number())
             .map(|m| (m.frame, m.flags))
     }
@@ -212,12 +224,20 @@ impl PageTable {
     /// setup does exactly this: "changing the PTE attributes of address K,
     /// we make it accessible to user space".
     pub fn set_flags(&mut self, va: VirtAddr, flags: PageFlags) -> Option<PageFlags> {
-        if let Some(m) = self.small.get_mut(&va.page_number()) {
+        if self.small.contains_key(&va.page_number()) {
+            self.version += 1;
+            let m = Arc::make_mut(&mut self.small)
+                .get_mut(&va.page_number())
+                .expect("checked above");
             let old = m.flags;
             m.flags = flags;
             return Some(old);
         }
-        if let Some(m) = self.huge.get_mut(&(va.raw() >> HUGE_PAGE_SHIFT)) {
+        if self.huge.contains_key(&(va.raw() >> HUGE_PAGE_SHIFT)) {
+            self.version += 1;
+            let m = Arc::make_mut(&mut self.huge)
+                .get_mut(&(va.raw() >> HUGE_PAGE_SHIFT))
+                .expect("checked above");
             let old = m.flags;
             m.flags = flags | PageFlags::HUGE;
             return Some(old);
@@ -228,6 +248,12 @@ impl PageTable {
     /// The flags of the mapping covering `va`, if present in the table.
     pub fn flags_of(&self, va: VirtAddr) -> Option<PageFlags> {
         self.lookup(va).map(|m| m.flags)
+    }
+
+    /// Mutation counter: unchanged version means unchanged table, so a
+    /// translation cached against this version is still exact.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     fn lookup(&self, va: VirtAddr) -> Option<Mapping> {
@@ -524,6 +550,50 @@ mod tests {
             .reason,
             FaultReason::NotPresent
         );
+    }
+
+    #[test]
+    fn version_tracks_mutations_only() {
+        let mut pt = PageTable::new();
+        let v0 = pt.version();
+        assert!(pt
+            .translate(
+                VirtAddr::new(0x1000),
+                AccessKind::Read,
+                PrivilegeLevel::User
+            )
+            .is_err());
+        assert_eq!(pt.version(), v0, "reads leave the version alone");
+        pt.map_4k(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x10_000),
+            PageFlags::USER_DATA,
+        );
+        let v1 = pt.version();
+        assert!(v1 > v0);
+        assert!(pt.unmap_4k(VirtAddr::new(0x9000)).is_none());
+        assert!(pt
+            .set_flags(VirtAddr::new(0x9000), PageFlags::NONE)
+            .is_none());
+        assert_eq!(pt.version(), v1, "no-op mutators leave the version alone");
+        pt.set_flags(VirtAddr::new(0x1000), PageFlags::USER_TEXT);
+        assert!(pt.version() > v1);
+    }
+
+    #[test]
+    fn clones_share_until_mutated() {
+        let mut pt = table();
+        let clone = pt.clone();
+        assert_eq!(clone.version(), pt.version());
+        pt.unmap_4k(VirtAddr::new(0x1000));
+        assert!(clone
+            .translate(
+                VirtAddr::new(0x1000),
+                AccessKind::Read,
+                PrivilegeLevel::User
+            )
+            .is_ok());
+        assert!(pt.version() > clone.version());
     }
 
     #[test]

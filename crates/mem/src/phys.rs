@@ -1,6 +1,8 @@
-//! Sparse physical memory with frame allocation.
+//! Sparse physical memory with frame allocation and copy-on-write
+//! checkpointing.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use crate::addr::{PhysAddr, PAGE_SIZE};
 
@@ -19,10 +21,33 @@ impl std::fmt::Display for OutOfFrames {
 
 impl std::error::Error for OutOfFrames {}
 
+/// One all-zero frame shared by every memory: restore points absent
+/// frames here instead of deallocating, so earlier checkpoints that
+/// still reference the frame number stay restorable.
+fn zero_frame() -> Arc<[u8; PAGE_SIZE as usize]> {
+    static ZERO: OnceLock<Arc<[u8; PAGE_SIZE as usize]>> = OnceLock::new();
+    Arc::clone(ZERO.get_or_init(|| Arc::new([0; PAGE_SIZE as usize])))
+}
+
+/// A resident frame: reference-counted contents plus the write epoch
+/// that last touched it (see [`PhysMemory::snapshot`]).
+#[derive(Debug, Clone)]
+struct Frame {
+    data: Arc<[u8; PAGE_SIZE as usize]>,
+    epoch: u64,
+}
+
 /// Sparse, frame-granular physical memory.
 ///
 /// Frames are 4 KiB and materialized lazily so "64 GiB" machines (Table 5
 /// runs with 8 GiB and 64 GiB parts) cost only what is touched.
+///
+/// Frames are backed by `Arc`s and copy-on-write: [`Clone`] and
+/// [`snapshot`](PhysMemory::snapshot) share every frame with the copy
+/// (O(resident frames) pointer bumps), the first write to a shared
+/// frame pays one 4 KiB copy, and
+/// [`restore_from`](PhysMemory::restore_from) copies back only the
+/// frames written since the checkpoint.
 ///
 /// # Examples
 ///
@@ -33,12 +58,25 @@ impl std::error::Error for OutOfFrames {}
 /// m.write_u64(f + 8, 0xdead_beef);
 /// assert_eq!(m.read_u64(f + 8), 0xdead_beef);
 /// assert_eq!(m.read_u8(f), 0); // untouched bytes read as zero
+///
+/// let snap = m.snapshot();
+/// m.write_u64(f + 8, 0);
+/// m.restore_from(&snap);
+/// assert_eq!(m.read_u64(f + 8), 0xdead_beef);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PhysMemory {
     capacity: u64,
-    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    frames: HashMap<u64, Frame>,
     next_free: u64,
+    /// Frames skipped by `alloc_huge` alignment, handed back out by
+    /// `alloc_frame` once the bump region is exhausted.
+    recycled: Vec<u64>,
+    /// Current write epoch. Bumped by `snapshot` so writes after a
+    /// checkpoint are distinguishable from the state it captured.
+    epoch: u64,
+    cow_faults: u64,
+    restore_frames_copied: u64,
 }
 
 impl PhysMemory {
@@ -47,8 +85,7 @@ impl PhysMemory {
     pub fn new(capacity: u64) -> PhysMemory {
         PhysMemory {
             capacity: capacity & !(PAGE_SIZE - 1),
-            frames: HashMap::new(),
-            next_free: 0,
+            ..PhysMemory::default()
         }
     }
 
@@ -62,16 +99,21 @@ impl PhysMemory {
         self.frames.len()
     }
 
-    /// Allocate the next free frame (bump allocator).
+    /// Allocate the next free frame (bump allocator, falling back to
+    /// frames recycled from `alloc_huge` alignment gaps once the bump
+    /// region is exhausted).
     ///
     /// # Errors
     ///
     /// Returns [`OutOfFrames`] when the configured capacity is exhausted.
     pub fn alloc_frame(&mut self) -> Result<PhysAddr, OutOfFrames> {
         if self.next_free + PAGE_SIZE > self.capacity {
-            return Err(OutOfFrames {
-                capacity: self.capacity,
-            });
+            return match self.recycled.pop() {
+                Some(base) => Ok(PhysAddr::new(base)),
+                None => Err(OutOfFrames {
+                    capacity: self.capacity,
+                }),
+            };
         }
         let pa = PhysAddr::new(self.next_free);
         self.next_free += PAGE_SIZE;
@@ -95,7 +137,10 @@ impl PhysMemory {
     }
 
     /// Allocate a 2 MiB-aligned run of 512 frames (a transparent huge
-    /// page, as the physmap and Table 5 attacks use).
+    /// page, as the physmap and Table 5 attacks use). Frames skipped to
+    /// reach the alignment boundary are recycled: `alloc_frame` hands
+    /// them out once the bump region is exhausted, so alignment never
+    /// costs capacity.
     ///
     /// # Errors
     ///
@@ -108,21 +153,113 @@ impl PhysMemory {
                 capacity: self.capacity,
             });
         }
+        let mut gap = self.next_free;
+        while gap < aligned {
+            self.recycled.push(gap);
+            gap += PAGE_SIZE;
+        }
         self.next_free = aligned + HUGE;
         Ok(PhysAddr::new(aligned))
     }
 
-    fn frame_mut(&mut self, pa: PhysAddr) -> &mut [u8; PAGE_SIZE as usize] {
+    /// Take a copy-on-write checkpoint: the returned memory shares every
+    /// frame with `self` (pointer bumps only), and the epoch bump makes
+    /// later writes to `self` detectable by [`restore_from`].
+    ///
+    /// [`restore_from`]: PhysMemory::restore_from
+    pub fn snapshot(&mut self) -> PhysMemory {
+        let snap = self.clone();
+        self.epoch += 1;
+        snap
+    }
+
+    /// Rewind to `snap`, a checkpoint taken from this memory's own
+    /// timeline (via [`snapshot`](PhysMemory::snapshot), possibly with
+    /// other checkpoints and restores in between). Only frames written
+    /// since the checkpoint are copied back; frames materialized after
+    /// it are pointed at a shared zero frame (observationally identical
+    /// to absent, and keeps other outstanding checkpoints restorable).
+    pub fn restore_from(&mut self, snap: &PhysMemory) {
+        debug_assert!(
+            snap.frames.keys().all(|k| self.frames.contains_key(k)),
+            "restore_from: snapshot is not from this memory's timeline"
+        );
+        self.capacity = snap.capacity;
+        self.next_free = snap.next_free;
+        self.recycled.clone_from(&snap.recycled);
+        // The live epoch must stay strictly above every outstanding
+        // checkpoint's cutoff so restored frames remain conservatively
+        // dirty with respect to all of them.
+        self.epoch = self.epoch.max(snap.epoch + 1);
+        let epoch = self.epoch;
+        let mut copied = 0u64;
+        for (page, frame) in &mut self.frames {
+            if frame.epoch <= snap.epoch {
+                continue; // untouched since the checkpoint
+            }
+            frame.data = match snap.frames.get(page) {
+                Some(original) => Arc::clone(&original.data),
+                None => zero_frame(),
+            };
+            frame.epoch = epoch;
+            copied += 1;
+        }
+        self.restore_frames_copied += copied;
+    }
+
+    /// A fully independent copy: every frame's contents are duplicated
+    /// rather than shared. This is the pre-CoW snapshot cost, kept for
+    /// wall-clock A/B comparisons.
+    pub fn deep_clone(&self) -> PhysMemory {
+        let mut copy = self.clone();
+        for frame in copy.frames.values_mut() {
+            frame.data = Arc::new(*frame.data);
+        }
+        copy
+    }
+
+    /// Writes that had to copy a frame shared with a checkpoint (each
+    /// paid one 4 KiB copy).
+    pub fn cow_faults(&self) -> u64 {
+        self.cow_faults
+    }
+
+    /// Frames copied back by [`restore_from`](PhysMemory::restore_from)
+    /// over this memory's lifetime.
+    pub fn restore_frames_copied(&self) -> u64 {
+        self.restore_frames_copied
+    }
+
+    /// Resident frames currently sharing contents with a checkpoint (or
+    /// the global zero frame) instead of owning a private copy.
+    pub fn cow_frames_shared(&self) -> u64 {
         self.frames
+            .values()
+            .filter(|f| Arc::strong_count(&f.data) > 1)
+            .count() as u64
+    }
+
+    fn frame_mut(&mut self, pa: PhysAddr) -> &mut [u8; PAGE_SIZE as usize] {
+        let epoch = self.epoch;
+        let frame = self
+            .frames
             .entry(pa.page_number())
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+            .or_insert_with(|| Frame {
+                data: Arc::new([0; PAGE_SIZE as usize]),
+                epoch,
+            });
+        frame.epoch = epoch;
+        if Arc::strong_count(&frame.data) > 1 {
+            self.cow_faults += 1;
+        }
+        Arc::make_mut(&mut frame.data)
     }
 
     /// Read one byte. Unmaterialized memory reads as zero.
     pub fn read_u8(&self, pa: PhysAddr) -> u8 {
         self.frames
             .get(&pa.page_number())
-            .map_or(0, |f| f[pa.page_offset() as usize])
+            .map_or(0, |f| f.data[pa.page_offset() as usize])
     }
 
     /// Write one byte.
@@ -170,7 +307,7 @@ impl PhysMemory {
             match self.frames.get(&addr.page_number()) {
                 Some(frame) => {
                     let start = addr.page_offset() as usize;
-                    out.extend_from_slice(&frame[start..start + chunk]);
+                    out.extend_from_slice(&frame.data[start..start + chunk]);
                 }
                 None => out.extend(std::iter::repeat_n(0, chunk)),
             }
@@ -213,6 +350,37 @@ mod tests {
     }
 
     #[test]
+    fn huge_page_alignment_gaps_are_recycled() {
+        const HUGE: u64 = 2 * 1024 * 1024;
+        let mut m = PhysMemory::new(2 * HUGE);
+        m.alloc_frame().unwrap(); // misalign: 511 frames skipped by alloc_huge
+        let h = m.alloc_huge().unwrap();
+        assert_eq!(h.raw(), HUGE);
+        // The bump region is exhausted; exactly the 511 gap frames remain.
+        let mut recycled = Vec::new();
+        while let Ok(pa) = m.alloc_frame() {
+            recycled.push(pa.raw());
+        }
+        assert_eq!(recycled.len(), 511);
+        recycled.sort_unstable();
+        let expected: Vec<u64> = (1..512).map(|i| i * PAGE_SIZE).collect();
+        assert_eq!(recycled, expected, "every skipped frame is handed out once");
+    }
+
+    #[test]
+    fn bump_region_is_preferred_over_recycled_frames() {
+        const HUGE: u64 = 2 * 1024 * 1024;
+        let mut m = PhysMemory::new(4 * HUGE);
+        m.alloc_frame().unwrap();
+        m.alloc_huge().unwrap();
+        // Capacity left above the huge page: bump allocation continues
+        // there, leaving the gap untouched (so allocation addresses of
+        // non-exhausted runs are unchanged by recycling).
+        let next = m.alloc_frame().unwrap();
+        assert_eq!(next.raw(), 2 * HUGE);
+    }
+
+    #[test]
     fn u64_roundtrip_straddles_frames() {
         let mut m = PhysMemory::new(8 * PAGE_SIZE);
         let pa = PhysAddr::new(PAGE_SIZE - 4); // straddles frames 0 and 1
@@ -235,5 +403,76 @@ mod tests {
         m.write_u8(f + (1 << 30), 7);
         assert_eq!(m.resident_frames(), 1);
         assert_eq!(m.read_u8(f + (1 << 30)), 7);
+    }
+
+    #[test]
+    fn snapshot_shares_frames_and_restore_copies_only_dirty() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        for i in 0..16 {
+            m.write_u8(PhysAddr::new(i * PAGE_SIZE), i as u8 + 1);
+        }
+        let snap = m.snapshot();
+        assert_eq!(m.cow_frames_shared(), 16, "checkpoint shares every frame");
+        assert_eq!(m.cow_faults(), 0);
+
+        m.write_u8(PhysAddr::new(0), 0xaa);
+        m.write_u8(PhysAddr::new(0) + 1, 0xbb); // same frame: one copy
+        m.write_u8(PhysAddr::new(5 * PAGE_SIZE), 0xcc);
+        assert_eq!(m.cow_faults(), 2, "one copy per dirtied frame");
+
+        m.restore_from(&snap);
+        assert_eq!(m.restore_frames_copied(), 2, "only dirty frames copied");
+        for i in 0..16 {
+            assert_eq!(m.read_u8(PhysAddr::new(i * PAGE_SIZE)), i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn restore_zeroes_frames_materialized_after_the_checkpoint() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.write_u8(PhysAddr::new(0), 1);
+        let snap = m.snapshot();
+        m.write_u8(PhysAddr::new(3 * PAGE_SIZE), 9);
+        m.restore_from(&snap);
+        assert_eq!(m.read_u8(PhysAddr::new(3 * PAGE_SIZE)), 0);
+        assert_eq!(m.read_u8(PhysAddr::new(0)), 1);
+    }
+
+    #[test]
+    fn interleaved_checkpoints_restore_independently() {
+        let pa = PhysAddr::new(2 * PAGE_SIZE);
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.write_u8(pa, 1);
+        let snap_a = m.snapshot();
+        m.write_u8(pa, 2);
+        let snap_b = m.snapshot();
+        m.write_u8(pa, 3);
+
+        m.restore_from(&snap_a);
+        assert_eq!(m.read_u8(pa), 1);
+        m.restore_from(&snap_b);
+        assert_eq!(m.read_u8(pa), 2);
+        m.restore_from(&snap_a);
+        assert_eq!(m.read_u8(pa), 1);
+    }
+
+    #[test]
+    fn restore_rewinds_the_allocator() {
+        let mut m = PhysMemory::new(16 * PAGE_SIZE);
+        m.alloc_frame().unwrap();
+        let snap = m.snapshot();
+        let b = m.alloc_frame().unwrap();
+        m.restore_from(&snap);
+        assert_eq!(m.alloc_frame().unwrap(), b, "bump pointer rewound");
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let mut m = PhysMemory::new(16 * PAGE_SIZE);
+        m.write_u8(PhysAddr::new(0), 7);
+        let copy = m.deep_clone();
+        m.write_u8(PhysAddr::new(0), 8);
+        assert_eq!(copy.read_u8(PhysAddr::new(0)), 7);
+        assert_eq!(m.cow_faults(), 0, "deep clone shares nothing to copy");
     }
 }

@@ -7,6 +7,30 @@ use crate::fault::AccessKind;
 use crate::paging::{PageFlags, PageTable, PrivilegeLevel};
 use crate::phys::PhysMemory;
 
+/// One step of the copy-on-write model check.
+#[derive(Debug, Clone)]
+enum CowOp {
+    /// Write a byte at an address.
+    Write(u64, u8),
+    /// Take a checkpoint of the live memory.
+    Snapshot,
+    /// Rewind to checkpoint `i % snapshots.len()` (no-op when none).
+    Restore(usize),
+}
+
+fn arb_cow_ops() -> impl Strategy<Value = Vec<CowOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..0x8000, any::<u8>()).prop_map(|(a, v)| CowOp::Write(a, v)),
+            (0u64..0x8000, any::<u8>()).prop_map(|(a, v)| CowOp::Write(a, v)),
+            (0u64..0x8000, any::<u8>()).prop_map(|(a, v)| CowOp::Write(a, v)),
+            Just(CowOp::Snapshot),
+            any::<usize>().prop_map(CowOp::Restore),
+        ],
+        1..80,
+    )
+}
+
 fn arb_flags() -> impl Strategy<Value = PageFlags> {
     (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(p, w, x, u)| {
         let mut f = PageFlags::NONE;
@@ -88,6 +112,48 @@ proptest! {
             let base = m.alloc_contiguous(n).unwrap();
             prop_assert!(base.raw() >= prev_end);
             prev_end = base.raw() + n * PAGE_SIZE;
+        }
+    }
+
+    /// Copy-on-write snapshot/restore is observationally identical to
+    /// a plain byte map cloned at every checkpoint: any interleaving
+    /// of writes, snapshots and (possibly out-of-order) restores reads
+    /// back exactly what the model does, and no snapshot's contents
+    /// ever change after it is taken.
+    #[test]
+    fn cow_snapshots_match_a_plain_map_model(
+        ops in arb_cow_ops(),
+        probes in proptest::collection::vec(0u64..0x8000, 1..30),
+    ) {
+        let mut m = PhysMemory::new(1 << 20);
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        let mut snaps: Vec<(PhysMemory, std::collections::HashMap<u64, u8>)> = Vec::new();
+        for op in ops {
+            match op {
+                CowOp::Write(addr, val) => {
+                    m.write_u8(PhysAddr::new(addr), val);
+                    model.insert(addr, val);
+                }
+                CowOp::Snapshot => snaps.push((m.snapshot(), model.clone())),
+                CowOp::Restore(i) => {
+                    if !snaps.is_empty() {
+                        let (snap, snap_model) = &snaps[i % snaps.len()];
+                        m.restore_from(snap);
+                        model = snap_model.clone();
+                    }
+                }
+            }
+        }
+        for addr in probes {
+            let want = model.get(&addr).copied().unwrap_or(0);
+            prop_assert_eq!(m.read_u8(PhysAddr::new(addr)), want);
+        }
+        // Snapshots are immutable: later writes and restores through
+        // the live memory never leak into a checkpoint.
+        for (snap, snap_model) in &snaps {
+            for (&addr, &val) in snap_model {
+                prop_assert_eq!(snap.read_u8(PhysAddr::new(addr)), val);
+            }
         }
     }
 }

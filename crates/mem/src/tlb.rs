@@ -22,6 +22,13 @@ pub struct TlbEntry {
     /// Address-space identifier (PCID); kernel and user entries coexist
     /// under different ASIDs, the mechanism KPTI leans on.
     pub asid: u16,
+    /// [`PageTable::version`](crate::PageTable::version) at fill time.
+    /// A translation fast path may only trust this entry's frame and
+    /// flags while the table still reports the same version; the model
+    /// deliberately keeps stale entries resident (their *timing* is
+    /// architecturally real), so staleness is detected at use, not
+    /// flushed at mutation.
+    pub pt_version: u64,
 }
 
 /// A set-associative, ASID-tagged TLB.
@@ -31,7 +38,7 @@ pub struct TlbEntry {
 /// ```
 /// use phantom_mem::{PageFlags, PhysAddr, Tlb, VirtAddr};
 /// let mut tlb = Tlb::new(16, 4);
-/// tlb.insert(VirtAddr::new(0x1000), PhysAddr::new(0x8000), PageFlags::USER_DATA, 1);
+/// tlb.insert(VirtAddr::new(0x1000), PhysAddr::new(0x8000), PageFlags::USER_DATA, 1, 0);
 /// assert!(tlb.lookup(VirtAddr::new(0x1234), 1).is_some());
 /// assert!(tlb.lookup(VirtAddr::new(0x1234), 2).is_none(), "other ASID");
 /// ```
@@ -85,8 +92,30 @@ impl Tlb {
         None
     }
 
-    /// Insert a translation (evicting LRU within the set if full).
-    pub fn insert(&mut self, va: VirtAddr, frame: PhysAddr, flags: PageFlags, asid: u16) {
+    /// Look up a translation without perturbing any replacement or
+    /// accounting state: no hit/miss counters, no LRU refresh, no clock
+    /// tick. This is the probe the translation fast path uses *before*
+    /// deciding whether the charged, counting [`lookup`](Tlb::lookup)
+    /// would have run — so peeking is observationally free.
+    pub fn peek(&self, va: VirtAddr, asid: u16) -> Option<&TlbEntry> {
+        let vpn = va.page_number();
+        let set = self.set_of(vpn);
+        self.sets[set]
+            .iter()
+            .find(|(e, _)| e.vpn == vpn && e.asid == asid)
+            .map(|(e, _)| e)
+    }
+
+    /// Insert a translation (evicting LRU within the set if full),
+    /// recording the page-table version it was derived from.
+    pub fn insert(
+        &mut self,
+        va: VirtAddr,
+        frame: PhysAddr,
+        flags: PageFlags,
+        asid: u16,
+        pt_version: u64,
+    ) {
         self.clock += 1;
         let vpn = va.page_number();
         let set = self.set_of(vpn);
@@ -102,6 +131,7 @@ impl Tlb {
                 frame: frame.page_base(),
                 flags,
                 asid,
+                pt_version,
             };
             *stamp = clock;
             return;
@@ -122,9 +152,35 @@ impl Tlb {
                 frame: frame.page_base(),
                 flags,
                 asid,
+                pt_version,
             },
             clock,
         ));
+    }
+
+    /// Revalidate a resident entry in place: update its frame, flags and
+    /// page-table version without touching the clock, LRU stamps or
+    /// hit/miss counters. Used when a charged lookup hit a stale entry —
+    /// the hit's timing already happened; only the cached translation
+    /// content is brought up to date. No-op if the entry is absent.
+    pub fn refresh(
+        &mut self,
+        va: VirtAddr,
+        asid: u16,
+        frame: PhysAddr,
+        flags: PageFlags,
+        pt_version: u64,
+    ) {
+        let vpn = va.page_number();
+        let set = self.set_of(vpn);
+        if let Some((e, _)) = self.sets[set]
+            .iter_mut()
+            .find(|(e, _)| e.vpn == vpn && e.asid == asid)
+        {
+            e.frame = frame.page_base();
+            e.flags = flags;
+            e.pt_version = pt_version;
+        }
     }
 
     /// Invalidate one page for one ASID (`invlpg`).
@@ -181,7 +237,13 @@ mod tests {
     fn hit_after_insert_miss_before() {
         let mut tlb = Tlb::new(8, 2);
         assert!(tlb.lookup(entry_va(5), 0).is_none());
-        tlb.insert(entry_va(5), PhysAddr::new(0x9000), PageFlags::USER_DATA, 0);
+        tlb.insert(
+            entry_va(5),
+            PhysAddr::new(0x9000),
+            PageFlags::USER_DATA,
+            0,
+            0,
+        );
         let e = tlb.lookup(entry_va(5), 0).unwrap();
         assert_eq!(e.frame, PhysAddr::new(0x9000));
         assert_eq!(tlb.hits(), 1);
@@ -196,6 +258,7 @@ mod tests {
             PhysAddr::new(0x9000),
             PageFlags::KERNEL_DATA,
             7,
+            0,
         );
         assert!(tlb.lookup(entry_va(5), 0).is_none());
         assert!(tlb.lookup(entry_va(5), 7).is_some());
@@ -209,10 +272,28 @@ mod tests {
     #[test]
     fn lru_within_a_set() {
         let mut tlb = Tlb::new(1, 2);
-        tlb.insert(entry_va(1), PhysAddr::new(0x1000), PageFlags::USER_DATA, 0);
-        tlb.insert(entry_va(2), PhysAddr::new(0x2000), PageFlags::USER_DATA, 0);
+        tlb.insert(
+            entry_va(1),
+            PhysAddr::new(0x1000),
+            PageFlags::USER_DATA,
+            0,
+            0,
+        );
+        tlb.insert(
+            entry_va(2),
+            PhysAddr::new(0x2000),
+            PageFlags::USER_DATA,
+            0,
+            0,
+        );
         tlb.lookup(entry_va(1), 0); // refresh 1
-        tlb.insert(entry_va(3), PhysAddr::new(0x3000), PageFlags::USER_DATA, 0);
+        tlb.insert(
+            entry_va(3),
+            PhysAddr::new(0x3000),
+            PageFlags::USER_DATA,
+            0,
+            0,
+        );
         assert!(tlb.lookup(entry_va(1), 0).is_some());
         assert!(tlb.lookup(entry_va(2), 0).is_none(), "LRU evicted");
     }
@@ -220,8 +301,20 @@ mod tests {
     #[test]
     fn same_vpn_reinsert_updates() {
         let mut tlb = Tlb::new(4, 2);
-        tlb.insert(entry_va(9), PhysAddr::new(0x1000), PageFlags::USER_DATA, 0);
-        tlb.insert(entry_va(9), PhysAddr::new(0x5000), PageFlags::USER_TEXT, 0);
+        tlb.insert(
+            entry_va(9),
+            PhysAddr::new(0x1000),
+            PageFlags::USER_DATA,
+            0,
+            0,
+        );
+        tlb.insert(
+            entry_va(9),
+            PhysAddr::new(0x5000),
+            PageFlags::USER_TEXT,
+            0,
+            0,
+        );
         let e = tlb.lookup(entry_va(9), 0).unwrap();
         assert_eq!(e.frame, PhysAddr::new(0x5000));
         assert!(e.flags.contains(PageFlags::EXEC));
@@ -231,8 +324,20 @@ mod tests {
     #[test]
     fn invalidate_page_is_precise() {
         let mut tlb = Tlb::new(4, 2);
-        tlb.insert(entry_va(1), PhysAddr::new(0x1000), PageFlags::USER_DATA, 0);
-        tlb.insert(entry_va(2), PhysAddr::new(0x2000), PageFlags::USER_DATA, 0);
+        tlb.insert(
+            entry_va(1),
+            PhysAddr::new(0x1000),
+            PageFlags::USER_DATA,
+            0,
+            0,
+        );
+        tlb.insert(
+            entry_va(2),
+            PhysAddr::new(0x2000),
+            PageFlags::USER_DATA,
+            0,
+            0,
+        );
         tlb.invalidate_page(entry_va(1), 0);
         assert!(tlb.lookup(entry_va(1), 0).is_none());
         assert!(tlb.lookup(entry_va(2), 0).is_some());
@@ -242,7 +347,13 @@ mod tests {
     fn flush_all_empties() {
         let mut tlb = Tlb::new(4, 2);
         for i in 0..8 {
-            tlb.insert(entry_va(i), PhysAddr::new(i << 12), PageFlags::USER_DATA, 0);
+            tlb.insert(
+                entry_va(i),
+                PhysAddr::new(i << 12),
+                PageFlags::USER_DATA,
+                0,
+                0,
+            );
         }
         assert!(!tlb.is_empty());
         tlb.flush_all();
@@ -250,10 +361,94 @@ mod tests {
     }
 
     #[test]
+    fn peek_is_observationally_free() {
+        let mut tlb = Tlb::new(1, 2);
+        tlb.insert(
+            entry_va(1),
+            PhysAddr::new(0x1000),
+            PageFlags::USER_DATA,
+            0,
+            3,
+        );
+        tlb.insert(
+            entry_va(2),
+            PhysAddr::new(0x2000),
+            PageFlags::USER_DATA,
+            0,
+            3,
+        );
+        assert_eq!(tlb.peek(entry_va(1), 0).unwrap().pt_version, 3);
+        assert!(tlb.peek(entry_va(1), 9).is_none(), "other ASID");
+        assert_eq!((tlb.hits(), tlb.misses()), (0, 0), "no counter movement");
+        // Peeking entry 1 did not refresh its LRU stamp: inserting a
+        // third entry into the full set still evicts entry 1.
+        tlb.insert(
+            entry_va(3),
+            PhysAddr::new(0x3000),
+            PageFlags::USER_DATA,
+            0,
+            3,
+        );
+        assert!(
+            tlb.peek(entry_va(1), 0).is_none(),
+            "peek never refreshes LRU"
+        );
+        assert!(tlb.peek(entry_va(2), 0).is_some());
+    }
+
+    #[test]
+    fn refresh_updates_content_without_accounting() {
+        let mut tlb = Tlb::new(1, 2);
+        tlb.insert(
+            entry_va(1),
+            PhysAddr::new(0x1000),
+            PageFlags::USER_DATA,
+            0,
+            1,
+        );
+        tlb.insert(
+            entry_va(2),
+            PhysAddr::new(0x2000),
+            PageFlags::USER_DATA,
+            0,
+            1,
+        );
+        tlb.refresh(
+            entry_va(1),
+            0,
+            PhysAddr::new(0x7000),
+            PageFlags::USER_TEXT,
+            5,
+        );
+        let e = *tlb.peek(entry_va(1), 0).unwrap();
+        assert_eq!(e.frame, PhysAddr::new(0x7000));
+        assert_eq!(e.pt_version, 5);
+        assert_eq!((tlb.hits(), tlb.misses()), (0, 0));
+        // Refresh left LRU order alone: entry 1 is still the oldest.
+        tlb.insert(
+            entry_va(3),
+            PhysAddr::new(0x3000),
+            PageFlags::USER_DATA,
+            0,
+            5,
+        );
+        assert!(
+            tlb.peek(entry_va(1), 0).is_none(),
+            "refresh never touches LRU"
+        );
+    }
+
+    #[test]
     fn occupancy_bounded_by_geometry() {
         let mut tlb = Tlb::new(2, 3);
         for i in 0..32 {
-            tlb.insert(entry_va(i), PhysAddr::new(i << 12), PageFlags::USER_DATA, 0);
+            tlb.insert(
+                entry_va(i),
+                PhysAddr::new(i << 12),
+                PageFlags::USER_DATA,
+                0,
+                0,
+            );
         }
         assert!(tlb.len() <= 2 * 3);
     }

@@ -2,6 +2,7 @@
 //! transient-window policy (everything the decoder can gate).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use phantom_bpu::Prediction;
 use phantom_isa::decode::decode;
@@ -31,9 +32,12 @@ use super::{Machine, MachineError};
 /// accessors clear conservatively.
 #[derive(Debug, Clone)]
 pub(super) struct DecodeCache {
-    entries: HashMap<(u64, u8), (Inst, u64)>,
+    /// `Arc`-backed so machine clones and snapshot/restore share the
+    /// warm cache with pointer bumps; the first miss after a clone
+    /// unshares. Invisible state either way — no timing depends on it.
+    entries: Arc<HashMap<(u64, u8), (Inst, u64)>>,
     /// Physical frames backing at least one cached decode.
-    code_frames: HashSet<u64>,
+    code_frames: Arc<HashSet<u64>>,
     enabled: bool,
     hits: u64,
     misses: u64,
@@ -42,8 +46,8 @@ pub(super) struct DecodeCache {
 impl DecodeCache {
     pub(super) fn new() -> DecodeCache {
         DecodeCache {
-            entries: HashMap::new(),
-            code_frames: HashSet::new(),
+            entries: Arc::new(HashMap::new()),
+            code_frames: Arc::new(HashSet::new()),
             enabled: true,
             hits: 0,
             misses: 0,
@@ -52,8 +56,14 @@ impl DecodeCache {
 
     /// Drop every cached decode (counters survive).
     pub(super) fn invalidate(&mut self) {
-        self.entries.clear();
-        self.code_frames.clear();
+        match Arc::get_mut(&mut self.entries) {
+            Some(entries) => entries.clear(),
+            None => self.entries = Arc::new(HashMap::new()),
+        }
+        match Arc::get_mut(&mut self.code_frames) {
+            Some(frames) => frames.clear(),
+            None => self.code_frames = Arc::new(HashSet::new()),
+        }
     }
 
     pub(super) fn set_enabled(&mut self, enabled: bool) {
@@ -95,14 +105,11 @@ impl Machine {
             // architectural stores into them invalidate. Both
             // translations succeeded inside read_code_bytes.
             for off in [0, bytes.len() as u64 - 1] {
-                if let Ok(pa) = self
-                    .page_table
-                    .translate(pc + off, AccessKind::Execute, self.level)
-                {
-                    self.decode_cache.code_frames.insert(pa.page_number());
+                if let Ok(pa) = self.translate_fast(pc + off, AccessKind::Execute, self.level) {
+                    Arc::make_mut(&mut self.decode_cache.code_frames).insert(pa.page_number());
                 }
             }
-            self.decode_cache.entries.insert(key, pair);
+            Arc::make_mut(&mut self.decode_cache.entries).insert(key, pair);
         }
         Some(pair)
     }

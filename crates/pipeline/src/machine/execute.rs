@@ -50,7 +50,7 @@ impl Machine {
             Inst::Ret => {
                 // Architectural return address from the stack.
                 let sp = VirtAddr::new(self.reg(Reg::SP));
-                match self.page_table.translate(sp, AccessKind::Read, self.level) {
+                match self.translate_fast(sp, AccessKind::Read, self.level) {
                     Ok(pa) => (true, Some(VirtAddr::new(self.phys.read_u64(pa)))),
                     Err(_) => (true, None), // stack fault resolves at execute
                 }
@@ -90,12 +90,8 @@ impl Machine {
             }
             Inst::Load { dst, base, disp } => {
                 let addr = VirtAddr::new(self.reg(base).wrapping_add(disp as i64 as u64));
-                match self
-                    .page_table
-                    .translate(addr, AccessKind::Read, self.level)
-                {
+                match self.translate_charged(addr, AccessKind::Read) {
                     Ok(pa) => {
-                        self.charge_tlb(addr, pa);
                         let (lvl, lat) = self.caches.access_data(pa.raw());
                         self.emit(PipelineEvent::DataAccess {
                             va: addr,
@@ -113,12 +109,8 @@ impl Machine {
             }
             Inst::Store { base, disp, src } => {
                 let addr = VirtAddr::new(self.reg(base).wrapping_add(disp as i64 as u64));
-                match self
-                    .page_table
-                    .translate(addr, AccessKind::Write, self.level)
-                {
+                match self.translate_charged(addr, AccessKind::Write) {
                     Ok(pa) => {
-                        self.charge_tlb(addr, pa);
                         let (lvl, lat) = self.caches.access_data(pa.raw());
                         self.emit(PipelineEvent::DataAccess {
                             va: addr,
@@ -137,7 +129,7 @@ impl Machine {
             }
             Inst::Clflush { addr } => {
                 let va = VirtAddr::new(self.reg(addr));
-                match self.page_table.translate(va, AccessKind::Read, self.level) {
+                match self.translate_fast(va, AccessKind::Read, self.level) {
                     Ok(pa) => {
                         self.caches.flush_line(pa.raw());
                         self.cycles += 40;
@@ -191,7 +183,7 @@ impl Machine {
             }
             Inst::Ret => {
                 let sp = VirtAddr::new(self.reg(Reg::SP));
-                match self.page_table.translate(sp, AccessKind::Read, self.level) {
+                match self.translate_fast(sp, AccessKind::Read, self.level) {
                     Ok(pa) => {
                         let target = VirtAddr::new(self.phys.read_u64(pa));
                         self.set_reg(Reg::SP, sp.raw() + 8);
@@ -238,7 +230,7 @@ impl Machine {
 
     fn push_return(&mut self, ret: VirtAddr) -> Result<(), MachineError> {
         let sp = VirtAddr::new(self.reg(Reg::SP).wrapping_sub(8));
-        match self.page_table.translate(sp, AccessKind::Write, self.level) {
+        match self.translate_fast(sp, AccessKind::Write, self.level) {
             Ok(pa) => {
                 self.note_code_write(pa);
                 self.phys.write_u64(pa, ret.raw());

@@ -14,10 +14,7 @@ impl Machine {
     /// [`PipelineEvent::FetchLine`]. A translation fault is returned to
     /// the caller (the commit stage decides whether it is caught).
     pub(super) fn arch_fetch(&mut self, pc: VirtAddr) -> Result<(), PageFault> {
-        let pa = self
-            .page_table
-            .translate(pc, AccessKind::Execute, self.level)?;
-        self.charge_tlb(pc, pa);
+        let pa = self.translate_charged(pc, AccessKind::Execute)?;
         let (level, lat) = self.caches.access_inst(pa.raw());
         self.cycles += lat;
         self.emit(PipelineEvent::FetchLine {
@@ -33,10 +30,7 @@ impl Machine {
     pub(super) fn read_code_bytes(&self, va: VirtAddr, n: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            match self
-                .page_table
-                .translate(va + i as u64, AccessKind::Execute, self.level)
-            {
+            match self.translate_fast(va + i as u64, AccessKind::Execute, self.level) {
                 Ok(pa) => out.push(self.phys.read_u8(pa)),
                 Err(_) => break,
             }
@@ -60,10 +54,7 @@ impl Machine {
         if !lines.insert(line) {
             return true;
         }
-        match self
-            .page_table
-            .translate(va, AccessKind::Execute, self.level)
-        {
+        match self.translate_fast(va, AccessKind::Execute, self.level) {
             Ok(pa) => {
                 let (level, _) = self.caches.access_inst(pa.raw());
                 self.emit(PipelineEvent::FetchLine {

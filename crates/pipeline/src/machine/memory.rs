@@ -1,26 +1,137 @@
-//! Memory setup helpers and architectural translation timing.
+//! Memory setup helpers, architectural translation timing, and the
+//! TLB-backed translation fast paths.
 
 use phantom_isa::asm::Blob;
-use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr, PAGE_SIZE};
+use phantom_mem::{
+    AccessKind, FaultReason, PageFault, PageFlags, PhysAddr, PrivilegeLevel, TlbEntry, VirtAddr,
+    PAGE_SIZE,
+};
 
 use super::{Machine, MachineError};
+
+/// ASID for `level` (0 = user, 1 = supervisor).
+fn asid_for(level: PrivilegeLevel) -> u16 {
+    match level {
+        PrivilegeLevel::User => 0,
+        PrivilegeLevel::Supervisor => 1,
+    }
+}
+
+/// Translate through a trusted (version-current) TLB entry, applying
+/// exactly the permission rules and fault precedence of
+/// [`phantom_mem::PageTable::translate`]. The entry's cached flags
+/// equal the table's (same version ⇒ unchanged table), so the outcome
+/// — physical address or precise fault — is identical to a walk.
+fn entry_translate(
+    entry: &TlbEntry,
+    va: VirtAddr,
+    access: AccessKind,
+    level: PrivilegeLevel,
+) -> Result<PhysAddr, PageFault> {
+    let fault = |reason| PageFault {
+        addr: va,
+        access,
+        reason,
+    };
+    let flags = entry.flags;
+    if !flags.contains(PageFlags::PRESENT) {
+        return Err(fault(FaultReason::NotPresent));
+    }
+    if level == PrivilegeLevel::User && !flags.contains(PageFlags::USER) {
+        return Err(fault(FaultReason::Privilege));
+    }
+    match access {
+        AccessKind::Read => {}
+        AccessKind::Write => {
+            if !flags.contains(PageFlags::WRITE) {
+                return Err(fault(FaultReason::NotWritable));
+            }
+        }
+        AccessKind::Execute => {
+            if !flags.contains(PageFlags::EXEC) {
+                return Err(fault(FaultReason::NotExecutable));
+            }
+        }
+    }
+    // TLB entries are 4 KiB-granular even under a huge mapping (the
+    // frame is the page base of the fill translation), so the page
+    // offset reconstructs the walk's result for either page size.
+    Ok(entry.frame + va.page_offset())
+}
 
 impl Machine {
     /// Page-walk cost charged on a TLB miss, in cycles.
     pub const PAGE_WALK_CYCLES: u64 = 20;
 
-    /// Charge TLB lookup/fill timing for an architectural access to
-    /// `va` that resolved to `pa` (ASID 0 = user, 1 = supervisor).
-    pub(super) fn charge_tlb(&mut self, va: VirtAddr, pa: phantom_mem::PhysAddr) {
-        let asid = match self.level {
-            PrivilegeLevel::User => 0,
-            PrivilegeLevel::Supervisor => 1,
-        };
+    /// Translate `va` without charging timing or touching TLB state:
+    /// a non-perturbing [`Tlb::peek`](phantom_mem::Tlb::peek) serves
+    /// version-current entries, everything else falls back to the
+    /// `BTreeMap` page walk. Observationally identical to calling
+    /// `page_table.translate` directly — for the uncharged call sites
+    /// (setup pokes, wrong-path probes, return-address resolution).
+    pub(super) fn translate_fast(
+        &self,
+        va: VirtAddr,
+        access: AccessKind,
+        level: PrivilegeLevel,
+    ) -> Result<PhysAddr, PageFault> {
+        if let Some(entry) = self.tlb.peek(va, asid_for(level)) {
+            if entry.pt_version == self.page_table.version() {
+                return entry_translate(entry, va, access, level);
+            }
+        }
+        self.page_table.translate(va, access, level)
+    }
+
+    /// Translate `va` for an architectural access at the current
+    /// privilege level, charging TLB hit/miss timing. State evolution
+    /// (cycle counter, TLB hit/miss counters, LRU order, fills) is
+    /// bit-identical to the pre-fast-path sequence `page_table.translate`
+    /// then lookup-and-fill-on-miss; the page walk itself only runs when
+    /// no version-current TLB entry covers `va`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the precise [`PageFault`] of the failed translation; the
+    /// fault path leaves TLB state and the cycle counter untouched, as
+    /// the walk-first ordering did.
+    pub(super) fn translate_charged(
+        &mut self,
+        va: VirtAddr,
+        access: AccessKind,
+    ) -> Result<PhysAddr, PageFault> {
+        let level = self.level;
+        let asid = asid_for(level);
+        let version = self.page_table.version();
+        if let Some(entry) = self.tlb.peek(va, asid) {
+            if entry.pt_version == version {
+                let resolved = entry_translate(entry, va, access, level);
+                if resolved.is_ok() {
+                    // The walk would have succeeded and the charged
+                    // lookup would have hit: count the hit and refresh
+                    // LRU, exactly as before.
+                    self.tlb.lookup(va, asid);
+                }
+                // On a fault the walk failed *before* any TLB charge, so
+                // the fault path touches nothing.
+                return resolved;
+            }
+        }
+        let pa = self.page_table.translate(va, access, level)?;
         if self.tlb.lookup(va, asid).is_none() {
             self.cycles += Self::PAGE_WALK_CYCLES;
             let flags = self.page_table.flags_of(va).unwrap_or(PageFlags::NONE);
-            self.tlb.insert(va, pa, flags, asid);
+            self.tlb.insert(va, pa, flags, asid, version);
+        } else {
+            // A resident entry whose fill predates the last page-table
+            // mutation: the hit (and its timing) is architecturally
+            // real, but the cached translation must be revalidated
+            // before the fast path may trust it. Content-only update —
+            // no counter, clock or LRU movement.
+            let flags = self.page_table.flags_of(va).unwrap_or(PageFlags::NONE);
+            self.tlb.refresh(va, asid, pa, flags, version);
         }
+        Ok(pa)
     }
 
     /// Map `[va, va+len)` with fresh frames and the given flags.
@@ -130,8 +241,7 @@ impl Machine {
         while off < bytes.len() {
             let addr = va + off as u64;
             let pa = self
-                .page_table
-                .translate(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
+                .translate_fast(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
                 .unwrap_or_else(|e| panic!("poke at unmapped {addr}: {e}"));
             let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
             let chunk = in_page.min(bytes.len() - off);
@@ -151,8 +261,7 @@ impl Machine {
         while out.len() < len {
             let addr = va + out.len() as u64;
             let pa = self
-                .page_table
-                .translate(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
+                .translate_fast(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
                 .unwrap_or_else(|e| panic!("peek at unmapped {addr}: {e}"));
             let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
             let chunk = in_page.min(len - out.len());

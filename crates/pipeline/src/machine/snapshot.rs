@@ -7,6 +7,14 @@
 //! event sinks, which are observation state. Trial runners use
 //! snapshots to rewind a trained machine instead of rebuilding and
 //! retraining it from scratch.
+//!
+//! Checkpoint and rewind are O(dirty state), not O(machine):
+//! [`phantom_mem::PhysMemory`] frames are `Arc`-shared copy-on-write,
+//! so `snapshot` is a per-resident-frame pointer bump and `restore`
+//! copies back only frames written since the checkpoint (see
+//! [`phantom_mem::PhysMemory::restore_from`]). The page-table maps and
+//! the decoded-line cache are `Arc`-backed too, so the big cold
+//! structures are shared rather than deep-copied.
 
 use super::Machine;
 
@@ -23,17 +31,54 @@ impl Machine {
     /// Checkpoint the full machine state. Attached sinks are not part
     /// of the snapshot (cloning the machine detaches them; see
     /// [`crate::events::EventBus`]).
-    pub fn snapshot(&self) -> MachineSnapshot {
-        MachineSnapshot {
-            inner: Box::new(self.clone()),
-        }
+    ///
+    /// Takes `&mut self` because checkpointing opens a new
+    /// copy-on-write epoch on physical memory: frames written after
+    /// this call are unshared on first touch, which is what lets
+    /// [`Machine::restore`] copy only the dirty ones back.
+    pub fn snapshot(&mut self) -> MachineSnapshot {
+        // `PhysMemory::snapshot` returns the pre-epoch-bump frame set;
+        // the machine clone below carries the post-bump live memory, so
+        // swap the snapshot's copy in.
+        let phys = self.phys.snapshot();
+        let mut inner = Box::new(self.clone());
+        inner.phys = phys;
+        MachineSnapshot { inner }
     }
 
     /// Rewind to `snapshot`. Sinks currently attached to `self` stay
     /// attached and keep observing after the restore.
+    ///
+    /// Restores field-by-field into the live machine — no intermediate
+    /// whole-machine clone. Physical memory rewinds through
+    /// [`phantom_mem::PhysMemory::restore_from`] (copies only frames
+    /// dirtied since the checkpoint); the `Arc`-backed page-table maps
+    /// and decode cache restore as pointer bumps.
     pub fn restore(&mut self, snapshot: &MachineSnapshot) {
-        let mut state = (*snapshot.inner).clone();
-        std::mem::swap(&mut state.bus, &mut self.bus);
-        *self = state;
+        let s = &*snapshot.inner;
+        self.profile = s.profile.clone();
+        self.bpu = s.bpu.clone();
+        self.caches = s.caches.clone();
+        self.uop_cache = s.uop_cache.clone();
+        self.pmu = s.pmu.clone();
+        self.phys.restore_from(&s.phys);
+        self.page_table = s.page_table.clone();
+        self.tlb = s.tlb.clone();
+        self.regs = s.regs;
+        self.zf = s.zf;
+        self.sf = s.sf;
+        self.cf = s.cf;
+        self.pc = s.pc;
+        self.level = s.level;
+        self.thread = s.thread;
+        self.cycles = s.cycles;
+        self.syscall_entry = s.syscall_entry;
+        self.syscall_return = s.syscall_return;
+        self.fault_handler = s.fault_handler;
+        self.last_fault = s.last_fault;
+        self.halted = s.halted;
+        // `self.bus` deliberately untouched: sinks are observation
+        // state, not machine state.
+        self.decode_cache = s.decode_cache.clone();
     }
 }

@@ -834,3 +834,63 @@ fn decode_cache_is_privilege_aware() {
     // it must NOT be served from the supervisor's cached decode.
     assert!(matches!(m.run(2), Err(MachineError::Fault(_))));
 }
+
+#[test]
+fn sinks_stay_attached_and_observing_across_restore() {
+    use crate::events::{EventSink, PipelineEvent};
+
+    struct CountRetired(u64);
+    impl EventSink for CountRetired {
+        fn on_event(&mut self, event: &PipelineEvent) {
+            if matches!(event, PipelineEvent::Retired { .. }) {
+                self.0 += 1;
+            }
+        }
+    }
+
+    let mut m = machine(UarchProfile::zen2());
+    let mut a = Assembler::new(0x40_0000);
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 7,
+    });
+    a.push(Inst::Halt);
+    let blob = load_user(&mut m, &a);
+    m.set_pc(VirtAddr::new(blob.base));
+
+    let id = m.attach_sink(CountRetired(0));
+    let snap = m.snapshot();
+    m.run(4).unwrap();
+    m.restore(&snap);
+    // The sink survives the rewind and keeps observing the replay.
+    m.run(4).unwrap();
+    let sink = m
+        .detach_sink_as::<CountRetired>(id)
+        .expect("still attached");
+    assert_eq!(sink.0, 4, "retirements observed before AND after restore");
+}
+
+#[test]
+fn restore_rewinds_memory_written_after_the_checkpoint() {
+    let mut m = machine(UarchProfile::zen2());
+    let data = VirtAddr::new(0x6000_0000);
+    m.map_range(data, 0x3000, PageFlags::USER_DATA).unwrap();
+    m.poke_u64(data, 0x1111);
+
+    let snap = m.snapshot();
+    // Dirty one page after the checkpoint, leave the others shared.
+    m.poke_u64(data, 0x2222);
+    m.poke_u64(data + 0x2000, 0x3333);
+    m.restore(&snap);
+
+    assert_eq!(m.peek_u64(data), 0x1111);
+    assert_eq!(m.peek_u64(data + 0x2000), 0);
+    // Restore copies back only the dirtied frames.
+    assert!(m.phys().restore_frames_copied() >= 2);
+
+    // A second divergence from the same snapshot also rewinds.
+    m.poke_u64(data + 0x1000, 0x4444);
+    m.restore(&snap);
+    assert_eq!(m.peek_u64(data + 0x1000), 0);
+    assert_eq!(m.peek_u64(data), 0x1111);
+}

@@ -136,10 +136,7 @@ impl Machine {
                     );
                     // A dispatched load cannot be aborted: it fills the
                     // D-cache even though the path is squashed.
-                    match self
-                        .page_table
-                        .translate(addr, AccessKind::Read, self.level)
-                    {
+                    match self.translate_fast(addr, AccessKind::Read, self.level) {
                         Ok(pa) => {
                             let (lvl, _) = self.caches.access_data(pa.raw());
                             self.emit(PipelineEvent::TransientLoad {

@@ -85,3 +85,28 @@ fn bench_snapshot_round_trips_through_json() {
     assert_eq!(snapshot, reparsed);
     assert_eq!(text, reparsed.to_json_string());
 }
+
+/// The TLB and copy-on-write hot-path counters in the snapshot's perf
+/// section come from fixed single-machine reference workloads, never
+/// from the sharded trial loop — so 1 worker thread and 8 must produce
+/// identical, non-zero counters. Non-zero matters: a counter that
+/// reads 0 on both sides would make the regression gate vacuous.
+#[test]
+fn perf_counters_are_identical_at_1_and_8_threads() {
+    let cfg = BenchConfig::default();
+    let one = collect_snapshot(&TrialRunner::with_threads(1), &cfg)
+        .unwrap()
+        .perf;
+    let eight = collect_snapshot(&TrialRunner::with_threads(8), &cfg)
+        .unwrap()
+        .perf;
+    assert_eq!(one, eight, "perf counters depend on thread count");
+    assert!(one.tlb_hits > 0, "tlb reference produced no hits");
+    assert!(one.tlb_misses > 0, "tlb reference produced no misses");
+    assert!(one.cow_faults > 0, "cow reference unshared no frames");
+    assert!(one.cow_frames_shared > 0, "cow reference shares no frames");
+    assert!(
+        one.restore_frames_copied > 0,
+        "cow reference restored no frames"
+    );
+}
