@@ -15,7 +15,7 @@ fn bench_table3(c: &mut Criterion) {
         UarchProfile::zen4(),
     ] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name),
+            BenchmarkId::from_parameter(profile.name.clone()),
             &profile,
             |b, p| {
                 // A fixed seed keeps iterations identical: the bench
@@ -36,7 +36,7 @@ fn bench_table4(c: &mut Criterion) {
     group.sample_size(10);
     for profile in [UarchProfile::zen1(), UarchProfile::zen2()] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name),
+            BenchmarkId::from_parameter(profile.name.clone()),
             &profile,
             |b, p| {
                 b.iter(|| {
@@ -73,7 +73,7 @@ fn bench_mds_leak(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(BYTES as u64));
     for profile in [UarchProfile::zen1(), UarchProfile::zen2()] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name),
+            BenchmarkId::from_parameter(profile.name.clone()),
             &profile,
             |b, p| {
                 b.iter(|| {

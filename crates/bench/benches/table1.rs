@@ -14,7 +14,7 @@ fn bench_single_combo(c: &mut Criterion) {
         UarchProfile::intel13(),
     ] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name),
+            BenchmarkId::from_parameter(profile.name.clone()),
             &profile,
             |b, p| {
                 b.iter(|| {

@@ -12,7 +12,7 @@ fn bench_fetch_channel(c: &mut Criterion) {
     group.throughput(Throughput::Elements(BITS as u64));
     for profile in UarchProfile::amd() {
         group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name),
+            BenchmarkId::from_parameter(profile.name.clone()),
             &profile,
             |b, p| {
                 b.iter(|| {
@@ -37,7 +37,7 @@ fn bench_execute_channel(c: &mut Criterion) {
     group.throughput(Throughput::Elements(BITS as u64));
     for profile in [UarchProfile::zen1(), UarchProfile::zen2()] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name),
+            BenchmarkId::from_parameter(profile.name.clone()),
             &profile,
             |b, p| {
                 b.iter(|| {

@@ -16,8 +16,14 @@
 //! repro ablation          design-parameter sweeps (latency / ways / noise)
 //! repro overhead          §6.3     (mitigation overhead suite)
 //! repro gadgets           §9.1     (gadget census)
+//! repro list-uarchs       registered microarchitectures
 //! repro all               everything above, quick settings
 //! ```
+//!
+//! `--spec <file>` registers user-defined uarch specs next to the
+//! builtins (alone, it smoke-sweeps the file's uarches through
+//! Figure 6); `--uarch <names>` picks Figure 6's sweep set (default:
+//! the paper's zen2,zen4 plot).
 //!
 //! Environment: `PHANTOM_FULL=1` uses the paper's full protocol sizes
 //! (all 488/25 600 slots, 4096 bits/bytes, 10–100 runs) — slow.
@@ -36,7 +42,7 @@ use phantom::report;
 use phantom::report::json::{diff, BenchSnapshot, Tolerance};
 use phantom::runner::TrialRunner;
 use phantom::spectre::{spectre_v2_leak, window_comparison};
-use phantom::UarchProfile;
+use phantom::{UarchProfile, UarchRegistry};
 use phantom_bench::{
     collect_snapshot, run_figure6_on, run_figure7, run_mds_on, run_table1_on, run_table2_on,
     run_table3_on, run_table4_on, run_table5_on, timed, BenchConfig,
@@ -46,7 +52,8 @@ const USAGE: &str = "\
 usage: repro [command] [n] [flags]
 
   table1            Table 1  (training x victim x uarch stages)
-  figure6           Figure 6 (uop-cache page-offset sweep)
+  figure6           Figure 6 (uop-cache page-offset sweep;
+                    default uarches zen2,zen4 — override with --uarch)
   figure7           Figure 7 (recovered BTB functions)
   table2 [bits]     Table 2  (covert channel accuracy / rate)
   table3 [runs]     Table 3  (kernel image KASLR)
@@ -60,8 +67,16 @@ usage: repro [command] [n] [flags]
   ablation          design-parameter sweeps (latency / ways / noise)
   overhead          \u{a7}6.3     (mitigation overhead suite)
   gadgets           \u{a7}9.1     (gadget census)
+  list-uarchs       list registered microarchitectures (builtins + --spec)
   bench             run everything, write a machine-readable snapshot
   all               everything above, quick settings (default)
+
+flags:
+  --uarch <names>     comma-separated uarch keys or display names
+                      (repeatable); filters figure6's sweep
+  --spec <file>       register uarch specs from a phantom-uarch-spec v1
+                      file (repeatable); alone, runs figure6 over the
+                      file's uarches as a smoke sweep
 
 flags (bench; --json also implies bench when given alone):
   --json <path>       snapshot output path (default BENCH_phantom.json)
@@ -78,6 +93,15 @@ environment:
   PHANTOM_FULL=1     paper's full protocol sizes (slow)
   PHANTOM_THREADS=n  pin the trial runner's thread count;
                      results are identical at any thread count";
+
+/// Print a CLI-usage complaint and exit 2 (the CLI-error code, as for
+/// bad PHANTOM_THREADS). Never panics: a wrong invocation is the
+/// user's error, not the program's.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
 
 fn full() -> bool {
     std::env::var("PHANTOM_FULL").is_ok_and(|v| v == "1")
@@ -109,9 +133,12 @@ fn table1(r: &TrialRunner) -> Result<(), phantom_bench::RunnerError> {
     Ok(())
 }
 
-fn figure6(r: &TrialRunner) -> Result<(), phantom_bench::RunnerError> {
-    for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
-        let name = profile.name;
+/// Figure 6 over an explicit uarch set. The default mirrors the paper's
+/// plot (Zen 2 and Zen 4); `--uarch` / `--spec` widen or narrow it.
+fn figure6(r: &TrialRunner, profiles: &[UarchProfile]) -> Result<(), phantom_bench::RunnerError> {
+    for profile in profiles {
+        let profile = profile.clone();
+        let name = profile.name.clone();
         println!("[{name}]");
         let step = if full() { 0x40 } else { 0x100 };
         let t = timed(r, |r| run_figure6_on(r, profile.clone(), step))?;
@@ -119,6 +146,24 @@ fn figure6(r: &TrialRunner) -> Result<(), phantom_bench::RunnerError> {
         eprintln!("[figure6 {name}: {}]", t.wall_note());
     }
     Ok(())
+}
+
+/// `list-uarchs`: every registered spec, builtin or loaded via `--spec`.
+fn list_uarchs(registry: &UarchRegistry) {
+    println!(
+        "{:<10} {:<26} {:<22} {:<6} {}",
+        "key", "name", "model", "vendor", "phantom-exec-uops"
+    );
+    for spec in registry.specs() {
+        println!(
+            "{:<10} {:<26} {:<22} {:<6} {}",
+            spec.key,
+            spec.name,
+            spec.model,
+            spec.vendor.to_string().to_ascii_lowercase(),
+            spec.phantom_exec_uops
+        );
+    }
 }
 
 fn figure7() {
@@ -143,9 +188,9 @@ fn table3(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError
         UarchProfile::zen3(),
         UarchProfile::zen4(),
     ] {
-        let name = p.name;
+        let name = p.name.clone();
         let t = timed(r, |r| run_table3_on(r, p.clone(), runs, slots, 100))?;
-        print!("{}", report::render_table3(name, &t.result));
+        print!("{}", report::render_table3(&name, &t.result));
         eprintln!("[table3 {name}: {}]", t.wall_note());
     }
     Ok(())
@@ -154,9 +199,9 @@ fn table3(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError
 fn table4(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError> {
     let slots = if full() { 0 } else { 64 };
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        let name = p.name;
+        let name = p.name.clone();
         let t = timed(r, |r| run_table4_on(r, p.clone(), runs, slots, 200))?;
-        print!("{}", report::render_table4(name, &t.result));
+        print!("{}", report::render_table4(&name, &t.result));
         eprintln!("[table4 {name}: {}]", t.wall_note());
     }
     Ok(())
@@ -176,9 +221,9 @@ fn table5(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError
         ]
     };
     for (p, bytes) in configs {
-        let name = p.name;
+        let name = p.name.clone();
         let t = timed(r, |r| run_table5_on(r, p.clone(), bytes, runs, 300))?;
-        print!("{}", report::render_table5(name, bytes >> 30, &t.result));
+        print!("{}", report::render_table5(&name, bytes >> 30, &t.result));
         eprintln!("[table5 {name}: {}]", t.wall_note());
     }
     Ok(())
@@ -187,7 +232,7 @@ fn table5(r: &TrialRunner, runs: usize) -> Result<(), phantom_bench::RunnerError
 fn mds(r: &TrialRunner, bytes: usize) -> Result<(), phantom_bench::RunnerError> {
     let runs = if full() { 10 } else { 3 };
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        let name = p.name;
+        let name = p.name.clone();
         println!("[{name}] over {runs} reboots:");
         let t = timed(r, |r| run_mds_on(r, p.clone(), bytes, runs, 400))?;
         for row in &t.result {
@@ -200,7 +245,7 @@ fn mds(r: &TrialRunner, bytes: usize) -> Result<(), phantom_bench::RunnerError> 
 
 fn o4() -> Result<(), phantom_bench::RunnerError> {
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        let name = p.name;
+        let name = p.name.clone();
         let o = o4_suppress_bp_on_non_br(p)?;
         println!(
             "O4 [{name}]: baseline {} -> suppressed {} (IF={}, ID={}, EX={})",
@@ -281,13 +326,13 @@ fn spectre() -> Result<(), phantom_bench::RunnerError> {
     Ok(())
 }
 
-fn overhead(r: &TrialRunner) {
+fn overhead(r: &TrialRunner) -> Result<(), phantom_bench::RunnerError> {
     let t = timed(r, |r| {
         Ok::<_, phantom_bench::RunnerError>(suppress_overhead_on(r, UarchProfile::zen2()))
-    })
-    .expect("workload suite is infallible");
+    })?;
     print!("{}", report::render_overhead(&t.result));
     eprintln!("[overhead: {}]", t.wall_note());
+    Ok(())
 }
 
 fn gadgets() {
@@ -393,11 +438,10 @@ fn main() {
         host_meta: false,
     };
     let mut json_given = false;
+    let mut uarch_names: Vec<String> = Vec::new();
+    let mut spec_paths: Vec<std::path::PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let missing = |flag: &str| -> ! {
-        eprintln!("{flag} requires a value");
-        std::process::exit(2);
-    };
+    let missing = |flag: &str| -> ! { usage_error(&format!("{flag} requires a value")) };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => {
@@ -413,33 +457,108 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| missing("--tolerance"));
                 match v.parse::<f64>() {
                     Ok(pct) if pct >= 0.0 && pct.is_finite() => flags.tolerance = Some(pct),
-                    _ => {
-                        eprintln!("invalid --tolerance {v:?}: expected a non-negative percent");
-                        std::process::exit(2);
-                    }
+                    _ => usage_error(&format!(
+                        "invalid --tolerance {v:?}: expected a non-negative percent"
+                    )),
                 }
             }
             "--host-meta" => flags.host_meta = true,
+            "--uarch" => {
+                let v = args.next().unwrap_or_else(|| missing("--uarch"));
+                uarch_names.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--spec" => {
+                let v = args.next().unwrap_or_else(|| missing("--spec"));
+                spec_paths.push(v.into());
+            }
             other => positional.push(other.to_string()),
         }
     }
 
+    // The registry resolves every uarch name: Table 1 builtins plus any
+    // spec files the user loads.
+    let mut registry = UarchRegistry::with_builtins();
+    let mut spec_keys: Vec<String> = Vec::new();
+    for path in &spec_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("--spec {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match registry.register_text(&text) {
+            Ok(keys) => spec_keys.extend(keys),
+            Err(e) => {
+                eprintln!("--spec {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
     let mut cmd = positional.first().map(String::as_str).unwrap_or("all");
-    // `repro --json out.json` alone means: run the bench snapshot.
+    // `repro --json out.json` alone means: run the bench snapshot;
+    // `repro --spec file.spec` alone means: smoke-sweep the file's
+    // uarches through Figure 6.
     if cmd == "all" && (json_given || flags.baseline.is_some()) {
         cmd = "bench";
+    } else if cmd == "all" && positional.is_empty() && !spec_keys.is_empty() {
+        cmd = "figure6";
     }
+
+    // Figure 6's sweep set: --uarch wins, then --spec file contents,
+    // then the paper's zen2/zen4 plot.
+    let figure6_profiles: Vec<UarchProfile> = if !uarch_names.is_empty() {
+        uarch_names
+            .iter()
+            .map(|name| match registry.get(name) {
+                Some(spec) => spec.profile(),
+                None => {
+                    let known: Vec<&str> =
+                        registry.specs().iter().map(|s| s.key.as_str()).collect();
+                    eprintln!(
+                        "unknown uarch {name:?}; known: {} (see `repro list-uarchs`)",
+                        known.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            })
+            .collect()
+    } else if !spec_keys.is_empty() {
+        spec_keys
+            .iter()
+            .map(|key| {
+                registry
+                    .get(key)
+                    .expect("just-registered key resolves")
+                    .profile()
+            })
+            .collect()
+    } else {
+        vec![UarchProfile::zen2(), UarchProfile::zen4()]
+    };
+
     let num = |i: usize, default: usize| -> usize {
-        positional
-            .get(i)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(default)
+        match positional.get(i) {
+            None => default,
+            Some(s) => match s.parse() {
+                Ok(n) => n,
+                Err(_) => usage_error(&format!(
+                    "invalid count {s:?} for {}: expected a non-negative integer",
+                    positional[0]
+                )),
+            },
+        }
     };
     let r = runner();
 
     let result: Result<(), phantom_bench::RunnerError> = match cmd {
         "table1" => table1(&r),
-        "figure6" => figure6(&r),
+        "figure6" => figure6(&r, &figure6_profiles),
+        "list-uarchs" => {
+            list_uarchs(&registry);
+            Ok(())
+        }
         "figure7" => {
             figure7();
             Ok(())
@@ -455,16 +574,13 @@ fn main() {
         "software" => software(),
         "spectre" => spectre(),
         "ablation" => ablation(),
-        "overhead" => {
-            overhead(&r);
-            Ok(())
-        }
+        "overhead" => overhead(&r),
         "gadgets" => {
             gadgets();
             Ok(())
         }
         "all" => table1(&r)
-            .and_then(|()| figure6(&r))
+            .and_then(|()| figure6(&r, &figure6_profiles))
             .map(|()| figure7())
             .and_then(|()| table2(&r, 256))
             .and_then(|()| table3(&r, 3))
@@ -476,17 +592,13 @@ fn main() {
             .and_then(|()| software())
             .and_then(|()| spectre())
             .and_then(|()| ablation())
-            .map(|()| overhead(&r))
+            .and_then(|()| overhead(&r))
             .map(|()| gadgets()),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => {
-            eprintln!("unknown command {other:?}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown command {other:?}")),
     };
 
     if let Err(e) = result {

@@ -171,7 +171,7 @@ fn cow_reference_machine() -> Machine {
     m
 }
 
-/// Run the fixed checkpoint/rewind reference workload — [`COW_ROUNDS`]
+/// Run the fixed checkpoint/rewind reference workload — `COW_ROUNDS`
 /// round trips of run-then-restore over a snapshot — and return the
 /// physical memory's `(cow_faults, cow_frames_shared,
 /// restore_frames_copied)`. Pure function of the workload: every
@@ -268,7 +268,7 @@ pub fn collect_snapshot(
     let step = if cfg.full { 0x40 } else { 0x200 };
     let mut figure6 = Vec::new();
     for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
-        let name = profile.name;
+        let name = profile.name.clone();
         let t = timed(runner, |r| run_figure6_on(r, profile.clone(), step))?;
         figure6.push(Figure6Record {
             uarch: name.to_string(),
@@ -296,7 +296,7 @@ pub fn collect_snapshot(
         UarchProfile::zen3(),
         UarchProfile::zen4(),
     ] {
-        let name = p.name;
+        let name = p.name.clone();
         let t = timed(runner, |r| {
             run_table3_on(r, p.clone(), runs, slots, cfg.seed + 100)
         })?;
@@ -309,7 +309,7 @@ pub fn collect_snapshot(
 
     let mut table4 = Vec::new();
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        let name = p.name;
+        let name = p.name.clone();
         let t = timed(runner, |r| {
             run_table4_on(r, p.clone(), runs, slots, cfg.seed + 200)
         })?;
@@ -333,7 +333,7 @@ pub fn collect_snapshot(
     };
     let mut table5 = Vec::new();
     for (p, bytes) in table5_configs {
-        let name = p.name;
+        let name = p.name.clone();
         let t = timed(runner, |r| {
             run_table5_on(r, p.clone(), bytes, runs, cfg.seed + 300)
         })?;
@@ -348,7 +348,7 @@ pub fn collect_snapshot(
     let bytes = if cfg.full { 4096 } else { 32 };
     let mut mds = Vec::new();
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        let name = p.name;
+        let name = p.name.clone();
         let t = timed(runner, |r| {
             run_mds_on(r, p.clone(), bytes, runs, cfg.seed + 400)
         })?;
@@ -361,7 +361,7 @@ pub fn collect_snapshot(
 
     let mut o4 = Vec::new();
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        let name = p.name;
+        let name = p.name.clone();
         let outcome = o4_suppress_bp_on_non_br(p)?;
         o4.push(O4Record {
             uarch: name.to_string(),
@@ -388,7 +388,7 @@ pub fn collect_snapshot(
         ),
         ("sls_padding", UarchProfile::zen1(), sls_padding_protection),
     ] {
-        let uarch = profile.name;
+        let uarch = profile.name.clone();
         let (unprotected, protected) = check(profile)?;
         software.push(SoftwareRecord {
             name: name.to_string(),

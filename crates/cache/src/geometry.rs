@@ -30,17 +30,32 @@ impl CacheGeometry {
     /// Panics if `sets` or `line_size` is not a power of two, or if any
     /// dimension is zero.
     pub fn new(sets: usize, ways: usize, line_size: usize) -> CacheGeometry {
-        assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(
-            line_size.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(ways > 0, "ways must be nonzero");
-        CacheGeometry {
+        match CacheGeometry::try_new(sets, ways, line_size) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CacheGeometry::new`]: returns a description of the
+    /// violated constraint instead of panicking. Used by the uarch spec
+    /// layer, where geometry comes from user-authored text.
+    pub fn try_new(sets: usize, ways: usize, line_size: usize) -> Result<CacheGeometry, String> {
+        if !sets.is_power_of_two() {
+            return Err(format!("sets must be a power of two (got {sets})"));
+        }
+        if !line_size.is_power_of_two() {
+            return Err(format!(
+                "line size must be a power of two (got {line_size})"
+            ));
+        }
+        if ways == 0 {
+            return Err("ways must be nonzero".to_string());
+        }
+        Ok(CacheGeometry {
             sets,
             ways,
             line_size,
-        }
+        })
     }
 
     /// A 32 KiB, 8-way, 64 B-line L1 (Zen L1I/L1D shape).
@@ -138,6 +153,21 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panics() {
         CacheGeometry::new(3, 8, 64);
+    }
+
+    #[test]
+    fn try_new_reports_each_violation() {
+        assert_eq!(CacheGeometry::try_new(64, 8, 64), Ok(CacheGeometry::l1()));
+        assert!(CacheGeometry::try_new(3, 8, 64)
+            .unwrap_err()
+            .contains("sets"));
+        assert!(CacheGeometry::try_new(64, 0, 64)
+            .unwrap_err()
+            .contains("ways"));
+        assert!(CacheGeometry::try_new(64, 8, 48)
+            .unwrap_err()
+            .contains("line size"));
+        assert!(CacheGeometry::try_new(0, 8, 64).is_err(), "zero sets");
     }
 
     #[test]

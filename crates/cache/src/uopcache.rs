@@ -35,14 +35,22 @@ pub struct UopCache {
 impl UopCache {
     /// An empty µop cache with the paper's geometry (64 sets × 8 ways).
     pub fn new() -> UopCache {
+        UopCache::with_geometry(CacheGeometry::uop_cache())
+    }
+
+    /// An empty µop cache with an explicit geometry — what-if uarch
+    /// specs can deviate from the paper's 64×8 shape.
+    pub fn with_geometry(geometry: CacheGeometry) -> UopCache {
         UopCache {
-            cache: SetAssocCache::new(CacheGeometry::uop_cache(), Replacement::Lru),
+            cache: SetAssocCache::new(geometry, Replacement::Lru),
             hits: 0,
             misses: 0,
         }
     }
 
-    /// The µop-cache set an instruction address maps to: bits \[11:6\].
+    /// The µop-cache set an instruction address maps to under the
+    /// *paper's* geometry: bits \[11:6\]. For a custom geometry use
+    /// [`UopCache::geometry`]`().set_index(va)`.
     pub fn set_of(va: u64) -> usize {
         CacheGeometry::uop_cache().set_index(va)
     }

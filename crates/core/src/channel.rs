@@ -335,7 +335,7 @@ mod tests {
         // cache probing.
         for (profile, expect_uops) in [(UarchProfile::zen2(), true), (UarchProfile::zen4(), false)]
         {
-            let name = profile.name;
+            let name = profile.name.clone();
             let mut m = Machine::new(profile, 1 << 24);
             let text = PageFlags::USER_TEXT | PageFlags::WRITE;
             let x = VirtAddr::new(0x40_0ac0);

@@ -10,7 +10,7 @@
 //! Each bit is an independent [`Scenario`] trial: the receiver's machine
 //! is rewound to the post-boot snapshot, the bit value and the noise
 //! stream derive from the trial seed alone, and the probe votes
-//! [`VOTES_PER_BIT`] times. That makes a transfer embarrassingly
+//! `VOTES_PER_BIT` times. That makes a transfer embarrassingly
 //! parallel — and byte-identical at any thread count.
 
 use rand::rngs::StdRng;
@@ -72,9 +72,9 @@ impl Default for CovertConfig {
 #[derive(Debug, Clone)]
 pub struct CovertResult {
     /// Microarchitecture name.
-    pub uarch: &'static str,
+    pub uarch: phantom_pipeline::IStr,
     /// Tested part.
-    pub model: &'static str,
+    pub model: phantom_pipeline::IStr,
     /// Channel kind.
     pub kind: CovertKind,
     /// Bits transferred.
@@ -221,8 +221,8 @@ impl Scenario for ChannelScenario {
         let cycles: u64 = samples.iter().map(|s| s.cycles).sum();
         let seconds = self.profile.cycles_to_seconds(cycles);
         CovertResult {
-            uarch: self.profile.name,
-            model: self.profile.model,
+            uarch: self.profile.name.clone(),
+            model: self.profile.model.clone(),
             kind: self.kind,
             bits,
             accuracy: correct as f64 / bits.max(1) as f64,
@@ -392,7 +392,7 @@ mod tests {
     #[test]
     fn fetch_channel_is_accurate_on_all_zen() {
         for p in UarchProfile::amd() {
-            let name = p.name;
+            let name = p.name.clone();
             let r = fetch_channel(p, SMALL).unwrap();
             assert!(r.accuracy >= 0.85, "{name}: accuracy {}", r.accuracy);
             assert!(r.bits_per_sec > 0.0);
@@ -402,7 +402,7 @@ mod tests {
     #[test]
     fn execute_channel_works_on_zen12_not_zen3() {
         for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
-            let name = p.name;
+            let name = p.name.clone();
             let r = execute_channel(p, SMALL).unwrap();
             assert!(r.accuracy >= 0.85, "{name}: accuracy {}", r.accuracy);
         }

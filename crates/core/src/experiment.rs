@@ -146,7 +146,7 @@ pub struct ComboOutcome {
     /// Victim instruction.
     pub victim: VictimKind,
     /// Microarchitecture name.
-    pub uarch: &'static str,
+    pub uarch: phantom_pipeline::IStr,
     /// IF channel fired.
     pub fetched: bool,
     /// ID channel fired.
@@ -292,7 +292,7 @@ pub fn run_combo_msr(
     seed: u64,
     msr: Option<phantom_bpu::MsrState>,
 ) -> Result<ComboOutcome, ChannelError> {
-    let uarch = profile.name;
+    let uarch = profile.name.clone();
     let mut m = Machine::new(profile, 1 << 26);
     if let Some(msr) = msr {
         m.write_msr(msr);
@@ -466,7 +466,7 @@ pub struct Table1Cell {
     /// Victim column.
     pub victim: VictimKind,
     /// Per-uarch deepest stage, in [`UarchProfile::all`] order.
-    pub stages: Vec<(&'static str, Stage)>,
+    pub stages: Vec<(phantom_pipeline::IStr, Stage)>,
 }
 
 /// The Table 1 sweep as a trial scenario: one trial per (training ×
@@ -480,7 +480,7 @@ struct Table1Scenario<'a> {
 
 impl Scenario for Table1Scenario<'_> {
     type State = ();
-    type Sample = (&'static str, Stage);
+    type Sample = (phantom_pipeline::IStr, Stage);
     type Output = Vec<Table1Cell>;
 
     fn trials(&self) -> usize {
@@ -494,7 +494,7 @@ impl Scenario for Table1Scenario<'_> {
     fn probe(&self, _state: &mut (), trial: Trial) -> Result<Self::Sample, ScenarioError> {
         let (train, victim) = self.combos[trial.index / self.profiles.len()];
         let profile = self.profiles[trial.index % self.profiles.len()].clone();
-        let name = profile.name;
+        let name = profile.name.clone();
         let outcome = run_combo(profile, train, victim, self.seed)?;
         Ok((name, outcome.stage_enum()))
     }

@@ -61,7 +61,7 @@ pub mod runner;
 pub mod spectre;
 
 pub use experiment::{run_combo, table1, Stage};
-pub use phantom_pipeline::UarchProfile;
+pub use phantom_pipeline::{IStr, SpecError, UarchProfile, UarchRegistry, UarchSpec};
 
 /// Convenience re-exports for experiment and attack code.
 ///

@@ -55,7 +55,7 @@ impl PrimitiveConfig {
 
     /// The right pattern for a system's microarchitecture.
     pub fn for_system(sys: &System, attacker_base: VirtAddr) -> PrimitiveConfig {
-        match sys.machine().profile().name {
+        match sys.machine().profile().name.as_str() {
             "Zen" | "Zen 2" => PrimitiveConfig::zen12(attacker_base),
             _ => PrimitiveConfig::zen34_paper(attacker_base),
         }
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn p1_sees_mapped_executable_kernel_text() {
         for profile in [UarchProfile::zen3(), UarchProfile::zen4()] {
-            let name = profile.name;
+            let name = profile.name.clone();
             let mut sys = boot(profile, 1);
             let mut noise = NoiseModel::quiet(0);
             let cfg = PrimitiveConfig::for_system(&sys, ATTACKER);
@@ -345,7 +345,7 @@ mod tests {
             (UarchProfile::zen2(), true),
             (UarchProfile::zen3(), false),
         ] {
-            let name = profile.name;
+            let name = profile.name.clone();
             let mut sys = boot(profile, 4);
             let mut noise = NoiseModel::quiet(0);
             let cfg = PrimitiveConfig::for_system(&sys, ATTACKER);

@@ -62,7 +62,7 @@ pub fn render_table1(cells: &[Table1Cell]) -> String {
     let mut header = vec!["training", "victim"];
     let uarch_names: Vec<&str> = cells
         .first()
-        .map(|c| c.stages.iter().map(|(n, _)| *n).collect())
+        .map(|c| c.stages.iter().map(|(n, _)| n.as_str()).collect())
         .unwrap_or_default();
     header.extend(uarch_names.iter());
     let rows: Vec<Vec<String>> = cells
@@ -248,7 +248,7 @@ mod tests {
         let cells = vec![Table1Cell {
             train: crate::experiment::TrainKind::JmpInd,
             victim: crate::experiment::VictimKind::NonBranch,
-            stages: vec![("Zen", Stage::Ex), ("Zen 4", Stage::Id)],
+            stages: vec![("Zen".into(), Stage::Ex), ("Zen 4".into(), Stage::Id)],
         }];
         let s = render_table1(&cells);
         assert!(s.contains("Zen 4"));

@@ -5,7 +5,7 @@
 //! Every record mirrors one experiment's output with owned fields, so
 //! a snapshot parsed from disk is self-contained (no `&'static str`
 //! interning against the running binary). Serialization is built on
-//! [`JsonValue`](super::value::JsonValue); object member order is
+//! [`JsonValue`]; object member order is
 //! fixed by the `to_json` implementations, which together with the
 //! deterministic writer makes snapshot bytes a pure function of the
 //! results — the determinism suite asserts byte-identity across

@@ -203,7 +203,7 @@ mod tests {
             UarchProfile::zen4(),
             UarchProfile::intel12(),
         ] {
-            let name = profile.name;
+            let name = profile.name.clone();
             let r = spectre_v2_leak(profile, 0xA7).unwrap();
             assert!(r.correct(), "{name}: leaked {:?}", r.leaked);
         }

@@ -46,9 +46,11 @@
 //! ```
 
 pub mod events;
+pub mod intern;
 pub mod machine;
 pub mod profile;
 pub mod resteer;
+pub mod spec;
 pub mod trace;
 pub mod transient;
 
@@ -56,8 +58,10 @@ pub mod transient;
 mod proptests;
 
 pub use events::{EventSink, PipelineEvent, SinkId};
+pub use intern::IStr;
 pub use machine::{Machine, MachineError, MachineSnapshot, RunExit, StepOutcome};
 pub use profile::{UarchProfile, Vendor};
 pub use resteer::{ResteerKind, SpeculationVerdict};
+pub use spec::{SpecError, UarchRegistry, UarchSpec};
 pub use trace::{TraceEvent, TraceSink, Tracer};
 pub use transient::{TransientReport, TransientWindow};

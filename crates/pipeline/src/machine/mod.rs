@@ -5,17 +5,17 @@
 //! every stage reports what it does through the typed event bus in
 //! [`crate::events`]:
 //!
-//! * [`fetch`] — architectural and wrong-path instruction fetch,
+//! * `fetch` — architectural and wrong-path instruction fetch,
 //!   I-cache/TLB timing.
-//! * [`decode`] — instruction decode, µop-cache dispatch, and the
+//! * `decode` — instruction decode, µop-cache dispatch, and the
 //!   transient-window policy derived from decode-time information.
-//! * [`execute`] — architectural semantics, branch resolution and
+//! * `execute` — architectural semantics, branch resolution and
 //!   predictor training.
-//! * [`wrongpath`] — the squashed speculative path (transient fetch,
+//! * `wrongpath` — the squashed speculative path (transient fetch,
 //!   decode and bounded execute, with nested phantom steering).
-//! * [`commit`] — the step loop tying the stages together and retiring
+//! * `commit` — the step loop tying the stages together and retiring
 //!   instructions.
-//! * [`snapshot`] — cheap whole-machine checkpoints for trial runners.
+//! * `snapshot` — cheap whole-machine checkpoints for trial runners.
 
 mod commit;
 mod decode;
@@ -28,7 +28,7 @@ mod wrongpath;
 pub use snapshot::MachineSnapshot;
 
 use phantom_bpu::{Bpu, MsrState};
-use phantom_cache::{CacheHierarchy, HierarchyConfig, PerfCounters, UopCache};
+use phantom_cache::{CacheHierarchy, PerfCounters, UopCache};
 use phantom_isa::{Inst, Reg};
 use phantom_mem::phys::OutOfFrames;
 use phantom_mem::{PageFault, PageTable, PhysMemory, PrivilegeLevel, Tlb, VirtAddr};
@@ -169,14 +169,19 @@ pub struct Machine {
 
 impl Machine {
     /// Create a machine with `phys_bytes` of physical memory, all
-    /// mitigation MSRs off.
+    /// mitigation MSRs off. Cache shapes and latencies come from the
+    /// profile (`profile.cache`, `profile.uop_geometry`), so a machine
+    /// built from a custom [`UarchSpec`](crate::spec::UarchSpec) models
+    /// that spec's hierarchy everywhere.
     pub fn new(profile: UarchProfile, phys_bytes: u64) -> Machine {
         let bpu = Bpu::new(profile.btb_scheme.clone(), MsrState::none());
+        let caches = CacheHierarchy::new(profile.cache);
+        let uop_cache = UopCache::with_geometry(profile.uop_geometry);
         Machine {
             profile,
             bpu,
-            caches: CacheHierarchy::new(HierarchyConfig::default()),
-            uop_cache: UopCache::new(),
+            caches,
+            uop_cache,
             pmu: PerfCounters::new(),
             phys: PhysMemory::new(phys_bytes),
             page_table: PageTable::new(),
@@ -197,6 +202,20 @@ impl Machine {
             bus: EventBus::new(),
             decode_cache: decode::DecodeCache::new(),
         }
+    }
+
+    /// Create a machine from a declarative spec: validates, compiles
+    /// the profile, and delegates to [`Machine::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's first validation failure.
+    pub fn from_spec(
+        spec: &crate::spec::UarchSpec,
+        phys_bytes: u64,
+    ) -> Result<Machine, crate::spec::SpecError> {
+        spec.validate()?;
+        Ok(Machine::new(spec.profile(), phys_bytes))
     }
 
     // ----- event bus ---------------------------------------------------

@@ -304,7 +304,7 @@ fn phantom_on_nop(profile: UarchProfile) -> (Machine, crate::transient::Transien
 #[test]
 fn phantom_fetch_and_decode_on_all_uarchs() {
     for profile in UarchProfile::all() {
-        let name = profile.name;
+        let name = profile.name.clone();
         let (m, report) = phantom_on_nop(profile);
         assert!(report.fetched, "O1: transient fetch on {name}");
         assert!(report.decoded, "O2: transient decode on {name}");
@@ -328,8 +328,8 @@ fn phantom_fetch_and_decode_on_all_uarchs() {
 #[test]
 fn phantom_execute_only_on_zen1_and_zen2() {
     for profile in UarchProfile::all() {
-        let name = profile.name;
-        let expect_exec = matches!(name, "Zen" | "Zen 2");
+        let name = profile.name.clone();
+        let expect_exec = matches!(name.as_str(), "Zen" | "Zen 2");
         let (m, report) = phantom_on_nop(profile);
         assert_eq!(
             !report.loads_dispatched.is_empty(),
@@ -356,7 +356,7 @@ fn suppress_bp_on_non_br_gates_execute_only() {
     // O4: with the MSR set on Zen 2, non-branch victims no longer
     // execute the target, but IF and ID still happen.
     let mut profile = UarchProfile::zen2();
-    profile.name = "Zen 2"; // unchanged; explicitness
+    profile.name = "Zen 2".into(); // unchanged; explicitness
     let (_, baseline) = phantom_on_nop(profile.clone());
     assert!(!baseline.loads_dispatched.is_empty());
 
@@ -438,7 +438,7 @@ fn wrong_indirect_target_is_a_spectre_window() {
     // Train jmp* to T1, then run it with T2 in the register: backend
     // resteer, wide window, transient execution at T1 on EVERY uarch.
     for profile in UarchProfile::all() {
-        let name = profile.name;
+        let name = profile.name.clone();
         let is_intel_blind = profile.indirect_victim_blind;
         let mut m = machine(profile);
         let mut a = Assembler::new(0x40_0000);

@@ -1,13 +1,22 @@
 //! Per-microarchitecture profiles.
 //!
-//! Each profile bundles a BTB indexing scheme, stage latencies, mitigation
-//! support and a clock frequency. Table 1 of the paper emerges from these
-//! parameters: every tested part fetches and decodes phantom targets
-//! (fetch/decode latencies beat the earliest resteer), while only Zen 1/2
-//! have a decoder-resteer latency slow enough for target µops to dispatch
-//! a load (`phantom_exec_uops > 0`).
+//! Each profile bundles a BTB indexing scheme, cache geometry, stage
+//! latencies, mitigation support and a clock frequency. Table 1 of the
+//! paper emerges from these parameters: every tested part fetches and
+//! decodes phantom targets (fetch/decode latencies beat the earliest
+//! resteer), while only Zen 1/2 have a decoder-resteer latency slow
+//! enough for target µops to dispatch a load (`phantom_exec_uops > 0`).
+//!
+//! A profile is *compiled* from a declarative [`UarchSpec`]
+//! (see [`crate::spec`]): the builtin constructors here delegate to the
+//! builtin specs, and [`UarchProfile::all`] is served by the
+//! [`UarchRegistry`].
 
 use phantom_bpu::BtbScheme;
+use phantom_cache::{CacheGeometry, HierarchyConfig};
+
+use crate::intern::IStr;
+use crate::spec::{UarchRegistry, UarchSpec};
 
 /// CPU vendor, for reporting and for behavior that splits by vendor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,13 +50,19 @@ impl std::fmt::Display for Vendor {
 #[derive(Debug, Clone, PartialEq)]
 pub struct UarchProfile {
     /// Human-readable name ("Zen 2", "Intel 12th gen (P core)").
-    pub name: &'static str,
+    /// Interned so runtime-defined uarches cost one allocation
+    /// process-wide, however many trials clone the profile.
+    pub name: IStr,
     /// The representative retail part the paper tested.
-    pub model: &'static str,
+    pub model: IStr,
     /// Vendor.
     pub vendor: Vendor,
     /// BTB alias scheme.
     pub btb_scheme: BtbScheme,
+    /// Cache-hierarchy geometry and latencies.
+    pub cache: HierarchyConfig,
+    /// µop-cache shape (64 sets × 8 ways × 64 B on every paper part).
+    pub uop_geometry: CacheGeometry,
     /// Fetch window in bytes (typically 32).
     pub fetch_block: u64,
     /// Cycles for the fetch unit to request the predicted target
@@ -87,141 +102,49 @@ pub struct UarchProfile {
 impl UarchProfile {
     /// AMD Zen 1 (Ryzen 5 1600X in the paper).
     pub fn zen1() -> UarchProfile {
-        UarchProfile {
-            name: "Zen",
-            model: "AMD Ryzen 5 1600X",
-            vendor: Vendor::Amd,
-            btb_scheme: BtbScheme::zen12(),
-            fetch_block: 32,
-            fetch_latency: 1,
-            decode_latency: 4,
-            frontend_resteer_latency: 12,
-            backend_resteer_latency: 60,
-            phantom_exec_uops: 6,
-            spectre_exec_uops: 40,
-            supports_suppress_bp_on_non_br: false,
-            supports_auto_ibrs: false,
-            indirect_victim_blind: false,
-            freq_ghz: 3.6,
-        }
+        UarchSpec::zen1().profile()
     }
 
     /// AMD Zen 2 (EPYC 7252 in the paper).
     pub fn zen2() -> UarchProfile {
-        UarchProfile {
-            name: "Zen 2",
-            model: "AMD EPYC 7252",
-            vendor: Vendor::Amd,
-            btb_scheme: BtbScheme::zen12(),
-            fetch_block: 32,
-            fetch_latency: 1,
-            decode_latency: 4,
-            frontend_resteer_latency: 11,
-            backend_resteer_latency: 60,
-            phantom_exec_uops: 6,
-            spectre_exec_uops: 44,
-            supports_suppress_bp_on_non_br: true,
-            supports_auto_ibrs: false,
-            indirect_victim_blind: false,
-            freq_ghz: 3.1,
-        }
+        UarchSpec::zen2().profile()
     }
 
     /// AMD Zen 3 (Ryzen 5 5600G in the paper). First part with the
     /// `b47`-folded cross-privilege BTB functions of Figure 7.
     pub fn zen3() -> UarchProfile {
-        UarchProfile {
-            name: "Zen 3",
-            model: "Ryzen 5 5600G",
-            vendor: Vendor::Amd,
-            btb_scheme: BtbScheme::zen34(),
-            fetch_block: 32,
-            fetch_latency: 1,
-            decode_latency: 3,
-            frontend_resteer_latency: 6,
-            backend_resteer_latency: 55,
-            phantom_exec_uops: 0,
-            spectre_exec_uops: 44,
-            supports_suppress_bp_on_non_br: true,
-            supports_auto_ibrs: false,
-            indirect_victim_blind: false,
-            freq_ghz: 3.9,
-        }
+        UarchSpec::zen3().profile()
     }
 
     /// AMD Zen 4 (Ryzen 7 7700X in the paper). Adds AutoIBRS.
     pub fn zen4() -> UarchProfile {
-        UarchProfile {
-            name: "Zen 4",
-            model: "Ryzen 7 7700X",
-            vendor: Vendor::Amd,
-            btb_scheme: BtbScheme::zen34(),
-            fetch_block: 32,
-            fetch_latency: 1,
-            decode_latency: 3,
-            frontend_resteer_latency: 5,
-            backend_resteer_latency: 50,
-            phantom_exec_uops: 0,
-            spectre_exec_uops: 48,
-            supports_suppress_bp_on_non_br: true,
-            supports_auto_ibrs: true,
-            indirect_victim_blind: false,
-            freq_ghz: 4.5,
-        }
-    }
-
-    fn intel(name: &'static str, model: &'static str, freq_ghz: f64, blind: bool) -> UarchProfile {
-        UarchProfile {
-            name,
-            model,
-            vendor: Vendor::Intel,
-            btb_scheme: BtbScheme::intel(),
-            fetch_block: 32,
-            fetch_latency: 1,
-            decode_latency: 3,
-            frontend_resteer_latency: 6,
-            backend_resteer_latency: 55,
-            phantom_exec_uops: 0,
-            spectre_exec_uops: 44,
-            supports_suppress_bp_on_non_br: false,
-            supports_auto_ibrs: false,
-            indirect_victim_blind: blind,
-            freq_ghz,
-        }
+        UarchSpec::zen4().profile()
     }
 
     /// Intel 9th generation (Coffee Lake Refresh).
     pub fn intel9() -> UarchProfile {
-        UarchProfile::intel("Intel 9th gen", "Core i9-9900K", 3.6, true)
+        UarchSpec::intel9().profile()
     }
 
     /// Intel 11th generation (Rocket Lake).
     pub fn intel11() -> UarchProfile {
-        UarchProfile::intel("Intel 11th gen", "Core i7-11700K", 3.6, true)
+        UarchSpec::intel11().profile()
     }
 
     /// Intel 12th generation P core (Golden Cove).
     pub fn intel12() -> UarchProfile {
-        UarchProfile::intel("Intel 12th gen (P core)", "Core i9-12900K", 3.2, false)
+        UarchSpec::intel12().profile()
     }
 
     /// Intel 13th generation P core (Raptor Cove).
     pub fn intel13() -> UarchProfile {
-        UarchProfile::intel("Intel 13th gen (P core)", "Core i9-13900K", 3.0, false)
+        UarchSpec::intel13().profile()
     }
 
-    /// All eight profiles evaluated in Table 1, in the paper's order.
+    /// All eight profiles evaluated in Table 1, in the paper's order,
+    /// compiled from the builtin spec registry.
     pub fn all() -> Vec<UarchProfile> {
-        vec![
-            UarchProfile::zen1(),
-            UarchProfile::zen2(),
-            UarchProfile::zen3(),
-            UarchProfile::zen4(),
-            UarchProfile::intel9(),
-            UarchProfile::intel11(),
-            UarchProfile::intel12(),
-            UarchProfile::intel13(),
-        ]
+        UarchRegistry::builtin().profiles()
     }
 
     /// The four AMD profiles (the exploitation targets).
@@ -262,7 +185,7 @@ mod tests {
     #[test]
     fn only_zen12_execute_phantom_targets() {
         for p in UarchProfile::all() {
-            let should_exec = matches!(p.name, "Zen" | "Zen 2");
+            let should_exec = matches!(p.name.as_str(), "Zen" | "Zen 2");
             assert_eq!(p.phantom_exec_uops > 0, should_exec, "{p}");
         }
     }
@@ -297,6 +220,14 @@ mod tests {
         assert!(!UarchProfile::zen3().supports_auto_ibrs);
         for p in [UarchProfile::intel9(), UarchProfile::intel13()] {
             assert!(p.btb_scheme.privilege_tagged, "{p}");
+        }
+    }
+
+    #[test]
+    fn profiles_carry_the_paper_cache_shape() {
+        for p in UarchProfile::all() {
+            assert_eq!(p.cache, HierarchyConfig::default(), "{p}");
+            assert_eq!(p.uop_geometry, CacheGeometry::uop_cache(), "{p}");
         }
     }
 

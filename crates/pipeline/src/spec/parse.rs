@@ -1,0 +1,389 @@
+//! Hand-rolled parser for the uarch spec text format.
+//!
+//! The format is line-based and deterministic, like the repo's JSON
+//! layer: a magic header line, then one `uarch <key> { … }` block per
+//! spec with a single `key value` pair per line. `#` starts a comment
+//! (outside quotes), blank lines are ignored, and every block is
+//! validated with [`UarchSpec::validate`] before it is returned.
+//!
+//! ```text
+//! phantom-uarch-spec v1
+//!
+//! uarch whatif {
+//!   name "What-if"             # quoted, \" and \\ escapes
+//!   model "Imaginary 1"
+//!   vendor amd                 # amd | intel
+//!   freq_ghz 4.0
+//!   btb.ways 2
+//!   btb.privilege_tagged false
+//!   btb.fold b47 ^ b35 ^ b23   # repeatable, paper notation
+//!   cache.l1i 64 8 64          # sets ways line_size
+//!   …
+//! }
+//! ```
+
+use phantom_cache::{CacheGeometry, Replacement};
+
+use super::{BtbSpec, CacheSpec, SpecError, UarchSpec, SPEC_HEADER};
+use crate::profile::Vendor;
+
+/// Parse a spec file: header plus zero or more `uarch` blocks, each
+/// validated.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] with the offending 1-based line, or
+/// [`SpecError::Invalid`] when a syntactically well-formed block
+/// violates a validation rule.
+pub fn parse_specs(text: &str) -> Result<Vec<UarchSpec>, SpecError> {
+    let mut specs = Vec::new();
+    let mut header_seen = false;
+    let mut block: Option<(usize, Builder)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |msg: String| SpecError::Parse { line: line_no, msg };
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !header_seen {
+            if line != SPEC_HEADER {
+                return Err(err(format!(
+                    "expected header {SPEC_HEADER:?}, found {line:?}"
+                )));
+            }
+            header_seen = true;
+            continue;
+        }
+        match &mut block {
+            None => {
+                let mut tokens = line.split_whitespace();
+                match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+                    (Some("uarch"), Some(key), Some("{"), None) => {
+                        block = Some((line_no, Builder::new(key)));
+                    }
+                    _ => return Err(err(format!("expected `uarch <key> {{`, found {line:?}"))),
+                }
+            }
+            Some((_, builder)) => {
+                if line == "}" {
+                    let (open_line, builder) = block.take().expect("block is open");
+                    let spec = builder.finish().map_err(|msg| SpecError::Parse {
+                        line: open_line,
+                        msg,
+                    })?;
+                    spec.validate()?;
+                    specs.push(spec);
+                } else {
+                    let (field, value) = match line.split_once(char::is_whitespace) {
+                        Some((f, v)) => (f, v.trim()),
+                        None => (line, ""),
+                    };
+                    builder.set(field, value).map_err(err)?;
+                }
+            }
+        }
+    }
+    if let Some((open_line, builder)) = block {
+        return Err(SpecError::Parse {
+            line: open_line,
+            msg: format!("unterminated `uarch {} {{` block", builder.key),
+        });
+    }
+    if !header_seen {
+        return Err(SpecError::Parse {
+            line: 1,
+            msg: format!("empty input: expected header {SPEC_HEADER:?}"),
+        });
+    }
+    Ok(specs)
+}
+
+/// Truncate `raw` at the first `#` that is outside a quoted string.
+fn strip_comment(raw: &str) -> &str {
+    let mut in_quote = false;
+    let mut escaped = false;
+    for (i, c) in raw.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quote => escaped = true,
+            '"' => in_quote = !in_quote,
+            '#' if !in_quote => return &raw[..i],
+            _ => {}
+        }
+    }
+    raw
+}
+
+fn parse_quoted(s: &str) -> Result<String, String> {
+    let mut chars = s.chars();
+    if chars.next() != Some('"') {
+        return Err(format!("expected a quoted string, found {s:?}"));
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in chars.by_ref() {
+        if escaped {
+            match c {
+                '"' | '\\' => out.push(c),
+                other => return Err(format!("unsupported escape `\\{other}`")),
+            }
+            escaped = false;
+        } else {
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    let rest: String = chars.collect();
+                    if !rest.trim().is_empty() {
+                        return Err(format!("trailing content after string: {rest:?}"));
+                    }
+                    return Ok(out);
+                }
+                c => out.push(c),
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_bool(s: &str) -> Result<bool, String> {
+    match s {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected true or false, found {other:?}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("expected {what}, found {s:?}"))
+}
+
+fn parse_geom(s: &str) -> Result<CacheGeometry, String> {
+    let dims: Vec<&str> = s.split_whitespace().collect();
+    let [sets, ways, line_size] = dims.as_slice() else {
+        return Err(format!("expected `<sets> <ways> <line_size>`, found {s:?}"));
+    };
+    // Shape constraints (powers of two, nonzero ways) are checked by
+    // `UarchSpec::validate`, which names the offending cache level.
+    Ok(CacheGeometry {
+        sets: parse_num(sets, "a set count")?,
+        ways: parse_num(ways, "a way count")?,
+        line_size: parse_num(line_size, "a line size")?,
+    })
+}
+
+/// Parse a fold function in the paper's notation: `b47 ^ b35 ^ b23`.
+fn parse_fold(s: &str) -> Result<u64, String> {
+    let mut mask = 0u64;
+    for term in s.split('^') {
+        let term = term.trim();
+        let Some(bit) = term.strip_prefix('b') else {
+            return Err(format!("expected a `b<bit>` term, found {term:?}"));
+        };
+        let bit: u32 = parse_num(bit, "a bit index")?;
+        if bit >= 64 {
+            return Err(format!("bit index b{bit} out of range (max b63)"));
+        }
+        if mask >> bit & 1 == 1 {
+            return Err(format!("duplicate term b{bit}"));
+        }
+        mask |= 1 << bit;
+    }
+    Ok(mask)
+}
+
+/// Accumulates one `uarch` block; `finish` checks completeness.
+struct Builder {
+    key: String,
+    name: Option<String>,
+    model: Option<String>,
+    vendor: Option<Vendor>,
+    freq_ghz: Option<f64>,
+    btb_ways: Option<usize>,
+    btb_privilege_tagged: Option<bool>,
+    folds: Vec<u64>,
+    l1i: Option<CacheGeometry>,
+    l1d: Option<CacheGeometry>,
+    l2: Option<CacheGeometry>,
+    uop: Option<CacheGeometry>,
+    l1_latency: Option<u64>,
+    l2_latency: Option<u64>,
+    memory_latency: Option<u64>,
+    replacement: Option<Replacement>,
+    fetch_block: Option<u64>,
+    fetch_latency: Option<u64>,
+    decode_latency: Option<u64>,
+    frontend_resteer_latency: Option<u64>,
+    backend_resteer_latency: Option<u64>,
+    phantom_exec_uops: Option<u32>,
+    spectre_exec_uops: Option<u32>,
+    suppress_bp_on_non_br: Option<bool>,
+    auto_ibrs: Option<bool>,
+    indirect_victim_blind: Option<bool>,
+}
+
+fn set<T>(slot: &mut Option<T>, value: T, field: &str) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("duplicate field {field}"));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+impl Builder {
+    fn new(key: &str) -> Builder {
+        Builder {
+            key: key.to_string(),
+            name: None,
+            model: None,
+            vendor: None,
+            freq_ghz: None,
+            btb_ways: None,
+            btb_privilege_tagged: None,
+            folds: Vec::new(),
+            l1i: None,
+            l1d: None,
+            l2: None,
+            uop: None,
+            l1_latency: None,
+            l2_latency: None,
+            memory_latency: None,
+            replacement: None,
+            fetch_block: None,
+            fetch_latency: None,
+            decode_latency: None,
+            frontend_resteer_latency: None,
+            backend_resteer_latency: None,
+            phantom_exec_uops: None,
+            spectre_exec_uops: None,
+            suppress_bp_on_non_br: None,
+            auto_ibrs: None,
+            indirect_victim_blind: None,
+        }
+    }
+
+    fn set(&mut self, field: &str, value: &str) -> Result<(), String> {
+        match field {
+            "name" => set(&mut self.name, parse_quoted(value)?, field),
+            "model" => set(&mut self.model, parse_quoted(value)?, field),
+            "vendor" => {
+                let v = match value {
+                    "amd" => Vendor::Amd,
+                    "intel" => Vendor::Intel,
+                    other => return Err(format!("expected amd or intel, found {other:?}")),
+                };
+                set(&mut self.vendor, v, field)
+            }
+            "freq_ghz" => {
+                let f: f64 = parse_num(value, "a frequency in GHz")?;
+                if !f.is_finite() {
+                    return Err(format!("expected a finite frequency, found {value:?}"));
+                }
+                set(&mut self.freq_ghz, f, field)
+            }
+            "btb.ways" => set(&mut self.btb_ways, parse_num(value, "a way count")?, field),
+            "btb.privilege_tagged" => {
+                set(&mut self.btb_privilege_tagged, parse_bool(value)?, field)
+            }
+            "btb.fold" => {
+                self.folds.push(parse_fold(value)?);
+                Ok(())
+            }
+            "cache.l1i" => set(&mut self.l1i, parse_geom(value)?, field),
+            "cache.l1d" => set(&mut self.l1d, parse_geom(value)?, field),
+            "cache.l2" => set(&mut self.l2, parse_geom(value)?, field),
+            "cache.uop" => set(&mut self.uop, parse_geom(value)?, field),
+            "cache.l1_latency" => set(&mut self.l1_latency, parse_num(value, "cycles")?, field),
+            "cache.l2_latency" => set(&mut self.l2_latency, parse_num(value, "cycles")?, field),
+            "cache.memory_latency" => {
+                set(&mut self.memory_latency, parse_num(value, "cycles")?, field)
+            }
+            "cache.replacement" => {
+                let r = match value {
+                    "lru" => Replacement::Lru,
+                    "tree-plru" => Replacement::TreePlru,
+                    "fifo" => Replacement::Fifo,
+                    other => {
+                        return Err(format!("expected lru, tree-plru or fifo, found {other:?}"))
+                    }
+                };
+                set(&mut self.replacement, r, field)
+            }
+            "fetch_block" => set(&mut self.fetch_block, parse_num(value, "bytes")?, field),
+            "fetch_latency" => set(&mut self.fetch_latency, parse_num(value, "cycles")?, field),
+            "decode_latency" => set(&mut self.decode_latency, parse_num(value, "cycles")?, field),
+            "frontend_resteer_latency" => set(
+                &mut self.frontend_resteer_latency,
+                parse_num(value, "cycles")?,
+                field,
+            ),
+            "backend_resteer_latency" => set(
+                &mut self.backend_resteer_latency,
+                parse_num(value, "cycles")?,
+                field,
+            ),
+            "phantom_exec_uops" => set(
+                &mut self.phantom_exec_uops,
+                parse_num(value, "a µop count")?,
+                field,
+            ),
+            "spectre_exec_uops" => set(
+                &mut self.spectre_exec_uops,
+                parse_num(value, "a µop count")?,
+                field,
+            ),
+            "suppress_bp_on_non_br" => {
+                set(&mut self.suppress_bp_on_non_br, parse_bool(value)?, field)
+            }
+            "auto_ibrs" => set(&mut self.auto_ibrs, parse_bool(value)?, field),
+            "indirect_victim_blind" => {
+                set(&mut self.indirect_victim_blind, parse_bool(value)?, field)
+            }
+            other => Err(format!("unknown field {other:?}")),
+        }
+    }
+
+    fn finish(self) -> Result<UarchSpec, String> {
+        fn req<T>(slot: Option<T>, field: &str) -> Result<T, String> {
+            slot.ok_or_else(|| format!("missing field {field}"))
+        }
+        Ok(UarchSpec {
+            key: self.key,
+            name: req(self.name, "name")?,
+            model: req(self.model, "model")?,
+            vendor: req(self.vendor, "vendor")?,
+            freq_ghz: req(self.freq_ghz, "freq_ghz")?,
+            btb: BtbSpec {
+                folds: self.folds,
+                ways: req(self.btb_ways, "btb.ways")?,
+                privilege_tagged: req(self.btb_privilege_tagged, "btb.privilege_tagged")?,
+            },
+            cache: CacheSpec {
+                l1i: req(self.l1i, "cache.l1i")?,
+                l1d: req(self.l1d, "cache.l1d")?,
+                l2: req(self.l2, "cache.l2")?,
+                uop: req(self.uop, "cache.uop")?,
+                l1_latency: req(self.l1_latency, "cache.l1_latency")?,
+                l2_latency: req(self.l2_latency, "cache.l2_latency")?,
+                memory_latency: req(self.memory_latency, "cache.memory_latency")?,
+                replacement: self.replacement.unwrap_or(Replacement::Lru),
+            },
+            fetch_block: req(self.fetch_block, "fetch_block")?,
+            fetch_latency: req(self.fetch_latency, "fetch_latency")?,
+            decode_latency: req(self.decode_latency, "decode_latency")?,
+            frontend_resteer_latency: req(
+                self.frontend_resteer_latency,
+                "frontend_resteer_latency",
+            )?,
+            backend_resteer_latency: req(self.backend_resteer_latency, "backend_resteer_latency")?,
+            phantom_exec_uops: req(self.phantom_exec_uops, "phantom_exec_uops")?,
+            spectre_exec_uops: req(self.spectre_exec_uops, "spectre_exec_uops")?,
+            suppress_bp_on_non_br: req(self.suppress_bp_on_non_br, "suppress_bp_on_non_br")?,
+            auto_ibrs: req(self.auto_ibrs, "auto_ibrs")?,
+            indirect_victim_blind: req(self.indirect_victim_blind, "indirect_victim_blind")?,
+        })
+    }
+}

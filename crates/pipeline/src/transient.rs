@@ -132,7 +132,7 @@ mod tests {
             let w = TransientWindow::for_resteer(&p, ResteerKind::Frontend);
             assert!(w.fetch, "O1 on {p}");
             assert!(w.decode, "O2 on {p}");
-            let expect_exec = matches!(p.name, "Zen" | "Zen 2");
+            let expect_exec = matches!(p.name.as_str(), "Zen" | "Zen 2");
             assert_eq!(w.exec_uops > 0, expect_exec, "O3 on {p}");
         }
     }

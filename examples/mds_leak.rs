@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(64usize);
 
     for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
-        let name = profile.name;
+        let name = profile.name.clone();
         let mut sys = System::new(profile, 1 << 28, 7)?;
         let physmap = sys.layout().physmap_base(); // from the §7.2 stage
         let result = leak_kernel_memory(

@@ -20,7 +20,7 @@ use phantom::spectre::{spectre_v2_leak, window_comparison};
 use phantom::UarchProfile;
 
 struct Row {
-    uarch: &'static str,
+    uarch: phantom::IStr,
     leak_ok: bool,
     spectre_uops: u32,
     phantom_uops: u32,
@@ -51,7 +51,7 @@ impl Scenario for Comparison {
         let w = window_comparison(&profile);
         let combo = run_combo(profile.clone(), TrainKind::JmpInd, VictimKind::NonBranch, 0)?;
         Ok(Row {
-            uarch: profile.name,
+            uarch: profile.name.clone(),
             leak_ok: leak.correct(),
             spectre_uops: w.spectre_uops,
             phantom_uops: w.phantom_uops,

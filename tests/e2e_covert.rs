@@ -13,7 +13,7 @@ const CFG: CovertConfig = CovertConfig {
 fn fetch_channel_band_on_all_zen() {
     // Table 2-top band: 90.67%–100%.
     for profile in UarchProfile::amd() {
-        let name = profile.name;
+        let name = profile.name.clone();
         let r = fetch_channel(profile, CFG).expect("channel");
         assert!(
             (0.85..=1.0).contains(&r.accuracy),
@@ -27,7 +27,7 @@ fn fetch_channel_band_on_all_zen() {
 fn execute_channel_band_and_uarch_split() {
     // Table 2-bottom band on Zen 1/2…
     for profile in [UarchProfile::zen1(), UarchProfile::zen2()] {
-        let name = profile.name;
+        let name = profile.name.clone();
         let r = execute_channel(profile, CFG).expect("channel");
         assert!(r.accuracy >= 0.85, "{name}: accuracy {}", r.accuracy);
     }
@@ -44,7 +44,7 @@ fn execute_channel_band_and_uarch_split() {
 fn table2_emits_six_rows_in_paper_order() {
     let rows = table2(CovertConfig { bits: 64, seed: 1 }).expect("table");
     assert_eq!(rows.len(), 6);
-    let uarchs: Vec<&str> = rows.iter().map(|r| r.uarch).collect();
+    let uarchs: Vec<&str> = rows.iter().map(|r| r.uarch.as_str()).collect();
     assert_eq!(uarchs, ["Zen", "Zen 2", "Zen 3", "Zen 4", "Zen", "Zen 2"]);
     assert!(rows[..4]
         .iter()

@@ -15,7 +15,7 @@ fn user_injected_predictions_are_not_served_in_kernel_mode() {
     // prediction in kernel mode, even while the mitigation is switched
     // off" — modeled as privilege-tagged BTB entries.
     for profile in [UarchProfile::intel9(), UarchProfile::intel12()] {
-        let name = profile.name;
+        let name = profile.name.clone();
         let mut sys = System::new(profile, 1 << 28, 70).expect("boot");
         let victim = sys.image().listing1_nop;
         let target = sys.image().base + 0x1000;

@@ -10,9 +10,9 @@ use phantom::UarchProfile;
 #[test]
 fn table1_shape_matches_the_paper() {
     for profile in UarchProfile::all() {
-        let name = profile.name;
+        let name = profile.name.clone();
         let vendor_blind = profile.indirect_victim_blind;
-        let is_zen12 = matches!(name, "Zen" | "Zen 2");
+        let is_zen12 = matches!(name.as_str(), "Zen" | "Zen 2");
         for (train, victim) in asymmetric_combos() {
             let o = run_combo(profile.clone(), train, victim, 0).expect("combo runs");
             // The Intel jmp*-victim blind spot (marked in the paper's
@@ -86,7 +86,7 @@ fn channels_never_overreport_against_ground_truth() {
 #[test]
 fn figure6_dip_only_at_the_series_offset() {
     for profile in [UarchProfile::zen2(), UarchProfile::zen4()] {
-        let name = profile.name;
+        let name = profile.name.clone();
         let points = phantom::experiment::figure6(profile, 0xac0, 0x160).expect("sweep");
         let hits: Vec<_> = points.iter().filter(|p| p.misses > 0).collect();
         assert_eq!(hits.len(), 1, "{name}: exactly one signalling offset");

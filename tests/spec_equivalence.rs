@@ -1,0 +1,69 @@
+//! The spec layer must be a lossless re-expression of the legacy
+//! profile constructors: every builtin spec compiles to exactly the
+//! profile its constructor built, and because the bench snapshot is a
+//! pure function of those profiles, this is what keeps
+//! `BENCH_phantom.json` byte-identical across the refactor.
+//! (`tests/determinism.rs` pins the full snapshot bytes themselves, at
+//! 1 and 8 runner threads.)
+
+use phantom::runner::TrialRunner;
+use phantom::{UarchProfile, UarchRegistry, UarchSpec};
+use phantom_bench::run_figure6_on;
+use phantom_pipeline::spec::{parse_specs, specs_to_text};
+
+type BuiltinPair = (&'static str, fn() -> UarchSpec, fn() -> UarchProfile);
+
+#[test]
+fn every_builtin_spec_matches_its_legacy_constructor() {
+    let pairs: [BuiltinPair; 8] = [
+        ("zen1", UarchSpec::zen1, UarchProfile::zen1),
+        ("zen2", UarchSpec::zen2, UarchProfile::zen2),
+        ("zen3", UarchSpec::zen3, UarchProfile::zen3),
+        ("zen4", UarchSpec::zen4, UarchProfile::zen4),
+        ("intel9", UarchSpec::intel9, UarchProfile::intel9),
+        ("intel11", UarchSpec::intel11, UarchProfile::intel11),
+        ("intel12", UarchSpec::intel12, UarchProfile::intel12),
+        ("intel13", UarchSpec::intel13, UarchProfile::intel13),
+    ];
+    for (key, spec, profile) in pairs {
+        assert_eq!(spec().profile(), profile(), "{key} drifted from its spec");
+    }
+    // And the registry serves the same profiles in Table 1 order.
+    assert_eq!(UarchRegistry::builtin().profiles(), UarchProfile::all());
+}
+
+#[test]
+fn builtin_specs_survive_a_text_round_trip_with_identical_profiles() {
+    let builtins = UarchSpec::builtins();
+    let reparsed = parse_specs(&specs_to_text(&builtins)).expect("builtin text parses");
+    assert_eq!(reparsed, builtins);
+    for (a, b) in reparsed.iter().zip(&builtins) {
+        assert_eq!(a.profile(), b.profile(), "{} profile drifted", a.key);
+    }
+}
+
+/// The acceptance path: the committed example spec parses, registers
+/// next to the builtins, and completes a Figure 6 sweep end-to-end.
+#[test]
+fn committed_whatif_spec_runs_figure6() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/uarch/whatif.spec");
+    let text = std::fs::read_to_string(path).expect("committed spec file");
+
+    let mut registry = UarchRegistry::with_builtins();
+    let keys = registry.register_text(&text).expect("spec registers");
+    assert_eq!(keys, vec!["zen2f".to_string()]);
+
+    let whatif = registry.get("zen2f").expect("registered").clone();
+    assert_eq!(
+        parse_specs(&whatif.to_text()).expect("reprints"),
+        vec![whatif.clone()],
+        "committed spec must round-trip through the canonical printer"
+    );
+
+    let runner = TrialRunner::with_threads(2);
+    let points =
+        run_figure6_on(&runner, whatif.profile(), 0x400).expect("figure 6 sweep completes");
+    let signalling: Vec<_> = points.iter().filter(|p| p.misses > 0).collect();
+    assert_eq!(signalling.len(), 1, "one signalling offset");
+    assert_eq!(signalling[0].offset, 0xac0, "the paper's 0xac0 dip");
+}
