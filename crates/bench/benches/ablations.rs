@@ -64,8 +64,8 @@ fn bench_probe_traversal_order(c: &mut Criterion) {
         let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 13).expect("builds");
         let mut noise = NoiseModel::quiet(0);
         b.iter(|| {
-            pp.prime(&mut m);
-            let r = pp.probe(&mut m, &mut noise);
+            pp.prime(&mut m).expect("prime");
+            let r = pp.probe(&mut m, &mut noise).expect("probe");
             assert_eq!(r.evictions, 0);
         })
     });

@@ -14,6 +14,8 @@
 //! repro software          §8.2     (lfence / RSB stuffing / SLS padding)
 //! repro spectre           baseline (conventional Spectre-V2 comparison)
 //! repro ablation          design-parameter sweeps (latency / ways / noise)
+//! repro noise-sweep [bits] noise-robustness sweep (adaptive channel
+//!                         accuracy / probe spend per noise knob)
 //! repro overhead          §6.3     (mitigation overhead suite)
 //! repro gadgets           §9.1     (gadget census)
 //! repro list-uarchs       registered microarchitectures
@@ -33,19 +35,21 @@
 //! Tables render on stdout; per-sweep wall-clock notes go to stderr so
 //! piped output stays byte-for-byte reproducible.
 
+use phantom::ablation::NoiseSweepConfig;
 use phantom::gadgets::{census, generate_corpus, CorpusConfig};
 use phantom::mitigations::{
     lfence_gadget_protection, o4_suppress_bp_on_non_br, o5_auto_ibrs_fetch,
     rsb_stuffing_protection, sls_padding_protection, suppress_overhead_on,
 };
 use phantom::report;
-use phantom::report::json::{diff, BenchSnapshot, Tolerance};
+use phantom::report::json::{diff, BenchSnapshot, NoiseSweepRecord, Tolerance, SCHEMA};
+use phantom::report::value::JsonValue;
 use phantom::runner::TrialRunner;
 use phantom::spectre::{spectre_v2_leak, window_comparison};
 use phantom::{UarchProfile, UarchRegistry};
 use phantom_bench::{
-    collect_snapshot, run_figure6_on, run_figure7, run_mds_on, run_table1_on, run_table2_on,
-    run_table3_on, run_table4_on, run_table5_on, timed, BenchConfig,
+    collect_snapshot, run_figure6_on, run_figure7, run_mds_on, run_noise_sweep_on, run_table1_on,
+    run_table2_on, run_table3_on, run_table4_on, run_table5_on, timed, BenchConfig,
 };
 
 const USAGE: &str = "\
@@ -65,6 +69,9 @@ usage: repro [command] [n] [flags]
   software          \u{a7}8.2     (lfence / RSB stuffing / SLS padding)
   spectre           baseline (conventional Spectre-V2 comparison)
   ablation          design-parameter sweeps (latency / ways / noise)
+  noise-sweep [bits] noise-robustness sweep (adaptive channel accuracy,
+                    probe spend, abstentions per noise knob; --json
+                    writes the records, --baseline gates the quiet end)
   overhead          \u{a7}6.3     (mitigation overhead suite)
   gadgets           \u{a7}9.1     (gadget census)
   list-uarchs       list registered microarchitectures (builtins + --spec)
@@ -300,6 +307,81 @@ fn ablation() -> Result<(), phantom_bench::RunnerError> {
             p.spurious_rate * 100.0,
             p.accuracy * 100.0
         );
+    }
+    Ok(())
+}
+
+/// The noise-robustness sweep (`noise-sweep`): the adaptive fetch
+/// channel driven through each noise knob, one knob nonzero per point.
+/// `--json` writes the records under the bench schema; `--baseline`
+/// gates the quiet (`value == 0`) points against a committed snapshot
+/// and exits 1 on regression, mirroring the `bench` diff gate.
+fn noise_sweep(
+    r: &TrialRunner,
+    cfg: &NoiseSweepConfig,
+    flags: &BenchFlags,
+    json_given: bool,
+) -> Result<(), phantom_bench::RunnerError> {
+    let t = timed(r, |r| run_noise_sweep_on(r, cfg))?;
+    print!("{}", report::render_noise_sweep(&t.result));
+    eprintln!("[noise-sweep: {}]", t.wall_note());
+    let records: Vec<NoiseSweepRecord> = t.result.iter().map(NoiseSweepRecord::from).collect();
+
+    if json_given {
+        let mut root = JsonValue::object();
+        root.set("schema", JsonValue::Str(SCHEMA.to_string()));
+        root.set(
+            "noise_sweep",
+            JsonValue::Array(records.iter().map(NoiseSweepRecord::to_json).collect()),
+        );
+        std::fs::write(&flags.json, root.to_pretty_string())
+            .map_err(|e| format!("write {}: {e}", flags.json.display()))?;
+        eprintln!("[noise-sweep: wrote {}]", flags.json.display());
+    }
+
+    if let Some(baseline_path) = &flags.baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        let baseline = BenchSnapshot::from_json_str(&text)?;
+        let tol = match flags.tolerance {
+            Some(pct) => Tolerance::uniform(pct),
+            None => Tolerance::default(),
+        };
+        let mut regressions: Vec<String> = Vec::new();
+        let base_sweep = baseline.noise_sweep.as_deref().unwrap_or(&[]);
+        for base_p in base_sweep.iter().filter(|p| p.is_quiet()) {
+            match records
+                .iter()
+                .find(|c| c.axis == base_p.axis && c.value == base_p.value)
+            {
+                Some(cur_p) if (base_p.accuracy - cur_p.accuracy) * 100.0 > tol.accuracy_pp => {
+                    regressions.push(format!(
+                        "noise_sweep[{} = 0].accuracy: {} -> {}",
+                        base_p.axis, base_p.accuracy, cur_p.accuracy
+                    ));
+                }
+                None => regressions.push(format!("noise_sweep[{} = 0] missing", base_p.axis)),
+                _ => {}
+            }
+        }
+        if regressions.is_empty() {
+            println!(
+                "no quiet-end regressions against {} (tolerance: {}pp accuracy, {} quiet point(s))",
+                baseline_path.display(),
+                tol.accuracy_pp,
+                base_sweep.iter().filter(|p| p.is_quiet()).count()
+            );
+        } else {
+            eprintln!(
+                "{} regression(s) against {}:",
+                regressions.len(),
+                baseline_path.display()
+            );
+            for reg in &regressions {
+                eprintln!("  {reg}");
+            }
+            std::process::exit(1);
+        }
     }
     Ok(())
 }
@@ -574,6 +656,18 @@ fn main() {
         "software" => software(),
         "spectre" => spectre(),
         "ablation" => ablation(),
+        "noise-sweep" => {
+            let mut cfg = if full() {
+                NoiseSweepConfig {
+                    seed: 500,
+                    ..Default::default()
+                }
+            } else {
+                NoiseSweepConfig::quick(500)
+            };
+            cfg.bits = num(1, cfg.bits);
+            noise_sweep(&r, &cfg, &flags, json_given)
+        }
         "overhead" => overhead(&r),
         "gadgets" => {
             gadgets();
@@ -592,6 +686,7 @@ fn main() {
             .and_then(|()| software())
             .and_then(|()| spectre())
             .and_then(|()| ablation())
+            .and_then(|()| noise_sweep(&r, &NoiseSweepConfig::quick(500), &flags, false))
             .and_then(|()| overhead(&r))
             .map(|()| gadgets()),
         "help" | "--help" | "-h" => {

@@ -12,6 +12,7 @@
 //! defaults keep a laptop run in minutes. Scaling choices are recorded
 //! in `EXPERIMENTS.md`.
 
+use phantom::ablation::{noise_sweep_on, NoiseSweepConfig, NoiseSweepPoint};
 use phantom::attacks::{
     KaslrImageResult, KaslrImageSweep, MdsLeakResult, MdsLeakSweep, PhysAddrResult, PhysAddrSweep,
     PhysmapResult, PhysmapSweep,
@@ -299,6 +300,29 @@ pub fn run_mds_on(
         },
         seed,
     )
+}
+
+/// Run the noise-robustness sweep: covert-channel accuracy, probe
+/// spend, and abstention counts as each noise knob sweeps from quiet
+/// to harsh while the others stay at zero.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn run_noise_sweep(config: &NoiseSweepConfig) -> Result<Vec<NoiseSweepPoint>, RunnerError> {
+    run_noise_sweep_on(&TrialRunner::new(), config)
+}
+
+/// [`run_noise_sweep`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn run_noise_sweep_on(
+    runner: &TrialRunner,
+    config: &NoiseSweepConfig,
+) -> Result<Vec<NoiseSweepPoint>, RunnerError> {
+    Ok(noise_sweep_on(runner, config)?)
 }
 
 #[cfg(test)]

@@ -11,13 +11,14 @@
 
 use std::time::Instant;
 
+use phantom::ablation::NoiseSweepConfig;
 use phantom::mitigations::{
     lfence_gadget_protection, o4_suppress_bp_on_non_br, o5_auto_ibrs_fetch,
     rsb_stuffing_protection, sls_padding_protection, suppress_overhead_on,
 };
 use phantom::report::json::{
     BenchSnapshot, CovertRecord, Figure6Record, Figure7Record, GadgetRecord, HostMeta,
-    MdsRunRecord, MdsTableRecord, O4Record, O5Record, OverheadRecord, PerfRecord,
+    MdsRunRecord, MdsTableRecord, NoiseSweepRecord, O4Record, O5Record, OverheadRecord, PerfRecord,
     PhysAddrRunRecord, PhysAddrTableRecord, RunMeta, SlotRunRecord, SlotTableRecord,
     SoftwareRecord, StageFlags, Table1Record,
 };
@@ -31,8 +32,8 @@ use phantom_mem::{PageFlags, VirtAddr};
 use phantom_pipeline::Machine;
 
 use crate::{
-    run_figure6_on, run_figure7, run_mds_on, run_table1_on, run_table2_on, run_table3_on,
-    run_table4_on, run_table5_on, timed, RunnerError,
+    run_figure6_on, run_figure7, run_mds_on, run_noise_sweep_on, run_table1_on, run_table2_on,
+    run_table3_on, run_table4_on, run_table5_on, timed, RunnerError,
 };
 
 /// Snapshot collection knobs. The default is the quick profile, seed
@@ -359,6 +360,18 @@ pub fn collect_snapshot(
         wall.push((format!("mds {name}"), t.wall.as_secs_f64()));
     }
 
+    let sweep_cfg = if cfg.full {
+        NoiseSweepConfig {
+            seed: cfg.seed + 500,
+            ..Default::default()
+        }
+    } else {
+        NoiseSweepConfig::quick(cfg.seed + 500)
+    };
+    let t = timed(runner, |r| run_noise_sweep_on(r, &sweep_cfg))?;
+    let noise_sweep: Vec<NoiseSweepRecord> = t.result.iter().map(NoiseSweepRecord::from).collect();
+    wall.push(("noise_sweep".into(), t.wall.as_secs_f64()));
+
     let mut o4 = Vec::new();
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
         let name = p.name.clone();
@@ -451,6 +464,7 @@ pub fn collect_snapshot(
         overhead,
         gadgets,
         perf,
+        noise_sweep: Some(noise_sweep),
         host,
     })
 }

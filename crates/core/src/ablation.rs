@@ -237,6 +237,169 @@ pub fn noise_accuracy_curve_on(
         .map_err(|e| PrimitiveError(e.to_string()))
 }
 
+/// Configuration for [`noise_sweep`]: one fetch covert-channel transfer
+/// per listed knob value, each axis swept independently on top of a
+/// quiet baseline so the curves are attributable to a single noise
+/// source.
+#[derive(Debug, Clone)]
+pub struct NoiseSweepConfig {
+    /// Swept `jitter_cycles` values (uniform latency jitter amplitude).
+    pub jitter: Vec<u64>,
+    /// Swept `spurious_evict` probabilities.
+    pub spurious: Vec<f64>,
+    /// Swept `missed_signal` probabilities.
+    pub missed: Vec<f64>,
+    /// Bits transferred per sweep point.
+    pub bits: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseSweepConfig {
+    fn default() -> NoiseSweepConfig {
+        NoiseSweepConfig {
+            jitter: vec![0, 2, 4, 8],
+            spurious: vec![0.0, 0.01, 0.03, 0.1],
+            missed: vec![0.0, 0.05, 0.15, 0.3],
+            bits: 256,
+            seed: 0,
+        }
+    }
+}
+
+impl NoiseSweepConfig {
+    /// A cut-down sweep for CI smoke runs and benchmarks.
+    pub fn quick(seed: u64) -> NoiseSweepConfig {
+        NoiseSweepConfig {
+            jitter: vec![0, 4],
+            spurious: vec![0.0, 0.05],
+            missed: vec![0.0, 0.2],
+            bits: 64,
+            seed,
+        }
+    }
+
+    /// Total sweep points across all three axes.
+    pub fn points(&self) -> usize {
+        self.jitter.len() + self.spurious.len() + self.missed.len()
+    }
+
+    fn knobs(&self) -> Vec<(&'static str, f64)> {
+        let mut knobs = Vec::with_capacity(self.points());
+        knobs.extend(self.jitter.iter().map(|&j| ("jitter_cycles", j as f64)));
+        knobs.extend(self.spurious.iter().map(|&s| ("spurious_evict", s)));
+        knobs.extend(self.missed.iter().map(|&m| ("missed_signal", m)));
+        knobs
+    }
+}
+
+/// One point of the noise sweep: the adaptive fetch channel under a
+/// single noise knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSweepPoint {
+    /// Which [`NoiseModel`] field was swept: `"jitter_cycles"`,
+    /// `"spurious_evict"` or `"missed_signal"`.
+    pub axis: &'static str,
+    /// The knob value (jitter cycles are reported as a float too).
+    pub value: f64,
+    /// Channel accuracy at that point (abstentions count as wrong).
+    pub accuracy: f64,
+    /// Total probes the adaptive decoder spent.
+    pub probes: u64,
+    /// Bits the decoder abstained on rather than guessing.
+    pub abstentions: u64,
+    /// Mean decode confidence across the transfer.
+    pub mean_confidence: f64,
+}
+
+/// The noise sweep as a trial scenario: each trial is a full adaptive
+/// fetch-channel transfer at one `(axis, value)` point. The inner
+/// channel runs single-threaded — the outer runner already shards the
+/// sweep's points.
+#[derive(Debug, Clone)]
+struct NoiseSweep {
+    config: NoiseSweepConfig,
+    knobs: Vec<(&'static str, f64)>,
+}
+
+impl Scenario for NoiseSweep {
+    type State = ();
+    type Sample = NoiseSweepPoint;
+    type Output = Vec<NoiseSweepPoint>;
+
+    fn trials(&self) -> usize {
+        self.knobs.len()
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, _state: &mut (), trial: Trial) -> Result<NoiseSweepPoint, ScenarioError> {
+        let (axis, value) = self.knobs[trial.index];
+        let mut noise = NoiseModel::quiet(self.config.seed);
+        match axis {
+            "jitter_cycles" => noise.jitter_cycles = value as u64,
+            "spurious_evict" => noise.spurious_evict = value,
+            _ => noise.missed_signal = value,
+        }
+        let r = fetch_channel_noisy_on(
+            &TrialRunner::with_threads(1),
+            UarchProfile::zen2(),
+            CovertConfig {
+                bits: self.config.bits,
+                seed: self.config.seed,
+            },
+            noise,
+        )?;
+        Ok(NoiseSweepPoint {
+            axis,
+            value,
+            accuracy: r.accuracy,
+            probes: r.probes,
+            abstentions: r.abstentions as u64,
+            mean_confidence: r.mean_confidence,
+        })
+    }
+
+    fn score(&self, samples: Vec<NoiseSweepPoint>) -> Vec<NoiseSweepPoint> {
+        samples
+    }
+}
+
+/// Sweep each noise knob independently and measure how the adaptive
+/// fetch channel holds up: accuracy, probe spend (the decoder escalates
+/// under noise), and abstention count. The quiet end of every axis must
+/// stay near-perfect — that is the regression gate the bench harness
+/// enforces.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on channel failure.
+pub fn noise_sweep(config: &NoiseSweepConfig) -> Result<Vec<NoiseSweepPoint>, PrimitiveError> {
+    noise_sweep_on(&TrialRunner::new(), config)
+}
+
+/// [`noise_sweep`] on an explicit runner.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on channel failure.
+pub fn noise_sweep_on(
+    runner: &TrialRunner,
+    config: &NoiseSweepConfig,
+) -> Result<Vec<NoiseSweepPoint>, PrimitiveError> {
+    runner
+        .run(
+            &NoiseSweep {
+                knobs: config.knobs(),
+                config: config.clone(),
+            },
+            config.seed,
+        )
+        .map_err(|e| PrimitiveError(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +434,29 @@ mod tests {
         }
         assert_eq!(points.last().unwrap().survival, 1.0, "8 ways hold all 8");
         assert!(points[0].survival <= 0.2, "1 way holds ~1 of 8");
+    }
+
+    #[test]
+    fn noise_sweep_covers_every_axis_and_stays_clean_when_quiet() {
+        let config = NoiseSweepConfig::quick(5);
+        let points = noise_sweep(&config).unwrap();
+        assert_eq!(points.len(), config.points());
+        for p in &points {
+            // Every axis's first value is its quiet baseline.
+            if p.value == 0.0 {
+                assert!(p.accuracy > 0.95, "quiet {} point degraded: {p:?}", p.axis);
+                assert_eq!(p.abstentions, 0, "quiet {} point abstained: {p:?}", p.axis);
+            }
+            assert!(p.probes >= 2 * config.bits as u64, "{p:?}");
+        }
+        // Heavy missed-signal traffic is the harshest knob: the decoder
+        // must escalate (spend more probes) relative to the quiet point.
+        let quiet = points.iter().find(|p| p.value == 0.0).unwrap();
+        let harsh = points
+            .iter()
+            .find(|p| p.axis == "missed_signal" && p.value > 0.0)
+            .unwrap();
+        assert!(harsh.probes > quiet.probes, "{harsh:?} vs {quiet:?}");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use phantom_isa::BranchKind;
 use phantom_kernel::{sysno, System};
 use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr};
 use phantom_pipeline::UarchProfile;
-use phantom_sidechannel::NoiseModel;
+use phantom_sidechannel::{NoiseModel, Reading};
 
 use crate::attacks::AttackError;
 use crate::primitives::PrimitiveConfig;
@@ -54,6 +54,9 @@ pub struct MdsLeakResult {
     /// signal loss in 2 of 10 reboots, attributed to undesired BTB
     /// aliasing).
     pub signal: bool,
+    /// Mean confidence of the per-byte hit reloads (bytes with no hit
+    /// contribute 0).
+    pub mean_confidence: f64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Simulated seconds consumed.
@@ -91,9 +94,12 @@ pub fn leak_kernel_memory(
         .map_err(|e| AttackError(e.to_string()))?;
     let reload_kva = physmap_base + reload_pa.raw();
 
-    let threshold = {
+    let (threshold, span) = {
         let c = sys.machine().caches().config();
-        c.l1_latency + c.l2_latency + noise.jitter_cycles
+        (
+            c.l1_latency + c.l2_latency + noise.jitter_cycles,
+            c.memory_latency,
+        )
     };
 
     // Byte index of the secret relative to the array base (the
@@ -103,6 +109,7 @@ pub fn leak_kernel_memory(
     let start_cycles = sys.machine().cycles();
     let mut leaked = Vec::with_capacity(config.bytes);
     let mut hits = 0usize;
+    let mut confidence_sum = 0.0;
     for i in 0..config.bytes {
         // ① Train the bounds check taken with in-bounds indices. These
         // calls also retrain the architectural `call parse_data` BTB
@@ -136,8 +143,10 @@ pub fn leak_kernel_memory(
         for b in 0..256u64 {
             let latency =
                 phantom_sidechannel::reload(sys.machine_mut(), reload_uva + (b << 6), &mut noise);
-            if latency <= threshold && byte.is_none() {
+            let reading = Reading::classify(latency, threshold, span);
+            if reading.hit && byte.is_none() {
                 byte = Some(b as u8);
+                confidence_sum += reading.confidence.value();
             }
         }
         if byte.is_some() {
@@ -153,6 +162,7 @@ pub fn leak_kernel_memory(
     Ok(MdsLeakResult {
         accuracy: correct as f64 / config.bytes as f64,
         signal: hits > config.bytes / 2,
+        mean_confidence: confidence_sum / config.bytes.max(1) as f64,
         leaked,
         cycles,
         seconds,
@@ -221,6 +231,7 @@ mod tests {
         let r = leak_kernel_memory(&mut sys, physmap, &config).unwrap();
         assert!(r.signal, "signal observed");
         assert!(r.accuracy >= 0.95, "accuracy {}", r.accuracy);
+        assert!(r.mean_confidence > 0.0, "hit reloads carry margin");
         assert_eq!(&r.leaked[..16], &sys.secret()[..16]);
     }
 

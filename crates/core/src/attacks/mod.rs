@@ -32,6 +32,20 @@ pub fn scan_window(actual: u64, width: u64, total: u64) -> std::ops::Range<u64> 
     lo..lo + width
 }
 
+/// Normalize a candidate scan's winning margin into a confidence in
+/// `[0, 1]`: the gap between the best and runner-up
+/// [`bounded_score`](phantom_sidechannel::bounded_score) relative to
+/// the maximum attainable score over `sets` monitored sets. A
+/// non-positive winning score is indistinguishable from noise and
+/// scores 0 outright.
+pub fn score_confidence(best: i64, runner_up: i64, sets: usize) -> f64 {
+    if best <= 0 {
+        return 0.0;
+    }
+    let full = (sets as i64 * phantom_sidechannel::SCORE_CLAMP).max(1) as f64;
+    ((best - runner_up).max(0) as f64 / full).clamp(0.0, 1.0)
+}
+
 /// Common error type for attack execution.
 #[derive(Debug)]
 pub struct AttackError(pub String);
@@ -67,5 +81,19 @@ mod tests {
             assert!(w.contains(&actual), "{actual} {width} {total}");
             assert!(w.end <= total);
         }
+    }
+
+    #[test]
+    fn score_confidence_normalizes_the_winning_margin() {
+        // A full-scale gap over 3 sets (3 × SCORE_CLAMP) is certainty.
+        assert_eq!(score_confidence(30, 0, 3), 1.0);
+        assert_eq!(score_confidence(15, 0, 3), 0.5);
+        assert_eq!(score_confidence(20, 14, 3), 0.2);
+        // Noise-level winners carry no confidence.
+        assert_eq!(score_confidence(0, -5, 3), 0.0);
+        assert_eq!(score_confidence(-2, -5, 3), 0.0);
+        // A runner-up above the winner clamps instead of going negative.
+        assert_eq!(score_confidence(5, 9, 3), 0.0);
+        assert_eq!(score_confidence(100, 0, 3), 1.0, "clamped to 1");
     }
 }

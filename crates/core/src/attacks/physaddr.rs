@@ -16,7 +16,7 @@ use phantom_kernel::image::{LISTING2_CALL_OFFSET, LISTING3_DISP, LISTING3_OFFSET
 use phantom_kernel::System;
 use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr, HUGE_PAGE_SIZE};
 use phantom_pipeline::UarchProfile;
-use phantom_sidechannel::NoiseModel;
+use phantom_sidechannel::{NoiseModel, Reading};
 
 use crate::attacks::AttackError;
 use crate::primitives::PrimitiveConfig;
@@ -52,6 +52,9 @@ pub struct PhysAddrResult {
     pub correct: bool,
     /// Huge-page candidates tested before the hit.
     pub guesses_tested: u64,
+    /// Confidence of the hit reload (margin from the Flush+Reload
+    /// threshold, normalized); 0 when the scan exhausted all candidates.
+    pub confidence: f64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Simulated seconds consumed.
@@ -106,13 +109,17 @@ pub fn find_physical_address(
     )
     .map_err(|e| AttackError(e.to_string()))?;
 
-    let threshold = {
+    let (threshold, span) = {
         let c = sys.machine().caches().config();
-        c.l1_latency + c.l2_latency + noise.jitter_cycles
+        (
+            c.l1_latency + c.l2_latency + noise.jitter_cycles,
+            c.memory_latency,
+        )
     };
 
     let capacity = sys.machine().phys().capacity();
     let mut guessed = None;
+    let mut confidence = 0.0;
     let mut tested = 0;
     let mut pg = 0u64;
     while pg + HUGE_PAGE_SIZE <= capacity {
@@ -132,8 +139,10 @@ pub fn find_physical_address(
         sys.readv(0, target.raw().wrapping_sub(LISTING3_DISP as u64))
             .map_err(|e| AttackError(e.to_string()))?;
         let latency = phantom_sidechannel::reload(sys.machine_mut(), a_uva, &mut noise);
-        if latency <= threshold {
+        let reading = Reading::classify(latency, threshold, span);
+        if reading.hit {
             guessed = Some(pg);
+            confidence = reading.confidence.value();
             break;
         }
         pg += HUGE_PAGE_SIZE;
@@ -152,6 +161,7 @@ pub fn find_physical_address(
         actual_pa,
         correct: guessed == Some(actual_pa),
         guesses_tested: tested,
+        confidence,
         cycles,
         seconds: sys.machine().profile().cycles_to_seconds(cycles),
     })
@@ -226,6 +236,7 @@ mod tests {
             r.guessed_pa, r.actual_pa
         );
         assert!(r.guesses_tested >= 1);
+        assert!(r.confidence > 0.0, "{r:?}");
     }
 
     #[test]
@@ -282,5 +293,6 @@ mod tests {
         let r = find_physical_address(&mut sys, image_base, physmap_base, &config).unwrap();
         assert!(!r.correct);
         assert_eq!(r.guessed_pa, None);
+        assert_eq!(r.confidence, 0.0, "no hit, no confidence");
     }
 }

@@ -15,7 +15,7 @@ use phantom_mem::VirtAddr;
 use phantom_pipeline::UarchProfile;
 use phantom_sidechannel::{bounded_score, NoiseModel};
 
-use crate::attacks::{scan_window, AttackError};
+use crate::attacks::{scan_window, score_confidence, AttackError};
 use crate::primitives::{p2_probe_in_set, PrimitiveConfig};
 use crate::runner::{Scenario, ScenarioError, Trial};
 
@@ -54,6 +54,9 @@ pub struct PhysmapResult {
     pub correct: bool,
     /// The winning score.
     pub best_score: i64,
+    /// How decisively the winner beat the runner-up, in `[0, 1]`
+    /// (see [`score_confidence`]).
+    pub confidence: f64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Simulated seconds consumed.
@@ -79,6 +82,7 @@ pub fn break_physmap(
     let start_cycles = sys.machine().cycles();
 
     let mut best: Option<(u64, i64)> = None;
+    let mut runner_up: i64 = 0;
     for slot in config.slots.clone() {
         let candidate = KaslrLayout::candidate_physmap_base(slot);
         let mut signal = Vec::new();
@@ -100,8 +104,13 @@ pub fn break_physmap(
             baseline.push(b_ev);
         }
         let score = bounded_score(&signal, &baseline);
-        if best.is_none_or(|(_, s)| score > s) {
-            best = Some((slot, score));
+        match best {
+            Some((_, s)) if score > s => {
+                runner_up = s;
+                best = Some((slot, score));
+            }
+            Some(_) => runner_up = runner_up.max(score),
+            None => best = Some((slot, score)),
         }
     }
 
@@ -113,6 +122,7 @@ pub fn break_physmap(
         actual_slot,
         correct: guessed_slot == actual_slot,
         best_score,
+        confidence: score_confidence(best_score, runner_up, config.sets_per_candidate),
         cycles,
         seconds: sys.machine().profile().cycles_to_seconds(cycles),
     })
@@ -189,6 +199,7 @@ mod tests {
             "guessed {} actual {}",
             r.guessed_slot, r.actual_slot
         );
+        assert!(r.confidence > 0.0, "{r:?}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use phantom_isa::asm::Assembler;
 use phantom_isa::Inst;
 use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr};
 use phantom_pipeline::Machine;
-use phantom_sidechannel::NoiseModel;
+use phantom_sidechannel::{NoiseModel, Reading};
 
 /// Number of jumps in the µop-cache priming series (the paper uses 7).
 pub const JMP_SERIES_LEN: usize = 7;
@@ -71,17 +71,26 @@ impl IfChannel {
     /// `true` when the line was already cached (i.e. the victim's
     /// phantom path fetched it).
     pub fn observe(&self, machine: &mut Machine, noise: &mut NoiseModel) -> bool {
+        self.observe_scored(machine, noise).hit
+    }
+
+    /// [`observe`](Self::observe) as a confidence-scored [`Reading`]:
+    /// the margin from the hit threshold is normalized against the
+    /// memory latency. An untranslatable target yields
+    /// [`Reading::none`].
+    pub fn observe_scored(&self, machine: &mut Machine, noise: &mut NoiseModel) -> Reading {
         let Ok(pa) =
             machine
                 .page_table()
                 .translate(self.target, AccessKind::Execute, PrivilegeLevel::User)
         else {
-            return false;
+            return Reading::none();
         };
         let (_, latency) = machine.caches_mut().access_inst(pa.raw());
         machine.add_cycles(latency);
-        let cfg = machine.caches().config();
-        noise.jitter(latency) <= cfg.l1_latency + cfg.l2_latency + noise.jitter_cycles
+        let cfg = *machine.caches().config();
+        let threshold = cfg.l1_latency + cfg.l2_latency + noise.jitter_cycles;
+        Reading::classify(noise.jitter(latency), threshold, cfg.memory_latency)
     }
 }
 
@@ -242,9 +251,15 @@ impl ExChannel {
 
     /// Probe: time a reload. `true` means the wrong path loaded it.
     pub fn observe(&self, machine: &mut Machine, noise: &mut NoiseModel) -> bool {
+        self.observe_scored(machine, noise).hit
+    }
+
+    /// [`observe`](Self::observe) as a confidence-scored [`Reading`].
+    pub fn observe_scored(&self, machine: &mut Machine, noise: &mut NoiseModel) -> Reading {
         let latency = phantom_sidechannel::reload(machine, self.probe, noise);
-        let cfg = machine.caches().config();
-        latency <= cfg.l1_latency + cfg.l2_latency + noise.jitter_cycles
+        let cfg = *machine.caches().config();
+        let threshold = cfg.l1_latency + cfg.l2_latency + noise.jitter_cycles;
+        Reading::classify(latency, threshold, cfg.memory_latency)
     }
 }
 
@@ -311,6 +326,31 @@ mod tests {
             .unwrap();
         m.caches_mut().access_data(pa.raw());
         assert!(ch.observe(&mut m, &mut noise));
+    }
+
+    #[test]
+    fn scored_observation_grades_the_boolean() {
+        let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+        let mut noise = NoiseModel::quiet(0);
+        let target = VirtAddr::new(0x31_0b80);
+        m.map_range(target, 64, PageFlags::USER_TEXT).unwrap();
+        let ch = IfChannel::new(target);
+        ch.arm(&mut m);
+        let cold = ch.observe_scored(&mut m, &mut noise);
+        assert!(!cold.hit);
+        assert!(cold.confidence.value() > 0.0, "{cold:?}");
+        let pa = m
+            .page_table()
+            .translate(target, AccessKind::Execute, PrivilegeLevel::User)
+            .unwrap();
+        ch.arm(&mut m);
+        m.caches_mut().access_inst(pa.raw());
+        let warm = ch.observe_scored(&mut m, &mut noise);
+        assert!(warm.hit);
+        assert!(warm.confidence.value() > 0.0, "{warm:?}");
+        // An unmapped target carries no information.
+        let none = IfChannel::new(VirtAddr::new(0xdead_0000)).observe_scored(&mut m, &mut noise);
+        assert_eq!(none, Reading::none());
     }
 
     #[test]

@@ -9,9 +9,19 @@
 //!
 //! Each bit is an independent [`Scenario`] trial: the receiver's machine
 //! is rewound to the post-boot snapshot, the bit value and the noise
-//! stream derive from the trial seed alone, and the probe votes
-//! `VOTES_PER_BIT` times. That makes a transfer embarrassingly
-//! parallel — and byte-identical at any thread count.
+//! stream derive from the trial seed alone, and the probe casts votes
+//! through the adaptive [`decode_adaptive`] decoder. That makes a
+//! transfer embarrassingly parallel — and byte-identical at any thread
+//! count.
+//!
+//! Decoding is confidence-driven: a single spurious eviction on a dead
+//! set would flip a one-shot 0-bit to 1, so each bit is probed
+//! repeatedly — but instead of a fixed vote count, the decoder stops
+//! after two unanimous high-margin probes and escalates (up to the
+//! schedule bound) only when the early votes tie or sit near the
+//! calibrated threshold. Bits that stay tied are reported as
+//! abstentions, never coin flips. The total probe cost is reflected
+//! honestly in `bits_per_sec`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,16 +31,9 @@ use phantom_mem::VirtAddr;
 use phantom_pipeline::{MachineSnapshot, UarchProfile};
 use phantom_sidechannel::NoiseModel;
 
-use crate::primitives::{p1_probe, p2_probe, PrimitiveConfig, PrimitiveError};
-use crate::runner::{majority, Scenario, ScenarioError, Trial, TrialRunner};
-
-/// Redundancy factor: each bit is probed this many times and decoded by
-/// majority vote. A single spurious eviction on a dead set would
-/// otherwise flip a 0-bit to 1; with ~8 primed ways and a few percent
-/// per-way false-eviction rate, one-shot decoding caps around 80–85%
-/// accuracy while three-way voting pushes it past 95% at a 3× cost in
-/// raw throughput (reflected honestly in `bits_per_sec`).
-const VOTES_PER_BIT: u32 = 3;
+use crate::decode::{decode_adaptive, Decoded, DecoderConfig};
+use crate::primitives::{p1_probe_scored, p2_probe_scored, PrimitiveConfig, PrimitiveError};
+use crate::runner::{Scenario, ScenarioError, Trial, TrialRunner};
 
 /// Which primitive carries the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,12 +82,18 @@ pub struct CovertResult {
     pub kind: CovertKind,
     /// Bits transferred.
     pub bits: usize,
-    /// Fraction decoded correctly.
+    /// Fraction decoded correctly (abstentions count as wrong).
     pub accuracy: f64,
     /// Simulated wall-clock seconds for the whole transfer.
     pub seconds: f64,
     /// Throughput in bits per second.
     pub bits_per_sec: f64,
+    /// Total probes cast across all bits (the decoder's real cost).
+    pub probes: u64,
+    /// Bits the decoder abstained on (tied through the full schedule).
+    pub abstentions: usize,
+    /// Mean per-bit decode confidence.
+    pub mean_confidence: f64,
 }
 
 /// The covert-channel transfer as a trial scenario: one trial per bit.
@@ -94,6 +103,8 @@ struct ChannelScenario {
     kind: CovertKind,
     /// Noise calibration; each trial reseeds it from its trial seed.
     noise_proto: NoiseModel,
+    /// Per-bit vote escalation schedule and confidence floor.
+    decoder: DecoderConfig,
 }
 
 /// Per-shard receiver state: a booted system plus the rewind point.
@@ -115,6 +126,9 @@ struct ChannelState {
 /// One decoded bit and the simulated cycles its trial consumed.
 struct BitSample {
     correct: bool,
+    abstained: bool,
+    probes: u32,
+    confidence: f64,
     cycles: u64,
 }
 
@@ -191,14 +205,14 @@ impl Scenario for ChannelScenario {
         let bit = rng.gen_bool(0.5);
         let target = if bit { state.t1 } else { state.t0 };
         let mut noise = self.noise_proto.reseeded(trial.seed ^ self.uarch_salt());
-        let mut votes = 0u32;
-        for _ in 0..VOTES_PER_BIT {
-            let evictions = match self.kind {
+        let sys = &mut state.sys;
+        let outcome = decode_adaptive(&self.decoder, |_| {
+            let reading = match self.kind {
                 CovertKind::Fetch => {
-                    p1_probe(&mut state.sys, &state.cfg, state.victim, target, &mut noise)?
+                    p1_probe_scored(sys, &state.cfg, state.victim, target, &mut noise)?
                 }
-                CovertKind::Execute => p2_probe(
-                    &mut state.sys,
+                CovertKind::Execute => p2_probe_scored(
+                    sys,
                     &state.cfg,
                     state.victim,
                     state.gadget,
@@ -206,11 +220,17 @@ impl Scenario for ChannelScenario {
                     &mut noise,
                 )?,
             };
-            votes += u32::from(evictions > 0);
-        }
-        let decoded = majority(votes, VOTES_PER_BIT);
+            Ok::<_, ScenarioError>((reading.hit, reading.confidence))
+        })?;
+        let (correct, abstained) = match outcome.decoded {
+            Decoded::Bit(b) => (b == bit, false),
+            Decoded::Abstain => (false, true),
+        };
         Ok(BitSample {
-            correct: decoded == bit,
+            correct,
+            abstained,
+            probes: outcome.probes,
+            confidence: outcome.confidence.value(),
             cycles: state.sys.machine().cycles() - state.snap_cycles,
         })
     }
@@ -219,6 +239,10 @@ impl Scenario for ChannelScenario {
         let bits = samples.len();
         let correct = samples.iter().filter(|s| s.correct).count();
         let cycles: u64 = samples.iter().map(|s| s.cycles).sum();
+        let probes: u64 = samples.iter().map(|s| u64::from(s.probes)).sum();
+        let abstentions = samples.iter().filter(|s| s.abstained).count();
+        let mean_confidence =
+            samples.iter().map(|s| s.confidence).sum::<f64>() / bits.max(1) as f64;
         let seconds = self.profile.cycles_to_seconds(cycles);
         CovertResult {
             uarch: self.profile.name.clone(),
@@ -228,6 +252,9 @@ impl Scenario for ChannelScenario {
             accuracy: correct as f64 / bits.max(1) as f64,
             seconds,
             bits_per_sec: bits as f64 / seconds,
+            probes,
+            abstentions,
+            mean_confidence,
         }
     }
 }
@@ -293,6 +320,23 @@ pub fn fetch_channel_noisy_on(
     config: CovertConfig,
     noise: NoiseModel,
 ) -> Result<CovertResult, PrimitiveError> {
+    fetch_channel_decoded_on(runner, profile, config, noise, DecoderConfig::default())
+}
+
+/// [`fetch_channel_noisy_on`] with an explicit decoder config —
+/// `DecoderConfig::fixed(n)` reproduces the legacy fixed majority vote,
+/// the default escalates adaptively.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn fetch_channel_decoded_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: CovertConfig,
+    noise: NoiseModel,
+    decoder: DecoderConfig,
+) -> Result<CovertResult, PrimitiveError> {
     run_channel_on(
         runner,
         &ChannelScenario {
@@ -300,6 +344,7 @@ pub fn fetch_channel_noisy_on(
             config,
             kind: CovertKind::Fetch,
             noise_proto: noise,
+            decoder,
         },
     )
 }
@@ -329,6 +374,21 @@ pub fn execute_channel_on(
     // "Additional sibling thread workloads were unnecessary for the
     // tested parts" — plain realistic noise.
     let noise = NoiseModel::realistic(config.seed);
+    execute_channel_decoded_on(runner, profile, config, noise, DecoderConfig::default())
+}
+
+/// [`execute_channel_on`] with explicit noise and decoder configs.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn execute_channel_decoded_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: CovertConfig,
+    noise: NoiseModel,
+    decoder: DecoderConfig,
+) -> Result<CovertResult, PrimitiveError> {
     run_channel_on(
         runner,
         &ChannelScenario {
@@ -336,6 +396,7 @@ pub fn execute_channel_on(
             config,
             kind: CovertKind::Execute,
             noise_proto: noise,
+            decoder,
         },
     )
 }
@@ -367,6 +428,7 @@ pub fn table2_on(
             config,
             kind: CovertKind::Fetch,
             noise_proto: noise,
+            decoder: DecoderConfig::default(),
         };
         rows.push(run_channel_on(runner, &scenario)?);
     }
@@ -377,6 +439,7 @@ pub fn table2_on(
             config,
             kind: CovertKind::Execute,
             noise_proto: noise,
+            decoder: DecoderConfig::default(),
         };
         rows.push(run_channel_on(runner, &scenario)?);
     }
@@ -431,11 +494,72 @@ mod tests {
             config: CovertConfig { bits: 48, seed: 3 },
             kind: CovertKind::Fetch,
             noise_proto: noise,
+            decoder: DecoderConfig::default(),
         };
         let one = run_channel_on(&TrialRunner::with_threads(1), &scenario).unwrap();
         let four = run_channel_on(&TrialRunner::with_threads(4), &scenario).unwrap();
         assert_eq!(one.accuracy, four.accuracy);
         assert_eq!(one.seconds, four.seconds);
         assert_eq!(one.bits_per_sec, four.bits_per_sec);
+        assert_eq!(one.probes, four.probes);
+        assert_eq!(one.abstentions, four.abstentions);
+        assert_eq!(one.mean_confidence, four.mean_confidence);
+    }
+
+    #[test]
+    fn adaptive_decoder_beats_fixed_votes_under_realistic_noise() {
+        // The tentpole claim: at equal or lower total probe cost, the
+        // adaptive decoder matches or beats the legacy fixed 3-vote
+        // majority under the realistic noise model.
+        let config = CovertConfig { bits: 192, seed: 7 };
+        let runner = TrialRunner::with_threads(2);
+        let noise = NoiseModel::realistic(config.seed);
+        let adaptive = fetch_channel_decoded_on(
+            &runner,
+            UarchProfile::zen2(),
+            config,
+            noise.reseeded(config.seed),
+            DecoderConfig::default(),
+        )
+        .unwrap();
+        let fixed = fetch_channel_decoded_on(
+            &runner,
+            UarchProfile::zen2(),
+            config,
+            noise.reseeded(config.seed),
+            DecoderConfig::fixed(3),
+        )
+        .unwrap();
+        assert!(
+            adaptive.accuracy >= fixed.accuracy,
+            "adaptive {} vs fixed {}",
+            adaptive.accuracy,
+            fixed.accuracy
+        );
+        assert!(
+            adaptive.probes <= fixed.probes,
+            "adaptive {} probes vs fixed {}",
+            adaptive.probes,
+            fixed.probes
+        );
+        assert_eq!(fixed.probes, 3 * config.bits as u64);
+        assert!(adaptive.mean_confidence > 0.5);
+    }
+
+    #[test]
+    fn quiet_bits_cost_two_probes_each() {
+        let config = CovertConfig { bits: 64, seed: 11 };
+        let r = fetch_channel_decoded_on(
+            &TrialRunner::with_threads(1),
+            UarchProfile::zen2(),
+            config,
+            NoiseModel::quiet(config.seed),
+            DecoderConfig::default(),
+        )
+        .unwrap();
+        assert!(r.accuracy > 0.99, "{}", r.accuracy);
+        assert_eq!(r.abstentions, 0);
+        // Without noise every bit resolves in the first (2-vote) round.
+        assert_eq!(r.probes, 2 * config.bits as u64);
     }
 }

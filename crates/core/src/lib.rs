@@ -22,6 +22,8 @@
 //!   executable memory), **P2** (detect mapped non-executable memory)
 //!   and **P3** (leak register values);
 //! * [`covert`] — the §6.4 covert channels (**Table 2**);
+//! * [`decode`] — the confidence-driven adaptive bit decoder the covert
+//!   channels use to spend extra probes only on noisy bits;
 //! * [`attacks`] — the §7 end-to-end exploits: kernel-image KASLR
 //!   (**Table 3**), physmap KASLR (**Table 4**), physical-address
 //!   derandomization (**Table 5**) and the MDS-gadget kernel leak
@@ -52,6 +54,7 @@ pub mod attacks;
 pub mod channel;
 pub mod collide;
 pub mod covert;
+pub mod decode;
 pub mod experiment;
 pub mod gadgets;
 pub mod mitigations;
@@ -77,6 +80,7 @@ pub mod prelude {
         KaslrImageConfig, MdsLeakConfig, PhysAddrConfig, PhysmapConfig,
     };
     pub use crate::channel::{ExChannel, IdChannel, IfChannel};
+    pub use crate::decode::{decode_adaptive, DecodeOutcome, Decoded, DecoderConfig};
     pub use crate::experiment::{run_combo, table1, Stage, TrainKind, VictimKind};
     pub use crate::primitives::{
         p1_detect_executable, p2_detect_mapped, p3_leak_byte, PrimitiveConfig,

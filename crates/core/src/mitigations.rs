@@ -114,9 +114,13 @@ pub fn ibpb_blocks_p1(seed: u64) -> Result<bool, PrimitiveError> {
         sys.train_user_branch(cfg.user_alias(victim), BranchKind::Indirect, t)
             .map_err(|e| PrimitiveError(e.to_string()))?;
         sys.machine_mut().bpu_mut().ibpb();
-        pp.prime(sys.machine_mut());
+        pp.prime(sys.machine_mut())
+            .map_err(|e| PrimitiveError(e.to_string()))?;
         sys.getpid().map_err(|e| PrimitiveError(e.to_string()))?;
-        Ok(pp.probe(sys.machine_mut(), &mut noise).evictions)
+        Ok(pp
+            .probe(sys.machine_mut(), &mut noise)
+            .map_err(|e| PrimitiveError(e.to_string()))?
+            .evictions)
     };
     let signal = measure(&mut sys, target)?;
     let baseline = measure(&mut sys, VirtAddr::new(target.raw() ^ 0x800))?;

@@ -22,7 +22,7 @@ use phantom_isa::BranchKind;
 use phantom_kernel::image::LISTING3_DISP;
 use phantom_kernel::System;
 use phantom_mem::VirtAddr;
-use phantom_sidechannel::{NoiseModel, PrimeProbe, ProbeResult};
+use phantom_sidechannel::{NoiseModel, PrimeProbe, ProbeResult, Reading};
 
 /// Attacker configuration shared by the primitives.
 #[derive(Debug, Clone, Copy)]
@@ -120,12 +120,47 @@ pub fn p1_probe_in_set(
     probe_set: usize,
     noise: &mut NoiseModel,
 ) -> Result<ProbeResult, PrimitiveError> {
+    Ok(p1_probe_in_set_scored(sys, cfg, victim_pc, target, probe_set, noise)?.0)
+}
+
+/// [`p1_probe_in_set`] with the probe's confidence-scored [`Reading`]
+/// alongside the raw result, for decoders that weigh margins instead of
+/// trusting the eviction count outright.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn p1_probe_in_set_scored(
+    sys: &mut System,
+    cfg: &PrimitiveConfig,
+    victim_pc: VirtAddr,
+    target: VirtAddr,
+    probe_set: usize,
+    noise: &mut NoiseModel,
+) -> Result<(ProbeResult, Reading), PrimitiveError> {
     let pp = PrimeProbe::new_l1i(sys.machine_mut(), cfg.attacker_base, probe_set).map_err(err)?;
     sys.train_user_branch(cfg.user_alias(victim_pc), BranchKind::Indirect, target)
         .map_err(err)?;
-    pp.prime(sys.machine_mut());
+    pp.prime(sys.machine_mut()).map_err(err)?;
     sys.getpid().map_err(err)?;
-    Ok(pp.probe(sys.machine_mut(), noise))
+    pp.probe_scored(sys.machine_mut(), noise).map_err(err)
+}
+
+/// [`p1_probe`] as a confidence-scored [`Reading`] (the probe set is
+/// derived from `target` as in [`p1_probe`]).
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn p1_probe_scored(
+    sys: &mut System,
+    cfg: &PrimitiveConfig,
+    victim_pc: VirtAddr,
+    target: VirtAddr,
+    noise: &mut NoiseModel,
+) -> Result<Reading, PrimitiveError> {
+    let set = ((target.raw() >> 6) & 63) as usize;
+    Ok(p1_probe_in_set_scored(sys, cfg, victim_pc, target, set, noise)?.1)
 }
 
 /// **P1** with a baseline: probes `target`, then probes again with the
@@ -190,6 +225,33 @@ pub fn p2_probe_in_set(
     probe_set: usize,
     noise: &mut NoiseModel,
 ) -> Result<ProbeResult, PrimitiveError> {
+    Ok(p2_probe_in_set_scored(
+        sys,
+        cfg,
+        listing2_call,
+        listing3_gadget,
+        target,
+        probe_set,
+        noise,
+    )?
+    .0)
+}
+
+/// [`p2_probe_in_set`] with the probe's confidence-scored [`Reading`].
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+#[allow(clippy::too_many_arguments)] // mirrors p2_probe_in_set
+pub fn p2_probe_in_set_scored(
+    sys: &mut System,
+    cfg: &PrimitiveConfig,
+    listing2_call: VirtAddr,
+    listing3_gadget: VirtAddr,
+    target: VirtAddr,
+    probe_set: usize,
+    noise: &mut NoiseModel,
+) -> Result<(ProbeResult, Reading), PrimitiveError> {
     let pp = PrimeProbe::new_l1d(sys.machine_mut(), cfg.attacker_base + 0x20_0000, probe_set)
         .map_err(err)?;
     sys.train_user_branch(
@@ -198,10 +260,27 @@ pub fn p2_probe_in_set(
         listing3_gadget,
     )
     .map_err(err)?;
-    pp.prime(sys.machine_mut());
+    pp.prime(sys.machine_mut()).map_err(err)?;
     sys.readv(0, target.raw().wrapping_sub(LISTING3_DISP as u64))
         .map_err(err)?;
-    Ok(pp.probe(sys.machine_mut(), noise))
+    pp.probe_scored(sys.machine_mut(), noise).map_err(err)
+}
+
+/// [`p2_probe`] as a confidence-scored [`Reading`].
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn p2_probe_scored(
+    sys: &mut System,
+    cfg: &PrimitiveConfig,
+    listing2_call: VirtAddr,
+    listing3_gadget: VirtAddr,
+    target: VirtAddr,
+    noise: &mut NoiseModel,
+) -> Result<Reading, PrimitiveError> {
+    let set = ((target.raw() >> 6) & 63) as usize;
+    Ok(p2_probe_in_set_scored(sys, cfg, listing2_call, listing3_gadget, target, set, noise)?.1)
 }
 
 /// **P2** with a baseline comparison (target vs. a shifted set).
@@ -445,9 +524,9 @@ mod tests {
             mapped,
         )
         .unwrap();
-        pp.prime(sys.machine_mut());
+        pp.prime(sys.machine_mut()).unwrap();
         sys.readv(0, 0).unwrap();
-        let signal = pp.probe(sys.machine_mut(), &mut noise).evictions;
+        let signal = pp.probe(sys.machine_mut(), &mut noise).unwrap().evictions;
         assert!(
             signal > 0,
             "phantom fires at a branch victim inside the kernel"
@@ -476,10 +555,10 @@ mod tests {
             .unwrap();
             sys.machine_mut().set_thread(0);
             let pp = PrimeProbe::new_l1i(sys.machine_mut(), ATTACKER, set).unwrap();
-            pp.prime(sys.machine_mut());
+            pp.prime(sys.machine_mut()).unwrap();
             sys.getpid().unwrap();
             let mut noise = NoiseModel::quiet(0);
-            pp.probe(sys.machine_mut(), &mut noise).evictions
+            pp.probe(sys.machine_mut(), &mut noise).unwrap().evictions
         };
         // Baseline: sibling-trained target aimed at another set.
         let baseline = measure(&mut fresh, VirtAddr::new(mapped.raw() ^ 0x800), 1);

@@ -5,6 +5,7 @@
 pub mod json;
 pub mod value;
 
+use crate::ablation::NoiseSweepPoint;
 use crate::attacks::{KaslrImageResult, MdsLeakResult, PhysAddrResult, PhysmapResult};
 use crate::collide::Figure7;
 use crate::covert::CovertResult;
@@ -184,6 +185,38 @@ pub fn render_mds(r: &MdsLeakResult) -> String {
     )
 }
 
+/// Render the noise-robustness sweep: adaptive covert-channel
+/// accuracy, probe spend, and abstentions per noise knob setting.
+pub fn render_noise_sweep(points: &[NoiseSweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.axis.to_string(),
+                format!("{}", p.value),
+                format!("{:.2}%", p.accuracy * 100.0),
+                p.probes.to_string(),
+                p.abstentions.to_string(),
+                format!("{:.2}", p.mean_confidence),
+            ]
+        })
+        .collect();
+    format!(
+        "Noise sweep: adaptive fetch channel, one knob swept per point\n{}",
+        render_table(
+            &[
+                "knob",
+                "value",
+                "accuracy",
+                "probes",
+                "abstained",
+                "mean conf"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Render the gadget census (§9.1).
 pub fn render_gadgets(c: &GadgetCensus) -> String {
     format!(
@@ -284,6 +317,7 @@ mod tests {
                 actual_slot: 5,
                 correct: true,
                 best_score: 12,
+                confidence: 0.4,
                 cycles: 1000,
                 seconds: 0.5,
             },
@@ -292,6 +326,7 @@ mod tests {
                 actual_slot: 7,
                 correct: false,
                 best_score: 2,
+                confidence: 0.0,
                 cycles: 3000,
                 seconds: 1.5,
             },
@@ -327,6 +362,7 @@ mod tests {
             leaked: vec![1, 2, 3],
             accuracy: 1.0,
             signal: true,
+            mean_confidence: 0.8,
             cycles: 100,
             seconds: 0.001,
             bytes_per_sec: 3000.0,
@@ -348,6 +384,22 @@ mod tests {
         assert!(s.contains("geomean 1.20%"));
         assert!(s.contains("bigcode"));
         assert!(s.contains("+2.000%"));
+    }
+
+    #[test]
+    fn noise_sweep_rendering_lists_knobs() {
+        let points = vec![NoiseSweepPoint {
+            axis: "jitter_cycles",
+            value: 4.0,
+            accuracy: 0.984375,
+            probes: 310,
+            abstentions: 1,
+            mean_confidence: 0.72,
+        }];
+        let s = render_noise_sweep(&points);
+        assert!(s.contains("jitter_cycles"));
+        assert!(s.contains("98.44%"));
+        assert!(s.contains("310"));
     }
 
     #[test]

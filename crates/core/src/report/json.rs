@@ -18,6 +18,7 @@
 
 use std::fmt;
 
+use crate::ablation::NoiseSweepPoint;
 use crate::attacks::{KaslrImageResult, MdsLeakResult, PhysAddrResult, PhysmapResult};
 use crate::collide::Figure7;
 use crate::covert::CovertResult;
@@ -346,6 +347,12 @@ pub struct CovertRecord {
     pub bits: u64,
     /// Fraction decoded correctly.
     pub accuracy: f64,
+    /// Total probes the adaptive decoder spent.
+    pub probes: u64,
+    /// Bits the decoder abstained on.
+    pub abstentions: u64,
+    /// Mean decode confidence across the transfer.
+    pub mean_confidence: f64,
     /// Simulated seconds for the transfer.
     pub seconds: f64,
     /// Simulated channel rate.
@@ -360,6 +367,9 @@ impl From<&CovertResult> for CovertRecord {
             kind: r.kind.to_string(),
             bits: r.bits as u64,
             accuracy: r.accuracy,
+            probes: r.probes,
+            abstentions: r.abstentions as u64,
+            mean_confidence: r.mean_confidence,
             seconds: r.seconds,
             bits_per_sec: r.bits_per_sec,
         }
@@ -375,12 +385,17 @@ impl CovertRecord {
             .set("kind", JsonValue::Str(self.kind.clone()))
             .set("bits", JsonValue::Uint(self.bits))
             .set("accuracy", JsonValue::Float(self.accuracy))
+            .set("probes", JsonValue::Uint(self.probes))
+            .set("abstentions", JsonValue::Uint(self.abstentions))
+            .set("mean_confidence", JsonValue::Float(self.mean_confidence))
             .set("seconds", JsonValue::Float(self.seconds))
             .set("bits_per_sec", JsonValue::Float(self.bits_per_sec));
         o
     }
 
-    /// Decode from a JSON object.
+    /// Decode from a JSON object. The decoder fields (`probes`,
+    /// `abstentions`, `mean_confidence`) parse leniently so baselines
+    /// recorded before the adaptive decoder keep loading.
     ///
     /// # Errors
     ///
@@ -392,6 +407,15 @@ impl CovertRecord {
             kind: str_field(v, "kind")?,
             bits: u64_field(v, "bits")?,
             accuracy: f64_field(v, "accuracy")?,
+            probes: v.get("probes").and_then(JsonValue::as_u64).unwrap_or(0),
+            abstentions: v
+                .get("abstentions")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            mean_confidence: v
+                .get("mean_confidence")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
             seconds: f64_field(v, "seconds")?,
             bits_per_sec: f64_field(v, "bits_per_sec")?,
         })
@@ -410,6 +434,8 @@ pub struct SlotRunRecord {
     pub correct: bool,
     /// The winning score.
     pub best_score: i64,
+    /// How decisively the winner beat the runner-up, in `[0, 1]`.
+    pub confidence: f64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Simulated seconds consumed.
@@ -423,6 +449,7 @@ impl From<&KaslrImageResult> for SlotRunRecord {
             actual_slot: r.actual_slot,
             correct: r.correct,
             best_score: r.best_score,
+            confidence: r.confidence,
             cycles: r.cycles,
             seconds: r.seconds,
         }
@@ -436,6 +463,7 @@ impl From<&PhysmapResult> for SlotRunRecord {
             actual_slot: r.actual_slot,
             correct: r.correct,
             best_score: r.best_score,
+            confidence: r.confidence,
             cycles: r.cycles,
             seconds: r.seconds,
         }
@@ -450,12 +478,14 @@ impl SlotRunRecord {
             .set("actual_slot", JsonValue::Uint(self.actual_slot))
             .set("correct", JsonValue::Bool(self.correct))
             .set("best_score", JsonValue::Int(self.best_score))
+            .set("confidence", JsonValue::Float(self.confidence))
             .set("cycles", JsonValue::Uint(self.cycles))
             .set("seconds", JsonValue::Float(self.seconds));
         o
     }
 
-    /// Decode from a JSON object.
+    /// Decode from a JSON object. `confidence` parses leniently (absent
+    /// ⇒ 0) so baselines recorded before the field keep loading.
     ///
     /// # Errors
     ///
@@ -466,6 +496,10 @@ impl SlotRunRecord {
             actual_slot: u64_field(v, "actual_slot")?,
             correct: bool_field(v, "correct")?,
             best_score: i64_field(v, "best_score")?,
+            confidence: v
+                .get("confidence")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
             cycles: u64_field(v, "cycles")?,
             seconds: f64_field(v, "seconds")?,
         })
@@ -529,6 +563,8 @@ pub struct PhysAddrRunRecord {
     pub correct: bool,
     /// Huge-page candidates tested.
     pub guesses_tested: u64,
+    /// Confidence of the hit reload (0 when the scan came up empty).
+    pub confidence: f64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Simulated seconds consumed.
@@ -542,6 +578,7 @@ impl From<&PhysAddrResult> for PhysAddrRunRecord {
             actual_pa: r.actual_pa,
             correct: r.correct,
             guesses_tested: r.guesses_tested,
+            confidence: r.confidence,
             cycles: r.cycles,
             seconds: r.seconds,
         }
@@ -562,12 +599,14 @@ impl PhysAddrRunRecord {
         .set("actual_pa", JsonValue::Uint(self.actual_pa))
         .set("correct", JsonValue::Bool(self.correct))
         .set("guesses_tested", JsonValue::Uint(self.guesses_tested))
+        .set("confidence", JsonValue::Float(self.confidence))
         .set("cycles", JsonValue::Uint(self.cycles))
         .set("seconds", JsonValue::Float(self.seconds));
         o
     }
 
-    /// Decode from a JSON object.
+    /// Decode from a JSON object. `confidence` parses leniently (absent
+    /// ⇒ 0) so baselines recorded before the field keep loading.
     ///
     /// # Errors
     ///
@@ -587,6 +626,10 @@ impl PhysAddrRunRecord {
             actual_pa: u64_field(v, "actual_pa")?,
             correct: bool_field(v, "correct")?,
             guesses_tested: u64_field(v, "guesses_tested")?,
+            confidence: v
+                .get("confidence")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
             cycles: u64_field(v, "cycles")?,
             seconds: f64_field(v, "seconds")?,
         })
@@ -653,6 +696,8 @@ pub struct MdsRunRecord {
     pub accuracy: f64,
     /// Whether any signal was observed.
     pub signal: bool,
+    /// Mean confidence of the per-byte hit reloads.
+    pub mean_confidence: f64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Simulated seconds consumed.
@@ -667,6 +712,7 @@ impl From<&MdsLeakResult> for MdsRunRecord {
             leaked_hex: hex_encode(&r.leaked),
             accuracy: r.accuracy,
             signal: r.signal,
+            mean_confidence: r.mean_confidence,
             cycles: r.cycles,
             seconds: r.seconds,
             bytes_per_sec: r.bytes_per_sec,
@@ -690,13 +736,15 @@ impl MdsRunRecord {
         o.set("leaked_hex", JsonValue::Str(self.leaked_hex.clone()))
             .set("accuracy", JsonValue::Float(self.accuracy))
             .set("signal", JsonValue::Bool(self.signal))
+            .set("mean_confidence", JsonValue::Float(self.mean_confidence))
             .set("cycles", JsonValue::Uint(self.cycles))
             .set("seconds", JsonValue::Float(self.seconds))
             .set("bytes_per_sec", JsonValue::Float(self.bytes_per_sec));
         o
     }
 
-    /// Decode from a JSON object.
+    /// Decode from a JSON object. `mean_confidence` parses leniently
+    /// (absent ⇒ 0) so baselines recorded before the field keep loading.
     ///
     /// # Errors
     ///
@@ -706,6 +754,10 @@ impl MdsRunRecord {
             leaked_hex: str_field(v, "leaked_hex")?,
             accuracy: f64_field(v, "accuracy")?,
             signal: bool_field(v, "signal")?,
+            mean_confidence: v
+                .get("mean_confidence")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
             cycles: u64_field(v, "cycles")?,
             seconds: f64_field(v, "seconds")?,
             bytes_per_sec: f64_field(v, "bytes_per_sec")?,
@@ -1017,6 +1069,74 @@ impl GadgetRecord {
     }
 }
 
+/// One point of the noise sweep: the adaptive fetch channel under a
+/// single [`NoiseModel`](phantom_sidechannel::NoiseModel) knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseSweepRecord {
+    /// The swept knob: `"jitter_cycles"`, `"spurious_evict"` or
+    /// `"missed_signal"`.
+    pub axis: String,
+    /// The knob value.
+    pub value: f64,
+    /// Channel accuracy at that point (abstentions count as wrong).
+    pub accuracy: f64,
+    /// Total probes the adaptive decoder spent.
+    pub probes: u64,
+    /// Bits the decoder abstained on.
+    pub abstentions: u64,
+    /// Mean decode confidence across the transfer.
+    pub mean_confidence: f64,
+}
+
+impl From<&NoiseSweepPoint> for NoiseSweepRecord {
+    fn from(p: &NoiseSweepPoint) -> NoiseSweepRecord {
+        NoiseSweepRecord {
+            axis: p.axis.to_string(),
+            value: p.value,
+            accuracy: p.accuracy,
+            probes: p.probes,
+            abstentions: p.abstentions,
+            mean_confidence: p.mean_confidence,
+        }
+    }
+}
+
+impl NoiseSweepRecord {
+    /// Whether this is a quiet-end point (the knob at zero) — the
+    /// points [`diff`] gates on.
+    pub fn is_quiet(&self) -> bool {
+        self.value == 0.0
+    }
+
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("axis", JsonValue::Str(self.axis.clone()))
+            .set("value", JsonValue::Float(self.value))
+            .set("accuracy", JsonValue::Float(self.accuracy))
+            .set("probes", JsonValue::Uint(self.probes))
+            .set("abstentions", JsonValue::Uint(self.abstentions))
+            .set("mean_confidence", JsonValue::Float(self.mean_confidence));
+        o
+    }
+
+    /// Decode from a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on a shape mismatch.
+    pub fn from_json(v: &JsonValue) -> Result<NoiseSweepRecord, SchemaError> {
+        Ok(NoiseSweepRecord {
+            axis: str_field(v, "axis")?,
+            value: f64_field(v, "value")?,
+            accuracy: f64_field(v, "accuracy")?,
+            probes: u64_field(v, "probes")?,
+            abstentions: u64_field(v, "abstentions")?,
+            mean_confidence: f64_field(v, "mean_confidence")?,
+        })
+    }
+}
+
 /// Deterministic hot-path counters: the measured decode-cache, TLB
 /// and copy-on-write snapshot wins.
 ///
@@ -1221,6 +1341,9 @@ pub struct BenchSnapshot {
     pub gadgets: GadgetRecord,
     /// Deterministic hot-path counters.
     pub perf: PerfRecord,
+    /// Noise sweep of the adaptive fetch channel. Optional so
+    /// baselines recorded before the sweep existed keep loading.
+    pub noise_sweep: Option<Vec<NoiseSweepRecord>>,
     /// Host-volatile metadata (ignored by [`diff`]).
     pub host: Option<HostMeta>,
 }
@@ -1277,6 +1400,12 @@ impl BenchSnapshot {
             .set("overhead", self.overhead.to_json())
             .set("gadgets", self.gadgets.to_json())
             .set("perf", self.perf.to_json());
+        if let Some(sweep) = &self.noise_sweep {
+            o.set(
+                "noise_sweep",
+                JsonValue::Array(sweep.iter().map(NoiseSweepRecord::to_json).collect()),
+            );
+        }
         if let Some(host) = &self.host {
             o.set("host", host.to_json());
         }
@@ -1317,6 +1446,12 @@ impl BenchSnapshot {
             overhead: OverheadRecord::from_json(field(v, "overhead")?)?,
             gadgets: GadgetRecord::from_json(field(v, "gadgets")?)?,
             perf: PerfRecord::from_json(field(v, "perf")?)?,
+            noise_sweep: match v.get("noise_sweep") {
+                Some(s) if !s.is_null() => Some(vec_from(v, "noise_sweep", |p| {
+                    NoiseSweepRecord::from_json(p)
+                })?),
+                _ => None,
+            },
             host: match v.get("host") {
                 Some(h) if !h.is_null() => Some(HostMeta::from_json(h)?),
                 _ => None,
@@ -1420,7 +1555,9 @@ fn check_cycles(out: &mut Vec<Regression>, tol: &Tolerance, metric: String, base
 ///
 /// Checked: Table 2 per-row accuracy, Table 3/4/5 per-uarch accuracy
 /// and total simulated cycles, MDS per-uarch mean accuracy and cycles,
-/// and the decode-cache hit rate. Improvements never flag; the `host`
+/// the decode-cache hit rate, and the quiet-end (knob = 0) noise-sweep
+/// points' accuracy — the noisy points degrade by design, so only the
+/// quiet baseline is gated. Improvements never flag; the `host`
 /// section is ignored entirely. A baseline record with no counterpart
 /// in `current` (missing uarch, fewer experiments) flags as a
 /// coverage regression.
@@ -1561,6 +1698,32 @@ pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, tol: &Tolerance) 
         );
     }
 
+    // Gate the noise sweep's quiet-end points when the baseline has the
+    // section. The noisy points degrade by design; the quiet baseline
+    // of each axis must not.
+    if let Some(base_sweep) = &baseline.noise_sweep {
+        let cur_sweep = current.noise_sweep.as_deref().unwrap_or(&[]);
+        for base_p in base_sweep.iter().filter(|p| p.is_quiet()) {
+            match cur_sweep
+                .iter()
+                .find(|p| p.axis == base_p.axis && p.value == base_p.value)
+            {
+                Some(cur_p) => check_accuracy(
+                    &mut out,
+                    tol,
+                    format!("noise_sweep[{} = 0].accuracy", base_p.axis),
+                    base_p.accuracy,
+                    cur_p.accuracy,
+                ),
+                None => out.push(Regression {
+                    metric: format!("noise_sweep[{} = 0] missing", base_p.axis),
+                    baseline: 1.0,
+                    current: 0.0,
+                }),
+            }
+        }
+    }
+
     out
 }
 
@@ -1599,6 +1762,9 @@ mod tests {
                 kind: "fetch (P1)".into(),
                 bits: 256,
                 accuracy: 0.9921875,
+                probes: 520,
+                abstentions: 1,
+                mean_confidence: 0.91,
                 seconds: 0.0125,
                 bits_per_sec: 20480.0,
             }],
@@ -1609,6 +1775,7 @@ mod tests {
                     actual_slot: 5,
                     correct: true,
                     best_score: -3,
+                    confidence: 0.4,
                     cycles: 123_456,
                     seconds: 0.5,
                 }],
@@ -1625,6 +1792,7 @@ mod tests {
                     actual_pa: 0x4000_0000,
                     correct: false,
                     guesses_tested: 512,
+                    confidence: 0.0,
                     cycles: 999,
                     seconds: 0.001,
                 }],
@@ -1635,6 +1803,7 @@ mod tests {
                     leaked_hex: hex_encode(b"secret"),
                     accuracy: 1.0,
                     signal: true,
+                    mean_confidence: 0.85,
                     cycles: 777,
                     seconds: 0.0003,
                     bytes_per_sec: 20000.0,
@@ -1681,6 +1850,24 @@ mod tests {
                 cow_frames_shared: 700,
                 restore_frames_copied: 27,
             },
+            noise_sweep: Some(vec![
+                NoiseSweepRecord {
+                    axis: "spurious_evict".into(),
+                    value: 0.0,
+                    accuracy: 1.0,
+                    probes: 128,
+                    abstentions: 0,
+                    mean_confidence: 0.97,
+                },
+                NoiseSweepRecord {
+                    axis: "spurious_evict".into(),
+                    value: 0.05,
+                    accuracy: 0.9,
+                    probes: 210,
+                    abstentions: 2,
+                    mean_confidence: 0.6,
+                },
+            ]),
             host: None,
         }
     }
@@ -1721,6 +1908,10 @@ mod tests {
         rt!(snap.overhead.clone(), OverheadRecord);
         rt!(snap.gadgets.clone(), GadgetRecord);
         rt!(snap.perf.clone(), PerfRecord);
+        rt!(
+            snap.noise_sweep.as_ref().expect("sample has sweep")[0].clone(),
+            NoiseSweepRecord
+        );
     }
 
     #[test]
@@ -1826,6 +2017,85 @@ mod tests {
         cur.perf.tlb_misses = 2012;
         let regs = diff(&base, &cur, &Tolerance::default());
         assert!(regs.iter().any(|r| r.metric.contains("tlb")), "{regs:?}");
+    }
+
+    #[test]
+    fn quiet_end_noise_sweep_regression_flags() {
+        let base = sample_snapshot();
+        let mut cur = base.clone();
+        // The quiet (value == 0.0) point is the determinism anchor: an
+        // accuracy drop there means the measurement layer broke, not
+        // that the noise got worse.
+        cur.noise_sweep.as_mut().unwrap()[0].accuracy = 0.9;
+        let regs = diff(&base, &cur, &Tolerance::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].metric.contains("noise_sweep"), "{}", regs[0]);
+        assert!(regs[0].metric.contains("= 0"), "{}", regs[0]);
+    }
+
+    #[test]
+    fn noisy_sweep_points_are_not_gated() {
+        let base = sample_snapshot();
+        let mut cur = base.clone();
+        // Nonzero-noise points may drift with decoder tuning; only the
+        // quiet end is load-bearing.
+        cur.noise_sweep.as_mut().unwrap()[1].accuracy = 0.5;
+        assert!(diff(&base, &cur, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_quiet_sweep_point_flags_as_coverage_regression() {
+        let base = sample_snapshot();
+        let mut cur = base.clone();
+        cur.noise_sweep = None;
+        let regs = diff(&base, &cur, &Tolerance::default());
+        assert_eq!(regs.len(), 1, "only the quiet point is gated: {regs:?}");
+        assert!(regs[0].metric.contains("missing"), "{}", regs[0]);
+    }
+
+    #[test]
+    fn baseline_without_noise_sweep_does_not_gate_it() {
+        let mut base = sample_snapshot();
+        base.noise_sweep = None;
+        let text = base.to_json_string();
+        assert!(!text.contains("noise_sweep"), "section omitted when None");
+        let back = BenchSnapshot::from_json_str(&text).expect("parses");
+        assert_eq!(back.noise_sweep, None);
+        let cur = sample_snapshot();
+        assert!(diff(&back, &cur, &Tolerance::default()).is_empty());
+    }
+
+    /// Drop keys from an object, emulating a record written before
+    /// those fields existed.
+    fn without(mut v: JsonValue, keys: &[&str]) -> JsonValue {
+        if let JsonValue::Object(members) = &mut v {
+            members.retain(|(k, _)| !keys.contains(&k.as_str()));
+        }
+        v
+    }
+
+    #[test]
+    fn confidence_fields_added_after_a_baseline_parse_as_zero() {
+        // Covert/slot/mds records written before the confidence-scored
+        // decoder exist without the new keys; they must load with
+        // zeroed metrics rather than fail.
+        let snap = sample_snapshot();
+        let old = without(
+            snap.table2[0].to_json(),
+            &["probes", "abstentions", "mean_confidence"],
+        );
+        let covert = CovertRecord::from_json(&old).expect("old-shape covert parses");
+        assert_eq!(covert.probes, 0);
+        assert_eq!(covert.abstentions, 0);
+        assert_eq!(covert.mean_confidence, 0.0);
+
+        let old = without(snap.table3[0].runs[0].to_json(), &["confidence"]);
+        let slot = SlotRunRecord::from_json(&old).expect("old-shape slot parses");
+        assert_eq!(slot.confidence, 0.0);
+
+        let old = without(snap.mds[0].runs[0].to_json(), &["mean_confidence"]);
+        let mds = MdsRunRecord::from_json(&old).expect("old-shape mds parses");
+        assert_eq!(mds.mean_confidence, 0.0);
     }
 
     #[test]

@@ -4,7 +4,8 @@ use phantom_mem::VirtAddr;
 use phantom_pipeline::Machine;
 
 use crate::noise::NoiseModel;
-use crate::prime_probe::{BuildError, PrimeProbe};
+use crate::prime_probe::{BuildError, PrimeProbe, ProbeError};
+use crate::reading::Reading;
 
 /// Evict+Time on the L1D: evict a set, run the victim (a closure over
 /// the machine), and compare its cycle cost against a no-eviction
@@ -28,7 +29,7 @@ use crate::prime_probe::{BuildError, PrimeProbe};
 ///         .unwrap();
 ///     let (_, lat) = m.caches_mut().access_data(pa.raw());
 ///     lat
-/// });
+/// })?;
 /// assert!(slowdown > 0, "victim touched the evicted set");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -55,7 +56,17 @@ impl EvictTime {
 
     /// Run `victim` twice — once with the set warm, once after eviction —
     /// and return the cycle slowdown (0 when the victim avoids the set).
-    pub fn measure<F>(&self, machine: &mut Machine, noise: &mut NoiseModel, mut victim: F) -> u64
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProbeError`] if an eviction-set page was unmapped
+    /// out from under the set (the trial is retryable).
+    pub fn measure<F>(
+        &self,
+        machine: &mut Machine,
+        noise: &mut NoiseModel,
+        mut victim: F,
+    ) -> Result<u64, ProbeError>
     where
         F: FnMut(&mut Machine) -> u64,
     {
@@ -63,9 +74,37 @@ impl EvictTime {
         victim(machine);
         let warm = noise.jitter(victim(machine));
         // Evict (prime floods the set with attacker lines) and re-time.
-        self.eviction_set.prime(machine);
+        self.eviction_set.prime(machine)?;
         let cold = noise.jitter(victim(machine));
-        cold.saturating_sub(warm)
+        Ok(cold.saturating_sub(warm))
+    }
+
+    /// [`measure`](Self::measure) as a confidence-scored [`Reading`]:
+    /// `hit` means the victim slowed down after eviction, the margin is
+    /// the slowdown itself, and confidence normalizes it against the
+    /// memory latency (the largest slowdown one evicted line explains).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProbeError`] if an eviction-set page was unmapped
+    /// out from under the set.
+    pub fn measure_scored<F>(
+        &self,
+        machine: &mut Machine,
+        noise: &mut NoiseModel,
+        victim: F,
+    ) -> Result<Reading, ProbeError>
+    where
+        F: FnMut(&mut Machine) -> u64,
+    {
+        let span = machine.caches().config().memory_latency;
+        let slowdown = self.measure(machine, noise, victim)?;
+        Ok(Reading {
+            hit: slowdown > 0,
+            cycles: slowdown,
+            margin: slowdown,
+            confidence: crate::reading::Confidence::from_margin(slowdown, span),
+        })
     }
 }
 
@@ -90,7 +129,7 @@ mod tests {
             let (_, lat) = m.caches_mut().access_data(pa.raw());
             lat
         });
-        assert_eq!(slowdown, 0);
+        assert_eq!(slowdown.unwrap(), 0);
     }
 
     #[test]
@@ -108,6 +147,6 @@ mod tests {
             let (_, lat) = m.caches_mut().access_data(pa.raw());
             lat
         });
-        assert!(slowdown > 0);
+        assert!(slowdown.unwrap() > 0);
     }
 }

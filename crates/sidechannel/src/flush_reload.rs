@@ -10,6 +10,8 @@ use phantom_mem::{AccessKind, PrivilegeLevel, VirtAddr};
 use phantom_pipeline::Machine;
 
 use crate::noise::NoiseModel;
+use crate::reading::Reading;
+use crate::threshold::Calibration;
 
 /// Flush the line holding `va` from the whole hierarchy (`clflush`).
 ///
@@ -53,6 +55,25 @@ pub fn flush_reload(
     let latency = reload(machine, va, noise);
     flush(machine, va);
     latency <= threshold
+}
+
+/// [`flush_reload`] with a confidence-scored [`Reading`]: classifies
+/// against the calibration's threshold and normalizes the margin
+/// against its hit/miss span, so a reload one cycle under the threshold
+/// scores near zero and one a full span away scores 1.
+///
+/// # Panics
+///
+/// Panics if `va` is unmapped (as [`flush`]/[`reload`] do).
+pub fn flush_reload_scored(
+    machine: &mut Machine,
+    va: VirtAddr,
+    cal: &Calibration,
+    noise: &mut NoiseModel,
+) -> Reading {
+    let latency = reload(machine, va, noise);
+    flush(machine, va);
+    Reading::classify(latency, cal.threshold, cal.span())
 }
 
 #[cfg(test)]
@@ -108,6 +129,26 @@ mod tests {
         assert!(flush_reload(&mut m, va, threshold, &mut noise));
         // The classification round flushed again: next is slow.
         assert!(!flush_reload(&mut m, va, threshold, &mut noise));
+    }
+
+    #[test]
+    fn scored_flush_reload_matches_and_grades_the_boolean() {
+        let (mut m, va) = setup();
+        let mut noise = NoiseModel::quiet(0);
+        let cal = Calibration::run(&mut m, &mut noise, 8).unwrap();
+        flush(&mut m, va);
+        let cold = flush_reload_scored(&mut m, va, &cal, &mut noise);
+        assert!(!cold.hit);
+        assert!(cold.confidence.value() >= 0.4, "{cold:?}");
+        let pa = m
+            .page_table()
+            .translate(va, AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        m.caches_mut().access_data(pa.raw());
+        let warm = flush_reload_scored(&mut m, va, &cal, &mut noise);
+        assert!(warm.hit);
+        assert!(warm.confidence.value() > 0.0, "{warm:?}");
+        assert_eq!(warm.cycles, m.caches().config().l1_latency);
     }
 
     #[test]

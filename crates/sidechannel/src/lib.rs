@@ -29,8 +29,8 @@
 //! let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
 //! let mut noise = NoiseModel::quiet(7);
 //! let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 13)?;
-//! pp.prime(&mut m);
-//! let baseline = pp.probe(&mut m, &mut noise);
+//! pp.prime(&mut m)?;
+//! let baseline = pp.probe(&mut m, &mut noise)?;
 //! assert_eq!(baseline.evictions, 0, "nothing touched the set");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -39,15 +39,17 @@ pub mod evict_time;
 pub mod flush_reload;
 pub mod noise;
 pub mod prime_probe;
+pub mod reading;
 pub mod score;
 pub mod threshold;
 
 pub use evict_time::EvictTime;
-pub use flush_reload::{flush, flush_reload, reload};
+pub use flush_reload::{flush, flush_reload, flush_reload_scored, reload};
 pub use noise::NoiseModel;
-pub use prime_probe::{PrimeProbe, ProbeLevel, ProbeResult};
-pub use score::bounded_score;
-pub use threshold::Calibration;
+pub use prime_probe::{PrimeProbe, ProbeError, ProbeLevel, ProbeResult};
+pub use reading::{Confidence, Reading, VoteTally};
+pub use score::{bounded_score, SCORE_CLAMP};
+pub use threshold::{Calibration, CalibrationError, Recalibrator};
 
 #[cfg(test)]
 mod proptests;

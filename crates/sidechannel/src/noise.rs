@@ -100,8 +100,13 @@ impl NoiseModel {
     }
 
     /// A random value in `[0, n)` from the model's RNG (tie-breaking,
-    /// workload randomization).
+    /// workload randomization). `pick(0)` returns 0 — an empty choice
+    /// has exactly one outcome — rather than panicking on the empty
+    /// range `0..0`.
     pub fn pick(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
         self.rng.gen_range(0..n)
     }
 }
@@ -157,6 +162,23 @@ mod tests {
         let mut d = c.reseeded(2);
         let diverges = (0..50).any(|_| c.jitter(50) != d.jitter(50));
         assert!(diverges, "a different seed yields a different stream");
+    }
+
+    #[test]
+    fn pick_zero_returns_zero_instead_of_panicking() {
+        // Regression: `pick(0)` used to hit `gen_range(0..0)`, an empty
+        // range, and panic inside rand.
+        let mut n = NoiseModel::realistic(9);
+        assert_eq!(n.pick(0), 0);
+        // The RNG stream is untouched by the degenerate call: a model
+        // that never called pick(0) stays in lockstep.
+        let mut twin = NoiseModel::realistic(9);
+        assert_eq!(n.pick(8), twin.pick(8));
+        assert_eq!(n.jitter(50), twin.jitter(50));
+        // And normal picks stay in range.
+        for bound in [1u64, 2, 7, 100] {
+            assert!(n.pick(bound) < bound);
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use phantom_mem::{AccessKind, PageFlags, PrivilegeLevel, VirtAddr};
 use phantom_pipeline::Machine;
 
 use crate::noise::NoiseModel;
+use crate::reading::Reading;
 
 /// Which cache a [`PrimeProbe`] instance targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,30 @@ impl std::fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Recoverable error from a prime or probe pass: an eviction-set line
+/// became unmeasurable mid-run (the victim workload unmapped its page).
+/// The trial that hit it can be retried from fresh state instead of
+/// aborting the whole experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeError {
+    /// The eviction-set line that could not be measured.
+    pub line: VirtAddr,
+    /// Why the measurement failed.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "eviction-set line {} unmeasurable: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ProbeError {}
 
 impl PrimeProbe {
     /// Build an L1I eviction set for `set` using pages at
@@ -180,41 +205,88 @@ impl PrimeProbe {
         &self.lines
     }
 
-    fn touch(&self, machine: &mut Machine, va: VirtAddr) -> u64 {
+    fn touch(&self, machine: &mut Machine, va: VirtAddr) -> Result<u64, ProbeError> {
         let pa = machine
             .page_table()
             .translate(va, AccessKind::Read, PrivilegeLevel::User)
-            .expect("eviction set stays mapped");
+            .map_err(|e| ProbeError {
+                line: va,
+                reason: e.to_string(),
+            })?;
         let (_, latency) = match self.level {
             ProbeLevel::L1I => machine.caches_mut().access_inst(pa.raw()),
             ProbeLevel::L1D | ProbeLevel::L2 => machine.caches_mut().access_data(pa.raw()),
         };
         machine.add_cycles(latency);
-        latency
+        Ok(latency)
     }
 
     /// Fill the set with attacker lines.
-    pub fn prime(&self, machine: &mut Machine) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProbeError`] if an eviction-set page was unmapped
+    /// out from under the set (the trial is retryable from fresh
+    /// state).
+    pub fn prime(&self, machine: &mut Machine) -> Result<(), ProbeError> {
         // Two passes settle LRU state.
         for _ in 0..2 {
             for &line in &self.lines {
-                self.touch(machine, line);
+                self.touch(machine, line)?;
             }
         }
+        Ok(())
     }
 
     /// Measure: re-touch every line, classifying each as evicted when
     /// its (jittered) latency exceeds the L1/L2 hit boundary.
-    pub fn probe(&self, machine: &mut Machine, noise: &mut NoiseModel) -> ProbeResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProbeError`] if an eviction-set page was unmapped
+    /// mid-run — recoverable, so the runner can retry the trial instead
+    /// of crashing.
+    pub fn probe(
+        &self,
+        machine: &mut Machine,
+        noise: &mut NoiseModel,
+    ) -> Result<ProbeResult, ProbeError> {
+        Ok(self.probe_scored(machine, noise)?.0)
+    }
+
+    /// [`probe`](Self::probe), plus a confidence-scored [`Reading`] for
+    /// the whole pass: `hit` means at least one eviction, the margin is
+    /// the *weakest* per-line distance from the hit boundary, and the
+    /// confidence normalizes that margin against the next cache level's
+    /// latency (the calibrated gap between "still resident" and
+    /// "refilled from below").
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProbeError`] if an eviction-set page was unmapped
+    /// mid-run.
+    pub fn probe_scored(
+        &self,
+        machine: &mut Machine,
+        noise: &mut NoiseModel,
+    ) -> Result<(ProbeResult, Reading), ProbeError> {
         let cfg = *machine.caches().config();
-        let hit_threshold = match self.level {
-            ProbeLevel::L1I | ProbeLevel::L1D => cfg.l1_latency + noise.jitter_cycles,
+        let (hit_threshold, span) = match self.level {
+            // An evicted L1 line refills from L2: the hit/miss gap is
+            // the L2 latency.
+            ProbeLevel::L1I | ProbeLevel::L1D => {
+                (cfg.l1_latency + noise.jitter_cycles, cfg.l2_latency)
+            }
             // Probing L2: a resident line costs at most an L1 miss + L2
             // hit; anything above that came from memory.
-            ProbeLevel::L2 => cfg.l1_latency + cfg.l2_latency + noise.jitter_cycles,
+            ProbeLevel::L2 => (
+                cfg.l1_latency + cfg.l2_latency + noise.jitter_cycles,
+                cfg.memory_latency,
+            ),
         };
         let mut cycles = 0;
         let mut evictions = 0;
+        let mut min_margin = u64::MAX;
         // Probe in reverse traversal order: under LRU, probing in prime
         // order cascades (each refill evicts the next line to probe and a
         // single victim access reads as a whole-set eviction). Reverse
@@ -226,16 +298,49 @@ impl PrimeProbe {
                 let pa = machine
                     .page_table()
                     .translate(line, AccessKind::Read, PrivilegeLevel::User)
-                    .expect("mapped");
+                    .map_err(|e| ProbeError {
+                        line,
+                        reason: e.to_string(),
+                    })?;
                 machine.caches_mut().flush_line(pa.raw());
             }
-            let latency = noise.jitter(self.touch(machine, line));
-            cycles += latency;
-            if latency > hit_threshold {
-                evictions += 1;
+            let mut latency = noise.jitter(self.touch(machine, line)?);
+            // Noise: a genuinely evicted way re-fetched before the probe
+            // (prefetcher interference) reads back as a hit. The roll is
+            // conditional on an eviction so quiet streams are untouched.
+            if latency > hit_threshold && noise.rolls_missed_signal() {
+                latency = hit_threshold;
             }
+            cycles += latency;
+            let margin = if latency > hit_threshold {
+                evictions += 1;
+                latency - hit_threshold
+            } else {
+                // A surviving line's distance from the eviction class:
+                // how far below a refill-from-below it measured.
+                (hit_threshold + span).saturating_sub(latency)
+            };
+            min_margin = min_margin.min(margin);
         }
-        ProbeResult { cycles, evictions }
+        let result = ProbeResult { cycles, evictions };
+        let reading = Reading {
+            hit: evictions > 0,
+            cycles,
+            margin: if min_margin == u64::MAX {
+                0
+            } else {
+                min_margin
+            },
+            confidence: crate::reading::Confidence::from_margin(
+                if min_margin == u64::MAX {
+                    0
+                } else {
+                    min_margin
+                },
+                span,
+            ),
+        };
+        Ok((result, reading))
     }
 }
 
@@ -253,8 +358,8 @@ mod tests {
         let mut m = machine();
         let mut noise = NoiseModel::quiet(0);
         let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 5).unwrap();
-        pp.prime(&mut m);
-        let r = pp.probe(&mut m, &mut noise);
+        pp.prime(&mut m).unwrap();
+        let r = pp.probe(&mut m, &mut noise).unwrap();
         assert_eq!(r.evictions, 0);
     }
 
@@ -264,7 +369,7 @@ mod tests {
         let mut noise = NoiseModel::quiet(0);
         let set = 9;
         let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
-        pp.prime(&mut m);
+        pp.prime(&mut m).unwrap();
         // "Victim": one access mapping to the same L1D set.
         let victim = VirtAddr::new(0x6000_0000 + set as u64 * 64);
         m.map_range(victim, 64, PageFlags::USER_DATA).unwrap();
@@ -273,7 +378,7 @@ mod tests {
             .translate(victim, AccessKind::Read, PrivilegeLevel::User)
             .unwrap();
         m.caches_mut().access_data(pa.raw());
-        let r = pp.probe(&mut m, &mut noise);
+        let r = pp.probe(&mut m, &mut noise).unwrap();
         assert_eq!(r.evictions, 1);
     }
 
@@ -282,7 +387,7 @@ mod tests {
         let mut m = machine();
         let mut noise = NoiseModel::quiet(0);
         let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 9).unwrap();
-        pp.prime(&mut m);
+        pp.prime(&mut m).unwrap();
         // Victim touches a different set.
         let victim = VirtAddr::new(0x6000_0000 + 10 * 64);
         m.map_range(victim, 64, PageFlags::USER_DATA).unwrap();
@@ -291,7 +396,7 @@ mod tests {
             .translate(victim, AccessKind::Read, PrivilegeLevel::User)
             .unwrap();
         m.caches_mut().access_data(pa.raw());
-        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 0);
+        assert_eq!(pp.probe(&mut m, &mut noise).unwrap().evictions, 0);
     }
 
     #[test]
@@ -300,7 +405,7 @@ mod tests {
         let mut noise = NoiseModel::quiet(0);
         let set = 43; // page offset 43*64 = 0xac0, the paper's favourite
         let pp = PrimeProbe::new_l1i(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
-        pp.prime(&mut m);
+        pp.prime(&mut m).unwrap();
         let victim = VirtAddr::new(0x6000_0ac0);
         m.map_range(victim, 64, PageFlags::USER_TEXT).unwrap();
         let pa = m
@@ -308,11 +413,11 @@ mod tests {
             .translate(victim, AccessKind::Execute, PrivilegeLevel::User)
             .unwrap();
         m.caches_mut().access_inst(pa.raw());
-        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 1);
+        assert_eq!(pp.probe(&mut m, &mut noise).unwrap().evictions, 1);
         // Data accesses to the same line do NOT evict L1I ways.
-        pp.prime(&mut m);
+        pp.prime(&mut m).unwrap();
         m.caches_mut().access_data(pa.raw());
-        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 0);
+        assert_eq!(pp.probe(&mut m, &mut noise).unwrap().evictions, 0);
     }
 
     #[test]
@@ -321,8 +426,8 @@ mod tests {
         let mut noise = NoiseModel::quiet(0);
         let set = 700;
         let pp = PrimeProbe::new_l2(&mut m, VirtAddr::new(0x4000_0000), set).unwrap();
-        pp.prime(&mut m);
-        assert_eq!(pp.probe(&mut m, &mut noise).evictions, 0);
+        pp.prime(&mut m).unwrap();
+        assert_eq!(pp.probe(&mut m, &mut noise).unwrap().evictions, 0);
         // Victim: 8 distinct-tag L2 accesses to the same set (enough to
         // evict at least one attacker way from the 8-way set).
         let g2 = m.caches().config().l2;
@@ -330,12 +435,12 @@ mod tests {
             let pa = g2.compose(0x4_0000 + i, set);
             m.caches_mut().access_data(pa);
         }
-        pp.prime(&mut m); // reset
+        pp.prime(&mut m).unwrap(); // reset
         for i in 8..16u64 {
             let pa = g2.compose(0x4_0000 + i, set);
             m.caches_mut().access_data(pa);
         }
-        let r = pp.probe(&mut m, &mut noise);
+        let r = pp.probe(&mut m, &mut noise).unwrap();
         assert!(r.evictions > 0, "victim L2 pressure visible");
     }
 
@@ -347,13 +452,90 @@ mod tests {
         let mut false_pos = 0;
         let rounds = 300;
         for _ in 0..rounds {
-            pp.prime(&mut m);
-            if pp.probe(&mut m, &mut noise).evictions > 0 {
+            pp.prime(&mut m).unwrap();
+            if pp.probe(&mut m, &mut noise).unwrap().evictions > 0 {
                 false_pos += 1;
             }
         }
         assert!(false_pos > 0, "some spurious evictions expected");
         assert!(false_pos < rounds / 2, "but not a majority: {false_pos}");
+    }
+
+    #[test]
+    fn unmapped_line_is_a_recoverable_error_not_a_panic() {
+        // Regression: the victim unmapping an eviction-set page mid-run
+        // used to abort the whole trial via `.expect(...)`.
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let base = VirtAddr::new(0x5000_0000);
+        let pp = PrimeProbe::new_l1d(&mut m, base, 5).unwrap();
+        pp.prime(&mut m).unwrap();
+        // "Victim workload" unmaps one of the attacker's pages.
+        m.unmap_range(base, 4096);
+        let err = pp.probe(&mut m, &mut noise).unwrap_err();
+        assert_eq!(err.line, base + 5 * 64);
+        assert!(pp.prime(&mut m).is_err(), "prime surfaces it too");
+        // Remapping recovers: the set can be rebuilt and probed again.
+        let pp = PrimeProbe::new_l1d(&mut m, base, 5).unwrap();
+        pp.prime(&mut m).unwrap();
+        assert_eq!(pp.probe(&mut m, &mut noise).unwrap().evictions, 0);
+    }
+
+    #[test]
+    fn scored_probe_matches_probe_and_scores_margins() {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let set = 9;
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
+        pp.prime(&mut m).unwrap();
+        // Quiet, untouched set: full-confidence "no signal".
+        let (r, reading) = pp.probe_scored(&mut m, &mut noise).unwrap();
+        assert_eq!(r.evictions, 0);
+        assert!(!reading.hit);
+        assert_eq!(reading.cycles, r.cycles);
+        let cfg = *m.caches().config();
+        assert_eq!(reading.margin, cfg.l2_latency, "survivor margin = L2 gap");
+        assert_eq!(reading.confidence, crate::reading::Confidence::FULL);
+        // A victim touch: the eviction reads with full confidence too
+        // (an L2 refill sits a whole L2 latency past the hit boundary).
+        pp.prime(&mut m).unwrap();
+        let victim = VirtAddr::new(0x6000_0000 + set as u64 * 64);
+        m.map_range(victim, 64, PageFlags::USER_DATA).unwrap();
+        let pa = m
+            .page_table()
+            .translate(victim, AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        m.caches_mut().access_data(pa.raw());
+        let (r, reading) = pp.probe_scored(&mut m, &mut noise).unwrap();
+        assert_eq!(r.evictions, 1);
+        assert!(reading.hit);
+        assert!(reading.margin > 0);
+    }
+
+    #[test]
+    fn missed_signal_hides_real_evictions_at_the_configured_rate() {
+        // The missed-signal knob must actually suppress detections: with
+        // the rate at 1.0 every real eviction reads back as a hit.
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        noise.missed_signal = 1.0;
+        let set = 9;
+        let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
+        pp.prime(&mut m).unwrap();
+        let victim = VirtAddr::new(0x6000_0000 + set as u64 * 64);
+        m.map_range(victim, 64, PageFlags::USER_DATA).unwrap();
+        let pa = m
+            .page_table()
+            .translate(victim, AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        m.caches_mut().access_data(pa.raw());
+        let r = pp.probe(&mut m, &mut noise).unwrap();
+        assert_eq!(r.evictions, 0, "missed signal hides the eviction");
+        // And with the knob off the same setup detects it.
+        let mut quiet = NoiseModel::quiet(0);
+        pp.prime(&mut m).unwrap();
+        m.caches_mut().access_data(pa.raw());
+        assert_eq!(pp.probe(&mut m, &mut quiet).unwrap().evictions, 1);
     }
 
     #[test]

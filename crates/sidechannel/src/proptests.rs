@@ -27,7 +27,7 @@ proptest! {
         let mut m = machine();
         let mut noise = NoiseModel::quiet(0);
         let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
-        pp.prime(&mut m);
+        pp.prime(&mut m).unwrap();
         // Victim: one access per listed set, distinct lines.
         for (i, &vs) in victim_sets.iter().enumerate() {
             let va = VirtAddr::new(0x6000_0000 + (i as u64) * 0x1000 + (vs as u64) * 64);
@@ -39,7 +39,7 @@ proptest! {
             m.caches_mut().access_data(pa.raw());
         }
         let touched = victim_sets.iter().filter(|&&vs| vs == set).count();
-        let r = pp.probe(&mut m, &mut noise);
+        let r = pp.probe(&mut m, &mut noise).unwrap();
         prop_assert_eq!(r.evictions, touched.min(8), "set {} victims {:?}", set, victim_sets);
     }
 
@@ -50,15 +50,15 @@ proptest! {
         let mut m = machine();
         let mut noise = NoiseModel::quiet(0);
         let pp = PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), set).unwrap();
-        pp.prime(&mut m);
+        pp.prime(&mut m).unwrap();
         // Disturb.
         let va = VirtAddr::new(0x6000_0000 + (set as u64) * 64);
         m.map_range(va, 64, PageFlags::USER_DATA).unwrap();
         let pa = m.page_table().translate(va, AccessKind::Read, PrivilegeLevel::User).unwrap();
         m.caches_mut().access_data(pa.raw());
-        let first = pp.probe(&mut m, &mut noise);
+        let first = pp.probe(&mut m, &mut noise).unwrap();
         prop_assert!(first.evictions > 0);
-        let second = pp.probe(&mut m, &mut noise);
+        let second = pp.probe(&mut m, &mut noise).unwrap();
         prop_assert_eq!(second.evictions, 0, "probe restored the set");
     }
 

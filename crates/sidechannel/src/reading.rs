@@ -1,0 +1,226 @@
+//! Confidence-scored observations.
+//!
+//! Raw side-channel measurements are booleans ("the line reloaded
+//! fast") that throw away *how* fast — a reload one cycle under the
+//! threshold and one twenty cycles under it classify identically, yet
+//! the first is far more likely to be jitter. A [`Reading`] keeps the
+//! margin from the calibrated threshold and normalizes it into a
+//! [`Confidence`] in `[0, 1]`, so decoders can escalate, retry or
+//! abstain instead of trusting a coin-flip measurement. A [`VoteTally`]
+//! aggregates repeated readings the way the paper's §7.3 repetition
+//! strategy does, with an explicit tie (`majority() == None`) instead
+//! of an arbitrary winner.
+
+/// How much a measurement should be trusted, in `[0, 1]`.
+///
+/// 0 means "indistinguishable from noise" (the measurement sat exactly
+/// on the classification threshold), 1 means "a full signal span from
+/// the threshold". Values are clamped on construction so arithmetic on
+/// margins can never produce an out-of-range confidence.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// No trust at all.
+    pub const ZERO: Confidence = Confidence(0.0);
+    /// Full trust.
+    pub const FULL: Confidence = Confidence(1.0);
+
+    /// Clamp `value` into `[0, 1]` (NaN clamps to 0).
+    pub fn new(value: f64) -> Confidence {
+        if value.is_nan() {
+            return Confidence(0.0);
+        }
+        Confidence(value.clamp(0.0, 1.0))
+    }
+
+    /// Confidence of a measurement `margin` cycles from the threshold
+    /// when a full signal is `span` cycles wide. A zero span (no
+    /// calibrated separation) yields zero confidence.
+    pub fn from_margin(margin: u64, span: u64) -> Confidence {
+        if span == 0 {
+            return Confidence::ZERO;
+        }
+        Confidence::new(margin as f64 / span as f64)
+    }
+
+    /// The clamped value in `[0, 1]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this confidence reaches `floor`.
+    pub fn meets(self, floor: f64) -> bool {
+        self.0 >= floor
+    }
+
+    /// The smaller of two confidences (a chain of measurements is only
+    /// as trustworthy as its weakest link).
+    pub fn min(self, other: Confidence) -> Confidence {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// One confidence-scored side-channel observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reading {
+    /// The classification (`true` = signal observed: a cached reload, a
+    /// probed eviction, an Evict+Time slowdown).
+    pub hit: bool,
+    /// The raw measured cycles behind the classification.
+    pub cycles: u64,
+    /// Distance of the measurement from the classification threshold,
+    /// in cycles.
+    pub margin: u64,
+    /// The margin normalized against the calibrated signal span.
+    pub confidence: Confidence,
+}
+
+impl Reading {
+    /// Classify a timed reload against `threshold`: at or below is a
+    /// hit. `span` is the calibrated hit/miss separation the margin is
+    /// normalized by.
+    pub fn classify(latency: u64, threshold: u64, span: u64) -> Reading {
+        let hit = latency <= threshold;
+        let margin = if hit {
+            threshold - latency
+        } else {
+            latency - threshold
+        };
+        Reading {
+            hit,
+            cycles: latency,
+            margin,
+            confidence: Confidence::from_margin(margin, span),
+        }
+    }
+
+    /// A reading that carries no information (e.g. the target was
+    /// unmapped and nothing could be measured).
+    pub fn none() -> Reading {
+        Reading {
+            hit: false,
+            cycles: 0,
+            margin: 0,
+            confidence: Confidence::ZERO,
+        }
+    }
+}
+
+/// A running tally of repeated boolean observations of one bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteTally {
+    /// Votes for `true`.
+    pub ones: u32,
+    /// Total votes cast.
+    pub total: u32,
+}
+
+impl VoteTally {
+    /// An empty tally.
+    pub fn new() -> VoteTally {
+        VoteTally::default()
+    }
+
+    /// Record one vote.
+    pub fn push(&mut self, vote: bool) {
+        self.ones += u32::from(vote);
+        self.total += 1;
+    }
+
+    /// The majority decision, or `None` on an exact tie (or an empty
+    /// tally) — the caller decides whether a tie means "escalate" or
+    /// "abstain", never a coin flip.
+    pub fn majority(self) -> Option<bool> {
+        if self.total == 0 || self.ones * 2 == self.total {
+            return None;
+        }
+        Some(self.ones * 2 > self.total)
+    }
+
+    /// How lopsided the tally is: `|2·ones/total − 1|`, so a unanimous
+    /// tally scores 1 and a tie scores 0.
+    pub fn confidence(self) -> Confidence {
+        if self.total == 0 {
+            return Confidence::ZERO;
+        }
+        let ratio = self.ones as f64 / self.total as f64;
+        Confidence::new((2.0 * ratio - 1.0).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_clamps_and_handles_nan() {
+        assert_eq!(Confidence::new(-0.5).value(), 0.0);
+        assert_eq!(Confidence::new(1.5).value(), 1.0);
+        assert_eq!(Confidence::new(f64::NAN).value(), 0.0);
+        assert_eq!(Confidence::new(0.25).value(), 0.25);
+    }
+
+    #[test]
+    fn margin_normalizes_against_the_span() {
+        assert_eq!(Confidence::from_margin(0, 100).value(), 0.0);
+        assert_eq!(Confidence::from_margin(50, 100).value(), 0.5);
+        assert_eq!(Confidence::from_margin(200, 100).value(), 1.0);
+        assert_eq!(Confidence::from_margin(7, 0), Confidence::ZERO);
+    }
+
+    #[test]
+    fn classify_scores_distance_from_the_threshold() {
+        let hit = Reading::classify(4, 10, 20);
+        assert!(hit.hit);
+        assert_eq!(hit.margin, 6);
+        assert_eq!(hit.confidence.value(), 0.3);
+        let miss = Reading::classify(30, 10, 20);
+        assert!(!miss.hit);
+        assert_eq!(miss.margin, 20);
+        assert_eq!(miss.confidence, Confidence::FULL);
+        // Exactly on the threshold: a hit, but worth nothing.
+        let edge = Reading::classify(10, 10, 20);
+        assert!(edge.hit);
+        assert_eq!(edge.confidence, Confidence::ZERO);
+    }
+
+    #[test]
+    fn tally_majority_is_none_on_ties_and_empty() {
+        let mut t = VoteTally::new();
+        assert_eq!(t.majority(), None);
+        t.push(true);
+        assert_eq!(t.majority(), Some(true));
+        t.push(false);
+        assert_eq!(t.majority(), None, "1–1 is a tie");
+        t.push(false);
+        assert_eq!(t.majority(), Some(false));
+    }
+
+    #[test]
+    fn tally_confidence_is_lopsidedness() {
+        let mut t = VoteTally::new();
+        assert_eq!(t.confidence(), Confidence::ZERO);
+        t.push(true);
+        t.push(true);
+        assert_eq!(t.confidence(), Confidence::FULL);
+        t.push(false);
+        t.push(false);
+        assert_eq!(t.confidence(), Confidence::ZERO, "2–2 tie");
+        t.push(false);
+        t.push(false);
+        assert!((t.confidence().value() - (1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weakest_link_min() {
+        let a = Confidence::new(0.9);
+        let b = Confidence::new(0.2);
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.min(a), b);
+    }
+}

@@ -86,6 +86,30 @@ fn bench_snapshot_round_trips_through_json() {
     assert_eq!(text, reparsed.to_json_string());
 }
 
+/// The noise sweep shards one trial per sweep point, and each point
+/// derives its NoiseModel stream from the scenario seed — so the
+/// adaptive decoder's accuracy, probe spend, and abstention counts are
+/// identical at any thread count, knob by knob.
+#[test]
+fn noise_sweep_is_identical_across_thread_counts() {
+    let cfg = phantom::ablation::NoiseSweepConfig::quick(31);
+    let one = phantom::ablation::noise_sweep_on(&TrialRunner::with_threads(1), &cfg).unwrap();
+    let eight = phantom::ablation::noise_sweep_on(&TrialRunner::with_threads(8), &cfg).unwrap();
+    assert_eq!(one.len(), eight.len());
+    for (a, b) in one.iter().zip(&eight) {
+        assert_eq!(a.axis, b.axis);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.accuracy, b.accuracy, "{} = {}", a.axis, a.value);
+        assert_eq!(a.probes, b.probes, "{} = {}", a.axis, a.value);
+        assert_eq!(a.abstentions, b.abstentions, "{} = {}", a.axis, a.value);
+        assert_eq!(
+            a.mean_confidence, b.mean_confidence,
+            "{} = {}",
+            a.axis, a.value
+        );
+    }
+}
+
 /// The TLB and copy-on-write hot-path counters in the snapshot's perf
 /// section come from fixed single-machine reference workloads, never
 /// from the sharded trial loop — so 1 worker thread and 8 must produce
