@@ -47,6 +47,7 @@ use phantom::report::value::JsonValue;
 use phantom::runner::TrialRunner;
 use phantom::spectre::{spectre_v2_leak, window_comparison};
 use phantom::{UarchProfile, UarchRegistry};
+use phantom_bench::campaign::{self, CampaignConfig};
 use phantom_bench::{
     collect_snapshot, run_figure6_on, run_figure7, run_mds_on, run_noise_sweep_on, run_table1_on,
     run_table2_on, run_table3_on, run_table4_on, run_table5_on, timed, BenchConfig,
@@ -74,16 +75,38 @@ usage: repro [command] [n] [flags]
                     writes the records, --baseline gates the quiet end)
   overhead          \u{a7}6.3     (mitigation overhead suite)
   gadgets           \u{a7}9.1     (gadget census)
+  serve             campaign service: run the (uarch x scenario x
+                    noise-point) job grid — 40 jobs, 10240 trials by
+                    default — streaming one JSONL record per job
   list-uarchs       list registered microarchitectures (builtins + --spec)
   bench             run everything, write a machine-readable snapshot
   all               everything above, quick settings (default)
 
 flags:
   --uarch <names>     comma-separated uarch keys or display names
-                      (repeatable); filters figure6's sweep
+                      (repeatable); filters figure6's sweep and the
+                      serve grid
   --spec <file>       register uarch specs from a phantom-uarch-spec v1
                       file (repeatable); alone, runs figure6 over the
                       file's uarches as a smoke sweep
+  --workers <n>       trial-runner thread count for this invocation;
+                      takes precedence over PHANTOM_THREADS (the env
+                      var is not consulted — or validated — when
+                      --workers is given)
+
+flags (serve):
+  --out <path>        campaign JSONL output path (default campaign.jsonl)
+  --resume <path>     resume from a partial JSONL file: its longest
+                      valid prefix is kept byte-for-byte, the torn or
+                      foreign tail is dropped, and the remaining jobs
+                      are re-run; the final file is byte-identical to
+                      an uninterrupted run
+  --bits <n>          bits per transfer, i.e. trials per job (default 256)
+  --seed <n>          campaign base seed (default 0)
+  --ab                instead of the grid, run one representative job
+                      twice — forking the post-boot checkpoint per
+                      trial vs re-booting per trial — and print both
+                      wall-clocks
 
 flags (bench; --json also implies bench when given alone):
   --json <path>       snapshot output path (default BENCH_phantom.json)
@@ -98,8 +121,9 @@ flags (bench; --json also implies bench when given alone):
 
 environment:
   PHANTOM_FULL=1     paper's full protocol sizes (slow)
-  PHANTOM_THREADS=n  pin the trial runner's thread count;
-                     results are identical at any thread count";
+  PHANTOM_THREADS=n  pin the trial runner's thread count (overridden
+                     by --workers); results are identical at any
+                     thread count";
 
 /// Print a CLI-usage complaint and exit 2 (the CLI-error code, as for
 /// bad PHANTOM_THREADS). Never panics: a wrong invocation is the
@@ -423,6 +447,94 @@ fn gadgets() {
     print!("{}", report::render_gadgets(&c));
 }
 
+/// CLI flags for the `serve` campaign service.
+struct ServeFlags {
+    out: std::path::PathBuf,
+    resume: Option<std::path::PathBuf>,
+    bits: Option<usize>,
+    seed: u64,
+    ab: bool,
+}
+
+/// The campaign service: expand the job grid, skip what a `--resume`
+/// file already finished, and stream the rest as JSONL. All progress
+/// goes to stderr; the output file carries records only.
+fn serve(
+    r: &TrialRunner,
+    registry: &UarchRegistry,
+    uarch_names: &[String],
+    sf: &ServeFlags,
+) -> Result<(), phantom_bench::RunnerError> {
+    let mut cfg = CampaignConfig::default_grid(registry);
+    if !uarch_names.is_empty() {
+        cfg.uarches = uarch_names
+            .iter()
+            .map(|name| match registry.get(name) {
+                Some(spec) => (spec.key.clone(), spec.profile()),
+                None => usage_error(&format!("unknown uarch {name:?} (see `repro list-uarchs`)")),
+            })
+            .collect();
+    }
+    if let Some(bits) = sf.bits {
+        cfg.bits = bits;
+    }
+    cfg.seed = sf.seed;
+
+    if sf.ab {
+        let bits = cfg.bits.min(64);
+        eprintln!("[serve --ab: {bits}-bit zen2 fetch transfer, quiet noise, both arms]");
+        let ab = campaign::ab_compare(r, bits, cfg.seed)?;
+        println!(
+            "fork-per-trial: {:.3}s   boot-per-trial: {:.3}s   ({:.1}x slower)   accuracy {:.4} in both arms",
+            ab.fork_secs,
+            ab.boot_secs,
+            ab.speedup(),
+            ab.accuracy
+        );
+        return Ok(());
+    }
+
+    let jobs = campaign::jobs(&cfg);
+    let (skip, prefix) = match &sf.resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage_error(&format!("--resume {}: {e}", path.display())));
+            let rp = campaign::resume_prefix(&text, &jobs);
+            eprintln!(
+                "[serve: resuming from {} — {}/{} jobs already complete]",
+                path.display(),
+                rp.done,
+                jobs.len()
+            );
+            (rp.done, rp.prefix)
+        }
+        None => (0, String::new()),
+    };
+
+    use std::io::Write;
+    // Read the resume file before truncating the output: `--resume` and
+    // `--out` may name the same path (resume in place).
+    let file = std::fs::File::create(&sf.out)
+        .unwrap_or_else(|e| usage_error(&format!("--out {}: {e}", sf.out.display())));
+    let mut out = std::io::BufWriter::new(file);
+    out.write_all(prefix.as_bytes())
+        .map_err(|e| format!("write {}: {e}", sf.out.display()))?;
+
+    let start = std::time::Instant::now();
+    campaign::run_campaign(r, &cfg, skip, &mut out, &mut |done, total, id| {
+        eprintln!("[serve: {done}/{total} {id}]");
+    })?;
+    eprintln!(
+        "[serve: wrote {} — {} jobs, {} trials, {:.2}s on {} threads]",
+        sf.out.display(),
+        jobs.len(),
+        cfg.total_trials(),
+        start.elapsed().as_secs_f64(),
+        r.threads()
+    );
+    Ok(())
+}
+
 /// CLI flags shared by `bench` / `--json`.
 struct BenchFlags {
     json: std::path::PathBuf,
@@ -501,6 +613,7 @@ fn bench(r: &TrialRunner, flags: &BenchFlags) -> Result<(), phantom_bench::Runne
                     b.restore_frames_copied,
                     c.restore_frames_copied,
                 ),
+                ("trial_retries", b.trial_retries, c.trial_retries),
             ] {
                 let marker = if bv == cv { "" } else { "  <-- changed" };
                 eprintln!("  {name}: {bv} -> {cv}{marker}");
@@ -522,6 +635,15 @@ fn main() {
     let mut json_given = false;
     let mut uarch_names: Vec<String> = Vec::new();
     let mut spec_paths: Vec<std::path::PathBuf> = Vec::new();
+    let mut workers: Option<usize> = None;
+    let mut serve_flags = ServeFlags {
+        out: std::path::PathBuf::from("campaign.jsonl"),
+        resume: None,
+        bits: None,
+        seed: 0,
+        ab: false,
+    };
+    let mut serve_flag_given: Option<&'static str> = None;
     let mut args = std::env::args().skip(1);
     let missing = |flag: &str| -> ! { usage_error(&format!("{flag} requires a value")) };
     while let Some(arg) = args.next() {
@@ -545,6 +667,49 @@ fn main() {
                 }
             }
             "--host-meta" => flags.host_meta = true,
+            "--workers" => {
+                let v = args.next().unwrap_or_else(|| missing("--workers"));
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => workers = Some(n),
+                    _ => usage_error(&format!(
+                        "invalid --workers {v:?}: expected a positive integer thread count"
+                    )),
+                }
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| missing("--out"));
+                serve_flags.out = v.into();
+                serve_flag_given = Some("--out");
+            }
+            "--resume" => {
+                let v = args.next().unwrap_or_else(|| missing("--resume"));
+                serve_flags.resume = Some(v.into());
+                serve_flag_given = Some("--resume");
+            }
+            "--bits" => {
+                let v = args.next().unwrap_or_else(|| missing("--bits"));
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => serve_flags.bits = Some(n),
+                    _ => usage_error(&format!(
+                        "invalid --bits {v:?}: expected a positive bit count"
+                    )),
+                }
+                serve_flag_given = Some("--bits");
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| missing("--seed"));
+                match v.parse::<u64>() {
+                    Ok(n) => serve_flags.seed = n,
+                    Err(_) => usage_error(&format!(
+                        "invalid --seed {v:?}: expected an unsigned integer"
+                    )),
+                }
+                serve_flag_given = Some("--seed");
+            }
+            "--ab" => {
+                serve_flags.ab = true;
+                serve_flag_given = Some("--ab");
+            }
             "--uarch" => {
                 let v = args.next().unwrap_or_else(|| missing("--uarch"));
                 uarch_names.extend(v.split(',').map(|s| s.trim().to_string()));
@@ -620,6 +785,15 @@ fn main() {
         vec![UarchProfile::zen2(), UarchProfile::zen4()]
     };
 
+    // Serve-only flags on any other command are a usage error, not a
+    // silent no-op: `repro table2 --resume f` would otherwise discard
+    // the user's intent.
+    if cmd != "serve" {
+        if let Some(flag) = serve_flag_given {
+            usage_error(&format!("{flag} is only valid with the serve command"));
+        }
+    }
+
     let num = |i: usize, default: usize| -> usize {
         match positional.get(i) {
             None => default,
@@ -632,10 +806,16 @@ fn main() {
             },
         }
     };
-    let r = runner();
+    // --workers wins outright; PHANTOM_THREADS is only consulted (and
+    // only validated) when --workers is absent.
+    let r = match workers {
+        Some(n) => TrialRunner::with_threads(n),
+        None => runner(),
+    };
 
     let result: Result<(), phantom_bench::RunnerError> = match cmd {
         "table1" => table1(&r),
+        "serve" => serve(&r, &registry, &uarch_names, &serve_flags),
         "figure6" => figure6(&r, &figure6_profiles),
         "list-uarchs" => {
             list_uarchs(&registry);

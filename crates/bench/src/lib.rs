@@ -25,6 +25,7 @@ use phantom::UarchProfile;
 use phantom_bpu::BtbScheme;
 use phantom_mem::VirtAddr;
 
+pub mod campaign;
 pub mod snapshot;
 
 pub use phantom::attacks::scan_window;

@@ -432,6 +432,10 @@ pub fn collect_snapshot(
         cow_faults,
         cow_frames_shared,
         restore_frames_copied,
+        // Deterministic like the reference counters: every shipped
+        // scenario's probes succeed first try, so the canonical value
+        // is 0 and any retry shows up as a baseline diff.
+        trial_retries: runner.trial_retries(),
     };
 
     let host = if cfg.host_meta {

@@ -1,0 +1,149 @@
+//! End-to-end tests of the `repro serve` campaign service through the
+//! real binary: argument errors exit 2 with usage, `--workers` beats
+//! `PHANTOM_THREADS`, and kill-then-`--resume` reproduces the
+//! uninterrupted JSONL byte for byte.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(REPRO)
+        .args(args)
+        .env_remove("PHANTOM_THREADS")
+        .env_remove("PHANTOM_FULL")
+        .output()
+        .expect("spawn repro")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("phantom-serve-{name}-{}", std::process::id()));
+    p
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A tiny grid: one uarch × 2 scenarios × 5 noise points = 10 jobs at
+/// 2 bits each.
+fn tiny_args<'a>(out: &'a str) -> Vec<&'a str> {
+    vec![
+        "serve",
+        "--uarch",
+        "zen2",
+        "--bits",
+        "2",
+        "--out",
+        out,
+        "--workers",
+        "2",
+    ]
+}
+
+#[test]
+fn bad_workers_exits_2_with_usage() {
+    for bad in ["0", "-3", "many", ""] {
+        let out = repro(&["serve", "--workers", bad]);
+        assert_eq!(out.status.code(), Some(2), "--workers {bad:?}");
+        let err = stderr(&out);
+        assert!(err.contains("usage:"), "no usage text for {bad:?}: {err}");
+        assert!(err.contains("--workers") || err.contains("requires a value"));
+    }
+    // Missing value entirely.
+    let out = repro(&["serve", "--workers"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn serve_only_flags_on_other_commands_exit_2_with_usage() {
+    for args in [
+        &["table2", "--resume", "x.jsonl"][..],
+        &["bench", "--ab"][..],
+        &["all", "--out", "x.jsonl"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains("only valid with the serve command"));
+        assert!(stderr(&out).contains("usage:"));
+    }
+}
+
+#[test]
+fn unreadable_resume_file_exits_2_with_usage() {
+    let out = repro(&["serve", "--resume", "/nonexistent/campaign.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--resume"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+/// `--workers` takes precedence over `PHANTOM_THREADS`: with the flag
+/// given, a garbage env value is never consulted, never validated, and
+/// the run succeeds. Without the flag, the same env value is a CLI
+/// error (exit 2).
+#[test]
+fn workers_flag_overrides_phantom_threads() {
+    let path = tmp("precedence");
+    let out = Command::new(REPRO)
+        .args(tiny_args(path.to_str().unwrap()))
+        .env("PHANTOM_THREADS", "banana")
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("on 2 threads"), "{}", stderr(&out));
+
+    let out = Command::new(REPRO)
+        .args(["serve", "--uarch", "zen2", "--bits", "2"])
+        .env("PHANTOM_THREADS", "banana")
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "env must be validated sans flag"
+    );
+    assert!(stderr(&out).contains("PHANTOM_THREADS"));
+    std::fs::remove_file(&path).ok();
+}
+
+/// The flagship resume property through the real binary: run a small
+/// campaign, truncate its output mid-file (tearing a record), resume
+/// from the truncation, and require the final file to be byte-identical
+/// to the uninterrupted one — across different worker counts.
+#[test]
+fn truncate_then_resume_is_byte_identical() {
+    let full_path = tmp("full");
+    let out = repro(&tiny_args(full_path.to_str().unwrap()));
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let full = std::fs::read(&full_path).expect("campaign output exists");
+    assert!(full.ends_with(b"\n"));
+    assert_eq!(full.iter().filter(|&&b| b == b'\n').count(), 10);
+
+    // Tear the file roughly in half, mid-record.
+    let part_path = tmp("part");
+    std::fs::write(&part_path, &full[..full.len() / 2]).unwrap();
+
+    let resumed_path = tmp("resumed");
+    let mut args = vec!["serve", "--uarch", "zen2", "--bits", "2", "--workers", "4"];
+    let part = part_path.to_str().unwrap().to_string();
+    let resumed = resumed_path.to_str().unwrap().to_string();
+    args.extend(["--resume", &part, "--out", &resumed]);
+    let out = repro(&args);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("resuming"),
+        "no resume note: {}",
+        stderr(&out)
+    );
+
+    let rejoined = std::fs::read(&resumed_path).unwrap();
+    assert_eq!(rejoined, full, "resume diverged from uninterrupted run");
+
+    for p in [&full_path, &part_path, &resumed_path] {
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -37,6 +37,7 @@ struct LatencySweep {
 
 impl Scenario for LatencySweep {
     type State = ();
+    type Checkpoint = ();
     type Sample = LatencyPoint;
     type Output = Vec<LatencyPoint>;
 
@@ -45,6 +46,14 @@ impl Scenario for LatencySweep {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 
@@ -163,6 +172,7 @@ struct NoiseCurve {
 
 impl Scenario for NoiseCurve {
     type State = ();
+    type Checkpoint = ();
     type Sample = NoisePoint;
     type Output = Vec<NoisePoint>;
 
@@ -171,6 +181,14 @@ impl Scenario for NoiseCurve {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 
@@ -324,6 +342,7 @@ struct NoiseSweep {
 
 impl Scenario for NoiseSweep {
     type State = ();
+    type Checkpoint = ();
     type Sample = NoiseSweepPoint;
     type Output = Vec<NoiseSweepPoint>;
 
@@ -332,6 +351,14 @@ impl Scenario for NoiseSweep {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

@@ -147,6 +147,7 @@ pub struct KaslrImageSweep {
 
 impl Scenario for KaslrImageSweep {
     type State = ();
+    type Checkpoint = ();
     type Sample = KaslrImageResult;
     type Output = Vec<KaslrImageResult>;
 
@@ -155,6 +156,14 @@ impl Scenario for KaslrImageSweep {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

@@ -187,6 +187,7 @@ pub struct MdsLeakSweep {
 
 impl Scenario for MdsLeakSweep {
     type State = ();
+    type Checkpoint = ();
     type Sample = MdsLeakResult;
     type Output = Vec<MdsLeakResult>;
 
@@ -195,6 +196,14 @@ impl Scenario for MdsLeakSweep {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

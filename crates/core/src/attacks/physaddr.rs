@@ -184,6 +184,7 @@ pub struct PhysAddrSweep {
 
 impl Scenario for PhysAddrSweep {
     type State = ();
+    type Checkpoint = ();
     type Sample = PhysAddrResult;
     type Output = Vec<PhysAddrResult>;
 
@@ -192,6 +193,14 @@ impl Scenario for PhysAddrSweep {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

@@ -145,6 +145,7 @@ pub struct PhysmapSweep {
 
 impl Scenario for PhysmapSweep {
     type State = ();
+    type Checkpoint = ();
     type Sample = PhysmapResult;
     type Output = Vec<PhysmapResult>;
 
@@ -153,6 +154,14 @@ impl Scenario for PhysmapSweep {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

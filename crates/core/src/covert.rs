@@ -28,12 +28,12 @@ use rand::{Rng, SeedableRng};
 
 use phantom_kernel::System;
 use phantom_mem::VirtAddr;
-use phantom_pipeline::{MachineSnapshot, UarchProfile};
+use phantom_pipeline::{Checkpoint, UarchProfile};
 use phantom_sidechannel::NoiseModel;
 
 use crate::decode::{decode_adaptive, Decoded, DecoderConfig};
 use crate::primitives::{p1_probe_scored, p2_probe_scored, PrimitiveConfig, PrimitiveError};
-use crate::runner::{Scenario, ScenarioError, Trial, TrialRunner};
+use crate::runner::{BootEveryFork, Scenario, ScenarioError, Trial, TrialRunner};
 
 /// Which primitive carries the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,11 +107,18 @@ struct ChannelScenario {
     decoder: DecoderConfig,
 }
 
-/// Per-shard receiver state: a booted system plus the rewind point.
+/// Per-worker receiver state: a booted system plus the rewind point.
+///
+/// `setup` boots exactly one system; the runner seals it into the
+/// scenario checkpoint and every worker forks a clone. The clone
+/// shares the boot-time physical frames (and the `Arc`-held rewind
+/// point) copy-on-write, so a fork costs pointer bumps — never a
+/// reboot — and each trial's dirty frames stay private to its worker.
+#[derive(Clone)]
 struct ChannelState {
     sys: System,
     cfg: PrimitiveConfig,
-    snap: MachineSnapshot,
+    snap: Checkpoint,
     snap_cycles: u64,
     /// Sender target encoding a 1 (mapped) and a 0 (unmapped hole).
     t1: VirtAddr,
@@ -140,6 +147,7 @@ impl ChannelScenario {
 
 impl Scenario for ChannelScenario {
     type State = ChannelState;
+    type Checkpoint = ChannelState;
     type Sample = BitSample;
     type Output = CovertResult;
 
@@ -183,7 +191,7 @@ impl Scenario for ChannelScenario {
                 )
             }
         };
-        let snap = sys.machine_mut().snapshot();
+        let snap = sys.machine_mut().checkpoint();
         let snap_cycles = sys.machine().cycles();
         Ok(ChannelState {
             sys,
@@ -197,10 +205,18 @@ impl Scenario for ChannelScenario {
         })
     }
 
+    fn checkpoint(&self, state: ChannelState) -> Result<ChannelState, ScenarioError> {
+        Ok(state)
+    }
+
+    fn fork(&self, checkpoint: &ChannelState) -> Result<ChannelState, ScenarioError> {
+        Ok(checkpoint.clone())
+    }
+
     fn probe(&self, state: &mut ChannelState, trial: Trial) -> Result<BitSample, ScenarioError> {
-        // Rewind to the post-boot snapshot: every bit sees the same
-        // receiver, regardless of which shard measures it.
-        state.sys.machine_mut().restore(&state.snap);
+        // Rewind to the post-boot checkpoint: every bit sees the same
+        // receiver, regardless of which worker measures it.
+        state.snap.rewind(state.sys.machine_mut());
         let mut rng = StdRng::seed_from_u64(trial.seed);
         let bit = rng.gen_bool(0.5);
         let target = if bit { state.t1 } else { state.t0 };
@@ -347,6 +363,36 @@ pub fn fetch_channel_decoded_on(
             decoder,
         },
     )
+}
+
+/// [`fetch_channel_decoded_on`] through the [`BootEveryFork`] adapter:
+/// every trial re-boots and re-trains the system instead of forking the
+/// post-boot checkpoint. Decoded bits and accuracy are identical to the
+/// forking path by construction — only wall-clock differs. This is the
+/// slow arm of the `repro serve --ab` comparison; never use it for
+/// production sweeps.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup or syscall failure.
+pub fn fetch_channel_boot_per_trial_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: CovertConfig,
+    noise: NoiseModel,
+    decoder: DecoderConfig,
+) -> Result<CovertResult, PrimitiveError> {
+    let seed = config.seed;
+    let scenario = BootEveryFork(ChannelScenario {
+        profile,
+        config,
+        kind: CovertKind::Fetch,
+        noise_proto: noise,
+        decoder,
+    });
+    runner
+        .run(&scenario, seed)
+        .map_err(|e| PrimitiveError(e.to_string()))
 }
 
 /// Run the execute (P2) covert channel (meaningful on Zen 1/2).

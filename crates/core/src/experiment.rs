@@ -480,6 +480,7 @@ struct Table1Scenario<'a> {
 
 impl Scenario for Table1Scenario<'_> {
     type State = ();
+    type Checkpoint = ();
     type Sample = (phantom_pipeline::IStr, Stage);
     type Output = Vec<Table1Cell>;
 
@@ -488,6 +489,14 @@ impl Scenario for Table1Scenario<'_> {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 
@@ -609,6 +618,7 @@ struct Figure6Scenario {
 
 impl Scenario for Figure6Scenario {
     type State = ();
+    type Checkpoint = ();
     type Sample = Figure6Point;
     type Output = Vec<Figure6Point>;
 
@@ -617,6 +627,14 @@ impl Scenario for Figure6Scenario {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

@@ -531,6 +531,7 @@ struct OverheadScenario {
 
 impl Scenario for OverheadScenario {
     type State = ();
+    type Checkpoint = ();
     type Sample = (&'static str, u64, u64);
     type Output = OverheadResult;
 
@@ -539,6 +540,14 @@ impl Scenario for OverheadScenario {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

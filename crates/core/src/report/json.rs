@@ -1166,6 +1166,11 @@ pub struct PerfRecord {
     /// Frames rewound by `restore` on the snapshot/restore reference
     /// workload (the O(dirty) restore cost).
     pub restore_frames_copied: u64,
+    /// Bounded probe retries the trial runner performed while
+    /// collecting the snapshot (trials re-run on a fresh fork after a
+    /// recoverable failure). Zero in a healthy run: a nonzero value
+    /// means some scenario silently leaned on the retry path.
+    pub trial_retries: u64,
 }
 
 impl PerfRecord {
@@ -1203,7 +1208,8 @@ impl PerfRecord {
             .set(
                 "restore_frames_copied",
                 JsonValue::Uint(self.restore_frames_copied),
-            );
+            )
+            .set("trial_retries", JsonValue::Uint(self.trial_retries));
         o
     }
 
@@ -1225,6 +1231,7 @@ impl PerfRecord {
             cow_faults: lenient("cow_faults"),
             cow_frames_shared: lenient("cow_frames_shared"),
             restore_frames_copied: lenient("restore_frames_copied"),
+            trial_retries: lenient("trial_retries"),
         })
     }
 }
@@ -1849,6 +1856,7 @@ mod tests {
                 cow_faults: 9,
                 cow_frames_shared: 700,
                 restore_frames_copied: 27,
+                trial_retries: 0,
             },
             noise_sweep: Some(vec![
                 NoiseSweepRecord {
@@ -2110,6 +2118,7 @@ mod tests {
         assert_eq!(perf.tlb_hits, 0);
         assert_eq!(perf.tlb_misses, 0);
         assert_eq!(perf.restore_frames_copied, 0);
+        assert_eq!(perf.trial_retries, 0);
         // …and such a baseline must not gate the TLB hit rate at all.
         let mut base = sample_snapshot();
         base.perf = perf;

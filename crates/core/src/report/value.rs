@@ -130,6 +130,56 @@ impl JsonValue {
         out
     }
 
+    /// Serialize onto one line with no whitespace — the JSONL form
+    /// streamed by the campaign service, where one record must be one
+    /// line. Same determinism guarantee as
+    /// [`to_pretty_string`](JsonValue::to_pretty_string): equal values
+    /// produce identical bytes.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Uint(n) => out.push_str(&n.to_string()),
+            JsonValue::Int(n) => out.push_str(&n.to_string()),
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    out.push_str(&f.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -483,6 +533,28 @@ mod tests {
         // 1.0 prints as "1"; as_f64 recovers the numeric value.
         let v = JsonValue::Float(1.0);
         assert_eq!(round_trip(&v).as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_reparses() {
+        let mut obj = JsonValue::object();
+        obj.set("schema", JsonValue::Str("phantom-bench/v1".into()))
+            .set("accuracy", JsonValue::Float(0.9921875))
+            .set("probes", JsonValue::Uint(512))
+            .set(
+                "tags",
+                JsonValue::Array(vec![JsonValue::Uint(1), JsonValue::Null]),
+            )
+            .set("empty", JsonValue::Array(vec![]))
+            .set("hole", JsonValue::Object(vec![]));
+        let s = obj.to_compact_string();
+        assert!(!s.contains('\n') && !s.contains(' '), "{s}");
+        assert_eq!(parse(&s).expect("compact form parses"), obj);
+        assert_eq!(
+            s,
+            "{\"schema\":\"phantom-bench/v1\",\"accuracy\":0.9921875,\
+             \"probes\":512,\"tags\":[1,null],\"empty\":[],\"hole\":{}}"
+        );
     }
 
     #[test]

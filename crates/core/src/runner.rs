@@ -5,37 +5,57 @@
 //!
 //! # The scenario contract
 //!
-//! A scenario splits an experiment into four phases:
+//! A scenario splits an experiment into six phases:
 //!
 //! 1. [`setup`](Scenario::setup) — build the world (a machine or a
-//!    booted [`System`](phantom_kernel::System), channels, geography);
+//!    booted [`System`](phantom_kernel::System), channels, geography).
+//!    Called **once per run**, never per shard;
 //! 2. [`train`](Scenario::train) — put the world into the measured
 //!    configuration (warm predictors, prime caches). Optional;
-//! 3. [`probe`](Scenario::probe) — one independent trial, producing a
+//! 3. [`checkpoint`](Scenario::checkpoint) — seal the trained world
+//!    into an immutable, thread-shareable fork point;
+//! 4. [`fork`](Scenario::fork) — stamp out one worker's private copy
+//!    of the checkpointed world. Must reproduce the post-train state
+//!    exactly;
+//! 5. [`probe`](Scenario::probe) — one independent trial, producing a
 //!    [`Scenario::Sample`];
-//! 4. [`score`](Scenario::score) — fold all samples, **in trial
+//! 6. [`score`](Scenario::score) — fold all samples, **in trial
 //!    order**, into the experiment's output.
 //!
-//! # Determinism across thread counts
+//! Worlds backed by a [`Machine`](phantom_pipeline::Machine) get the
+//! fork for free: keep a
+//! [`Checkpoint`](phantom_pipeline::Checkpoint) (or clone the whole
+//! state — machine clones share physical frames copy-on-write), so a
+//! fork is O(resident-frame pointer bumps) instead of a reboot.
+//! Scenarios that boot a fresh world inside every probe carry no
+//! shared state at all and use `type Checkpoint = ()`.
 //!
-//! The runner shards trials over threads, so results must not depend on
-//! the sharding. Two rules make that hold:
+//! # Determinism across worker counts
 //!
-//! * `setup` + `train` must be deterministic: every shard builds its
-//!   own state by calling them, and all shards must end up with
-//!   identical worlds;
-//! * `probe` must be a pure function of the post-train state and the
+//! The runner distributes trials over a work-stealing pool of worker
+//! threads, so results must not depend on which worker measures which
+//! trial, nor on completion order. Three rules make that hold:
+//!
+//! * `setup` + `train` run once and must be deterministic;
+//! * every [`fork`](Scenario::fork) must be observationally identical
+//!   to the post-train state (a copy-on-write clone trivially is);
+//! * `probe` must be a pure function of the forked state and the
 //!   [`Trial`] (its per-trial seed is derived from the base seed and
 //!   the trial index only). Scenarios whose probes mutate the world
 //!   rewind it first with
-//!   [`Machine::restore`](phantom_pipeline::Machine::restore) or
+//!   [`Machine::restore`](phantom_pipeline::Machine::restore) /
+//!   [`Checkpoint::rewind`](phantom_pipeline::Checkpoint::rewind) or
 //!   rebuild it from `trial.seed`.
 //!
-//! Under those rules a 1-thread run and an N-thread run produce
-//! byte-identical outputs (`tests/determinism.rs` enforces this for the
-//! shipped scenarios).
+//! Samples are folded in trial-index order regardless of which worker
+//! produced them, so a 1-worker run and an N-worker run — even with
+//! adversarially skewed completion order — produce byte-identical
+//! outputs (`tests/determinism.rs` enforces this for the shipped
+//! scenarios).
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A boxed, thread-portable error from scenario execution.
 pub type ScenarioError = Box<dyn std::error::Error + Send + Sync>;
@@ -46,14 +66,19 @@ pub struct Trial {
     /// Trial number, `0..Scenario::trials()`.
     pub index: usize,
     /// Per-trial seed, a pure function of the runner's base seed and
-    /// `index` (never of the thread count or shard layout).
+    /// `index` (never of the worker count or claim order).
     pub seed: u64,
 }
 
 /// An experiment expressed as independent, repeatable trials.
 pub trait Scenario: Sync {
-    /// Per-shard world state built by [`setup`](Scenario::setup).
+    /// Per-worker world state, built by [`setup`](Scenario::setup) and
+    /// stamped out per worker by [`fork`](Scenario::fork).
     type State: Send;
+    /// The immutable fork point produced by
+    /// [`checkpoint`](Scenario::checkpoint): shared by reference
+    /// across worker threads, hence `Sync`.
+    type Checkpoint: Sync;
     /// The result of one trial.
     type Sample: Send;
     /// The scored output of the whole run.
@@ -62,15 +87,15 @@ pub trait Scenario: Sync {
     /// Number of trials to run.
     fn trials(&self) -> usize;
 
-    /// Build the world. Called once per shard; must be deterministic.
+    /// Build the world. Called once per run; must be deterministic.
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError`] if the world cannot be built.
     fn setup(&self) -> Result<Self::State, ScenarioError>;
 
-    /// Put the world into the measured configuration. Called once per
-    /// shard, after [`setup`](Scenario::setup). Defaults to a no-op.
+    /// Put the world into the measured configuration. Called once,
+    /// after [`setup`](Scenario::setup). Defaults to a no-op.
     ///
     /// # Errors
     ///
@@ -79,8 +104,26 @@ pub trait Scenario: Sync {
         Ok(())
     }
 
-    /// Run one trial. Must depend only on the post-train state and
-    /// `trial` (see the module docs on determinism).
+    /// Seal the trained world into the shared fork point. Scenarios
+    /// with no shared world use `type Checkpoint = ()` and drop the
+    /// state here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the world cannot be sealed.
+    fn checkpoint(&self, state: Self::State) -> Result<Self::Checkpoint, ScenarioError>;
+
+    /// Stamp out one worker's private state from the checkpoint. Must
+    /// be observationally identical to the post-train state — the
+    /// determinism contract above rests on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if the fork cannot be built.
+    fn fork(&self, checkpoint: &Self::Checkpoint) -> Result<Self::State, ScenarioError>;
+
+    /// Run one trial. Must depend only on the forked state and `trial`
+    /// (see the module docs on determinism).
     ///
     /// # Errors
     ///
@@ -91,14 +134,20 @@ pub trait Scenario: Sync {
     fn score(&self, samples: Vec<Self::Sample>) -> Self::Output;
 }
 
-/// Runs a [`Scenario`]'s trials, sharded across OS threads.
+/// Runs a [`Scenario`]'s trials on a work-stealing worker pool.
 ///
-/// Trials are split into contiguous chunks, one per thread; each thread
-/// runs `setup` → `train` once and probes its chunk. Sample order is
-/// preserved, so outputs are identical at any thread count.
-#[derive(Debug, Clone, Copy)]
+/// `setup → train → checkpoint` run once; each worker forks a private
+/// state from the checkpoint and claims trials one at a time from a
+/// shared cursor, so a straggling trial never idles the other workers
+/// behind a shard boundary. Samples are folded in trial-index order,
+/// which keeps outputs byte-identical at any worker count.
+///
+/// Cloning a runner shares its [`trial_retries`](TrialRunner::trial_retries)
+/// counter (the clone observes the same tally).
+#[derive(Debug, Clone)]
 pub struct TrialRunner {
     threads: usize,
+    retries: Arc<AtomicU64>,
 }
 
 impl Default for TrialRunner {
@@ -113,62 +162,228 @@ impl TrialRunner {
         let threads = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
-        TrialRunner { threads }
+        TrialRunner::with_threads(threads)
     }
 
-    /// A runner with an explicit thread count (clamped to at least 1).
+    /// A runner with an explicit worker count (clamped to at least 1).
     pub fn with_threads(threads: usize) -> TrialRunner {
         TrialRunner {
             threads: threads.max(1),
+            retries: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// The configured thread count.
+    /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Total bounded probe retries across this runner's lifetime: how
+    /// many times a trial failed recoverably and was re-run on a fresh
+    /// fork. Zero in a healthy run — the bench snapshot surfaces it so
+    /// a scenario that silently leans on the retry path shows up in
+    /// the regression gate.
+    pub fn trial_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Run all trials of `scenario` and score them.
     ///
     /// # Errors
     ///
-    /// Returns the first [`ScenarioError`] from setup, training or any
-    /// probe.
+    /// Returns the first [`ScenarioError`] from setup, training,
+    /// checkpointing, forking or any probe (for probe errors, "first"
+    /// means the lowest-index trial among the errors observed before
+    /// the run aborted).
     pub fn run<S: Scenario>(
         &self,
         scenario: &S,
         base_seed: u64,
     ) -> Result<S::Output, ScenarioError> {
         let n = scenario.trials();
-        let samples = if self.threads == 1 || n <= 1 {
-            run_shard(scenario, base_seed, 0, n)?
-        } else {
-            let shards = shard_sizes(n, self.threads);
-            let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|&(start, len)| {
-                        scope.spawn(move || run_shard(scenario, base_seed, start, len))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("trial shard panicked"))
-                    .collect::<Vec<_>>()
-            });
-            let mut samples = Vec::with_capacity(n);
-            for shard in results {
-                samples.extend(shard?);
+        let mut state = scenario.setup()?;
+        scenario.train(&mut state)?;
+        let checkpoint = scenario.checkpoint(state)?;
+        let workers = self.threads.min(n.max(1));
+        let samples = if workers == 1 {
+            let mut state = scenario.fork(&checkpoint)?;
+            let mut out = Vec::with_capacity(n);
+            for index in 0..n {
+                let trial = Trial {
+                    index,
+                    seed: trial_seed(base_seed, index),
+                };
+                out.push(self.probe_once(scenario, &checkpoint, &mut state, trial)?);
             }
-            samples
+            out
+        } else {
+            self.run_pool(scenario, &checkpoint, base_seed, n, workers)?
         };
         Ok(scenario.score(samples))
+    }
+
+    /// The work-stealing pool: `workers` threads race on an atomic
+    /// trial cursor. Each claims the next unclaimed index, so skewed
+    /// per-trial costs self-balance; the (index, sample) pairs are
+    /// reassembled in index order afterwards.
+    fn run_pool<S: Scenario>(
+        &self,
+        scenario: &S,
+        checkpoint: &S::Checkpoint,
+        base_seed: u64,
+        n: usize,
+        workers: usize,
+    ) -> Result<Vec<S::Sample>, ScenarioError> {
+        /// A worker's claimed-and-measured trials, or the trial index
+        /// it died on (fork failures use `usize::MAX` so any real
+        /// trial's error outranks them).
+        type WorkerResult<T> = Result<Vec<(usize, T)>, (usize, ScenarioError)>;
+
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let results: Vec<WorkerResult<S::Sample>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state = match scenario.fork(checkpoint) {
+                            Ok(state) => state,
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                return Err((usize::MAX, e));
+                            }
+                        };
+                        let mut claimed: Vec<(usize, S::Sample)> = Vec::new();
+                        while !abort.load(Ordering::Relaxed) {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= n {
+                                break;
+                            }
+                            let trial = Trial {
+                                index,
+                                seed: trial_seed(base_seed, index),
+                            };
+                            match self.probe_once(scenario, checkpoint, &mut state, trial) {
+                                Ok(sample) => claimed.push((index, sample)),
+                                Err(e) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    return Err((index, e));
+                                }
+                            }
+                        }
+                        Ok(claimed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trial worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<S::Sample>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut first_error: Option<(usize, ScenarioError)> = None;
+        for result in results {
+            match result {
+                Ok(claimed) => {
+                    for (index, sample) in claimed {
+                        slots[index] = Some(sample);
+                    }
+                }
+                Err((index, e)) => {
+                    if first_error.as_ref().is_none_or(|(at, _)| index < *at) {
+                        first_error = Some((index, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every claimed trial produced a sample"))
+            .collect())
+    }
+
+    /// One trial with the bounded retry: a probe can fail recoverably
+    /// (e.g. an eviction-set page unmapped mid-measurement surfaces as
+    /// a `ProbeError`), so re-fork a fresh world from the checkpoint
+    /// once and retry the same trial. Determinism holds because a
+    /// fresh fork is exactly the post-train state the probe contract
+    /// requires. A second failure is treated as systematic and
+    /// propagated. Every retry is tallied in
+    /// [`trial_retries`](TrialRunner::trial_retries).
+    fn probe_once<S: Scenario>(
+        &self,
+        scenario: &S,
+        checkpoint: &S::Checkpoint,
+        state: &mut S::State,
+        trial: Trial,
+    ) -> Result<S::Sample, ScenarioError> {
+        match scenario.probe(state, trial) {
+            Ok(sample) => Ok(sample),
+            Err(_first) => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                *state = scenario.fork(checkpoint)?;
+                scenario.probe(state, trial)
+            }
+        }
+    }
+}
+
+/// Adapter that deliberately *defeats* checkpoint reuse: every fork
+/// re-runs the wrapped scenario's `setup` + `train` from scratch, as a
+/// pre-checkpoint runner would have. Samples and scores are unchanged
+/// (the contract requires `fork` to reproduce the post-train state), so
+/// the only observable difference is wall-clock — which is exactly what
+/// the boot-per-trial vs fork-per-trial A/B in `repro serve --ab`
+/// measures.
+#[derive(Debug, Clone, Copy)]
+pub struct BootEveryFork<S>(pub S);
+
+impl<S: Scenario> Scenario for BootEveryFork<S> {
+    type State = S::State;
+    type Checkpoint = ();
+    type Sample = S::Sample;
+    type Output = S::Output;
+
+    fn trials(&self) -> usize {
+        self.0.trials()
+    }
+
+    fn setup(&self) -> Result<Self::State, ScenarioError> {
+        self.0.setup()
+    }
+
+    fn train(&self, state: &mut Self::State) -> Result<(), ScenarioError> {
+        self.0.train(state)
+    }
+
+    fn checkpoint(&self, state: Self::State) -> Result<(), ScenarioError> {
+        // The trained state is discarded; forks rebuild it.
+        drop(state);
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<Self::State, ScenarioError> {
+        let mut state = self.0.setup()?;
+        self.0.train(&mut state)?;
+        Ok(state)
+    }
+
+    fn probe(&self, state: &mut Self::State, trial: Trial) -> Result<Self::Sample, ScenarioError> {
+        self.0.probe(state, trial)
+    }
+
+    fn score(&self, samples: Vec<Self::Sample>) -> Self::Output {
+        self.0.score(samples)
     }
 }
 
 /// Derive the seed for trial `index` from the run's base seed. A pure
 /// function of its arguments (SplitMix64 over both), so per-trial
-/// randomness never depends on thread count or execution order.
+/// randomness never depends on worker count or claim order.
 pub fn trial_seed(base_seed: u64, index: usize) -> u64 {
     splitmix64(base_seed ^ splitmix64(0x5851_f42d_4c95_7f2d ^ index as u64))
 }
@@ -189,55 +404,6 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn run_shard<S: Scenario>(
-    scenario: &S,
-    base_seed: u64,
-    start: usize,
-    len: usize,
-) -> Result<Vec<S::Sample>, ScenarioError> {
-    let mut state = scenario.setup()?;
-    scenario.train(&mut state)?;
-    let mut out = Vec::with_capacity(len);
-    for index in start..start + len {
-        let trial = Trial {
-            index,
-            seed: trial_seed(base_seed, index),
-        };
-        match scenario.probe(&mut state, trial) {
-            Ok(sample) => out.push(sample),
-            Err(_first) => {
-                // A probe can fail recoverably (e.g. an eviction-set
-                // page unmapped mid-measurement surfaces as a
-                // `ProbeError`): rebuild the world once and retry the
-                // same trial. Determinism holds because a fresh
-                // setup+train state is exactly the post-train state
-                // the probe contract requires. A second failure is
-                // treated as systematic and propagated.
-                state = scenario.setup()?;
-                scenario.train(&mut state)?;
-                out.push(scenario.probe(&mut state, trial)?);
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// Split `n` trials into at most `threads` contiguous non-empty
-/// `(start, len)` chunks.
-fn shard_sizes(n: usize, threads: usize) -> Vec<(usize, usize)> {
-    let shards = threads.min(n).max(1);
-    let base = n / shards;
-    let extra = n % shards;
-    let mut out = Vec::with_capacity(shards);
-    let mut start = 0;
-    for i in 0..shards {
-        let len = base + usize::from(i < extra);
-        out.push((start, len));
-        start += len;
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +415,7 @@ mod tests {
 
     impl Scenario for Hashing {
         type State = u64;
+        type Checkpoint = u64;
         type Sample = (usize, u64);
         type Output = Vec<(usize, u64)>;
 
@@ -260,8 +427,16 @@ mod tests {
             Ok(17)
         }
 
+        fn checkpoint(&self, state: u64) -> Result<u64, ScenarioError> {
+            Ok(state)
+        }
+
+        fn fork(&self, checkpoint: &u64) -> Result<u64, ScenarioError> {
+            Ok(*checkpoint)
+        }
+
         fn probe(&self, state: &mut u64, trial: Trial) -> Result<(usize, u64), ScenarioError> {
-            // Shard-local mutation is fine as long as the sample does
+            // Worker-local mutation is fine as long as the sample does
             // not depend on it; this checks the runner, not the rules.
             *state = state.wrapping_add(1);
             Ok((trial.index, trial.seed))
@@ -273,7 +448,7 @@ mod tests {
     }
 
     #[test]
-    fn order_is_preserved_at_any_thread_count() {
+    fn order_is_preserved_at_any_worker_count() {
         let base = TrialRunner::with_threads(1)
             .run(&Hashing { n: 23 }, 9)
             .unwrap();
@@ -283,10 +458,10 @@ mod tests {
             assert_eq!(seed, trial_seed(9, i));
         }
         for threads in [2, 3, 7, 64] {
-            let sharded = TrialRunner::with_threads(threads)
+            let pooled = TrialRunner::with_threads(threads)
                 .run(&Hashing { n: 23 }, 9)
                 .unwrap();
-            assert_eq!(sharded, base, "{threads} threads");
+            assert_eq!(pooled, base, "{threads} workers");
         }
     }
 
@@ -301,25 +476,11 @@ mod tests {
         assert_ne!(trial_seed(42, 7), trial_seed(43, 7));
     }
 
-    #[test]
-    fn shard_sizes_cover_exactly_once() {
-        for (n, threads) in [(10, 3), (1, 8), (23, 7), (8, 8), (100, 1)] {
-            let shards = shard_sizes(n, threads);
-            assert!(shards.len() <= threads);
-            let mut covered = 0;
-            for &(start, len) in &shards {
-                assert_eq!(start, covered, "contiguous");
-                assert!(len > 0, "no empty shards");
-                covered += len;
-            }
-            assert_eq!(covered, n);
-        }
-    }
-
     struct Failing;
 
     impl Scenario for Failing {
         type State = ();
+        type Checkpoint = ();
         type Sample = ();
         type Output = ();
 
@@ -328,6 +489,14 @@ mod tests {
         }
 
         fn setup(&self) -> Result<(), ScenarioError> {
+            Ok(())
+        }
+
+        fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+            Ok(())
+        }
+
+        fn fork(&self, (): &()) -> Result<(), ScenarioError> {
             Ok(())
         }
 
@@ -346,13 +515,14 @@ mod tests {
         // `Failing` errors deterministically, so the one bounded retry
         // fails too and the error still reaches the caller.
         for threads in [1, 4] {
-            let err = TrialRunner::with_threads(threads)
-                .run(&Failing, 0)
-                .unwrap_err();
+            let runner = TrialRunner::with_threads(threads);
+            let err = runner.run(&Failing, 0).unwrap_err();
             assert!(
                 err.to_string().contains("trial 2"),
-                "{threads} threads: {err}"
+                "{threads} workers: {err}"
             );
+            // Even the failed retry is tallied.
+            assert_eq!(runner.trial_retries(), 1, "{threads} workers");
         }
     }
 
@@ -361,10 +531,22 @@ mod tests {
     struct FlakyOnce {
         attempts: std::sync::atomic::AtomicUsize,
         setups: std::sync::atomic::AtomicUsize,
+        forks: std::sync::atomic::AtomicUsize,
+    }
+
+    impl FlakyOnce {
+        fn new() -> FlakyOnce {
+            FlakyOnce {
+                attempts: std::sync::atomic::AtomicUsize::new(0),
+                setups: std::sync::atomic::AtomicUsize::new(0),
+                forks: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
     }
 
     impl Scenario for FlakyOnce {
         type State = u64;
+        type Checkpoint = u64;
         type Sample = usize;
         type Output = Vec<usize>;
 
@@ -378,8 +560,17 @@ mod tests {
             Ok(7)
         }
 
+        fn checkpoint(&self, state: u64) -> Result<u64, ScenarioError> {
+            Ok(state)
+        }
+
+        fn fork(&self, checkpoint: &u64) -> Result<u64, ScenarioError> {
+            self.forks.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(*checkpoint)
+        }
+
         fn probe(&self, state: &mut u64, trial: Trial) -> Result<usize, ScenarioError> {
-            assert_eq!(*state, 7, "retry rebuilt the post-train state");
+            assert_eq!(*state, 7, "retry re-forked the post-train state");
             if trial.index == 2
                 && self
                     .attempts
@@ -397,23 +588,38 @@ mod tests {
     }
 
     #[test]
-    fn transient_probe_failure_is_retried_on_a_fresh_world() {
+    fn transient_probe_failure_is_retried_on_a_fresh_fork() {
         for threads in [1, 4] {
-            let flaky = FlakyOnce {
-                attempts: std::sync::atomic::AtomicUsize::new(0),
-                setups: std::sync::atomic::AtomicUsize::new(0),
-            };
-            let out = TrialRunner::with_threads(threads)
+            let flaky = FlakyOnce::new();
+            let runner = TrialRunner::with_threads(threads);
+            let out = runner
                 .run(&flaky, 0)
-                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
-            assert_eq!(out, vec![0, 1, 2, 3, 4], "{threads} threads");
-            let shards = threads.min(5);
+                .unwrap_or_else(|e| panic!("{threads} workers: {e}"));
+            assert_eq!(out, vec![0, 1, 2, 3, 4], "{threads} workers");
             assert_eq!(
                 flaky.setups.load(std::sync::atomic::Ordering::SeqCst),
-                shards + 1,
-                "{threads} threads: one setup per shard plus one rebuild"
+                1,
+                "{threads} workers: the world boots exactly once"
             );
+            let workers = threads.min(5);
+            assert_eq!(
+                flaky.forks.load(std::sync::atomic::Ordering::SeqCst),
+                workers + 1,
+                "{threads} workers: one fork per worker plus one retry"
+            );
+            assert_eq!(runner.trial_retries(), 1, "{threads} workers");
         }
+    }
+
+    #[test]
+    fn retry_counter_is_shared_across_clones_and_runs() {
+        let runner = TrialRunner::with_threads(2);
+        let observer = runner.clone();
+        assert_eq!(observer.trial_retries(), 0);
+        runner.run(&FlakyOnce::new(), 0).unwrap();
+        runner.run(&FlakyOnce::new(), 0).unwrap();
+        assert_eq!(runner.trial_retries(), 2, "one retry per flaky run");
+        assert_eq!(observer.trial_retries(), 2, "clones share the tally");
     }
 
     #[test]

@@ -73,7 +73,12 @@ impl From<phantom_pipeline::machine::MachineError> for SystemError {
 /// assert_eq!(sys.machine().reg(phantom_isa::Reg::R1), phantom_kernel::image::FAKE_PID);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+/// Cloning a system clones the whole booted world — machine state and
+/// ground truth — sharing physical frames copy-on-write with the
+/// original (and, like any machine clone, carrying no event sinks).
+/// Checkpoint-forking trial runners clone one booted system per worker
+/// instead of re-running the boot sequence.
+#[derive(Debug, Clone)]
 pub struct System {
     machine: Machine,
     layout: KaslrLayout,

@@ -173,6 +173,19 @@ impl PhysMemory {
         snap
     }
 
+    /// Open a new copy-on-write epoch without taking a checkpoint.
+    ///
+    /// Cloning a checkpointed memory produces a copy whose epoch still
+    /// equals the checkpoint's, so writes through the clone would be
+    /// indistinguishable from the checkpointed state and
+    /// [`restore_from`](PhysMemory::restore_from) would skip them.
+    /// Forked timelines (see `phantom_pipeline`'s `Checkpoint::fork`)
+    /// call this right after the clone so every subsequent write lands
+    /// above the checkpoint's cutoff and stays rewindable.
+    pub fn begin_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Rewind to `snap`, a checkpoint taken from this memory's own
     /// timeline (via [`snapshot`](PhysMemory::snapshot), possibly with
     /// other checkpoints and restores in between). Only frames written

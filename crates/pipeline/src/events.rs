@@ -122,10 +122,16 @@ pub enum PipelineEvent {
 
 /// A consumer of [`PipelineEvent`]s.
 ///
-/// `Any + Send` so sinks can cross thread boundaries with the machine
-/// and be recovered by concrete type via
-/// [`detach_sink_as`](crate::Machine::detach_sink_as).
-pub trait EventSink: Any + Send {
+/// `Any + Send + Sync` so sinks can cross thread boundaries with the
+/// machine — including sharing a checkpointed machine by reference
+/// across worker threads (see
+/// [`Checkpoint`](crate::machine::Checkpoint)) — and be
+/// recovered by concrete type via
+/// [`detach_sink_as`](crate::Machine::detach_sink_as). Sinks are only
+/// ever *called* through `&mut self` from the owning machine's step
+/// loop, so `Sync` costs implementors nothing beyond not caching
+/// thread-local state in `Rc`/`Cell`-style fields.
+pub trait EventSink: Any + Send + Sync {
     /// Observe one event. Called synchronously from inside the step.
     fn on_event(&mut self, event: &PipelineEvent);
 }

@@ -59,7 +59,7 @@ mod proptests;
 
 pub use events::{EventSink, PipelineEvent, SinkId};
 pub use intern::IStr;
-pub use machine::{Machine, MachineError, MachineSnapshot, RunExit, StepOutcome};
+pub use machine::{Checkpoint, Machine, MachineError, MachineSnapshot, RunExit, StepOutcome};
 pub use profile::{UarchProfile, Vendor};
 pub use resteer::{ResteerKind, SpeculationVerdict};
 pub use spec::{SpecError, UarchRegistry, UarchSpec};

@@ -25,7 +25,7 @@ mod memory;
 mod snapshot;
 mod wrongpath;
 
-pub use snapshot::MachineSnapshot;
+pub use snapshot::{Checkpoint, MachineSnapshot};
 
 use phantom_bpu::{Bpu, MsrState};
 use phantom_cache::{CacheHierarchy, PerfCounters, UopCache};

@@ -16,6 +16,8 @@
 //! the decoded-line cache are `Arc`-backed too, so the big cold
 //! structures are shared rather than deep-copied.
 
+use std::sync::Arc;
+
 use super::Machine;
 
 /// An immutable checkpoint of a [`Machine`].
@@ -80,5 +82,68 @@ impl Machine {
         // `self.bus` deliberately untouched: sinks are observation
         // state, not machine state.
         self.decode_cache = s.decode_cache.clone();
+    }
+
+    /// Seal the machine into a thread-shareable [`Checkpoint`] and
+    /// consume it. Equivalent to [`Machine::snapshot`] followed by
+    /// [`Checkpoint::new`], but makes the intended lifecycle — boot
+    /// once, fork per worker — read directly at the call site.
+    pub fn into_checkpoint(mut self) -> Checkpoint {
+        Checkpoint::new(self.snapshot())
+    }
+
+    /// Take a [`Checkpoint`] of the current state, leaving the machine
+    /// usable (its later writes are dirty with respect to the
+    /// checkpoint, exactly as after [`Machine::snapshot`]).
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint::new(self.snapshot())
+    }
+}
+
+/// A shareable, immutable fork point: an `Arc`-held [`MachineSnapshot`]
+/// that any number of worker threads can [`fork`](Checkpoint::fork)
+/// private machines from, or [`rewind`](Checkpoint::rewind) their fork
+/// back to between trials.
+///
+/// Cloning a checkpoint is an `Arc` bump; every fork shares the
+/// checkpoint's physical frames copy-on-write (the read-only base) and
+/// unshares only the frames it writes (its private dirty overlay), so
+/// a fork costs O(resident-frame pointer bumps) and each trial's writes
+/// cost one 4 KiB copy per dirtied frame — never a reboot.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    base: Arc<MachineSnapshot>,
+}
+
+impl Checkpoint {
+    /// Wrap an existing snapshot as a shareable fork point.
+    pub fn new(snapshot: MachineSnapshot) -> Checkpoint {
+        Checkpoint {
+            base: Arc::new(snapshot),
+        }
+    }
+
+    /// The underlying snapshot (for [`Machine::restore`]).
+    pub fn snapshot(&self) -> &MachineSnapshot {
+        &self.base
+    }
+
+    /// Fork a private machine whose state equals the checkpoint.
+    ///
+    /// The fork shares every physical frame with the checkpoint (and
+    /// with sibling forks) copy-on-write, and opens a fresh write epoch
+    /// so its own writes stay distinguishable — which is what lets
+    /// [`rewind`](Checkpoint::rewind) undo a trial in O(dirty frames).
+    /// Like any machine clone, the fork carries no event sinks.
+    pub fn fork(&self) -> Machine {
+        let mut machine = (*self.base.inner).clone();
+        machine.phys.begin_epoch();
+        machine
+    }
+
+    /// Rewind a fork (or the original checkpointed machine) back to the
+    /// checkpoint. Sinks attached to `machine` stay attached.
+    pub fn rewind(&self, machine: &mut Machine) {
+        machine.restore(&self.base);
     }
 }

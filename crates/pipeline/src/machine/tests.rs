@@ -894,3 +894,82 @@ fn restore_rewinds_memory_written_after_the_checkpoint() {
     assert_eq!(m.peek_u64(data + 0x1000), 0);
     assert_eq!(m.peek_u64(data), 0x1111);
 }
+
+/// A machine (and therefore a checkpoint) can be shared by reference
+/// across threads — the foundation of the fork-per-worker runner.
+#[test]
+fn machine_and_checkpoint_are_sync() {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<Machine>();
+    assert_sync::<crate::machine::Checkpoint>();
+}
+
+#[test]
+fn forks_share_the_base_and_diverge_privately() {
+    let mut m = machine(UarchProfile::zen2());
+    let data = VirtAddr::new(0x6000_0000);
+    m.map_range(data, 0x2000, PageFlags::USER_DATA).unwrap();
+    m.poke_u64(data, 0xba5e);
+    let ck = m.into_checkpoint();
+
+    let mut a = ck.fork();
+    let mut b = ck.fork();
+    assert_eq!(a.peek_u64(data), 0xba5e, "forks see the base state");
+    a.poke_u64(data, 0xaaaa);
+    b.poke_u64(data, 0xbbbb);
+    assert_eq!(a.peek_u64(data), 0xaaaa);
+    assert_eq!(b.peek_u64(data), 0xbbbb, "sibling writes never alias");
+    assert!(
+        a.phys().cow_faults() >= 1,
+        "the fork's write unshared a frame"
+    );
+
+    // Rewind either fork and the base state is back — O(dirty frames).
+    ck.rewind(&mut a);
+    assert_eq!(a.peek_u64(data), 0xba5e);
+    assert_eq!(
+        b.peek_u64(data),
+        0xbbbb,
+        "rewinding one fork leaves siblings"
+    );
+}
+
+#[test]
+fn forks_probe_identically_across_worker_threads() {
+    let mut m = machine(UarchProfile::zen2());
+    let mut asm = Assembler::new(0x40_0000);
+    asm.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 5,
+    });
+    asm.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: 37,
+    });
+    asm.push(Inst::Alu {
+        op: phantom_isa::inst::AluOp::Add,
+        dst: Reg::R0,
+        src: Reg::R1,
+    });
+    asm.push(Inst::Halt);
+    let blob = load_user(&mut m, &asm);
+    m.set_pc(VirtAddr::new(blob.base));
+    let ck = m.into_checkpoint();
+
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut fork = ck.fork();
+                    fork.run(100).expect("fork runs");
+                    (fork.reg(Reg::R0), fork.cycles())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (r0, cycles) in &outcomes {
+        assert_eq!(*r0, 42);
+        assert_eq!(*cycles, outcomes[0].1, "forks are cycle-identical");
+    }
+}

@@ -34,6 +34,7 @@ struct Comparison {
 
 impl Scenario for Comparison {
     type State = ();
+    type Checkpoint = ();
     type Sample = Row;
     type Output = Vec<Row>;
 
@@ -42,6 +43,14 @@ impl Scenario for Comparison {
     }
 
     fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
         Ok(())
     }
 

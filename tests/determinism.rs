@@ -10,8 +10,10 @@ use phantom::covert::{execute_channel_on, fetch_channel_on, table2_on, CovertCon
 use phantom::experiment::table1_on;
 use phantom::report;
 use phantom::report::json::BenchSnapshot;
-use phantom::runner::TrialRunner;
-use phantom::UarchProfile;
+use phantom::report::value::JsonValue;
+use phantom::runner::{trial_seed, Scenario, ScenarioError, Trial, TrialRunner};
+use phantom::{UarchProfile, UarchRegistry};
+use phantom_bench::campaign::{self, CampaignConfig, CampaignScenario};
 use phantom_bench::{collect_snapshot, BenchConfig};
 
 #[test]
@@ -107,6 +109,130 @@ fn noise_sweep_is_identical_across_thread_counts() {
             "{} = {}",
             a.axis, a.value
         );
+    }
+}
+
+/// A scenario built to *maximize* completion-order skew: trial `i`
+/// sleeps `(trials - i)` milliseconds before returning, so on a
+/// multi-worker pool the LAST trial finishes FIRST and the completion
+/// order is roughly the reverse of the claim order. If the runner
+/// folded samples in completion order — or let worker identity leak
+/// into a sample — the rendered JSONL would differ between 1 and 8
+/// workers. It must not: samples are slotted by trial index, and each
+/// sample is a pure function of its `Trial`.
+struct SlowProbe {
+    trials: usize,
+}
+
+impl Scenario for SlowProbe {
+    type State = ();
+    type Checkpoint = ();
+    type Sample = JsonValue;
+    type Output = String;
+
+    fn trials(&self) -> usize {
+        self.trials
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, (): &mut (), trial: Trial) -> Result<JsonValue, ScenarioError> {
+        // Adversarial skew: early trials are the slowest.
+        let ms = (self.trials - trial.index) as u64;
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        let mut rec = JsonValue::object();
+        rec.set("trial", JsonValue::Uint(trial.index as u64))
+            .set("seed", JsonValue::Uint(trial.seed));
+        Ok(rec)
+    }
+
+    fn score(&self, samples: Vec<JsonValue>) -> String {
+        samples
+            .iter()
+            .map(|s| s.to_compact_string() + "\n")
+            .collect()
+    }
+}
+
+/// Byte-identical JSONL under adversarially skewed completion order:
+/// the slow-probe scenario reverses finish order on a pool, yet the
+/// folded stream matches the single-worker run byte for byte, with
+/// trial indices in order and per-trial seeds unchanged.
+#[test]
+fn jsonl_is_byte_identical_under_reversed_completion_order() {
+    let scenario = SlowProbe { trials: 24 };
+    let seed = 99;
+    let one = TrialRunner::with_threads(1).run(&scenario, seed).unwrap();
+    let eight = TrialRunner::with_threads(8).run(&scenario, seed).unwrap();
+    assert_eq!(one, eight, "JSONL bytes depend on worker count");
+    for (i, line) in one.lines().enumerate() {
+        let v = phantom::report::value::parse(line).unwrap();
+        assert_eq!(v.get("trial").unwrap().as_u64().unwrap(), i as u64);
+        assert_eq!(
+            v.get("seed").unwrap().as_u64().unwrap(),
+            trial_seed(seed, i)
+        );
+    }
+}
+
+fn small_campaign() -> CampaignConfig {
+    let registry = UarchRegistry::with_builtins();
+    let mut cfg = CampaignConfig::default_grid(&registry);
+    cfg.uarches.truncate(2);
+    cfg.scenarios = vec![CampaignScenario::Fetch, CampaignScenario::Execute];
+    cfg.noise.truncate(3);
+    cfg.bits = 24;
+    cfg.seed = 7;
+    cfg
+}
+
+fn run_to_string(threads: usize, cfg: &CampaignConfig, skip: usize, seeded: &str) -> String {
+    let mut buf = seeded.as_bytes().to_vec();
+    campaign::run_campaign(
+        &TrialRunner::with_threads(threads),
+        cfg,
+        skip,
+        &mut buf,
+        &mut |_, _, _| {},
+    )
+    .unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// The campaign JSONL stream — the `repro serve` payload — is
+/// byte-identical at 1 and 8 worker threads.
+#[test]
+fn campaign_jsonl_is_byte_identical_across_worker_counts() {
+    let cfg = small_campaign();
+    let one = run_to_string(1, &cfg, 0, "");
+    let eight = run_to_string(8, &cfg, 0, "");
+    assert_eq!(one, eight, "campaign bytes depend on worker count");
+    assert_eq!(one.lines().count(), campaign::jobs(&cfg).len());
+}
+
+/// Kill-and-resume reproduces the uninterrupted file byte for byte,
+/// even when the truncation tears a record mid-line and the resumed
+/// run uses a different worker count than the original.
+#[test]
+fn campaign_resume_reproduces_uninterrupted_bytes() {
+    let cfg = small_campaign();
+    let jobs = campaign::jobs(&cfg);
+    let full = run_to_string(1, &cfg, 0, "");
+
+    for cut in [1, full.len() / 3, full.len() / 2, full.len() - 2] {
+        let rp = campaign::resume_prefix(&full[..cut], &jobs);
+        let resumed = run_to_string(8, &cfg, rp.done, &rp.prefix);
+        assert_eq!(resumed, full, "resume from byte {cut} diverged");
     }
 }
 
