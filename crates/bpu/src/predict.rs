@@ -170,25 +170,7 @@ impl Bpu {
         level: PrivilegeLevel,
         thread: u8,
     ) -> Option<Prediction> {
-        let scheme_tagged = self.btb.scheme().privilege_tagged;
-        let stibp = self.msr.stibp;
-        let eibrs = self.msr.eibrs_tagging;
-        // Scan window positions in address order; skip entries hidden by
-        // tag-based mitigations and keep scanning (a hidden entry does
-        // not shadow later visible ones).
-        let mut hit = None;
-        for off in 0..window {
-            if let Some(h) = self.btb.lookup(base + off) {
-                let hidden_priv = (scheme_tagged || eibrs) && h.trained_at != level;
-                let hidden_smt = stibp && h.thread != thread;
-                if hidden_priv || hidden_smt {
-                    continue;
-                }
-                hit = Some(h);
-                break;
-            }
-        }
-        let hit = hit?;
+        let hit = self.first_visible_hit(base, window, level, thread)?;
 
         // Conditional predictions consult the PHT for direction; a
         // not-taken prediction serves no steer at all.
@@ -212,6 +194,56 @@ impl Bpu {
             trained_at: hit.trained_at,
             restricted,
         })
+    }
+
+    /// The first BTB hit in `[base, base+window)` that the active
+    /// mitigations let this privilege mode and SMT thread *see*. Scans
+    /// window positions in address order; entries hidden by tag-based
+    /// mitigations (eIBRS tagging, STIBP) are skipped without shadowing
+    /// later visible ones. Pure with respect to predictor state.
+    fn first_visible_hit(
+        &self,
+        base: VirtAddr,
+        window: u64,
+        level: PrivilegeLevel,
+        thread: u8,
+    ) -> Option<crate::btb::BtbHit> {
+        let scheme_tagged = self.btb.scheme().privilege_tagged;
+        let stibp = self.msr.stibp;
+        let eibrs = self.msr.eibrs_tagging;
+        for off in 0..window {
+            if let Some(h) = self.btb.lookup(base + off) {
+                let hidden_priv = (scheme_tagged || eibrs) && h.trained_at != level;
+                let hidden_smt = stibp && h.thread != thread;
+                if hidden_priv || hidden_smt {
+                    continue;
+                }
+                return Some(h);
+            }
+        }
+        None
+    }
+
+    /// Whether [`predict_window`](Bpu::predict_window) over the same
+    /// span could serve *any* prediction: a visible BTB hit exists
+    /// (direction/RSB handling aside). Non-perturbing — consumers
+    /// memoizing "this window predicts nothing" (the pipeline's trace
+    /// engine) revalidate with this without popping the RSB or touching
+    /// any counter.
+    pub fn window_has_visible_hit(
+        &self,
+        base: VirtAddr,
+        window: u64,
+        level: PrivilegeLevel,
+        thread: u8,
+    ) -> bool {
+        self.first_visible_hit(base, window, level, thread)
+            .is_some()
+    }
+
+    /// The BTB's content-generation stamp; see [`Btb::generation`].
+    pub fn btb_generation(&self) -> u64 {
+        self.btb.generation()
     }
 
     /// IBPB: flush every prediction structure. "Assuming that IBPB can

@@ -171,6 +171,26 @@ impl CacheHierarchy {
         self.l2.flush_all();
     }
 
+    /// Open a new restore epoch on all three levels; see
+    /// [`SetAssocCache::begin_epoch`]. Call on the live hierarchy just
+    /// before cloning it into a snapshot.
+    pub fn begin_epoch(&mut self) {
+        self.l1i.begin_epoch();
+        self.l1d.begin_epoch();
+        self.l2.begin_epoch();
+    }
+
+    /// Rewind all three levels to `snap`; O(sets touched since the
+    /// epoch opened) when `snap` came from this hierarchy's own
+    /// [`begin_epoch`](CacheHierarchy::begin_epoch)-then-clone, a full
+    /// copy otherwise. See [`SetAssocCache::restore_from`].
+    pub fn restore_from(&mut self, snap: &CacheHierarchy) {
+        self.config = snap.config;
+        self.l1i.restore_from(&snap.l1i);
+        self.l1d.restore_from(&snap.l1d);
+        self.l2.restore_from(&snap.l2);
+    }
+
     /// The L1I cache, for set-granular inspection by Prime+Probe.
     pub fn l1i(&self) -> &SetAssocCache {
         &self.l1i

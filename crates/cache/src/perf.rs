@@ -118,7 +118,7 @@ impl fmt::Display for Event {
 /// pmu.add(Event::OpCacheMiss, 3);
 /// assert_eq!(pmu.read(Event::OpCacheMiss) - before, 3);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     counts: [u64; 14],
 }

@@ -1,6 +1,17 @@
 //! A generic set-associative cache with pluggable replacement.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::geometry::CacheGeometry;
+
+/// Source of snapshot-epoch tokens (see [`SetAssocCache::begin_epoch`]).
+/// Process-global so two caches hold equal tokens only when one was
+/// cloned from the other with no epoch boundary in between.
+static EPOCH_TOKENS: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch_token() -> u64 {
+    EPOCH_TOKENS.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Replacement policy for a [`SetAssocCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -24,7 +35,7 @@ pub struct AccessOutcome {
     pub evicted: Option<u64>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
     valid: bool,
@@ -65,6 +76,16 @@ pub struct SetAssocCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Epoch token shared with the snapshot this cache was cloned from
+    /// (if any). Equal tokens guarantee every set *not* flagged dirty
+    /// still holds the snapshot's exact contents, which is what lets
+    /// [`restore_from`](SetAssocCache::restore_from) copy only the
+    /// dirty sets.
+    epoch_token: u64,
+    /// Per-set "mutated since the current epoch opened" flags.
+    dirty: Vec<bool>,
+    /// Indices flagged in `dirty`, in first-mutation order.
+    dirty_sets: Vec<u32>,
 }
 
 impl SetAssocCache {
@@ -89,6 +110,60 @@ impl SetAssocCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            epoch_token: next_epoch_token(),
+            dirty: vec![false; geometry.sets],
+            dirty_sets: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, set_idx: usize) {
+        if !self.dirty[set_idx] {
+            self.dirty[set_idx] = true;
+            self.dirty_sets.push(set_idx as u32);
+        }
+    }
+
+    /// Open a new restore epoch: draw a fresh token and forget the
+    /// dirty-set log. Call on the *live* cache immediately before
+    /// cloning it into a snapshot — the clone then shares the token,
+    /// both sides start clean, and every later mutation of the live
+    /// cache lands in its dirty log, which is exactly the set of sets
+    /// [`restore_from`](SetAssocCache::restore_from) must copy back.
+    pub fn begin_epoch(&mut self) {
+        self.epoch_token = next_epoch_token();
+        for &i in &self.dirty_sets {
+            self.dirty[i as usize] = false;
+        }
+        self.dirty_sets.clear();
+    }
+
+    /// Rewind to `snap`. When `snap` shares this cache's epoch token
+    /// (the [`begin_epoch`](SetAssocCache::begin_epoch)-then-clone
+    /// protocol), only the sets touched since that epoch opened are
+    /// copied — O(dirty) instead of O(cache). Any other snapshot falls
+    /// back to a full copy and adopts its token, so a later rewind to
+    /// the same snapshot is fast again. Either way the result is
+    /// bit-identical to `*self = snap.clone()` plus a clean dirty log.
+    pub fn restore_from(&mut self, snap: &SetAssocCache) {
+        self.clock = snap.clock;
+        self.hits = snap.hits;
+        self.misses = snap.misses;
+        if self.epoch_token == snap.epoch_token {
+            for &i in &self.dirty_sets {
+                let i = i as usize;
+                self.sets[i].lines.copy_from_slice(&snap.sets[i].lines);
+                self.sets[i].plru = snap.sets[i].plru;
+                self.dirty[i] = false;
+            }
+            self.dirty_sets.clear();
+        } else {
+            self.geometry = snap.geometry;
+            self.replacement = snap.replacement;
+            self.sets.clone_from(&snap.sets);
+            self.epoch_token = snap.epoch_token;
+            self.dirty.clone_from(&snap.dirty);
+            self.dirty_sets.clone_from(&snap.dirty_sets);
         }
     }
 
@@ -148,6 +223,7 @@ impl SetAssocCache {
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
         self.clock += 1;
         let set_idx = self.geometry.set_index(addr);
+        self.mark_dirty(set_idx);
         let tag = self.geometry.tag(addr);
         let ways = self.geometry.ways;
         let line_shift = self.geometry.line_shift();
@@ -217,6 +293,7 @@ impl SetAssocCache {
         let set = &mut self.sets[set_idx];
         if let Some(way) = set.lines.iter().position(|l| l.valid && l.tag == tag) {
             set.lines[way].valid = false;
+            self.mark_dirty(set_idx);
             true
         } else {
             false
@@ -229,6 +306,9 @@ impl SetAssocCache {
             for line in &mut set.lines {
                 line.valid = false;
             }
+        }
+        for i in 0..self.sets.len() {
+            self.mark_dirty(i);
         }
     }
 
@@ -343,6 +423,71 @@ mod tests {
         let mut contents = c.set_contents(1);
         contents.sort_unstable();
         assert_eq!(contents, vec![0x1040, 0x2040]);
+    }
+
+    /// Full structural equality, including replacement state — the
+    /// dirty-set restore must be indistinguishable from a fresh clone.
+    fn assert_same(a: &SetAssocCache, b: &SetAssocCache) {
+        assert_eq!(a.clock, b.clock);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.misses, b.misses);
+        for (x, y) in a.sets.iter().zip(&b.sets) {
+            assert_eq!(x.plru, y.plru);
+            for (lx, ly) in x.lines.iter().zip(&y.lines) {
+                assert_eq!((lx.tag, lx.valid, lx.stamp), (ly.tag, ly.valid, ly.stamp));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_restore_matches_full_clone() {
+        let mut live = tiny(Replacement::Lru);
+        for i in 0..16u64 {
+            live.access(i * 64);
+        }
+        live.begin_epoch();
+        let snap = live.clone();
+        for i in 0..8u64 {
+            live.access(i * 192 + 0x40);
+            live.flush_line(i * 64);
+        }
+        live.restore_from(&snap);
+        assert_same(&live, &snap);
+        // The restored cache is clean: an immediate re-restore copies
+        // nothing and still matches.
+        live.restore_from(&snap);
+        assert_same(&live, &snap);
+    }
+
+    #[test]
+    fn epoch_restore_from_foreign_snapshot_falls_back_to_full_copy() {
+        let mut live = tiny(Replacement::TreePlru);
+        live.access(0x40);
+        let mut other = tiny(Replacement::TreePlru);
+        for i in 0..12u64 {
+            other.access(i * 64);
+        }
+        // Tokens differ (independent caches), so this must deep-copy.
+        live.restore_from(&other);
+        assert_same(&live, &other);
+        // After adopting the token, divergence + restore is exact again.
+        live.access(0x3c0);
+        live.flush_all();
+        live.restore_from(&other);
+        assert_same(&live, &other);
+    }
+
+    #[test]
+    fn flush_all_marks_every_set_dirty() {
+        let mut live = tiny(Replacement::Fifo);
+        for i in 0..8u64 {
+            live.access(i * 64);
+        }
+        live.begin_epoch();
+        let snap = live.clone();
+        live.flush_all();
+        live.restore_from(&snap);
+        assert_same(&live, &snap);
     }
 
     #[test]

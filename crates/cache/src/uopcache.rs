@@ -87,6 +87,20 @@ impl UopCache {
         self.cache.flush_all();
     }
 
+    /// Open a new restore epoch; see [`SetAssocCache::begin_epoch`].
+    pub fn begin_epoch(&mut self) {
+        self.cache.begin_epoch();
+    }
+
+    /// Rewind to `snap` — O(sets touched since the epoch opened) when
+    /// `snap` shares this cache's epoch, a full copy otherwise. See
+    /// [`SetAssocCache::restore_from`].
+    pub fn restore_from(&mut self, snap: &UopCache) {
+        self.cache.restore_from(&snap.cache);
+        self.hits = snap.hits;
+        self.misses = snap.misses;
+    }
+
     /// Number of valid ways in `set`.
     pub fn set_occupancy(&self, set: usize) -> usize {
         self.cache.set_occupancy(set)

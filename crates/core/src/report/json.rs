@@ -1171,6 +1171,17 @@ pub struct PerfRecord {
     /// recoverable failure). Zero in a healthy run: a nonzero value
     /// means some scenario silently leaned on the retry path.
     pub trial_retries: u64,
+    /// Trace-engine superblock replays fully completed on the trace
+    /// reference workload (the engine is forced on for this workload
+    /// regardless of `PHANTOM_TRACE_CACHE`, so the counter is identical
+    /// in trace-on and trace-off runs).
+    pub trace_hits: u64,
+    /// Trace-engine replays abandoned before the block end on the trace
+    /// reference workload.
+    pub trace_bailouts: u64,
+    /// Trace blocks invalidated for staleness on the trace reference
+    /// workload.
+    pub trace_invalidations: u64,
 }
 
 impl PerfRecord {
@@ -1209,7 +1220,13 @@ impl PerfRecord {
                 "restore_frames_copied",
                 JsonValue::Uint(self.restore_frames_copied),
             )
-            .set("trial_retries", JsonValue::Uint(self.trial_retries));
+            .set("trial_retries", JsonValue::Uint(self.trial_retries))
+            .set("trace_hits", JsonValue::Uint(self.trace_hits))
+            .set("trace_bailouts", JsonValue::Uint(self.trace_bailouts))
+            .set(
+                "trace_invalidations",
+                JsonValue::Uint(self.trace_invalidations),
+            );
         o
     }
 
@@ -1232,6 +1249,9 @@ impl PerfRecord {
             cow_frames_shared: lenient("cow_frames_shared"),
             restore_frames_copied: lenient("restore_frames_copied"),
             trial_retries: lenient("trial_retries"),
+            trace_hits: lenient("trace_hits"),
+            trace_bailouts: lenient("trace_bailouts"),
+            trace_invalidations: lenient("trace_invalidations"),
         })
     }
 }
@@ -1857,6 +1877,9 @@ mod tests {
                 cow_frames_shared: 700,
                 restore_frames_copied: 27,
                 trial_retries: 0,
+                trace_hits: 4990,
+                trace_bailouts: 2,
+                trace_invalidations: 1,
             },
             noise_sweep: Some(vec![
                 NoiseSweepRecord {
@@ -2119,6 +2142,9 @@ mod tests {
         assert_eq!(perf.tlb_misses, 0);
         assert_eq!(perf.restore_frames_copied, 0);
         assert_eq!(perf.trial_retries, 0);
+        assert_eq!(perf.trace_hits, 0);
+        assert_eq!(perf.trace_bailouts, 0);
+        assert_eq!(perf.trace_invalidations, 0);
         // …and such a baseline must not gate the TLB hit rate at all.
         let mut base = sample_snapshot();
         base.perf = perf;

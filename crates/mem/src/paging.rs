@@ -3,7 +3,20 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Source of page-table version stamps. Process-global so a version
+/// value is never reused: after a snapshot restore rolls a table (and
+/// its version) back, later mutations draw *fresh* stamps instead of
+/// re-walking the numbers the discarded timeline already used. Caches
+/// keyed by `(table, version)` — TLB entries, decoded-trace blocks —
+/// therefore can't mistake post-restore state for pre-restore state.
+static PT_VERSIONS: AtomicU64 = AtomicU64::new(1);
+
+fn next_pt_version() -> u64 {
+    PT_VERSIONS.fetch_add(1, Ordering::Relaxed)
+}
 
 use crate::addr::{PhysAddr, VirtAddr, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE, PAGE_SHIFT};
 use crate::fault::{AccessKind, FaultReason, PageFault};
@@ -153,11 +166,22 @@ struct Mapping {
 pub struct PageTable {
     small: Arc<BTreeMap<u64, Mapping>>,
     huge: Arc<BTreeMap<u64, Mapping>>,
-    /// Bumped by every mutation; lets cached translations (TLB fast
-    /// paths) prove their entry still reflects the table. The maps are
-    /// `Arc`-backed so cloning a table (snapshots, per-shard setup) is
-    /// two pointer bumps; the first mutation after a clone unshares.
+    /// Restamped from [`PT_VERSIONS`] on every mutation; lets cached
+    /// translations (TLB fast paths, decoded-trace blocks) prove their
+    /// entry still reflects the table. The maps are `Arc`-backed so
+    /// cloning a table (snapshots, per-shard setup) is two pointer
+    /// bumps; the first mutation after a clone unshares.
     version: u64,
+    /// Version of the last mutation whose VA lies in the user half of
+    /// the address space (bit 63 clear). A mutation only ever changes
+    /// the leaf entry at its own VA, so translations in one half are
+    /// provably unchanged while that half's stamp is — consumers
+    /// caching per-half (trace blocks over kernel text, say) survive
+    /// the other half churning.
+    version_user: u64,
+    /// Version of the last mutation whose VA lies in the kernel half
+    /// (bit 63 set).
+    version_kernel: u64,
 }
 
 impl PageTable {
@@ -175,7 +199,7 @@ impl PageTable {
         flags: PageFlags,
     ) -> Option<(PhysAddr, PageFlags)> {
         debug_assert!(va.is_aligned(1 << PAGE_SHIFT), "unaligned 4k mapping {va}");
-        self.version += 1;
+        self.bump_version(va);
         Arc::make_mut(&mut self.small)
             .insert(
                 va.page_number(),
@@ -196,7 +220,7 @@ impl PageTable {
         flags: PageFlags,
     ) -> Option<(PhysAddr, PageFlags)> {
         debug_assert!(va.is_aligned(HUGE_PAGE_SIZE), "unaligned 2M mapping {va}");
-        self.version += 1;
+        self.bump_version(va);
         Arc::make_mut(&mut self.huge)
             .insert(
                 va.raw() >> HUGE_PAGE_SHIFT,
@@ -213,7 +237,7 @@ impl PageTable {
         if !self.small.contains_key(&va.page_number()) {
             return None;
         }
-        self.version += 1;
+        self.bump_version(va);
         Arc::make_mut(&mut self.small)
             .remove(&va.page_number())
             .map(|m| (m.frame, m.flags))
@@ -225,7 +249,7 @@ impl PageTable {
     /// we make it accessible to user space".
     pub fn set_flags(&mut self, va: VirtAddr, flags: PageFlags) -> Option<PageFlags> {
         if self.small.contains_key(&va.page_number()) {
-            self.version += 1;
+            self.bump_version(va);
             let m = Arc::make_mut(&mut self.small)
                 .get_mut(&va.page_number())
                 .expect("checked above");
@@ -234,7 +258,7 @@ impl PageTable {
             return Some(old);
         }
         if self.huge.contains_key(&(va.raw() >> HUGE_PAGE_SHIFT)) {
-            self.version += 1;
+            self.bump_version(va);
             let m = Arc::make_mut(&mut self.huge)
                 .get_mut(&(va.raw() >> HUGE_PAGE_SHIFT))
                 .expect("checked above");
@@ -250,10 +274,37 @@ impl PageTable {
         self.lookup(va).map(|m| m.flags)
     }
 
-    /// Mutation counter: unchanged version means unchanged table, so a
-    /// translation cached against this version is still exact.
+    /// Mutation stamp: unchanged version means unchanged table, so a
+    /// translation cached against this version is still exact. Stamps
+    /// are process-globally unique — a value identifies one specific
+    /// table content for the lifetime of the process (clones and
+    /// snapshot restores carry the stamp *with* the content), so the
+    /// guarantee survives rolling a table back to an earlier state.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The mutation stamp of one address-space half (`kernel` = bit 63
+    /// set). Same guarantee as [`PageTable::version`], scoped to the
+    /// half: an unchanged stamp proves every translation with a VA in
+    /// that half unchanged, however much the other half churned.
+    pub fn class_version(&self, kernel: bool) -> u64 {
+        if kernel {
+            self.version_kernel
+        } else {
+            self.version_user
+        }
+    }
+
+    /// Draw a fresh global stamp for a mutation at `va`, updating both
+    /// the whole-table version and `va`'s half.
+    fn bump_version(&mut self, va: VirtAddr) {
+        self.version = next_pt_version();
+        if va.raw() >> 63 != 0 {
+            self.version_kernel = self.version;
+        } else {
+            self.version_user = self.version;
+        }
     }
 
     fn lookup(&self, va: VirtAddr) -> Option<Mapping> {
@@ -578,6 +629,34 @@ mod tests {
         assert_eq!(pt.version(), v1, "no-op mutators leave the version alone");
         pt.set_flags(VirtAddr::new(0x1000), PageFlags::USER_TEXT);
         assert!(pt.version() > v1);
+    }
+
+    #[test]
+    fn class_versions_track_their_half_only() {
+        let mut pt = PageTable::new();
+        pt.map_4k(
+            VirtAddr::new(0xffff_ffff_8000_0000),
+            PhysAddr::new(0x20_000),
+            PageFlags::KERNEL_TEXT,
+        );
+        let kernel = pt.class_version(true);
+        let user = pt.class_version(false);
+        // User-half churn leaves the kernel stamp alone (and vice versa).
+        pt.map_4k(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x10_000),
+            PageFlags::USER_DATA,
+        );
+        pt.unmap_4k(VirtAddr::new(0x1000));
+        assert_eq!(pt.class_version(true), kernel);
+        assert!(pt.class_version(false) > user);
+        let user = pt.class_version(false);
+        pt.set_flags(VirtAddr::new(0xffff_ffff_8000_0000), PageFlags::KERNEL_DATA);
+        assert!(pt.class_version(true) > kernel);
+        assert_eq!(pt.class_version(false), user);
+        // Both stamps always trail the whole-table version.
+        assert!(pt.class_version(true) <= pt.version());
+        assert_eq!(pt.class_version(true), pt.version());
     }
 
     #[test]

@@ -192,7 +192,12 @@ impl PhysMemory {
     /// since the checkpoint are copied back; frames materialized after
     /// it are pointed at a shared zero frame (observationally identical
     /// to absent, and keeps other outstanding checkpoints restorable).
-    pub fn restore_from(&mut self, snap: &PhysMemory) {
+    ///
+    /// Returns the physical page numbers whose contents the rewind
+    /// changed (written-since-checkpoint frames, including ones
+    /// zero-tombstoned away) so callers holding content-derived caches
+    /// — decoded traces, for one — can invalidate exactly those frames.
+    pub fn restore_from(&mut self, snap: &PhysMemory) -> Vec<u64> {
         debug_assert!(
             snap.frames.keys().all(|k| self.frames.contains_key(k)),
             "restore_from: snapshot is not from this memory's timeline"
@@ -205,7 +210,7 @@ impl PhysMemory {
         // dirty with respect to all of them.
         self.epoch = self.epoch.max(snap.epoch + 1);
         let epoch = self.epoch;
-        let mut copied = 0u64;
+        let mut copied = Vec::new();
         for (page, frame) in &mut self.frames {
             if frame.epoch <= snap.epoch {
                 continue; // untouched since the checkpoint
@@ -215,9 +220,10 @@ impl PhysMemory {
                 None => zero_frame(),
             };
             frame.epoch = epoch;
-            copied += 1;
+            copied.push(*page);
         }
-        self.restore_frames_copied += copied;
+        self.restore_frames_copied += copied.len() as u64;
+        copied
     }
 
     /// A fully independent copy: every frame's contents are duplicated

@@ -22,8 +22,10 @@ impl Machine {
 
         // --- Instruction fetch (architectural). ---
         if let Err(fault) = self.arch_fetch(pc) {
-            self.handle_fault(fault)?;
-            let caught = self.last_fault.expect("just set");
+            // handle_fault hands the caught fault back explicitly — no
+            // re-reading `last_fault`, which a nested fault path could
+            // in principle have rewritten between set and read.
+            let caught = self.handle_fault(fault)?;
             self.emit(PipelineEvent::FaultCaught {
                 pc,
                 fault: caught,
@@ -99,12 +101,27 @@ impl Machine {
 
     /// Run until halt or `max_steps`.
     ///
+    /// The hot loop first offers the remaining step budget to the trace
+    /// engine (`Machine::try_trace_step`); a recorded superblock
+    /// replays several instructions in one call with bit-identical
+    /// observable state, and any condition replay can't honor bails
+    /// back here to the generic [`Machine::step`].
+    ///
     /// # Errors
     ///
     /// Propagates the first [`MachineError`] from [`Machine::step`].
     pub fn run(&mut self, max_steps: u64) -> Result<RunExit, MachineError> {
-        for _ in 0..max_steps {
+        let mut steps = 0u64;
+        while steps < max_steps {
+            if let Some(replay) = self.try_trace_step(max_steps - steps)? {
+                steps += replay.steps;
+                if replay.halted {
+                    return Ok(RunExit::Halted);
+                }
+                continue;
+            }
             let out = self.step()?;
+            steps += 1;
             if out.halted {
                 return Ok(RunExit::Halted);
             }
@@ -113,6 +130,8 @@ impl Machine {
     }
 
     /// Run, collecting every transient report produced on the way.
+    /// Trace-replayed spans contribute their reports in program order,
+    /// exactly as the equivalent [`Machine::step`] sequence would.
     ///
     /// # Errors
     ///
@@ -122,8 +141,18 @@ impl Machine {
         max_steps: u64,
     ) -> Result<(RunExit, Vec<TransientReport>), MachineError> {
         let mut reports = Vec::new();
-        for _ in 0..max_steps {
+        let mut steps = 0u64;
+        while steps < max_steps {
+            if let Some(mut replay) = self.try_trace_step(max_steps - steps)? {
+                steps += replay.steps;
+                reports.append(&mut replay.transients);
+                if replay.halted {
+                    return Ok((RunExit::Halted, reports));
+                }
+                continue;
+            }
             let out = self.step()?;
+            steps += 1;
             if let Some(t) = out.transient {
                 reports.push(t);
             }

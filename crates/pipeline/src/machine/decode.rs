@@ -26,10 +26,12 @@ use super::{Machine, MachineError};
 /// architectural results depend on it.
 ///
 /// Coherence: any path that can change code bytes or translations
-/// invalidates. Architectural stores check `code_frames` (the physical
-/// frames backing cached decodes) so data stores stay free; `poke`,
-/// `map_range`/`unmap_range` and the raw `phys_mut`/`page_table_mut`
-/// accessors clear conservatively.
+/// invalidates. Architectural stores and `poke` check `code_frames`
+/// (the physical frames backing cached decodes) so data writes stay
+/// free; `unmap_range` and the raw `phys_mut`/`page_table_mut`
+/// accessors clear conservatively. `map_range` does *not* invalidate:
+/// it only maps fresh pages, which can't change a cached (successful)
+/// decode — decode failures are never cached.
 #[derive(Debug, Clone)]
 pub(super) struct DecodeCache {
     /// `Arc`-backed so machine clones and snapshot/restore share the
@@ -76,7 +78,7 @@ impl DecodeCache {
     }
 }
 
-fn level_tag(level: PrivilegeLevel) -> u8 {
+pub(super) fn level_tag(level: PrivilegeLevel) -> u8 {
     match level {
         PrivilegeLevel::User => 0,
         PrivilegeLevel::Supervisor => 1,
@@ -114,12 +116,36 @@ impl Machine {
         Some(pair)
     }
 
-    /// Invalidate cached decodes if the store to `pa` hits a frame that
-    /// backs one (self-modifying code); data stores don't pay.
+    /// Invalidate cached decodes (and overlapping trace blocks) if the
+    /// write to `pa` hits a frame that backs one (self-modifying code);
+    /// data writes don't pay.
     #[inline]
     pub(super) fn note_code_write(&mut self, pa: PhysAddr) {
         if self.decode_cache.code_frames.contains(&pa.page_number()) {
             self.decode_cache.invalidate();
+        }
+        self.trace_note_code_write(pa);
+    }
+
+    /// Decode-cache accounting for a trace-replayed µop. The replay
+    /// already holds the validated `(inst, len)` for `pc`, so a present
+    /// entry is a plain hit; an absent one goes through the real miss
+    /// path (`cached_decode`) so counters, entries and code frames
+    /// evolve exactly as a generic step's decode would.
+    pub(super) fn replay_decode_account(&mut self, pc: VirtAddr, inst: Inst, len: u64) {
+        if !self.decode_cache.enabled {
+            return;
+        }
+        let key = (pc.raw(), level_tag(self.level));
+        if self.decode_cache.entries.contains_key(&key) {
+            self.decode_cache.hits += 1;
+        } else {
+            let _decoded = self.cached_decode(pc);
+            debug_assert_eq!(
+                _decoded,
+                Some((inst, len)),
+                "validated trace block disagrees with a fresh decode"
+            );
         }
     }
 

@@ -3,7 +3,7 @@
 
 use phantom_bpu::Prediction;
 use phantom_isa::{BranchKind, Inst, Reg};
-use phantom_mem::{AccessKind, PageFault, PrivilegeLevel, VirtAddr};
+use phantom_mem::{AccessKind, FaultReason, PageFault, PrivilegeLevel, VirtAddr};
 
 use crate::events::PipelineEvent;
 
@@ -11,18 +11,38 @@ use super::{Machine, MachineError};
 
 impl Machine {
     /// Redirect to the registered user-mode fault handler, or surface
-    /// the fault as a [`MachineError`].
-    pub(super) fn handle_fault(&mut self, fault: PageFault) -> Result<(), MachineError> {
+    /// the fault as a [`MachineError`]. On the handled path the caught
+    /// fault is returned (and recorded in `last_fault`) so callers can
+    /// report it without re-reading machine state.
+    pub(super) fn handle_fault(&mut self, fault: PageFault) -> Result<PageFault, MachineError> {
         self.last_fault = Some(fault);
         if self.level == PrivilegeLevel::User {
             if let Some(handler) = self.fault_handler {
                 self.pc = handler;
                 // Signal delivery is expensive.
                 self.cycles += 2000;
-                return Ok(());
+                return Ok(fault);
             }
         }
         Err(MachineError::Fault(fault))
+    }
+
+    /// A branch reached execute with no resolved target — only possible
+    /// for hand-built instruction streams fed straight into
+    /// [`Machine::execute`], since the decoder always materializes
+    /// direct targets and the indirect/return paths resolve theirs from
+    /// registers or the stack. Treat it as a fetch of an unrunnable
+    /// instruction: a precise `NotExecutable` fault at the branch
+    /// itself, through the normal fault machinery (handler redirect in
+    /// user mode, [`MachineError::Fault`] otherwise) — never a panic.
+    fn branch_without_target(&mut self, pc: VirtAddr) -> Result<bool, MachineError> {
+        let fault = PageFault {
+            addr: pc,
+            access: AccessKind::Execute,
+            reason: FaultReason::NotExecutable,
+        };
+        self.handle_fault(fault)?;
+        Ok(false)
     }
 
     /// Resolve (taken, target) for the instruction before executing it.
@@ -48,10 +68,14 @@ impl Machine {
                 (true, Some(VirtAddr::new(self.reg(*src))))
             }
             Inst::Ret => {
-                // Architectural return address from the stack.
+                // Architectural return address from the stack. The
+                // virtual-boundary read matters: a stack pointer a few
+                // bytes below an unmapped page must resolve as a fault
+                // at execute, not a silent straddle into whatever frame
+                // happens to sit next door physically.
                 let sp = VirtAddr::new(self.reg(Reg::SP));
-                match self.translate_fast(sp, AccessKind::Read, self.level) {
-                    Ok(pa) => (true, Some(VirtAddr::new(self.phys.read_u64(pa)))),
+                match self.read_u64_virt(sp, AccessKind::Read, self.level) {
+                    Ok(ret) => (true, Some(VirtAddr::new(ret))),
                     Err(_) => (true, None), // stack fault resolves at execute
                 }
             }
@@ -142,7 +166,9 @@ impl Machine {
             }
             Inst::Lfence | Inst::Mfence => self.cycles += 8,
             Inst::Jmp { .. } => {
-                let target = actual_target.expect("direct target");
+                let Some(target) = actual_target else {
+                    return self.branch_without_target(pc);
+                };
                 self.bpu
                     .train_smt(pc, BranchKind::Direct, target, self.level, self.thread);
                 self.bpu.record_edge(pc, target);
@@ -151,7 +177,9 @@ impl Machine {
             Inst::Jcc { .. } => {
                 self.bpu.train_direction(pc, taken);
                 if taken {
-                    let target = actual_target.expect("taken target");
+                    let Some(target) = actual_target else {
+                        return self.branch_without_target(pc);
+                    };
                     self.bpu
                         .train_smt(pc, BranchKind::Cond, target, self.level, self.thread);
                     self.bpu.record_edge(pc, target);
@@ -159,14 +187,18 @@ impl Machine {
                 }
             }
             Inst::JmpInd { .. } => {
-                let target = actual_target.expect("indirect target");
+                let Some(target) = actual_target else {
+                    return self.branch_without_target(pc);
+                };
                 self.bpu
                     .train_smt(pc, BranchKind::Indirect, target, self.level, self.thread);
                 self.bpu.record_edge(pc, target);
                 next = target;
             }
             Inst::Call { .. } => {
-                let target = actual_target.expect("call target");
+                let Some(target) = actual_target else {
+                    return self.branch_without_target(pc);
+                };
                 self.bpu
                     .train_smt(pc, BranchKind::Call, target, self.level, self.thread);
                 self.push_return(pc + len)?;
@@ -174,7 +206,9 @@ impl Machine {
                 next = target;
             }
             Inst::CallInd { .. } => {
-                let target = actual_target.expect("call* target");
+                let Some(target) = actual_target else {
+                    return self.branch_without_target(pc);
+                };
                 self.bpu
                     .train_smt(pc, BranchKind::CallInd, target, self.level, self.thread);
                 self.push_return(pc + len)?;
@@ -183,9 +217,9 @@ impl Machine {
             }
             Inst::Ret => {
                 let sp = VirtAddr::new(self.reg(Reg::SP));
-                match self.translate_fast(sp, AccessKind::Read, self.level) {
-                    Ok(pa) => {
-                        let target = VirtAddr::new(self.phys.read_u64(pa));
+                match self.read_u64_virt(sp, AccessKind::Read, self.level) {
+                    Ok(ret) => {
+                        let target = VirtAddr::new(ret);
                         self.set_reg(Reg::SP, sp.raw() + 8);
                         self.bpu
                             .train_smt(pc, BranchKind::Ret, target, self.level, self.thread);

@@ -171,18 +171,20 @@ impl Machine {
             page = page + PAGE_SIZE;
         }
         let mut page = start;
-        let mut mapped_any = false;
         while page < end {
             if self.page_table.flags_of(page).is_none() {
                 let frame = self.phys.alloc_frame()?;
                 self.page_table.map_4k(page, frame, flags);
-                mapped_any = true;
             }
             page = page + PAGE_SIZE;
         }
-        if mapped_any {
-            self.decode_cache.invalidate();
-        }
+        // No decode/trace invalidation: mapping *fresh* (zero) pages
+        // cannot change any successful decode — a decoded instruction
+        // depends only on its own bytes (decoding is prefix-closed, so
+        // newly readable bytes past a former truncation point can't
+        // reinterpret it), and those bytes' translations are unchanged.
+        // Trace blocks additionally revalidate against the page-table
+        // version bump on their next lookup.
         Ok(())
     }
 
@@ -230,12 +232,20 @@ impl Machine {
     /// Write bytes through the page table, ignoring permission bits
     /// (setup/debug only — not an architectural store).
     ///
+    /// Chunks that match the current contents byte-for-byte are skipped
+    /// entirely: no write, no copy-on-write fault, no cache
+    /// invalidation. Re-poking identical setup bytes every trial (the
+    /// campaign training loop does) therefore keeps decoded state —
+    /// decode cache, trace blocks — warm, soundly: their validity is a
+    /// pure function of the bytes and translations, both unchanged.
+    /// Chunks that *do* change go through `note_code_write`-style
+    /// frame-precise invalidation of the decode and trace caches (the
+    /// self-modifying-code hook in `decode.rs`).
+    ///
     /// # Panics
     ///
     /// Panics if any page in the range is unmapped.
     pub fn poke(&mut self, va: VirtAddr, bytes: &[u8]) {
-        // Setup-path writes may rewrite code anywhere.
-        self.decode_cache.invalidate();
         // Translate once per page and write page-sized chunks.
         let mut off = 0usize;
         while off < bytes.len() {
@@ -244,10 +254,33 @@ impl Machine {
                 .translate_fast(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
                 .unwrap_or_else(|e| panic!("poke at unmapped {addr}: {e}"));
             let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
-            let chunk = in_page.min(bytes.len() - off);
-            self.phys.write_bytes(pa, &bytes[off..off + chunk]);
-            off += chunk;
+            let chunk = &bytes[off..off + in_page.min(bytes.len() - off)];
+            if self.phys.read_bytes(pa, chunk.len()) != chunk {
+                self.note_code_write(pa);
+                self.phys.write_bytes(pa, chunk);
+            }
+            off += chunk.len();
         }
+    }
+
+    /// Read bytes through the page table, ignoring permission bits
+    /// (setup/debug only), faulting precisely at the first unreadable
+    /// page — a range straddling into an unmapped page never silently
+    /// joins bytes from a physically adjacent frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PageFault`] of the first untranslatable page.
+    pub fn try_peek(&self, va: VirtAddr, len: usize) -> Result<Vec<u8>, PageFault> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let addr = va + out.len() as u64;
+            let pa = self.translate_fast(addr, AccessKind::Read, PrivilegeLevel::Supervisor)?;
+            let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
+            let chunk = in_page.min(len - out.len());
+            out.extend(self.phys.read_bytes(pa, chunk));
+        }
+        Ok(out)
     }
 
     /// Read bytes through the page table, ignoring permission bits
@@ -257,17 +290,8 @@ impl Machine {
     ///
     /// Panics if any page in the range is unmapped.
     pub fn peek(&self, va: VirtAddr, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        while out.len() < len {
-            let addr = va + out.len() as u64;
-            let pa = self
-                .translate_fast(addr, AccessKind::Read, PrivilegeLevel::Supervisor)
-                .unwrap_or_else(|e| panic!("peek at unmapped {addr}: {e}"));
-            let in_page = (PAGE_SIZE - addr.page_offset()) as usize;
-            let chunk = in_page.min(len - out.len());
-            out.extend(self.phys.read_bytes(pa, chunk));
-        }
-        out
+        self.try_peek(va, len)
+            .unwrap_or_else(|e| panic!("peek at unmapped {}: {e}", e.addr))
     }
 
     /// Write a u64 via [`Machine::poke`].
@@ -275,8 +299,51 @@ impl Machine {
         self.poke(va, &value.to_le_bytes());
     }
 
+    /// Read a u64 via [`Machine::try_peek`], faulting if either page the
+    /// read touches is unmapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PageFault`] of the first untranslatable page.
+    pub fn try_peek_u64(&self, va: VirtAddr) -> Result<u64, PageFault> {
+        Ok(u64::from_le_bytes(
+            self.try_peek(va, 8)?.try_into().expect("len-8 peek"),
+        ))
+    }
+
     /// Read a u64 via [`Machine::peek`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either page the read touches is unmapped.
     pub fn peek_u64(&self, va: VirtAddr) -> u64 {
-        u64::from_le_bytes(self.peek(va, 8).try_into().expect("8 bytes"))
+        self.try_peek_u64(va)
+            .unwrap_or_else(|e| panic!("peek at unmapped {}: {e}", e.addr))
+    }
+
+    /// Architectural u64 read at `va` honoring *virtual* page
+    /// boundaries: the bytes come from the pages `va` maps through, and
+    /// a read straddling into an unmapped or protected page faults
+    /// precisely instead of silently reading the physically adjacent
+    /// frame (`PhysMemory::read_u64` knows only frame adjacency). This
+    /// is the `Ret` stack-read path — a stack pointer parked 4 bytes
+    /// below an unmapped page must fault, not return a garbage target.
+    /// Non-perturbing: uses [`translate_fast`](Machine::translate_fast)
+    /// only.
+    pub(super) fn read_u64_virt(
+        &self,
+        va: VirtAddr,
+        access: AccessKind,
+        level: PrivilegeLevel,
+    ) -> Result<u64, PageFault> {
+        let pa = self.translate_fast(va, access, level)?;
+        let in_page = (PAGE_SIZE - va.page_offset()) as usize;
+        if in_page >= 8 {
+            return Ok(self.phys.read_u64(pa));
+        }
+        let pa2 = self.translate_fast((va + 8u64).page_base(), access, level)?;
+        let mut bytes = self.phys.read_bytes(pa, in_page);
+        bytes.extend(self.phys.read_bytes(pa2, 8 - in_page));
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 }

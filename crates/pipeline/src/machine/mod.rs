@@ -23,6 +23,7 @@ mod execute;
 mod fetch;
 mod memory;
 mod snapshot;
+mod trace;
 mod wrongpath;
 
 pub use snapshot::{Checkpoint, MachineSnapshot};
@@ -165,6 +166,10 @@ pub struct Machine {
     /// Memoized `(pc, privilege) → (inst, len)` decodes; timing- and
     /// event-invisible (see [`decode`]).
     decode_cache: decode::DecodeCache,
+    /// Recorded hot superblocks replayed straight-line by the run loop;
+    /// timing- and event-invisible like the decode cache (see
+    /// [`trace`]).
+    trace_cache: trace::TraceCache,
 }
 
 impl Machine {
@@ -201,6 +206,12 @@ impl Machine {
             halted: false,
             bus: EventBus::new(),
             decode_cache: decode::DecodeCache::new(),
+            // Trace replay defaults on; `PHANTOM_TRACE_CACHE=0` forces
+            // it off for A/B runs (results are bit-identical either
+            // way — see the parity gate in CI).
+            trace_cache: trace::TraceCache::new(
+                std::env::var("PHANTOM_TRACE_CACHE").map_or(true, |v| v != "0"),
+            ),
         }
     }
 
@@ -314,9 +325,10 @@ impl Machine {
     }
 
     /// Physical memory, mutably. Conservatively invalidates the decode
-    /// cache: raw writes could rewrite code bytes.
+    /// and trace caches: raw writes could rewrite code bytes.
     pub fn phys_mut(&mut self) -> &mut PhysMemory {
         self.decode_cache.invalidate();
+        self.trace_invalidate_all();
         &mut self.phys
     }
 
@@ -326,10 +338,11 @@ impl Machine {
     }
 
     /// The page table, mutably (the §6.2 PTE-flag tricks).
-    /// Conservatively invalidates the decode cache: mapping or flag
-    /// changes can alter what decodes.
+    /// Conservatively invalidates the decode and trace caches: mapping
+    /// or flag changes can alter what decodes.
     pub fn page_table_mut(&mut self) -> &mut PageTable {
         self.decode_cache.invalidate();
+        self.trace_invalidate_all();
         &mut self.page_table
     }
 

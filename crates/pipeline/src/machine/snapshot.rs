@@ -39,6 +39,12 @@ impl Machine {
     /// this call are unshared on first touch, which is what lets
     /// [`Machine::restore`] copy only the dirty ones back.
     pub fn snapshot(&mut self) -> MachineSnapshot {
+        // Open restore epochs on the set-associative structures before
+        // cloning, so the clone (the snapshot) carries the same epoch
+        // token and `restore` can copy back only sets the live machine
+        // dirtied since this point.
+        self.caches.begin_epoch();
+        self.uop_cache.begin_epoch();
         // `PhysMemory::snapshot` returns the pre-epoch-bump frame set;
         // the machine clone below carries the post-bump live memory, so
         // swap the snapshot's copy in.
@@ -60,10 +66,15 @@ impl Machine {
         let s = &*snapshot.inner;
         self.profile = s.profile.clone();
         self.bpu = s.bpu.clone();
-        self.caches = s.caches.clone();
-        self.uop_cache = s.uop_cache.clone();
+        // O(sets dirtied since the checkpoint) when the epoch tokens
+        // match (the common rewind loop); full copies otherwise.
+        self.caches.restore_from(&s.caches);
+        self.uop_cache.restore_from(&s.uop_cache);
         self.pmu = s.pmu.clone();
-        self.phys.restore_from(&s.phys);
+        // The rewind hands back the frames it copied; recorded trace
+        // blocks whose code bytes live in one of them are stale.
+        let copied_frames = self.phys.restore_from(&s.phys);
+        self.trace_invalidate_frames(&copied_frames);
         self.page_table = s.page_table.clone();
         self.tlb = s.tlb.clone();
         self.regs = s.regs;
@@ -82,6 +93,10 @@ impl Machine {
         // `self.bus` deliberately untouched: sinks are observation
         // state, not machine state.
         self.decode_cache = s.decode_cache.clone();
+        // `self.trace_cache` deliberately kept (minus the frame
+        // invalidations above): blocks are stamped with globally unique
+        // page-table/BTB stamps, so survivors revalidate against the
+        // restored content instead of being rebuilt every rewind.
     }
 
     /// Seal the machine into a thread-shareable [`Checkpoint`] and

@@ -3,7 +3,7 @@
 
 use phantom_isa::asm::Assembler;
 use phantom_isa::{Inst, Reg};
-use phantom_mem::{FaultReason, PageFlags, PrivilegeLevel, VirtAddr};
+use phantom_mem::{AccessKind, FaultReason, PageFlags, PrivilegeLevel, VirtAddr};
 
 use crate::machine::{Machine, MachineError, RunExit};
 use crate::profile::UarchProfile;
@@ -972,4 +972,326 @@ fn forks_probe_identically_across_worker_threads() {
         assert_eq!(*r0, 42);
         assert_eq!(*cycles, outcomes[0].1, "forks are cycle-identical");
     }
+}
+
+// ---------------------------------------------------------------------
+// Panic-path hardening: unresolved branch targets, straddling stack
+// reads, and consecutive-fault reporting must fault, never panic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn branch_without_a_resolved_target_faults_instead_of_panicking() {
+    // Only hand-built streams fed straight into `execute` can reach a
+    // branch with `actual_target: None` — the decoder materializes
+    // direct targets and the indirect/return paths resolve theirs.
+    // Each of the five branch kinds must surface a precise
+    // `NotExecutable` fault at the branch, not a panic.
+    use phantom_isa::Cond;
+    let branches = [
+        Inst::Jmp { disp: 0 },
+        Inst::Jcc {
+            cond: Cond::Eq,
+            disp: 0,
+        },
+        Inst::JmpInd { src: Reg::R0 },
+        Inst::Call { disp: 0 },
+        Inst::CallInd { src: Reg::R0 },
+    ];
+    let pc = VirtAddr::new(0x40_0000);
+    for inst in branches {
+        let mut m = machine(UarchProfile::zen2());
+        let err = m
+            .execute(inst, pc, inst.len() as u64, true, None, None)
+            .expect_err("no handler: the fault surfaces as an error");
+        match err {
+            MachineError::Fault(f) => {
+                assert_eq!(f.addr, pc, "{inst:?} faults at the branch itself");
+                assert_eq!(f.access, AccessKind::Execute);
+                assert_eq!(f.reason, FaultReason::NotExecutable);
+            }
+            other => panic!("{inst:?}: expected fault, got {other:?}"),
+        }
+    }
+
+    // With a user-mode handler registered the same condition is
+    // recoverable: redirect, record, keep running.
+    let mut m = machine(UarchProfile::zen2());
+    let handler = VirtAddr::new(0x41_0000);
+    m.set_level(PrivilegeLevel::User);
+    m.set_fault_handler(Some(handler));
+    let halted = m
+        .execute(Inst::Jmp { disp: 0 }, pc, 5, true, None, None)
+        .expect("handled fault is not an error");
+    assert!(!halted);
+    assert_eq!(m.pc(), handler, "redirected to the handler");
+    assert_eq!(m.last_fault().unwrap().addr, pc);
+}
+
+#[test]
+fn ret_straddling_into_an_unmapped_page_faults_at_the_page_start() {
+    // SP sits 4 bytes below an unmapped page, so the 8-byte
+    // return-address read straddles the virtual boundary. It must
+    // resolve as a fault naming the unmapped page — not silently read
+    // whatever physical frame happens to follow the mapped one.
+    let mut m = machine(UarchProfile::zen2());
+    let mut a = Assembler::new(0x40_0000);
+    a.push(Inst::Ret);
+    a.org(0x40_0100);
+    a.label("handler");
+    a.push(Inst::Halt);
+    let blob = load_user(&mut m, &a);
+    let stack = VirtAddr::new(0x7000_0000);
+    m.map_range(stack, 0x1000, PageFlags::USER_DATA).unwrap();
+    m.set_reg(Reg::SP, 0x7000_1000 - 4);
+    m.set_fault_handler(Some(VirtAddr::new(blob.addr("handler"))));
+    m.set_pc(VirtAddr::new(blob.base));
+    assert_eq!(m.run(10).unwrap(), RunExit::Halted);
+    let fault = m.last_fault().expect("straddling ret faulted");
+    assert_eq!(
+        fault.addr,
+        VirtAddr::new(0x7000_1000),
+        "fault names the unmapped page, not the (mapped) stack pointer"
+    );
+    assert_eq!(fault.reason, FaultReason::NotPresent);
+}
+
+#[test]
+fn consecutive_fetch_faults_report_the_most_recent_fault() {
+    // The fault handler itself is unmapped, so every handler redirect
+    // immediately faults again on fetch. The machine must keep
+    // redirecting (no panic, no stale report): the caught fault handed
+    // back by `handle_fault` — and `last_fault` — always name the most
+    // recent faulting address.
+    let mut m = machine(UarchProfile::zen2());
+    let mut a = Assembler::new(0x40_0000);
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 0xdead_0000,
+    });
+    a.push(Inst::JmpInd { src: Reg::R0 });
+    let blob = load_user(&mut m, &a);
+    let handler = VirtAddr::new(0x66_0000); // never mapped
+    m.set_fault_handler(Some(handler));
+    m.set_pc(VirtAddr::new(blob.base));
+    assert_eq!(m.run(6).unwrap(), RunExit::StepLimit);
+    let fault = m.last_fault().unwrap();
+    assert_eq!(fault.addr, handler, "second fault replaced the first");
+    assert_eq!(fault.access, AccessKind::Execute);
+    assert_eq!(m.pc(), handler, "still parked on the handler redirect");
+}
+
+// ---------------------------------------------------------------------
+// Trace engine: self-modifying-code coherence and bit-identity.
+// ---------------------------------------------------------------------
+
+/// Record every pipeline event verbatim (cycle stamps included), for
+/// byte-identical stream comparison across machine configurations.
+struct RecordEvents(Vec<crate::events::PipelineEvent>);
+impl crate::events::EventSink for RecordEvents {
+    fn on_event(&mut self, event: &crate::events::PipelineEvent) {
+        self.0.push(*event);
+    }
+}
+
+/// A program whose hot inner function gets patched by its own store
+/// mid-run: call `f` (returns 1 in r0) 24 times accumulating into r3,
+/// overwrite `f`'s immediate with 2 through an architectural store,
+/// call it 24 more times, halt. Correct final r3 is 24*1 + 24*2 = 72 —
+/// any stale decode or stale trace block yields 48.
+fn self_modifying_program(m: &mut Machine) {
+    let f_addr = 0x40_0200u64;
+    let mut patch = Vec::new();
+    phantom_isa::encode::encode_into(
+        &Inst::MovImm {
+            dst: Reg::R0,
+            imm: 2,
+        },
+        &mut patch,
+    )
+    .unwrap();
+    phantom_isa::encode::encode_into(&Inst::Ret, &mut patch).unwrap();
+    patch.resize(8, 0x90);
+    let patch = u64::from_le_bytes(patch[..8].try_into().unwrap());
+
+    let mut a = Assembler::new(0x40_0000);
+    a.push(Inst::MovImm {
+        dst: Reg::R6,
+        imm: 1,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R5,
+        imm: 24,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R4,
+        imm: 0,
+    });
+    a.label("loop1");
+    a.call("f");
+    a.push(Inst::Alu {
+        op: phantom_isa::inst::AluOp::Add,
+        dst: Reg::R3,
+        src: Reg::R0,
+    });
+    a.push(Inst::Alu {
+        op: phantom_isa::inst::AluOp::Add,
+        dst: Reg::R4,
+        src: Reg::R6,
+    });
+    a.push(Inst::Cmp {
+        a: Reg::R4,
+        b: Reg::R5,
+    });
+    a.jb("loop1");
+    // Patch f's `mov r0, 1` to `mov r0, 2` with one 8-byte store.
+    a.push(Inst::MovImm {
+        dst: Reg::R1,
+        imm: patch,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R2,
+        imm: f_addr,
+    });
+    a.push(Inst::Store {
+        base: Reg::R2,
+        disp: 0,
+        src: Reg::R1,
+    });
+    a.push(Inst::MovImm {
+        dst: Reg::R4,
+        imm: 0,
+    });
+    a.label("loop2");
+    a.call("f");
+    a.push(Inst::Alu {
+        op: phantom_isa::inst::AluOp::Add,
+        dst: Reg::R3,
+        src: Reg::R0,
+    });
+    a.push(Inst::Alu {
+        op: phantom_isa::inst::AluOp::Add,
+        dst: Reg::R4,
+        src: Reg::R6,
+    });
+    a.push(Inst::Cmp {
+        a: Reg::R4,
+        b: Reg::R5,
+    });
+    a.jb("loop2");
+    a.push(Inst::Halt);
+    a.org(f_addr);
+    a.label("f");
+    a.push(Inst::MovImm {
+        dst: Reg::R0,
+        imm: 1,
+    });
+    a.push(Inst::Ret);
+    a.push(Inst::NopN { len: 8 }); // patch slot slack past the ret
+    let blob = load_user(m, &a);
+    with_stack(m);
+    m.set_pc(VirtAddr::new(blob.base));
+}
+
+#[test]
+fn smc_over_a_hot_traced_loop_stays_coherent_and_bit_identical() {
+    // The self-modifying program must (a) observe its own store — both
+    // the decode cache and the trace cache drop the patched code — and
+    // (b) produce a byte-identical event stream, cycle count and PMU
+    // state whether the trace engine is on or off.
+    let run = |trace: bool| {
+        let mut m = machine(UarchProfile::zen2());
+        m.set_trace_cache_enabled(trace);
+        self_modifying_program(&mut m);
+        let id = m.attach_sink(RecordEvents(Vec::new()));
+        assert_eq!(m.run(100_000).unwrap(), RunExit::Halted);
+        let events = m.detach_sink_as::<RecordEvents>(id).unwrap().0;
+        (
+            m.reg(Reg::R3),
+            m.cycles(),
+            m.pmu().clone(),
+            events,
+            m.trace_stats(),
+        )
+    };
+    let (r3_off, cycles_off, pmu_off, events_off, stats_off) = run(false);
+    let (r3_on, cycles_on, pmu_on, events_on, stats_on) = run(true);
+
+    assert_eq!(r3_off, 72, "untraced machine observes the patch");
+    assert_eq!(r3_on, 72, "traced machine observes the patch");
+    assert_eq!(cycles_off, cycles_on, "cycle-identical");
+    assert_eq!(pmu_off, pmu_on, "PMU-identical");
+    assert_eq!(events_off, events_on, "event-stream-identical");
+    assert_eq!(stats_off, (0, 0, 0), "disabled engine never counts");
+    let (hits, _bailouts, invalidations) = stats_on;
+    assert!(hits > 0, "hot loops replayed from the trace cache");
+    assert!(
+        invalidations >= 1,
+        "the store over f invalidated its trace block"
+    );
+}
+
+#[test]
+fn trace_engine_is_invisible_across_snapshot_restore() {
+    // Snapshot mid-loop, run on, rewind, run to completion — with the
+    // trace engine on and off. Registers, cycles, PMU and the full
+    // event stream must match bit for bit; the surviving trace blocks
+    // revalidate against the restored memory rather than replaying
+    // stale state.
+    let run = |trace: bool| {
+        let mut m = machine(UarchProfile::zen2());
+        m.set_trace_cache_enabled(trace);
+        let mut a = Assembler::new(0x40_0000);
+        a.push(Inst::MovImm {
+            dst: Reg::R0,
+            imm: 0,
+        });
+        a.push(Inst::MovImm {
+            dst: Reg::R1,
+            imm: 1,
+        });
+        a.push(Inst::MovImm {
+            dst: Reg::R2,
+            imm: 64,
+        });
+        a.label("loop_top");
+        a.push(Inst::Alu {
+            op: phantom_isa::inst::AluOp::Add,
+            dst: Reg::R0,
+            src: Reg::R1,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R0,
+            b: Reg::R2,
+        });
+        a.jb("loop_top");
+        a.push(Inst::Halt);
+        let blob = load_user(&mut m, &a);
+        m.set_pc(VirtAddr::new(blob.base));
+
+        let id = m.attach_sink(RecordEvents(Vec::new()));
+        m.run(40).unwrap(); // get the loop hot
+        let snap = m.snapshot();
+        m.run(50).unwrap(); // diverge past the checkpoint
+        m.restore(&snap);
+        assert_eq!(m.run(100_000).unwrap(), RunExit::Halted);
+        let events = m.detach_sink_as::<RecordEvents>(id).unwrap().0;
+        (
+            m.reg(Reg::R0),
+            m.cycles(),
+            m.pmu().clone(),
+            events,
+            m.trace_stats(),
+        )
+    };
+    let (r0_off, cycles_off, pmu_off, events_off, _) = run(false);
+    let (r0_on, cycles_on, pmu_on, events_on, stats_on) = run(true);
+    assert_eq!(r0_off, 64);
+    assert_eq!(r0_on, 64);
+    assert_eq!(cycles_off, cycles_on, "cycle-identical across rewind");
+    assert_eq!(pmu_off, pmu_on, "PMU-identical across rewind");
+    assert_eq!(
+        events_off, events_on,
+        "event-stream-identical across rewind"
+    );
+    assert!(stats_on.0 > 0, "the hot loop replayed from the trace cache");
 }

@@ -260,3 +260,162 @@ fn perf_counters_are_identical_at_1_and_8_threads() {
         "cow reference restored no frames"
     );
 }
+
+// ---------------------------------------------------------------------
+// Self-modifying code through the runner: the trace/superblock engine's
+// invalidation must be worker-count-invisible.
+// ---------------------------------------------------------------------
+
+/// A trial that executes a program which overwrites its own hot inner
+/// function mid-run: `f` returns 1 for 24 calls, gets patched to return
+/// 2 by an architectural store, runs 24 more calls, halts (r3 = 72).
+/// Every trial rewinds the fork and re-runs, so each worker's warm
+/// trace cache is repeatedly invalidated and re-recorded — any
+/// coherence slip shows up as a sample diverging by worker or trial.
+struct SelfModifyingTrials {
+    trials: usize,
+}
+
+impl SelfModifyingTrials {
+    fn boot() -> Result<phantom_pipeline::Machine, ScenarioError> {
+        use phantom_isa::asm::Assembler;
+        use phantom_isa::inst::AluOp;
+        use phantom_isa::{Inst, Reg};
+        use phantom_mem::{PageFlags, VirtAddr};
+
+        let mut m = phantom_pipeline::Machine::new(UarchProfile::zen2(), 1 << 26);
+        let f_addr = 0x40_0200u64;
+        let mut patch = Vec::new();
+        phantom_isa::encode::encode_into(
+            &Inst::MovImm {
+                dst: Reg::R0,
+                imm: 2,
+            },
+            &mut patch,
+        )?;
+        phantom_isa::encode::encode_into(&Inst::Ret, &mut patch)?;
+        patch.resize(8, 0x90);
+        let patch = u64::from_le_bytes(patch[..8].try_into().unwrap());
+
+        let mut a = Assembler::new(0x40_0000);
+        for (reg, imm) in [(Reg::R6, 1), (Reg::R5, 24), (Reg::R4, 0)] {
+            a.push(Inst::MovImm { dst: reg, imm });
+        }
+        a.label("loop1");
+        a.call("f");
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R3,
+            src: Reg::R0,
+        });
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R4,
+            src: Reg::R6,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R4,
+            b: Reg::R5,
+        });
+        a.jb("loop1");
+        a.push(Inst::MovImm {
+            dst: Reg::R1,
+            imm: patch,
+        });
+        a.push(Inst::MovImm {
+            dst: Reg::R2,
+            imm: f_addr,
+        });
+        a.push(Inst::Store {
+            base: Reg::R2,
+            disp: 0,
+            src: Reg::R1,
+        });
+        a.push(Inst::MovImm {
+            dst: Reg::R4,
+            imm: 0,
+        });
+        a.label("loop2");
+        a.call("f");
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R3,
+            src: Reg::R0,
+        });
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R4,
+            src: Reg::R6,
+        });
+        a.push(Inst::Cmp {
+            a: Reg::R4,
+            b: Reg::R5,
+        });
+        a.jb("loop2");
+        a.push(Inst::Halt);
+        a.org(f_addr);
+        a.label("f");
+        a.push(Inst::MovImm {
+            dst: Reg::R0,
+            imm: 1,
+        });
+        a.push(Inst::Ret);
+        a.push(Inst::NopN { len: 8 });
+        let blob = a.finish()?;
+        m.load_blob(&blob, PageFlags::USER_TEXT | PageFlags::WRITE)?;
+        let stack = VirtAddr::new(0x7000_0000);
+        m.map_range(stack, 0x4000, PageFlags::USER_DATA)?;
+        m.set_reg(Reg::SP, 0x7000_4000 - 64);
+        m.set_pc(VirtAddr::new(blob.base));
+        Ok(m)
+    }
+}
+
+impl Scenario for SelfModifyingTrials {
+    type State = (phantom_pipeline::Machine, phantom_pipeline::Checkpoint);
+    type Checkpoint = phantom_pipeline::Checkpoint;
+    type Sample = (u64, u64);
+    type Output = Vec<(u64, u64)>;
+
+    fn trials(&self) -> usize {
+        self.trials
+    }
+
+    fn setup(&self) -> Result<Self::State, ScenarioError> {
+        let mut m = Self::boot()?;
+        let ck = m.checkpoint();
+        Ok((m, ck))
+    }
+
+    fn checkpoint(&self, state: Self::State) -> Result<Self::Checkpoint, ScenarioError> {
+        Ok(state.1)
+    }
+
+    fn fork(&self, ck: &Self::Checkpoint) -> Result<Self::State, ScenarioError> {
+        Ok((ck.fork(), ck.clone()))
+    }
+
+    fn probe(&self, state: &mut Self::State, _trial: Trial) -> Result<Self::Sample, ScenarioError> {
+        let (m, ck) = state;
+        ck.rewind(m);
+        let exit = m.run(100_000)?;
+        assert_eq!(exit, phantom_pipeline::RunExit::Halted);
+        Ok((m.reg(phantom_isa::Reg::R3), m.cycles()))
+    }
+
+    fn score(&self, samples: Vec<Self::Sample>) -> Self::Output {
+        samples
+    }
+}
+
+#[test]
+fn self_modifying_trials_are_identical_across_thread_counts() {
+    let scenario = SelfModifyingTrials { trials: 32 };
+    let one = TrialRunner::with_threads(1).run(&scenario, 7).unwrap();
+    let eight = TrialRunner::with_threads(8).run(&scenario, 7).unwrap();
+    assert_eq!(one, eight, "1-worker and 8-worker runs agree");
+    for (i, (r3, cycles)) in one.iter().enumerate() {
+        assert_eq!(*r3, 72, "trial {i}: stale code survived the patch");
+        assert_eq!(*cycles, one[0].1, "trial {i}: cycle-identical trials");
+    }
+}
