@@ -209,6 +209,70 @@ pub fn cow_reference() -> (u64, u64, u64) {
     )
 }
 
+/// Run the fixed checkpoint/rewind reference workload with the rewind
+/// journal and frame pool *forced on* — independent of the
+/// `PHANTOM_REWIND_JOURNAL` / `PHANTOM_FRAME_POOL` environment toggles
+/// — and return `(rewind_journal_frames, frame_pool_reuses)`. Forcing
+/// keeps the canonical snapshot byte-identical between toggle-on and
+/// toggle-off runs: the CI throughput job `cmp`s the two JSON files
+/// whole, so no counter in them may depend on a toggle. Pure function
+/// of the workload.
+pub fn rewind_pool_reference() -> (u64, u64) {
+    let mut m = cow_reference_machine();
+    m.phys_mut().set_rewind_journal(true);
+    m.phys_mut().set_frame_pool(true);
+    let snap = m.snapshot();
+    for _ in 0..COW_ROUNDS {
+        m.run(64).expect("cow reference workload runs");
+        m.restore(&snap);
+    }
+    let phys = m.phys();
+    (phys.rewind_journal_frames(), phys.frame_pool_reuses())
+}
+
+/// Profile and capacity of the boot-cache reference workload: small on
+/// purpose — three boots of a 64 MiB Zen 2 system, first builds the
+/// template, the next two hit it.
+const BOOT_REFERENCE_PHYS: u64 = 1 << 26;
+
+/// Boot the same `(profile, phys_bytes)` key three times through an
+/// *isolated* [`phantom_kernel::BootCache`] — never the process-global
+/// one, so the count is identical whatever `PHANTOM_BOOT_CACHE` says
+/// or how many cached boots other experiments performed — and return
+/// the cache's hit counter (canonically 2). Pure function of the
+/// workload.
+pub fn boot_cache_reference() -> u64 {
+    let cache = phantom_kernel::BootCache::new();
+    for seed in [1u64, 2, 3] {
+        cache
+            .boot(UarchProfile::zen2(), BOOT_REFERENCE_PHYS, seed)
+            .expect("reference boot succeeds");
+    }
+    cache.hits()
+}
+
+/// Eviction sets the probe-arena reference workload re-arms.
+const ARENA_REFERENCE_SETS: usize = 6;
+
+/// Install a probe arena on a fresh machine and re-arm it across
+/// `ARENA_REFERENCE_SETS` L1I sets, returning the machine's re-arm
+/// instrumentation counter. Uses a private machine, so the count never
+/// depends on `PHANTOM_PROBE_ARENA` or on what the shipped scenarios
+/// armed. Pure function of the workload.
+pub fn probe_arena_reference() -> u64 {
+    let mut m = Machine::new(UarchProfile::zen2(), 1 << 24);
+    let arena = phantom_sidechannel::ProbeArena::install(
+        &mut m,
+        VirtAddr::new(0x6000_0000),
+        phantom_sidechannel::ProbeLevel::L1I,
+    )
+    .expect("reference arena installs");
+    for set in 0..ARENA_REFERENCE_SETS {
+        arena.arm(&mut m, set).expect("reference arena arms");
+    }
+    m.probe_rearms()
+}
+
 /// Host wall-clock A/B of checkpoint/rewind on the Table 2 receiver
 /// machine (a booted [`System`] at the covert channel's 1 GiB scale),
 /// in seconds: `(copy-on-write, deep-copy)` for the same
@@ -441,6 +505,9 @@ pub fn collect_snapshot(
     let (tlb_hits, tlb_misses) = tlb_reference();
     let (cow_faults, cow_frames_shared, restore_frames_copied) = cow_reference();
     let (trace_hits, trace_bailouts, trace_invalidations) = trace_reference();
+    let (rewind_journal_frames, frame_pool_reuses) = rewind_pool_reference();
+    let boot_cache_hits = boot_cache_reference();
+    let probe_arena_rearms = probe_arena_reference();
     let perf = PerfRecord {
         decode_cache_hits: hits,
         decode_cache_misses: misses,
@@ -457,6 +524,10 @@ pub fn collect_snapshot(
         trace_hits,
         trace_bailouts,
         trace_invalidations,
+        boot_cache_hits,
+        rewind_journal_frames,
+        frame_pool_reuses,
+        probe_arena_rearms,
     };
 
     let host = if cfg.host_meta {
@@ -527,6 +598,35 @@ mod tests {
         // After the final restore every resident frame is shared with
         // the snapshot again.
         assert!(shared >= COW_DIRTY_PAGES, "{shared} frames shared");
+    }
+
+    #[test]
+    fn rewind_pool_reference_is_deterministic_and_counts_exact_multiples() {
+        let a = rewind_pool_reference();
+        let b = rewind_pool_reference();
+        assert_eq!(a, b);
+        let (journal_frames, pool_reuses) = a;
+        // Every round dirties exactly the stored-to data pages, and the
+        // journal rewinds exactly those.
+        assert_eq!(journal_frames, COW_DIRTY_PAGES * COW_ROUNDS as u64);
+        // The pool is empty on the first round's rewind; every later
+        // round recycles all of its retired frames.
+        assert_eq!(pool_reuses, COW_DIRTY_PAGES * (COW_ROUNDS as u64 - 1));
+    }
+
+    #[test]
+    fn boot_cache_reference_is_deterministic_and_isolated() {
+        // Three same-key boots: one template build, two hits — however
+        // many cached boots the rest of the process performed.
+        assert_eq!(boot_cache_reference(), 2);
+        assert_eq!(boot_cache_reference(), 2);
+    }
+
+    #[test]
+    fn probe_arena_reference_counts_every_rearm() {
+        let a = probe_arena_reference();
+        assert_eq!(a, ARENA_REFERENCE_SETS as u64);
+        assert_eq!(probe_arena_reference(), a);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use phantom_isa::BranchKind;
 use phantom_kernel::image::LISTING3_DISP;
 use phantom_kernel::System;
 use phantom_mem::VirtAddr;
-use phantom_sidechannel::{NoiseModel, PrimeProbe, ProbeResult, Reading};
+use phantom_sidechannel::{NoiseModel, PrimeProbe, ProbeArena, ProbeLevel, ProbeResult, Reading};
 
 /// Attacker configuration shared by the primitives.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +33,13 @@ pub struct PrimitiveConfig {
     pub pattern: u64,
     /// Base of the attacker's user region used for eviction sets.
     pub attacker_base: VirtAddr,
+    /// A standing probe mapping to re-arm instead of rebuilding the
+    /// eviction-set mapping every probe ([`ProbeArena::install`] it
+    /// once, before checkpointing). `None` maps per probe. The probe
+    /// primitives only consult an arena whose level matches theirs
+    /// (P1 wants L1I, P2 wants L1D), so a config armed for one channel
+    /// is safe to pass to the other.
+    pub arena: Option<ProbeArena>,
 }
 
 impl PrimitiveConfig {
@@ -41,6 +48,7 @@ impl PrimitiveConfig {
         PrimitiveConfig {
             pattern: 0xffff_bff8_0000_0000,
             attacker_base,
+            arena: None,
         }
     }
 
@@ -50,7 +58,14 @@ impl PrimitiveConfig {
         PrimitiveConfig {
             pattern: 0xffff_fff0_0000_0000,
             attacker_base,
+            arena: None,
         }
+    }
+
+    /// The same config with a standing [`ProbeArena`].
+    pub fn with_arena(mut self, arena: ProbeArena) -> PrimitiveConfig {
+        self.arena = Some(arena);
+        self
     }
 
     /// The right pattern for a system's microarchitecture.
@@ -138,7 +153,12 @@ pub fn p1_probe_in_set_scored(
     probe_set: usize,
     noise: &mut NoiseModel,
 ) -> Result<(ProbeResult, Reading), PrimitiveError> {
-    let pp = PrimeProbe::new_l1i(sys.machine_mut(), cfg.attacker_base, probe_set).map_err(err)?;
+    let pp = match cfg.arena {
+        Some(arena) if arena.level() == ProbeLevel::L1I => {
+            arena.arm(sys.machine_mut(), probe_set).map_err(err)?
+        }
+        _ => PrimeProbe::new_l1i(sys.machine_mut(), cfg.attacker_base, probe_set).map_err(err)?,
+    };
     sys.train_user_branch(cfg.user_alias(victim_pc), BranchKind::Indirect, target)
         .map_err(err)?;
     pp.prime(sys.machine_mut()).map_err(err)?;
@@ -252,8 +272,13 @@ pub fn p2_probe_in_set_scored(
     probe_set: usize,
     noise: &mut NoiseModel,
 ) -> Result<(ProbeResult, Reading), PrimitiveError> {
-    let pp = PrimeProbe::new_l1d(sys.machine_mut(), cfg.attacker_base + 0x20_0000, probe_set)
-        .map_err(err)?;
+    let pp = match cfg.arena {
+        Some(arena) if arena.level() == ProbeLevel::L1D => {
+            arena.arm(sys.machine_mut(), probe_set).map_err(err)?
+        }
+        _ => PrimeProbe::new_l1d(sys.machine_mut(), cfg.attacker_base + 0x20_0000, probe_set)
+            .map_err(err)?,
+    };
     sys.train_user_branch(
         cfg.user_alias(listing2_call),
         BranchKind::Indirect,

@@ -1182,6 +1182,22 @@ pub struct PerfRecord {
     /// Trace blocks invalidated for staleness on the trace reference
     /// workload.
     pub trace_invalidations: u64,
+    /// Boots served from an existing template by the boot-cache
+    /// reference workload (an isolated cache, so the counter is
+    /// identical whatever `PHANTOM_BOOT_CACHE` says about the global
+    /// one).
+    pub boot_cache_hits: u64,
+    /// Dirty frames the journaled rewind visited on the
+    /// snapshot/restore reference workload (the journal is forced on
+    /// for this workload regardless of `PHANTOM_REWIND_JOURNAL`).
+    pub rewind_journal_frames: u64,
+    /// Retired frame buffers the pool recycled into copy-on-write
+    /// copies on the snapshot/restore reference workload (pool forced
+    /// on regardless of `PHANTOM_FRAME_POOL`).
+    pub frame_pool_reuses: u64,
+    /// Probes re-armed over a standing arena mapping by the probe-arena
+    /// reference workload.
+    pub probe_arena_rearms: u64,
 }
 
 impl PerfRecord {
@@ -1226,6 +1242,16 @@ impl PerfRecord {
             .set(
                 "trace_invalidations",
                 JsonValue::Uint(self.trace_invalidations),
+            )
+            .set("boot_cache_hits", JsonValue::Uint(self.boot_cache_hits))
+            .set(
+                "rewind_journal_frames",
+                JsonValue::Uint(self.rewind_journal_frames),
+            )
+            .set("frame_pool_reuses", JsonValue::Uint(self.frame_pool_reuses))
+            .set(
+                "probe_arena_rearms",
+                JsonValue::Uint(self.probe_arena_rearms),
             );
         o
     }
@@ -1252,6 +1278,10 @@ impl PerfRecord {
             trace_hits: lenient("trace_hits"),
             trace_bailouts: lenient("trace_bailouts"),
             trace_invalidations: lenient("trace_invalidations"),
+            boot_cache_hits: lenient("boot_cache_hits"),
+            rewind_journal_frames: lenient("rewind_journal_frames"),
+            frame_pool_reuses: lenient("frame_pool_reuses"),
+            probe_arena_rearms: lenient("probe_arena_rearms"),
         })
     }
 }
@@ -1880,6 +1910,10 @@ mod tests {
                 trace_hits: 4990,
                 trace_bailouts: 2,
                 trace_invalidations: 1,
+                boot_cache_hits: 2,
+                rewind_journal_frames: 32,
+                frame_pool_reuses: 24,
+                probe_arena_rearms: 6,
             },
             noise_sweep: Some(vec![
                 NoiseSweepRecord {
@@ -2145,6 +2179,10 @@ mod tests {
         assert_eq!(perf.trace_hits, 0);
         assert_eq!(perf.trace_bailouts, 0);
         assert_eq!(perf.trace_invalidations, 0);
+        assert_eq!(perf.boot_cache_hits, 0);
+        assert_eq!(perf.rewind_journal_frames, 0);
+        assert_eq!(perf.frame_pool_reuses, 0);
+        assert_eq!(perf.probe_arena_rearms, 0);
         // …and such a baseline must not gate the TLB hit rate at all.
         let mut base = sample_snapshot();
         base.perf = perf;

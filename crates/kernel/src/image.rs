@@ -192,6 +192,29 @@ impl KernelImage {
         };
         Ok((blob, image))
     }
+
+    /// The same address map relocated to `new_base`: every field keeps
+    /// its offset from the image base.
+    ///
+    /// Sound because the image blob itself is position-independent —
+    /// all its branches encode `rel32` displacements and the only
+    /// absolute immediate is the module entry, and module space is
+    /// unrandomized — so relocating the *addresses* without touching
+    /// the *bytes* yields exactly what [`KernelImage::build`] at
+    /// `new_base` would (see `rebased_map_equals_a_fresh_build`). The
+    /// boot-image cache uses this to stamp out per-seed systems from
+    /// one canonical assembly.
+    pub fn rebased(&self, new_base: VirtAddr) -> KernelImage {
+        let shift = |va: VirtAddr| new_base + (va - self.base);
+        KernelImage {
+            base: new_base,
+            entry: shift(self.entry),
+            listing1_nop: shift(self.listing1_nop),
+            listing2_call: shift(self.listing2_call),
+            listing3_gadget: shift(self.listing3_gadget),
+            module_trampoline: shift(self.module_trampoline),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,5 +290,17 @@ mod tests {
         let (_, img2) = KernelImage::build(base2, VirtAddr::new(0xffff_ffff_c000_0000)).unwrap();
         assert_eq!(img2.listing1_nop - img2.base, LISTING1_OFFSET);
         assert_eq!(img2.base, base2);
+    }
+
+    #[test]
+    fn rebased_map_equals_a_fresh_build() {
+        let module_entry = VirtAddr::new(0xffff_ffff_c000_0000);
+        let (blob0, img0) = build();
+        let base2 = VirtAddr::new(0xffff_ffff_8000_0000 + 123 * 0x20_0000);
+        let (blob2, img2) = KernelImage::build(base2, module_entry).unwrap();
+        assert_eq!(img0.rebased(base2), img2);
+        // And the blob bytes are position-independent, which is what
+        // makes relocating the map without reassembling sound.
+        assert_eq!(blob0.bytes, blob2.bytes);
     }
 }

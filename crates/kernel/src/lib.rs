@@ -31,11 +31,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod boot_cache;
 pub mod image;
 pub mod layout;
 pub mod module;
 pub mod system;
 
+pub use boot_cache::{BootCache, BootTemplate};
 pub use image::KernelImage;
 pub use layout::KaslrLayout;
 pub use module::KernelModule;

@@ -184,6 +184,50 @@ impl System {
         })
     }
 
+    /// Boot through the process-global boot-image cache: same contract
+    /// and result as [`System::new`], but machine construction, kernel
+    /// assembly and blob loading are paid once per `(profile,
+    /// phys_bytes)` — later boots clone the cached template (frames
+    /// shared copy-on-write) and rebase its page table to the seed's
+    /// KASLR layout (see [`crate::boot_cache`]). Set
+    /// `PHANTOM_BOOT_CACHE=0` to fall back to a full boot per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] if kernel assembly or loading fails.
+    pub fn new_cached(
+        profile: UarchProfile,
+        phys_bytes: u64,
+        seed: u64,
+    ) -> Result<System, SystemError> {
+        let enabled = std::env::var("PHANTOM_BOOT_CACHE").map_or(true, |v| v != "0");
+        if enabled {
+            crate::boot_cache::global().boot(profile, phys_bytes, seed)
+        } else {
+            System::new(profile, phys_bytes, seed)
+        }
+    }
+
+    /// Assemble a system from parts the boot cache prepared.
+    pub(crate) fn assemble(
+        machine: Machine,
+        layout: KaslrLayout,
+        image: KernelImage,
+        module: KernelModule,
+        secret: Vec<u8>,
+        boot_seed: u64,
+    ) -> System {
+        System {
+            machine,
+            layout,
+            image,
+            module,
+            secret,
+            boot_seed,
+            kpti: true,
+        }
+    }
+
     /// Whether KPTI-style TLB separation is active (default: on, like
     /// the paper's hardened baseline). Phantom is KPTI-oblivious — the
     /// BTB is trained by the *branch*, not by touching kernel mappings —

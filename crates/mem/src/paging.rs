@@ -274,6 +274,74 @@ impl PageTable {
         self.lookup(va).map(|m| m.flags)
     }
 
+    /// Move the 4 KiB mappings of `pages` consecutive pages from
+    /// `old_base` to `new_base`, preserving each page's frame and
+    /// flags. Pages unmapped at the source stay unmapped at the
+    /// destination; pre-existing destination mappings are replaced.
+    /// Overlap-safe: every source entry is removed before any
+    /// destination entry is inserted, so rebasing a region onto an
+    /// overlapping one (KASLR slots are closer together than the
+    /// kernel image is long) never drops or duplicates an entry.
+    ///
+    /// Returns the number of mappings moved. A no-op rebase (equal
+    /// bases, or nothing mapped in the source range) leaves the
+    /// version stamps untouched, like the other no-op mutators.
+    pub fn rebase_4k_range(&mut self, old_base: VirtAddr, new_base: VirtAddr, pages: u64) -> usize {
+        debug_assert!(
+            old_base.is_aligned(1 << PAGE_SHIFT) && new_base.is_aligned(1 << PAGE_SHIFT),
+            "unaligned 4k rebase {old_base} -> {new_base}"
+        );
+        if old_base == new_base || pages == 0 {
+            return 0;
+        }
+        let small = Arc::make_mut(&mut self.small);
+        let mut moved = Vec::new();
+        for i in 0..pages {
+            let key = (old_base + (i << PAGE_SHIFT)).page_number();
+            if let Some(m) = small.remove(&key) {
+                moved.push((i, m));
+            }
+        }
+        for &(i, m) in &moved {
+            small.insert((new_base + (i << PAGE_SHIFT)).page_number(), m);
+        }
+        if !moved.is_empty() {
+            self.bump_version(old_base);
+            self.bump_version(new_base);
+        }
+        moved.len()
+    }
+
+    /// Move the 2 MiB huge mappings of `count` consecutive huge pages
+    /// from `old_base` to `new_base`. Same contract as
+    /// [`PageTable::rebase_4k_range`], for the huge map (physmap
+    /// rebasing after a cached boot).
+    pub fn rebase_2m_range(&mut self, old_base: VirtAddr, new_base: VirtAddr, count: u64) -> usize {
+        debug_assert!(
+            old_base.is_aligned(HUGE_PAGE_SIZE) && new_base.is_aligned(HUGE_PAGE_SIZE),
+            "unaligned 2M rebase {old_base} -> {new_base}"
+        );
+        if old_base == new_base || count == 0 {
+            return 0;
+        }
+        let huge = Arc::make_mut(&mut self.huge);
+        let mut moved = Vec::new();
+        for i in 0..count {
+            let key = (old_base.raw() + i * HUGE_PAGE_SIZE) >> HUGE_PAGE_SHIFT;
+            if let Some(m) = huge.remove(&key) {
+                moved.push((i, m));
+            }
+        }
+        for &(i, m) in &moved {
+            huge.insert((new_base.raw() + i * HUGE_PAGE_SIZE) >> HUGE_PAGE_SHIFT, m);
+        }
+        if !moved.is_empty() {
+            self.bump_version(old_base);
+            self.bump_version(new_base);
+        }
+        moved.len()
+    }
+
     /// Mutation stamp: unchanged version means unchanged table, so a
     /// translation cached against this version is still exact. Stamps
     /// are process-globally unique — a value identifies one specific
@@ -673,6 +741,115 @@ mod tests {
             )
             .is_ok());
         assert!(pt.version() > clone.version());
+    }
+
+    #[test]
+    fn rebase_4k_moves_translations_and_skips_holes() {
+        let mut pt = PageTable::new();
+        // Map pages 0 and 2 of a 3-page region; leave page 1 a hole.
+        for (i, flags) in [(0u64, PageFlags::KERNEL_TEXT), (2, PageFlags::KERNEL_DATA)] {
+            pt.map_4k(
+                VirtAddr::new(0x10_0000 + (i << 12)),
+                PhysAddr::new(0x50_000 + (i << 12)),
+                flags,
+            );
+        }
+        let moved = pt.rebase_4k_range(VirtAddr::new(0x10_0000), VirtAddr::new(0x40_0000), 3);
+        assert_eq!(moved, 2);
+        // Old range fully unmapped, new range has the same frames/flags.
+        for i in 0..3u64 {
+            assert!(pt.flags_of(VirtAddr::new(0x10_0000 + (i << 12))).is_none());
+        }
+        assert_eq!(
+            pt.translate(
+                VirtAddr::new(0x40_0000 + 0xabc),
+                AccessKind::Execute,
+                PrivilegeLevel::Supervisor
+            )
+            .unwrap(),
+            PhysAddr::new(0x50_abc)
+        );
+        assert!(pt.flags_of(VirtAddr::new(0x40_1000)).is_none());
+        assert_eq!(
+            pt.flags_of(VirtAddr::new(0x40_2000)),
+            Some(PageFlags::KERNEL_DATA)
+        );
+    }
+
+    #[test]
+    fn rebase_4k_survives_overlapping_ranges() {
+        // KASLR image slots are 2 MiB apart but the image spans ~4 MiB,
+        // so source and destination overlap. Model that with a 4-page
+        // region shifted by one page, both directions.
+        for shift in [1i64, -1] {
+            let mut pt = PageTable::new();
+            for i in 0..4u64 {
+                pt.map_4k(
+                    VirtAddr::new(0x10_0000 + (i << 12)),
+                    PhysAddr::new(0x70_000 + (i << 12)),
+                    PageFlags::KERNEL_TEXT,
+                );
+            }
+            let new_base = VirtAddr::new((0x10_0000i64 + shift * 0x1000) as u64);
+            assert_eq!(pt.rebase_4k_range(VirtAddr::new(0x10_0000), new_base, 4), 4);
+            assert_eq!(pt.len(), 4, "no entries dropped or duplicated");
+            for i in 0..4u64 {
+                let pa = pt
+                    .translate(
+                        new_base + (i << 12),
+                        AccessKind::Read,
+                        PrivilegeLevel::Supervisor,
+                    )
+                    .unwrap();
+                assert_eq!(pa, PhysAddr::new(0x70_000 + (i << 12)), "shift {shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_2m_moves_huge_mappings() {
+        let mut pt = PageTable::new();
+        for i in 0..4u64 {
+            pt.map_2m(
+                VirtAddr::new(0x4000_0000 + i * HUGE_PAGE_SIZE),
+                PhysAddr::new(i * HUGE_PAGE_SIZE),
+                PageFlags::KERNEL_DATA,
+            );
+        }
+        let moved = pt.rebase_2m_range(VirtAddr::new(0x4000_0000), VirtAddr::new(0x8000_0000), 4);
+        assert_eq!(moved, 4);
+        assert!(pt.flags_of(VirtAddr::new(0x4000_0000)).is_none());
+        let pa = pt
+            .translate(
+                VirtAddr::new(0x8000_0000 + 2 * HUGE_PAGE_SIZE + 0x123),
+                AccessKind::Read,
+                PrivilegeLevel::Supervisor,
+            )
+            .unwrap();
+        assert_eq!(pa, PhysAddr::new(2 * HUGE_PAGE_SIZE + 0x123));
+    }
+
+    #[test]
+    fn rebase_no_op_leaves_version_alone() {
+        let mut pt = table();
+        let v = pt.version();
+        // Equal bases and empty source ranges are no-ops.
+        assert_eq!(
+            pt.rebase_4k_range(VirtAddr::new(0x1000), VirtAddr::new(0x1000), 4),
+            0
+        );
+        assert_eq!(
+            pt.rebase_4k_range(VirtAddr::new(0x90_0000), VirtAddr::new(0xa0_0000), 4),
+            0
+        );
+        assert_eq!(
+            pt.rebase_2m_range(VirtAddr::new(0x4000_0000), VirtAddr::new(0x8000_0000), 4),
+            0
+        );
+        assert_eq!(pt.version(), v);
+        // A real rebase bumps it.
+        assert!(pt.rebase_4k_range(VirtAddr::new(0x1000), VirtAddr::new(0x8000), 1) == 1);
+        assert!(pt.version() > v);
     }
 
     #[test]

@@ -37,6 +37,82 @@ struct Frame {
     epoch: u64,
 }
 
+/// Upper bound on pooled retired frames. A trial dirties a few dozen
+/// frames; the bound only exists so a pathological workload cannot pin
+/// unbounded memory in the pool.
+const FRAME_POOL_CAP: usize = 4096;
+
+/// Recycler for retired frame allocations: frames displaced by
+/// [`PhysMemory::restore_from`] whose contents nothing else references
+/// are kept and handed back to the next copy-on-write fault instead of
+/// round-tripping through the allocator.
+///
+/// The pool only ever holds `Arc`s with a strong count of exactly one
+/// (and no weak references), so a pooled buffer can never alias a live
+/// frame; `take` transfers that exclusive ownership to the caller.
+#[derive(Debug, Default)]
+struct FramePool {
+    free: Vec<Arc<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl FramePool {
+    /// Retire a frame buffer into the pool if nothing else can see it.
+    fn put(&mut self, buf: Arc<[u8; PAGE_SIZE as usize]>) {
+        if self.free.len() < FRAME_POOL_CAP
+            && Arc::strong_count(&buf) == 1
+            && Arc::weak_count(&buf) == 0
+        {
+            self.free.push(buf);
+        }
+    }
+
+    fn take(&mut self) -> Option<Arc<[u8; PAGE_SIZE as usize]>> {
+        self.free.pop()
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    #[cfg(test)]
+    fn entries(&self) -> &[Arc<[u8; PAGE_SIZE as usize]>] {
+        &self.free
+    }
+}
+
+#[cfg(test)]
+impl PhysMemory {
+    /// Test-only invariant check: every pooled buffer is exclusively
+    /// owned and is not the backing store of any live frame.
+    pub(crate) fn pool_is_alias_free(&self) -> bool {
+        self.pool.entries().iter().all(|buf| {
+            Arc::strong_count(buf) == 1
+                && Arc::weak_count(buf) == 0
+                && !self
+                    .frames
+                    .values()
+                    .any(|frame| Arc::ptr_eq(&frame.data, buf))
+        })
+    }
+}
+
+/// Pooled buffers are exclusively owned, so sharing them with a clone
+/// would break the no-aliasing invariant: clones start with an empty
+/// pool and refill from their own retired frames.
+impl Clone for FramePool {
+    fn clone(&self) -> FramePool {
+        FramePool::default()
+    }
+}
+
+fn env_toggle(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => v != "0",
+        Err(_) => default,
+    }
+}
+
 /// Sparse, frame-granular physical memory.
 ///
 /// Frames are 4 KiB and materialized lazily so "64 GiB" machines (Table 5
@@ -75,18 +151,48 @@ pub struct PhysMemory {
     /// Current write epoch. Bumped by `snapshot` so writes after a
     /// checkpoint are distinguishable from the state it captured.
     epoch: u64,
+    /// Dirty-frame journal: one `(epoch, page)` entry per frame whose
+    /// epoch was raised, in raise order — epochs are therefore
+    /// non-decreasing, so the entries newer than a checkpoint's cutoff
+    /// are a suffix found by binary search. `restore_from` walks that
+    /// suffix (O(dirtied)) instead of scanning every resident frame.
+    /// Always maintained; `journal_enabled` only selects the rewind
+    /// path so the toggle can flip at any point.
+    journal: Vec<(u64, u64)>,
+    journal_enabled: bool,
+    pool: FramePool,
+    pool_enabled: bool,
     cow_faults: u64,
     restore_frames_copied: u64,
+    rewind_journal_frames: u64,
+    frame_pool_reuses: u64,
 }
 
 impl PhysMemory {
     /// Create a physical memory of `capacity` bytes (rounded down to a
-    /// whole number of frames).
+    /// whole number of frames). The journaled-rewind and frame-pool
+    /// fast paths are on by default; `PHANTOM_REWIND_JOURNAL=0` /
+    /// `PHANTOM_FRAME_POOL=0` select the legacy paths (both produce
+    /// byte-identical contents — the toggles exist for A/B timing).
     pub fn new(capacity: u64) -> PhysMemory {
         PhysMemory {
             capacity: capacity & !(PAGE_SIZE - 1),
+            journal_enabled: env_toggle("PHANTOM_REWIND_JOURNAL", true),
+            pool_enabled: env_toggle("PHANTOM_FRAME_POOL", true),
             ..PhysMemory::default()
         }
+    }
+
+    /// Select the journaled (fast) or full-scan (legacy) rewind path.
+    /// Both restore identical contents and counters; see
+    /// [`restore_from`](PhysMemory::restore_from).
+    pub fn set_rewind_journal(&mut self, enabled: bool) {
+        self.journal_enabled = enabled;
+    }
+
+    /// Enable or disable frame-pool recycling of retired frames.
+    pub fn set_frame_pool(&mut self, enabled: bool) {
+        self.pool_enabled = enabled;
     }
 
     /// Total capacity in bytes.
@@ -210,20 +316,99 @@ impl PhysMemory {
         // dirty with respect to all of them.
         self.epoch = self.epoch.max(snap.epoch + 1);
         let epoch = self.epoch;
-        let mut copied = Vec::new();
-        for (page, frame) in &mut self.frames {
-            if frame.epoch <= snap.epoch {
-                continue; // untouched since the checkpoint
+        let copied = if self.journal_enabled {
+            // Journal epochs are non-decreasing, so everything written
+            // after the checkpoint is the suffix past this boundary.
+            let boundary = self.journal.partition_point(|&(e, _)| e <= snap.epoch);
+            let mut dirty: Vec<u64> = self.journal[boundary..].iter().map(|&(_, p)| p).collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            self.rewind_journal_frames += dirty.len() as u64;
+            debug_assert!(
+                {
+                    let scan: std::collections::BTreeSet<u64> = self
+                        .frames
+                        .iter()
+                        .filter(|(_, f)| f.epoch > snap.epoch)
+                        .map(|(p, _)| *p)
+                        .collect();
+                    scan == dirty.iter().copied().collect()
+                },
+                "journal disagrees with a full dirty-frame scan"
+            );
+            let mut copied = Vec::with_capacity(dirty.len());
+            for page in dirty {
+                let frame = self
+                    .frames
+                    .get_mut(&page)
+                    .expect("journaled frames are resident");
+                if frame.epoch <= snap.epoch {
+                    continue; // journal entry superseded by an older restore
+                }
+                let fresh = match snap.frames.get(&page) {
+                    Some(original) => Arc::clone(&original.data),
+                    None => zero_frame(),
+                };
+                let retired = std::mem::replace(&mut frame.data, fresh);
+                frame.epoch = epoch;
+                if self.pool_enabled {
+                    self.pool.put(retired);
+                }
+                copied.push(page);
             }
-            frame.data = match snap.frames.get(page) {
-                Some(original) => Arc::clone(&original.data),
-                None => zero_frame(),
-            };
-            frame.epoch = epoch;
-            copied.push(*page);
-        }
+            copied
+        } else {
+            let mut copied = Vec::new();
+            for (page, frame) in &mut self.frames {
+                if frame.epoch <= snap.epoch {
+                    continue; // untouched since the checkpoint
+                }
+                let fresh = match snap.frames.get(page) {
+                    Some(original) => Arc::clone(&original.data),
+                    None => zero_frame(),
+                };
+                let retired = std::mem::replace(&mut frame.data, fresh);
+                frame.epoch = epoch;
+                if self.pool_enabled {
+                    self.pool.put(retired);
+                }
+                copied.push(*page);
+            }
+            copied
+        };
+        // Rewrite the journal tail: entries above the cutoff are now
+        // stale, and the restored frames were just re-stamped at the
+        // live epoch (so older outstanding checkpoints still see them
+        // as dirty — the interleaved-checkpoint guarantee).
+        let boundary = self.journal.partition_point(|&(e, _)| e <= snap.epoch);
+        self.journal.truncate(boundary);
+        self.journal.extend(copied.iter().map(|&p| (epoch, p)));
         self.restore_frames_copied += copied.len() as u64;
         copied
+    }
+
+    /// Eagerly re-materialize private copies of `pages` (host-side
+    /// warm-fork optimization): each listed frame that currently shares
+    /// contents with a checkpoint pays its 4 KiB copy now instead of at
+    /// the first guest write. Deliberately does **not** count
+    /// `cow_faults` — no guest write happened — so callers must keep it
+    /// out of counter-reference workloads.
+    pub fn prewarm(&mut self, pages: &[u64]) {
+        for &page in pages {
+            let Some(frame) = self.frames.get_mut(&page) else {
+                continue;
+            };
+            if Arc::strong_count(&frame.data) > 1 || Arc::weak_count(&frame.data) > 0 {
+                let mut fresh = match self.pool.take() {
+                    Some(buf) => buf,
+                    None => Arc::new([0u8; PAGE_SIZE as usize]),
+                };
+                Arc::get_mut(&mut fresh)
+                    .expect("pooled frames are exclusively owned")
+                    .copy_from_slice(&frame.data[..]);
+                frame.data = fresh;
+            }
+        }
     }
 
     /// A fully independent copy: every frame's contents are duplicated
@@ -249,6 +434,18 @@ impl PhysMemory {
         self.restore_frames_copied
     }
 
+    /// Dirty frames located via the journal (instead of a full scan) by
+    /// journaled [`restore_from`](PhysMemory::restore_from) calls.
+    pub fn rewind_journal_frames(&self) -> u64 {
+        self.rewind_journal_frames
+    }
+
+    /// Copy-on-write copies and fresh materializations served from the
+    /// retired-frame pool instead of the allocator.
+    pub fn frame_pool_reuses(&self) -> u64 {
+        self.frame_pool_reuses
+    }
+
     /// Resident frames currently sharing contents with a checkpoint (or
     /// the global zero frame) instead of owning a private copy.
     pub fn cow_frames_shared(&self) -> u64 {
@@ -259,19 +456,48 @@ impl PhysMemory {
     }
 
     fn frame_mut(&mut self, pa: PhysAddr) -> &mut [u8; PAGE_SIZE as usize] {
+        use std::collections::hash_map::Entry;
         let epoch = self.epoch;
-        let frame = self
-            .frames
-            .entry(pa.page_number())
-            .or_insert_with(|| Frame {
-                data: Arc::new([0; PAGE_SIZE as usize]),
-                epoch,
-            });
-        frame.epoch = epoch;
-        if Arc::strong_count(&frame.data) > 1 {
+        let page = pa.page_number();
+        let frame = match self.frames.entry(page) {
+            Entry::Occupied(e) => {
+                let frame = e.into_mut();
+                if frame.epoch != epoch {
+                    frame.epoch = epoch;
+                    self.journal.push((epoch, page));
+                }
+                frame
+            }
+            Entry::Vacant(e) => {
+                let data = match self.pool_enabled.then(|| self.pool.take()).flatten() {
+                    Some(mut buf) => {
+                        self.frame_pool_reuses += 1;
+                        Arc::get_mut(&mut buf)
+                            .expect("pooled frames are exclusively owned")
+                            .fill(0);
+                        buf
+                    }
+                    None => Arc::new([0; PAGE_SIZE as usize]),
+                };
+                self.journal.push((epoch, page));
+                e.insert(Frame { data, epoch })
+            }
+        };
+        if Arc::strong_count(&frame.data) > 1 || Arc::weak_count(&frame.data) > 0 {
             self.cow_faults += 1;
+            let mut fresh = match self.pool_enabled.then(|| self.pool.take()).flatten() {
+                Some(buf) => {
+                    self.frame_pool_reuses += 1;
+                    buf
+                }
+                None => Arc::new([0u8; PAGE_SIZE as usize]),
+            };
+            Arc::get_mut(&mut fresh)
+                .expect("pooled frames are exclusively owned")
+                .copy_from_slice(&frame.data[..]);
+            frame.data = fresh;
         }
-        Arc::make_mut(&mut frame.data)
+        Arc::get_mut(&mut frame.data).expect("frame was just unshared")
     }
 
     /// Read one byte. Unmaterialized memory reads as zero.
@@ -483,6 +709,140 @@ mod tests {
         let b = m.alloc_frame().unwrap();
         m.restore_from(&snap);
         assert_eq!(m.alloc_frame().unwrap(), b, "bump pointer rewound");
+    }
+
+    #[test]
+    fn journaled_and_scan_rewinds_agree() {
+        // Same operation sequence on both paths: contents, counters and
+        // the copied-page set must match (the journaled path returns
+        // pages sorted; the scan path in map order).
+        let run = |journal: bool| {
+            let mut m = PhysMemory::new(64 * PAGE_SIZE);
+            m.set_rewind_journal(journal);
+            for i in 0..16 {
+                m.write_u8(PhysAddr::new(i * PAGE_SIZE), i as u8 + 1);
+            }
+            let snap = m.snapshot();
+            m.write_u8(PhysAddr::new(0), 0xaa);
+            m.write_u8(PhysAddr::new(5 * PAGE_SIZE), 0xcc);
+            m.write_u8(PhysAddr::new(40 * PAGE_SIZE), 0xdd); // post-snap frame
+            let mut copied = m.restore_from(&snap);
+            copied.sort_unstable();
+            let state: Vec<u8> = (0..64)
+                .map(|i| m.read_u8(PhysAddr::new(i * PAGE_SIZE)))
+                .collect();
+            (copied, state, m.restore_frames_copied())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn journal_survives_interleaved_restores() {
+        let pa = PhysAddr::new(2 * PAGE_SIZE);
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.set_rewind_journal(true);
+        m.write_u8(pa, 1);
+        let snap_a = m.snapshot();
+        m.write_u8(pa, 2);
+        let snap_b = m.snapshot();
+        m.write_u8(pa, 3);
+
+        m.restore_from(&snap_a);
+        assert_eq!(m.read_u8(pa), 1);
+        // snap_b must still see the frame as dirty after the rewind to
+        // snap_a re-stamped it.
+        m.restore_from(&snap_b);
+        assert_eq!(m.read_u8(pa), 2);
+        m.restore_from(&snap_a);
+        assert_eq!(m.read_u8(pa), 1);
+        assert_eq!(m.rewind_journal_frames(), 3);
+    }
+
+    #[test]
+    fn retired_frames_are_pooled_and_reused() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.write_u8(PhysAddr::new(0), 5);
+        let snap = m.snapshot();
+        m.write_u8(PhysAddr::new(0), 6); // CoW: private copy
+        m.restore_from(&snap); // private copy retired into the pool
+        assert_eq!(m.pool.len(), 1);
+        assert_eq!(m.frame_pool_reuses(), 0);
+        m.write_u8(PhysAddr::new(0), 7); // CoW again: served from the pool
+        assert_eq!(m.pool.len(), 0);
+        assert_eq!(m.frame_pool_reuses(), 1);
+        m.restore_from(&snap);
+        assert_eq!(m.read_u8(PhysAddr::new(0)), 5);
+    }
+
+    #[test]
+    fn pooled_frames_are_rezeroed_for_new_frames() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.write_bytes(PhysAddr::new(0), &[0xff; PAGE_SIZE as usize]);
+        let snap = m.snapshot();
+        m.write_bytes(PhysAddr::new(0), &[0xee; PAGE_SIZE as usize]);
+        m.restore_from(&snap); // pool now holds an all-0xee buffer
+        assert_eq!(m.pool.len(), 1);
+        m.write_u8(PhysAddr::new(9 * PAGE_SIZE) + 17, 1); // new frame from the pool
+        assert_eq!(m.frame_pool_reuses(), 1);
+        for off in 0..PAGE_SIZE {
+            let expect = if off == 17 { 1 } else { 0 };
+            assert_eq!(m.read_u8(PhysAddr::new(9 * PAGE_SIZE) + off), expect);
+        }
+    }
+
+    #[test]
+    fn pool_never_holds_a_shared_frame() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        for i in 0..8 {
+            m.write_u8(PhysAddr::new(i * PAGE_SIZE), i as u8 + 1);
+        }
+        let snap = m.snapshot();
+        for i in 0..8 {
+            m.write_u8(PhysAddr::new(i * PAGE_SIZE), 0xaa);
+        }
+        m.restore_from(&snap);
+        for buf in m.pool.entries() {
+            assert_eq!(Arc::strong_count(buf), 1);
+            assert_eq!(Arc::weak_count(buf), 0);
+        }
+    }
+
+    #[test]
+    fn disabled_pool_retires_nothing() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.set_frame_pool(false);
+        m.write_u8(PhysAddr::new(0), 5);
+        let snap = m.snapshot();
+        m.write_u8(PhysAddr::new(0), 6);
+        m.restore_from(&snap);
+        assert_eq!(m.pool.len(), 0);
+        m.write_u8(PhysAddr::new(0), 7);
+        assert_eq!(m.frame_pool_reuses(), 0);
+    }
+
+    #[test]
+    fn clones_start_with_an_empty_pool() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.write_u8(PhysAddr::new(0), 5);
+        let snap = m.snapshot();
+        m.write_u8(PhysAddr::new(0), 6);
+        m.restore_from(&snap);
+        assert_eq!(m.pool.len(), 1);
+        let clone = m.clone();
+        assert_eq!(clone.pool.len(), 0, "pooled buffers are never shared");
+    }
+
+    #[test]
+    fn prewarm_unshares_without_counting_cow_faults() {
+        let mut m = PhysMemory::new(64 * PAGE_SIZE);
+        m.write_u8(PhysAddr::new(0), 5);
+        let snap = m.snapshot();
+        m.prewarm(&[0]);
+        assert_eq!(m.cow_faults(), 0);
+        m.write_u8(PhysAddr::new(0), 6); // already private: no fault
+        assert_eq!(m.cow_faults(), 0);
+        m.restore_from(&snap);
+        assert_eq!(m.read_u8(PhysAddr::new(0)), 5);
     }
 
     #[test]

@@ -170,6 +170,17 @@ pub struct Machine {
     /// timing- and event-invisible like the decode cache (see
     /// [`trace`]).
     trace_cache: trace::TraceCache,
+    /// Host-side warm-fork toggle: eagerly re-materialize the frames a
+    /// rewind copied (they are exactly the previous trial's dirty set,
+    /// so the next trial almost certainly writes them again). Timing-
+    /// and counter-invisible; defaults off.
+    warm_fork: bool,
+    /// Probe-arena re-arms (see `phantom_sidechannel::ProbeArena`):
+    /// host instrumentation, deliberately preserved across [`restore`]
+    /// like the trace/decode caches' stats.
+    ///
+    /// [`restore`]: Machine::restore
+    probe_rearms: u64,
 }
 
 impl Machine {
@@ -212,6 +223,10 @@ impl Machine {
             trace_cache: trace::TraceCache::new(
                 std::env::var("PHANTOM_TRACE_CACHE").map_or(true, |v| v != "0"),
             ),
+            // Warm forks default off: the canonical bench and campaign
+            // paths never enable them, so A/B arms stay comparable.
+            warm_fork: std::env::var("PHANTOM_WARM_FORK").is_ok_and(|v| v != "0"),
+            probe_rearms: 0,
         }
     }
 
@@ -322,6 +337,27 @@ impl Machine {
     /// Physical memory.
     pub fn phys(&self) -> &PhysMemory {
         &self.phys
+    }
+
+    /// Enable or disable warm forks: when on, a rewind eagerly
+    /// re-materializes private copies of exactly the frames it copied
+    /// back, flattening the cold-step CoW tail of the next trial.
+    /// Contents, timing and guest-visible counters are unaffected.
+    pub fn set_warm_fork(&mut self, enabled: bool) {
+        self.warm_fork = enabled;
+    }
+
+    /// Probe-arena re-arms performed on this machine (its forks start
+    /// from the fork point's count; rewinds preserve it).
+    pub fn probe_rearms(&self) -> u64 {
+        self.probe_rearms
+    }
+
+    /// Record one probe-arena re-arm. Called by
+    /// `phantom_sidechannel::ProbeArena::arm`; host instrumentation
+    /// only.
+    pub fn count_probe_rearm(&mut self) {
+        self.probe_rearms += 1;
     }
 
     /// Physical memory, mutably. Conservatively invalidates the decode

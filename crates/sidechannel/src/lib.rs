@@ -46,7 +46,7 @@ pub mod threshold;
 pub use evict_time::EvictTime;
 pub use flush_reload::{flush, flush_reload, flush_reload_scored, reload};
 pub use noise::NoiseModel;
-pub use prime_probe::{PrimeProbe, ProbeError, ProbeLevel, ProbeResult};
+pub use prime_probe::{BuildError, PrimeProbe, ProbeArena, ProbeError, ProbeLevel, ProbeResult};
 pub use reading::{Confidence, Reading, VoteTally};
 pub use score::{bounded_score, SCORE_CLAMP};
 pub use threshold::{Calibration, CalibrationError, Recalibrator};

@@ -131,11 +131,23 @@ impl PrimeProbe {
         // One page per way; the in-page offset selects the set (VIPT:
         // VA bits [11:6] == PA bits [11:6] for 4 KiB pages).
         let mut lines = Vec::with_capacity(geometry.ways);
+        let mut mapped_here = Vec::new();
         for way in 0..geometry.ways {
             let page = attacker_base + (way as u64) * 4096;
-            machine
-                .map_range(page, 4096, flags)
-                .map_err(|e| BuildError(e.to_string()))?;
+            let fresh = machine.page_table().flags_of(page).is_none();
+            if let Err(e) = machine.map_range(page, 4096, flags) {
+                // Unwind the pages *this* construction mapped (and only
+                // those — pre-mapped arena pages the loop no-op'd over
+                // belong to the caller), so a failed build does not leak
+                // a partial probe buffer into the address space.
+                for &leaked in &mapped_here {
+                    machine.unmap_range(leaked, 4096);
+                }
+                return Err(BuildError(e.to_string()));
+            }
+            if fresh {
+                mapped_here.push(page);
+            }
             lines.push(page + (set as u64) * geometry.line_size as u64);
         }
         Ok(PrimeProbe { level, set, lines })
@@ -344,6 +356,108 @@ impl PrimeProbe {
     }
 }
 
+/// A persistent probe arena: the attacker pages an L1 eviction set
+/// lives in, mapped **once** (typically before a checkpoint is taken)
+/// and re-armed in place every trial.
+///
+/// [`PrimeProbe::new_l1i`]/[`new_l1d`](PrimeProbe::new_l1d) walk
+/// `map_range` over every way page on each construction; with the
+/// arena's pages already mapped those walks are pure no-ops, so
+/// [`arm`](ProbeArena::arm) skips them entirely and just lays the
+/// eviction set out over the standing mapping. Because `map_range` over
+/// an identically-flagged mapped page charges no cycles, bumps no
+/// page-table version and allocates no frame, an armed probe is
+/// byte-identical to a freshly constructed one — the arena removes host
+/// work only.
+///
+/// The descriptor is `Copy`: it holds addresses and geometry, never
+/// machine state, so it can ride in a config struct across forks while
+/// the mapping itself lives in the (checkpointed) machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeArena {
+    level: ProbeLevel,
+    base: VirtAddr,
+    ways: usize,
+    sets: usize,
+    line_size: usize,
+}
+
+impl ProbeArena {
+    /// Map the arena for `level` at `base` (one page per way, same
+    /// flags as the corresponding `PrimeProbe` constructor) and return
+    /// its descriptor. Install before checkpointing so every fork
+    /// inherits the standing mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if `base` is unaligned or mapping fails;
+    /// a failed install unwinds the pages it mapped.
+    pub fn install(
+        machine: &mut Machine,
+        base: VirtAddr,
+        level: ProbeLevel,
+    ) -> Result<ProbeArena, BuildError> {
+        let geometry = match level {
+            ProbeLevel::L1I => machine.caches().config().l1i,
+            ProbeLevel::L1D => machine.caches().config().l1d,
+            ProbeLevel::L2 => {
+                return Err(BuildError("L2 probes use huge pages, not arenas".into()))
+            }
+        };
+        // Building set 0 maps exactly the arena pages (and unwinds them
+        // if anything fails); the probe handle itself is discarded.
+        PrimeProbe::new_l1(machine, base, 0, level)?;
+        Ok(ProbeArena {
+            level,
+            base,
+            ways: geometry.ways,
+            sets: geometry.sets,
+            line_size: geometry.line_size,
+        })
+    }
+
+    /// The cache the arena's eviction sets target.
+    pub fn level(&self) -> ProbeLevel {
+        self.level
+    }
+
+    /// The arena's base address.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Re-arm: lay out the eviction set for `set` over the standing
+    /// mapping, without touching the page table. Counts one re-arm on
+    /// the machine's `probe_rearms` instrumentation counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if `set` is out of range or an arena page
+    /// is no longer mapped (the arena must be re-installed — e.g. after
+    /// rewinding past its install point).
+    pub fn arm(&self, machine: &mut Machine, set: usize) -> Result<PrimeProbe, BuildError> {
+        if set >= self.sets {
+            return Err(BuildError(format!("set {set} out of range")));
+        }
+        let mut lines = Vec::with_capacity(self.ways);
+        for way in 0..self.ways {
+            let page = self.base + (way as u64) * 4096;
+            if machine.page_table().flags_of(page).is_none() {
+                return Err(BuildError(format!(
+                    "arena page {page} is not mapped (arena not installed?)"
+                )));
+            }
+            lines.push(page + (set as u64) * self.line_size as u64);
+        }
+        machine.count_probe_rearm();
+        Ok(PrimeProbe {
+            level: self.level,
+            set,
+            lines,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,5 +658,107 @@ mod tests {
         assert!(PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0000), 999).is_err());
         assert!(PrimeProbe::new_l1d(&mut m, VirtAddr::new(0x5000_0001), 0).is_err());
         assert!(PrimeProbe::new_l2(&mut m, VirtAddr::new(0x1000), 0).is_err());
+    }
+
+    #[test]
+    fn failed_build_unmaps_its_partial_probe_buffer() {
+        // Regression: a mid-construction `map_range` failure used to
+        // leave the already-mapped way pages behind.
+        let mut m = machine();
+        let base = VirtAddr::new(0x5000_0000);
+        // Poison way 3 with conflicting flags so the build fails there.
+        m.map_range(base + 3 * 4096, 4096, PageFlags::USER_DATA)
+            .unwrap();
+        assert!(PrimeProbe::new_l1i(&mut m, base, 5).is_err());
+        for way in 0..3u64 {
+            assert!(
+                m.page_table().flags_of(base + way * 4096).is_none(),
+                "way {way} page leaked by the failed build"
+            );
+        }
+        // The page the build did not create is untouched.
+        assert_eq!(
+            m.page_table().flags_of(base + 3 * 4096),
+            Some(PageFlags::USER_DATA)
+        );
+    }
+
+    #[test]
+    fn failed_build_keeps_preexisting_mappings() {
+        // Pages that were already mapped compatibly (an installed
+        // arena, say) belong to the caller: the unwind must not touch
+        // them.
+        let mut m = machine();
+        let base = VirtAddr::new(0x5000_0000);
+        m.map_range(base, 2 * 4096, PageFlags::USER_TEXT).unwrap();
+        m.map_range(base + 3 * 4096, 4096, PageFlags::USER_DATA)
+            .unwrap();
+        assert!(PrimeProbe::new_l1i(&mut m, base, 5).is_err());
+        for way in 0..2u64 {
+            assert_eq!(
+                m.page_table().flags_of(base + way * 4096),
+                Some(PageFlags::USER_TEXT),
+                "pre-existing way {way} page must survive the unwind"
+            );
+        }
+        assert!(m.page_table().flags_of(base + 2 * 4096).is_none());
+    }
+
+    #[test]
+    fn armed_probe_equals_a_fresh_construction() {
+        let mut fresh = machine();
+        let mut arena_m = machine();
+        let base = VirtAddr::new(0x5000_0000);
+        let arena = ProbeArena::install(&mut arena_m, base, ProbeLevel::L1I).unwrap();
+        for set in [0usize, 9, 43] {
+            let a = PrimeProbe::new_l1i(&mut fresh, base, set).unwrap();
+            let b = arena.arm(&mut arena_m, set).unwrap();
+            assert_eq!(a.level(), b.level());
+            assert_eq!(a.set(), b.set());
+            assert_eq!(a.lines(), b.lines());
+        }
+        assert_eq!(arena_m.probe_rearms(), 3);
+        assert_eq!(fresh.probe_rearms(), 0);
+    }
+
+    #[test]
+    fn armed_probe_detects_the_victim_like_a_fresh_one() {
+        let mut m = machine();
+        let mut noise = NoiseModel::quiet(0);
+        let set = 9;
+        let arena =
+            ProbeArena::install(&mut m, VirtAddr::new(0x5000_0000), ProbeLevel::L1D).unwrap();
+        let pp = arena.arm(&mut m, set).unwrap();
+        pp.prime(&mut m).unwrap();
+        let victim = VirtAddr::new(0x6000_0000 + set as u64 * 64);
+        m.map_range(victim, 64, PageFlags::USER_DATA).unwrap();
+        let pa = m
+            .page_table()
+            .translate(victim, AccessKind::Read, PrivilegeLevel::User)
+            .unwrap();
+        m.caches_mut().access_data(pa.raw());
+        assert_eq!(pp.probe(&mut m, &mut noise).unwrap().evictions, 1);
+    }
+
+    #[test]
+    fn arm_requires_the_standing_mapping() {
+        let mut m = machine();
+        let base = VirtAddr::new(0x5000_0000);
+        let arena = ProbeArena::install(&mut m, base, ProbeLevel::L1D).unwrap();
+        assert!(arena.arm(&mut m, 999).is_err(), "set out of range");
+        m.unmap_range(base, 4096);
+        assert!(arena.arm(&mut m, 0).is_err(), "arena page gone");
+        // Arenas survive checkpoint rewinds taken after the install.
+        let mut m = machine();
+        let arena = ProbeArena::install(&mut m, base, ProbeLevel::L1D).unwrap();
+        let snap = m.checkpoint();
+        snap.rewind(&mut m);
+        assert!(arena.arm(&mut m, 0).is_ok());
+    }
+
+    #[test]
+    fn arena_rejects_l2() {
+        let mut m = machine();
+        assert!(ProbeArena::install(&mut m, VirtAddr::new(0x4000_0000), ProbeLevel::L2).is_err());
     }
 }

@@ -41,6 +41,7 @@ fn p1_kaslr_probe_is_blind_on_intel() {
     let cfg = PrimitiveConfig {
         pattern: 0, // exact-address aliasing — the best case
         attacker_base: VirtAddr::new(0x5000_0000),
+        arena: None,
     };
     let mut noise = NoiseModel::quiet(0);
     let victim = sys.image().listing1_nop;

@@ -35,6 +35,7 @@ fn recovered_pattern_drives_a_real_cross_privilege_attack() {
     let cfg = PrimitiveConfig {
         pattern,
         attacker_base: VirtAddr::new(0x5000_0000),
+        arena: None,
     };
     let mut noise = NoiseModel::quiet(0);
     let victim = sys.image().listing1_nop;
