@@ -232,6 +232,9 @@ fn report_trace_rates(_c: &mut Criterion) {
         let boot_salt = match scenario {
             CampaignScenario::Fetch => 0xc0de,
             CampaignScenario::Execute => 0xe8ec,
+            // The PHT channel probes predictor state, not caches, so it
+            // has no trace-replay rate to report.
+            CampaignScenario::Pht => unreachable!("loop covers the covert scenarios only"),
         };
         let mut sys =
             System::new(UarchProfile::zen2(), 1 << 30, seed ^ boot_salt).expect("system boots");
@@ -249,6 +252,7 @@ fn report_trace_rates(_c: &mut Criterion) {
                 sys.image().listing3_gadget,
                 sys.layout().physmap_base() + 0x10_0000 + 29 * 64,
             ),
+            CampaignScenario::Pht => unreachable!("loop covers the covert scenarios only"),
         };
         let snap = sys.machine_mut().checkpoint();
         let mut noise = NoiseModel::quiet(seed);
@@ -260,6 +264,7 @@ fn report_trace_rates(_c: &mut Criterion) {
                 CampaignScenario::Execute => {
                     p2_probe_scored(&mut sys, &cfg, victim, gadget, t1, &mut noise)
                 }
+                CampaignScenario::Pht => unreachable!("loop covers the covert scenarios only"),
             }
             .expect("probe runs");
         }

@@ -16,6 +16,8 @@
 //! repro ablation          design-parameter sweeps (latency / ways / noise)
 //! repro noise-sweep [bits] noise-robustness sweep (adaptive channel
 //!                         accuracy / probe spend per noise knob)
+//! repro pht-channel [bits] BranchSpectre-style secret recovery through
+//!                         the conditional predictor's counters
 //! repro overhead          §6.3     (mitigation overhead suite)
 //! repro gadgets           §9.1     (gadget census)
 //! repro list-uarchs       registered microarchitectures
@@ -42,15 +44,18 @@ use phantom::mitigations::{
     rsb_stuffing_protection, sls_padding_protection, suppress_overhead_on,
 };
 use phantom::report;
-use phantom::report::json::{diff, BenchSnapshot, NoiseSweepRecord, Tolerance, SCHEMA};
+use phantom::report::json::{
+    diff, BenchSnapshot, NoiseSweepRecord, PhtChannelRecord, Tolerance, SCHEMA,
+};
 use phantom::report::value::JsonValue;
 use phantom::runner::TrialRunner;
 use phantom::spectre::{spectre_v2_leak, window_comparison};
 use phantom::{UarchProfile, UarchRegistry};
 use phantom_bench::campaign::{self, CampaignConfig};
 use phantom_bench::{
-    collect_snapshot, run_figure6_on, run_figure7, run_mds_on, run_noise_sweep_on, run_table1_on,
-    run_table2_on, run_table3_on, run_table4_on, run_table5_on, timed, BenchConfig,
+    collect_snapshot, run_figure6_on, run_figure7, run_mds_on, run_noise_sweep_on,
+    run_pht_channel_on, run_table1_on, run_table2_on, run_table3_on, run_table4_on, run_table5_on,
+    timed, BenchConfig,
 };
 
 const USAGE: &str = "\
@@ -73,10 +78,14 @@ usage: repro [command] [n] [flags]
   noise-sweep [bits] noise-robustness sweep (adaptive channel accuracy,
                     probe spend, abstentions per noise knob; --json
                     writes the records, --baseline gates the quiet end)
+  pht-channel [bits] PHT channel: BranchSpectre-style secret recovery
+                    through the conditional predictor's counters alone
+                    (no cache probe), one row per builtin AMD part;
+                    --json writes the records, --baseline gates accuracy
   overhead          \u{a7}6.3     (mitigation overhead suite)
   gadgets           \u{a7}9.1     (gadget census)
   serve             campaign service: run the (uarch x scenario x
-                    noise-point) job grid — 40 jobs, 10240 trials by
+                    noise-point) job grid — 60 jobs, 15360 trials by
                     default — streaming one JSONL record per job
   list-uarchs       list registered microarchitectures (builtins + --spec)
   bench             run everything, write a machine-readable snapshot
@@ -87,8 +96,11 @@ flags:
                       (repeatable); filters figure6's sweep and the
                       serve grid
   --spec <file>       register uarch specs from a phantom-uarch-spec v1
-                      file (repeatable); alone, runs figure6 over the
-                      file's uarches as a smoke sweep
+                      file (repeatable); files may carry an optional
+                      `cbp` block describing the conditional predictor's
+                      set-indexed, history-mixed geometry (omitting it
+                      keeps the legacy per-PC table); alone, runs
+                      figure6 over the file's uarches as a smoke sweep
   --workers <n>       trial-runner thread count for this invocation;
                       takes precedence over PHANTOM_THREADS (the env
                       var is not consulted — or validated — when
@@ -179,19 +191,24 @@ fn figure6(r: &TrialRunner, profiles: &[UarchProfile]) -> Result<(), phantom_ben
     Ok(())
 }
 
-/// `list-uarchs`: every registered spec, builtin or loaded via `--spec`.
+/// `list-uarchs`: every registered spec, builtin or loaded via `--spec`,
+/// with compact BTB and CBP geometry descriptors so predictor changes
+/// made in a spec's `cbp` block are visible at a glance.
 fn list_uarchs(registry: &UarchRegistry) {
     println!(
-        "{:<10} {:<26} {:<22} {:<6} {}",
-        "key", "name", "model", "vendor", "phantom-exec-uops"
+        "{:<10} {:<26} {:<22} {:<6} {:<12} {:<20} {}",
+        "key", "name", "model", "vendor", "btb", "cbp", "phantom-exec-uops"
     );
     for spec in registry.specs() {
+        let profile = spec.profile();
         println!(
-            "{:<10} {:<26} {:<22} {:<6} {}",
+            "{:<10} {:<26} {:<22} {:<6} {:<12} {:<20} {}",
             spec.key,
             spec.name,
             spec.model,
             spec.vendor.to_string().to_ascii_lowercase(),
+            profile.btb_scheme.summary(),
+            profile.cbp_scheme.summary(),
             spec.phantom_exec_uops
         );
     }
@@ -394,6 +411,94 @@ fn noise_sweep(
                 baseline_path.display(),
                 tol.accuracy_pp,
                 base_sweep.iter().filter(|p| p.is_quiet()).count()
+            );
+        } else {
+            eprintln!(
+                "{} regression(s) against {}:",
+                regressions.len(),
+                baseline_path.display()
+            );
+            for reg in &regressions {
+                eprintln!("  {reg}");
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
+/// The PHT channel (`pht-channel`): BranchSpectre-style secret recovery
+/// through the conditional predictor's counters alone, one row per
+/// builtin AMD part. `--json` writes the records under the bench
+/// schema; `--baseline` gates per-uarch accuracy against a committed
+/// snapshot and exits 1 on regression, mirroring the `bench` diff gate.
+fn pht_channel(
+    r: &TrialRunner,
+    bits: usize,
+    flags: &BenchFlags,
+    json_given: bool,
+) -> Result<(), phantom_bench::RunnerError> {
+    let t = timed(r, |r| run_pht_channel_on(r, bits, 600))?;
+    println!("PHT channel ({bits} bits, realistic noise, no cache probe):");
+    println!(
+        "  {:<26} {:>12} {:>9} {:>10} {:>8} {:>6} {:>6}",
+        "uarch", "alias-flip", "accuracy", "bits/s", "probes", "abst", "conf"
+    );
+    for row in &t.result {
+        println!(
+            "  {:<26} {:>12} {:>8.1}% {:>10.0} {:>8} {:>6} {:>6.2}",
+            row.uarch.as_str(),
+            format!("{:#x}", row.flip_mask),
+            row.accuracy * 100.0,
+            row.bits_per_sec,
+            row.probes,
+            row.abstentions,
+            row.mean_confidence,
+        );
+    }
+    eprintln!("[pht-channel: {}]", t.wall_note());
+    let records: Vec<PhtChannelRecord> = t.result.iter().map(PhtChannelRecord::from).collect();
+
+    if json_given {
+        let mut root = JsonValue::object();
+        root.set("schema", JsonValue::Str(SCHEMA.to_string()));
+        root.set(
+            "pht_channel",
+            JsonValue::Array(records.iter().map(PhtChannelRecord::to_json).collect()),
+        );
+        std::fs::write(&flags.json, root.to_pretty_string())
+            .map_err(|e| format!("write {}: {e}", flags.json.display()))?;
+        eprintln!("[pht-channel: wrote {}]", flags.json.display());
+    }
+
+    if let Some(baseline_path) = &flags.baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        let baseline = BenchSnapshot::from_json_str(&text)?;
+        let tol = match flags.tolerance {
+            Some(pct) => Tolerance::uniform(pct),
+            None => Tolerance::default(),
+        };
+        let mut regressions: Vec<String> = Vec::new();
+        let base_rows = baseline.pht_channel.as_deref().unwrap_or(&[]);
+        for base_row in base_rows {
+            match records.iter().find(|c| c.uarch == base_row.uarch) {
+                Some(cur) if (base_row.accuracy - cur.accuracy) * 100.0 > tol.accuracy_pp => {
+                    regressions.push(format!(
+                        "pht_channel[{}].accuracy: {} -> {}",
+                        base_row.uarch, base_row.accuracy, cur.accuracy
+                    ));
+                }
+                None => regressions.push(format!("pht_channel[{}] missing", base_row.uarch)),
+                _ => {}
+            }
+        }
+        if regressions.is_empty() {
+            println!(
+                "no pht-channel regressions against {} (tolerance: {}pp accuracy, {} baseline row(s))",
+                baseline_path.display(),
+                tol.accuracy_pp,
+                base_rows.len()
             );
         } else {
             eprintln!(
@@ -736,17 +841,11 @@ fn main() {
     for path in &spec_paths {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
-            Err(e) => {
-                eprintln!("--spec {}: {e}", path.display());
-                std::process::exit(2);
-            }
+            Err(e) => usage_error(&format!("--spec {}: {e}", path.display())),
         };
         match registry.register_text(&text) {
             Ok(keys) => spec_keys.extend(keys),
-            Err(e) => {
-                eprintln!("--spec {}: {e}", path.display());
-                std::process::exit(2);
-            }
+            Err(e) => usage_error(&format!("--spec {}: {e}", path.display())),
         }
     }
 
@@ -855,6 +954,12 @@ fn main() {
             cfg.bits = num(1, cfg.bits);
             noise_sweep(&r, &cfg, &flags, json_given)
         }
+        "pht-channel" => pht_channel(
+            &r,
+            num(1, if full() { 4096 } else { 128 }),
+            &flags,
+            json_given,
+        ),
         "overhead" => overhead(&r),
         "gadgets" => {
             gadgets();
@@ -874,6 +979,7 @@ fn main() {
             .and_then(|()| spectre())
             .and_then(|()| ablation())
             .and_then(|()| noise_sweep(&r, &NoiseSweepConfig::quick(500), &flags, false))
+            .and_then(|()| pht_channel(&r, 128, &flags, false))
             .and_then(|()| overhead(&r))
             .map(|()| gadgets()),
         "help" | "--help" | "-h" => {

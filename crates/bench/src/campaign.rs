@@ -17,9 +17,10 @@
 
 use std::io::Write;
 
+use phantom::attacks::{pht_channel_decoded_on, PhtChannelConfig};
 use phantom::covert::{
     execute_channel_decoded_on, fetch_channel_boot_per_trial_on, fetch_channel_decoded_on,
-    CovertConfig, CovertResult,
+    CovertConfig,
 };
 use phantom::decode::DecoderConfig;
 use phantom::report::json::SCHEMA;
@@ -38,6 +39,9 @@ pub enum CampaignScenario {
     /// P2 execute channel (live on Zen 1/2, dead elsewhere — dead rows
     /// are data too).
     Execute,
+    /// PHT channel: BranchSpectre-style recovery through the
+    /// conditional-branch predictor (no cache probe).
+    Pht,
 }
 
 impl CampaignScenario {
@@ -47,6 +51,7 @@ impl CampaignScenario {
         match self {
             CampaignScenario::Fetch => "fetch",
             CampaignScenario::Execute => "execute",
+            CampaignScenario::Pht => "pht",
         }
     }
 
@@ -56,6 +61,7 @@ impl CampaignScenario {
         match s {
             "fetch" => Some(CampaignScenario::Fetch),
             "execute" => Some(CampaignScenario::Execute),
+            "pht" => Some(CampaignScenario::Pht),
             _ => None,
         }
     }
@@ -156,7 +162,11 @@ impl CampaignConfig {
             .collect();
         CampaignConfig {
             uarches,
-            scenarios: vec![CampaignScenario::Fetch, CampaignScenario::Execute],
+            scenarios: vec![
+                CampaignScenario::Fetch,
+                CampaignScenario::Execute,
+                CampaignScenario::Pht,
+            ],
             noise: default_noise_points(),
             bits: 256,
             seed: 0,
@@ -233,25 +243,72 @@ pub fn run_job(
     };
     let noise = job.noise.model(seed);
     let result = match job.scenario {
-        CampaignScenario::Fetch => fetch_channel_decoded_on(
+        CampaignScenario::Fetch => JobMetrics::from_covert(&fetch_channel_decoded_on(
             runner,
             job.profile.clone(),
             covert,
             noise,
             DecoderConfig::default(),
-        )?,
-        CampaignScenario::Execute => execute_channel_decoded_on(
+        )?),
+        CampaignScenario::Execute => JobMetrics::from_covert(&execute_channel_decoded_on(
             runner,
             job.profile.clone(),
             covert,
             noise,
             DecoderConfig::default(),
-        )?,
+        )?),
+        CampaignScenario::Pht => JobMetrics::from_pht(&pht_channel_decoded_on(
+            runner,
+            job.profile.clone(),
+            PhtChannelConfig {
+                bits: cfg.bits,
+                seed,
+            },
+            noise,
+            DecoderConfig::default(),
+        )?),
     };
     Ok(job_record(cfg, job, seed, &result))
 }
 
-fn job_record(cfg: &CampaignConfig, job: &Job, seed: u64, r: &CovertResult) -> JsonValue {
+/// The metric fields every campaign scenario reports, regardless of
+/// which channel produced them. Both covert-channel and PHT-channel
+/// results carry this exact set, so the JSONL record shape stays
+/// uniform across the grid.
+struct JobMetrics {
+    accuracy: f64,
+    seconds: f64,
+    bits_per_sec: f64,
+    probes: u64,
+    abstentions: usize,
+    mean_confidence: f64,
+}
+
+impl JobMetrics {
+    fn from_covert(r: &phantom::covert::CovertResult) -> JobMetrics {
+        JobMetrics {
+            accuracy: r.accuracy,
+            seconds: r.seconds,
+            bits_per_sec: r.bits_per_sec,
+            probes: r.probes,
+            abstentions: r.abstentions,
+            mean_confidence: r.mean_confidence,
+        }
+    }
+
+    fn from_pht(r: &phantom::attacks::PhtChannelResult) -> JobMetrics {
+        JobMetrics {
+            accuracy: r.accuracy,
+            seconds: r.seconds,
+            bits_per_sec: r.bits_per_sec,
+            probes: r.probes,
+            abstentions: r.abstentions,
+            mean_confidence: r.mean_confidence,
+        }
+    }
+}
+
+fn job_record(cfg: &CampaignConfig, job: &Job, seed: u64, r: &JobMetrics) -> JsonValue {
     let mut rec = JsonValue::object();
     rec.set("schema", JsonValue::Str(SCHEMA.to_string()))
         .set("kind", JsonValue::Str("campaign".to_string()))
@@ -434,7 +491,7 @@ mod tests {
         let registry = UarchRegistry::with_builtins();
         let cfg = CampaignConfig::default_grid(&registry);
         assert_eq!(cfg.uarches.len(), 4);
-        assert_eq!(jobs(&cfg).len(), 40);
+        assert_eq!(jobs(&cfg).len(), 60);
         assert!(cfg.total_trials() >= 10_000, "{}", cfg.total_trials());
     }
 

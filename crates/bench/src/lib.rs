@@ -14,8 +14,8 @@
 
 use phantom::ablation::{noise_sweep_on, NoiseSweepConfig, NoiseSweepPoint};
 use phantom::attacks::{
-    KaslrImageResult, KaslrImageSweep, MdsLeakResult, MdsLeakSweep, PhysAddrResult, PhysAddrSweep,
-    PhysmapResult, PhysmapSweep,
+    pht_channel_on, KaslrImageResult, KaslrImageSweep, MdsLeakResult, MdsLeakSweep,
+    PhtChannelConfig, PhtChannelResult, PhysAddrResult, PhysAddrSweep, PhysmapResult, PhysmapSweep,
 };
 use phantom::collide::{recover_figure7, BtbOracle, Figure7};
 use phantom::covert::{table2_on, CovertConfig, CovertResult};
@@ -301,6 +301,38 @@ pub fn run_mds_on(
         },
         seed,
     )
+}
+
+/// Run the PHT channel (BranchSpectre-style leak through the
+/// conditional-branch predictor) with `bits` per row, one row per AMD
+/// part.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn run_pht_channel(bits: usize, seed: u64) -> Result<Vec<PhtChannelResult>, RunnerError> {
+    run_pht_channel_on(&TrialRunner::new(), bits, seed)
+}
+
+/// [`run_pht_channel`] on an explicit runner.
+///
+/// # Errors
+///
+/// Propagates channel failures.
+pub fn run_pht_channel_on(
+    runner: &TrialRunner,
+    bits: usize,
+    seed: u64,
+) -> Result<Vec<PhtChannelResult>, RunnerError> {
+    let mut rows = Vec::new();
+    for profile in UarchProfile::amd() {
+        rows.push(pht_channel_on(
+            runner,
+            profile,
+            PhtChannelConfig { bits, seed },
+        )?);
+    }
+    Ok(rows)
 }
 
 /// Run the noise-robustness sweep: covert-channel accuracy, probe

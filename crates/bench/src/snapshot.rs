@@ -19,8 +19,8 @@ use phantom::mitigations::{
 use phantom::report::json::{
     BenchSnapshot, CovertRecord, Figure6Record, Figure7Record, GadgetRecord, HostMeta,
     MdsRunRecord, MdsTableRecord, NoiseSweepRecord, O4Record, O5Record, OverheadRecord, PerfRecord,
-    PhysAddrRunRecord, PhysAddrTableRecord, RunMeta, SlotRunRecord, SlotTableRecord,
-    SoftwareRecord, StageFlags, Table1Record,
+    PhtChannelRecord, PhysAddrRunRecord, PhysAddrTableRecord, RunMeta, SlotRunRecord,
+    SlotTableRecord, SoftwareRecord, StageFlags, Table1Record,
 };
 use phantom::runner::TrialRunner;
 use phantom::UarchProfile;
@@ -32,8 +32,8 @@ use phantom_mem::{PageFlags, VirtAddr};
 use phantom_pipeline::Machine;
 
 use crate::{
-    run_figure6_on, run_figure7, run_mds_on, run_noise_sweep_on, run_table1_on, run_table2_on,
-    run_table3_on, run_table4_on, run_table5_on, timed, RunnerError,
+    run_figure6_on, run_figure7, run_mds_on, run_noise_sweep_on, run_pht_channel_on, run_table1_on,
+    run_table2_on, run_table3_on, run_table4_on, run_table5_on, timed, RunnerError,
 };
 
 /// Snapshot collection knobs. The default is the quick profile, seed
@@ -453,6 +453,11 @@ pub fn collect_snapshot(
     let noise_sweep: Vec<NoiseSweepRecord> = t.result.iter().map(NoiseSweepRecord::from).collect();
     wall.push(("noise_sweep".into(), t.wall.as_secs_f64()));
 
+    let pht_bits = if cfg.full { 4096 } else { 128 };
+    let t = timed(runner, |r| run_pht_channel_on(r, pht_bits, cfg.seed + 600))?;
+    let pht_channel: Vec<PhtChannelRecord> = t.result.iter().map(PhtChannelRecord::from).collect();
+    wall.push(("pht_channel".into(), t.wall.as_secs_f64()));
+
     let mut o4 = Vec::new();
     for p in [UarchProfile::zen1(), UarchProfile::zen2()] {
         let name = p.name.clone();
@@ -561,6 +566,7 @@ pub fn collect_snapshot(
         gadgets,
         perf,
         noise_sweep: Some(noise_sweep),
+        pht_channel: Some(pht_channel),
         host,
     })
 }

@@ -27,7 +27,7 @@ fn stderr(out: &Output) -> String {
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
 
-/// A tiny grid: one uarch × 2 scenarios × 5 noise points = 10 jobs at
+/// A tiny grid: one uarch × 3 scenarios × 5 noise points = 15 jobs at
 /// 2 bits each.
 fn tiny_args<'a>(out: &'a str) -> Vec<&'a str> {
     vec![
@@ -121,7 +121,7 @@ fn truncate_then_resume_is_byte_identical() {
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
     let full = std::fs::read(&full_path).expect("campaign output exists");
     assert!(full.ends_with(b"\n"));
-    assert_eq!(full.iter().filter(|&&b| b == b'\n').count(), 10);
+    assert_eq!(full.iter().filter(|&&b| b == b'\n').count(), 15);
 
     // Tear the file roughly in half, mid-record.
     let part_path = tmp("part");

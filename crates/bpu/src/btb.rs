@@ -72,6 +72,15 @@ impl BtbScheme {
             privilege_tagged: true,
         }
     }
+
+    /// Compact one-line descriptor for CLI listings, the BTB sibling of
+    /// [`CbpScheme::summary`](crate::CbpScheme::summary): fold-function
+    /// count x ways, with a `+priv` marker for privilege-tagged parts.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let tag = if self.privilege_tagged { " +priv" } else { "" };
+        format!("{}fx{}{tag}", self.family.len(), self.ways)
+    }
 }
 
 /// The target representation stored in an entry.
@@ -370,6 +379,29 @@ impl Btb {
     }
 }
 
+impl crate::state::PredictorState for Btb {
+    fn name(&self) -> &'static str {
+        "btb"
+    }
+
+    fn capacity(&self) -> usize {
+        // One bucket per page offset, `ways` entries each.
+        4096 * self.scheme.ways
+    }
+
+    fn live_entries(&self) -> usize {
+        self.len()
+    }
+
+    fn generation(&self) -> u64 {
+        Btb::generation(self)
+    }
+
+    fn flush(&mut self) {
+        Btb::flush(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,5 +687,11 @@ mod multi_target_tests {
         );
         let hit = btb.lookup(VirtAddr::new(0x2000)).unwrap();
         assert_eq!(hit.target, Some(VirtAddr::new(0xa000)));
+    }
+
+    #[test]
+    fn summary_is_compact() {
+        assert_eq!(BtbScheme::zen34().summary(), "13fx2");
+        assert_eq!(BtbScheme::intel().summary(), "12fx2 +priv");
     }
 }

@@ -15,10 +15,14 @@
 //!   the Zen 3/4 fold family is the paper's Figure 7, reproduced by the
 //!   solver in `phantom-gf2`.
 //!
-//! The crate also models the RSB (return target prediction), a PHT
-//! (conditional direction prediction) and the mitigation MSRs
+//! The crate also models the RSB (return target prediction), a
+//! spec-driven conditional-branch predictor ([`cbp`] — set-indexed,
+//! history-mixed direction counters whose index/tag hashes are GF(2)
+//! folds just like the BTB's) and the mitigation MSRs
 //! (`SuppressBPOnNonBr`, AutoIBRS, eIBRS, STIBP, IBPB) whose incomplete
-//! coverage is the subject of §6.3 and §8.
+//! coverage is the subject of §6.3 and §8. The BTB and CBP share one
+//! introspection surface, [`PredictorState`], so attacks read predictor
+//! state through a single interface.
 //!
 //! # Examples
 //!
@@ -46,19 +50,23 @@
 
 pub mod bhb;
 pub mod btb;
+pub mod cbp;
 pub mod hashfn;
 pub mod msr;
 pub mod pht;
 pub mod predict;
 pub mod rsb;
+pub mod state;
 
 pub use bhb::{Bhb, BHB_TAG_BITS};
 pub use btb::{Btb, BtbEntry, BtbScheme};
+pub use cbp::{Cbp, CbpScheme, MixedFold};
 pub use hashfn::{parity_fold, FoldFamily, FoldFn};
 pub use msr::MsrState;
 pub use pht::Pht;
 pub use predict::{Bpu, Prediction};
 pub use rsb::Rsb;
+pub use state::PredictorState;
 
 #[cfg(test)]
 mod proptests;

@@ -4,6 +4,12 @@
 //! branch PC and a global history register. The MDS-gadget exploit of
 //! §7.4 trains the kernel's bounds check (`jcc`) to predict *taken*
 //! before supplying an out-of-bounds index.
+//!
+//! The live BPU no longer routes direction prediction through this
+//! table — the spec-driven [`crate::Cbp`] replaced it (its
+//! [`crate::CbpScheme::legacy`] geometry reproduces this table
+//! bit-for-bit, pinned by a test in `cbp.rs`). `Pht` stays as the flat
+//! reference model that cross-checks the CBP.
 
 use phantom_mem::VirtAddr;
 
@@ -32,15 +38,39 @@ pub struct Pht {
 }
 
 impl Pht {
-    /// Create a PHT with `entries` counters (rounded up to a power of
-    /// two). History is 8 bits by default.
+    /// Create a PHT with `entries` counters. History is 8 bits by
+    /// default.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two ≥ 2 — the index mask
+    /// requires it. (Earlier versions silently rounded up, which let a
+    /// typo'd size masquerade as a differently-shaped table.)
     pub fn new(entries: usize) -> Pht {
-        let n = entries.next_power_of_two().max(2);
-        Pht {
-            counters: vec![1; n],
+        match Pht::try_new(entries) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Pht::new`] — the `CacheGeometry::try_new` pattern: a
+    /// description of the violated constraint instead of a panic, for
+    /// callers holding user-authored sizes (the uarch spec layer wraps
+    /// the message in a field-named `SpecError`).
+    pub fn try_new(entries: usize) -> Result<Pht, String> {
+        if !entries.is_power_of_two() {
+            return Err(format!(
+                "pht entries must be a power of two (got {entries})"
+            ));
+        }
+        if entries < 2 {
+            return Err(format!("pht needs at least 2 entries (got {entries})"));
+        }
+        Ok(Pht {
+            counters: vec![1; entries],
             ghr: 0,
             history_bits: 8,
-        }
+        })
     }
 
     fn index(&self, pc: VirtAddr) -> usize {
@@ -128,8 +158,14 @@ mod tests {
     }
 
     #[test]
-    fn rounds_to_power_of_two() {
-        assert_eq!(Pht::new(100).len(), 128);
-        assert_eq!(Pht::new(1).len(), 2);
+    fn non_power_of_two_sizes_are_rejected_not_masked() {
+        // Regression: `Pht::new(100)` used to round up to 128 silently,
+        // so a mistyped geometry produced a differently-shaped table
+        // instead of an error.
+        let err = Pht::try_new(100).unwrap_err();
+        assert!(err.contains("power of two"), "{err}");
+        assert!(Pht::try_new(0).is_err());
+        assert!(Pht::try_new(1).unwrap_err().contains("at least 2"));
+        assert_eq!(Pht::try_new(128).unwrap().len(), 128);
     }
 }

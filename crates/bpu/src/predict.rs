@@ -1,4 +1,4 @@
-//! The combined branch prediction unit: BTB + RSB + PHT behind the
+//! The combined branch prediction unit: BTB + RSB + CBP behind the
 //! mitigation MSRs.
 //!
 //! [`Bpu::predict_block`] is the *pre-decode* query the fetch unit runs
@@ -13,9 +13,10 @@ use phantom_mem::{PrivilegeLevel, VirtAddr};
 
 use crate::bhb::Bhb;
 use crate::btb::{Btb, BtbScheme};
+use crate::cbp::{Cbp, CbpScheme};
 use crate::msr::MsrState;
-use crate::pht::Pht;
 use crate::rsb::Rsb;
+use crate::state::PredictorState;
 
 /// A prediction served to the fetch unit before decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,18 +47,25 @@ pub struct Prediction {
 pub struct Bpu {
     btb: Btb,
     rsb: Rsb,
-    pht: Pht,
+    cbp: Cbp,
     bhb: Bhb,
     msr: MsrState,
 }
 
 impl Bpu {
-    /// Create a BPU with the given BTB scheme and MSR state.
+    /// Create a BPU with the given BTB scheme, the legacy conditional
+    /// predictor, and the given MSR state.
     pub fn new(scheme: BtbScheme, msr: MsrState) -> Bpu {
+        Bpu::with_schemes(scheme, CbpScheme::legacy(), msr)
+    }
+
+    /// Create a BPU with explicit BTB *and* CBP schemes — the spec-driven
+    /// constructor the machine layer uses.
+    pub fn with_schemes(btb: BtbScheme, cbp: CbpScheme, msr: MsrState) -> Bpu {
         Bpu {
-            btb: Btb::new(scheme),
+            btb: Btb::new(btb),
             rsb: Rsb::new(32),
-            pht: Pht::new(4096),
+            cbp: Cbp::new(cbp),
             bhb: Bhb::new(),
             msr,
         }
@@ -88,9 +96,17 @@ impl Bpu {
         &mut self.rsb
     }
 
-    /// The PHT.
-    pub fn pht(&self) -> &Pht {
-        &self.pht
+    /// The conditional-branch predictor (for experiments that inspect
+    /// or calibrate against its counters).
+    pub fn cbp(&self) -> &Cbp {
+        &self.cbp
+    }
+
+    /// Every predictor structure behind one introspection interface —
+    /// attacks and reports that read predictor state (occupancy,
+    /// generations) iterate this instead of special-casing the BTB.
+    pub fn predictor_states(&self) -> [&dyn PredictorState; 2] {
+        [&self.btb, &self.cbp]
     }
 
     /// The branch history buffer.
@@ -131,14 +147,14 @@ impl Bpu {
         self.btb.train(source, kind, target, level, thread);
     }
 
-    /// Record a conditional branch outcome in the PHT.
+    /// Record a conditional branch outcome in the CBP.
     pub fn train_direction(&mut self, source: VirtAddr, taken: bool) {
-        self.pht.update(source, taken);
+        self.cbp.update(source, taken);
     }
 
     /// Predicted direction for a conditional at `source`.
     pub fn predict_direction(&self, source: VirtAddr) -> bool {
-        self.pht.predict(source)
+        self.cbp.predict(source)
     }
 
     /// The pre-decode prediction query for a fetch window starting at
@@ -172,9 +188,9 @@ impl Bpu {
     ) -> Option<Prediction> {
         let hit = self.first_visible_hit(base, window, level, thread)?;
 
-        // Conditional predictions consult the PHT for direction; a
+        // Conditional predictions consult the CBP for direction; a
         // not-taken prediction serves no steer at all.
-        if hit.kind == BranchKind::Cond && !self.pht.predict(hit.source) {
+        if hit.kind == BranchKind::Cond && !self.cbp.predict(hit.source) {
             return None;
         }
 
@@ -246,13 +262,18 @@ impl Bpu {
         self.btb.generation()
     }
 
+    /// The CBP's content-generation stamp; see [`Cbp::generation`].
+    pub fn cbp_generation(&self) -> u64 {
+        self.cbp.generation()
+    }
+
     /// IBPB: flush every prediction structure. "Assuming that IBPB can
     /// flush all types of predictions, it mitigates all our exploitation
     /// primitives P1, P2, and P3" (§8.2).
     pub fn ibpb(&mut self) {
         self.btb.flush();
         self.rsb.flush();
-        self.pht.flush();
+        self.cbp.flush();
         self.bhb.flush();
     }
 }

@@ -1,0 +1,31 @@
+//! A shared introspection surface over predictor structures.
+//!
+//! The BTB and the CBP are both set-indexed, fold-hashed, generation-
+//! stamped prediction memories; attacks and reports that "read predictor
+//! state" (occupancy scans, flush-and-retrain protocols, generation
+//! watchers) should not care which structure they are pointed at. This
+//! trait is that one interface — [`crate::Btb`] and [`crate::Cbp`] both
+//! implement it, and [`crate::Bpu::predictor_states`] hands back every
+//! structure behind it.
+
+/// Uniform read/reset access to one predictor structure's state.
+pub trait PredictorState {
+    /// Short structure name ("btb", "cbp").
+    fn name(&self) -> &'static str;
+
+    /// Total entries the structure can hold (sets × ways).
+    fn capacity(&self) -> usize;
+
+    /// Entries currently holding trained content. For tagged structures
+    /// this counts allocated entries; for untagged counter arrays it
+    /// counts counters moved off their reset value.
+    fn live_entries(&self) -> usize;
+
+    /// The content-generation stamp. Unchanged generation means no
+    /// predictive content has changed; values are process-globally
+    /// unique per content state (see [`crate::Btb::generation`]).
+    fn generation(&self) -> u64;
+
+    /// Flush every entry back to reset state (the IBPB path).
+    fn flush(&mut self);
+}

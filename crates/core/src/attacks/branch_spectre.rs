@@ -1,0 +1,528 @@
+//! BranchSpectre-style leakage through the conditional-branch
+//! predictor: recover a victim's secret-dependent branch *outcome* by
+//! reading the PHT counter it left behind — no cache probe anywhere.
+//!
+//! The attacker finds an **out-of-place alias**: a probe PC that the
+//! CBP cannot tell apart from the victim PC. Which PCs alias is pure
+//! spec data — under the legacy gshare scheme any PC differing only in
+//! bits the index folds ignore collides; under an M1-Firestorm-style
+//! scheme two PCs differing in *both* bits of one folded index pair
+//! collide even though each bit alone would select a different set.
+//! [`out_of_place_cbp_aliases`] derives candidates from the
+//! [`CbpScheme`] instead of hardcoding either family.
+//!
+//! The channel: the victim executes its conditional once (outcome =
+//! the secret bit), nudging the shared 2-bit counter up or down from a
+//! known baseline. The attacker re-aligns the global history register
+//! (so the probe indexes the same set the victim updated), then times
+//! its own aliased conditional with not-taken flags. If the counter
+//! says "taken", the planted BTB entry steers fetch down the taken
+//! path and the resolved not-taken direction forces a resteer — a
+//! calibrated cycle penalty. If the counter says "not taken", no steer
+//! is served and the probe runs clean. The cycle delta *is* the
+//! secret. Votes go through [`decode_adaptive`] exactly like the
+//! Table 2 covert channels, so noisy probes escalate and ties abstain.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use phantom_bpu::CbpScheme;
+use phantom_isa::asm::Assembler;
+use phantom_isa::{Cond, Inst};
+use phantom_mem::{PageFlags, VirtAddr};
+use phantom_pipeline::{Checkpoint, Machine, RunExit, UarchProfile};
+use phantom_sidechannel::{NoiseModel, Reading};
+
+use crate::decode::{decode_adaptive, Decoded, DecoderConfig};
+use crate::primitives::PrimitiveError;
+use crate::runner::{Scenario, ScenarioError, Trial, TrialRunner};
+
+/// Candidate out-of-place aliases of `victim` under `scheme`, nearest
+/// first: PCs on a *different page* that the CBP indexes and tags
+/// identically. Single-bit flips are tried before folded two-bit
+/// flips, so an untagged scheme with unused upper bits (the legacy
+/// gshare PHT) yields a far-bit alias, while a scheme that folds PC
+/// bit pairs into each index bit (M1 Firestorm) yields the folded
+/// pair. Flips stay below bit 24 to keep candidates near the victim.
+///
+/// Aliasing is history-independent — both PCs see the same GHR, so
+/// the history parity cancels out of the comparison.
+pub fn out_of_place_cbp_aliases(scheme: &CbpScheme, victim: VirtAddr) -> Vec<VirtAddr> {
+    let mut found = Vec::new();
+    let mut consider = |mask: u64| {
+        // Same-page candidates would overlap the victim's stub.
+        if mask >> 12 == 0 {
+            return;
+        }
+        let cand = VirtAddr::new(victim.raw() ^ mask);
+        if scheme.aliases(victim, cand, 0) {
+            found.push(cand);
+        }
+    };
+    for bit in 12..24 {
+        consider(1 << bit);
+    }
+    for lo in 2..24 {
+        for hi in (lo + 1)..24 {
+            consider((1 << lo) | (1 << hi));
+        }
+    }
+    found
+}
+
+/// The first (nearest) out-of-place alias, if the scheme admits one.
+pub fn out_of_place_cbp_alias(scheme: &CbpScheme, victim: VirtAddr) -> Option<VirtAddr> {
+    out_of_place_cbp_aliases(scheme, victim).into_iter().next()
+}
+
+/// Configuration of a PHT-channel run.
+#[derive(Debug, Clone, Copy)]
+pub struct PhtChannelConfig {
+    /// Number of secret bits to recover.
+    pub bits: usize,
+    /// RNG seed (secret bit pattern + measurement noise).
+    pub seed: u64,
+}
+
+impl Default for PhtChannelConfig {
+    fn default() -> PhtChannelConfig {
+        PhtChannelConfig {
+            bits: 4096,
+            seed: 0,
+        }
+    }
+}
+
+/// One PHT-channel row (Table-2-style numbers, but the observable is
+/// predictor state, not cache state).
+#[derive(Debug, Clone)]
+pub struct PhtChannelResult {
+    /// Microarchitecture name.
+    pub uarch: phantom_pipeline::IStr,
+    /// Tested part.
+    pub model: phantom_pipeline::IStr,
+    /// XOR distance between victim and probe PC (the out-of-place
+    /// flip the scheme admitted).
+    pub flip_mask: u64,
+    /// Bits recovered.
+    pub bits: usize,
+    /// Fraction decoded correctly (abstentions count as wrong).
+    pub accuracy: f64,
+    /// Simulated wall-clock seconds for the whole recovery.
+    pub seconds: f64,
+    /// Throughput in bits per second.
+    pub bits_per_sec: f64,
+    /// Total probes cast across all bits.
+    pub probes: u64,
+    /// Bits the decoder abstained on.
+    pub abstentions: usize,
+    /// Mean per-bit decode confidence.
+    pub mean_confidence: f64,
+}
+
+/// The PHT channel as a trial scenario: one trial per secret bit.
+struct PhtScenario {
+    profile: UarchProfile,
+    config: PhtChannelConfig,
+    noise_proto: NoiseModel,
+    decoder: DecoderConfig,
+}
+
+/// Per-worker state: a machine with the three branch stubs loaded, the
+/// rewind point, and the calibrated probe signature.
+#[derive(Clone)]
+struct PhtState {
+    machine: Machine,
+    snap: Checkpoint,
+    snap_cycles: u64,
+    /// Victim conditional (outcome = the secret bit).
+    victim: VirtAddr,
+    /// Out-of-place probe conditional aliasing the victim in the CBP.
+    probe: VirtAddr,
+    /// History-alignment conditional (always not-taken), chosen to
+    /// never touch the victim's CBP set.
+    aligner: VirtAddr,
+    /// Calibrated probe-cycle threshold between the two counter
+    /// states, the separation span, and which side means "taken".
+    threshold: u64,
+    span: u64,
+    taken_is_slow: bool,
+}
+
+/// One decoded bit and the simulated cycles its trial consumed.
+struct PhtSample {
+    correct: bool,
+    abstained: bool,
+    probes: u32,
+    confidence: f64,
+    cycles: u64,
+}
+
+/// Lay down a two-instruction conditional stub at `base`:
+/// `jeq taken; halt; taken: halt`.
+fn load_branch_stub(machine: &mut Machine, base: VirtAddr) -> Result<(), ScenarioError> {
+    let mut a = Assembler::new(base.raw());
+    a.jcc_cond(Cond::Eq, "taken");
+    a.push(Inst::Halt);
+    a.label("taken");
+    a.push(Inst::Halt);
+    let blob = a.finish().map_err(|e| PrimitiveError(e.to_string()))?;
+    machine
+        .load_blob(&blob, PageFlags::USER_TEXT | PageFlags::WRITE)
+        .map_err(|e| PrimitiveError(e.to_string()))?;
+    Ok(())
+}
+
+/// Execute the conditional at `pc` once with the given outcome.
+fn run_branch(machine: &mut Machine, pc: VirtAddr, taken: bool) -> Result<(), ScenarioError> {
+    machine.set_flags(taken, false, false);
+    machine.set_pc(pc);
+    match machine.run(64).map_err(|e| PrimitiveError(e.to_string()))? {
+        RunExit::Halted => Ok(()),
+        other => Err(PrimitiveError(format!("branch stub did not halt: {other:?}")).into()),
+    }
+}
+
+/// Drive the global history register back to all-zero by running the
+/// aligner not-taken once per history bit.
+fn align_history(
+    machine: &mut Machine,
+    aligner: VirtAddr,
+    history_bits: u32,
+) -> Result<(), ScenarioError> {
+    for _ in 0..history_bits {
+        run_branch(machine, aligner, false)?;
+    }
+    Ok(())
+}
+
+/// One victim → re-align → timed probe round. Returns the probe's raw
+/// cycle cost; everything before the probe is untimed (the attacker
+/// only ever times its own code).
+fn measure_round(
+    machine: &mut Machine,
+    snap: &Checkpoint,
+    victim: VirtAddr,
+    probe: VirtAddr,
+    aligner: VirtAddr,
+    history_bits: u32,
+    secret: bool,
+) -> Result<u64, ScenarioError> {
+    snap.rewind(machine);
+    run_branch(machine, victim, secret)?;
+    align_history(machine, aligner, history_bits)?;
+    let before = machine.cycles();
+    run_branch(machine, probe, false)?;
+    Ok(machine.cycles() - before)
+}
+
+impl PhtScenario {
+    fn uarch_salt(&self) -> u64 {
+        self.profile.name.bytes().map(u64::from).sum::<u64>()
+    }
+
+    /// Build a calibrated state around one alias candidate. Returns
+    /// `None` when the candidate yields no timing separation (e.g. the
+    /// pair also collides in the BTB and the victim's run destroys the
+    /// planted entry).
+    fn try_candidate(
+        &self,
+        victim: VirtAddr,
+        probe: VirtAddr,
+    ) -> Result<Option<PhtState>, ScenarioError> {
+        let scheme = &self.profile.cbp_scheme;
+        let history_bits = scheme.history_bits;
+        let mut machine = Machine::new(self.profile.clone(), 1 << 26);
+        load_branch_stub(&mut machine, victim)?;
+        load_branch_stub(&mut machine, probe)?;
+
+        // The aligner must never update the victim's CBP set. Every
+        // alignment run is deterministic, so only the GHR values it
+        // actually executes under matter: a one-hot history (the single
+        // planted/victim taken bit draining out) or all-zero. It also
+        // needs its own page, distinct from both branch stubs.
+        let victim_set = scheme.index_of(victim, 0);
+        let live_ghrs: Vec<u64> = std::iter::once(0)
+            .chain((0..history_bits).map(|j| 1u64 << j))
+            .collect();
+        let probe_page = probe.raw() >> 12;
+        let aligner = (1..4096u64)
+            .map(|k| VirtAddr::new(victim.raw() ^ (k << 12)))
+            .find(|&w| {
+                w.raw() >> 12 != probe_page
+                    && live_ghrs
+                        .iter()
+                        .all(|&g| scheme.index_of(w, g) != victim_set)
+            })
+            .ok_or_else(|| PrimitiveError("no safe aligner PC in range".into()))?;
+        load_branch_stub(&mut machine, aligner)?;
+
+        // Plant the probe's BTB entry (and push the shared counter to
+        // its baseline) with one taken execution, then re-align.
+        run_branch(&mut machine, probe, true)?;
+        align_history(&mut machine, aligner, history_bits)?;
+
+        let snap = machine.checkpoint();
+        let snap_cycles = machine.cycles();
+
+        // Calibrate both counter states end-to-end.
+        let taken_cycles = measure_round(
+            &mut machine,
+            &snap,
+            victim,
+            probe,
+            aligner,
+            history_bits,
+            true,
+        )?;
+        let nt_cycles = measure_round(
+            &mut machine,
+            &snap,
+            victim,
+            probe,
+            aligner,
+            history_bits,
+            false,
+        )?;
+        if taken_cycles == nt_cycles {
+            return Ok(None);
+        }
+        snap.rewind(&mut machine);
+        let (slow, fast) = (taken_cycles.max(nt_cycles), taken_cycles.min(nt_cycles));
+        Ok(Some(PhtState {
+            machine,
+            snap,
+            snap_cycles,
+            victim,
+            probe,
+            aligner,
+            threshold: fast + (slow - fast) / 2,
+            span: slow - fast,
+            taken_is_slow: taken_cycles > nt_cycles,
+        }))
+    }
+}
+
+impl Scenario for PhtScenario {
+    type State = PhtState;
+    type Checkpoint = PhtState;
+    type Sample = PhtSample;
+    type Output = PhtChannelResult;
+
+    fn trials(&self) -> usize {
+        self.config.bits
+    }
+
+    fn setup(&self) -> Result<PhtState, ScenarioError> {
+        let victim = VirtAddr::new(0x40_0000);
+        for probe in out_of_place_cbp_aliases(&self.profile.cbp_scheme, victim) {
+            if let Some(state) = self.try_candidate(victim, probe)? {
+                return Ok(state);
+            }
+        }
+        Err(PrimitiveError(format!(
+            "no out-of-place CBP alias with timing separation on {}",
+            self.profile.name
+        ))
+        .into())
+    }
+
+    fn checkpoint(&self, state: PhtState) -> Result<PhtState, ScenarioError> {
+        Ok(state)
+    }
+
+    fn fork(&self, checkpoint: &PhtState) -> Result<PhtState, ScenarioError> {
+        Ok(checkpoint.clone())
+    }
+
+    fn probe(&self, state: &mut PhtState, trial: Trial) -> Result<PhtSample, ScenarioError> {
+        let mut rng = StdRng::seed_from_u64(trial.seed);
+        let secret = rng.gen_bool(0.5);
+        let mut noise = self.noise_proto.reseeded(trial.seed ^ self.uarch_salt());
+        let history_bits = self.profile.cbp_scheme.history_bits;
+        let (victim, probe, aligner) = (state.victim, state.probe, state.aligner);
+        let (threshold, span, taken_is_slow) = (state.threshold, state.span, state.taken_is_slow);
+        let snap_cycles = state.snap_cycles;
+        let machine = &mut state.machine;
+        let snap = &state.snap;
+        // Each vote replays victim → re-align → probe from the rewind
+        // point, so the trial's honest cost is the sum over rounds, not
+        // the machine's final (post-rewind) cycle counter.
+        let mut spent = 0u64;
+        let outcome = decode_adaptive(&self.decoder, |_| {
+            let cycles =
+                measure_round(machine, snap, victim, probe, aligner, history_bits, secret)?;
+            spent += machine.cycles() - snap_cycles;
+            // `Reading::classify` calls latencies at or below the
+            // threshold hits; map "slow" back to "counter said taken".
+            let reading = Reading::classify(noise.jitter(cycles), threshold, span);
+            let says_taken = reading.hit != taken_is_slow;
+            Ok::<_, ScenarioError>((says_taken, reading.confidence))
+        })?;
+        let (correct, abstained) = match outcome.decoded {
+            Decoded::Bit(b) => (b == secret, false),
+            Decoded::Abstain => (false, true),
+        };
+        Ok(PhtSample {
+            correct,
+            abstained,
+            probes: outcome.probes,
+            confidence: outcome.confidence.value(),
+            cycles: spent,
+        })
+    }
+
+    fn score(&self, samples: Vec<PhtSample>) -> PhtChannelResult {
+        let bits = samples.len();
+        let correct = samples.iter().filter(|s| s.correct).count();
+        let cycles: u64 = samples.iter().map(|s| s.cycles).sum();
+        let probes: u64 = samples.iter().map(|s| u64::from(s.probes)).sum();
+        let abstentions = samples.iter().filter(|s| s.abstained).count();
+        let mean_confidence =
+            samples.iter().map(|s| s.confidence).sum::<f64>() / bits.max(1) as f64;
+        let seconds = self.profile.cycles_to_seconds(cycles);
+        let victim = VirtAddr::new(0x40_0000);
+        let flip_mask = out_of_place_cbp_alias(&self.profile.cbp_scheme, victim)
+            .map_or(0, |a| a.raw() ^ victim.raw());
+        PhtChannelResult {
+            uarch: self.profile.name.clone(),
+            model: self.profile.model.clone(),
+            flip_mask,
+            bits,
+            accuracy: correct as f64 / bits.max(1) as f64,
+            seconds,
+            bits_per_sec: bits as f64 / seconds,
+            probes,
+            abstentions,
+            mean_confidence,
+        }
+    }
+}
+
+/// Run the PHT channel on one microarchitecture.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup failure or when the scheme
+/// admits no out-of-place alias.
+pub fn pht_channel(
+    profile: UarchProfile,
+    config: PhtChannelConfig,
+) -> Result<PhtChannelResult, PrimitiveError> {
+    pht_channel_on(&TrialRunner::new(), profile, config)
+}
+
+/// [`pht_channel`] on an explicit runner (thread-count control).
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup failure.
+pub fn pht_channel_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: PhtChannelConfig,
+) -> Result<PhtChannelResult, PrimitiveError> {
+    let noise = NoiseModel::realistic(config.seed);
+    pht_channel_decoded_on(runner, profile, config, noise, DecoderConfig::default())
+}
+
+/// [`pht_channel_on`] with explicit noise and decoder configs.
+///
+/// # Errors
+///
+/// Returns [`PrimitiveError`] on setup failure.
+pub fn pht_channel_decoded_on(
+    runner: &TrialRunner,
+    profile: UarchProfile,
+    config: PhtChannelConfig,
+    noise: NoiseModel,
+    decoder: DecoderConfig,
+) -> Result<PhtChannelResult, PrimitiveError> {
+    let scenario = PhtScenario {
+        profile,
+        config,
+        noise_proto: noise,
+        decoder,
+    };
+    runner
+        .run(&scenario, config.seed)
+        .map_err(|e| PrimitiveError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: PhtChannelConfig = PhtChannelConfig { bits: 96, seed: 9 };
+
+    #[test]
+    fn legacy_alias_is_a_far_single_bit() {
+        let scheme = CbpScheme::legacy();
+        let v = VirtAddr::new(0x40_0000);
+        let a = out_of_place_cbp_alias(&scheme, v).expect("legacy admits an alias");
+        let flip = a.raw() ^ v.raw();
+        assert_eq!(flip.count_ones(), 1, "single-bit flip, got {flip:#x}");
+        assert!(flip >= 1 << 13, "outside the gshare index bits: {flip:#x}");
+        assert!(scheme.aliases(v, a, 0));
+    }
+
+    #[test]
+    fn recovers_the_secret_on_every_builtin_amd_part() {
+        for p in UarchProfile::amd() {
+            let name = p.name.clone();
+            let r = pht_channel(p, SMALL).unwrap();
+            assert!(r.accuracy >= 0.9, "{name}: accuracy {}", r.accuracy);
+            assert!(r.bits_per_sec > 0.0, "{name}");
+            assert_eq!(r.flip_mask.count_ones(), 1, "{name}: far-bit alias");
+        }
+    }
+
+    #[test]
+    fn recovery_is_identical_at_any_thread_count() {
+        let config = PhtChannelConfig { bits: 48, seed: 3 };
+        let one =
+            pht_channel_on(&TrialRunner::with_threads(1), UarchProfile::zen2(), config).unwrap();
+        let eight =
+            pht_channel_on(&TrialRunner::with_threads(8), UarchProfile::zen2(), config).unwrap();
+        assert_eq!(one.accuracy, eight.accuracy);
+        assert_eq!(one.seconds, eight.seconds);
+        assert_eq!(one.probes, eight.probes);
+        assert_eq!(one.abstentions, eight.abstentions);
+        assert_eq!(one.mean_confidence, eight.mean_confidence);
+    }
+
+    #[test]
+    fn the_channel_reads_predictor_state_not_caches() {
+        // The probe's signal survives with every cache-noise knob wide
+        // open because nothing in the measurement touches a primed
+        // cache set — only branch-resteer timing.
+        let mut noise = NoiseModel::realistic(7);
+        noise.spurious_evict = 1.0;
+        noise.missed_signal = 1.0;
+        let r = pht_channel_decoded_on(
+            &TrialRunner::with_threads(2),
+            UarchProfile::zen3(),
+            PhtChannelConfig { bits: 64, seed: 7 },
+            noise,
+            DecoderConfig::default(),
+        )
+        .unwrap();
+        assert!(r.accuracy >= 0.9, "accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn quiet_bits_resolve_in_the_first_decode_round() {
+        let config = PhtChannelConfig { bits: 32, seed: 11 };
+        let r = pht_channel_decoded_on(
+            &TrialRunner::with_threads(1),
+            UarchProfile::zen2(),
+            config,
+            NoiseModel::quiet(config.seed),
+            DecoderConfig::default(),
+        )
+        .unwrap();
+        assert!(r.accuracy > 0.99, "{}", r.accuracy);
+        assert_eq!(r.abstentions, 0);
+        assert_eq!(r.probes, 2 * config.bits as u64);
+    }
+}

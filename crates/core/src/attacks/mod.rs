@@ -5,16 +5,24 @@
 //! * [`physaddr`] — find the physical address of an attacker page via
 //!   physmap + Flush+Reload (**Table 5**);
 //! * [`mds_leak`] — leak arbitrary kernel memory by nesting a PHANTOM
-//!   steer inside a Spectre window over a single-load MDS gadget (§7.4).
+//!   steer inside a Spectre window over a single-load MDS gadget (§7.4);
+//! * [`branch_spectre`] — recover a victim's branch outcome through the
+//!   conditional-branch predictor itself (PHT state, no cache probe),
+//!   via a spec-derived out-of-place alias.
 //!
 //! Every attack consults the system's ground truth **only** to score its
 //! own guess; the guess itself is derived from side-channel measurements.
 
+pub mod branch_spectre;
 pub mod kaslr_image;
 pub mod mds_leak;
 pub mod physaddr;
 pub mod physmap;
 
+pub use branch_spectre::{
+    out_of_place_cbp_alias, out_of_place_cbp_aliases, pht_channel, pht_channel_decoded_on,
+    pht_channel_on, PhtChannelConfig, PhtChannelResult,
+};
 pub use kaslr_image::{break_kaslr_image, KaslrImageConfig, KaslrImageResult, KaslrImageSweep};
 pub use mds_leak::{leak_kernel_memory, MdsLeakConfig, MdsLeakResult, MdsLeakSweep};
 pub use physaddr::{find_physical_address, PhysAddrConfig, PhysAddrResult, PhysAddrSweep};

@@ -19,7 +19,9 @@
 use std::fmt;
 
 use crate::ablation::NoiseSweepPoint;
-use crate::attacks::{KaslrImageResult, MdsLeakResult, PhysAddrResult, PhysmapResult};
+use crate::attacks::{
+    KaslrImageResult, MdsLeakResult, PhtChannelResult, PhysAddrResult, PhysmapResult,
+};
 use crate::collide::Figure7;
 use crate::covert::CovertResult;
 use crate::experiment::{ComboOutcome, Figure6Point, Table1Cell};
@@ -416,6 +418,88 @@ impl CovertRecord {
                 .get("mean_confidence")
                 .and_then(JsonValue::as_f64)
                 .unwrap_or(0.0),
+            seconds: f64_field(v, "seconds")?,
+            bits_per_sec: f64_field(v, "bits_per_sec")?,
+        })
+    }
+}
+
+/// One PHT-channel (BranchSpectre-style) row: Table-2-shaped numbers
+/// for the conditional-branch-predictor channel, plus the
+/// out-of-place flip the scheme admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhtChannelRecord {
+    /// Microarchitecture name.
+    pub uarch: String,
+    /// Retail part tested in the paper.
+    pub model: String,
+    /// XOR distance between victim and probe PC.
+    pub flip_mask: u64,
+    /// Bits recovered.
+    pub bits: u64,
+    /// Fraction decoded correctly.
+    pub accuracy: f64,
+    /// Total probes the adaptive decoder spent.
+    pub probes: u64,
+    /// Bits the decoder abstained on.
+    pub abstentions: u64,
+    /// Mean decode confidence across the recovery.
+    pub mean_confidence: f64,
+    /// Simulated seconds for the recovery.
+    pub seconds: f64,
+    /// Simulated channel rate.
+    pub bits_per_sec: f64,
+}
+
+impl From<&PhtChannelResult> for PhtChannelRecord {
+    fn from(r: &PhtChannelResult) -> PhtChannelRecord {
+        PhtChannelRecord {
+            uarch: r.uarch.to_string(),
+            model: r.model.to_string(),
+            flip_mask: r.flip_mask,
+            bits: r.bits as u64,
+            accuracy: r.accuracy,
+            probes: r.probes,
+            abstentions: r.abstentions as u64,
+            mean_confidence: r.mean_confidence,
+            seconds: r.seconds,
+            bits_per_sec: r.bits_per_sec,
+        }
+    }
+}
+
+impl PhtChannelRecord {
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("uarch", JsonValue::Str(self.uarch.clone()))
+            .set("model", JsonValue::Str(self.model.clone()))
+            .set("flip_mask", JsonValue::Uint(self.flip_mask))
+            .set("bits", JsonValue::Uint(self.bits))
+            .set("accuracy", JsonValue::Float(self.accuracy))
+            .set("probes", JsonValue::Uint(self.probes))
+            .set("abstentions", JsonValue::Uint(self.abstentions))
+            .set("mean_confidence", JsonValue::Float(self.mean_confidence))
+            .set("seconds", JsonValue::Float(self.seconds))
+            .set("bits_per_sec", JsonValue::Float(self.bits_per_sec));
+        o
+    }
+
+    /// Decode from a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on a shape mismatch.
+    pub fn from_json(v: &JsonValue) -> Result<PhtChannelRecord, SchemaError> {
+        Ok(PhtChannelRecord {
+            uarch: str_field(v, "uarch")?,
+            model: str_field(v, "model")?,
+            flip_mask: u64_field(v, "flip_mask")?,
+            bits: u64_field(v, "bits")?,
+            accuracy: f64_field(v, "accuracy")?,
+            probes: u64_field(v, "probes")?,
+            abstentions: u64_field(v, "abstentions")?,
+            mean_confidence: f64_field(v, "mean_confidence")?,
             seconds: f64_field(v, "seconds")?,
             bits_per_sec: f64_field(v, "bits_per_sec")?,
         })
@@ -1401,6 +1485,9 @@ pub struct BenchSnapshot {
     /// Noise sweep of the adaptive fetch channel. Optional so
     /// baselines recorded before the sweep existed keep loading.
     pub noise_sweep: Option<Vec<NoiseSweepRecord>>,
+    /// PHT-channel (BranchSpectre-style) rows. Optional so baselines
+    /// recorded before the channel existed keep loading.
+    pub pht_channel: Option<Vec<PhtChannelRecord>>,
     /// Host-volatile metadata (ignored by [`diff`]).
     pub host: Option<HostMeta>,
 }
@@ -1463,6 +1550,12 @@ impl BenchSnapshot {
                 JsonValue::Array(sweep.iter().map(NoiseSweepRecord::to_json).collect()),
             );
         }
+        if let Some(rows) = &self.pht_channel {
+            o.set(
+                "pht_channel",
+                JsonValue::Array(rows.iter().map(PhtChannelRecord::to_json).collect()),
+            );
+        }
         if let Some(host) = &self.host {
             o.set("host", host.to_json());
         }
@@ -1506,6 +1599,12 @@ impl BenchSnapshot {
             noise_sweep: match v.get("noise_sweep") {
                 Some(s) if !s.is_null() => Some(vec_from(v, "noise_sweep", |p| {
                     NoiseSweepRecord::from_json(p)
+                })?),
+                _ => None,
+            },
+            pht_channel: match v.get("pht_channel") {
+                Some(s) if !s.is_null() => Some(vec_from(v, "pht_channel", |p| {
+                    PhtChannelRecord::from_json(p)
                 })?),
                 _ => None,
             },
@@ -1781,6 +1880,28 @@ pub fn diff(baseline: &BenchSnapshot, current: &BenchSnapshot, tol: &Tolerance) 
         }
     }
 
+    // Gate PHT-channel rows the same way as Table 2, but only when the
+    // baseline already has the section (older baselines predate it).
+    if let Some(base_rows) = &baseline.pht_channel {
+        let cur_rows = current.pht_channel.as_deref().unwrap_or(&[]);
+        for base_row in base_rows {
+            match cur_rows.iter().find(|r| r.uarch == base_row.uarch) {
+                Some(cur_row) => check_accuracy(
+                    &mut out,
+                    tol,
+                    format!("pht_channel[{}].accuracy", base_row.uarch),
+                    base_row.accuracy,
+                    cur_row.accuracy,
+                ),
+                None => out.push(Regression {
+                    metric: format!("pht_channel[{}] missing", base_row.uarch),
+                    baseline: 1.0,
+                    current: 0.0,
+                }),
+            }
+        }
+    }
+
     out
 }
 
@@ -1933,6 +2054,18 @@ mod tests {
                     mean_confidence: 0.6,
                 },
             ]),
+            pht_channel: Some(vec![PhtChannelRecord {
+                uarch: "Zen 2".into(),
+                model: "EPYC 7252".into(),
+                flip_mask: 1 << 13,
+                bits: 128,
+                accuracy: 0.984375,
+                probes: 260,
+                abstentions: 0,
+                mean_confidence: 0.93,
+                seconds: 0.004,
+                bits_per_sec: 32000.0,
+            }]),
             host: None,
         }
     }
@@ -1976,6 +2109,10 @@ mod tests {
         rt!(
             snap.noise_sweep.as_ref().expect("sample has sweep")[0].clone(),
             NoiseSweepRecord
+        );
+        rt!(
+            snap.pht_channel.as_ref().expect("sample has pht rows")[0].clone(),
+            PhtChannelRecord
         );
     }
 
@@ -2126,6 +2263,36 @@ mod tests {
         assert!(!text.contains("noise_sweep"), "section omitted when None");
         let back = BenchSnapshot::from_json_str(&text).expect("parses");
         assert_eq!(back.noise_sweep, None);
+        let cur = sample_snapshot();
+        assert!(diff(&back, &cur, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn pht_channel_accuracy_regression_flags() {
+        let base = sample_snapshot();
+        let mut cur = base.clone();
+        cur.pht_channel.as_mut().unwrap()[0].accuracy -= 0.05; // 5 pp
+        let regs = diff(&base, &cur, &Tolerance::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].metric.contains("pht_channel"), "{}", regs[0]);
+        // A current run that dropped the section is a coverage loss.
+        cur.pht_channel = None;
+        let regs = diff(&base, &cur, &Tolerance::default());
+        assert!(
+            regs.iter()
+                .any(|r| r.metric.contains("pht_channel") && r.metric.contains("missing")),
+            "{regs:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_without_pht_channel_does_not_gate_it() {
+        let mut base = sample_snapshot();
+        base.pht_channel = None;
+        let text = base.to_json_string();
+        assert!(!text.contains("pht_channel"), "section omitted when None");
+        let back = BenchSnapshot::from_json_str(&text).expect("parses");
+        assert_eq!(back.pht_channel, None);
         let cur = sample_snapshot();
         assert!(diff(&back, &cur, &Tolerance::default()).is_empty());
     }

@@ -190,7 +190,11 @@ impl Machine {
     /// built from a custom [`UarchSpec`](crate::spec::UarchSpec) models
     /// that spec's hierarchy everywhere.
     pub fn new(profile: UarchProfile, phys_bytes: u64) -> Machine {
-        let bpu = Bpu::new(profile.btb_scheme.clone(), MsrState::none());
+        let bpu = Bpu::with_schemes(
+            profile.btb_scheme.clone(),
+            profile.cbp_scheme.clone(),
+            MsrState::none(),
+        );
         let caches = CacheHierarchy::new(profile.cache);
         let uop_cache = UopCache::with_geometry(profile.uop_geometry);
         Machine {

@@ -141,6 +141,13 @@ struct TraceEntry {
     /// BTB content-generation stamp: match ⇒ the `no_visible_hit` flags
     /// are still exact.
     btb_generation: u64,
+    /// CBP content-generation stamp. The CBP never makes a hidden
+    /// window visible (direction only gates *served* BTB hits), so this
+    /// is conservative — a stale stamp forces a live `predict_window`
+    /// call, which is pure when it returns `None` — but it keeps every
+    /// predictor structure covered by the same stamped-not-revalidated
+    /// contract.
+    cbp_generation: u64,
     /// Bit *i* set ⇔ at stamp time no visible BTB entry covered µop
     /// *i*'s span for (level, thread, MSR) — `predict_window` would
     /// return `None` without touching any predictor state, so replay
@@ -472,6 +479,7 @@ impl Machine {
             pt_user: self.page_table.class_version(false),
             pt_kernel: self.page_table.class_version(true),
             btb_generation: self.bpu.btb_generation(),
+            cbp_generation: self.bpu.cbp_generation(),
             no_visible_hit,
             block: Arc::new(TraceBlock {
                 level: self.level,
@@ -526,13 +534,14 @@ impl Machine {
             self.uop_dispatch(pc);
 
             // --- Pre-decode prediction for this instruction's span.
-            // While the full predictor context (BTB content generation,
-            // MSR, thread) still matches the entry's stamps, a stamped
+            // While the full predictor context (BTB and CBP content
+            // generations, MSR, thread) still matches the stamps, a stamped
             // `no_visible_hit` proves `predict_window` would return
             // `None` without any side effect — skip it. Any drift makes
             // the live call instead, exactly as `step()` would. ---
             let pred = if entry.no_visible_hit & (1 << i) != 0
                 && self.bpu.btb_generation() == entry.btb_generation
+                && self.bpu.cbp_generation() == entry.cbp_generation
                 && self.thread == entry.thread
                 && self.bpu.msr() == entry.msr
             {

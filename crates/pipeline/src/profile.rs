@@ -12,7 +12,7 @@
 //! builtin specs, and [`UarchProfile::all`] is served by the
 //! [`UarchRegistry`].
 
-use phantom_bpu::BtbScheme;
+use phantom_bpu::{BtbScheme, CbpScheme};
 use phantom_cache::{CacheGeometry, HierarchyConfig};
 
 use crate::intern::IStr;
@@ -59,6 +59,8 @@ pub struct UarchProfile {
     pub vendor: Vendor,
     /// BTB alias scheme.
     pub btb_scheme: BtbScheme,
+    /// Conditional-branch-predictor indexing scheme.
+    pub cbp_scheme: CbpScheme,
     /// Cache-hierarchy geometry and latencies.
     pub cache: HierarchyConfig,
     /// µop-cache shape (64 sets × 8 ways × 64 B on every paper part).
@@ -220,6 +222,13 @@ mod tests {
         assert!(!UarchProfile::zen3().supports_auto_ibrs);
         for p in [UarchProfile::intel9(), UarchProfile::intel13()] {
             assert!(p.btb_scheme.privilege_tagged, "{p}");
+        }
+    }
+
+    #[test]
+    fn builtin_profiles_carry_the_legacy_cbp() {
+        for p in UarchProfile::all() {
+            assert_eq!(p.cbp_scheme, CbpScheme::legacy(), "{p}");
         }
     }
 

@@ -45,7 +45,7 @@ pub use registry::UarchRegistry;
 
 use std::fmt;
 
-use phantom_bpu::{BtbScheme, FoldFamily, FoldFn};
+use phantom_bpu::{BtbScheme, CbpScheme, FoldFamily, FoldFn, MixedFold};
 use phantom_cache::{CacheGeometry, HierarchyConfig, Replacement};
 use phantom_gf2::BitMatrix;
 
@@ -130,6 +130,61 @@ impl BtbSpec {
     }
 }
 
+/// Conditional-branch-predictor geometry and indexing for a spec.
+///
+/// Every field has a legacy default ([`CbpSpec::default`] is the seed
+/// gshare PHT), so v1 spec files written before the `cbp` block existed
+/// parse — and behave — exactly as they always did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CbpSpec {
+    /// One `(pc_mask, hist_mask)` pair per set-index bit: index bit `i`
+    /// is the parity of the selected branch-PC bits XOR the parity of
+    /// the selected history bits. The table has `2^len` sets.
+    pub index_folds: Vec<(u64, u64)>,
+    /// PC fold masks forming the per-entry tag; empty means untagged
+    /// (classic gshare aliasing).
+    pub tag_folds: Vec<u64>,
+    /// Associativity (untagged schemes must be direct-mapped).
+    pub ways: usize,
+    /// Saturating-counter width in bits.
+    pub counter_bits: u32,
+    /// Global-history length in bits.
+    pub history_bits: u32,
+}
+
+impl Default for CbpSpec {
+    fn default() -> CbpSpec {
+        CbpSpec::from_scheme(&CbpScheme::legacy())
+    }
+}
+
+impl CbpSpec {
+    fn from_scheme(scheme: &CbpScheme) -> CbpSpec {
+        CbpSpec {
+            index_folds: scheme.index.iter().map(|f| (f.pc, f.hist)).collect(),
+            tag_folds: scheme.tag.iter().map(|f| f.mask).collect(),
+            ways: scheme.ways,
+            counter_bits: scheme.counter_bits,
+            history_bits: scheme.history_bits,
+        }
+    }
+
+    /// Compile to the runtime [`CbpScheme`].
+    pub fn scheme(&self) -> CbpScheme {
+        CbpScheme {
+            index: self
+                .index_folds
+                .iter()
+                .map(|&(pc, hist)| MixedFold { pc, hist })
+                .collect(),
+            tag: self.tag_folds.iter().map(|&mask| FoldFn { mask }).collect(),
+            ways: self.ways,
+            counter_bits: self.counter_bits,
+            history_bits: self.history_bits,
+        }
+    }
+}
+
 /// Cache-hierarchy geometry and latencies for a spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheSpec {
@@ -198,6 +253,8 @@ pub struct UarchSpec {
     pub freq_ghz: f64,
     /// BTB geometry and fold functions.
     pub btb: BtbSpec,
+    /// Conditional-branch-predictor geometry and fold functions.
+    pub cbp: CbpSpec,
     /// Cache hierarchy geometry and latencies.
     pub cache: CacheSpec,
     /// Fetch window in bytes (power of two).
@@ -234,6 +291,7 @@ impl UarchSpec {
             vendor: Vendor::Amd,
             freq_ghz: 3.6,
             btb: BtbSpec::from_scheme(&BtbScheme::zen12()),
+            cbp: CbpSpec::default(),
             cache: CacheSpec::paper(),
             fetch_block: 32,
             fetch_latency: 1,
@@ -257,6 +315,7 @@ impl UarchSpec {
             vendor: Vendor::Amd,
             freq_ghz: 3.1,
             btb: BtbSpec::from_scheme(&BtbScheme::zen12()),
+            cbp: CbpSpec::default(),
             cache: CacheSpec::paper(),
             fetch_block: 32,
             fetch_latency: 1,
@@ -281,6 +340,7 @@ impl UarchSpec {
             vendor: Vendor::Amd,
             freq_ghz: 3.9,
             btb: BtbSpec::from_scheme(&BtbScheme::zen34()),
+            cbp: CbpSpec::default(),
             cache: CacheSpec::paper(),
             fetch_block: 32,
             fetch_latency: 1,
@@ -304,6 +364,7 @@ impl UarchSpec {
             vendor: Vendor::Amd,
             freq_ghz: 4.5,
             btb: BtbSpec::from_scheme(&BtbScheme::zen34()),
+            cbp: CbpSpec::default(),
             cache: CacheSpec::paper(),
             fetch_block: 32,
             fetch_latency: 1,
@@ -326,6 +387,7 @@ impl UarchSpec {
             vendor: Vendor::Intel,
             freq_ghz,
             btb: BtbSpec::from_scheme(&BtbScheme::intel()),
+            cbp: CbpSpec::default(),
             cache: CacheSpec::paper(),
             fetch_block: 32,
             fetch_latency: 1,
@@ -472,6 +534,134 @@ impl UarchSpec {
             ));
         }
 
+        // CBP: nonempty independent index folds over PC ⊕ history,
+        // geometry the counter array can realize.
+        if self.cbp.ways == 0 {
+            return Err(invalid("cbp.ways", "must be nonzero"));
+        }
+        if self.cbp.tag_folds.is_empty() && self.cbp.ways != 1 {
+            return Err(invalid(
+                "cbp.ways",
+                format!(
+                    "an untagged cbp must be direct-mapped (got {} ways and no \
+                     cbp.tag_fold lines)",
+                    self.cbp.ways
+                ),
+            ));
+        }
+        if self.cbp.counter_bits == 0 || self.cbp.counter_bits > 8 {
+            return Err(invalid(
+                "cbp.counter_bits",
+                format!("must be in 1..=8 (got {})", self.cbp.counter_bits),
+            ));
+        }
+        if self.cbp.history_bits > 16 {
+            return Err(invalid(
+                "cbp.history_bits",
+                format!(
+                    "at most 16 history bits supported (got {})",
+                    self.cbp.history_bits
+                ),
+            ));
+        }
+        if self.cbp.index_folds.is_empty() {
+            return Err(invalid(
+                "cbp.index_fold",
+                "at least one index fold is required (a zero-set table predicts nothing)",
+            ));
+        }
+        if self.cbp.index_folds.len() > 24 {
+            return Err(invalid(
+                "cbp.index_fold",
+                format!(
+                    "at most 24 index folds supported (got {})",
+                    self.cbp.index_folds.len()
+                ),
+            ));
+        }
+        let hist_mask = (1u64 << self.cbp.history_bits) - 1;
+        for &(pc, hist) in &self.cbp.index_folds {
+            if pc == 0 && hist == 0 {
+                return Err(invalid(
+                    "cbp.index_fold",
+                    "an index fold must select some bits",
+                ));
+            }
+            if pc >> 48 != 0 {
+                return Err(invalid(
+                    "cbp.index_fold",
+                    format!(
+                        "fold {} selects PC bits at or above b48 (branch PCs are \
+                         48-bit canonical)",
+                        MixedFold { pc, hist }
+                    ),
+                ));
+            }
+            if hist & !hist_mask != 0 {
+                return Err(invalid(
+                    "cbp.index_fold",
+                    format!(
+                        "fold {} mixes history bits beyond the {}-bit register",
+                        MixedFold { pc, hist },
+                        self.cbp.history_bits
+                    ),
+                ));
+            }
+        }
+        // Full rank over the joint (PC, history) space: pack each fold
+        // into one 64-bit row — PC bits low, history bits shifted above
+        // b48 (both ranges are validated to fit).
+        let index_rows: Vec<u64> = self
+            .cbp
+            .index_folds
+            .iter()
+            .map(|&(pc, hist)| pc | (hist << 48))
+            .collect();
+        let rank = BitMatrix::from_rows(64, &index_rows).rank() as usize;
+        if rank != index_rows.len() {
+            return Err(invalid(
+                "cbp.index_fold",
+                format!(
+                    "index fold family is rank-deficient over GF(2): {} folds, \
+                     rank {rank} (a dependent fold halves the usable sets)",
+                    index_rows.len()
+                ),
+            ));
+        }
+        if self.cbp.tag_folds.len() > 32 {
+            return Err(invalid(
+                "cbp.tag_fold",
+                format!(
+                    "at most 32 tag folds supported (got {})",
+                    self.cbp.tag_folds.len()
+                ),
+            ));
+        }
+        for &mask in &self.cbp.tag_folds {
+            if mask == 0 {
+                return Err(invalid("cbp.tag_fold", "a tag fold must select some bits"));
+            }
+        }
+        if !self.cbp.tag_folds.is_empty() {
+            let rank = BitMatrix::from_rows(64, &self.cbp.tag_folds).rank() as usize;
+            if rank != self.cbp.tag_folds.len() {
+                return Err(invalid(
+                    "cbp.tag_fold",
+                    format!(
+                        "tag fold family is rank-deficient over GF(2): {} folds, \
+                         rank {rank}",
+                        self.cbp.tag_folds.len()
+                    ),
+                ));
+            }
+        }
+        // The runtime structure enforces its own residual constraints;
+        // surface them under the block name if any slip through.
+        self.cbp
+            .scheme()
+            .validate()
+            .map_err(|e| invalid("cbp", e))?;
+
         // Cache: power-of-two shapes, ordered latencies.
         for (field, g) in [
             ("cache.l1i", self.cache.l1i),
@@ -560,6 +750,7 @@ impl UarchSpec {
             model: IStr::new(&self.model),
             vendor: self.vendor,
             btb_scheme: self.btb.scheme(),
+            cbp_scheme: self.cbp.scheme(),
             cache: self.cache.hierarchy_config(),
             uop_geometry: self.cache.uop,
             fetch_block: self.fetch_block,
@@ -616,6 +807,15 @@ impl UarchSpec {
         ));
         for &mask in &self.btb.folds {
             out.push_str(&format!("  btb.fold {}\n", FoldFn { mask }));
+        }
+        out.push_str(&format!("  cbp.ways {}\n", self.cbp.ways));
+        out.push_str(&format!("  cbp.counter_bits {}\n", self.cbp.counter_bits));
+        out.push_str(&format!("  cbp.history_bits {}\n", self.cbp.history_bits));
+        for &(pc, hist) in &self.cbp.index_folds {
+            out.push_str(&format!("  cbp.index_fold {}\n", MixedFold { pc, hist }));
+        }
+        for &mask in &self.cbp.tag_folds {
+            out.push_str(&format!("  cbp.tag_fold {}\n", FoldFn { mask }));
         }
         out.push_str(&format!("  cache.l1i {}\n", geom(self.cache.l1i)));
         out.push_str(&format!("  cache.l1d {}\n", geom(self.cache.l1d)));

@@ -17,6 +17,11 @@
 //!   btb.ways 2
 //!   btb.privilege_tagged false
 //!   btb.fold b47 ^ b35 ^ b23   # repeatable, paper notation
+//!   cbp.ways 1                 # cbp.* all optional: defaults are the
+//!   cbp.counter_bits 2         # legacy gshare PHT, so pre-cbp files
+//!   cbp.history_bits 8         # parse to today's behavior
+//!   cbp.index_fold b1 ^ h0     # b = PC bit, h = history bit
+//!   cbp.tag_fold b22           # repeatable; none = untagged
 //!   cache.l1i 64 8 64          # sets ways line_size
 //!   …
 //! }
@@ -24,7 +29,7 @@
 
 use phantom_cache::{CacheGeometry, Replacement};
 
-use super::{BtbSpec, CacheSpec, SpecError, UarchSpec, SPEC_HEADER};
+use super::{BtbSpec, CacheSpec, CbpSpec, SpecError, UarchSpec, SPEC_HEADER};
 use crate::profile::Vendor;
 
 /// Parse a spec file: header plus zero or more `uarch` blocks, each
@@ -195,6 +200,35 @@ fn parse_fold(s: &str) -> Result<u64, String> {
     Ok(mask)
 }
 
+/// Parse a CBP index fold mixing PC and history bits: `b13 ^ b3 ^ h1`.
+/// `b<bit>` terms select branch-PC bits, `h<bit>` terms select global-
+/// history bits (h0 = most recent outcome).
+fn parse_mixed_fold(s: &str) -> Result<(u64, u64), String> {
+    let mut pc = 0u64;
+    let mut hist = 0u64;
+    for term in s.split('^') {
+        let term = term.trim();
+        let (mask, bit, kind) = if let Some(bit) = term.strip_prefix('b') {
+            (&mut pc, bit, 'b')
+        } else if let Some(bit) = term.strip_prefix('h') {
+            (&mut hist, bit, 'h')
+        } else {
+            return Err(format!(
+                "expected a `b<bit>` or `h<bit>` term, found {term:?}"
+            ));
+        };
+        let bit: u32 = parse_num(bit, "a bit index")?;
+        if bit >= 64 {
+            return Err(format!("bit index {kind}{bit} out of range (max {kind}63)"));
+        }
+        if *mask >> bit & 1 == 1 {
+            return Err(format!("duplicate term {kind}{bit}"));
+        }
+        *mask |= 1 << bit;
+    }
+    Ok((pc, hist))
+}
+
 /// Accumulates one `uarch` block; `finish` checks completeness.
 struct Builder {
     key: String,
@@ -205,6 +239,11 @@ struct Builder {
     btb_ways: Option<usize>,
     btb_privilege_tagged: Option<bool>,
     folds: Vec<u64>,
+    cbp_ways: Option<usize>,
+    cbp_counter_bits: Option<u32>,
+    cbp_history_bits: Option<u32>,
+    cbp_index_folds: Vec<(u64, u64)>,
+    cbp_tag_folds: Vec<u64>,
     l1i: Option<CacheGeometry>,
     l1d: Option<CacheGeometry>,
     l2: Option<CacheGeometry>,
@@ -244,6 +283,11 @@ impl Builder {
             btb_ways: None,
             btb_privilege_tagged: None,
             folds: Vec::new(),
+            cbp_ways: None,
+            cbp_counter_bits: None,
+            cbp_history_bits: None,
+            cbp_index_folds: Vec::new(),
+            cbp_tag_folds: Vec::new(),
             l1i: None,
             l1d: None,
             l2: None,
@@ -290,6 +334,25 @@ impl Builder {
             }
             "btb.fold" => {
                 self.folds.push(parse_fold(value)?);
+                Ok(())
+            }
+            "cbp.ways" => set(&mut self.cbp_ways, parse_num(value, "a way count")?, field),
+            "cbp.counter_bits" => set(
+                &mut self.cbp_counter_bits,
+                parse_num(value, "a counter width")?,
+                field,
+            ),
+            "cbp.history_bits" => set(
+                &mut self.cbp_history_bits,
+                parse_num(value, "a history length")?,
+                field,
+            ),
+            "cbp.index_fold" => {
+                self.cbp_index_folds.push(parse_mixed_fold(value)?);
+                Ok(())
+            }
+            "cbp.tag_fold" => {
+                self.cbp_tag_folds.push(parse_fold(value)?);
                 Ok(())
             }
             "cache.l1i" => set(&mut self.l1i, parse_geom(value)?, field),
@@ -360,6 +423,23 @@ impl Builder {
                 folds: self.folds,
                 ways: req(self.btb_ways, "btb.ways")?,
                 privilege_tagged: req(self.btb_privilege_tagged, "btb.privilege_tagged")?,
+            },
+            cbp: {
+                // Every cbp field is optional and defaults to the legacy
+                // gshare PHT, so pre-cbp v1 files keep today's behavior
+                // (same precedent as cache.replacement).
+                let legacy = CbpSpec::default();
+                CbpSpec {
+                    index_folds: if self.cbp_index_folds.is_empty() {
+                        legacy.index_folds
+                    } else {
+                        self.cbp_index_folds
+                    },
+                    tag_folds: self.cbp_tag_folds,
+                    ways: self.cbp_ways.unwrap_or(legacy.ways),
+                    counter_bits: self.cbp_counter_bits.unwrap_or(legacy.counter_bits),
+                    history_bits: self.cbp_history_bits.unwrap_or(legacy.history_bits),
+                }
             },
             cache: CacheSpec {
                 l1i: req(self.l1i, "cache.l1i")?,

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 
 use phantom_cache::{CacheGeometry, Replacement};
+use phantom_mem::VirtAddr;
 
 use super::*;
 use crate::profile::{UarchProfile, Vendor};
@@ -224,6 +225,51 @@ fn fold_notation_is_strict() {
 }
 
 #[test]
+fn mixed_fold_notation_is_strict() {
+    for (value, needle) in [
+        ("x3", "`b<bit>` or `h<bit>`"),
+        ("b64", "out of range"),
+        ("h64", "out of range"),
+        ("b3 ^ b3", "duplicate term b3"),
+        ("h2 ^ h2", "duplicate term h2"),
+        ("b12 ^ c13", "`b<bit>` or `h<bit>`"),
+        ("", "`b<bit>` or `h<bit>`"),
+    ] {
+        let text = UarchSpec::zen2().to_text().replace(
+            "btb.privilege_tagged false",
+            &format!("cbp.index_fold {value}"),
+        );
+        match parse_specs(&text) {
+            Err(SpecError::Parse { msg, .. }) => assert!(msg.contains(needle), "{msg}"),
+            other => panic!("fold {value:?}: expected parse error, got {other:?}"),
+        }
+    }
+    // The same term in pc and history space is NOT a duplicate: b3 ^ h3
+    // mixes two different registers.
+    let text = UarchSpec::zen2()
+        .to_text()
+        .replace("cbp.index_fold b1 ^ h0", "cbp.index_fold b13 ^ b1 ^ h3");
+    let parsed = parse_specs(&text).expect("mixed terms parse");
+    assert_eq!(parsed[0].cbp.index_folds[0], ((1 << 13) | (1 << 1), 1 << 3));
+}
+
+#[test]
+fn specs_without_a_cbp_block_parse_to_the_legacy_pht() {
+    // A v1 file written before the cbp block existed must still parse —
+    // and land on exactly the seed gshare PHT.
+    let text: String = UarchSpec::zen2()
+        .to_text()
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("cbp."))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(!text.contains("cbp."), "sanity: all cbp lines stripped");
+    let parsed = parse_specs(&text).expect("legacy text parses");
+    assert_eq!(parsed, vec![UarchSpec::zen2()]);
+    assert_eq!(parsed[0].cbp, CbpSpec::default());
+}
+
+#[test]
 fn string_escapes_are_strict() {
     let ok = "phantom-uarch-spec v1\nuarch x {\n  name \"a \\\"b\\\\ c\"\n";
     // Truncated on purpose: we only check the name line parses by
@@ -301,6 +347,36 @@ fn validation_rejects_bad_btb() {
     rejects("btb.fold", |s| {
         let dep = s.btb.folds[0] ^ s.btb.folds[1];
         s.btb.folds.push(dep);
+    });
+}
+
+#[test]
+fn validation_rejects_bad_cbp() {
+    rejects("cbp.ways", |s| s.cbp.ways = 0);
+    // An untagged table has no way to tell ways apart.
+    rejects("cbp.ways", |s| s.cbp.ways = 2);
+    rejects("cbp.counter_bits", |s| s.cbp.counter_bits = 0);
+    rejects("cbp.counter_bits", |s| s.cbp.counter_bits = 9);
+    rejects("cbp.history_bits", |s| s.cbp.history_bits = 17);
+    rejects("cbp.index_fold", |s| s.cbp.index_folds.clear());
+    rejects("cbp.index_fold", |s| s.cbp.index_folds.push((0, 0)));
+    // Branch PCs are 48-bit canonical.
+    rejects("cbp.index_fold", |s| s.cbp.index_folds.push((1 << 50, 0)));
+    // History term beyond the (legacy 8-bit) register.
+    rejects("cbp.index_fold", |s| s.cbp.index_folds.push((0, 1 << 8)));
+    rejects("cbp.index_fold", |s| {
+        s.cbp.index_folds = (0..25).map(|b| (1u64 << b, 0)).collect(); // 25 > 24
+    });
+    // A dependent combination (xor of two existing rows) is caught.
+    rejects("cbp.index_fold", |s| {
+        let (pa, ha) = s.cbp.index_folds[0];
+        let (pb, hb) = s.cbp.index_folds[1];
+        s.cbp.index_folds.push((pa ^ pb, ha ^ hb));
+    });
+    rejects("cbp.tag_fold", |s| s.cbp.tag_folds = vec![0]);
+    rejects("cbp.tag_fold", |s| s.cbp.tag_folds = vec![1 << 20; 2]); // rank 1
+    rejects("cbp.tag_fold", |s| {
+        s.cbp.tag_folds = (0..33).map(|b| 1u64 << b).collect(); // 33 > 32
     });
 }
 
@@ -444,6 +520,49 @@ fn arb_folds() -> BoxedStrategy<Vec<u64>> {
         .boxed()
 }
 
+/// CBP specs with echelon-form index folds: each fold owns a distinct
+/// leading PC bit, so the family is full-rank over the joint
+/// (PC, history) space whatever history bits ride along. Tag families
+/// (when present) get the same treatment.
+fn arb_cbp() -> BoxedStrategy<CbpSpec> {
+    let index = proptest::collection::vec((1u32..48, any::<u64>(), any::<u64>()), 1..8);
+    let tags = proptest::collection::vec((20u32..44, any::<u64>()), 0..4);
+    (1u32..17, index, tags, 1usize..4, 1u32..9)
+        .prop_map(|(history_bits, index_rows, tag_rows, ways, counter_bits)| {
+            let hist_mask = (1u64 << history_bits) - 1;
+            let mut taken = [false; 64];
+            let mut index_folds = Vec::new();
+            for (lead, low, hist) in index_rows {
+                if taken[lead as usize] {
+                    continue;
+                }
+                taken[lead as usize] = true;
+                index_folds.push((
+                    (1u64 << lead) | (low & ((1u64 << lead) - 1)),
+                    hist & hist_mask,
+                ));
+            }
+            let mut taken = [false; 64];
+            let mut tag_folds = Vec::new();
+            for (lead, low) in tag_rows {
+                if taken[lead as usize] {
+                    continue;
+                }
+                taken[lead as usize] = true;
+                tag_folds.push((1u64 << lead) | (low & ((1u64 << lead) - 1)));
+            }
+            CbpSpec {
+                index_folds,
+                // Untagged tables must be direct-mapped.
+                ways: if tag_folds.is_empty() { 1 } else { ways },
+                tag_folds,
+                counter_bits,
+                history_bits,
+            }
+        })
+        .boxed()
+}
+
 fn arb_geom() -> BoxedStrategy<CacheGeometry> {
     (0u32..8, 1usize..9, 4u32..9)
         .prop_map(|(sets, ways, line)| CacheGeometry {
@@ -467,11 +586,12 @@ fn arb_spec() -> BoxedStrategy<UarchSpec> {
     );
     let timing = ((3u32..8), 1u64..4, 0u64..6, 1u64..10, 1u64..60);
     let features = (0u8..2, 0u8..2, 0u8..2, 0u32..64, 0u32..64);
-    (identity, btb, caches, timing, features)
+    (identity, btb, arb_cbp(), caches, timing, features)
         .prop_map(
             |(
                 (key, name, model, vendor, freq_millis),
                 (folds, ways, tagged),
+                cbp,
                 (l1i, l1d, l2, uop, (l1_lat, l2_extra, mem_extra), repl),
                 (block_log2, fetch, decode, slack, backend_extra),
                 (suppress, ibrs, blind, phantom_uops, spectre_uops),
@@ -492,6 +612,7 @@ fn arb_spec() -> BoxedStrategy<UarchSpec> {
                         ways,
                         privilege_tagged: tagged == 1,
                     },
+                    cbp,
                     cache: CacheSpec {
                         l1i,
                         l1d,
@@ -551,6 +672,83 @@ proptest! {
         prop_assert_eq!(p.cache, spec.cache.hierarchy_config());
         prop_assert_eq!(p.uop_geometry, spec.cache.uop);
         prop_assert_eq!(p.btb_scheme.family.fns().len(), spec.btb.folds.len());
+        prop_assert_eq!(p.cbp_scheme, spec.cbp.scheme());
         prop_assert_eq!(p.freq_ghz, spec.freq_ghz);
+    }
+
+    /// Every generated CBP index family is full-rank over the joint
+    /// (PC, history) space, and so is every tag family — checked here
+    /// against the GF(2) rank directly rather than through `validate`.
+    #[test]
+    fn cbp_fold_families_are_full_rank(spec in arb_spec()) {
+        let rows: Vec<u64> = spec
+            .cbp
+            .index_folds
+            .iter()
+            .map(|&(pc, hist)| pc | (hist << 48))
+            .collect();
+        let rank = phantom_gf2::BitMatrix::from_rows(64, &rows).rank() as usize;
+        prop_assert_eq!(rank, rows.len());
+        if !spec.cbp.tag_folds.is_empty() {
+            let trank =
+                phantom_gf2::BitMatrix::from_rows(64, &spec.cbp.tag_folds).rank() as usize;
+            prop_assert_eq!(trank, spec.cbp.tag_folds.len());
+        }
+    }
+}
+
+// ----- property: CBP aliasing is spec-dependent -----------------------
+
+/// The M1-Firestorm-style CBP from `examples/uarch/m1_firestorm.spec`,
+/// reconstructed in code: 10 index bits, each folding PC bit `i+2` with
+/// PC bit `i+12` and XORing history bit `i`; 2 ways tagged by PC bits
+/// 22..=27; 16 outcomes of history.
+fn m1_cbp_scheme() -> CbpScheme {
+    CbpScheme {
+        index: (0..10)
+            .map(|i| MixedFold {
+                pc: (1u64 << (i + 2)) | (1u64 << (i + 12)),
+                hist: 1u64 << i,
+            })
+            .collect(),
+        tag: (22..28).map(|b| FoldFn { mask: 1u64 << b }).collect(),
+        ways: 2,
+        counter_bits: 2,
+        history_bits: 16,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Aliasing lives in the spec, not the code: a pair of PCs that
+    /// collide under the legacy gshare PHT are told apart by the M1
+    /// scheme, and the M1 out-of-place pair is told apart by legacy.
+    #[test]
+    fn cbp_aliasing_is_spec_dependent(
+        pc in any::<u64>(),
+        ghr in any::<u64>(),
+        far_bit in 13u32..22,
+        m1_fold in 1u32..10,
+    ) {
+        let legacy = CbpScheme::legacy();
+        let m1 = m1_cbp_scheme();
+        let a = VirtAddr::new(pc & 0x0000_7fff_ffff_ffff);
+
+        // Legacy indexes on PC bits 1..=12 only and carries no tag, so
+        // flipping a bit in 13..22 aliases — but that same bit feeds an
+        // M1 index fold, which separates the pair.
+        let b = VirtAddr::new(a.raw() ^ (1u64 << far_bit));
+        prop_assert!(legacy.aliases(a, b, ghr & 0xff));
+        prop_assert!(!m1.aliases(a, b, ghr & 0xffff));
+
+        // The M1 out-of-place pair flips both PC bits of one index fold
+        // (parity unchanged, tags untouched) — collides on M1, yet the
+        // low bit alone shifts the legacy index.
+        let c = VirtAddr::new(
+            a.raw() ^ (1u64 << (m1_fold + 2)) ^ (1u64 << (m1_fold + 12)),
+        );
+        prop_assert!(m1.aliases(a, c, ghr & 0xffff));
+        prop_assert!(!legacy.aliases(a, c, ghr & 0xff));
     }
 }

@@ -1,0 +1,108 @@
+//! End-to-end PHT channel over the committed M1-Firestorm spec: the
+//! file registers next to the builtins, its set-indexed history-mixed
+//! CBP admits *out-of-place* mistraining (a folded two-bit alias from
+//! another page) that the builtin Zen parts do not exhibit, and the
+//! BranchSpectre-style attack recovers a planted secret through the
+//! predictor's counters alone — identically at any worker count.
+
+use phantom::attacks::{out_of_place_cbp_alias, pht_channel_on, PhtChannelConfig};
+use phantom::runner::TrialRunner;
+use phantom::{UarchProfile, UarchRegistry, UarchSpec};
+use phantom_mem::VirtAddr;
+use phantom_pipeline::spec::parse_specs;
+
+const SPEC_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/examples/uarch/m1_firestorm.spec"
+);
+
+fn m1_spec() -> UarchSpec {
+    let text = std::fs::read_to_string(SPEC_PATH).expect("committed spec file");
+    let mut registry = UarchRegistry::with_builtins();
+    let keys = registry.register_text(&text).expect("spec registers");
+    assert_eq!(keys, vec!["m1f".to_string()]);
+    registry.get("m1f").expect("registered").clone()
+}
+
+#[test]
+fn committed_m1_spec_registers_and_round_trips() {
+    let spec = m1_spec();
+    assert_eq!(
+        parse_specs(&spec.to_text()).expect("reprints"),
+        vec![spec.clone()],
+        "committed spec must round-trip through the canonical printer"
+    );
+    let scheme = &spec.profile().cbp_scheme;
+    assert_eq!(scheme.summary(), "1024x2 c2 h16 +tag");
+}
+
+/// The mistraining geometry is spec-dependent: the M1 scheme's
+/// out-of-place alias is a folded PC-bit *pair* — both halves of one
+/// index fold flip, parity survives, tags untouched — while every
+/// builtin Zen part aliases on a single far bit. The pair does not
+/// alias under the legacy scheme, so the builtins cannot be mistrained
+/// this way.
+#[test]
+fn out_of_place_mistraining_is_an_m1_geometry_not_a_zen_one() {
+    let victim = VirtAddr::new(0x40_0000);
+
+    let m1 = m1_spec().profile().cbp_scheme.clone();
+    let m1_flip = out_of_place_cbp_alias(&m1, victim)
+        .expect("m1 alias exists")
+        .raw()
+        ^ victim.raw();
+    assert_eq!(m1_flip.count_ones(), 2, "folded pair, got {m1_flip:#x}");
+    let lo = m1_flip.trailing_zeros();
+    assert_eq!(
+        m1_flip,
+        (1 << lo) | (1 << (lo + 10)),
+        "both halves of one b(i+2)^b(i+12) fold"
+    );
+
+    for profile in UarchProfile::amd() {
+        let zen_flip = out_of_place_cbp_alias(&profile.cbp_scheme, victim)
+            .expect("zen alias exists")
+            .raw()
+            ^ victim.raw();
+        assert_eq!(
+            zen_flip.count_ones(),
+            1,
+            "{}: single far bit, got {zen_flip:#x}",
+            profile.name
+        );
+        assert!(
+            !profile
+                .cbp_scheme
+                .aliases(victim, VirtAddr::new(victim.raw() ^ m1_flip), 0),
+            "{}: the M1 pair must not alias under the legacy scheme",
+            profile.name
+        );
+    }
+
+    // And symmetrically: the M1 scheme separates the Zen far-bit alias
+    // (that bit feeds an index fold whose partner stays put).
+    assert!(!m1.aliases(victim, VirtAddr::new(victim.raw() ^ (1 << 13)), 0));
+}
+
+/// The attack itself, end-to-end on the registered spec: a secret
+/// planted in CBP counters is recovered through timing alone, with the
+/// out-of-place flip mask reported back — and the run is byte-stable
+/// across worker counts.
+#[test]
+fn m1_spec_leaks_through_the_pht_at_any_worker_count() {
+    let profile = m1_spec().profile();
+    let cfg = PhtChannelConfig { bits: 48, seed: 7 };
+
+    let one = pht_channel_on(&TrialRunner::with_threads(1), profile.clone(), cfg)
+        .expect("single-threaded run");
+    assert!(one.accuracy >= 0.9, "accuracy {}", one.accuracy);
+    assert_eq!(one.flip_mask.count_ones(), 2, "out-of-place folded pair");
+
+    let eight =
+        pht_channel_on(&TrialRunner::with_threads(8), profile, cfg).expect("eight-threaded run");
+    assert_eq!(one.accuracy, eight.accuracy);
+    assert_eq!(one.probes, eight.probes);
+    assert_eq!(one.abstentions, eight.abstentions);
+    assert_eq!(one.mean_confidence, eight.mean_confidence);
+    assert_eq!(one.flip_mask, eight.flip_mask);
+}
