@@ -87,6 +87,11 @@ usage: repro [command] [n] [flags]
   serve             campaign service: run the (uarch x scenario x
                     noise-point) job grid — 60 jobs, 15360 trials by
                     default — streaming one JSONL record per job
+  discover [budget] adversarial fuzz over the (program x spec) space:
+                    seeded victim programs, mutated uarch specs and
+                    aliased training sites, checked for decoder-
+                    detectable mispredictions reaching stage >= ID,
+                    minimized, GF(2)-confirmed, written as JSONL
   list-uarchs       list registered microarchitectures (builtins + --spec)
   bench             run everything, write a machine-readable snapshot
   all               everything above, quick settings (default)
@@ -106,15 +111,22 @@ flags:
                       var is not consulted — or validated — when
                       --workers is given)
 
+flags (serve + discover):
+  --out <path>        JSONL output path (default campaign.jsonl for
+                      serve, discover.jsonl for discover)
+  --seed <n>          base seed (default 0)
+
+flags (discover):
+  --corpus <dir>      also write the minimized, oracle-confirmed leaks
+                      as phantom-fuzz-case v1 files under <dir>
+
 flags (serve):
-  --out <path>        campaign JSONL output path (default campaign.jsonl)
   --resume <path>     resume from a partial JSONL file: its longest
                       valid prefix is kept byte-for-byte, the torn or
                       foreign tail is dropped, and the remaining jobs
                       are re-run; the final file is byte-identical to
                       an uninterrupted run
   --bits <n>          bits per transfer, i.e. trials per job (default 256)
-  --seed <n>          campaign base seed (default 0)
   --ab                instead of the grid, run one representative job
                       twice — forking the post-boot checkpoint per
                       trial vs re-booting per trial — and print both
@@ -736,6 +748,63 @@ fn bench(r: &TrialRunner, flags: &BenchFlags) -> Result<(), phantom_bench::Runne
     Ok(())
 }
 
+/// Run the discover fuzzer: evaluate `budget` seeded (program × spec)
+/// candidates, print the findings, write the JSONL report, and
+/// optionally emit the minimized corpus.
+fn discover(
+    r: &TrialRunner,
+    budget: usize,
+    seed: u64,
+    out: &std::path::Path,
+    corpus: Option<&std::path::Path>,
+) -> Result<(), phantom_bench::RunnerError> {
+    use phantom_bench::discover::{discover_jsonl, run_discover_on, train_id, DiscoverConfig};
+
+    let cfg = DiscoverConfig { budget, seed };
+    let t = timed(r, |r| run_discover_on(r, cfg))?;
+    let report = &t.result;
+    println!("§fuzz — adversarial (program × spec) discovery, seed {seed}");
+    println!(
+        "{} trials: {} leaks ({} beyond the Table 1 grid), {} quiet, {} rejected, {} faulted",
+        report.budget,
+        report.findings.len(),
+        report.findings.iter().filter(|f| f.beyond_table1).count(),
+        report.quiet,
+        report.rejected_total(),
+        report.faulted,
+    );
+    for (slug, count) in &report.rejected {
+        println!("  rejected[{slug}] = {count}");
+    }
+    for f in &report.findings {
+        println!(
+            "  #{:04} {:<14} train {:<8} delta {:#014x} stage {:<2} oracle {} {}",
+            f.index,
+            f.case.spec.key,
+            train_id(f.case.train),
+            f.case.delta,
+            f.stage,
+            if f.oracle_confirmed { "ok" } else { "??" },
+            if f.beyond_table1 {
+                "[beyond-table1]"
+            } else {
+                ""
+            },
+        );
+    }
+    std::fs::write(out, discover_jsonl(&report))?;
+    if let Some(dir) = corpus {
+        let paths = phantom_bench::discover::write_corpus(dir, &report, 16)?;
+        println!(
+            "[discover: wrote {} corpus case(s) under {}]",
+            paths.len(),
+            dir.display()
+        );
+    }
+    println!("[discover: wrote {} — {}]", out.display(), t.wall_note());
+    Ok(())
+}
+
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut flags = BenchFlags {
@@ -756,6 +825,11 @@ fn main() {
         ab: false,
     };
     let mut serve_flag_given: Option<&'static str> = None;
+    // --out/--seed are shared by serve and discover; --corpus is
+    // discover-only.
+    let mut shared_flag_given: Option<&'static str> = None;
+    let mut out_given = false;
+    let mut corpus_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     let missing = |flag: &str| -> ! { usage_error(&format!("{flag} requires a value")) };
     while let Some(arg) = args.next() {
@@ -791,7 +865,12 @@ fn main() {
             "--out" => {
                 let v = args.next().unwrap_or_else(|| missing("--out"));
                 serve_flags.out = v.into();
-                serve_flag_given = Some("--out");
+                out_given = true;
+                shared_flag_given = Some("--out");
+            }
+            "--corpus" => {
+                let v = args.next().unwrap_or_else(|| missing("--corpus"));
+                corpus_dir = Some(v.into());
             }
             "--resume" => {
                 let v = args.next().unwrap_or_else(|| missing("--resume"));
@@ -816,7 +895,7 @@ fn main() {
                         "invalid --seed {v:?}: expected an unsigned integer"
                     )),
                 }
-                serve_flag_given = Some("--seed");
+                shared_flag_given = Some("--seed");
             }
             "--ab" => {
                 serve_flags.ab = true;
@@ -893,11 +972,22 @@ fn main() {
 
     // Serve-only flags on any other command are a usage error, not a
     // silent no-op: `repro table2 --resume f` would otherwise discard
-    // the user's intent.
+    // the user's intent. --out/--seed are shared by serve and
+    // discover; --corpus belongs to discover alone.
     if cmd != "serve" {
         if let Some(flag) = serve_flag_given {
             usage_error(&format!("{flag} is only valid with the serve command"));
         }
+    }
+    if cmd != "serve" && cmd != "discover" {
+        if let Some(flag) = shared_flag_given {
+            usage_error(&format!(
+                "{flag} is only valid with the serve and discover commands"
+            ));
+        }
+    }
+    if cmd != "discover" && corpus_dir.is_some() {
+        usage_error("--corpus is only valid with the discover command");
     }
 
     let num = |i: usize, default: usize| -> usize {
@@ -922,6 +1012,20 @@ fn main() {
     let result: Result<(), phantom_bench::RunnerError> = match cmd {
         "table1" => table1(&r),
         "serve" => serve(&r, &registry, &uarch_names, &serve_flags),
+        "discover" => {
+            let out = if out_given {
+                serve_flags.out.clone()
+            } else {
+                std::path::PathBuf::from("discover.jsonl")
+            };
+            discover(
+                &r,
+                num(1, if full() { 512 } else { 64 }),
+                serve_flags.seed,
+                &out,
+                corpus_dir.as_deref(),
+            )
+        }
         "figure6" => figure6(&r, &figure6_profiles),
         "list-uarchs" => {
             list_uarchs(&registry);

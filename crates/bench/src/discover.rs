@@ -1,0 +1,1305 @@
+//! Adversarial auto-discovery over the (program × spec) space.
+//!
+//! The hand-written Table 1 sweep asks a fixed question: five canonical
+//! victims, five canonical trainings, eight builtin parts, training
+//! always *in place*. This module asks the open-ended one — *which*
+//! (victim program, microarchitecture, training placement) triples
+//! produce a decoder-detectable misprediction whose wrong path reaches
+//! stage ≥ ID? A seeded fuzzer drives three mutation axes at once:
+//!
+//! * **programs** — random [`ProgOp`] sequences assembled at the victim
+//!   site with [`phantom_isa::Assembler`]; malformed candidates
+//!   (undefined labels, backwards `org`, oversized displacements) are
+//!   *rejected candidates counted by reason*, not crashes — the
+//!   structured [`AsmError`] paths exist precisely so a fuzzer can lean
+//!   on them;
+//! * **specs** — builtin `phantom-uarch-spec v1` parts mutated within
+//!   validation bounds by [`mutate_spec`];
+//! * **placement** — the training site is `V ^ δ` for a BTB alias
+//!   delta δ solved from the spec's fold functions
+//!   ([`alias_delta`]), so out-of-place training through real BTB
+//!   aliasing is part of the search space.
+//!
+//! The leak property is checked over the event bus with
+//! [`LeakProbe`] and cross-checked against the
+//! [`TransientReport`](phantom_pipeline::TransientReport) ground
+//! truth; any disagreement is flagged on the finding. For δ ≠ 0 the
+//! GF(2) solver is the noise oracle: collisions collected from the
+//! spec's own BTB must recover functions that all annihilate δ
+//! ([`oracle_confirms`]), proving the alias is structural rather than
+//! a lucky eviction.
+//!
+//! Findings are minimized (delta-debug the instruction sequence, then
+//! shrink the spec toward its base builtin with
+//! [`shrink_candidates`]) and can be serialized as
+//! `phantom-fuzz-case v1` text files — the committed regression corpus
+//! under `tests/corpus/` that `tests/e2e_discover.rs` replays.
+//!
+//! Determinism contract: a case is a pure function of its trial seed,
+//! evaluation is a pure function of the case, and the JSONL report is
+//! a pure function of the (trial-ordered) samples — so `repro
+//! discover` output is byte-identical across runs and worker counts,
+//! like every other runner in this crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use phantom::collide::{collect_collisions, BtbOracle, CollisionOracle};
+use phantom::experiment::TrainKind;
+use phantom::property::LeakProbe;
+use phantom::report::json::SCHEMA;
+use phantom::report::value::JsonValue;
+use phantom::runner::{Scenario, ScenarioError, Trial, TrialRunner};
+use phantom::Stage;
+use phantom_gf2::{recover_functions, BitMatrix, RecoveryConfig};
+use phantom_isa::asm::AsmError;
+use phantom_isa::encode::encode_into;
+use phantom_isa::{Assembler, Cond, Inst, Reg};
+use phantom_mem::{PageFlags, VirtAddr};
+use phantom_pipeline::spec::mutate::{matches_base, mutate_spec, shrink_candidates};
+use phantom_pipeline::spec::{parse_specs, SPEC_HEADER};
+use phantom_pipeline::{Machine, UarchSpec};
+
+use crate::RunnerError;
+
+/// Header line of the corpus text format.
+pub const CASE_HEADER: &str = "phantom-fuzz-case v1";
+
+// The fixed geography, mirroring `phantom::experiment`'s standard
+// layout: victim site V, phantom target C (load payload), halt island
+// F, the RSB call site, the probe data page, and the stack.
+const VICTIM: u64 = 0x40_0ac0;
+const TARGET: u64 = 0x48_0b40;
+const HALT: u64 = 0x4c_0000;
+const CALL_SITE: u64 = 0x4a_0b3b;
+const PROBE: u64 = 0x60_0000;
+const STACK_BASE: u64 = 0x7000_0000;
+const STACK_TOP: u64 = 0x7000_4000 - 64;
+/// Span mapped (and writable) at the victim site; programs longer than
+/// this are rejected candidates.
+const PROG_SPAN: u64 = 0x2000;
+/// Distance from a training site to its direct-branch target — the
+/// same V→C displacement the Table 1 harness uses, kept constant so
+/// the phantom steer at V lands on the payload whether the BTB stores
+/// targets absolutely or PC-relatively.
+const DIRECT_SPAN: u64 = TARGET - VICTIM;
+/// Canonical 47-bit user virtual address space bound.
+const VA_LIMIT: u64 = 1 << 47;
+
+/// One instruction-sequence gene. The closed set keeps the corpus text
+/// format total: every op serializes with [`op_text`] and parses back
+/// with [`parse_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgOp {
+    /// Single-byte `nop`.
+    Nop,
+    /// Multi-byte nop of the given encoded length (3–15).
+    NopN(u8),
+    /// `ret` — pops the planted return address.
+    Ret,
+    /// `load r9, [r8]` — r8 holds the probe page.
+    Load,
+    /// `jmp* r11` — r11 holds the halt island.
+    JmpInd,
+    /// Define local label `Ln` here.
+    Label(u8),
+    /// `jmp Ln` — undefined labels are rejected candidates.
+    Jmp(u8),
+    /// `jb Ln` — CF is clear on the victim run, so never taken.
+    Jcc(u8),
+    /// `call Ln`.
+    Call(u8),
+    /// `org` to the given offset from the victim site; backwards moves
+    /// are rejected candidates.
+    Org(u16),
+}
+
+/// Canonical text form of one op (one corpus line, sans indent).
+#[must_use]
+pub fn op_text(op: ProgOp) -> String {
+    match op {
+        ProgOp::Nop => "nop".into(),
+        ProgOp::NopN(n) => format!("nopn {n}"),
+        ProgOp::Ret => "ret".into(),
+        ProgOp::Load => "load".into(),
+        ProgOp::JmpInd => "jmp_ind".into(),
+        ProgOp::Label(l) => format!("label {l}"),
+        ProgOp::Jmp(l) => format!("jmp {l}"),
+        ProgOp::Jcc(l) => format!("jcc {l}"),
+        ProgOp::Call(l) => format!("call {l}"),
+        ProgOp::Org(o) => format!("org {o:#x}"),
+    }
+}
+
+/// Parse one op line (inverse of [`op_text`]).
+///
+/// # Errors
+///
+/// Returns a message naming the unparsable token.
+pub fn parse_op(line: &str) -> Result<ProgOp, String> {
+    let mut parts = line.split_whitespace();
+    let head = parts.next().ok_or("empty op line")?;
+    let arg = parts.next();
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens on op line {line:?}"));
+    }
+    let num = |what: &str| -> Result<u64, String> {
+        let raw = arg.ok_or_else(|| format!("`{head}` needs a {what}"))?;
+        parse_u64(raw).ok_or_else(|| format!("bad {what} {raw:?}"))
+    };
+    let op = match head {
+        "nop" => ProgOp::Nop,
+        "nopn" => {
+            let n = num("length")?;
+            if !(3..=15).contains(&n) {
+                return Err(format!("nopn length {n} outside 3..=15"));
+            }
+            ProgOp::NopN(n as u8)
+        }
+        "ret" => ProgOp::Ret,
+        "load" => ProgOp::Load,
+        "jmp_ind" => ProgOp::JmpInd,
+        "label" => ProgOp::Label(label_id(num("label id")?)?),
+        "jmp" => ProgOp::Jmp(label_id(num("label id")?)?),
+        "jcc" => ProgOp::Jcc(label_id(num("label id")?)?),
+        "call" => ProgOp::Call(label_id(num("label id")?)?),
+        "org" => {
+            let o = num("offset")?;
+            if o >= PROG_SPAN {
+                return Err(format!("org offset {o:#x} outside the victim span"));
+            }
+            ProgOp::Org(o as u16)
+        }
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    match (op, arg) {
+        (ProgOp::Nop | ProgOp::Ret | ProgOp::Load | ProgOp::JmpInd, Some(extra)) => {
+            Err(format!("`{head}` takes no argument, found {extra:?}"))
+        }
+        _ => Ok(op),
+    }
+}
+
+fn label_id(n: u64) -> Result<u8, String> {
+    if n < 8 {
+        Ok(n as u8)
+    } else {
+        Err(format!("label id {n} outside 0..8"))
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Assemble an op sequence at `base`, with a terminating `hlt`.
+///
+/// # Errors
+///
+/// Returns the assembler's structured [`AsmError`] for malformed
+/// sequences — the fuzzer counts these as rejected candidates.
+pub fn assemble_ops(base: u64, ops: &[ProgOp]) -> Result<Vec<u8>, AsmError> {
+    let mut a = Assembler::new(base);
+    for &op in ops {
+        match op {
+            ProgOp::Nop => a.push(Inst::Nop),
+            ProgOp::NopN(n) => a.push(Inst::NopN { len: n }),
+            ProgOp::Ret => a.push(Inst::Ret),
+            ProgOp::Load => a.push(Inst::Load {
+                dst: Reg::R9,
+                base: Reg::R8,
+                disp: 0,
+            }),
+            ProgOp::JmpInd => a.push(Inst::JmpInd { src: Reg::R11 }),
+            ProgOp::Label(l) => a.label(format!("L{l}")),
+            ProgOp::Jmp(l) => a.jmp(format!("L{l}")),
+            ProgOp::Jcc(l) => a.jb(format!("L{l}")),
+            ProgOp::Call(l) => a.call(format!("L{l}")),
+            ProgOp::Org(o) => a.org(base + u64::from(o)),
+        };
+    }
+    a.push(Inst::Halt);
+    Ok(a.finish()?.bytes)
+}
+
+/// Stable identifier for a training kind in records and corpus files.
+#[must_use]
+pub fn train_id(train: TrainKind) -> &'static str {
+    match train {
+        TrainKind::JmpInd => "jmp_ind",
+        TrainKind::Jmp => "jmp",
+        TrainKind::Jcc => "jcc",
+        TrainKind::Ret => "ret",
+        TrainKind::NonBranch => "non_branch",
+    }
+}
+
+/// Inverse of [`train_id`].
+#[must_use]
+pub fn train_from_id(s: &str) -> Option<TrainKind> {
+    Some(match s {
+        "jmp_ind" => TrainKind::JmpInd,
+        "jmp" => TrainKind::Jmp,
+        "jcc" => TrainKind::Jcc,
+        "ret" => TrainKind::Ret,
+        "non_branch" => TrainKind::NonBranch,
+        _ => return None,
+    })
+}
+
+/// One point in the (program × spec × placement) search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Key of the builtin the spec derives from.
+    pub base_key: String,
+    /// The spec under test (a builtin, or a validated mutant of one).
+    pub spec: UarchSpec,
+    /// Whether `spec` differs from the builtin `base_key` names.
+    pub mutated: bool,
+    /// How the predictor is trained before the victim run.
+    pub train: TrainKind,
+    /// XOR between the training site and the victim site (0 = the
+    /// classic in-place Table 1 setup). Non-zero deltas are BTB alias
+    /// vectors solved from the spec's fold functions.
+    pub delta: u64,
+    /// The victim program installed at V.
+    pub ops: Vec<ProgOp>,
+    /// The trial seed the case was generated from; also seeds the
+    /// GF(2) oracle's collision sampling.
+    pub seed: u64,
+}
+
+/// Solve the spec's BTB fold functions for a non-trivial alias delta:
+/// a vector δ over translated bits 12–46 with every restricted fold
+/// parity zero, so training at `V ^ δ` populates the entry that serves
+/// predictions at `V`. Returns `None` when the restricted nullspace is
+/// trivial. Pure function of `(spec, seed)`.
+#[must_use]
+pub fn alias_delta(spec: &UarchSpec, seed: u64) -> Option<u64> {
+    // Only bits the fuzzer may flip: keep the page offset (the BTB is
+    // indexed by it directly) and keep b47 (user/kernel half).
+    const FLIP_MASK: u64 = 0x0000_7fff_ffff_f000;
+    let masked: Vec<u64> = spec.btb.folds.iter().map(|f| f & FLIP_MASK).collect();
+    let basis: Vec<u64> = BitMatrix::from_rows(47, &masked)
+        .orthogonal_basis()
+        .into_iter()
+        .filter(|v| *v != 0 && v & 0xfff == 0)
+        .collect();
+    if basis.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A random non-empty basis combination, so repeated draws explore
+    // the whole alias class rather than one vector.
+    let mut delta = basis[rng.gen_range(0..basis.len())];
+    for v in &basis {
+        if rng.gen_bool(0.25) {
+            delta ^= v;
+        }
+    }
+    if delta == 0 {
+        delta = basis[0];
+    }
+    debug_assert!(spec
+        .btb
+        .folds
+        .iter()
+        .all(|f| (delta & f).count_ones().is_multiple_of(2)));
+    Some(delta)
+}
+
+/// Generate the case for one trial. Pure function of `seed`.
+#[must_use]
+pub fn generate_case(seed: u64) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let builtins = UarchSpec::builtins();
+    let base = builtins[rng.gen_range(0..builtins.len())].clone();
+    let (spec, mutated) = if rng.gen_bool(0.5) {
+        let mutation_seed = rng.gen::<u64>();
+        match mutate_spec(&base, mutation_seed) {
+            Some(m) => (m, true),
+            None => (base.clone(), false),
+        }
+    } else {
+        (base.clone(), false)
+    };
+    let train = [
+        TrainKind::JmpInd,
+        TrainKind::Jmp,
+        TrainKind::Jcc,
+        TrainKind::Ret,
+    ][rng.gen_range(0..4usize)];
+    let delta = if rng.gen_bool(0.5) {
+        let delta_seed = rng.gen::<u64>();
+        alias_delta(&spec, delta_seed).unwrap_or(0)
+    } else {
+        0
+    };
+    let ops = random_ops(&mut rng);
+    FuzzCase {
+        base_key: base.key.clone(),
+        spec,
+        mutated,
+        train,
+        delta,
+        ops,
+        seed,
+    }
+}
+
+fn random_ops(rng: &mut StdRng) -> Vec<ProgOp> {
+    let count = rng.gen_range(1..6usize);
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        ops.push(match rng.gen_range(0..13u32) {
+            0 | 1 => ProgOp::Nop,
+            2 => ProgOp::NopN(rng.gen_range(3..16u8)),
+            3 | 4 => ProgOp::Ret,
+            5 => ProgOp::Load,
+            6 | 7 => ProgOp::JmpInd,
+            8 => ProgOp::Label(rng.gen_range(0..2u8)),
+            9 => ProgOp::Jmp(rng.gen_range(0..2u8)),
+            10 => ProgOp::Jcc(rng.gen_range(0..2u8)),
+            11 => ProgOp::Org(rng.gen_range(0..0x1800u16)),
+            _ => ProgOp::Call(rng.gen_range(0..2u8)),
+        });
+    }
+    ops
+}
+
+/// What one victim run showed, by both vantage points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakObservation {
+    /// Deepest stage per the event-bus [`LeakProbe`].
+    pub stage: Stage,
+    /// Deepest stage per the machine's `TransientReport` ground truth.
+    pub truth: Stage,
+    /// The two vantage points disagree — itself a finding (a channel
+    /// or probe bug).
+    pub disagreement: bool,
+}
+
+/// The evaluation of one fuzz case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The program never assembled (structured [`AsmError`] slug) or
+    /// the geography was impossible; counted by reason.
+    Rejected(String),
+    /// The machine faulted mid-run.
+    Faulted(String),
+    /// Ran clean; the leak property did not hold.
+    Quiet(Stage),
+    /// The leak property held.
+    Leak(LeakObservation),
+}
+
+struct PageMapper {
+    mapped: BTreeSet<u64>,
+}
+
+impl PageMapper {
+    fn new() -> PageMapper {
+        PageMapper {
+            mapped: BTreeSet::new(),
+        }
+    }
+
+    /// Map every page of `[base, base+len)` not already mapped.
+    fn ensure(
+        &mut self,
+        m: &mut Machine,
+        base: u64,
+        len: u64,
+        flags: PageFlags,
+    ) -> Result<(), String> {
+        let first = base & !0xfff;
+        let last = (base + len - 1) & !0xfff;
+        let mut page = first;
+        loop {
+            if self.mapped.insert(page) {
+                m.map_range(VirtAddr::new(page), 0x1000, flags)
+                    .map_err(|e| e.to_string())?;
+            }
+            if page == last {
+                break;
+            }
+            page += 0x1000;
+        }
+        Ok(())
+    }
+}
+
+fn emit(inst: &Inst) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    encode_into(inst, &mut bytes).expect("canonical instructions encode");
+    bytes
+}
+
+fn payload_bytes() -> Vec<u8> {
+    let mut bytes = emit(&Inst::Load {
+        dst: Reg::R9,
+        base: Reg::R8,
+        disp: 0,
+    });
+    bytes.push(0xf4);
+    bytes
+}
+
+/// Evaluate one case: train at `V ^ δ`, install the candidate program
+/// at `V`, run, and read the leak property off the event bus. Pure
+/// function of the case; candidate-induced failures come back as
+/// [`CaseOutcome::Rejected`] / [`CaseOutcome::Faulted`], never panics.
+#[must_use]
+pub fn run_case(case: &FuzzCase) -> CaseOutcome {
+    let bytes = match assemble_ops(VICTIM, &case.ops) {
+        Ok(b) => b,
+        Err(e) => return CaseOutcome::Rejected(asm_reject_slug(&e).into()),
+    };
+    if bytes.len() as u64 > PROG_SPAN {
+        return CaseOutcome::Rejected("program-too-large".into());
+    }
+    let train_site = VICTIM ^ case.delta;
+    if train_site.wrapping_add(DIRECT_SPAN) >= VA_LIMIT {
+        return CaseOutcome::Rejected("train-site-out-of-range".into());
+    }
+
+    let mut m = Machine::new(case.spec.profile(), 1 << 26);
+    let mut pages = PageMapper::new();
+    let text = PageFlags::USER_TEXT | PageFlags::WRITE;
+    let mut geography = || -> Result<(), String> {
+        // The program begins mid-page at V and may `org` forward up to
+        // PROG_SPAN, so the mapping must cover [V, V + PROG_SPAN), not
+        // just PROG_SPAN bytes from the page base.
+        pages.ensure(&mut m, VICTIM & !0xfff, (VICTIM & 0xfff) + PROG_SPAN, text)?;
+        pages.ensure(&mut m, train_site & !0xfff, 0x1000, text)?;
+        pages.ensure(&mut m, TARGET & !0xfff, 0x1000, text)?;
+        pages.ensure(&mut m, HALT & !0xfff, 0x1000, text)?;
+        pages.ensure(&mut m, CALL_SITE & !0xfff, 0x1000, text)?;
+        pages.ensure(&mut m, PROBE, 0x1000, PageFlags::USER_DATA)?;
+        pages.ensure(&mut m, STACK_BASE, 0x4000, PageFlags::USER_DATA)?;
+        if matches!(case.train, TrainKind::Jmp | TrainKind::Jcc) {
+            pages.ensure(&mut m, (train_site + DIRECT_SPAN) & !0xfff, 0x1000, text)?;
+        }
+        Ok(())
+    };
+    if let Err(e) = geography() {
+        return CaseOutcome::Faulted(format!("map: {e}"));
+    }
+
+    m.poke(VirtAddr::new(TARGET), &payload_bytes());
+    m.poke(VirtAddr::new(HALT), &emit(&Inst::Halt));
+    m.set_reg(Reg::R8, PROBE);
+
+    // --- Train at the (possibly aliased) site. ----------------------
+    let x = VirtAddr::new(train_site);
+    let train_result: Result<(), String> = (|| {
+        match case.train {
+            TrainKind::JmpInd => {
+                let mut b = emit(&Inst::JmpInd { src: Reg::R11 });
+                b.push(0xf4);
+                m.poke(x, &b);
+                m.set_reg(Reg::R11, TARGET);
+                m.set_reg(Reg::SP, STACK_TOP);
+                m.set_pc(x);
+                m.run(8).map_err(|e| e.to_string())?;
+            }
+            TrainKind::Jmp => {
+                m.poke(VirtAddr::new(train_site + DIRECT_SPAN), &payload_bytes());
+                let mut b = emit(&Inst::Jmp {
+                    disp: (DIRECT_SPAN - 5) as i32,
+                });
+                b.push(0xf4);
+                m.poke(x, &b);
+                m.set_pc(x);
+                m.run(8).map_err(|e| e.to_string())?;
+            }
+            TrainKind::Jcc => {
+                m.poke(VirtAddr::new(train_site + DIRECT_SPAN), &payload_bytes());
+                let mut b = emit(&Inst::Jcc {
+                    cond: Cond::Eq,
+                    disp: (DIRECT_SPAN - 6) as i32,
+                });
+                b.push(0xf4);
+                m.poke(x, &b);
+                for _ in 0..10 {
+                    m.set_flags(true, false, false);
+                    m.set_pc(x);
+                    m.run(8).map_err(|e| e.to_string())?;
+                }
+            }
+            TrainKind::Ret => {
+                let mut b = emit(&Inst::Ret);
+                b.push(0xf4);
+                m.poke(x, &b);
+                m.set_reg(Reg::SP, STACK_TOP);
+                m.poke_u64(VirtAddr::new(STACK_TOP), TARGET);
+                m.set_pc(x);
+                m.run(8).map_err(|e| e.to_string())?;
+                // Plant the RSB: execute a call near the victim so the
+                // predicted return target is the payload after it.
+                let disp = (HALT as i64 - (CALL_SITE as i64 + 5)) as i32;
+                m.poke(VirtAddr::new(CALL_SITE), &emit(&Inst::Call { disp }));
+                m.poke(VirtAddr::new(CALL_SITE + 5), &payload_bytes());
+                m.set_reg(Reg::SP, STACK_TOP);
+                m.set_pc(VirtAddr::new(CALL_SITE));
+                m.run(4).map_err(|e| e.to_string())?;
+            }
+            TrainKind::NonBranch => {}
+        }
+        Ok(())
+    })();
+    if let Err(e) = train_result {
+        return CaseOutcome::Faulted(format!("train: {e}"));
+    }
+
+    // --- Install the candidate program and run the victim. ----------
+    m.poke(VirtAddr::new(VICTIM), &bytes);
+    m.set_reg(Reg::R11, HALT);
+    m.set_reg(Reg::SP, STACK_TOP - 128);
+    m.poke_u64(VirtAddr::new(STACK_TOP - 128), HALT);
+    m.set_flags(true, false, false);
+
+    let sink = m.attach_sink(LeakProbe::new());
+    m.set_pc(VirtAddr::new(VICTIM));
+    let run = m.run_collecting(24);
+    let probe = m
+        .detach_sink_as::<LeakProbe>(sink)
+        .expect("probe still attached");
+    let reports = match run {
+        Ok((_, reports)) => reports,
+        Err(e) => return CaseOutcome::Faulted(format!("victim: {e}")),
+    };
+
+    let truth = reports
+        .iter()
+        .map(|r| {
+            if !r.loads_dispatched.is_empty() {
+                Stage::Ex
+            } else if r.decoded {
+                Stage::Id
+            } else if r.fetched {
+                Stage::If
+            } else {
+                Stage::None
+            }
+        })
+        .max()
+        .unwrap_or(Stage::None);
+    let stage = probe.deepest_stage();
+    if !probe.verdict() {
+        return CaseOutcome::Quiet(stage);
+    }
+    CaseOutcome::Leak(LeakObservation {
+        stage,
+        truth,
+        disagreement: stage != truth,
+    })
+}
+
+fn asm_reject_slug(e: &AsmError) -> &'static str {
+    match e {
+        AsmError::UndefinedLabel { .. } => "undefined-label",
+        AsmError::DuplicateLabel { .. } => "duplicate-label",
+        AsmError::DispOverflow { .. } => "disp-overflow",
+        AsmError::OrgBackwards { .. } => "org-backwards",
+        AsmError::OrgTooFar { .. } => "org-too-far",
+        _ => "encode",
+    }
+}
+
+/// GF(2) confirmation that a non-zero delta is a structural BTB alias:
+/// the spec's own BTB must serve `V` after training at `V ^ δ`, and
+/// functions recovered from freshly sampled collisions must all
+/// annihilate δ. An in-place case (δ = 0) is trivially confirmed.
+#[must_use]
+pub fn oracle_confirms(case: &FuzzCase) -> bool {
+    if case.delta == 0 {
+        return true;
+    }
+    let mut oracle = BtbOracle::new(case.spec.btb.scheme());
+    let victim = VirtAddr::new(VICTIM);
+    if !oracle.collides(VirtAddr::new(VICTIM ^ case.delta), victim) {
+        return false;
+    }
+    // Enough samples to span the alias nullspace (dimension ≤ 35 −
+    // rank ≈ 22 for the builtins): with fewer, the solver recovers
+    // spurious low-weight functions that are orthogonal only to the
+    // sampled differences, and the oracle wrongly refutes real aliases.
+    let colliders = collect_collisions(&mut oracle, victim, 32, case.seed ^ 0x6f72_6163);
+    let functions = recover_functions(&[(VICTIM, colliders)], RecoveryConfig::default());
+    functions.iter().all(|f| f.eval(case.delta) == 0)
+}
+
+fn builtin_by_key(key: &str) -> Option<UarchSpec> {
+    UarchSpec::builtins().into_iter().find(|s| s.key == key)
+}
+
+/// Minimize a leaky case: delta-debug the op sequence (greedy removal
+/// to a fixpoint), then shrink the spec toward its base builtin,
+/// keeping every step that still leaks. Pure function of the case, so
+/// minimization is deterministic.
+#[must_use]
+pub fn minimize_case(case: &FuzzCase) -> FuzzCase {
+    let leaks = |c: &FuzzCase| matches!(run_case(c), CaseOutcome::Leak(_));
+    let mut cur = case.clone();
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < cur.ops.len() {
+            let mut cand = cur.clone();
+            cand.ops.remove(i);
+            if leaks(&cand) {
+                cur = cand;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    if cur.mutated {
+        if let Some(base) = builtin_by_key(&cur.base_key) {
+            loop {
+                let mut advanced = false;
+                for spec in shrink_candidates(&cur.spec, &base) {
+                    let mut cand = cur.clone();
+                    cand.spec = spec;
+                    if leaks(&cand) {
+                        cur = cand;
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+            if matches_base(&cur.spec, &base) {
+                cur.spec = base;
+                cur.mutated = false;
+            }
+        }
+    }
+    cur
+}
+
+/// True when the case sits outside the hand-written Table 1 grid:
+/// a mutated spec, an out-of-place training delta, or a victim program
+/// that is not one of the five canonical single-instruction victims.
+#[must_use]
+pub fn beyond_table1(case: &FuzzCase) -> bool {
+    if case.mutated || case.delta != 0 {
+        return true;
+    }
+    !matches!(
+        case.ops.as_slice(),
+        [] | [ProgOp::Nop] | [ProgOp::NopN(_)] | [ProgOp::Ret] | [ProgOp::JmpInd]
+    )
+}
+
+/// A minimized, double-checked leak the fuzzer discovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Trial index that produced the case.
+    pub index: usize,
+    /// The minimized case.
+    pub case: FuzzCase,
+    /// Deepest stage per the event-bus probe.
+    pub stage: Stage,
+    /// Deepest stage per the `TransientReport` ground truth.
+    pub truth: Stage,
+    /// The probe and the ground truth disagree.
+    pub disagreement: bool,
+    /// The GF(2) oracle confirms the (possibly aliased) placement.
+    pub oracle_confirmed: bool,
+    /// Outside the Table 1 grid.
+    pub beyond_table1: bool,
+}
+
+/// Aggregated output of one discovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoverReport {
+    /// Trials evaluated.
+    pub budget: usize,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Minimized leaks, in trial order.
+    pub findings: Vec<Finding>,
+    /// Trials that ran clean without leaking.
+    pub quiet: usize,
+    /// Trials whose program never assembled, by reason slug.
+    pub rejected: BTreeMap<String, usize>,
+    /// Trials that faulted mid-run, by reason.
+    pub faulted: usize,
+}
+
+impl DiscoverReport {
+    /// Total rejected candidates across all reasons.
+    #[must_use]
+    pub fn rejected_total(&self) -> usize {
+        self.rejected.values().sum()
+    }
+}
+
+enum Disposition {
+    Leak(Box<Finding>),
+    Quiet,
+    Rejected(String),
+    Faulted,
+}
+
+/// Fuzz configuration: trial budget and base seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscoverConfig {
+    /// Number of (program × spec) candidates to evaluate.
+    pub budget: usize,
+    /// Base seed; each trial's case derives from
+    /// `phantom::runner::trial_seed(seed, index)`.
+    pub seed: u64,
+}
+
+struct DiscoverScenario {
+    cfg: DiscoverConfig,
+}
+
+impl Scenario for DiscoverScenario {
+    type State = ();
+    type Checkpoint = ();
+    type Sample = Disposition;
+    type Output = DiscoverReport;
+
+    fn trials(&self) -> usize {
+        self.cfg.budget
+    }
+
+    fn setup(&self) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn checkpoint(&self, (): ()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn fork(&self, (): &()) -> Result<(), ScenarioError> {
+        Ok(())
+    }
+
+    fn probe(&self, (): &mut (), trial: Trial) -> Result<Disposition, ScenarioError> {
+        let case = generate_case(trial.seed);
+        Ok(match run_case(&case) {
+            CaseOutcome::Rejected(reason) => Disposition::Rejected(reason),
+            CaseOutcome::Faulted(_) => Disposition::Faulted,
+            CaseOutcome::Quiet(_) => Disposition::Quiet,
+            CaseOutcome::Leak(_) => {
+                let min = minimize_case(&case);
+                match run_case(&min) {
+                    CaseOutcome::Leak(obs) => Disposition::Leak(Box::new(Finding {
+                        index: trial.index,
+                        oracle_confirmed: oracle_confirms(&min),
+                        beyond_table1: beyond_table1(&min),
+                        stage: obs.stage,
+                        truth: obs.truth,
+                        disagreement: obs.disagreement,
+                        case: min,
+                    })),
+                    // Minimization only keeps leaking steps, so the
+                    // minimum must still leak; anything else is a
+                    // harness bug worth surfacing as a fault count.
+                    _ => Disposition::Faulted,
+                }
+            }
+        })
+    }
+
+    fn score(&self, samples: Vec<Disposition>) -> DiscoverReport {
+        let mut report = DiscoverReport {
+            budget: self.cfg.budget,
+            seed: self.cfg.seed,
+            findings: Vec::new(),
+            quiet: 0,
+            rejected: BTreeMap::new(),
+            faulted: 0,
+        };
+        for sample in samples {
+            match sample {
+                Disposition::Leak(f) => report.findings.push(*f),
+                Disposition::Quiet => report.quiet += 1,
+                Disposition::Rejected(reason) => {
+                    *report.rejected.entry(reason).or_insert(0) += 1;
+                }
+                Disposition::Faulted => report.faulted += 1,
+            }
+        }
+        report
+    }
+}
+
+/// Run a discovery campaign on a default runner.
+///
+/// # Errors
+///
+/// Propagates scenario failures.
+pub fn run_discover(cfg: DiscoverConfig) -> Result<DiscoverReport, RunnerError> {
+    run_discover_on(&TrialRunner::new(), cfg)
+}
+
+/// [`run_discover`] on an explicit runner. Output is byte-identical at
+/// any worker count.
+///
+/// # Errors
+///
+/// Propagates scenario failures.
+pub fn run_discover_on(
+    runner: &TrialRunner,
+    cfg: DiscoverConfig,
+) -> Result<DiscoverReport, RunnerError> {
+    runner.run(&DiscoverScenario { cfg }, cfg.seed)
+}
+
+/// Render the report as `phantom-bench/v1` JSONL: one `discover`
+/// record per finding plus a trailing `discover-summary` record. Pure
+/// function of the report; carries no wall-clock data.
+#[must_use]
+pub fn discover_jsonl(report: &DiscoverReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let mut o = JsonValue::object();
+        o.set("schema", JsonValue::Str(SCHEMA.into()))
+            .set("kind", JsonValue::Str("discover".into()))
+            .set("index", JsonValue::Uint(f.index as u64))
+            .set("base", JsonValue::Str(f.case.base_key.clone()))
+            .set("uarch", JsonValue::Str(f.case.spec.key.clone()))
+            .set("mutated", JsonValue::Bool(f.case.mutated))
+            .set("train", JsonValue::Str(train_id(f.case.train).into()))
+            .set("delta", JsonValue::Uint(f.case.delta))
+            .set(
+                "prog",
+                JsonValue::Str(
+                    f.case
+                        .ops
+                        .iter()
+                        .map(|&op| op_text(op))
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                ),
+            )
+            .set("stage", JsonValue::Str(f.stage.to_string()))
+            .set("truth", JsonValue::Str(f.truth.to_string()))
+            .set("disagreement", JsonValue::Bool(f.disagreement))
+            .set("oracle", JsonValue::Bool(f.oracle_confirmed))
+            .set("beyond_table1", JsonValue::Bool(f.beyond_table1));
+        out.push_str(&o.to_compact_string());
+        out.push('\n');
+    }
+    let mut reasons = JsonValue::object();
+    for (slug, count) in &report.rejected {
+        reasons.set(slug.as_str(), JsonValue::Uint(*count as u64));
+    }
+    let mut s = JsonValue::object();
+    s.set("schema", JsonValue::Str(SCHEMA.into()))
+        .set("kind", JsonValue::Str("discover-summary".into()))
+        .set("seed", JsonValue::Uint(report.seed))
+        .set("budget", JsonValue::Uint(report.budget as u64))
+        .set("leaks", JsonValue::Uint(report.findings.len() as u64))
+        .set(
+            "beyond_table1",
+            JsonValue::Uint(report.findings.iter().filter(|f| f.beyond_table1).count() as u64),
+        )
+        .set("quiet", JsonValue::Uint(report.quiet as u64))
+        .set("rejected", JsonValue::Uint(report.rejected_total() as u64))
+        .set("faulted", JsonValue::Uint(report.faulted as u64))
+        .set("reasons", reasons);
+    out.push_str(&s.to_compact_string());
+    out.push('\n');
+    out
+}
+
+/// A corpus entry: the case plus the stage its leak must reach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayCase {
+    /// The (program × spec × placement) point to replay.
+    pub case: FuzzCase,
+    /// Minimum stage the replayed leak must reach.
+    pub expect: Stage,
+}
+
+/// Serialize a case as a `phantom-fuzz-case v1` corpus file. Mutant
+/// specs embed their full `uarch` block (exactly as
+/// [`UarchSpec::to_block`] prints it) after the program.
+#[must_use]
+pub fn case_to_text(case: &FuzzCase, expect: Stage) -> String {
+    let mut out = String::new();
+    out.push_str(CASE_HEADER);
+    out.push('\n');
+    out.push_str(&format!("base {}\n", case.base_key));
+    out.push_str(&format!("seed {:#x}\n", case.seed));
+    out.push_str(&format!("train {}\n", train_id(case.train)));
+    out.push_str(&format!("delta {:#x}\n", case.delta));
+    out.push_str(&format!("expect {expect}\n"));
+    out.push_str("prog {\n");
+    for &op in &case.ops {
+        out.push_str(&format!("  {}\n", op_text(op)));
+    }
+    out.push_str("}\n");
+    if case.mutated {
+        out.push('\n');
+        out.push_str(&case.spec.to_block());
+    }
+    out
+}
+
+/// Parse a `phantom-fuzz-case v1` corpus file (inverse of
+/// [`case_to_text`]). Embedded `uarch` blocks go through the real spec
+/// parser, so a malformed block reports the same structured errors the
+/// spec loader does.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line or field.
+pub fn parse_case(text: &str) -> Result<ReplayCase, String> {
+    let mut lines = text.lines();
+    let header = lines
+        .by_ref()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .ok_or("empty corpus file")?;
+    if header != CASE_HEADER {
+        return Err(format!("expected header {CASE_HEADER:?}, found {header:?}"));
+    }
+
+    let mut base_key: Option<String> = None;
+    let mut seed = 0u64;
+    let mut train: Option<TrainKind> = None;
+    let mut delta = 0u64;
+    let mut expect: Option<Stage> = None;
+    let mut in_prog = false;
+    for line in lines.by_ref() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "prog {" {
+            in_prog = true;
+            break;
+        }
+        let (key, value) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("bad field line {line:?}"))?;
+        let value = value.trim();
+        match key {
+            "base" => base_key = Some(value.to_string()),
+            "seed" => seed = parse_u64(value).ok_or_else(|| format!("bad seed {value:?}"))?,
+            "train" => {
+                train = Some(train_from_id(value).ok_or_else(|| format!("bad train {value:?}"))?);
+            }
+            "delta" => delta = parse_u64(value).ok_or_else(|| format!("bad delta {value:?}"))?,
+            "expect" => {
+                expect = Some(match value {
+                    "IF" => Stage::If,
+                    "ID" => Stage::Id,
+                    "EX" => Stage::Ex,
+                    other => return Err(format!("bad expect stage {other:?}")),
+                });
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    if !in_prog {
+        return Err("missing `prog {` block".into());
+    }
+    let mut ops = Vec::new();
+    let mut closed = false;
+    for line in lines.by_ref() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "}" {
+            closed = true;
+            break;
+        }
+        ops.push(parse_op(line)?);
+    }
+    if !closed {
+        return Err("unterminated `prog {` block".into());
+    }
+
+    let base_key = base_key.ok_or("missing `base` field")?;
+    let base = builtin_by_key(&base_key).ok_or_else(|| format!("unknown base {base_key:?}"))?;
+    let rest: String = lines.collect::<Vec<_>>().join("\n");
+    let (spec, mutated) = if rest.trim().is_empty() {
+        (base, false)
+    } else {
+        let specs = parse_specs(&format!("{SPEC_HEADER}\n{rest}")).map_err(|e| e.to_string())?;
+        let spec = specs
+            .into_iter()
+            .next()
+            .ok_or("embedded spec section has no uarch block")?;
+        (spec, true)
+    };
+    Ok(ReplayCase {
+        case: FuzzCase {
+            base_key,
+            spec,
+            mutated,
+            train: train.ok_or("missing `train` field")?,
+            delta,
+            ops,
+            seed,
+        },
+        expect: expect.ok_or("missing `expect` field")?,
+    })
+}
+
+/// Replay one corpus entry: the case must still leak to at least the
+/// recorded stage, and for aliased placements the GF(2) oracle must
+/// still confirm.
+///
+/// # Errors
+///
+/// Returns a message describing the regression.
+pub fn replay_case(entry: &ReplayCase) -> Result<LeakObservation, String> {
+    match run_case(&entry.case) {
+        CaseOutcome::Leak(obs) => {
+            if obs.stage < entry.expect {
+                return Err(format!(
+                    "leak regressed: reached {} but corpus expects {}",
+                    obs.stage, entry.expect
+                ));
+            }
+            if !oracle_confirms(&entry.case) {
+                return Err("GF(2) oracle no longer confirms the alias".into());
+            }
+            Ok(obs)
+        }
+        other => Err(format!("case no longer leaks: {other:?}")),
+    }
+}
+
+/// Write up to `max` deduplicated corpus files for the report's
+/// oracle-confirmed findings, beyond-Table-1 entries first. File names
+/// are a pure function of the findings. Returns the written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_corpus(
+    dir: &Path,
+    report: &DiscoverReport,
+    max: usize,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut seen = BTreeSet::new();
+    let mut paths = Vec::new();
+    let beyond = report.findings.iter().filter(|f| f.beyond_table1);
+    let grid = report.findings.iter().filter(|f| !f.beyond_table1);
+    for f in beyond.chain(grid) {
+        if paths.len() >= max {
+            break;
+        }
+        if !f.oracle_confirmed {
+            continue;
+        }
+        let prog: Vec<String> = f.case.ops.iter().map(|&op| op_text(op)).collect();
+        let sig = format!(
+            "{}|{}|{}|{:x}|{}",
+            f.case.spec.key,
+            train_id(f.case.train),
+            f.case.mutated,
+            f.case.delta,
+            prog.join(";")
+        );
+        if !seen.insert(sig) {
+            continue;
+        }
+        let name = format!(
+            "{:04}-{}-{}.case",
+            f.index,
+            f.case.base_key,
+            train_id(f.case.train)
+        );
+        let path = dir.join(name);
+        std::fs::write(&path, case_to_text(&f.case, f.stage))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip_through_text() {
+        let all = [
+            ProgOp::Nop,
+            ProgOp::NopN(7),
+            ProgOp::Ret,
+            ProgOp::Load,
+            ProgOp::JmpInd,
+            ProgOp::Label(1),
+            ProgOp::Jmp(0),
+            ProgOp::Jcc(1),
+            ProgOp::Call(0),
+            ProgOp::Org(0x140),
+        ];
+        for op in all {
+            assert_eq!(parse_op(&op_text(op)), Ok(op), "{}", op_text(op));
+        }
+        assert!(parse_op("frobnicate").is_err());
+        assert!(parse_op("nopn 2").is_err());
+        assert!(parse_op("org 0x2000").is_err());
+        assert!(parse_op("nop 3").is_err());
+    }
+
+    #[test]
+    fn malformed_programs_are_rejections_not_panics() {
+        // An undefined label and a backwards org both come back as
+        // structured rejections — the satellite bug fixes this fuzzer
+        // leans on.
+        let jmp = run_case(&FuzzCase {
+            ops: vec![ProgOp::Jmp(0)],
+            ..known_leaky(TrainKind::JmpInd)
+        });
+        assert_eq!(jmp, CaseOutcome::Rejected("undefined-label".into()));
+        let org = run_case(&FuzzCase {
+            ops: vec![ProgOp::Nop, ProgOp::Org(0)],
+            ..known_leaky(TrainKind::JmpInd)
+        });
+        assert_eq!(org, CaseOutcome::Rejected("org-backwards".into()));
+    }
+
+    fn known_leaky(train: TrainKind) -> FuzzCase {
+        FuzzCase {
+            base_key: "zen3".into(),
+            spec: UarchSpec::zen3(),
+            mutated: false,
+            train,
+            delta: 0,
+            ops: vec![ProgOp::Nop],
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn canonical_in_place_case_leaks_at_id_on_zen3() {
+        match run_case(&known_leaky(TrainKind::JmpInd)) {
+            CaseOutcome::Leak(obs) => {
+                assert_eq!(obs.stage, Stage::Id);
+                assert!(!obs.disagreement, "probe and ground truth agree");
+            }
+            other => panic!("expected a leak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_delta_is_a_real_collision() {
+        for (spec, seed) in [(UarchSpec::zen3(), 3u64), (UarchSpec::zen1(), 9)] {
+            let delta = alias_delta(&spec, seed).expect("nullspace is non-trivial");
+            assert_ne!(delta, 0);
+            assert_eq!(delta & 0xfff, 0, "page offset preserved");
+            assert!(delta < VA_LIMIT, "b47 untouched");
+            let mut oracle = BtbOracle::new(spec.btb.scheme());
+            assert!(
+                oracle.collides(VirtAddr::new(VICTIM ^ delta), VirtAddr::new(VICTIM)),
+                "delta {delta:#x} must alias on {}",
+                spec.key
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_place_training_leaks_and_oracle_confirms() {
+        let spec = UarchSpec::zen3();
+        let delta = alias_delta(&spec, 3).expect("zen3 has alias freedom");
+        let case = FuzzCase {
+            delta,
+            ..known_leaky(TrainKind::JmpInd)
+        };
+        match run_case(&case) {
+            CaseOutcome::Leak(obs) => assert!(obs.stage >= Stage::Id),
+            other => panic!("aliased training should still leak, got {other:?}"),
+        }
+        assert!(oracle_confirms(&case), "structural alias must confirm");
+        // A non-alias delta must be refuted by the behavioural check.
+        let bogus = FuzzCase {
+            delta: 1 << 13,
+            ..known_leaky(TrainKind::JmpInd)
+        };
+        assert!(
+            !oracle_confirms(&bogus),
+            "zen3 folds reject a lone bit flip"
+        );
+    }
+
+    #[test]
+    fn minimizer_strips_junk_and_keeps_the_leak() {
+        let noisy = FuzzCase {
+            ops: vec![ProgOp::Nop, ProgOp::NopN(5), ProgOp::Nop],
+            ..known_leaky(TrainKind::JmpInd)
+        };
+        assert!(matches!(run_case(&noisy), CaseOutcome::Leak(_)));
+        let min = minimize_case(&noisy);
+        assert!(min.ops.is_empty(), "a bare hlt still leaks: {:?}", min.ops);
+        assert!(matches!(run_case(&min), CaseOutcome::Leak(_)));
+        // Determinism: minimizing twice gives the same case.
+        assert_eq!(min, minimize_case(&noisy));
+    }
+
+    #[test]
+    fn generate_case_is_pure_in_the_seed() {
+        for seed in [0u64, 1, 0xdead_beef] {
+            assert_eq!(generate_case(seed), generate_case(seed));
+        }
+        assert_ne!(generate_case(1), generate_case(2));
+    }
+
+    #[test]
+    fn corpus_text_round_trips() {
+        let plain = known_leaky(TrainKind::Ret);
+        let text = case_to_text(&plain, Stage::Id);
+        let back = parse_case(&text).expect("parses");
+        assert_eq!(back.case, plain);
+        assert_eq!(back.expect, Stage::Id);
+
+        let mutant = FuzzCase {
+            spec: mutate_spec(&UarchSpec::zen3(), 7).expect("seed 7 mutates"),
+            mutated: true,
+            ops: vec![ProgOp::Label(0), ProgOp::Nop, ProgOp::Jcc(0)],
+            delta: 0x40_0000,
+            ..known_leaky(TrainKind::Jcc)
+        };
+        let text = case_to_text(&mutant, Stage::Ex);
+        let back = parse_case(&text).expect("mutant parses");
+        assert_eq!(back.case, mutant);
+
+        // A corrupted embedded spec block reports the spec parser's
+        // structured error, not a panic.
+        let broken = text.replace("uarch zen3-m", "uarch zen3-m {\nuarch nested-");
+        assert!(parse_case(&broken).is_err());
+    }
+
+    #[test]
+    fn discover_jsonl_is_byte_identical_across_worker_counts() {
+        let cfg = DiscoverConfig {
+            budget: 6,
+            seed: 11,
+        };
+        let one = run_discover_on(&TrialRunner::with_threads(1), cfg).unwrap();
+        let four = run_discover_on(&TrialRunner::with_threads(4), cfg).unwrap();
+        assert_eq!(discover_jsonl(&one), discover_jsonl(&four));
+        assert_eq!(
+            one.findings.len() + one.quiet + one.rejected_total() + one.faulted,
+            cfg.budget
+        );
+    }
+}

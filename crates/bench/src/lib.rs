@@ -26,6 +26,7 @@ use phantom_bpu::BtbScheme;
 use phantom_mem::VirtAddr;
 
 pub mod campaign;
+pub mod discover;
 pub mod snapshot;
 
 pub use phantom::attacks::scan_window;

@@ -63,13 +63,20 @@ fn serve_only_flags_on_other_commands_exit_2_with_usage() {
     for args in [
         &["table2", "--resume", "x.jsonl"][..],
         &["bench", "--ab"][..],
-        &["all", "--out", "x.jsonl"][..],
     ] {
         let out = repro(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
         assert!(stderr(&out).contains("only valid with the serve command"));
         assert!(stderr(&out).contains("usage:"));
     }
+    // --out/--seed are shared by serve and discover; --corpus is
+    // discover-only.
+    let out = repro(&["all", "--out", "x.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("only valid with the serve and discover commands"));
+    let out = repro(&["table2", "--corpus", "dir"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("only valid with the discover command"));
 }
 
 #[test]

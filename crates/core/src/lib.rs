@@ -59,6 +59,7 @@ pub mod experiment;
 pub mod gadgets;
 pub mod mitigations;
 pub mod primitives;
+pub mod property;
 pub mod report;
 pub mod runner;
 pub mod spectre;

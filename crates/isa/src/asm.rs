@@ -26,13 +26,26 @@ impl Blob {
     ///
     /// # Panics
     ///
-    /// Panics if the label was never defined; experiment code treats a
-    /// missing label as a programming error.
+    /// Panics if the label was never defined; hand-written experiment
+    /// code treats a missing label as a programming error. Generated
+    /// programs (the discover fuzzer) must use [`Blob::try_addr`]
+    /// instead — a mutated program that lost a label is a rejected
+    /// candidate, not a crash.
     pub fn addr(&self, label: &str) -> u64 {
-        *self
-            .labels
+        self.try_addr(label).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Absolute address of `label`, as a structured error when the
+    /// label was never defined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] for an unknown label.
+    pub fn try_addr(&self, label: &str) -> Result<u64, AsmError> {
+        self.labels
             .get(label)
-            .unwrap_or_else(|| panic!("undefined label {label:?}"))
+            .copied()
+            .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))
     }
 
     /// End address (base + length).
@@ -54,6 +67,11 @@ pub enum AsmError {
     Encode(EncodeError),
     /// `org` directive tried to move backwards.
     OrgBackwards { at: u64, requested: u64 },
+    /// `org` directive asked for more forward padding than
+    /// [`Assembler::MAX_ORG_PAD`] allows. Without the cap a generated
+    /// `org` near the top of the address space aborts the process
+    /// trying to allocate the pad bytes.
+    OrgTooFar { at: u64, requested: u64 },
 }
 
 impl std::fmt::Display for AsmError {
@@ -69,6 +87,14 @@ impl std::fmt::Display for AsmError {
                 write!(
                     f,
                     "org to {requested:#x} is before current position {at:#x}"
+                )
+            }
+            AsmError::OrgTooFar { at, requested } => {
+                write!(
+                    f,
+                    "org to {requested:#x} pads {} bytes past {at:#x} (max {})",
+                    requested - at,
+                    Assembler::MAX_ORG_PAD
                 )
             }
         }
@@ -108,6 +134,13 @@ pub struct Assembler {
 }
 
 impl Assembler {
+    /// Maximum forward padding one `org` directive may insert (64 MiB —
+    /// an order of magnitude above any experiment image, far below what
+    /// would exhaust memory). A generated `org` to the top of the
+    /// address space must come back as [`AsmError::OrgTooFar`], not as
+    /// an allocation abort.
+    pub const MAX_ORG_PAD: u64 = 64 << 20;
+
     /// Start assembling at virtual address `base`.
     pub fn new(base: u64) -> Assembler {
         Assembler {
@@ -272,6 +305,12 @@ impl Assembler {
                             requested: *addr,
                         });
                     }
+                    if *addr - pc > Assembler::MAX_ORG_PAD {
+                        return Err(AsmError::OrgTooFar {
+                            at: pc,
+                            requested: *addr,
+                        });
+                    }
                     pc = *addr;
                 }
                 Item::Bytes(data) => pc += data.len() as u64,
@@ -304,8 +343,22 @@ impl Assembler {
                 }
                 Item::Label(_) => {}
                 Item::Org(addr) => {
-                    let pad = (*addr - pc) as usize;
-                    bytes.resize(bytes.len() + pad, 0x90);
+                    // Pass one already rejected backwards and oversized
+                    // orgs, and the pc evolves identically here; the
+                    // checked form keeps a future divergence between the
+                    // passes a structured error instead of a wrapping
+                    // subtraction feeding a gigantic `resize`.
+                    let pad = addr.checked_sub(pc).ok_or(AsmError::OrgBackwards {
+                        at: pc,
+                        requested: *addr,
+                    })?;
+                    if pad > Assembler::MAX_ORG_PAD {
+                        return Err(AsmError::OrgTooFar {
+                            at: pc,
+                            requested: *addr,
+                        });
+                    }
+                    bytes.resize(bytes.len() + pad as usize, 0x90);
                     pc = *addr;
                 }
                 Item::Bytes(data) => {
@@ -380,6 +433,38 @@ mod tests {
         a.nops(8);
         a.org(0x100);
         assert!(matches!(a.finish(), Err(AsmError::OrgBackwards { .. })));
+    }
+
+    #[test]
+    fn blob_try_addr_returns_structured_error() {
+        // Pre-fix, the only label accessor panicked on a missing label;
+        // generated programs need the fallible path.
+        let blob = Assembler::new(0x4000).label("here").finish().unwrap();
+        assert_eq!(blob.try_addr("here"), Ok(0x4000));
+        assert_eq!(
+            blob.try_addr("gone"),
+            Err(AsmError::UndefinedLabel("gone".into()))
+        );
+    }
+
+    #[test]
+    fn org_too_far_errors_instead_of_allocating() {
+        // Pre-fix this aborted the process trying to resize the byte
+        // vector to (u64::MAX - pc) bytes.
+        let mut a = Assembler::new(0x100);
+        a.push(Inst::Ret);
+        a.org(u64::MAX);
+        assert!(matches!(
+            a.finish(),
+            Err(AsmError::OrgTooFar {
+                at: 0x101,
+                requested: u64::MAX
+            })
+        ));
+        // The boundary itself assembles.
+        let mut a = Assembler::new(0);
+        a.org(Assembler::MAX_ORG_PAD);
+        assert!(a.finish().is_ok());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! assert!(broken.validate().is_err());
 //! ```
 
+pub mod mutate;
 mod parse;
 mod registry;
 

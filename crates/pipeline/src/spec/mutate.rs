@@ -1,0 +1,256 @@
+//! Seeded, validation-bounded mutation of [`UarchSpec`]s.
+//!
+//! The discover fuzzer (`phantom_bench::discover`) explores the
+//! (program × spec) space; this module is the spec half. Two
+//! operations, both pure functions of their arguments so the fuzzer
+//! stays byte-deterministic at any worker count:
+//!
+//! * [`mutate_spec`] — derive a new spec from a builtin by applying a
+//!   small number of random operators (fold-bit toggles, associativity
+//!   changes, latency nudges, MSR-feature flips), each drawn from a
+//!   dependency-free splitmix64 stream seeded by the caller. Every
+//!   candidate is re-checked with [`UarchSpec::validate`]; invalid
+//!   mutants are skipped deterministically, so the function either
+//!   returns a *valid* spec or `None`.
+//! * [`shrink_candidates`] — the minimizer's spec half: every
+//!   one-field reversion of a mutant back toward its base builtin, in
+//!   a fixed field order. The fuzzer keeps a reversion whenever the
+//!   leak property still holds, walking the mutant to the closest
+//!   builtin-like spec that still leaks.
+//!
+//! The pipeline crate deliberately has no RNG dependency; the
+//! generator here is the same splitmix64 the trial runner uses for
+//! `phantom::runner::trial_seed`, so a (seed, index) pair fully
+//! determines a mutant.
+
+use super::UarchSpec;
+
+/// Dependency-free splitmix64 stream; identical constants to
+/// `phantom::runner::trial_seed` so mutation shares the repo-wide
+/// seeding discipline.
+#[derive(Debug, Clone)]
+struct Stream(u64);
+
+impl Stream {
+    fn new(seed: u64) -> Stream {
+        Stream(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (n > 0). The modulo bias is irrelevant
+    /// for fuzz-operator selection and keeps the stream advance rate
+    /// fixed (one draw per call), which resume/replay relies on.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// How many operator applications a single [`mutate_spec`] call may
+/// attempt before giving up and returning `None`. Generous: in
+/// practice a valid mutant is found in the first one or two tries.
+const MAX_ATTEMPTS: usize = 32;
+
+/// Derive a validated mutant of `base`, or `None` if `MAX_ATTEMPTS`
+/// random operator applications all produced invalid specs (rare; the
+/// fuzzer just burns the trial index and moves on).
+///
+/// The mutant's registry key is `<base.key>-m<seed low 32 bits, hex>`
+/// so reports and corpus files name the exact (base, seed) pair that
+/// produced it. The function is a pure function of `(base, seed)`.
+pub fn mutate_spec(base: &UarchSpec, seed: u64) -> Option<UarchSpec> {
+    let mut rng = Stream::new(seed);
+    for _ in 0..MAX_ATTEMPTS {
+        let mut spec = base.clone();
+        // One or two operators per mutant keeps candidates close to a
+        // real part, which is what makes minimization toward the base
+        // meaningful.
+        let ops = 1 + rng.below(2);
+        for _ in 0..ops {
+            apply_operator(&mut spec, &mut rng);
+        }
+        spec.key = format!("{}-m{:08x}", base.key, seed as u32);
+        if spec.validate().is_ok() {
+            return Some(spec);
+        }
+    }
+    None
+}
+
+/// Apply one random mutation operator in place. The result may be
+/// invalid; the caller re-validates.
+fn apply_operator(spec: &mut UarchSpec, rng: &mut Stream) {
+    match rng.below(8) {
+        // Toggle one translated PC bit in one BTB fold mask. This is
+        // the operator that discovers out-of-place aliases: dropping a
+        // bit from a fold merges the alias classes that differ only in
+        // that bit.
+        0 => {
+            let i = rng.below(spec.btb.folds.len() as u64) as usize;
+            let bit = 12 + rng.below(35); // b12..=b46; keep b47 for the fold itself
+            spec.btb.folds[i] ^= 1 << bit;
+        }
+        // Drop a whole fold function (shrinks the signature, creating
+        // one alias bit of freedom per dropped fold).
+        1 => {
+            if spec.btb.folds.len() > 1 {
+                let i = rng.below(spec.btb.folds.len() as u64) as usize;
+                spec.btb.folds.remove(i);
+            }
+        }
+        2 => spec.btb.ways = 1 << rng.below(4), // 1, 2, 4, 8
+        3 => spec.btb.privilege_tagged = !spec.btb.privilege_tagged,
+        // Widen or narrow the frontend resteer window within the O1/O2
+        // validation bounds; this moves the deepest reachable stage.
+        4 => {
+            let lo = spec.fetch_latency + spec.decode_latency;
+            let hi = spec.backend_resteer_latency - 1;
+            if lo < hi {
+                spec.frontend_resteer_latency = lo + rng.below(hi - lo + 1);
+            }
+        }
+        5 => {
+            // Decode latency within [1, frontend_resteer - fetch].
+            let hi = spec
+                .frontend_resteer_latency
+                .saturating_sub(spec.fetch_latency);
+            if hi >= 1 {
+                spec.decode_latency = 1 + rng.below(hi);
+            }
+        }
+        6 => spec.phantom_exec_uops = rng.below(9) as u32, // 0..=8
+        7 => {
+            if rng.flip() {
+                spec.suppress_bp_on_non_br = !spec.suppress_bp_on_non_br;
+            } else {
+                spec.indirect_victim_blind = !spec.indirect_victim_blind;
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Every one-field reversion of `spec` toward `base`, in a fixed field
+/// order, each re-validated. Used by the minimizer's spec-shrink pass:
+/// accept a reversion when the leak property survives, repeat to
+/// fixpoint. Returns an empty vec when `spec` already matches `base`
+/// on every shrinkable field.
+pub fn shrink_candidates(spec: &UarchSpec, base: &UarchSpec) -> Vec<UarchSpec> {
+    let mut out = Vec::new();
+    let mut push = |candidate: UarchSpec| {
+        if candidate.validate().is_ok() {
+            out.push(candidate);
+        }
+    };
+    if spec.btb.folds != base.btb.folds {
+        let mut c = spec.clone();
+        c.btb.folds = base.btb.folds.clone();
+        push(c);
+    }
+    if spec.btb.ways != base.btb.ways {
+        let mut c = spec.clone();
+        c.btb.ways = base.btb.ways;
+        push(c);
+    }
+    if spec.btb.privilege_tagged != base.btb.privilege_tagged {
+        let mut c = spec.clone();
+        c.btb.privilege_tagged = base.btb.privilege_tagged;
+        push(c);
+    }
+    if spec.frontend_resteer_latency != base.frontend_resteer_latency {
+        let mut c = spec.clone();
+        c.frontend_resteer_latency = base.frontend_resteer_latency;
+        push(c);
+    }
+    if spec.decode_latency != base.decode_latency {
+        let mut c = spec.clone();
+        c.decode_latency = base.decode_latency;
+        push(c);
+    }
+    if spec.phantom_exec_uops != base.phantom_exec_uops {
+        let mut c = spec.clone();
+        c.phantom_exec_uops = base.phantom_exec_uops;
+        push(c);
+    }
+    if spec.suppress_bp_on_non_br != base.suppress_bp_on_non_br {
+        let mut c = spec.clone();
+        c.suppress_bp_on_non_br = base.suppress_bp_on_non_br;
+        push(c);
+    }
+    if spec.indirect_victim_blind != base.indirect_victim_blind {
+        let mut c = spec.clone();
+        c.indirect_victim_blind = base.indirect_victim_blind;
+        push(c);
+    }
+    out
+}
+
+/// True when `spec` matches `base` on every field the mutation
+/// operators can touch — i.e. the minimizer shrank the mutant all the
+/// way back to the builtin (only the derived key/name differ).
+pub fn matches_base(spec: &UarchSpec, base: &UarchSpec) -> bool {
+    spec.btb == base.btb
+        && spec.cbp == base.cbp
+        && spec.frontend_resteer_latency == base.frontend_resteer_latency
+        && spec.decode_latency == base.decode_latency
+        && spec.phantom_exec_uops == base.phantom_exec_uops
+        && spec.suppress_bp_on_non_br == base.suppress_bp_on_non_br
+        && spec.indirect_victim_blind == base.indirect_victim_blind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_are_valid_and_deterministic() {
+        let base = UarchSpec::zen2();
+        let mut produced = 0;
+        for seed in 0..64u64 {
+            let a = mutate_spec(&base, seed);
+            let b = mutate_spec(&base, seed);
+            assert_eq!(a, b, "mutation must be a pure function of (base, seed)");
+            if let Some(spec) = a {
+                spec.validate().expect("mutants are pre-validated");
+                assert!(spec.key.starts_with("zen2-m"), "key {:?}", spec.key);
+                produced += 1;
+            }
+        }
+        assert!(produced > 48, "only {produced}/64 seeds produced a mutant");
+    }
+
+    #[test]
+    fn shrink_moves_toward_base_and_terminates() {
+        let base = UarchSpec::zen3();
+        let spec = mutate_spec(&base, 7).expect("seed 7 mutates");
+        // Greedily accept every valid reversion: must reach the base
+        // in a bounded number of steps (each step reverts ≥1 field).
+        let mut cur = spec;
+        for _ in 0..32 {
+            let cands = shrink_candidates(&cur, &base);
+            match cands.into_iter().next() {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        assert!(matches_base(&cur, &base));
+    }
+
+    #[test]
+    fn shrink_of_base_is_empty() {
+        let base = UarchSpec::intel12();
+        assert!(shrink_candidates(&base, &base).is_empty());
+        assert!(matches_base(&base, &base));
+    }
+}

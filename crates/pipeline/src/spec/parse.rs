@@ -62,8 +62,16 @@ pub fn parse_specs(text: &str) -> Result<Vec<UarchSpec>, SpecError> {
             header_seen = true;
             continue;
         }
-        match &mut block {
-            None => {
+        // Move the open block out of its slot for this line and put it
+        // back unless the line closes it — ownership replaces the old
+        // `.expect("block is open")` on the close path, so malformed
+        // nesting from mutated spec files is a parse error, never a
+        // panic.
+        match (block.take(), line) {
+            (None, "}") => {
+                return Err(err("unexpected `}`: no `uarch` block is open".to_string()));
+            }
+            (None, _) => {
                 let mut tokens = line.split_whitespace();
                 match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
                     (Some("uarch"), Some(key), Some("{"), None) => {
@@ -72,22 +80,32 @@ pub fn parse_specs(text: &str) -> Result<Vec<UarchSpec>, SpecError> {
                     _ => return Err(err(format!("expected `uarch <key> {{`, found {line:?}"))),
                 }
             }
-            Some((_, builder)) => {
-                if line == "}" {
-                    let (open_line, builder) = block.take().expect("block is open");
-                    let spec = builder.finish().map_err(|msg| SpecError::Parse {
-                        line: open_line,
-                        msg,
-                    })?;
-                    spec.validate()?;
-                    specs.push(spec);
-                } else {
-                    let (field, value) = match line.split_once(char::is_whitespace) {
-                        Some((f, v)) => (f, v.trim()),
-                        None => (line, ""),
-                    };
-                    builder.set(field, value).map_err(err)?;
+            (Some((open_line, builder)), "}") => {
+                let spec = builder.finish().map_err(|msg| SpecError::Parse {
+                    line: open_line,
+                    msg,
+                })?;
+                spec.validate()?;
+                specs.push(spec);
+            }
+            (Some((open_line, mut builder)), _) => {
+                let (field, value) = match line.split_once(char::is_whitespace) {
+                    Some((f, v)) => (f, v.trim()),
+                    None => (line, ""),
+                };
+                if field == "uarch" {
+                    return Err(err(format!(
+                        "nested `uarch` block inside `uarch {} {{` (close it with `}}` first)",
+                        builder.key
+                    )));
                 }
+                if field.starts_with('}') {
+                    return Err(err(format!(
+                        "`}}` must be alone on its line, found {line:?}"
+                    )));
+                }
+                builder.set(field, value).map_err(err)?;
+                block = Some((open_line, builder));
             }
         }
     }

@@ -163,6 +163,41 @@ fn unterminated_block_points_at_the_open_line() {
 }
 
 #[test]
+fn stray_close_brace_at_top_level_is_rejected() {
+    // Regression: a `}` with no open block used to be unrepresentable in
+    // the old `block.take().expect("block is open")` structure; mutated
+    // spec files reach it trivially.
+    let err = parse_err("phantom-uarch-spec v1\n}\n");
+    match err {
+        SpecError::Parse { line: 2, msg } => assert!(msg.contains("unexpected `}`"), "{msg}"),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn nested_uarch_block_is_rejected() {
+    let err = parse_err("phantom-uarch-spec v1\nuarch outer {\nuarch inner {\n");
+    match err {
+        SpecError::Parse { line: 3, msg } => {
+            assert!(msg.contains("nested `uarch` block"), "{msg}");
+            assert!(msg.contains("outer"), "{msg}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn close_brace_with_trailing_content_is_rejected() {
+    let err = parse_err("phantom-uarch-spec v1\nuarch x {\n} uarch y {\n");
+    match err {
+        SpecError::Parse { line: 3, msg } => {
+            assert!(msg.contains("alone on its line"), "{msg}")
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
 fn unknown_duplicate_and_missing_fields_are_rejected() {
     let base = UarchSpec::zen2().to_text();
 
